@@ -1,0 +1,97 @@
+"""Ablation (Section 4.1): shift caching vs direct caching bank conflicts.
+
+Sweeps the factor dimension and measures, for the same tile configuration,
+the shared-memory load conflict factor (transactions per request) of the two
+caching schemes plus the resulting kernel-time estimate.  This isolates the
+design choice DESIGN.md calls out: the shift scheme bounds conflicts at
+⌈warpSize / T_P⌉ while the direct scheme degrades as the stride aligns with
+the bank count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import TESLA_V100
+from repro.gpu.shared_memory import SharedMemoryBankModel
+from repro.kernels.caching import DirectCaching, ShiftCaching
+from repro.kernels.sliced_kernel import SlicedMultiplyKernel
+from repro.kernels.tile_config import default_tile_config
+from repro.perfmodel.roofline import RooflineModel
+from repro.utils.reporting import ResultTable
+
+ABLATION_PS = [4, 8, 16, 32, 64]
+
+
+def generate_caching_ablation() -> ResultTable:
+    bank_model = SharedMemoryBankModel()
+    roofline = RooflineModel()
+    table = ResultTable(
+        name="Ablation: shift vs direct caching (M=1024, K=P^4 or P^3)",
+        headers=[
+            "P", "conflict factor shift", "conflict factor direct",
+            "shift bound ceil(32/TP)", "kernel ms shift", "kernel ms direct",
+        ],
+    )
+    for p in ABLATION_PS:
+        n = 4 if p <= 32 else 3
+        k = p**n
+        tile = default_tile_config(1024, k, p, p, fuse=False)
+        shift_factor = ShiftCaching().load_conflict_factor(tile, p, bank_model, 32)
+        direct_factor = DirectCaching().load_conflict_factor(tile, p, bank_model, 32)
+        shift_time = roofline.time_seconds(
+            SlicedMultiplyKernel(tile, ShiftCaching()).analytic_counters(1024, k, p, p)
+        )
+        direct_time = roofline.time_seconds(
+            SlicedMultiplyKernel(tile, DirectCaching()).analytic_counters(1024, k, p, p)
+        )
+        table.add_row(
+            p, round(shift_factor, 2), round(direct_factor, 2),
+            int(np.ceil(32 / tile.tp)), round(shift_time * 1e3, 3), round(direct_time * 1e3, 3),
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="ablation-caching")
+def test_caching_ablation(benchmark, save_table):
+    tile = default_tile_config(1024, 16**4, 16, 16, fuse=False)
+    kernel = SlicedMultiplyKernel(tile, ShiftCaching())
+    benchmark(lambda: kernel.analytic_counters(1024, 16**4, 16, 16))
+
+    table = generate_caching_ablation()
+    save_table(table, "Ablation-caching.csv")
+
+    for row in table.rows:
+        p, shift_factor, direct_factor, bound = row[0], row[1], row[2], row[3]
+        assert shift_factor <= bound + 1e-9
+        # Power-of-two factor dimensions are exactly where direct caching hurts.
+        if p >= 8:
+            assert direct_factor >= shift_factor
+
+    # The kernel-time gap must follow the conflict gap somewhere in the sweep.
+    assert any(row[5] > row[4] for row in table.rows)
+
+
+@pytest.mark.benchmark(group="ablation-caching")
+def test_warp_size_sensitivity(benchmark, save_table):
+    """The shift scheme's bound scales with the warp size / bank count."""
+    tile = default_tile_config(256, 8**4, 8, 8, fuse=False)
+
+    def factors():
+        out = {}
+        for banks in (16, 32):
+            bank_model = SharedMemoryBankModel(num_banks=banks)
+            out[banks] = ShiftCaching().load_conflict_factor(tile, 8, bank_model, banks)
+        return out
+
+    result = benchmark(factors)
+    table = ResultTable(
+        name="Ablation: shift caching conflict factor vs bank count (P=8)",
+        headers=["banks", "conflict factor", "bound"],
+    )
+    for banks, factor in result.items():
+        table.add_row(banks, round(factor, 2), int(np.ceil(banks / tile.tp)))
+    save_table(table, "Ablation-caching-banks.csv")
+    for row in table.rows:
+        assert row[1] <= row[2] + 1e-9

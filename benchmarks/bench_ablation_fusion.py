@@ -1,0 +1,100 @@
+"""Ablation (Section 4.2): fusion depth vs global-memory traffic and time.
+
+For small factor dimensions the fused kernel keeps up to ⌊log_P T_K⌋
+intermediates in shared memory.  The bench sweeps the fusion depth for
+several P and records global traffic, shared traffic and the estimated
+speedup over the unfused execution — reproducing the trend behind
+``FastKron`` vs ``FastKron-wo-Fuse`` in Figure 9 (≈2.2× at 8^5 shrinking as
+P grows).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.problem import KronMatmulProblem
+from repro.kernels.fused_kernel import FusedKernel
+from repro.kernels.sliced_kernel import SlicedMultiplyKernel
+from repro.kernels.tile_config import default_tile_config, max_fusable
+from repro.perfmodel import FastKronModel
+from repro.perfmodel.roofline import RooflineModel
+from repro.utils.reporting import ResultTable
+
+FUSION_CASES = [(8, 5), (16, 4), (32, 3)]
+
+
+def generate_fusion_depth_table() -> ResultTable:
+    roofline = RooflineModel()
+    table = ResultTable(
+        name="Ablation: fusion depth for one kernel group (M=1024)",
+        headers=["P", "N_fused", "global elements", "shared transactions", "ms per multiply"],
+    )
+    for p, n in FUSION_CASES:
+        k = p**n
+        tile = default_tile_config(1024, k, p, p, fuse=True)
+        if tile.tp != p:
+            continue
+        depth_cap = min(max_fusable(tile.tk, p), 3)
+        for depth in range(1, depth_cap + 1):
+            if depth == 1:
+                counters = SlicedMultiplyKernel(tile.with_nfused(1)).analytic_counters(1024, k, p, p)
+            else:
+                counters = FusedKernel(tile.with_nfused(depth)).analytic_counters(1024, k, p, p)
+            time_per_multiply = roofline.time_seconds(counters) / depth
+            table.add_row(
+                p, depth,
+                counters.global_load_elements + counters.global_store_elements,
+                counters.shared_transactions,
+                round(time_per_multiply * 1e3, 3),
+            )
+    return table
+
+
+def generate_fusion_speedup_table() -> ResultTable:
+    fused_model = FastKronModel(fuse=True)
+    unfused_model = FastKronModel(fuse=False)
+    table = ResultTable(
+        name="Ablation: end-to-end fusion speedup (FastKron vs FastKron-wo-Fuse)",
+        headers=["P^N", "fused ms", "unfused ms", "speedup"],
+    )
+    for p, n in [(8, 5), (8, 6), (16, 4), (16, 5), (32, 3), (32, 4), (64, 3)]:
+        problem = KronMatmulProblem.uniform(1024, p, n)
+        fused = fused_model.estimate(problem).total_seconds
+        unfused = unfused_model.estimate(problem).total_seconds
+        table.add_row(f"{p}^{n}", round(fused * 1e3, 3), round(unfused * 1e3, 3),
+                      round(unfused / fused, 2))
+    return table
+
+
+@pytest.mark.benchmark(group="ablation-fusion")
+def test_fusion_depth_ablation(benchmark, save_table):
+    tile = default_tile_config(1024, 8**5, 8, 8, fuse=True)
+    kernel = FusedKernel(tile)
+    benchmark(lambda: kernel.analytic_counters(1024, 8**5, 8, 8))
+
+    table = generate_fusion_depth_table()
+    save_table(table, "Ablation-fusion-depth.csv")
+
+    # Within each P, the per-multiply global traffic falls as depth grows.
+    by_p = {}
+    for row in table.rows:
+        by_p.setdefault(row[0], []).append(row)
+    for p, rows in by_p.items():
+        per_multiply_traffic = [r[2] / r[1] for r in rows]
+        assert all(b < a for a, b in zip(per_multiply_traffic, per_multiply_traffic[1:])), p
+
+
+@pytest.mark.benchmark(group="ablation-fusion")
+def test_fusion_speedup_ablation(benchmark, save_table):
+    problem = KronMatmulProblem.uniform(1024, 8, 5)
+    model = FastKronModel(fuse=True)
+    benchmark(lambda: model.estimate(problem).total_seconds)
+
+    table = generate_fusion_speedup_table()
+    save_table(table, "Ablation-fusion-speedup.csv")
+
+    speedups = {row[0]: row[3] for row in table.rows}
+    # Fusion helps at small P and fades out by P=64 (the paper's observation).
+    assert speedups["8^5"] > 1.5
+    assert speedups["64^3"] == pytest.approx(1.0, abs=0.05)
+    assert speedups["8^5"] >= speedups["32^3"] >= speedups["64^3"] - 0.05

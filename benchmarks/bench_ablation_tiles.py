@@ -1,0 +1,70 @@
+"""Ablation (Section 4.3): how much the tile-size choice matters.
+
+Compares, for several problem shapes, three kernel configurations:
+
+* the **autotuned** configuration (search over the Section 4.3 space);
+* the **default** heuristic configuration (no search);
+* a deliberately **naive** configuration (single slice per block, one column
+  per block — what an untiled implementation would amount to).
+
+The gap between naive and tuned shows why the paper autotunes per shape; the
+gap between default and tuned shows how much the search adds on top of a
+sensible heuristic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.sliced_kernel import SlicedMultiplyKernel
+from repro.kernels.tile_config import TileConfig, default_tile_config
+from repro.perfmodel.roofline import RooflineModel
+from repro.tuner import Autotuner
+from repro.utils.reporting import ResultTable
+
+TILE_CASES = [(1024, 8, 5), (1024, 16, 4), (1024, 32, 3), (1024, 64, 3), (16, 64, 4)]
+
+
+def naive_tile(p: int) -> TileConfig:
+    return TileConfig(tm=1, tk=p, tp=min(p, 32), tq=1, rk=1, rq=1, rp=1, nfused=1)
+
+
+def generate_tile_ablation(max_candidates: int = 1500) -> ResultTable:
+    roofline = RooflineModel()
+    tuner = Autotuner(max_candidates=max_candidates)
+    table = ResultTable(
+        name="Ablation: tile-size choice (estimated ms for one sliced multiply)",
+        headers=["M", "P^N", "naive ms", "default ms", "tuned ms",
+                 "tuned vs naive", "tuned vs default"],
+    )
+    for m, p, n in TILE_CASES:
+        k = p**n
+        naive_counters = SlicedMultiplyKernel(naive_tile(p)).analytic_counters(m, k, p, p)
+        naive_time = roofline.time_seconds(naive_counters)
+        default_cfg = default_tile_config(m, k, p, p)
+        default_time = tuner.estimate_config_time(default_cfg, m, k, p, p, np.float32)
+        result = tuner.tune_shape(m, k, p, p)
+        table.add_row(
+            m, f"{p}^{n}",
+            round(naive_time * 1e3, 3), round(default_time * 1e3, 3),
+            round(result.best_time * 1e3, 3),
+            round(naive_time / result.best_time, 1),
+            round(default_time / result.best_time, 2),
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="ablation-tiles")
+def test_tile_size_ablation(benchmark, save_table):
+    tuner = Autotuner(max_candidates=300)
+    benchmark(lambda: tuner.tune_shape(1024, 16**4, 16, 16).best_time)
+
+    table = generate_tile_ablation()
+    save_table(table, "Ablation-tiles.csv")
+
+    for row in table.rows:
+        naive_speedup, default_speedup = row[5], row[6]
+        # Tiling matters a lot; tuning never loses to the default heuristic.
+        assert naive_speedup >= 2.0
+        assert default_speedup >= 0.999

@@ -1,0 +1,109 @@
+"""Figure 11: weak scaling of FastKron, CTF and DISTAL on 1–16 GPUs.
+
+Two configurations, both with N = 4 factors: P = 64 with M growing from 128
+to 2048, and P = 128 with M growing from 8 to 128 (memory per GPU constant).
+The paper reports FastKron reaching 109 / 173 aggregate TFLOPS on 16 GPUs and
+beating CTF by 7.85× and DISTAL by 5.33×.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.problem import KronMatmulProblem
+from repro.distributed.models import all_multi_gpu_models
+from repro.utils.reporting import ResultTable
+
+WEAK_SCALING = {
+    64: [(1, 128), (2, 256), (4, 512), (8, 1024), (16, 2048)],
+    128: [(1, 8), (2, 16), (4, 32), (8, 64), (16, 128)],
+}
+
+#: FastKron aggregate TFLOPS read off Figure 11 of the paper.
+PAPER_FASTKRON = {
+    64: [12, 23, 37, 74, 109],
+    128: [13, 26, 50, 99, 173],
+}
+
+
+def generate_figure11_table(p: int) -> ResultTable:
+    models = all_multi_gpu_models()
+    table = ResultTable(
+        name=f"Figure 11: weak scaling, P={p}, N=4 (aggregate TFLOPS)",
+        headers=["GPUs", "M", "FastKron", "CTF", "DISTAL", "paper FastKron"],
+    )
+    for (gpus, m), paper in zip(WEAK_SCALING[p], PAPER_FASTKRON[p]):
+        problem = KronMatmulProblem.uniform(m, p, 4)
+        row = {
+            name: model.estimate_on_gpus(problem, gpus).tflops
+            for name, model in models.items()
+        }
+        table.add_row(gpus, m, round(row["FastKron"], 1), round(row["CTF"], 1),
+                      round(row["DISTAL"], 1), paper)
+    return table
+
+
+@pytest.mark.benchmark(group="figure11")
+@pytest.mark.parametrize("p", [64, 128])
+def test_figure11_reproduction(benchmark, save_table, p):
+    models = all_multi_gpu_models()
+    problem = KronMatmulProblem.uniform(WEAK_SCALING[p][-1][1], p, 4)
+    benchmark(lambda: models["FastKron"].estimate_on_gpus(problem, 16).tflops)
+
+    table = generate_figure11_table(p)
+    save_table(table, f"Figure-11-{p}.csv")
+
+    # Render the weak-scaling lines as SVG alongside the CSV.
+    from pathlib import Path
+
+    from repro.utils.plotting import line_chart
+    from repro.utils.reporting import Series
+
+    series = []
+    for column, name in [(2, "FastKron"), (3, "CTF"), (4, "DISTAL")]:
+        s = Series(name)
+        for row in table.rows:
+            s.add(f"{row[0]} GPUs", float(row[column]))
+        series.append(s)
+    chart = line_chart(series, f"Figure 11: weak scaling, P={p}, N=4 (model)",
+                       "GPUs (M grows proportionally)", "aggregate TFLOPS")
+    chart.save(Path(__file__).parent / "results" / f"Figure-11-{p}.svg")
+
+    fastkron = [row[2] for row in table.rows]
+    ctf = [row[3] for row in table.rows]
+    distal = [row[4] for row in table.rows]
+    # Weak scaling: aggregate throughput grows with the GPU count.
+    assert all(b > a for a, b in zip(fastkron, fastkron[1:]))
+    # FastKron wins at every scale; DISTAL beats CTF at scale (16 GPUs).
+    for fk, c, d in zip(fastkron, ctf, distal):
+        assert fk > c and fk > d
+    assert distal[-1] > ctf[-1]
+
+
+@pytest.mark.benchmark(group="figure11")
+def test_figure11_communication_volume_claim(benchmark, save_table):
+    """FastKron communicates ~N_local x fewer elements than the per-iteration baselines."""
+    from repro.distributed.grid import partition_gpus
+    from repro.distributed.multi_gpu import (
+        fastkron_communication_elements,
+        per_iteration_communication_elements,
+    )
+
+    problem = KronMatmulProblem.uniform(2048, 64, 4)
+    grid = partition_gpus(16)
+
+    def volumes():
+        return (
+            fastkron_communication_elements(problem.m, problem.k, 4, 64, grid),
+            per_iteration_communication_elements(problem.m, problem.k, 4, grid),
+        )
+
+    fk, baseline = benchmark(volumes)
+    table = ResultTable(
+        name="Figure 11 supplement: communicated elements on 16 GPUs (P=64, N=4, M=2048)",
+        headers=["system", "elements"],
+    )
+    table.add_row("FastKron (Algorithm 2)", fk)
+    table.add_row("CTF / DISTAL (per iteration)", baseline)
+    save_table(table, "Figure-11-communication.csv")
+    assert fk < baseline

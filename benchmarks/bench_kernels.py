@@ -1,0 +1,75 @@
+"""Wall-clock benchmarks of the NumPy execution paths themselves.
+
+These are honest timings of this repository's code (not the simulated-GPU
+estimates): the FastKron sliced-multiply pipeline against the shuffle and
+FTMMT baselines, the functional fused path, and the distributed execution.
+They demonstrate that avoiding the separate transpose pass also pays off for
+a NumPy implementation, and they give pytest-benchmark something real to
+measure for regression tracking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import ftmmt_kron_matmul, shuffle_kron_matmul
+from repro.core.factors import random_factors
+from repro.core.fastkron import FastKron, kron_matmul
+from repro.core.problem import KronMatmulProblem
+from repro.distributed import DistributedFastKron, partition_gpus
+
+
+def medium_operands(p=16, n=4, m=64, dtype=np.float32, seed=0):
+    factors = random_factors(n, p, dtype=dtype, seed=seed, scale=0.5)
+    rng = np.random.default_rng(seed + 1)
+    x = rng.standard_normal((m, p**n)).astype(dtype)
+    return x, factors
+
+
+@pytest.mark.benchmark(group="numpy-kernels")
+def test_bench_fastkron_numpy(benchmark):
+    x, factors = medium_operands()
+    result = benchmark(lambda: kron_matmul(x, factors))
+    assert result.shape == (64, 16**4)
+
+
+@pytest.mark.benchmark(group="numpy-kernels")
+def test_bench_shuffle_numpy(benchmark):
+    x, factors = medium_operands()
+    result = benchmark(lambda: shuffle_kron_matmul(x, factors).output)
+    assert result.shape == (64, 16**4)
+
+
+@pytest.mark.benchmark(group="numpy-kernels")
+def test_bench_ftmmt_numpy(benchmark):
+    x, factors = medium_operands()
+    result = benchmark(lambda: ftmmt_kron_matmul(x, factors).output)
+    assert result.shape == (64, 16**4)
+
+
+@pytest.mark.benchmark(group="numpy-kernels")
+def test_bench_fastkron_handle_reuse(benchmark):
+    """The pre-allocated handle avoids per-call workspace allocation."""
+    x, factors = medium_operands()
+    problem = KronMatmulProblem.from_factors(x.shape[0], [f.values for f in factors])
+    handle = FastKron(problem)
+    result = benchmark(lambda: handle.multiply(x, factors))
+    assert result.shape == (64, 16**4)
+
+
+@pytest.mark.benchmark(group="numpy-kernels")
+def test_bench_small_m_gp_shape(benchmark):
+    """The GP case-study shape: M=16 probes against a 8^6 kernel."""
+    x, factors = medium_operands(p=8, n=6, m=16)
+    result = benchmark(lambda: kron_matmul(x, factors))
+    assert result.shape == (16, 8**6)
+
+
+@pytest.mark.benchmark(group="numpy-kernels")
+def test_bench_distributed_functional(benchmark):
+    x, factors = medium_operands(p=8, n=4, m=16, dtype=np.float64)
+    grid = partition_gpus(4)
+    dk = DistributedFastKron(grid)
+    execution = benchmark(lambda: dk.execute(x, factors))
+    assert execution.output.shape == (16, 8**4)

@@ -1,0 +1,67 @@
+"""Table 1: GPyTorch matmul/transpose split vs COGENT vs FastKron (ms), M=1024.
+
+The paper's point: the transpose step of the shuffle algorithm costs up to
+80 % of GPyTorch's runtime, and FastKron removes it entirely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.problem import KronMatmulProblem
+from repro.perfmodel import CogentModel, FastKronModel, GPyTorchModel
+from repro.utils.reporting import ResultTable
+
+TABLE1_CASES = [(8, 6), (16, 5), (32, 4), (64, 3)]
+
+#: Paper measurements (ms): GPyTorch matmul, transpose, total; COGENT; FastKron.
+PAPER_TABLE1 = {
+    (8, 6): (26, 45, 71.0, 36.4, 5.76),
+    (16, 5): (64, 169, 238, 104, 29.7),
+    (32, 4): (44, 159, 203, 64.4, 38.8),
+    (64, 3): (8.7, 36, 45.7, 14.8, 8.74),
+}
+
+
+def generate_table1() -> ResultTable:
+    gpytorch = GPyTorchModel()
+    cogent = CogentModel()
+    fastkron = FastKronModel()
+    table = ResultTable(
+        name="Table 1: execution time (ms), M=1024",
+        headers=[
+            "P", "N", "GPyTorch matmul", "GPyTorch transpose", "GPyTorch total",
+            "COGENT", "FastKron",
+            "paper GPyTorch total", "paper COGENT", "paper FastKron",
+        ],
+    )
+    for p, n in TABLE1_CASES:
+        problem = KronMatmulProblem.uniform(1024, p, n)
+        g = gpytorch.estimate(problem)
+        c = cogent.estimate(problem)
+        f = fastkron.estimate(problem)
+        paper = PAPER_TABLE1[(p, n)]
+        table.add_row(
+            p, n,
+            round(g.matmul_seconds * 1e3, 1), round(g.transpose_seconds * 1e3, 1),
+            round(g.milliseconds, 1), round(c.milliseconds, 1), round(f.milliseconds, 2),
+            paper[2], paper[3], paper[4],
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_reproduction(benchmark, save_table):
+    problem = KronMatmulProblem.uniform(1024, 8, 6)
+    model = GPyTorchModel()
+    benchmark(lambda: model.estimate(problem).total_seconds)
+
+    table = generate_table1()
+    save_table(table, "Table-1.csv")
+
+    for row in table.rows:
+        _p, _n, matmul, transpose, total, cogent, fastkron = row[:7]
+        # Transpose dominates GPyTorch; FastKron is the fastest system.
+        assert transpose > matmul
+        assert 0.5 <= transpose / total <= 0.9
+        assert fastkron < cogent < total

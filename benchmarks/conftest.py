@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs the
+relevant models/algorithms, prints the same rows/series the paper reports and
+writes them as CSV under ``benchmarks/results/`` so EXPERIMENTS.md can
+reference them.  The ``benchmark`` fixture (pytest-benchmark) additionally
+times a representative piece of real work for each experiment.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.utils.reporting import ResultTable
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_table(results_dir):
+    """Persist a ResultTable as CSV and echo it to the terminal."""
+
+    def _save(table: ResultTable, filename: str) -> Path:
+        path = table.save_csv(results_dir / filename)
+        print()
+        print(table.render())
+        return path
+
+    return _save
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2024)

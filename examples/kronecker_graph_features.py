@@ -1,0 +1,74 @@
+"""Propagate features over a Kronecker graph without materialising its adjacency.
+
+Kronecker graphs (Leskovec et al., one of Table 4's application domains)
+model large networks as repeated Kronecker products of a tiny initiator
+matrix.  Feature propagation — multiplying a node-feature matrix by powers of
+the adjacency — is then a Kron-Matmul, which this example runs with FastKron
+and verifies against an explicit (networkx-built) graph for a small case.
+
+Run with::
+
+    python examples/kronecker_graph_features.py
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro import KroneckerOperator, kron_matmul
+from repro.core.problem import KronMatmulProblem
+from repro.perfmodel import FastKronModel, GPyTorchModel
+
+
+def build_initiator() -> np.ndarray:
+    """A 3x3 stochastic-Kronecker initiator (core-periphery structure)."""
+    return np.array(
+        [
+            [1.0, 0.6, 0.4],
+            [0.6, 0.8, 0.3],
+            [0.4, 0.3, 0.2],
+        ]
+    )
+
+
+def small_exact_check(initiator: np.ndarray, order: int = 3) -> None:
+    """For a small graph, compare against networkx's dense adjacency."""
+    factors = [initiator] * order
+    operator = KroneckerOperator(factors)
+    dense = operator.materialize()
+    graph = nx.from_numpy_array(dense, create_using=nx.DiGraph)
+    adjacency = nx.to_numpy_array(graph, weight="weight")
+
+    rng = np.random.default_rng(0)
+    features = rng.standard_normal((8, dense.shape[0]))  # 8 feature channels
+    propagated_fastkron = kron_matmul(features, factors)
+    propagated_dense = features @ adjacency
+    print(f"graph with {graph.number_of_nodes()} nodes, {graph.number_of_edges()} weighted edges")
+    print(f"FastKron propagation matches dense adjacency: "
+          f"{np.allclose(propagated_fastkron, propagated_dense)}")
+
+
+def large_scale_estimate(initiator: np.ndarray, order: int = 7) -> None:
+    """At scale the adjacency is never built; estimate the GPU cost per propagation."""
+    nodes = initiator.shape[0] ** order
+    problem = KronMatmulProblem.uniform(1024, initiator.shape[0], order)
+    fastkron = FastKronModel().estimate(problem)
+    gpytorch = GPyTorchModel().estimate(problem)
+    print(f"\nKronecker graph of order {order}: {nodes:,} nodes "
+          f"(dense adjacency would need {nodes**2 * 4 / 1e9:.1f} GB)")
+    print(f"propagating 1024 feature channels once:")
+    print(f"  FastKron (simulated V100): {fastkron.milliseconds:.2f} ms "
+          f"({fastkron.tflops:.2f} TFLOPS)")
+    print(f"  shuffle algorithm (GPyTorch): {gpytorch.milliseconds:.2f} ms "
+          f"-> FastKron is {fastkron.speedup_over(gpytorch):.1f}x faster")
+
+
+def main() -> None:
+    initiator = build_initiator()
+    small_exact_check(initiator)
+    large_scale_estimate(initiator)
+
+
+if __name__ == "__main__":
+    main()

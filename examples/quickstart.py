@@ -1,0 +1,69 @@
+"""Quickstart: multiply a matrix with a Kronecker product of small factors.
+
+Run with::
+
+    python examples/quickstart.py
+
+The example builds a Kron-Matmul problem ``Y = X (F_1 ⊗ F_2 ⊗ F_3)``, solves
+it with FastKron's algorithm (never materialising the Kronecker matrix),
+cross-checks the result against the naive dense construction and prints the
+operation counts that explain why the structured algorithm wins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import FastKron, KronMatmulProblem, KroneckerOperator, kron_matmul, random_factors
+from repro.baselines import naive_kron_matmul
+from repro.utils.timer import time_callable
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # Three 8x8 factors: the Kronecker matrix would be 512 x 512.
+    factors = random_factors(n=3, p=8, q=8, dtype=np.float64, seed=42)
+    x = rng.standard_normal((64, 8**3))
+
+    # ------------------------------------------------------------------ #
+    # 1. The one-call API.
+    # ------------------------------------------------------------------ #
+    y = kron_matmul(x, factors)
+    y_reference = naive_kron_matmul(x, factors)
+    print(f"kron_matmul output shape: {y.shape}")
+    print(f"matches the dense Kronecker construction: {np.allclose(y, y_reference)}")
+
+    # ------------------------------------------------------------------ #
+    # 2. The operator view: use the Kronecker product like a matrix.
+    # ------------------------------------------------------------------ #
+    operator = KroneckerOperator(factors)
+    print(f"\noperator shape {operator.shape}, stored elements "
+          f"{sum(f.values.size for f in factors)} (dense would be {operator.row_dim * operator.col_dim})")
+    print(f"x @ operator matches: {np.allclose(x @ operator, y_reference)}")
+
+    # ------------------------------------------------------------------ #
+    # 3. The reusable handle: pre-planned iterations, workspace and stats.
+    # ------------------------------------------------------------------ #
+    problem = KronMatmulProblem.from_factors(x.shape[0], [f.values for f in factors])
+    handle = FastKron(problem)
+    handle.multiply(x, factors)
+    stats = handle.last_stats
+    assert stats is not None
+    print(f"\nproblem: {problem.label()}")
+    print(f"  FLOPs (structured algorithm): {problem.flops:,}")
+    print(f"  FLOPs (naive algorithm):      {problem.naive_flops:,}")
+    print(f"  fusion plan: {handle.fusion_plan.describe()}  "
+          f"(global traffic reduced {stats.memory_saving_factor:.2f}x)")
+
+    # ------------------------------------------------------------------ #
+    # 4. A quick wall-clock comparison of the NumPy execution paths.
+    # ------------------------------------------------------------------ #
+    fastkron_time = time_callable(lambda: kron_matmul(x, factors), repeats=3).median
+    naive_time = time_callable(lambda: naive_kron_matmul(x, factors), repeats=3).median
+    print(f"\nmedian wall-clock: fastkron {fastkron_time * 1e3:.2f} ms, "
+          f"naive (materialise + GEMM) {naive_time * 1e3:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""FastKron reproduction: fast Kronecker matrix-matrix multiplication.
+
+This package is a from-scratch Python reproduction of the PPoPP 2024 paper
+*Fast Kronecker Matrix-Matrix Multiplication on GPUs* (Jangda & Yadav).  It
+provides:
+
+``repro.core``
+    The FastKron Kron-Matmul algorithm (Algorithm 1 of the paper), the public
+    :func:`kron_matmul` API, and fusion planning.
+``repro.baselines``
+    The algorithms the paper compares against: the naive algorithm, the
+    shuffle algorithm (GPyTorch / PyKronecker) and the fused tensor-matrix
+    multiply transpose algorithm (COGENT / cuTensor).
+``repro.gpu`` / ``repro.kernels``
+    A simulated-GPU substrate: an NVIDIA Tesla V100 device model, shared
+    memory bank-conflict and global memory coalescing models, and a
+    functional + analytic simulation of the paper's ``SlicedMultiplyKernel``
+    (tiling, shift caching, fusion).
+``repro.tuner``
+    The autotuner of Section 4.3.
+``repro.perfmodel``
+    Roofline-style performance models used to regenerate the paper's
+    figures and tables.
+``repro.distributed``
+    The multi-GPU Kron-Matmul algorithm of Section 5 on a simulated GPU
+    grid, plus CTF-like and DISTAL-like baselines.
+``repro.gp``
+    The Gaussian-process case study of Section 6.4 (SKI / SKIP / LOVE).
+``repro.datasets``
+    The real-world problem sizes of Table 4 and synthetic workload
+    generators.
+
+Quick start
+-----------
+
+>>> import numpy as np
+>>> from repro import kron_matmul, random_factors
+>>> factors = random_factors(n=3, p=4, q=4, seed=0)
+>>> x = np.random.default_rng(1).standard_normal((16, 4 ** 3))
+>>> y = kron_matmul(x, factors)
+>>> y.shape
+(16, 64)
+"""
+
+from repro._version import __version__
+from repro.core.factors import KroneckerFactor, KroneckerOperator, random_factors
+from repro.core.fastkron import FastKron, kron_matmul
+from repro.core.gekmm import gekmm, kron_matmul_batched, kron_matvec
+from repro.core.gradients import kron_matmul_vjp
+from repro.core.problem import KronMatmulProblem
+from repro.core.sliced_multiply import sliced_multiply
+from repro.core.solve import kron_power, kron_solve
+
+__all__ = [
+    "__version__",
+    "FastKron",
+    "KronMatmulProblem",
+    "KroneckerFactor",
+    "KroneckerOperator",
+    "gekmm",
+    "kron_matmul",
+    "kron_matmul_batched",
+    "kron_matmul_vjp",
+    "kron_matvec",
+    "kron_power",
+    "kron_solve",
+    "random_factors",
+    "sliced_multiply",
+]

@@ -1,0 +1,29 @@
+"""Baseline Kron-Matmul algorithms the paper compares against.
+
+``naive``
+    Materialise the Kronecker matrix and run a dense matmul — the
+    ``O(M P^N Q^N)`` strawman of Section 2.
+``shuffle``
+    The shuffle algorithm of Section 2.1 (GPyTorch / PyKronecker):
+    reshape → matmul → transpose → reshape per factor.
+``ftmmt``
+    The fused tensor-matrix multiply transpose algorithm of Section 2.2
+    (COGENT / cuTensor / DISTAL): tensor contraction per factor with the
+    transpose fused into the contraction.
+"""
+
+from repro.baselines.ftmmt import FtmmtExecution, ftmmt_kron_matmul
+from repro.baselines.naive import naive_kron_matmul
+from repro.baselines.registry import available_algorithms, get_algorithm
+from repro.baselines.shuffle import ShuffleExecution, ShuffleStep, shuffle_kron_matmul
+
+__all__ = [
+    "FtmmtExecution",
+    "ShuffleExecution",
+    "ShuffleStep",
+    "available_algorithms",
+    "ftmmt_kron_matmul",
+    "get_algorithm",
+    "naive_kron_matmul",
+    "shuffle_kron_matmul",
+]

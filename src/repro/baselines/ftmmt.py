@@ -1,0 +1,69 @@
+"""The FTMMT algorithm (Section 2.2): fused tensor-matrix multiply transpose.
+
+COGENT, cuTensor and DISTAL express each Kron-Matmul iteration as a tensor
+contraction that fuses the transpose with the multiplication: the input is
+viewed as a 3-D tensor ``(M, K/P, P)``, the last dimension is contracted
+with the factor and the result is produced directly in the transposed layout
+``(M, Q, K/P)``.  This avoids the shuffle algorithm's separate transpose
+pass, but every iteration still round-trips its full intermediate through
+global memory (the contraction engines cannot fuse *across* iterations) and
+the engines' shared-memory caching is the conflict-prone "direct" scheme
+(Section 4.1).
+
+The numerical implementation below uses ``numpy.einsum`` for the fused
+contraction; :class:`FtmmtExecution` records the per-iteration element
+counts the performance model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.core.factors import as_factor_list
+from repro.core.problem import IterationShape, KronMatmulProblem
+from repro.utils.validation import ensure_2d
+
+
+@dataclass
+class FtmmtExecution:
+    """Result and per-iteration counts of one FTMMT execution."""
+
+    output: np.ndarray
+    iterations: List[IterationShape] = field(default_factory=list)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(it.flops for it in self.iterations)
+
+    @property
+    def total_memory_elements(self) -> int:
+        """Global-memory elements: every iteration reads and writes its intermediate."""
+        return sum(
+            it.input_elements + it.output_elements + it.factor_elements
+            for it in self.iterations
+        )
+
+
+def ftmmt_kron_matmul(x: np.ndarray, factors: Iterable) -> FtmmtExecution:
+    """Run the FTMMT algorithm, returning the result and per-iteration counts."""
+    x2d = ensure_2d(np.asarray(x), "X")
+    factor_list = as_factor_list(factors)
+    problem = KronMatmulProblem.from_factors(x2d.shape[0], [f.values for f in factor_list])
+    problem.validate_against(x2d, [f.values for f in factor_list])
+
+    m = x2d.shape[0]
+    y = x2d
+    iteration_shapes = problem.iteration_shapes()
+    for it in iteration_shapes:
+        factor = factor_list[it.factor_index].values
+        p, q = factor.shape
+        k = y.shape[1]
+        # Fused contraction: (M, K/P, P) x (P, Q) -> (M, Q, K/P), i.e. the
+        # transpose is fused into the output layout of the contraction.
+        tensor = y.reshape(m, k // p, p)
+        contracted = np.einsum("msp,pq->mqs", tensor, factor, optimize=True)
+        y = np.ascontiguousarray(contracted).reshape(m, q * (k // p))
+    return FtmmtExecution(output=y, iterations=list(iteration_shapes))

@@ -1,0 +1,51 @@
+"""The naive Kron-Matmul algorithm: materialise the Kronecker matrix.
+
+This is the ``O(M P^N Q^N)`` algorithm the paper dismisses in Section 2; it
+exists here as the ground-truth oracle for the test suite and as the
+reference point for the FLOP-count comparisons in the documentation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.factors import as_factor_list
+from repro.core.problem import KronMatmulProblem
+from repro.utils.validation import ensure_2d
+
+#: Refuse to materialise Kronecker matrices above this many elements; the
+#: naive algorithm is only meant for correctness checks on small problems.
+MAX_MATERIALIZED_ELEMENTS = 64 * 1024 * 1024
+
+
+def naive_kron_matmul(x: np.ndarray, factors: Iterable) -> np.ndarray:
+    """Compute ``X (F_1 ⊗ ... ⊗ F_N)`` by materialising the Kronecker matrix.
+
+    Raises
+    ------
+    ValueError
+        If the materialised Kronecker matrix would exceed
+        :data:`MAX_MATERIALIZED_ELEMENTS` elements.
+    """
+    x2d = ensure_2d(np.asarray(x), "X")
+    factor_list = as_factor_list(factors)
+    problem = KronMatmulProblem.from_factors(x2d.shape[0], [f.values for f in factor_list])
+    problem.validate_against(x2d, [f.values for f in factor_list])
+    n_elements = problem.k * problem.out_cols
+    if n_elements > MAX_MATERIALIZED_ELEMENTS:
+        raise ValueError(
+            f"refusing to materialise a {problem.k} x {problem.out_cols} Kronecker matrix "
+            f"({n_elements} elements > {MAX_MATERIALIZED_ELEMENTS}); "
+            "use repro.kron_matmul instead"
+        )
+    dense = factor_list[0].values
+    for factor in factor_list[1:]:
+        dense = np.kron(dense, factor.values)
+    return x2d @ dense
+
+
+def naive_flops(problem: KronMatmulProblem) -> int:
+    """FLOPs of the naive algorithm (excludes building the Kronecker matrix)."""
+    return 2 * problem.m * problem.k * problem.out_cols

@@ -1,0 +1,49 @@
+"""A tiny registry mapping algorithm names to callables returning the output matrix.
+
+Used by the examples, the integration tests (which cross-check every
+algorithm against every other) and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List
+
+import numpy as np
+
+from repro.baselines.ftmmt import ftmmt_kron_matmul
+from repro.baselines.naive import naive_kron_matmul
+from repro.baselines.shuffle import shuffle_kron_matmul
+from repro.core.fastkron import kron_matmul
+
+AlgorithmFn = Callable[[np.ndarray, Iterable], np.ndarray]
+
+
+def _shuffle(x: np.ndarray, factors: Iterable) -> np.ndarray:
+    return shuffle_kron_matmul(x, factors).output
+
+
+def _ftmmt(x: np.ndarray, factors: Iterable) -> np.ndarray:
+    return ftmmt_kron_matmul(x, factors).output
+
+
+_ALGORITHMS: Dict[str, AlgorithmFn] = {
+    "fastkron": kron_matmul,
+    "shuffle": _shuffle,
+    "ftmmt": _ftmmt,
+    "naive": naive_kron_matmul,
+}
+
+
+def available_algorithms() -> List[str]:
+    """Names of all registered Kron-Matmul algorithms."""
+    return sorted(_ALGORITHMS)
+
+
+def get_algorithm(name: str) -> AlgorithmFn:
+    """Look up an algorithm by name (raises ``KeyError`` with suggestions)."""
+    try:
+        return _ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
+        ) from None

@@ -1,0 +1,116 @@
+"""The shuffle algorithm (Section 2.1): reshape → matmul → transpose → reshape.
+
+This is the algorithm implemented on GPUs by GPyTorch and PyKronecker.  Each
+iteration ``i`` (from the last factor to the first) performs three steps on
+the current intermediate ``Y`` of shape ``(M, K)``:
+
+(a) reshape ``Y`` to ``(M·K/P, P)`` and multiply with the factor ``(P, Q)``
+    — a tall-skinny matmul delegated to cuBLAS in the GPU implementations;
+(b) reshape the result to ``(M, K/P, Q)`` and transpose the last two
+    dimensions — a separate memory-bound kernel that cannot be fused with
+    the matmul;
+(c) reshape to ``(M, Q·K/P)``.
+
+The transpose of step (b) touches every element of the intermediate once on
+read and once on write, which is why the paper measures it at up to 80 % of
+GPyTorch's total runtime (Table 1).  :class:`ShuffleExecution` records the
+per-step element counts so the performance model can reproduce that split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.core.factors import as_factor_list
+from repro.core.problem import KronMatmulProblem
+from repro.utils.validation import ensure_2d
+
+
+@dataclass(frozen=True)
+class ShuffleStep:
+    """Operation counts for one iteration of the shuffle algorithm."""
+
+    factor_index: int
+    m: int
+    k: int
+    p: int
+    q: int
+
+    @property
+    def matmul_flops(self) -> int:
+        """FLOPs of step (a): ``(M·K/P, P) @ (P, Q)``."""
+        return 2 * self.m * (self.k // self.p) * self.p * self.q
+
+    @property
+    def matmul_rows(self) -> int:
+        """Rows of the tall-skinny matmul — the quantity that makes cuBLAS inefficient."""
+        return self.m * (self.k // self.p)
+
+    @property
+    def transpose_elements(self) -> int:
+        """Elements moved by the transpose of step (b) (read once, written once)."""
+        return self.m * (self.k // self.p) * self.q
+
+    @property
+    def out_cols(self) -> int:
+        return (self.k // self.p) * self.q
+
+
+@dataclass
+class ShuffleExecution:
+    """Result and per-step counts of one shuffle-algorithm execution."""
+
+    output: np.ndarray
+    steps: List[ShuffleStep] = field(default_factory=list)
+
+    @property
+    def total_matmul_flops(self) -> int:
+        return sum(s.matmul_flops for s in self.steps)
+
+    @property
+    def total_transpose_elements(self) -> int:
+        return sum(s.transpose_elements for s in self.steps)
+
+    @property
+    def total_memory_elements(self) -> int:
+        """Global-memory elements touched: matmul I/O plus the transpose round trip."""
+        total = 0
+        for s in self.steps:
+            matmul_io = s.m * s.k + s.m * s.out_cols
+            transpose_io = 2 * s.transpose_elements
+            total += matmul_io + transpose_io
+        return total
+
+
+def shuffle_kron_matmul(x: np.ndarray, factors: Iterable) -> ShuffleExecution:
+    """Run the shuffle algorithm, returning the result and per-step counts.
+
+    The numerical result is identical to :func:`repro.kron_matmul`; what
+    differs is *how* it is computed (and therefore what a GPU would have to
+    pay for it).
+    """
+    x2d = ensure_2d(np.asarray(x), "X")
+    factor_list = as_factor_list(factors)
+    problem = KronMatmulProblem.from_factors(x2d.shape[0], [f.values for f in factor_list])
+    problem.validate_against(x2d, [f.values for f in factor_list])
+
+    m = x2d.shape[0]
+    y = x2d
+    steps: List[ShuffleStep] = []
+    for factor_index in range(problem.n_factors - 1, -1, -1):
+        factor = factor_list[factor_index].values
+        p, q = factor.shape
+        k = y.shape[1]
+        steps.append(ShuffleStep(factor_index=factor_index, m=m, k=k, p=p, q=q))
+        # Step (a): reshape to (M*K/P, P) and matmul with (P, Q).
+        tall = y.reshape(m * (k // p), p)
+        product = tall @ factor  # (M*K/P, Q)
+        # Step (b): reshape to (M, K/P, Q), transpose last two dims.
+        tensor = product.reshape(m, k // p, q)
+        transposed = np.ascontiguousarray(tensor.transpose(0, 2, 1))
+        # Step (c): reshape to (M, Q*K/P).
+        y = transposed.reshape(m, q * (k // p))
+    return ShuffleExecution(output=np.ascontiguousarray(y), steps=steps)

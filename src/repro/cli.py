@@ -1,0 +1,199 @@
+"""Command-line interface: quick estimates, tuning and paper-table regeneration.
+
+Installed as the ``fastkron-repro`` console script::
+
+    fastkron-repro estimate --m 1024 --p 8 --n 5
+    fastkron-repro tune --m 1024 --p 16 --n 4 --max-candidates 2000
+    fastkron-repro compare --m 1024 --p 8 --n 6
+    fastkron-repro realworld --case 23
+    fastkron-repro scaling --p 64 --n 4 --gpus 16
+
+Every subcommand prints a small plain-text table; the heavyweight
+reproduction of whole figures/tables lives in ``benchmarks/`` (pytest).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro._version import __version__
+from repro.core.problem import KronMatmulProblem
+from repro.gpu.device import spec_by_name
+from repro.utils.reporting import format_table
+
+
+def _add_problem_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--m", type=int, default=1024, help="rows of X (default 1024)")
+    parser.add_argument("--p", type=int, required=True, help="factor rows P")
+    parser.add_argument("--q", type=int, default=None, help="factor columns Q (default: P)")
+    parser.add_argument("--n", type=int, required=True, help="number of factors N")
+    parser.add_argument("--dtype", choices=["float32", "float64"], default="float32")
+    parser.add_argument("--gpu", default="v100", help="device spec name (v100, a100)")
+
+
+def _problem_from_args(args: argparse.Namespace) -> KronMatmulProblem:
+    return KronMatmulProblem.uniform(args.m, args.p, args.n, q=args.q, dtype=np.dtype(args.dtype))
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.perfmodel.systems import FastKronModel
+
+    spec = spec_by_name(args.gpu)
+    problem = _problem_from_args(args)
+    model = FastKronModel(spec, fuse=not args.no_fuse)
+    timing = model.estimate(problem)
+    rows = [
+        ["problem", problem.label()],
+        ["device", spec.name],
+        ["FLOPs", f"{problem.flops:,}"],
+        ["estimated time", f"{timing.milliseconds:.3f} ms"],
+        ["achieved", f"{timing.tflops:.2f} TFLOPS"],
+        ["kernel launches", str(timing.counters.kernel_launches if timing.counters else "-")],
+    ]
+    print(format_table(["quantity", "value"], rows, title="FastKron estimate"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.perfmodel.systems import all_single_gpu_models
+
+    spec = spec_by_name(args.gpu)
+    problem = _problem_from_args(args)
+    models = all_single_gpu_models(spec)
+    fastkron = models["FastKron"].estimate(problem)
+    rows: List[List[object]] = []
+    for name, model in models.items():
+        timing = model.estimate(problem)
+        rows.append([
+            name,
+            round(timing.milliseconds, 3),
+            round(timing.tflops, 2),
+            f"{fastkron.speedup_over(timing):.2f}x",
+        ])
+    print(format_table(
+        ["system", "ms", "TFLOPS", "FastKron speedup"],
+        rows,
+        title=f"Single-GPU comparison for {problem.label()} on {spec.name}",
+    ))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.tuner import Autotuner
+
+    spec = spec_by_name(args.gpu)
+    problem = _problem_from_args(args)
+    tuner = Autotuner(spec=spec, max_candidates=args.max_candidates, fuse=not args.no_fuse)
+    rows = []
+    for it in problem.iteration_shapes():
+        result = tuner.tune_shape(it.m, it.k, it.p, it.q, problem.dtype)
+        rows.append([
+            it.index, f"({it.m}, {it.k}) x ({it.p}, {it.q})",
+            result.best.describe(), round(result.best_time * 1e3, 4),
+            result.candidates_evaluated, round(result.elapsed_seconds, 2),
+        ])
+    print(format_table(
+        ["iteration", "shape", "best configuration", "est. ms", "evaluated", "seconds"],
+        rows,
+        title=f"Autotuning {problem.label()} on {spec.name}",
+    ))
+    return 0
+
+
+def _cmd_realworld(args: argparse.Namespace) -> int:
+    from repro.datasets.realworld import REALWORLD_CASES, get_case
+    from repro.perfmodel.systems import all_single_gpu_models
+
+    spec = spec_by_name(args.gpu)
+    models = all_single_gpu_models(spec)
+    cases = [get_case(args.case)] if args.case else REALWORLD_CASES
+    rows = []
+    for case in cases:
+        problem = case.problem()
+        fk = models["FastKron"].estimate(problem)
+        rows.append([
+            case.case_id, case.source, problem.label(),
+            round(fk.milliseconds, 3),
+            f"{fk.speedup_over(models['GPyTorch'].estimate(problem)):.2f}x",
+            f"{fk.speedup_over(models['COGENT'].estimate(problem)):.2f}x",
+        ])
+    print(format_table(
+        ["id", "source", "shape", "FastKron ms", "vs GPyTorch", "vs COGENT"],
+        rows,
+        title="Table 4 real-world Kron-Matmul sizes",
+    ))
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.distributed.models import all_multi_gpu_models
+
+    spec = spec_by_name(args.gpu)
+    problem = _problem_from_args(args)
+    models = all_multi_gpu_models(spec)
+    rows = []
+    gpu_counts = [g for g in (1, 2, 4, 8, 16) if g <= args.gpus]
+    for gpus in gpu_counts:
+        timings = {name: model.estimate_on_gpus(problem, gpus) for name, model in models.items()}
+        rows.append([
+            gpus,
+            round(timings["FastKron"].tflops, 1),
+            round(timings["DISTAL"].tflops, 1),
+            round(timings["CTF"].tflops, 1),
+            f"{timings['FastKron'].communicated_elements:,}",
+        ])
+    print(format_table(
+        ["GPUs", "FastKron TFLOPS", "DISTAL TFLOPS", "CTF TFLOPS", "FastKron comm elements"],
+        rows,
+        title=f"Strong problem {problem.label()} across GPU counts on {spec.name}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fastkron-repro",
+        description="FastKron reproduction: estimates, tuning and paper-style comparisons.",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_est = sub.add_parser("estimate", help="estimate FastKron's time/TFLOPS for one problem")
+    _add_problem_arguments(p_est)
+    p_est.add_argument("--no-fuse", action="store_true", help="disable kernel fusion")
+    p_est.set_defaults(func=_cmd_estimate)
+
+    p_cmp = sub.add_parser("compare", help="compare all single-GPU systems on one problem")
+    _add_problem_arguments(p_cmp)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_tune = sub.add_parser("tune", help="autotune the kernel tile sizes for one problem")
+    _add_problem_arguments(p_tune)
+    p_tune.add_argument("--max-candidates", type=int, default=2000)
+    p_tune.add_argument("--no-fuse", action="store_true")
+    p_tune.set_defaults(func=_cmd_tune)
+
+    p_rw = sub.add_parser("realworld", help="evaluate the Table 4 real-world sizes")
+    p_rw.add_argument("--case", type=int, default=None, help="single case id (default: all 28)")
+    p_rw.add_argument("--gpu", default="v100")
+    p_rw.set_defaults(func=_cmd_realworld)
+
+    p_sc = sub.add_parser("scaling", help="multi-GPU comparison for one problem")
+    _add_problem_arguments(p_sc)
+    p_sc.add_argument("--gpus", type=int, default=16, help="largest GPU count to report")
+    p_sc.set_defaults(func=_cmd_scaling)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Core FastKron algorithm: factors, problems, sliced multiply and the public API."""
+
+from repro.core.factors import KroneckerFactor, KroneckerOperator, random_factors
+from repro.core.fastkron import FastKron, kron_matmul
+from repro.core.fused import FusionGroup, FusionPlan, plan_fusion
+from repro.core.gekmm import gekmm, kron_matmul_batched, kron_matvec
+from repro.core.gradients import (
+    kron_matmul_backward_factors,
+    kron_matmul_backward_x,
+    kron_matmul_vjp,
+)
+from repro.core.problem import KronMatmulProblem
+from repro.core.sliced_multiply import (
+    sliced_multiply,
+    sliced_multiply_reference,
+    sliced_multiply_strided,
+)
+from repro.core.solve import kron_lstsq_residual, kron_power, kron_solve
+
+__all__ = [
+    "FastKron",
+    "FusionGroup",
+    "FusionPlan",
+    "KronMatmulProblem",
+    "KroneckerFactor",
+    "KroneckerOperator",
+    "gekmm",
+    "kron_lstsq_residual",
+    "kron_matmul",
+    "kron_matmul_backward_factors",
+    "kron_matmul_backward_x",
+    "kron_matmul_batched",
+    "kron_matmul_vjp",
+    "kron_matvec",
+    "kron_power",
+    "kron_solve",
+    "plan_fusion",
+    "random_factors",
+    "sliced_multiply",
+    "sliced_multiply_reference",
+    "sliced_multiply_strided",
+]

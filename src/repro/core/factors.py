@@ -1,0 +1,248 @@
+"""Kronecker factors and the lazily evaluated Kronecker operator.
+
+A *Kronecker matrix* ``G`` of shape ``(prod P_i, prod Q_i)`` is the Kronecker
+product of ``N`` small *factors* ``F_i`` of shape ``(P_i, Q_i)``::
+
+    G = F_1 ⊗ F_2 ⊗ ... ⊗ F_N
+
+The paper never materialises ``G``; neither does this package.
+:class:`KroneckerOperator` is a thin wrapper over the list of factors that
+knows its logical shape and delegates multiplication to
+:func:`repro.core.fastkron.kron_matmul`.  :meth:`KroneckerOperator.materialize`
+exists only for testing and for the naive baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DTypeError, ShapeError
+from repro.utils.intmath import prod
+from repro.utils.validation import check_dtype, check_matrix
+
+
+@dataclass(frozen=True)
+class KroneckerFactor:
+    """A single Kronecker factor ``F`` of shape ``(P, Q)``.
+
+    The underlying ndarray is kept C-contiguous and is never copied on
+    access.  Factors are immutable value objects: hashing and equality are by
+    identity of the wrapped buffer, which is what the autotuner's cache
+    needs.
+    """
+
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = check_matrix(self.values, "factor")
+        if not arr.flags["C_CONTIGUOUS"]:
+            arr = np.ascontiguousarray(arr)
+        object.__setattr__(self, "values", arr)
+
+    @property
+    def p(self) -> int:
+        """Number of rows of the factor (the paper's ``P``)."""
+        return int(self.values.shape[0])
+
+    @property
+    def q(self) -> int:
+        """Number of columns of the factor (the paper's ``Q``)."""
+        return int(self.values.shape[1])
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.p, self.q)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.values.dtype
+
+    def astype(self, dtype: np.dtype | type) -> "KroneckerFactor":
+        """Return a copy of the factor converted to ``dtype``."""
+        return KroneckerFactor(self.values.astype(check_dtype(dtype)))
+
+    def __array__(self, dtype: Optional[np.dtype] = None) -> np.ndarray:
+        if dtype is None:
+            return self.values
+        return self.values.astype(dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KroneckerFactor(P={self.p}, Q={self.q}, dtype={self.dtype})"
+
+
+def as_factor(factor: "KroneckerFactor | np.ndarray") -> KroneckerFactor:
+    """Coerce an ndarray (or factor) into a :class:`KroneckerFactor`."""
+    if isinstance(factor, KroneckerFactor):
+        return factor
+    return KroneckerFactor(np.asarray(factor))
+
+
+def as_factor_list(
+    factors: Iterable["KroneckerFactor | np.ndarray"],
+) -> List[KroneckerFactor]:
+    """Coerce an iterable of arrays into a validated list of factors.
+
+    All factors must share a dtype; an empty list is rejected.
+    """
+    out = [as_factor(f) for f in factors]
+    if not out:
+        raise ShapeError("at least one Kronecker factor is required")
+    dtype = out[0].dtype
+    for i, f in enumerate(out):
+        if f.dtype != dtype:
+            raise DTypeError(
+                f"all factors must share a dtype; factor {i} has {f.dtype}, expected {dtype}"
+            )
+    return out
+
+
+class KroneckerOperator:
+    """The Kronecker product of ``N`` factors, used as a linear operator.
+
+    The operator behaves like a matrix of shape ``(prod P_i, prod Q_i)`` but
+    only ever stores the factors.  Multiplication with a dense matrix ``X``
+    of shape ``(M, prod P_i)`` is a Kron-Matmul and is delegated to
+    :func:`repro.core.fastkron.kron_matmul`.
+
+    >>> import numpy as np
+    >>> from repro.core.factors import KroneckerOperator, random_factors
+    >>> op = KroneckerOperator(random_factors(2, 3, 3, seed=0))
+    >>> op.shape
+    (9, 9)
+    """
+
+    #: Tell NumPy to defer binary operations (in particular ``ndarray @ op``)
+    #: to this class's reflected methods instead of coercing the operator
+    #: into an object array.
+    __array_ufunc__ = None
+
+    def __init__(self, factors: Iterable["KroneckerFactor | np.ndarray"]):
+        self._factors = as_factor_list(factors)
+
+    @property
+    def factors(self) -> List[KroneckerFactor]:
+        return list(self._factors)
+
+    @property
+    def nfactors(self) -> int:
+        return len(self._factors)
+
+    @property
+    def row_dim(self) -> int:
+        """Number of rows of the Kronecker matrix, ``prod_i P_i``."""
+        return prod(f.p for f in self._factors)
+
+    @property
+    def col_dim(self) -> int:
+        """Number of columns of the Kronecker matrix, ``prod_i Q_i``."""
+        return prod(f.q for f in self._factors)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.row_dim, self.col_dim)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._factors[0].dtype
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when all factors share the same ``(P, Q)`` shape."""
+        shapes = {f.shape for f in self._factors}
+        return len(shapes) == 1
+
+    def factor_shapes(self) -> List[Tuple[int, int]]:
+        return [f.shape for f in self._factors]
+
+    def materialize(self) -> np.ndarray:
+        """Materialise the dense Kronecker matrix (testing / naive baseline only).
+
+        The result has ``row_dim * col_dim`` elements; callers are expected
+        to keep this to small problem sizes.
+        """
+        dense = self._factors[0].values
+        for factor in self._factors[1:]:
+            dense = np.kron(dense, factor.values)
+        return dense
+
+    def matmul(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``x @ G`` where ``G`` is this Kronecker matrix."""
+        from repro.core.fastkron import kron_matmul
+
+        return kron_matmul(x, self._factors)
+
+    def rmatmul_vec(self, v: np.ndarray) -> np.ndarray:
+        """Compute ``G^T v`` for a vector (or stack of vectors) of length ``row_dim``.
+
+        Uses the identity ``G^T v = (v^T G)^T``: the vector is treated as a
+        single-row matrix and multiplied through the regular Kron-Matmul.
+        """
+        from repro.core.fastkron import kron_matmul
+
+        v2d = np.asarray(v)
+        squeeze = v2d.ndim == 1
+        if squeeze:
+            v2d = v2d.reshape(1, -1)
+        result = kron_matmul(v2d, self._factors)
+        return result[0] if squeeze else result
+
+    def transpose(self) -> "KroneckerOperator":
+        """Return the operator for ``G^T = F_1^T ⊗ ... ⊗ F_N^T``."""
+        return KroneckerOperator([KroneckerFactor(f.values.T.copy()) for f in self._factors])
+
+    def __matmul__(self, other: np.ndarray) -> np.ndarray:
+        # G @ V for a column-oriented operand: (X G) with X = V^T, transposed.
+        other = np.asarray(other)
+        if other.ndim == 1:
+            return self.transpose().matmul(other.reshape(1, -1))[0]
+        return self.transpose().matmul(other.T).T
+
+    def __rmatmul__(self, other: np.ndarray) -> np.ndarray:
+        return self.matmul(np.asarray(other))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        shapes = "×".join(f"{p}x{q}" for p, q in self.factor_shapes())
+        return f"KroneckerOperator({self.nfactors} factors: {shapes}, dtype={self.dtype})"
+
+
+def random_factors(
+    n: int,
+    p: int,
+    q: Optional[int] = None,
+    dtype: np.dtype | type = np.float32,
+    seed: Optional[int] = None,
+    scale: float = 1.0,
+) -> List[KroneckerFactor]:
+    """Generate ``n`` random Kronecker factors of shape ``(p, q)``.
+
+    Entries are i.i.d. uniform in ``[-scale, scale)``; this matches the
+    microbenchmark setup of the paper where factor values are irrelevant to
+    performance but must be non-degenerate for correctness checks.
+    """
+    if n <= 0:
+        raise ShapeError(f"number of factors must be positive, got {n}")
+    q = p if q is None else q
+    dt = check_dtype(dtype)
+    rng = np.random.default_rng(seed)
+    return [
+        KroneckerFactor(((rng.random((p, q)) * 2 - 1) * scale).astype(dt)) for _ in range(n)
+    ]
+
+
+def random_factors_from_shapes(
+    shapes: Sequence[Tuple[int, int]],
+    dtype: np.dtype | type = np.float32,
+    seed: Optional[int] = None,
+    scale: float = 1.0,
+) -> List[KroneckerFactor]:
+    """Generate random factors with the explicit per-factor ``(P_i, Q_i)`` shapes."""
+    if not shapes:
+        raise ShapeError("at least one factor shape is required")
+    dt = check_dtype(dtype)
+    rng = np.random.default_rng(seed)
+    return [
+        KroneckerFactor(((rng.random((p, q)) * 2 - 1) * scale).astype(dt)) for p, q in shapes
+    ]

@@ -1,0 +1,189 @@
+"""Fusion planning: grouping consecutive sliced multiplications (Section 4.2).
+
+The fused kernel performs ``N_fused`` consecutive sliced multiplications in a
+single kernel, keeping the intra-group intermediates in shared memory.  Two
+constraints bound ``N_fused``:
+
+* all elements of all slices of the thread-block tile must fit in shared
+  memory, which requires ``T_P = P`` and in practice holds for
+  ``P <= 32`` and ``Q <= 32`` (the paper's observation);
+* after the ``i``-th fused multiply the tile holds ``T_Qi`` sets of
+  ``T_K / P^i`` elements that are contiguous in the global intermediate, so
+  at most ``⌊log_P T_K⌋`` multiplications can be fused before the sets
+  degenerate to single elements.
+
+The planner below additionally requires the fused factors to be square and
+identically shaped (the common case in the paper's evaluation; Figure 6
+assumes ``P = Q``): fusing factors whose ``Q ≠ P`` changes the tile width
+between multiplications, which the store indexing of Figure 7 does not
+support.  Non-square or non-uniform spans simply get fusion groups of size
+one, i.e. they fall back to the unfused kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.problem import KronMatmulProblem
+from repro.exceptions import ShapeError
+from repro.utils.intmath import ilog
+
+#: Largest factor dimension for which fusion is attempted; the paper found
+#: the shared-memory constraint ``T_P = P`` holds for P, Q up to 32.
+MAX_FUSABLE_P = 32
+MAX_FUSABLE_Q = 32
+
+
+@dataclass(frozen=True)
+class FusionGroup:
+    """A maximal run of consecutive iterations executed by one fused kernel.
+
+    ``iterations`` are indices into ``problem.iteration_shapes()`` (execution
+    order, i.e. iteration 0 multiplies with the *last* factor).
+    """
+
+    iterations: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.iterations:
+            raise ShapeError("a fusion group cannot be empty")
+        if list(self.iterations) != list(range(self.iterations[0], self.iterations[-1] + 1)):
+            raise ShapeError(f"fusion group iterations must be consecutive, got {self.iterations}")
+
+    @property
+    def size(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def first_iteration(self) -> int:
+        return self.iterations[0]
+
+    @property
+    def last_iteration(self) -> int:
+        return self.iterations[-1]
+
+
+@dataclass(frozen=True)
+class FusionPlan:
+    """The full fusion schedule for one problem."""
+
+    problem: KronMatmulProblem
+    groups: Tuple[FusionGroup, ...]
+
+    @property
+    def n_kernels(self) -> int:
+        """Number of kernel launches (= number of groups)."""
+        return len(self.groups)
+
+    @property
+    def max_group_size(self) -> int:
+        return max(g.size for g in self.groups)
+
+    @property
+    def is_fused(self) -> bool:
+        return any(g.size > 1 for g in self.groups)
+
+    def group_of_iteration(self, iteration: int) -> FusionGroup:
+        for group in self.groups:
+            if iteration in group.iterations:
+                return group
+        raise ShapeError(f"iteration {iteration} is not covered by the fusion plan")
+
+    def describe(self) -> str:
+        parts = []
+        for group in self.groups:
+            if group.size == 1:
+                parts.append(f"[{group.first_iteration}]")
+            else:
+                parts.append(f"[{group.first_iteration}..{group.last_iteration}]")
+        return " ".join(parts)
+
+
+def max_fused_multiplications(tile_k: int, p: int) -> int:
+    """Maximum ``N_fused`` for a thread-block tile of ``T_K`` columns: ``⌊log_P T_K⌋``."""
+    if tile_k < p:
+        return 0
+    return ilog(tile_k, p)
+
+
+def default_fused_tile_k(p: int, shared_memory_elements: int, m_tile: int = 1) -> int:
+    """Largest power-of-``P`` tile width that fits the fused kernel's buffers.
+
+    The fused kernel needs two shared buffers of ``T_M × T_K`` elements (the
+    input tile and the intermediate being produced) plus the factor tile
+    ``P × Q``; this helper returns the largest ``T_K = P^j`` satisfying that
+    budget.
+    """
+    if shared_memory_elements <= 0:
+        raise ShapeError("shared_memory_elements must be positive")
+    budget = shared_memory_elements - p * p
+    if budget <= 0:
+        return 0
+    max_tk = budget // (2 * max(1, m_tile))
+    if max_tk < p:
+        return 0
+    return p ** ilog(max_tk, p)
+
+
+def plan_fusion(
+    problem: KronMatmulProblem,
+    shared_memory_elements: int,
+    enabled: bool = True,
+    max_group_size: Optional[int] = None,
+) -> FusionPlan:
+    """Compute the fusion plan for ``problem``.
+
+    Parameters
+    ----------
+    problem:
+        The Kron-Matmul problem to schedule.
+    shared_memory_elements:
+        Shared-memory capacity per thread block, in *elements* of the
+        problem's dtype.
+    enabled:
+        When False every iteration gets its own group (the
+        ``FastKron-wo-Fuse`` configuration of the paper's evaluation).
+    max_group_size:
+        Optional cap on ``N_fused`` (used by the fusion ablation bench).
+    """
+    iterations = problem.iteration_shapes()
+    n = len(iterations)
+    if not enabled:
+        return FusionPlan(problem, tuple(FusionGroup((i,)) for i in range(n)))
+
+    groups: List[FusionGroup] = []
+    i = 0
+    while i < n:
+        it = iterations[i]
+        group_size = 1
+        if (
+            it.p == it.q
+            and it.p <= MAX_FUSABLE_P
+            and it.q <= MAX_FUSABLE_Q
+        ):
+            tile_k = default_fused_tile_k(it.p, shared_memory_elements)
+            if tile_k >= it.p:
+                limit = max_fused_multiplications(min(tile_k, it.k), it.p)
+                # Only fuse across iterations with the same square shape.
+                run = 1
+                while (
+                    i + run < n
+                    and run < limit
+                    and iterations[i + run].p == it.p
+                    and iterations[i + run].q == it.q
+                ):
+                    run += 1
+                group_size = run
+        if max_group_size is not None:
+            group_size = min(group_size, max_group_size)
+        group_size = max(group_size, 1)
+        groups.append(FusionGroup(tuple(range(i, i + group_size))))
+        i += group_size
+    return FusionPlan(problem, tuple(groups))
+
+
+def fused_groups_factor_indices(plan: FusionPlan) -> List[List[int]]:
+    """Map each fusion group to the factor indices it multiplies (in execution order)."""
+    iterations = plan.problem.iteration_shapes()
+    return [[iterations[i].factor_index for i in group.iterations] for group in plan.groups]

@@ -1,0 +1,147 @@
+"""General Kron-Matmul (GeKMM): ``Y = α · op(X) (op(F_1) ⊗ ... ⊗ op(F_N)) + β · Z``.
+
+The authors' FastKron library exposes its multiplication through a
+BLAS-style entry point (``gekmm``) with scaling factors and optional
+transposition of the operands; this module provides the same generality on
+top of :func:`repro.core.fastkron.kron_matmul`:
+
+* ``alpha`` and ``beta`` scaling with an optional accumulator ``Z``;
+* transposition of the Kronecker side — ``(A ⊗ B)^T = A^T ⊗ B^T`` so the
+  transposed product is again a Kron-Matmul with transposed factors;
+* transposition of ``X`` (the input is supplied column-major / transposed);
+* a batched variant that applies the same factors to a stack of matrices.
+
+All variants avoid materialising the Kronecker matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Literal, Optional
+
+import numpy as np
+
+from repro.core.factors import KroneckerFactor, as_factor_list
+from repro.core.fastkron import kron_matmul
+from repro.exceptions import ShapeError
+from repro.utils.validation import ensure_2d
+
+Op = Literal["N", "T"]
+
+
+def _validate_op(op: str, name: str) -> Op:
+    if op not in ("N", "T"):
+        raise ShapeError(f"{name} must be 'N' (no transpose) or 'T' (transpose), got {op!r}")
+    return op  # type: ignore[return-value]
+
+
+def _apply_op_to_factors(factors: List[KroneckerFactor], op: Op) -> List[KroneckerFactor]:
+    if op == "N":
+        return factors
+    return [KroneckerFactor(np.ascontiguousarray(f.values.T)) for f in factors]
+
+
+def gekmm(
+    x: np.ndarray,
+    factors: Iterable,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    z: Optional[np.ndarray] = None,
+    op_x: str = "N",
+    op_factors: str = "N",
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """General Kron-Matmul: ``Y = α · op(X) (⊗_i op(F_i)) + β · Z``.
+
+    Parameters
+    ----------
+    x:
+        The input matrix.  With ``op_x='N'`` it has shape ``(M, K)``; with
+        ``op_x='T'`` it is supplied as ``(K, M)`` and transposed logically.
+    factors:
+        The Kronecker factors ``F_1 ... F_N``.
+    alpha, beta:
+        Scaling factors.  ``beta`` is only meaningful together with ``z``.
+    z:
+        Optional accumulator with the shape of the result.
+    op_x, op_factors:
+        ``'N'`` or ``'T'``.
+    out:
+        Optional output buffer.
+
+    Returns
+    -------
+    numpy.ndarray of shape ``(M, Π Q_i)`` (``Π P_i`` when the factors are
+    transposed).
+    """
+    op_x = _validate_op(op_x, "op_x")
+    op_factors = _validate_op(op_factors, "op_factors")
+    factor_list = _apply_op_to_factors(as_factor_list(factors), op_factors)
+
+    x2d = ensure_2d(np.asarray(x), "X")
+    if op_x == "T":
+        x2d = np.ascontiguousarray(x2d.T)
+
+    product = kron_matmul(x2d, factor_list)
+    result = product if alpha == 1.0 else alpha * product
+    if result is product and (beta != 0.0 or out is not None):
+        result = product.copy()
+
+    if beta != 0.0:
+        if z is None:
+            raise ShapeError("beta != 0 requires an accumulator matrix z")
+        z_arr = ensure_2d(np.asarray(z), "Z")
+        if z_arr.shape != result.shape:
+            raise ShapeError(f"Z has shape {z_arr.shape}, expected {result.shape}")
+        result += beta * z_arr
+    if out is not None:
+        if out.shape != result.shape:
+            raise ShapeError(f"out has shape {out.shape}, expected {result.shape}")
+        np.copyto(out, result)
+        return out
+    return result
+
+
+def kron_matvec(
+    v: np.ndarray,
+    factors: Iterable,
+    transpose: bool = False,
+) -> np.ndarray:
+    """Kronecker matrix-vector product ``(⊗F_i)^{(T)} v``.
+
+    ``v`` has length ``Π Q_i`` (or ``Π P_i`` when ``transpose`` is True); the
+    result is computed as a single-row Kron-Matmul, which is exactly the
+    paper's ``M = 1`` configuration.
+    """
+    factor_list = as_factor_list(factors)
+    v_arr = np.asarray(v)
+    if v_arr.ndim != 1:
+        raise ShapeError(f"kron_matvec expects a 1-D vector, got ndim={v_arr.ndim}")
+    if transpose:
+        # (⊗F)^T v = (v^T (⊗F))^T
+        return kron_matmul(v_arr.reshape(1, -1), factor_list)[0]
+    transposed = [KroneckerFactor(np.ascontiguousarray(f.values.T)) for f in factor_list]
+    return kron_matmul(v_arr.reshape(1, -1), transposed)[0]
+
+
+def kron_matmul_batched(
+    x_batch: np.ndarray,
+    factors: Iterable,
+    alpha: float = 1.0,
+) -> np.ndarray:
+    """Apply the same Kronecker product to a batch of matrices.
+
+    ``x_batch`` has shape ``(B, M, Π P_i)``; the result has shape
+    ``(B, M, Π Q_i)``.  The batch is flattened into one tall Kron-Matmul so
+    the per-call overhead is paid once (this mirrors FastKron's strided
+    batched interface).
+    """
+    x_arr = np.asarray(x_batch)
+    if x_arr.ndim != 3:
+        raise ShapeError(f"x_batch must have shape (B, M, K), got ndim={x_arr.ndim}")
+    b, m, k = x_arr.shape
+    factor_list = as_factor_list(factors)
+    flat = np.ascontiguousarray(x_arr).reshape(b * m, k)
+    result = kron_matmul(flat, factor_list)
+    if alpha != 1.0:
+        result = alpha * result
+    return result.reshape(b, m, -1)

@@ -1,0 +1,105 @@
+"""Gradients of the Kron-Matmul — the backward pass of ``Y = X (F_1 ⊗ ... ⊗ F_N)``.
+
+The paper integrates FastKron into GPyTorch, whose training loop
+differentiates through the Kron-Matmul.  This module provides the backward
+computation without materialising any Kronecker matrix:
+
+* ``dX = dY (F_1 ⊗ ... ⊗ F_N)^T = dY (F_1^T ⊗ ... ⊗ F_N^T)`` — itself a
+  Kron-Matmul with transposed factors;
+* ``dF_i``: the gradient with respect to one factor is a small ``(P_i, Q_i)``
+  matrix obtained by contracting ``X`` and ``dY`` over every mode except the
+  ``i``-th.  The contraction is evaluated as ``dF_i = L_i^T R_i`` where
+  ``L_i`` / ``R_i`` reshape ``X`` / ``dY`` so that the ``i``-th mode is
+  isolated; the other modes are first multiplied through (using the already
+  computed forward intermediates would be cheaper still, but this form keeps
+  the implementation self-contained and is exact).
+
+All gradients are validated against finite differences in the test-suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.core.factors import KroneckerFactor, as_factor_list
+from repro.core.fastkron import kron_matmul
+from repro.exceptions import ShapeError
+from repro.utils.validation import ensure_2d
+
+
+def kron_matmul_backward_x(dy: np.ndarray, factors: Iterable) -> np.ndarray:
+    """Gradient of the Kron-Matmul with respect to ``X``.
+
+    ``dX = dY (⊗_i F_i)^T = dY (⊗_i F_i^T)`` — another Kron-Matmul.
+    """
+    factor_list = as_factor_list(factors)
+    transposed = [KroneckerFactor(np.ascontiguousarray(f.values.T)) for f in factor_list]
+    return kron_matmul(np.asarray(dy), transposed)
+
+
+def _partial_product(x: np.ndarray, factor_list: List[KroneckerFactor], skip: int) -> np.ndarray:
+    """Multiply ``x`` with every factor except ``skip``, replacing it by identity."""
+    replaced = [
+        KroneckerFactor(np.eye(f.p, dtype=f.dtype)) if i == skip else f
+        for i, f in enumerate(factor_list)
+    ]
+    return kron_matmul(x, replaced)
+
+
+def kron_matmul_backward_factors(
+    x: np.ndarray, dy: np.ndarray, factors: Iterable
+) -> List[np.ndarray]:
+    """Gradients with respect to every factor.
+
+    For factor ``i`` of shape ``(P_i, Q_i)``::
+
+        dF_i[p, q] = Σ over all rows and all other-mode indices of
+                     (X with every other factor applied)[..., p, ...] · dY[..., q, ...]
+
+    computed by applying the other factors to ``X`` (with the ``i``-th factor
+    replaced by the identity), reshaping both sides to expose mode ``i`` and
+    contracting the remaining axes.
+    """
+    factor_list = as_factor_list(factors)
+    x2d = ensure_2d(np.asarray(x), "X")
+    dy2d = ensure_2d(np.asarray(dy), "dY")
+    m = x2d.shape[0]
+    p_dims = [f.p for f in factor_list]
+    q_dims = [f.q for f in factor_list]
+    if x2d.shape[1] != int(np.prod(p_dims)):
+        raise ShapeError(f"X has {x2d.shape[1]} columns, expected {int(np.prod(p_dims))}")
+    if dy2d.shape != (m, int(np.prod(q_dims))):
+        raise ShapeError(
+            f"dY has shape {dy2d.shape}, expected {(m, int(np.prod(q_dims)))}"
+        )
+
+    gradients: List[np.ndarray] = []
+    n = len(factor_list)
+    for i, factor in enumerate(factor_list):
+        # Apply every other factor; the i-th mode keeps extent P_i.
+        partial = _partial_product(x2d, factor_list, skip=i)
+        # partial has modes (m, q_1, .., q_{i-1}, P_i, q_{i+1}, .., q_n);
+        # dy has modes      (m, q_1, .., q_{i-1}, Q_i, q_{i+1}, .., q_n).
+        partial_shape: Tuple[int, ...] = (m, *[
+            factor_list[j].q if j != i else factor_list[j].p for j in range(n)
+        ])
+        dy_shape: Tuple[int, ...] = (m, *q_dims)
+        partial_t = partial.reshape(partial_shape)
+        dy_t = dy2d.reshape(dy_shape)
+        # Move mode i to the end and flatten everything else.
+        partial_mat = np.moveaxis(partial_t, i + 1, -1).reshape(-1, factor.p)
+        dy_mat = np.moveaxis(dy_t, i + 1, -1).reshape(-1, factor.q)
+        gradients.append(partial_mat.T @ dy_mat)
+    return gradients
+
+
+def kron_matmul_vjp(
+    x: np.ndarray, dy: np.ndarray, factors: Iterable
+) -> Tuple[np.ndarray, List[np.ndarray]]:
+    """Full vector-Jacobian product: ``(dX, [dF_1, ..., dF_N])``."""
+    return (
+        kron_matmul_backward_x(dy, factors),
+        kron_matmul_backward_factors(x, dy, factors),
+    )

@@ -1,0 +1,259 @@
+"""Problem descriptors: shapes, iteration spaces and operation counts.
+
+A :class:`KronMatmulProblem` describes a Kron-Matmul purely in terms of its
+shape — the number of rows ``M`` of the input matrix, the per-factor shapes
+``(P_i, Q_i)`` and the dtype.  It is the common currency between the core
+algorithm, the autotuner, the performance models and the benchmark harness.
+
+The per-iteration column counts follow Algorithm 1 of the paper: the
+algorithm multiplies by the *last* factor first, so after processing the
+trailing ``j`` factors the intermediate has ::
+
+    cols_j = (prod_{i <= N-j} P_i) * (prod_{i > N-j} Q_i)
+
+columns.  All FLOP and memory-access counts in this module count the work of
+that algorithm (not the naive algorithm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.utils.intmath import prod
+from repro.utils.validation import check_dtype, check_positive_int
+
+
+@dataclass(frozen=True)
+class IterationShape:
+    """The shape of one iteration (one sliced multiply) of Algorithm 1.
+
+    Attributes
+    ----------
+    index:
+        Iteration number, ``0`` is the first executed iteration (which uses
+        the *last* factor).
+    factor_index:
+        Index of the factor used by this iteration (``N-1`` for the first).
+    m, k, p, q:
+        The sliced multiply multiplies an ``(m, k)`` intermediate with a
+        ``(p, q)`` factor producing an ``(m, k // p * q)`` intermediate.
+    """
+
+    index: int
+    factor_index: int
+    m: int
+    k: int
+    p: int
+    q: int
+
+    @property
+    def out_cols(self) -> int:
+        return (self.k // self.p) * self.q
+
+    @property
+    def n_slices(self) -> int:
+        """Number of length-``p`` slices per row of the input intermediate."""
+        return self.k // self.p
+
+    @property
+    def flops(self) -> int:
+        """Multiply-add FLOPs of this iteration (2 per multiply-accumulate)."""
+        return 2 * self.m * self.out_cols * self.p
+
+    @property
+    def input_elements(self) -> int:
+        return self.m * self.k
+
+    @property
+    def output_elements(self) -> int:
+        return self.m * self.out_cols
+
+    @property
+    def factor_elements(self) -> int:
+        return self.p * self.q
+
+
+@dataclass(frozen=True)
+class KronMatmulProblem:
+    """Shape description of a Kron-Matmul ``Y = X (F_1 ⊗ ... ⊗ F_N)``.
+
+    Parameters
+    ----------
+    m:
+        Number of rows of ``X``.
+    factor_shapes:
+        The ``(P_i, Q_i)`` shape of each factor, in Kronecker-product order
+        (``F_1`` first).
+    dtype:
+        float32 or float64.
+    """
+
+    m: int
+    factor_shapes: Tuple[Tuple[int, int], ...]
+    dtype: np.dtype = field(default=np.dtype(np.float32))
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "m", check_positive_int(self.m, "m"))
+        if not self.factor_shapes:
+            raise ShapeError("a Kron-Matmul problem needs at least one factor")
+        shapes = tuple((check_positive_int(p, "P"), check_positive_int(q, "Q"))
+                       for p, q in self.factor_shapes)
+        object.__setattr__(self, "factor_shapes", shapes)
+        object.__setattr__(self, "dtype", check_dtype(self.dtype))
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def uniform(
+        cls,
+        m: int,
+        p: int,
+        n: int,
+        q: int | None = None,
+        dtype: np.dtype | type = np.float32,
+    ) -> "KronMatmulProblem":
+        """Create a problem with ``n`` identical ``(p, q)`` factors.
+
+        This is the paper's microbenchmark configuration ``M × P^N``.
+        """
+        q = p if q is None else q
+        check_positive_int(n, "n")
+        return cls(m=m, factor_shapes=tuple((p, q) for _ in range(n)), dtype=np.dtype(dtype))
+
+    @classmethod
+    def from_factors(cls, m: int, factors: Sequence, dtype: np.dtype | type | None = None) -> "KronMatmulProblem":
+        """Create a problem matching a concrete list of factors."""
+        shapes = tuple((int(np.asarray(f).shape[0]), int(np.asarray(f).shape[1])) for f in factors)
+        dt = np.dtype(dtype) if dtype is not None else np.asarray(factors[0]).dtype
+        return cls(m=m, factor_shapes=shapes, dtype=dt)
+
+    # ------------------------------------------------------------------ #
+    # shape algebra
+    # ------------------------------------------------------------------ #
+    @property
+    def n_factors(self) -> int:
+        return len(self.factor_shapes)
+
+    @property
+    def k(self) -> int:
+        """Number of columns of ``X`` (= number of rows of the Kronecker matrix)."""
+        return prod(p for p, _ in self.factor_shapes)
+
+    @property
+    def out_cols(self) -> int:
+        """Number of columns of the output ``Y``."""
+        return prod(q for _, q in self.factor_shapes)
+
+    @property
+    def is_uniform(self) -> bool:
+        return len(set(self.factor_shapes)) == 1
+
+    @property
+    def is_square_factors(self) -> bool:
+        """True when every factor is square (``P_i == Q_i``)."""
+        return all(p == q for p, q in self.factor_shapes)
+
+    @property
+    def itemsize(self) -> int:
+        return int(np.dtype(self.dtype).itemsize)
+
+    def iteration_shapes(self) -> List[IterationShape]:
+        """Return the per-iteration shapes of Algorithm 1, in execution order.
+
+        The first executed iteration uses the last factor; the intermediate
+        column count is updated as ``k -> k // p * q`` after each iteration.
+        """
+        shapes: List[IterationShape] = []
+        k = self.k
+        for it, factor_index in enumerate(range(self.n_factors - 1, -1, -1)):
+            p, q = self.factor_shapes[factor_index]
+            if k % p != 0:
+                raise ShapeError(
+                    f"intermediate columns {k} not divisible by factor rows {p} "
+                    f"(factor {factor_index})"
+                )
+            shapes.append(IterationShape(index=it, factor_index=factor_index,
+                                         m=self.m, k=k, p=p, q=q))
+            k = (k // p) * q
+        return shapes
+
+    def intermediate_cols(self) -> List[int]:
+        """Column counts of the intermediates: ``[K, cols_1, ..., cols_N]``."""
+        cols = [self.k]
+        for it in self.iteration_shapes():
+            cols.append(it.out_cols)
+        return cols
+
+    @property
+    def max_intermediate_cols(self) -> int:
+        """The maximum number of columns of any intermediate.
+
+        Algorithm 1 allocates two buffers of ``M x max_f(Q^{N-f} P^f)``
+        elements; this property is the general-shape version of that size.
+        """
+        return max(self.intermediate_cols())
+
+    @property
+    def workspace_elements(self) -> int:
+        """Elements of the two intermediate buffers allocated by Algorithm 1."""
+        return 2 * self.m * self.max_intermediate_cols
+
+    # ------------------------------------------------------------------ #
+    # operation counts
+    # ------------------------------------------------------------------ #
+    @property
+    def flops(self) -> int:
+        """Total FLOPs of Algorithm 1: ``2 M P Σ_i Q^{N-i} P^i`` for uniform shapes."""
+        return sum(it.flops for it in self.iteration_shapes())
+
+    @property
+    def min_memory_elements(self) -> int:
+        """Minimum global-memory elements touched by an unfused execution.
+
+        Each iteration reads its input intermediate and writes its output
+        intermediate; the factors are negligible.  This is the paper's
+        ``O(M Σ_i Q^{N-i} P^i)`` memory-access count.
+        """
+        total = 0
+        for it in self.iteration_shapes():
+            total += it.input_elements + it.output_elements + it.factor_elements
+        return total
+
+    @property
+    def naive_flops(self) -> int:
+        """FLOPs of the naive algorithm (materialise the Kronecker matrix)."""
+        return 2 * self.m * self.k * self.out_cols
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of an unfused execution."""
+        return self.flops / float(self.min_memory_elements * self.itemsize)
+
+    def label(self) -> str:
+        """A compact human-readable label, e.g. ``'M=1024 8^5'``."""
+        if self.is_uniform:
+            p, q = self.factor_shapes[0]
+            core = f"{p}^{self.n_factors}" if p == q else f"({p}x{q})^{self.n_factors}"
+        else:
+            core = "⊗".join(f"{p}x{q}" for p, q in self.factor_shapes)
+        return f"M={self.m} {core}"
+
+    def validate_against(self, x: np.ndarray, factors: Sequence) -> None:
+        """Check that concrete operands match this problem description."""
+        if x.shape != (self.m, self.k):
+            raise ShapeError(f"X has shape {x.shape}, expected {(self.m, self.k)}")
+        if len(factors) != self.n_factors:
+            raise ShapeError(
+                f"got {len(factors)} factors, expected {self.n_factors}"
+            )
+        for i, (factor, (p, q)) in enumerate(zip(factors, self.factor_shapes)):
+            arr = np.asarray(factor)
+            if arr.shape != (p, q):
+                raise ShapeError(
+                    f"factor {i} has shape {arr.shape}, expected {(p, q)}"
+                )

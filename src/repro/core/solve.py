@@ -1,0 +1,99 @@
+"""Solving linear systems with Kronecker structure.
+
+If ``G = F_1 ⊗ ... ⊗ F_N`` with square invertible factors, then
+``G^{-1} = F_1^{-1} ⊗ ... ⊗ F_N^{-1}``: solving ``X G = B`` (the row-major
+convention used throughout this package) reduces to a Kron-Matmul with the
+inverted factors, i.e. it costs the same as a multiplication.  For
+rectangular or rank-deficient factors the pseudo-inverse gives the
+least-squares solution.
+
+These routines power the exact (non-iterative) solves used by the GP example
+on tiny grids and serve as a building block for preconditioners.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.core.factors import KroneckerFactor, as_factor_list
+from repro.core.fastkron import kron_matmul
+from repro.exceptions import ShapeError
+from repro.utils.validation import ensure_2d
+
+
+def _inverted_factors(factors: List[KroneckerFactor], rcond: float | None) -> List[KroneckerFactor]:
+    inverted = []
+    for i, factor in enumerate(factors):
+        values = factor.values
+        if values.shape[0] == values.shape[1] and rcond is None:
+            try:
+                inv = np.linalg.inv(values)
+            except np.linalg.LinAlgError as exc:
+                raise ShapeError(
+                    f"factor {i} is singular; pass rcond to use a pseudo-inverse"
+                ) from exc
+        else:
+            inv = np.linalg.pinv(values, rcond=rcond if rcond is not None else 1e-12)
+        inverted.append(KroneckerFactor(np.ascontiguousarray(inv)))
+    return inverted
+
+
+def kron_solve(
+    b: np.ndarray,
+    factors: Iterable,
+    rcond: float | None = None,
+) -> np.ndarray:
+    """Solve ``X (F_1 ⊗ ... ⊗ F_N) = B`` for ``X``.
+
+    Parameters
+    ----------
+    b:
+        Right-hand side of shape ``(M, Π Q_i)`` (a vector is treated as one row).
+    factors:
+        The Kronecker factors.  Square factors are inverted exactly;
+        rectangular factors (or ``rcond`` given) use the Moore-Penrose
+        pseudo-inverse, yielding the least-squares / minimum-norm solution.
+    rcond:
+        Cut-off for small singular values when pseudo-inverting.
+
+    Returns
+    -------
+    numpy.ndarray of shape ``(M, Π P_i)``.
+    """
+    factor_list = as_factor_list(factors)
+    b_arr = np.asarray(b)
+    squeeze = b_arr.ndim == 1
+    b2d = ensure_2d(b_arr, "B")
+    expected_cols = int(np.prod([f.q for f in factor_list]))
+    if b2d.shape[1] != expected_cols:
+        raise ShapeError(f"B has {b2d.shape[1]} columns, expected {expected_cols}")
+    # X = B G^{-1} = B (F_1^{-1} ⊗ ... ⊗ F_N^{-1}) — use pinv(F_i) for the
+    # rectangular case, for which B G^+ is the minimum-norm least-squares X.
+    inverted = _inverted_factors(factor_list, rcond)
+    result = kron_matmul(b2d, inverted)
+    return result[0] if squeeze else result
+
+
+def kron_lstsq_residual(x: np.ndarray, b: np.ndarray, factors: Iterable) -> float:
+    """Frobenius-norm residual ``‖X (⊗F_i) − B‖_F`` (diagnostic helper)."""
+    return float(np.linalg.norm(kron_matmul(np.asarray(x), factors) - np.asarray(b)))
+
+
+def kron_power(x: np.ndarray, factors: Iterable, exponent: int) -> np.ndarray:
+    """Apply the (square) Kronecker operator ``exponent`` times: ``X G^k``.
+
+    Useful for propagating features over Kronecker graphs (``A^k``) and for
+    power iterations; each application is one Kron-Matmul.
+    """
+    if exponent < 0:
+        raise ShapeError("exponent must be non-negative; combine with kron_solve for inverses")
+    factor_list = as_factor_list(factors)
+    for factor in factor_list:
+        if factor.p != factor.q:
+            raise ShapeError("kron_power requires square factors")
+    result = ensure_2d(np.asarray(x), "X")
+    for _ in range(exponent):
+        result = kron_matmul(result, factor_list)
+    return result

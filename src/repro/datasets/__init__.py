@@ -1,0 +1,23 @@
+"""Workloads: the real-world Kron-Matmul sizes of Table 4 and synthetic generators."""
+
+from repro.datasets.generators import (
+    power_of_two_sweep,
+    random_problem,
+    random_problem_operands,
+)
+from repro.datasets.realworld import (
+    REALWORLD_CASES,
+    RealWorldCase,
+    cases_by_source,
+    get_case,
+)
+
+__all__ = [
+    "REALWORLD_CASES",
+    "RealWorldCase",
+    "cases_by_source",
+    "get_case",
+    "power_of_two_sweep",
+    "random_problem",
+    "random_problem_operands",
+]

@@ -1,0 +1,77 @@
+"""Synthetic workload generators for benchmarks and tests."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.factors import KroneckerFactor, random_factors_from_shapes
+from repro.core.problem import KronMatmulProblem
+from repro.exceptions import ShapeError
+
+
+def random_problem(
+    rng: np.random.Generator,
+    max_m: int = 64,
+    max_p: int = 8,
+    max_q: int = 8,
+    max_factors: int = 4,
+    dtype=np.float64,
+    square: bool = False,
+    uniform: bool = False,
+) -> KronMatmulProblem:
+    """Draw a random (small) Kron-Matmul problem shape.
+
+    Used by the property-based tests: shapes are kept small enough that the
+    naive Kronecker oracle stays cheap.
+    """
+    m = int(rng.integers(1, max_m + 1))
+    n = int(rng.integers(1, max_factors + 1))
+    shapes: List[Tuple[int, int]] = []
+    if uniform:
+        p = int(rng.integers(1, max_p + 1))
+        q = p if square else int(rng.integers(1, max_q + 1))
+        shapes = [(p, q)] * n
+    else:
+        for _ in range(n):
+            p = int(rng.integers(1, max_p + 1))
+            q = p if square else int(rng.integers(1, max_q + 1))
+            shapes.append((p, q))
+    return KronMatmulProblem(m=m, factor_shapes=tuple(shapes), dtype=np.dtype(dtype))
+
+
+def random_problem_operands(
+    problem: KronMatmulProblem, seed: Optional[int] = None, scale: float = 1.0
+) -> Tuple[np.ndarray, List[KroneckerFactor]]:
+    """Concrete random operands (X, factors) matching a problem shape."""
+    rng = np.random.default_rng(seed)
+    x = ((rng.random((problem.m, problem.k)) * 2 - 1) * scale).astype(problem.dtype)
+    factors = random_factors_from_shapes(problem.factor_shapes, dtype=problem.dtype, seed=seed)
+    return x, factors
+
+
+def power_of_two_sweep(
+    m: int,
+    p_values: Tuple[int, ...] = (8, 16, 32, 64, 128),
+    max_columns: int = 2**21,
+    dtype=np.float32,
+) -> Iterator[KronMatmulProblem]:
+    """The paper's microbenchmark sweep: for each ``P``, the largest feasible ``N``.
+
+    Yields, for every ``P``, the problems ``M × P^N`` for the two largest
+    ``N`` such that ``P^N <= max_columns`` (Figure 9 uses the two largest
+    allocatable sizes per ``P``).
+    """
+    if m < 1:
+        raise ShapeError("m must be >= 1")
+    for p in p_values:
+        n_max = 0
+        cols = p
+        while cols <= max_columns:
+            n_max += 1
+            cols *= p
+        if n_max < 1:
+            continue
+        for n in sorted({max(1, n_max - 1), n_max}):
+            yield KronMatmulProblem.uniform(m, p, n, dtype=dtype)

@@ -1,0 +1,130 @@
+"""The 28 real-world Kron-Matmul sizes of Table 4.
+
+The paper collects Kron-Matmul shapes from machine-learning compression,
+scientific computing, graph modelling, computational biology, drug-target
+prediction and Gaussian-process kernels.  Each case is one value of ``M``
+plus a list of factor shapes; the table's ``{P_i^{N_i} × Q_i^{N_i}}``
+notation (``N_i`` consecutive factors of shape ``P_i × Q_i``) is expanded
+here into the explicit per-factor list.
+
+The shapes are reconstructed from Table 4 of the paper; where the table
+lists several values of ``M`` for the same factors, each value becomes its
+own case (matching the paper's numbering of 28 cases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.problem import KronMatmulProblem
+from repro.exceptions import ShapeError
+
+
+@dataclass(frozen=True)
+class RealWorldCase:
+    """One row of Table 4: an id, its source domain and the problem shape."""
+
+    case_id: int
+    source: str
+    m: int
+    factor_shapes: Tuple[Tuple[int, int], ...]
+
+    def problem(self, dtype=None) -> KronMatmulProblem:
+        import numpy as np
+
+        return KronMatmulProblem(
+            m=self.m,
+            factor_shapes=self.factor_shapes,
+            dtype=np.dtype(dtype) if dtype is not None else np.dtype(np.float32),
+        )
+
+    @property
+    def label(self) -> str:
+        groups: List[str] = []
+        current: Tuple[int, int] | None = None
+        count = 0
+        for shape in list(self.factor_shapes) + [None]:  # type: ignore[list-item]
+            if shape == current:
+                count += 1
+                continue
+            if current is not None:
+                p, q = current
+                groups.append(f"{p}^{count}x{q}^{count}" if count > 1 else f"{p}x{q}")
+            current = shape
+            count = 1
+        return f"id{self.case_id} M={self.m} " + ", ".join(groups)
+
+
+def _uniform(p: int, q: int, n: int) -> Tuple[Tuple[int, int], ...]:
+    return tuple((p, q) for _ in range(n))
+
+
+def _build_cases() -> List[RealWorldCase]:
+    cases: List[RealWorldCase] = []
+    next_id = 1
+
+    def add(source: str, m: int, shapes: Tuple[Tuple[int, int], ...]) -> None:
+        nonlocal next_id
+        cases.append(RealWorldCase(case_id=next_id, source=source, m=m, factor_shapes=shapes))
+        next_id += 1
+
+    # ids 1-5: Kronecker recurrent units / LSTM-RNN compression [23].
+    add("LSTM/RNN", 20, _uniform(2, 2, 7))
+    add("LSTM/RNN", 20, _uniform(2, 2, 9))
+    add("LSTM/RNN", 50, _uniform(2, 2, 9))
+    add("LSTM/RNN", 20, _uniform(2, 2, 10))
+    add("LSTM/RNN", 1, _uniform(2, 2, 11))
+
+    # ids 6-8: ML model compression with structured additive matrices [46].
+    add("ML Compression", 10, ((52, 50), (65, 20)))
+    add("ML Compression", 50, ((32, 8), (64, 128)))
+    add("ML Compression", 10, ((52, 65), (50, 20)))
+
+    # ids 9-16: hybrid Kronecker product decomposition (HyPA) [10].
+    for m in (4, 8, 16, 20):
+        add("HyPA", m, _uniform(2, 2, 9))
+    for m in (4, 8, 16, 20):
+        add("HyPA", m, _uniform(8, 8, 3))
+
+    # ids 17-19: Kronecker graphs [29].
+    add("Graphs", 1024, _uniform(3, 3, 7))
+    add("Graphs", 1024, _uniform(4, 4, 7))
+    add("Graphs", 1024, _uniform(6, 6, 7))
+
+    # ids 20-21: dynamical systems with Kronecker structure in biology [18].
+    add("Biology", 1, _uniform(5, 5, 3) + _uniform(2, 2, 1))
+    add("Biology", 1, _uniform(5, 5, 2) + _uniform(2, 2, 1) + _uniform(2, 2, 5))
+
+    # ids 22-24: pairwise kernel models for drug-target prediction [50].
+    add("Drug-Targets", 1526, _uniform(4, 4, 6))
+    add("Drug-Targets", 156, _uniform(8, 8, 3))
+    add("Drug-Targets", 2967, _uniform(4, 4, 7))
+
+    # ids 25-28: Gaussian-process kernels (SKI and variants) [8, 15, 35, 51, 52].
+    add("GP", 16, _uniform(8, 8, 8))
+    add("GP", 16, _uniform(16, 16, 6))
+    add("GP", 16, _uniform(32, 32, 6))
+    add("GP", 16, _uniform(64, 64, 3))
+
+    return cases
+
+
+#: All 28 cases of Table 4, in the paper's order.
+REALWORLD_CASES: List[RealWorldCase] = _build_cases()
+
+
+def get_case(case_id: int) -> RealWorldCase:
+    """Look up a Table 4 case by its 1-based id."""
+    for case in REALWORLD_CASES:
+        if case.case_id == case_id:
+            return case
+    raise ShapeError(f"unknown Table 4 case id {case_id}; valid ids are 1..{len(REALWORLD_CASES)}")
+
+
+def cases_by_source() -> Dict[str, List[RealWorldCase]]:
+    """Group the Table 4 cases by their source domain."""
+    grouped: Dict[str, List[RealWorldCase]] = {}
+    for case in REALWORLD_CASES:
+        grouped.setdefault(case.source, []).append(case)
+    return grouped

@@ -1,0 +1,47 @@
+"""Distributed Kron-Matmul on a simulated GPU grid (Section 5 of the paper).
+
+``grid``
+    GPU grid shapes and the SUMMA-style partitioning rule.
+``comm``
+    Link model (NVLink 2 / NCCL) and communication-volume accounting.
+``multi_gpu``
+    Algorithm 2: per-GPU local sliced multiplications followed by an
+    exchange of local intermediates, executed functionally on NumPy blocks
+    with exact communication counting.
+``models``
+    Timing models for the paper's multi-GPU comparison: distributed
+    FastKron, CTF (distributed shuffle algorithm) and DISTAL (distributed
+    FTMMT algorithm).
+"""
+
+from repro.distributed.comm import CommunicationRecord, LinkModel
+from repro.distributed.grid import GpuGrid, partition_gpus
+from repro.distributed.models import (
+    CtfModel,
+    DistalModel,
+    DistributedFastKronModel,
+    DistributedTiming,
+    all_multi_gpu_models,
+)
+from repro.distributed.multi_gpu import (
+    DistributedExecution,
+    DistributedFastKron,
+    fastkron_communication_elements,
+    per_iteration_communication_elements,
+)
+
+__all__ = [
+    "CommunicationRecord",
+    "CtfModel",
+    "DistalModel",
+    "DistributedExecution",
+    "DistributedFastKron",
+    "DistributedFastKronModel",
+    "DistributedTiming",
+    "GpuGrid",
+    "LinkModel",
+    "all_multi_gpu_models",
+    "fastkron_communication_elements",
+    "partition_gpus",
+    "per_iteration_communication_elements",
+]

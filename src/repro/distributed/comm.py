@@ -1,0 +1,116 @@
+"""Interconnect model and communication accounting.
+
+The DGX-2 testbed of the paper connects its 16 V100 GPUs with NVLink 2
+(aggregated ~150 GB/s per GPU per direction) through NVSwitch, and FastKron
+uses NCCL point-to-point sends/receives (or a direct P2P kernel).  The
+:class:`LinkModel` below charges a latency per message plus the bytes over
+the per-GPU link bandwidth; all GPUs communicate concurrently, so the time
+of an exchange round is governed by the most-loaded GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.gpu.device import GpuSpec, TESLA_V100
+
+
+@dataclass
+class CommunicationRecord:
+    """Exact communication accounting of one distributed execution."""
+
+    #: Total elements sent between distinct GPUs.
+    total_elements: int = 0
+    #: Number of point-to-point messages.
+    messages: int = 0
+    #: Elements sent per (source, destination) GPU pair (flat GPU ids).
+    per_pair_elements: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    #: Number of exchange rounds performed.
+    rounds: int = 0
+
+    def record(self, src: int, dst: int, elements: int) -> None:
+        if src == dst or elements == 0:
+            return
+        self.total_elements += int(elements)
+        self.messages += 1
+        key = (src, dst)
+        self.per_pair_elements[key] = self.per_pair_elements.get(key, 0) + int(elements)
+
+    def max_elements_sent_by_any_gpu(self) -> int:
+        """The largest per-source send volume — the critical path of a round."""
+        sent: Dict[int, int] = {}
+        for (src, _dst), elements in self.per_pair_elements.items():
+            sent[src] = sent.get(src, 0) + elements
+        return max(sent.values()) if sent else 0
+
+    def bytes(self, itemsize: int) -> int:
+        return self.total_elements * itemsize
+
+
+#: Fraction of the nominal NVLink bandwidth NCCL point-to-point sustains.
+NCCL_EFFICIENCY = 0.75
+#: Fraction sustained by FastKron's direct peer-to-peer kernel (Section 5:
+#: "If all NVIDIA GPUs in the same g_M support point-to-point accesses,
+#: FastKron implements the exchange in a single CUDA kernel, which is more
+#: efficient than NCCL") — higher bandwidth fraction and no per-message
+#: launch latency.
+P2P_EFFICIENCY = 0.85
+
+
+@dataclass
+class LinkModel:
+    """Simple bandwidth + latency model of the inter-GPU links."""
+
+    spec: GpuSpec = TESLA_V100
+    #: Fraction of the nominal NVLink bandwidth the transport sustains.
+    efficiency: float = NCCL_EFFICIENCY
+    #: Use the direct P2P kernel (single launch, no per-peer message latency).
+    peer_to_peer: bool = False
+
+    @classmethod
+    def nccl(cls, spec: GpuSpec = TESLA_V100) -> "LinkModel":
+        """The default NCCL send/recv transport."""
+        return cls(spec=spec, efficiency=NCCL_EFFICIENCY, peer_to_peer=False)
+
+    @classmethod
+    def p2p(cls, spec: GpuSpec = TESLA_V100) -> "LinkModel":
+        """FastKron's fused peer-to-peer exchange kernel."""
+        return cls(spec=spec, efficiency=P2P_EFFICIENCY, peer_to_peer=True)
+
+    @property
+    def effective_bandwidth(self) -> float:
+        return self.spec.nvlink_bandwidth * self.efficiency
+
+    def transfer_time(self, elements: int, itemsize: int, messages: int = 1) -> float:
+        """Time to move ``elements`` out of one GPU over its links (seconds)."""
+        if elements <= 0:
+            return 0.0
+        bytes_moved = elements * itemsize
+        if self.peer_to_peer:
+            # One kernel performs the whole exchange: a single launch-style
+            # latency regardless of the number of peers.
+            return self.spec.kernel_launch_overhead + bytes_moved / self.effective_bandwidth
+        return messages * self.spec.interconnect_latency + bytes_moved / self.effective_bandwidth
+
+    def exchange_time(
+        self,
+        per_gpu_send_elements: int,
+        itemsize: int,
+        peers: int,
+    ) -> float:
+        """Time of one exchange round where every GPU sends ``per_gpu_send_elements``.
+
+        All GPUs send concurrently; the round is limited by one GPU's
+        outgoing volume plus per-peer message latencies.
+        """
+        return self.transfer_time(per_gpu_send_elements, itemsize, messages=max(1, peers))
+
+    def allgather_time(self, per_gpu_elements: int, itemsize: int, num_gpus: int) -> float:
+        """Ring all-gather of ``per_gpu_elements`` contributed by each of ``num_gpus`` GPUs."""
+        if num_gpus <= 1:
+            return 0.0
+        moved = per_gpu_elements * (num_gpus - 1)
+        return self.transfer_time(moved, itemsize, messages=num_gpus - 1)

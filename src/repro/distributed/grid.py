@@ -1,0 +1,77 @@
+"""GPU grid shapes and the partitioning rule of Section 5.
+
+FastKron distributes the input matrix over a homogeneous 2-D grid of
+``{G_M, G_K}`` GPUs: GPU ``(g_m, g_k)`` owns the block of ``M/G_M`` rows and
+``K/G_K`` columns.  Following SUMMA, a flat GPU count ``G`` is arranged as
+``{√G, √G}``; when ``G`` is not a perfect square the grid is
+``{2^⌈log2 √G⌉, 2^⌊log2 √G⌋}``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.exceptions import DistributedError
+
+
+@dataclass(frozen=True)
+class GpuGrid:
+    """A 2-D grid of GPUs: ``gm`` row groups × ``gk`` column groups."""
+
+    gm: int
+    gk: int
+
+    def __post_init__(self) -> None:
+        if self.gm < 1 or self.gk < 1:
+            raise DistributedError(f"grid dimensions must be >= 1, got {self.gm}x{self.gk}")
+
+    @property
+    def num_gpus(self) -> int:
+        return self.gm * self.gk
+
+    def coordinates(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over all ``(g_m, g_k)`` GPU coordinates."""
+        for g_m in range(self.gm):
+            for g_k in range(self.gk):
+                yield (g_m, g_k)
+
+    def block_shape(self, m: int, k: int) -> Tuple[int, int]:
+        """The ``(T_GM, T_GK)`` block owned by each GPU."""
+        if m % self.gm != 0:
+            raise DistributedError(f"M={m} is not divisible by G_M={self.gm}")
+        if k % self.gk != 0:
+            raise DistributedError(f"K={k} is not divisible by G_K={self.gk}")
+        return (m // self.gm, k // self.gk)
+
+    def describe(self) -> str:
+        return f"{{{self.gm}, {self.gk}}}"
+
+
+def partition_gpus(num_gpus: int) -> GpuGrid:
+    """Arrange ``num_gpus`` GPUs into the SUMMA-style grid used by FastKron.
+
+    Perfect squares become square grids; other counts become the nearest
+    power-of-two rectangle ``{2^⌈log2 √G⌉, 2^⌊log2 √G⌋}``.
+
+    >>> partition_gpus(16)
+    GpuGrid(gm=4, gk=4)
+    >>> partition_gpus(8)
+    GpuGrid(gm=4, gk=2)
+    >>> partition_gpus(2)
+    GpuGrid(gm=2, gk=1)
+    """
+    if num_gpus < 1:
+        raise DistributedError(f"num_gpus must be >= 1, got {num_gpus}")
+    root = math.isqrt(num_gpus)
+    if root * root == num_gpus:
+        return GpuGrid(gm=root, gk=root)
+    # The paper's rule assumes a power-of-two GPU count; for other counts the
+    # rectangle {2^⌈log2 √G⌉, 2^⌊log2 √G⌋} would exceed G, so fall back to the
+    # largest power of two that fits.
+    usable = 2 ** int(math.floor(math.log2(num_gpus)))
+    sqrt_g = math.sqrt(usable)
+    gm = 2 ** math.ceil(math.log2(sqrt_g))
+    gk = 2 ** math.floor(math.log2(sqrt_g))
+    return GpuGrid(gm=gm, gk=gk)

@@ -1,0 +1,235 @@
+"""Timing models for the paper's multi-GPU comparison (Figure 11).
+
+Three systems are modelled, all running on the same simulated DGX-2-style
+machine (``G`` V100 GPUs, NVLink 2):
+
+``DistributedFastKronModel``
+    Algorithm 2: per-GPU FastKron kernels for the ``N_local``
+    multiplications of each batch, one exchange per batch.
+``CtfModel``
+    Cyclops Tensor Framework running the shuffle algorithm: per-GPU cuBLAS
+    matmul plus a distributed transpose, and a redistribution of the full
+    intermediate after *every* multiplication.
+``DistalModel``
+    DISTAL running the FTMMT algorithm: per-GPU contraction kernels
+    (COGENT/cuTensor-class compute) and a redistribution after every
+    multiplication, but no separate transpose pass.
+
+Compute per GPU reuses the single-GPU kernel/iteration models on the
+``(T_GM, T_GK)`` block; communication time comes from the exact per-round
+volumes and the :class:`~repro.distributed.comm.LinkModel`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.problem import IterationShape, KronMatmulProblem
+from repro.distributed.comm import LinkModel
+from repro.distributed.grid import GpuGrid, partition_gpus
+from repro.distributed.multi_gpu import (
+    fastkron_communication_elements,
+    per_iteration_communication_elements,
+)
+from repro.exceptions import DistributedError
+from repro.gpu.device import GpuSpec, TESLA_V100
+from repro.kernels.fused_kernel import FusedKernel
+from repro.kernels.sliced_kernel import SlicedMultiplyKernel
+from repro.kernels.tile_config import default_tile_config, max_fusable
+from repro.perfmodel.systems import CuTensorModel, FastKronModel, GPyTorchModel
+from repro.utils.intmath import ceil_div, ilog
+
+
+@dataclass
+class DistributedTiming:
+    """Estimated multi-GPU execution time of one problem."""
+
+    system: str
+    problem: KronMatmulProblem
+    grid: GpuGrid
+    compute_seconds: float
+    communication_seconds: float
+    communicated_elements: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.communication_seconds
+
+    @property
+    def milliseconds(self) -> float:
+        return self.total_seconds * 1e3
+
+    @property
+    def tflops(self) -> float:
+        """Aggregate achieved TFLOP/s over the whole machine."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.problem.flops / self.total_seconds / 1e12
+
+    def speedup_over(self, other: "DistributedTiming") -> float:
+        if self.total_seconds <= 0:
+            return float("inf")
+        return other.total_seconds / self.total_seconds
+
+
+def _uniform_shape(problem: KronMatmulProblem) -> tuple[int, int]:
+    if not problem.is_uniform or not problem.is_square_factors:
+        raise DistributedError(
+            "the distributed models follow Algorithm 2 and require uniform square factors"
+        )
+    p, q = problem.factor_shapes[0]
+    return p, q
+
+
+class DistributedModel(ABC):
+    """Base class for multi-GPU timing models."""
+
+    name: str = "abstract"
+
+    def __init__(self, spec: GpuSpec = TESLA_V100, link: Optional[LinkModel] = None):
+        self.spec = spec
+        self.link = link if link is not None else LinkModel(spec=spec)
+
+    @abstractmethod
+    def estimate(self, problem: KronMatmulProblem, grid: GpuGrid) -> DistributedTiming:
+        """Estimate the execution of ``problem`` on ``grid``."""
+
+    def estimate_on_gpus(self, problem: KronMatmulProblem, num_gpus: int) -> DistributedTiming:
+        return self.estimate(problem, partition_gpus(num_gpus))
+
+    def _per_gpu_block(self, problem: KronMatmulProblem, grid: GpuGrid) -> tuple[int, int]:
+        return grid.block_shape(problem.m, problem.k)
+
+    def _exchange_round_time(self, tgm: int, tgk: int, grid: GpuGrid, itemsize: int) -> float:
+        per_gpu = tgm * (tgk - tgk // grid.gk) if grid.gk > 1 else 0
+        if per_gpu == 0:
+            return 0.0
+        return self.link.exchange_time(per_gpu, itemsize, peers=grid.gk - 1)
+
+
+class DistributedFastKronModel(DistributedModel):
+    """Algorithm 2 on the simulated machine."""
+
+    name = "FastKron"
+
+    def __init__(
+        self, spec: GpuSpec = TESLA_V100, link: Optional[LinkModel] = None, fuse: bool = True
+    ):
+        super().__init__(spec, link)
+        self.fuse = fuse
+        self._single = FastKronModel(spec, fuse=fuse)
+
+    def _batch_compute_seconds(self, tgm: int, tgk: int, p: int, batch: int, dtype) -> float:
+        """Roofline time of one batch of ``batch`` local sliced multiplications."""
+        tile = default_tile_config(tgm, tgk, p, p, spec=self.spec, dtype=dtype, fuse=self.fuse)
+        roofline = self._single.roofline
+        if self.fuse and batch > 1 and tile.tp == p and max_fusable(tile.tk, p) >= batch:
+            kernel = FusedKernel(tile.with_nfused(batch), spec=self.spec)
+            counters = kernel.analytic_counters(tgm, tgk, p, p, dtype)
+            return roofline.time_seconds(counters, dtype)
+        single = SlicedMultiplyKernel(tile.with_nfused(1), spec=self.spec)
+        counters = single.analytic_counters(tgm, tgk, p, p, dtype)
+        return batch * roofline.time_seconds(counters, dtype)
+
+    def estimate(self, problem: KronMatmulProblem, grid: GpuGrid) -> DistributedTiming:
+        p, _q = _uniform_shape(problem)
+        tgm, tgk = self._per_gpu_block(problem, grid)
+        n = problem.n_factors
+        n_local = ilog(tgk, p)
+        if n_local < 1:
+            raise DistributedError("per-GPU block narrower than one slice")
+        rounds = ceil_div(n, n_local)
+
+        compute = 0.0
+        remaining = n
+        while remaining > 0:
+            batch = min(n_local, remaining)
+            remaining -= batch
+            compute += self._batch_compute_seconds(tgm, tgk, p, batch, problem.dtype)
+
+        comm_elements = fastkron_communication_elements(problem.m, problem.k, n, p, grid)
+        comm = rounds * self._exchange_round_time(tgm, tgk, grid, problem.itemsize)
+        return DistributedTiming(
+            system=self.name, problem=problem, grid=grid,
+            compute_seconds=compute, communication_seconds=comm,
+            communicated_elements=comm_elements,
+        )
+
+
+#: Effective fraction of NVLink bandwidth CTF's MPI-based exchanges sustain.
+#: CTF communicates through MPI (host-staged unless a CUDA-aware transport is
+#: configured), which the paper's DGX-2 measurements reflect in CTF's poor
+#: scaling; DISTAL (Legion/Realm) and FastKron (NCCL / P2P kernels) use the
+#: NVLink fabric directly.
+CTF_LINK_EFFICIENCY = 0.2
+
+
+class CtfModel(DistributedModel):
+    """CTF: distributed shuffle algorithm (matmul + distributed transpose per iteration)."""
+
+    name = "CTF"
+
+    def __init__(self, spec: GpuSpec = TESLA_V100, link: Optional[LinkModel] = None):
+        if link is None:
+            link = LinkModel(spec=spec, efficiency=CTF_LINK_EFFICIENCY)
+        super().__init__(spec, link)
+        self._single = GPyTorchModel(spec)
+
+    def estimate(self, problem: KronMatmulProblem, grid: GpuGrid) -> DistributedTiming:
+        p, q = _uniform_shape(problem)
+        tgm, tgk = self._per_gpu_block(problem, grid)
+        n = problem.n_factors
+
+        # Per-GPU compute: the shuffle algorithm's matmul + transpose on the
+        # (T_GM, T_GK) local block, once per factor.
+        it = IterationShape(index=0, factor_index=0, m=tgm, k=tgk, p=p, q=q)
+        matmul_time, transpose_time = self._single._iteration_times(it, problem.dtype)
+        compute = n * (matmul_time + transpose_time)
+
+        # Communication: the full intermediate is redistributed after every
+        # multiplication (the distributed transpose is an all-to-all along K).
+        comm_elements = per_iteration_communication_elements(problem.m, problem.k, n, grid)
+        comm = n * self._exchange_round_time(tgm, tgk, grid, problem.itemsize)
+        return DistributedTiming(
+            system=self.name, problem=problem, grid=grid,
+            compute_seconds=compute, communication_seconds=comm,
+            communicated_elements=comm_elements,
+        )
+
+
+class DistalModel(DistributedModel):
+    """DISTAL: distributed FTMMT algorithm (fused contraction per iteration)."""
+
+    name = "DISTAL"
+
+    def __init__(self, spec: GpuSpec = TESLA_V100, link: Optional[LinkModel] = None):
+        super().__init__(spec, link)
+        self._single = CuTensorModel(spec)
+
+    def estimate(self, problem: KronMatmulProblem, grid: GpuGrid) -> DistributedTiming:
+        p, q = _uniform_shape(problem)
+        tgm, tgk = self._per_gpu_block(problem, grid)
+        n = problem.n_factors
+
+        it = IterationShape(index=0, factor_index=0, m=tgm, k=tgk, p=p, q=q)
+        counters = self._single.iteration_counters(it, problem.dtype)
+        compute = n * self._single.roofline.time_seconds(counters, problem.dtype)
+
+        comm_elements = per_iteration_communication_elements(problem.m, problem.k, n, grid)
+        comm = n * self._exchange_round_time(tgm, tgk, grid, problem.itemsize)
+        return DistributedTiming(
+            system=self.name, problem=problem, grid=grid,
+            compute_seconds=compute, communication_seconds=comm,
+            communicated_elements=comm_elements,
+        )
+
+
+def all_multi_gpu_models(spec: GpuSpec = TESLA_V100) -> Dict[str, DistributedModel]:
+    """All multi-GPU models keyed by the names used in Figure 11."""
+    return {
+        "FastKron": DistributedFastKronModel(spec),
+        "CTF": CtfModel(spec),
+        "DISTAL": DistalModel(spec),
+    }

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the FastKron reproduction.
+
+All exceptions raised by the package derive from :class:`ReproError` so that
+callers can catch package-specific failures without masking programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An input matrix or factor has an incompatible shape."""
+
+
+class DTypeError(ReproError, TypeError):
+    """An input has an unsupported or inconsistent dtype."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A kernel tile configuration is invalid for the target device."""
+
+
+class ResourceLimitError(ConfigurationError):
+    """A tile configuration exceeds device resources (shared memory, registers)."""
+
+
+class TuningError(ReproError, RuntimeError):
+    """The autotuner could not find any valid configuration."""
+
+
+class DistributedError(ReproError, ValueError):
+    """A distributed execution request is inconsistent (grid, placement, ...)."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver (e.g. conjugate gradients) failed to converge."""

@@ -1,0 +1,51 @@
+"""Gaussian-process case study (Section 6.4): SKI, SKIP and LOVE on Kron-Matmul.
+
+Structured Kernel Interpolation (SKI) approximates a GP kernel matrix as
+``W (K_1 ⊗ K_2 ⊗ ... ⊗ K_N) W^T`` where ``W`` is a sparse interpolation
+matrix onto a regular grid and each ``K_i`` is a small per-dimension kernel
+matrix.  Training solves ``K^{-1} v`` with conjugate gradients, whose matvec
+is dominated by a Kron-Matmul — the operation FastKron accelerates.
+
+This package provides:
+
+* real (NumPy) implementations of the grid kernels, the sparse
+  interpolation, the SKI / SKIP / LOVE operators and a batched conjugate
+  gradient solver — all exercised numerically by the test-suite;
+* synthetic stand-ins for the UCI datasets of Table 5 (same sizes and
+  dimensionality);
+* a training-time model that combines the measured operation mix of the GP
+  training loop with the per-system GPU performance models to reproduce the
+  Table 5 speedups.
+"""
+
+from repro.gp.cg import CgResult, conjugate_gradient
+from repro.gp.datasets import GpDataset, TABLE5_DATASETS, synthetic_dataset
+from repro.gp.interpolation import interpolation_matrix
+from repro.gp.kernels import grid_kernel_factors, rbf_kernel
+from repro.gp.preconditioner import (
+    PivotedCholeskyPreconditioner,
+    preconditioned_conjugate_gradient,
+    ski_preconditioner,
+)
+from repro.gp.ski import LoveOperator, SkiKernelOperator, SkipKernelOperator
+from repro.gp.training import GpTrainingModel, GpTrainingReport, train_gp_numerically
+
+__all__ = [
+    "CgResult",
+    "GpDataset",
+    "GpTrainingModel",
+    "GpTrainingReport",
+    "LoveOperator",
+    "PivotedCholeskyPreconditioner",
+    "SkiKernelOperator",
+    "SkipKernelOperator",
+    "TABLE5_DATASETS",
+    "conjugate_gradient",
+    "grid_kernel_factors",
+    "interpolation_matrix",
+    "preconditioned_conjugate_gradient",
+    "rbf_kernel",
+    "ski_preconditioner",
+    "synthetic_dataset",
+    "train_gp_numerically",
+]

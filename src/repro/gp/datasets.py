@@ -1,0 +1,104 @@
+"""Synthetic stand-ins for the UCI regression datasets of Table 5.
+
+The paper trains SKI / SKIP / LOVE on eight UCI datasets (150 to 3·10⁵
+points).  The datasets themselves are not redistributable here, and the
+Table 5 measurement — the *speedup* of Kron-Matmul-accelerated training —
+depends only on the problem shape (number of points, input dimensionality,
+grid size P, number of factors N), not on the regression targets.  This
+module therefore generates synthetic datasets with the same shapes: features
+uniform in ``[0, 1]^d`` and targets from a smooth nonlinear function plus
+noise, so the GP actually has something to fit in the functional tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+@dataclass(frozen=True)
+class GpDataset:
+    """A regression dataset plus the grid shape used for SKI training."""
+
+    name: str
+    x: np.ndarray
+    y: np.ndarray
+    #: Grid points per dimension (the paper's P).
+    grid_size: int
+    #: Number of grid dimensions (the paper's N); equals the feature count.
+    n_dims: int
+
+    @property
+    def n_points(self) -> int:
+        return int(self.x.shape[0])
+
+    @property
+    def kron_shape(self) -> Tuple[int, int]:
+        """The ``(P, N)`` of the Kronecker kernel used for this dataset."""
+        return (self.grid_size, self.n_dims)
+
+    def describe(self) -> str:
+        return f"{self.name}: {self.n_points} points, grid {self.grid_size}^{self.n_dims}"
+
+
+def _target_function(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """A smooth nonlinear target so the synthetic GP regression is non-trivial."""
+    weights = rng.standard_normal(x.shape[1])
+    phases = rng.uniform(0, np.pi, size=x.shape[1])
+    signal = np.sin(2 * np.pi * x + phases) @ weights + 0.5 * np.sum(x**2, axis=1)
+    return signal
+
+
+def synthetic_dataset(
+    name: str,
+    n_points: int,
+    n_dims: int,
+    grid_size: int,
+    noise: float = 0.1,
+    seed: Optional[int] = None,
+) -> GpDataset:
+    """Generate a synthetic dataset with the requested shape."""
+    if n_points < 1 or n_dims < 1 or grid_size < 2:
+        raise ShapeError("n_points, n_dims must be >= 1 and grid_size >= 2")
+    rng = np.random.default_rng(seed if seed is not None else abs(hash(name)) % (2**32))
+    x = rng.uniform(0.0, 1.0, size=(n_points, n_dims))
+    y = _target_function(x, rng) + noise * rng.standard_normal(n_points)
+    return GpDataset(name=name, x=x, y=y, grid_size=grid_size, n_dims=n_dims)
+
+
+@dataclass(frozen=True)
+class Table5Row:
+    """One row of Table 5: a dataset and the grid it is trained on."""
+
+    dataset_name: str
+    n_points: int
+    grid_size: int
+    n_dims: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.dataset_name} {self.grid_size}^{self.n_dims}"
+
+    def build(self, max_points: Optional[int] = None, seed: int = 0) -> GpDataset:
+        """Instantiate the synthetic dataset (optionally subsampled for functional runs)."""
+        n = self.n_points if max_points is None else min(self.n_points, max_points)
+        return synthetic_dataset(
+            self.dataset_name, n, self.n_dims, self.grid_size, seed=seed
+        )
+
+
+#: The eight dataset/grid combinations of Table 5 (UCI sizes, grid P^N).
+TABLE5_DATASETS: List[Table5Row] = [
+    Table5Row("autompg", 392, 8, 7),
+    Table5Row("kin40k", 40000, 8, 8),
+    Table5Row("airfoil", 1503, 16, 5),
+    Table5Row("yacht", 308, 16, 6),
+    Table5Row("servo", 167, 32, 4),
+    Table5Row("airfoil", 1503, 32, 5),
+    Table5Row("3droad", 434874, 64, 3),
+    Table5Row("servo", 167, 64, 4),
+]

@@ -1,0 +1,90 @@
+"""Sparse interpolation matrices for Structured Kernel Interpolation (SKI).
+
+SKI represents the kernel between arbitrary data points via interpolation
+onto a regular grid: ``K_data ≈ W K_grid W^T`` where each row of ``W`` has a
+handful of non-zeros (the interpolation weights of one data point).  The
+implementation below uses multilinear interpolation: along every dimension a
+point falls between two grid nodes, so a ``d``-dimensional point touches
+``2^d`` grid vertices.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import ShapeError
+
+
+def _dimension_weights(x: np.ndarray, grid: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Left grid index and (left, right) weights of each coordinate value."""
+    p = grid.shape[0]
+    if p == 1:
+        idx = np.zeros(x.shape[0], dtype=np.int64)
+        return idx, np.ones_like(x), np.zeros_like(x)
+    clipped = np.clip(x, grid[0], grid[-1])
+    idx = np.searchsorted(grid, clipped, side="right") - 1
+    idx = np.clip(idx, 0, p - 2)
+    span = grid[idx + 1] - grid[idx]
+    right_w = (clipped - grid[idx]) / span
+    left_w = 1.0 - right_w
+    return idx, left_w, right_w
+
+
+def interpolation_matrix(
+    points: np.ndarray,
+    grids: Sequence[np.ndarray],
+) -> sparse.csr_matrix:
+    """Multilinear interpolation matrix ``W`` of shape ``(n_points, prod_i P_i)``.
+
+    Parameters
+    ----------
+    points:
+        Data points of shape ``(n, d)`` (``(n,)`` is treated as 1-D data).
+    grids:
+        One sorted 1-D grid per dimension; the flattened grid index follows
+        C order (last dimension fastest), matching the column ordering of
+        ``K_1 ⊗ ... ⊗ K_d``.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim == 1:
+        pts = pts[:, None]
+    n, d = pts.shape
+    if d != len(grids):
+        raise ShapeError(f"points have {d} dimensions but {len(grids)} grids were given")
+    grid_sizes = [int(np.asarray(g).shape[0]) for g in grids]
+    total = int(np.prod(grid_sizes))
+
+    # Per-dimension left indices and weights.
+    per_dim = [_dimension_weights(pts[:, j], np.asarray(grids[j], dtype=np.float64)) for j in range(d)]
+
+    # Strides of the flattened (C-order) grid index.
+    strides = np.ones(d, dtype=np.int64)
+    for j in range(d - 2, -1, -1):
+        strides[j] = strides[j + 1] * grid_sizes[j + 1]
+
+    nnz_per_point = 2**d
+    rows = np.repeat(np.arange(n, dtype=np.int64), nnz_per_point)
+    cols = np.zeros(n * nnz_per_point, dtype=np.int64)
+    vals = np.ones(n * nnz_per_point, dtype=np.float64)
+
+    for corner in range(nnz_per_point):
+        offset_cols = np.zeros(n, dtype=np.int64)
+        offset_vals = np.ones(n, dtype=np.float64)
+        for j in range(d):
+            take_right = (corner >> j) & 1
+            idx, left_w, right_w = per_dim[j]
+            # Clamp for single-node grids, where there is no "right" neighbour
+            # (its weight is zero anyway).
+            grid_idx = np.minimum(idx + take_right, grid_sizes[j] - 1)
+            offset_cols += grid_idx * strides[j]
+            offset_vals *= np.where(take_right, right_w, left_w)
+        sl = slice(corner, n * nnz_per_point, nnz_per_point)
+        cols[sl] = offset_cols
+        vals[sl] = offset_vals
+
+    w = sparse.csr_matrix((vals, (rows, cols)), shape=(n, total))
+    w.sum_duplicates()
+    return w

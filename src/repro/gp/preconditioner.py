@@ -1,0 +1,208 @@
+"""Pivoted-Cholesky preconditioning for the GP conjugate-gradient solves.
+
+GPyTorch accelerates its CG solves with a rank-``k`` pivoted Cholesky
+preconditioner of the training covariance; the same technique drops in here.
+The preconditioner only needs access to matrix *columns* (obtained through
+the SKI operator's matvec with unit vectors) and the diagonal, builds a
+low-rank factor ``L_k`` with greedy pivot selection, and applies
+``(L_k L_k^T + σ² I)^{-1}`` in ``O(n k)`` per vector via the Woodbury
+identity.
+
+Using the preconditioner does not change what FastKron accelerates — every
+CG iteration still performs the Kron-Matmul matvec — it just reduces how
+many iterations are needed, which is why the paper's experiments fix the
+iteration count instead.  The implementation exists so the GP subsystem is a
+complete, usable training stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+@dataclass
+class PivotedCholeskyPreconditioner:
+    """Low-rank-plus-diagonal preconditioner ``(L L^T + σ² I)^{-1}``."""
+
+    low_rank: np.ndarray  # (n, k)
+    noise: float
+
+    def __post_init__(self) -> None:
+        if self.low_rank.ndim != 2:
+            raise ShapeError("low_rank factor must be 2-D")
+        if self.noise <= 0:
+            raise ShapeError("noise must be positive")
+        n, k = self.low_rank.shape
+        # Woodbury: (σ²I + L Lᵀ)⁻¹ = σ⁻²I − σ⁻²L (σ²I_k + LᵀL)⁻¹ Lᵀ σ⁻²... cached pieces:
+        inner = self.noise * np.eye(k) + self.low_rank.T @ self.low_rank
+        self._inner_chol = np.linalg.cholesky(inner)
+
+    @property
+    def rank(self) -> int:
+        return self.low_rank.shape[1]
+
+    @property
+    def n(self) -> int:
+        return self.low_rank.shape[0]
+
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        """Apply the inverse preconditioner to vectors (columns of ``v``)."""
+        v = np.asarray(v, dtype=np.float64)
+        squeeze = v.ndim == 1
+        if squeeze:
+            v = v[:, None]
+        if v.shape[0] != self.n:
+            raise ShapeError(f"vector has {v.shape[0]} rows, expected {self.n}")
+        lt_v = self.low_rank.T @ v
+        middle = np.linalg.solve(
+            self._inner_chol.T, np.linalg.solve(self._inner_chol, lt_v)
+        )
+        result = (v - self.low_rank @ middle) / self.noise
+        return result[:, 0] if squeeze else result
+
+    def __call__(self, v: np.ndarray) -> np.ndarray:
+        return self.apply(v)
+
+    def logdet(self) -> float:
+        """log det(σ² I + L Lᵀ) via the matrix determinant lemma (used for GP losses)."""
+        inner_logdet = 2.0 * float(np.sum(np.log(np.diag(self._inner_chol))))
+        return inner_logdet + (self.n - self.rank) * float(np.log(self.noise))
+
+
+def pivoted_cholesky(
+    get_column: Callable[[int], np.ndarray],
+    diagonal: np.ndarray,
+    rank: int,
+    tol: float = 1e-10,
+) -> np.ndarray:
+    """Greedy pivoted (partial) Cholesky of an SPD matrix given column access.
+
+    Parameters
+    ----------
+    get_column:
+        ``get_column(i)`` returns column ``i`` of the matrix (length ``n``).
+    diagonal:
+        The matrix diagonal (length ``n``).
+    rank:
+        Maximum number of pivots.
+    tol:
+        Stop when the largest remaining diagonal error drops below ``tol``.
+
+    Returns
+    -------
+    ``L`` of shape ``(n, k)`` with ``k <= rank`` such that ``L L^T`` matches
+    the matrix on the selected pivots and underestimates it elsewhere.
+    """
+    diag = np.array(diagonal, dtype=np.float64, copy=True)
+    n = diag.shape[0]
+    if rank < 1:
+        raise ShapeError("rank must be >= 1")
+    factors = np.zeros((n, min(rank, n)))
+    for k in range(min(rank, n)):
+        pivot = int(np.argmax(diag))
+        pivot_value = diag[pivot]
+        if pivot_value < tol:
+            return factors[:, :k]
+        column = np.asarray(get_column(pivot), dtype=np.float64)
+        if column.shape != (n,):
+            raise ShapeError(f"get_column must return a length-{n} vector")
+        residual_column = column - factors[:, :k] @ factors[pivot, :k]
+        factors[:, k] = residual_column / np.sqrt(pivot_value)
+        diag -= factors[:, k] ** 2
+        np.maximum(diag, 0.0, out=diag)
+    return factors
+
+
+def ski_preconditioner(operator, rank: int = 10) -> PivotedCholeskyPreconditioner:
+    """Build a pivoted-Cholesky preconditioner for a SKI-style operator.
+
+    ``operator`` must expose ``num_points``, ``noise`` and ``matvec``; columns
+    of the noise-free kernel are obtained by applying the operator to unit
+    vectors (one Kron-Matmul each, so building a rank-``k`` preconditioner
+    costs ``k`` matvecs).
+    """
+    n = operator.num_points
+    identity_cache: dict[int, np.ndarray] = {}
+
+    def get_column(i: int) -> np.ndarray:
+        if i not in identity_cache:
+            e = np.zeros(n)
+            e[i] = 1.0
+            identity_cache[i] = operator.matvec(e) - operator.noise * e
+        return identity_cache[i]
+
+    diagonal = np.array([get_column(i)[i] for i in range(min(n, 4 * rank))])
+    if diagonal.shape[0] < n:
+        # Estimate the remaining diagonal entries by the mean of the sampled
+        # ones (kernel diagonals are near-constant for stationary kernels).
+        fill = float(diagonal.mean()) if diagonal.size else 1.0
+        diagonal = np.concatenate([diagonal, np.full(n - diagonal.shape[0], fill)])
+    low_rank = pivoted_cholesky(get_column, diagonal, rank)
+    return PivotedCholeskyPreconditioner(low_rank=low_rank, noise=operator.noise)
+
+
+def preconditioned_conjugate_gradient(
+    matvec: Callable[[np.ndarray], np.ndarray],
+    b: np.ndarray,
+    preconditioner: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    tol: float = 1e-6,
+    max_iterations: int = 100,
+):
+    """Preconditioned CG; with ``preconditioner=None`` it reduces to plain CG.
+
+    Returns the same :class:`repro.gp.cg.CgResult` structure as the
+    unpreconditioned solver.
+    """
+    from repro.gp.cg import CgResult
+
+    b = np.asarray(b, dtype=np.float64)
+    squeeze = b.ndim == 1
+    if squeeze:
+        b = b[:, None]
+    apply_pre = preconditioner if preconditioner is not None else (lambda v: v)
+
+    x = np.zeros_like(b)
+    matvecs = 0
+
+    def apply(v):
+        nonlocal matvecs
+        matvecs += 1
+        return matvec(v)
+
+    r = b - apply(x)
+    z = apply_pre(r)
+    p = z.copy()
+    rz_old = np.sum(r * z, axis=0)
+    b_norm = np.linalg.norm(b, axis=0)
+    b_norm = np.where(b_norm == 0.0, 1.0, b_norm)
+
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        ap = apply(p)
+        denom = np.sum(p * ap, axis=0)
+        denom = np.where(np.abs(denom) < 1e-300, 1e-300, denom)
+        alpha = rz_old / denom
+        x = x + alpha[None, :] * p
+        r = r - alpha[None, :] * ap
+        residual = np.linalg.norm(r, axis=0) / b_norm
+        if np.all(residual <= tol):
+            break
+        z = apply_pre(r)
+        rz_new = np.sum(r * z, axis=0)
+        beta = rz_new / np.where(rz_old == 0.0, 1.0, rz_old)
+        p = z + beta[None, :] * p
+        rz_old = rz_new
+
+    residual_norms = np.linalg.norm(r, axis=0) / b_norm
+    return CgResult(
+        solution=x[:, 0] if squeeze else x,
+        iterations=iterations,
+        residual_norms=residual_norms,
+        converged=bool(np.all(residual_norms <= tol)),
+        matvec_count=matvecs,
+    )

@@ -1,0 +1,26 @@
+"""Simulated-GPU substrate: device specs, memory models, occupancy and counters.
+
+The paper evaluates FastKron on NVIDIA Tesla V100 GPUs.  This package models
+the performance-relevant parts of that hardware so the kernel simulation in
+:mod:`repro.kernels` can count, exactly, the quantities the paper's analysis
+relies on: global-memory transactions (coalescing), shared-memory
+transactions and bank conflicts, occupancy and peak FLOP/bandwidth limits.
+"""
+
+from repro.gpu.counters import KernelCounters
+from repro.gpu.device import GpuSpec, TESLA_V100, TESLA_V100_32GB
+from repro.gpu.memory import GlobalMemoryModel
+from repro.gpu.occupancy import OccupancyResult, compute_occupancy
+from repro.gpu.shared_memory import SharedMemoryBankModel, WarpAccess
+
+__all__ = [
+    "GlobalMemoryModel",
+    "GpuSpec",
+    "KernelCounters",
+    "OccupancyResult",
+    "SharedMemoryBankModel",
+    "TESLA_V100",
+    "TESLA_V100_32GB",
+    "WarpAccess",
+    "compute_occupancy",
+]

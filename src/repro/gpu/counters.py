@@ -1,0 +1,87 @@
+"""Hardware-counter style accumulators produced by the kernel simulation.
+
+:class:`KernelCounters` mirrors the counters the paper reports (shared-memory
+load/store transactions in Table 2, global traffic implied by Figure 9's
+analysis, communication volume in Section 5) plus the FLOP count needed for
+roofline timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class KernelCounters:
+    """Aggregated operation counts of one or more (simulated) kernel launches."""
+
+    #: Multiply-add FLOPs (2 per multiply-accumulate).
+    flops: int = 0
+    #: Elements loaded from global memory.
+    global_load_elements: int = 0
+    #: Elements stored to global memory.
+    global_store_elements: int = 0
+    #: 32-byte global memory load transactions (after coalescing).
+    global_load_transactions: int = 0
+    #: 32-byte global memory store transactions (after coalescing).
+    global_store_transactions: int = 0
+    #: Shared-memory load transactions issued (bank conflicts replay transactions).
+    shared_load_transactions: int = 0
+    #: Shared-memory store transactions issued.
+    shared_store_transactions: int = 0
+    #: Minimum (conflict-free) shared-memory load transactions.
+    shared_load_requests: int = 0
+    #: Minimum (conflict-free) shared-memory store transactions.
+    shared_store_requests: int = 0
+    #: Number of kernel launches aggregated into these counters.
+    kernel_launches: int = 0
+    #: Elements communicated between GPUs (multi-GPU executions only).
+    communicated_elements: int = 0
+
+    def __add__(self, other: "KernelCounters") -> "KernelCounters":
+        if not isinstance(other, KernelCounters):
+            return NotImplemented
+        result = KernelCounters()
+        for f in fields(KernelCounters):
+            setattr(result, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return result
+
+    def __iadd__(self, other: "KernelCounters") -> "KernelCounters":
+        for f in fields(KernelCounters):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def scaled(self, factor: int) -> "KernelCounters":
+        """Return counters multiplied by an integer replication factor."""
+        result = KernelCounters()
+        for f in fields(KernelCounters):
+            setattr(result, f.name, getattr(self, f.name) * factor)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    def global_bytes(self, itemsize: int) -> int:
+        """Total global-memory traffic in bytes."""
+        return (self.global_load_elements + self.global_store_elements) * itemsize
+
+    @property
+    def shared_transactions(self) -> int:
+        return self.shared_load_transactions + self.shared_store_transactions
+
+    @property
+    def shared_load_conflict_factor(self) -> float:
+        """Average replay factor of shared loads (1.0 means conflict-free)."""
+        if self.shared_load_requests == 0:
+            return 1.0
+        return self.shared_load_transactions / self.shared_load_requests
+
+    @property
+    def shared_store_conflict_factor(self) -> float:
+        """Average replay factor of shared stores (1.0 means conflict-free)."""
+        if self.shared_store_requests == 0:
+            return 1.0
+        return self.shared_store_transactions / self.shared_store_requests
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(KernelCounters)}

@@ -1,0 +1,175 @@
+"""GPU device specifications.
+
+:class:`GpuSpec` captures the handful of hardware parameters that determine
+Kron-Matmul performance on a real GPU: peak arithmetic throughput, DRAM
+bandwidth, shared-memory geometry (banks, capacity), register file size,
+occupancy limits and interconnect bandwidth for the multi-GPU algorithm.
+
+The default spec, :data:`TESLA_V100`, matches the NVIDIA Tesla V100-SXM2
+(32 GB) GPUs of the paper's DGX-2 testbed: 15.7 TFLOPS float / 7.8 TFLOPS
+double, 900 GB/s HBM2, 80 SMs, 96 KiB shared memory per SM (48 KiB default
+per thread block), 32-bank shared memory and NVLink 2 links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Performance-relevant description of one GPU.
+
+    All bandwidths are bytes per second; all capacities are bytes unless the
+    name says otherwise.
+    """
+
+    name: str
+    #: Number of streaming multiprocessors.
+    sm_count: int
+    #: Core clock used for shared-memory throughput, Hz.
+    clock_hz: float
+    #: Peak single-precision throughput, FLOP/s.
+    peak_flops_float: float
+    #: Peak double-precision throughput, FLOP/s.
+    peak_flops_double: float
+    #: DRAM (HBM2) bandwidth, bytes/s.
+    memory_bandwidth: float
+    #: Global memory capacity, bytes.
+    memory_capacity: int
+    #: Shared memory available to a single thread block, bytes.
+    shared_memory_per_block: int
+    #: Shared memory per SM, bytes.
+    shared_memory_per_sm: int
+    #: Number of shared memory banks.
+    shared_memory_banks: int
+    #: Width of one shared-memory bank word, bytes.
+    bank_width_bytes: int
+    #: Registers (32-bit) per SM.
+    registers_per_sm: int
+    #: Maximum registers per thread.
+    max_registers_per_thread: int
+    #: Threads per warp.
+    warp_size: int
+    #: Maximum resident threads per SM.
+    max_threads_per_sm: int
+    #: Maximum threads per block.
+    max_threads_per_block: int
+    #: Maximum resident blocks per SM.
+    max_blocks_per_sm: int
+    #: Global→L2→SM memory transaction (sector) size, bytes.
+    memory_transaction_bytes: int
+    #: Fixed cost of launching one kernel, seconds.
+    kernel_launch_overhead: float
+    #: Per-GPU NVLink bandwidth (sum over links, one direction), bytes/s.
+    nvlink_bandwidth: float
+    #: Latency of one NCCL-style point-to-point transfer, seconds.
+    interconnect_latency: float
+
+    def peak_flops(self, dtype: np.dtype | type) -> float:
+        """Peak FLOP/s for ``dtype`` (float32 or float64)."""
+        dt = np.dtype(dtype)
+        if dt == np.dtype(np.float32):
+            return self.peak_flops_float
+        if dt == np.dtype(np.float64):
+            return self.peak_flops_double
+        raise ConfigurationError(f"unsupported dtype for peak_flops: {dt}")
+
+    @property
+    def shared_memory_bandwidth(self) -> float:
+        """Aggregate shared-memory bandwidth, bytes/s.
+
+        Each SM can service one transaction of ``banks * bank_width`` bytes
+        per clock; the aggregate over SMs bounds the shared-memory-limited
+        kernel time in the roofline model.
+        """
+        return (
+            self.sm_count
+            * self.shared_memory_banks
+            * self.bank_width_bytes
+            * self.clock_hz
+        )
+
+    def shared_memory_elements_per_block(self, dtype: np.dtype | type) -> int:
+        """Shared-memory capacity of one block in elements of ``dtype``."""
+        return self.shared_memory_per_block // int(np.dtype(dtype).itemsize)
+
+    def with_overrides(self, **kwargs) -> "GpuSpec":
+        """Return a copy of the spec with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: NVIDIA Tesla V100-SXM2 32 GB — the GPU of the paper's DGX-2 testbed.
+TESLA_V100_32GB = GpuSpec(
+    name="Tesla V100-SXM2-32GB",
+    sm_count=80,
+    clock_hz=1.53e9,
+    peak_flops_float=15.7e12,
+    peak_flops_double=7.8e12,
+    memory_bandwidth=900e9,
+    memory_capacity=32 * 1024**3,
+    shared_memory_per_block=48 * 1024,
+    shared_memory_per_sm=96 * 1024,
+    shared_memory_banks=32,
+    bank_width_bytes=4,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    warp_size=32,
+    max_threads_per_sm=2048,
+    max_threads_per_block=1024,
+    max_blocks_per_sm=32,
+    memory_transaction_bytes=32,
+    kernel_launch_overhead=5e-6,
+    nvlink_bandwidth=150e9,
+    interconnect_latency=10e-6,
+)
+
+#: Alias used throughout the package.
+TESLA_V100 = TESLA_V100_32GB
+
+#: NVIDIA A100-SXM4 80 GB — not used by the paper, provided so "what would
+#: this look like on a newer part" studies can swap the device in one place.
+A100_80GB = GpuSpec(
+    name="A100-SXM4-80GB",
+    sm_count=108,
+    clock_hz=1.41e9,
+    peak_flops_float=19.5e12,
+    peak_flops_double=9.7e12,
+    memory_bandwidth=2039e9,
+    memory_capacity=80 * 1024**3,
+    shared_memory_per_block=48 * 1024,
+    shared_memory_per_sm=164 * 1024,
+    shared_memory_banks=32,
+    bank_width_bytes=4,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    warp_size=32,
+    max_threads_per_sm=2048,
+    max_threads_per_block=1024,
+    max_blocks_per_sm=32,
+    memory_transaction_bytes=32,
+    kernel_launch_overhead=4e-6,
+    nvlink_bandwidth=300e9,
+    interconnect_latency=8e-6,
+)
+
+
+def spec_by_name(name: str) -> GpuSpec:
+    """Look up a built-in GPU spec by (case-insensitive) name."""
+    known = {
+        "v100": TESLA_V100_32GB,
+        "tesla v100": TESLA_V100_32GB,
+        TESLA_V100_32GB.name.lower(): TESLA_V100_32GB,
+        "a100": A100_80GB,
+        A100_80GB.name.lower(): A100_80GB,
+    }
+    try:
+        return known[name.strip().lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown GPU spec {name!r}; known: {sorted(set(known))}"
+        ) from None

@@ -1,0 +1,96 @@
+"""Global-memory coalescing model.
+
+Global memory is accessed in fixed-size transactions (32-byte sectors on
+Volta).  A warp-wide access costs one transaction per distinct sector the
+threads touch: fully coalesced accesses (32 consecutive floats) cost 4
+sectors, whereas a strided access can cost one sector per thread.
+
+The FastKron kernel performs coalesced global loads/stores by construction
+(consecutive threads handle consecutive elements of ``X`` when caching into
+shared memory, and consecutive output elements when writing ``Y``); the
+model below is used both to verify that property in tests and to charge the
+correct number of transactions in the analytic counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.intmath import ceil_div
+
+
+@dataclass(frozen=True)
+class GlobalAccess:
+    """Result of simulating one warp-wide global-memory access."""
+
+    transactions: int
+    bytes_requested: int
+    bytes_transferred: int
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of transferred bytes that were actually requested."""
+        if self.bytes_transferred == 0:
+            return 1.0
+        return self.bytes_requested / self.bytes_transferred
+
+
+class GlobalMemoryModel:
+    """Counts 32-byte-sector transactions for warp-wide global accesses."""
+
+    def __init__(self, transaction_bytes: int = 32):
+        if transaction_bytes <= 0:
+            raise ValueError("transaction_bytes must be positive")
+        self.transaction_bytes = int(transaction_bytes)
+
+    def access(self, byte_addresses: Sequence[int], access_bytes: int) -> GlobalAccess:
+        """Simulate one warp access.
+
+        Parameters
+        ----------
+        byte_addresses:
+            Starting byte address accessed by each active thread.
+        access_bytes:
+            Bytes accessed per thread (the element size).
+        """
+        addresses = np.asarray(list(byte_addresses), dtype=np.int64)
+        if addresses.size == 0:
+            return GlobalAccess(transactions=0, bytes_requested=0, bytes_transferred=0)
+        sectors = set()
+        for addr in addresses:
+            first = int(addr) // self.transaction_bytes
+            last = (int(addr) + access_bytes - 1) // self.transaction_bytes
+            sectors.update(range(first, last + 1))
+        n = len(sectors)
+        return GlobalAccess(
+            transactions=n,
+            bytes_requested=int(addresses.size) * access_bytes,
+            bytes_transferred=n * self.transaction_bytes,
+        )
+
+    def contiguous_transactions(self, n_elements: int, itemsize: int) -> int:
+        """Transactions needed to stream ``n_elements`` contiguous elements.
+
+        This is the analytic fast-path used when an access pattern is known
+        to be coalesced: the element range covers
+        ``ceil(n_elements * itemsize / transaction_bytes)`` sectors.
+        """
+        if n_elements <= 0:
+            return 0
+        return ceil_div(n_elements * itemsize, self.transaction_bytes)
+
+    def strided_transactions(self, n_elements: int, stride_bytes: int, itemsize: int) -> int:
+        """Transactions for ``n_elements`` accesses separated by ``stride_bytes``.
+
+        When the stride is at least one sector every element needs its own
+        transaction; otherwise multiple elements share sectors.
+        """
+        if n_elements <= 0:
+            return 0
+        if stride_bytes >= self.transaction_bytes:
+            return n_elements
+        span = (n_elements - 1) * stride_bytes + itemsize
+        return ceil_div(span, self.transaction_bytes)

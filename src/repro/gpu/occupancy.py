@@ -1,0 +1,99 @@
+"""Occupancy calculator.
+
+The autotuner (Section 4.3) prunes tile configurations by the resources a
+thread block consumes: shared memory, registers and thread slots all bound
+how many blocks can be resident on one SM, and the paper grows ``T_M`` only
+until "the number of thread blocks executing in parallel by all SMs reaches
+a maximum value".  :func:`compute_occupancy` reproduces the standard CUDA
+occupancy calculation for those three limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.gpu.device import GpuSpec
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Resident-block and warp occupancy of one kernel configuration."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    max_warps_per_sm: int
+    limiting_resource: str
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the SM's warp slots that are occupied (0..1)."""
+        if self.max_warps_per_sm == 0:
+            return 0.0
+        return self.warps_per_sm / self.max_warps_per_sm
+
+    @property
+    def total_resident_blocks(self) -> int:
+        """Resident blocks across the whole device (``blocks_per_sm`` known per SM)."""
+        return self.blocks_per_sm
+
+
+def compute_occupancy(
+    spec: GpuSpec,
+    threads_per_block: int,
+    shared_memory_per_block: int,
+    registers_per_thread: int,
+) -> OccupancyResult:
+    """Compute how many blocks of a configuration fit on one SM.
+
+    Parameters
+    ----------
+    spec:
+        Target GPU.
+    threads_per_block:
+        Threads launched per block (must be a positive multiple of 1, at
+        most ``spec.max_threads_per_block``).
+    shared_memory_per_block:
+        Shared memory requested per block, bytes.
+    registers_per_thread:
+        Registers used by each thread.
+    """
+    if threads_per_block <= 0:
+        raise ConfigurationError(f"threads_per_block must be positive, got {threads_per_block}")
+    if threads_per_block > spec.max_threads_per_block:
+        raise ConfigurationError(
+            f"threads_per_block {threads_per_block} exceeds device limit "
+            f"{spec.max_threads_per_block}"
+        )
+    if shared_memory_per_block > spec.shared_memory_per_block:
+        raise ConfigurationError(
+            f"shared memory per block {shared_memory_per_block} B exceeds device limit "
+            f"{spec.shared_memory_per_block} B"
+        )
+    if registers_per_thread > spec.max_registers_per_thread:
+        raise ConfigurationError(
+            f"registers per thread {registers_per_thread} exceeds device limit "
+            f"{spec.max_registers_per_thread}"
+        )
+
+    limits = {}
+    limits["threads"] = spec.max_threads_per_sm // threads_per_block
+    limits["blocks"] = spec.max_blocks_per_sm
+    if shared_memory_per_block > 0:
+        limits["shared_memory"] = spec.shared_memory_per_sm // shared_memory_per_block
+    else:
+        limits["shared_memory"] = spec.max_blocks_per_sm
+    regs_per_block = max(1, registers_per_thread) * threads_per_block
+    limits["registers"] = spec.registers_per_sm // regs_per_block
+
+    limiting_resource = min(limits, key=lambda k: limits[k])
+    blocks_per_sm = limits[limiting_resource]
+    warp_count = -(-threads_per_block // spec.warp_size)  # ceil
+    warps_per_sm = blocks_per_sm * warp_count
+    max_warps = spec.max_threads_per_sm // spec.warp_size
+    return OccupancyResult(
+        blocks_per_sm=blocks_per_sm,
+        warps_per_sm=min(warps_per_sm, max_warps),
+        max_warps_per_sm=max_warps,
+        limiting_resource=limiting_resource,
+    )

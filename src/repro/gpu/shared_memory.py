@@ -1,0 +1,110 @@
+"""Shared-memory bank-conflict model.
+
+CUDA shared memory is divided into ``banks`` (32 on Volta) of
+``bank_width_bytes`` (4) wide words.  When the threads of a warp issue a
+shared-memory access, the hardware needs one transaction per *distinct word
+address per bank*: threads reading the same word are broadcast in a single
+transaction, but threads reading different words that map to the same bank
+serialise, replaying the transaction once per extra word (an *n-way bank
+conflict* costs ``n`` transactions).
+
+:class:`SharedMemoryBankModel` reproduces exactly this rule and is the
+mechanism behind Table 2 of the paper: the *direct* caching scheme used by
+COGENT/cuTensor makes consecutive threads access words that are ``T_P``
+apart, which collide in the same bank whenever ``T_P`` is a multiple of the
+bank count, whereas FastKron's *shift* scheme rotates each slice so the
+words of a warp spread over the banks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WarpAccess:
+    """The result of simulating one warp-wide shared-memory access."""
+
+    #: Number of transactions the hardware issues for this access.
+    transactions: int
+    #: Number of distinct words accessed (lower bound on transactions).
+    distinct_words: int
+    #: Worst-case number of distinct words mapping to a single bank.
+    max_bank_multiplicity: int
+
+    @property
+    def conflict_transactions(self) -> int:
+        """Extra transactions caused by bank conflicts."""
+        return self.transactions - 1 if self.transactions > 0 else 0
+
+    @property
+    def is_conflict_free(self) -> bool:
+        return self.transactions <= 1
+
+
+class SharedMemoryBankModel:
+    """Counts shared-memory transactions for warp-wide word accesses."""
+
+    def __init__(self, num_banks: int = 32, bank_width_bytes: int = 4):
+        if num_banks <= 0 or bank_width_bytes <= 0:
+            raise ValueError("num_banks and bank_width_bytes must be positive")
+        self.num_banks = int(num_banks)
+        self.bank_width_bytes = int(bank_width_bytes)
+
+    # ------------------------------------------------------------------ #
+    def bank_of_word(self, word_address: int) -> int:
+        """Bank index of a word-granular shared-memory address."""
+        return int(word_address) % self.num_banks
+
+    def access(self, word_addresses: Sequence[int]) -> WarpAccess:
+        """Simulate one warp access given per-thread word addresses.
+
+        Parameters
+        ----------
+        word_addresses:
+            One shared-memory *word* address per active thread of the warp
+            (inactive threads are simply omitted).  Addresses are in units
+            of ``bank_width_bytes``.
+
+        Returns
+        -------
+        WarpAccess
+            Transactions follow the broadcast rule: one transaction per
+            distinct word per bank, and the access as a whole costs the
+            maximum over banks.
+        """
+        addresses = np.asarray(list(word_addresses), dtype=np.int64)
+        if addresses.size == 0:
+            return WarpAccess(transactions=0, distinct_words=0, max_bank_multiplicity=0)
+        distinct = np.unique(addresses)
+        banks = distinct % self.num_banks
+        _, counts = np.unique(banks, return_counts=True)
+        max_mult = int(counts.max())
+        return WarpAccess(
+            transactions=max_mult,
+            distinct_words=int(distinct.size),
+            max_bank_multiplicity=max_mult,
+        )
+
+    def access_bytes(self, byte_addresses: Sequence[int]) -> WarpAccess:
+        """Like :meth:`access` but with byte-granular addresses."""
+        words = [addr // self.bank_width_bytes for addr in byte_addresses]
+        return self.access(words)
+
+    # ------------------------------------------------------------------ #
+    def count_transactions(self, warp_accesses: Iterable[Sequence[int]]) -> int:
+        """Total transactions for a sequence of warp-wide accesses."""
+        return sum(self.access(addresses).transactions for addresses in warp_accesses)
+
+    def conflict_degree(self, word_addresses: Sequence[int]) -> int:
+        """The n of an n-way conflict (1 means conflict-free)."""
+        return max(1, self.access(word_addresses).transactions)
+
+
+def split_into_warps(thread_addresses: Sequence[int], warp_size: int) -> List[List[int]]:
+    """Group a per-thread address list into per-warp chunks of ``warp_size``."""
+    addresses = list(thread_addresses)
+    return [addresses[i : i + warp_size] for i in range(0, len(addresses), warp_size)]

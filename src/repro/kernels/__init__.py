@@ -1,0 +1,47 @@
+"""Simulated CUDA kernels: tiling, caching schemes, sliced-multiply and fusion.
+
+This package reproduces, in Python, the structure of FastKron's CUDA kernel
+(Figure 3 of the paper) at two levels of fidelity:
+
+* a **functional simulation** that executes the kernel thread block by
+  thread block (shared-memory buffers, register tiles, shift/direct
+  caching, fused store indexing) and therefore both produces numerically
+  correct results and counts memory transactions empirically — used by the
+  test-suite on small shapes;
+* an **analytic counter model** that computes the same counts in closed
+  form for arbitrarily large shapes — used by the autotuner and the
+  performance models that regenerate the paper's figures.
+"""
+
+from repro.kernels.caching import (
+    CachingScheme,
+    DirectCaching,
+    ShiftCaching,
+    get_caching_scheme,
+)
+from repro.kernels.contraction_kernel import ContractionKernelModel
+from repro.kernels.fused_kernel import FusedKernel
+from repro.kernels.launch import GpuExecutor, IterationExecution, ProblemExecution
+from repro.kernels.sliced_kernel import SlicedMultiplyKernel
+from repro.kernels.store_indexing import (
+    fused_store_columns,
+    gpu_tile_store_columns,
+)
+from repro.kernels.tile_config import TileConfig, default_tile_config
+
+__all__ = [
+    "CachingScheme",
+    "ContractionKernelModel",
+    "DirectCaching",
+    "FusedKernel",
+    "GpuExecutor",
+    "IterationExecution",
+    "ProblemExecution",
+    "ShiftCaching",
+    "SlicedMultiplyKernel",
+    "TileConfig",
+    "default_tile_config",
+    "fused_store_columns",
+    "get_caching_scheme",
+    "gpu_tile_store_columns",
+]

@@ -1,0 +1,237 @@
+"""Shared-memory caching schemes: *direct* and *shift* (Section 4.1).
+
+Both schemes cache, per main-loop step, ``T_P`` elements of every slice of
+the thread-block's ``X`` tile into the shared buffer ``Xs`` (one row of
+``Xs`` holds ``(T_K/P) × T_P`` words, slice-major).  They differ in *where*
+within a slice's ``T_P``-word span an element is placed:
+
+``direct`` (CUTLASS / COGENT / cuTensor)
+    Element ``e`` of slice ``s`` is stored at ``s·T_P + e``.  When threads
+    later read the same element index of their assigned slices, the
+    addresses are ``T_P·R_K`` apart, and whenever that stride shares a large
+    factor with the bank count the words collide in a few banks — an up to
+    32-way conflict.
+
+``shift`` (FastKron)
+    Element ``e`` of slice ``s`` is stored at ``s·T_P + (e + s/R_K) mod T_P``:
+    each thread's span is rotated by its thread index, so simultaneous
+    accesses spread over the banks and at most ``⌈warpSize/T_P⌉`` words share
+    a bank.
+
+The classes below provide the index maps used by the functional kernel
+simulation plus warp-level address generators so the bank-conflict cost of
+each scheme can be measured with :class:`repro.gpu.shared_memory.SharedMemoryBankModel`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from functools import lru_cache
+from typing import List, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.gpu.shared_memory import SharedMemoryBankModel, WarpAccess
+from repro.kernels.tile_config import TileConfig
+
+
+class CachingScheme(ABC):
+    """Strategy object mapping (slice, element) to a shared-memory column."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def shared_column(self, slice_idx: int, elem_idx: int, tp: int, rk: int) -> int:
+        """Shared-memory column (within one ``Xs`` row) of element ``elem_idx`` of ``slice_idx``."""
+
+    # ------------------------------------------------------------------ #
+    # warp access patterns
+    # ------------------------------------------------------------------ #
+    def store_warp_addresses(
+        self, first_k: int, warp_size: int, tp: int, rk: int, ks: int
+    ) -> List[int]:
+        """Addresses written by one warp of the global→shared copy loop.
+
+        Thread ``lane`` of the warp handles linear element ``first_k + lane``
+        of the ``Xs`` row (``ShiftGToS`` / its direct counterpart); elements
+        past the end of the row (``ks``) leave the lane inactive.
+        """
+        addresses = []
+        for lane in range(warp_size):
+            k = first_k + lane
+            if k >= ks:
+                break
+            addresses.append(self.shared_column(k // tp, k % tp, tp, rk))
+        return addresses
+
+    def load_warp_addresses(
+        self,
+        warp_threads: Sequence[int],
+        slice_offset: int,
+        elem_idx: int,
+        tile: TileConfig,
+        p: int,
+    ) -> List[int]:
+        """Addresses read by one warp of the shared→register copy loop.
+
+        ``warp_threads`` are block-local thread ids; thread ``t`` owns slices
+        ``yK(t) .. yK(t)+R_K-1`` and here reads element ``elem_idx`` of slice
+        ``yK(t) + slice_offset`` (``ShiftSToR`` / direct counterpart).
+        """
+        threads_along_k = tile.threads_along_k(p)
+        addresses = []
+        for t in warp_threads:
+            yk = (t % threads_along_k) * tile.rk
+            slice_idx = yk + slice_offset
+            addresses.append(self.shared_column(slice_idx, elem_idx, tile.tp, tile.rk))
+        return addresses
+
+    # ------------------------------------------------------------------ #
+    # conflict analysis
+    # ------------------------------------------------------------------ #
+    def store_conflict_factor(
+        self,
+        tile: TileConfig,
+        p: int,
+        bank_model: SharedMemoryBankModel,
+        warp_size: int,
+    ) -> float:
+        """Average transactions per warp store request for this scheme.
+
+        Only the first few warps of the copy loop are enumerated: the store
+        pattern of warp ``w`` is that of warp 0 translated by a multiple of
+        ``warp_size`` words, which maps banks onto banks, so the conflict
+        degree is identical across warps.
+        """
+        return _store_conflict_factor_cached(
+            self.name,
+            tile.tp,
+            tile.rk,
+            min(tile.slices_per_block(p) * tile.tp, 4 * warp_size),
+            warp_size,
+            bank_model.num_banks,
+        )
+
+    def load_conflict_factor(
+        self,
+        tile: TileConfig,
+        p: int,
+        bank_model: SharedMemoryBankModel,
+        warp_size: int,
+    ) -> float:
+        """Average transactions per warp load request for this scheme.
+
+        The pattern sampled is the ``Xr`` load: every thread of a warp reads
+        element ``e`` of one of its ``R_K`` slices.  Only the first warp is
+        enumerated (averaged over the element index and slice offset); the
+        other warps' thread indices are translates of the first warp's, so
+        their conflict degree is the same.
+        """
+        return _load_conflict_factor_cached(
+            self.name,
+            tile.key(),
+            p,
+            min(warp_size, tile.threads_per_block(p)),
+            warp_size,
+            bank_model.num_banks,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class DirectCaching(CachingScheme):
+    """The standard caching scheme of CUTLASS / COGENT / cuTensor."""
+
+    name = "direct"
+
+    def shared_column(self, slice_idx: int, elem_idx: int, tp: int, rk: int) -> int:
+        return slice_idx * tp + elem_idx
+
+
+class ShiftCaching(CachingScheme):
+    """FastKron's shift caching scheme (Figure 5 of the paper)."""
+
+    name = "shift"
+
+    def shared_column(self, slice_idx: int, elem_idx: int, tp: int, rk: int) -> int:
+        shift = (slice_idx // rk) % tp
+        return slice_idx * tp + (elem_idx + shift) % tp
+
+
+_SCHEMES = {
+    "direct": DirectCaching,
+    "shift": ShiftCaching,
+}
+
+
+@lru_cache(maxsize=4096)
+def _store_conflict_factor_cached(
+    scheme_name: str, tp: int, rk: int, ks_sample: int, warp_size: int, num_banks: int
+) -> float:
+    scheme = _SCHEMES[scheme_name]()
+    bank_model = SharedMemoryBankModel(num_banks=num_banks)
+    total_tx = 0
+    total_requests = 0
+    for first_k in range(0, ks_sample, warp_size):
+        addresses = scheme.store_warp_addresses(first_k, warp_size, tp, rk, ks_sample)
+        if not addresses:
+            continue
+        total_tx += bank_model.access(addresses).transactions
+        total_requests += 1
+    return (total_tx / total_requests) if total_requests else 1.0
+
+
+@lru_cache(maxsize=4096)
+def _load_conflict_factor_cached(
+    scheme_name: str,
+    tile_key: tuple,
+    p: int,
+    active_threads: int,
+    warp_size: int,
+    num_banks: int,
+) -> float:
+    scheme = _SCHEMES[scheme_name]()
+    bank_model = SharedMemoryBankModel(num_banks=num_banks)
+    tile = TileConfig(*tile_key)
+    warp_threads = list(range(active_threads))
+    total_tx = 0
+    total_requests = 0
+    # The slice-offset loop is unnecessary: changing the offset shifts every
+    # thread's address by the same multiple of T_P, which permutes banks
+    # uniformly and leaves the conflict degree unchanged.  The element index
+    # is averaged over (bounded for very wide T_P).
+    for elem_idx in range(min(tile.tp, 32)):
+        addresses = scheme.load_warp_addresses(warp_threads, 0, elem_idx, tile, p)
+        total_tx += bank_model.access(addresses).transactions
+        total_requests += 1
+    return (total_tx / total_requests) if total_requests else 1.0
+
+
+def get_caching_scheme(name: str) -> CachingScheme:
+    """Instantiate a caching scheme by name (``'shift'`` or ``'direct'``)."""
+    try:
+        return _SCHEMES[name.lower()]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown caching scheme {name!r}; available: {sorted(_SCHEMES)}"
+        ) from None
+
+
+def measure_warp_access(
+    scheme: CachingScheme,
+    tile: TileConfig,
+    p: int,
+    warp_size: int = 32,
+    num_banks: int = 32,
+) -> WarpAccess:
+    """Measure the bank conflicts of one representative ``Xr`` load warp access.
+
+    A convenience wrapper used by the caching ablation bench and the tests:
+    returns the :class:`WarpAccess` of the first warp reading element 0 of
+    slice-offset 0.
+    """
+    bank_model = SharedMemoryBankModel(num_banks=num_banks)
+    threads = tile.threads_per_block(p)
+    warp_threads = list(range(min(warp_size, threads)))
+    addresses = scheme.load_warp_addresses(warp_threads, 0, 0, tile, p)
+    return bank_model.access(addresses)

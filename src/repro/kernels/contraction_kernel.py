@@ -1,0 +1,119 @@
+"""Counter model of the COGENT / cuTensor tensor-contraction kernel.
+
+The FTMMT baseline executes every Kron-Matmul iteration as one tensor
+contraction.  The exact generated code differs between COGENT and cuTensor,
+but the performance-relevant structure the paper describes (Sections 2.2 and
+4.1) is common to both and is what this model reproduces:
+
+* the contraction is *not fused across iterations*: every iteration reads
+  its full input intermediate from global memory and writes its full output
+  intermediate back;
+* input tiles are cached in shared memory with the **direct** scheme —
+  contiguous ``P`` elements of the contracted dimension go to ``P``
+  registers of consecutive threads — which produces bank conflicts whenever
+  the slice length shares a factor with the bank count;
+* because the transpose is fused into the contraction, the output tile is
+  staged through shared memory before the (coalesced) global write, and the
+  staging writes are strided by the number of slices — another source of
+  conflicts that FastKron avoids entirely by writing registers straight to
+  global memory.
+
+The model reuses the FastKron tile machinery with
+:class:`~repro.kernels.caching.DirectCaching` for the load side and adds the
+output-staging traffic explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.gpu.counters import KernelCounters
+from repro.gpu.device import GpuSpec, TESLA_V100
+from repro.gpu.shared_memory import SharedMemoryBankModel
+from repro.kernels.caching import DirectCaching
+from repro.kernels.sliced_kernel import SlicedMultiplyKernel
+from repro.kernels.tile_config import TileConfig, default_tile_config
+from repro.utils.intmath import ceil_div
+
+
+#: Maximum shared-memory replay factor charged to the generated contraction
+#: kernels.  COGENT and cuTensor issue 128-bit vectorised shared loads and pad
+#: their buffers, which bounds the per-request replay well below the raw
+#: conflict degree of an unpadded direct layout; without this cap the model
+#: would predict throughput far below what the paper measures for COGENT
+#: (e.g. ~8 TFLOPS at 64^4).  The *unpadded* direct scheme is still available
+#: for the caching ablation benchmark.
+CONTRACTION_MAX_REPLAY = 4.0
+
+
+class ContractionKernelModel:
+    """Analytic counters for one FTMMT iteration executed by COGENT/cuTensor."""
+
+    def __init__(
+        self,
+        spec: GpuSpec = TESLA_V100,
+        tile: Optional[TileConfig] = None,
+        max_replay: float = CONTRACTION_MAX_REPLAY,
+    ):
+        self.spec = spec
+        self.tile = tile
+        self.max_replay = max_replay
+        self._bank_model = SharedMemoryBankModel(
+            num_banks=spec.shared_memory_banks, bank_width_bytes=spec.bank_width_bytes
+        )
+
+    def _tile_for(self, m: int, k: int, p: int, q: int, dtype: np.dtype | type) -> TileConfig:
+        if self.tile is not None:
+            return self.tile
+        # COGENT autotunes its own tiles; give it the same untuned default
+        # FastKron would start from, unfused (it cannot fuse across
+        # iterations) and with the direct scheme.
+        return default_tile_config(m, k, p, q, spec=self.spec, dtype=dtype, fuse=False)
+
+    def analytic_counters(
+        self, m: int, k: int, p: int, q: int, dtype: np.dtype | type = np.float32
+    ) -> KernelCounters:
+        """Counters for contracting an ``(M, K)`` intermediate with one ``(P, Q)`` factor."""
+        dtype = np.dtype(dtype)
+        tile = self._tile_for(m, k, p, q, dtype)
+        kernel = SlicedMultiplyKernel(tile, DirectCaching(), self.spec)
+        counters = kernel.analytic_counters(m, k, p, q, dtype)
+        # Bound the replay factor (see CONTRACTION_MAX_REPLAY).
+        counters.shared_load_transactions = min(
+            counters.shared_load_transactions,
+            int(round(counters.shared_load_requests * self.max_replay)),
+        )
+        counters.shared_store_transactions = min(
+            counters.shared_store_transactions,
+            int(round(counters.shared_store_requests * self.max_replay)),
+        )
+
+        # Output staging through shared memory: the fused transpose means the
+        # in-register results are strided with respect to the global layout,
+        # so the generated kernels stage them in shared memory (strided
+        # writes) and then stream them out coalesced.  Charge one extra
+        # shared store + load per output element, with the store side paying
+        # the strided-conflict factor of the direct scheme.
+        warp_size = self.spec.warp_size
+        out_elements = m * (k // p) * q
+        staging_requests = ceil_div(out_elements, warp_size)
+        store_conflict = min(self._output_staging_conflict_factor(tile, p, q), self.max_replay)
+        counters.shared_store_requests += staging_requests
+        counters.shared_store_transactions += int(round(staging_requests * store_conflict))
+        counters.shared_load_requests += staging_requests
+        counters.shared_load_transactions += staging_requests
+        return counters
+
+    def _output_staging_conflict_factor(self, tile: TileConfig, p: int, q: int) -> float:
+        """Conflict factor of the strided output-staging writes.
+
+        Consecutive threads hold results for consecutive factor columns of
+        the same slice, which are ``T_K/P`` apart in the staged tile — the
+        transposed layout the contraction must produce.
+        """
+        stride = max(1, tile.slices_per_block(p))
+        warp = self.spec.warp_size
+        addresses = [(t % q) * stride + (t // q) for t in range(warp)]
+        return float(self._bank_model.access(addresses).transactions)

@@ -1,0 +1,169 @@
+"""The fused sliced-multiply kernel (Section 4.2, Figures 6 and 7).
+
+A fused kernel applies ``N_fused`` consecutive sliced multiplications to the
+``T_K``-column chunk of each row owned by a thread block, keeping the
+intra-group intermediates in shared memory, and only then writes the final
+chunk to the global intermediate using the ``StoreFusedShMem`` index
+transformation.  Fusion requires square factors of identical shape with
+``T_P = P`` (so that whole slices live in shared memory) and
+``N_fused ≤ ⌊log_P T_K⌋``.
+
+The functional path reuses the single-multiply simulation for the values
+and applies the scatter of :func:`repro.kernels.store_indexing.fused_store_columns`;
+the analytic path charges global traffic only at the group boundaries and
+adds the shared-memory traffic of the intermediate writes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.sliced_multiply import sliced_multiply
+from repro.exceptions import ConfigurationError
+from repro.gpu.counters import KernelCounters
+from repro.gpu.device import GpuSpec, TESLA_V100
+from repro.kernels.caching import CachingScheme, ShiftCaching
+from repro.kernels.sliced_kernel import SlicedMultiplyKernel
+from repro.kernels.store_indexing import fused_store_columns
+from repro.kernels.tile_config import TileConfig, max_fusable
+from repro.utils.intmath import ceil_div
+
+
+class FusedKernel:
+    """A kernel that fuses ``N_fused`` sliced multiplications (square factors)."""
+
+    def __init__(
+        self,
+        tile: TileConfig,
+        caching: Optional[CachingScheme] = None,
+        spec: GpuSpec = TESLA_V100,
+    ):
+        if tile.nfused < 1:
+            raise ConfigurationError("N_fused must be >= 1")
+        self.tile = tile
+        self.caching = caching if caching is not None else ShiftCaching()
+        self.spec = spec
+        self._single = SlicedMultiplyKernel(tile.with_nfused(1), self.caching, spec)
+
+    # ------------------------------------------------------------------ #
+    def validate(self, m: int, k: int, factors: Sequence[np.ndarray]) -> Tuple[int, int]:
+        """Validate the fused group and return the common ``(P, Q)``."""
+        if len(factors) != self.tile.nfused:
+            raise ConfigurationError(
+                f"fused kernel expects {self.tile.nfused} factors, got {len(factors)}"
+            )
+        shapes = {tuple(np.asarray(f).shape) for f in factors}
+        if len(shapes) != 1:
+            raise ConfigurationError(f"fused factors must share a shape, got {shapes}")
+        p, q = shapes.pop()
+        if p != q:
+            raise ConfigurationError("fusion requires square factors")
+        if self.tile.tp != p:
+            raise ConfigurationError(f"fusion requires T_P = P (T_P={self.tile.tp}, P={p})")
+        if self.tile.nfused > max_fusable(self.tile.tk, p):
+            raise ConfigurationError(
+                f"N_fused={self.tile.nfused} exceeds ⌊log_P T_K⌋ for T_K={self.tile.tk}, P={p}"
+            )
+        if k % self.tile.tk != 0:
+            raise ConfigurationError(f"T_K={self.tile.tk} must divide K={k}")
+        return p, q
+
+    # ------------------------------------------------------------------ #
+    # functional execution
+    # ------------------------------------------------------------------ #
+    def execute(
+        self, x: np.ndarray, factors: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """Apply the fused group to ``x`` chunk by chunk, scattering the results.
+
+        Every thread block's chunk is processed independently in "shared
+        memory" (a local array) and written to the global output with the
+        Figure 7 column mapping; the result equals applying the ``N_fused``
+        sliced multiplications to the whole matrix.
+        """
+        x = np.asarray(x)
+        m, k = x.shape
+        p, q = self.validate(m, k, factors)
+        nfused = self.tile.nfused
+        tile_k = self.tile.tk
+        n_chunks = k // tile_k
+        # Square factors: the intermediate width never changes.
+        y = np.empty((m, k), dtype=x.dtype)
+        for chunk in range(n_chunks):
+            local = np.ascontiguousarray(x[:, chunk * tile_k : (chunk + 1) * tile_k])
+            for factor in list(factors)[::-1]:
+                local = sliced_multiply(local, np.asarray(factor))
+            columns = fused_store_columns(k, tile_k, p, nfused, chunk)
+            y[:, columns] = local
+        return y
+
+    # ------------------------------------------------------------------ #
+    # analytic counters
+    # ------------------------------------------------------------------ #
+    def analytic_counters(
+        self, m: int, k: int, p: int, q: int, dtype: np.dtype | type = np.float32
+    ) -> KernelCounters:
+        """Closed-form counters for one fused kernel launch over the whole grid.
+
+        Global traffic is charged once for the group (the input chunk is
+        read once, the final chunk written once, each factor read once);
+        the intra-group intermediates cost shared-memory stores and loads
+        instead.
+        """
+        if p != q:
+            raise ConfigurationError("fused analytic counters require square factors")
+        nfused = self.tile.nfused
+        single = self._single.analytic_counters(m, k, p, q, dtype)
+
+        counters = KernelCounters(kernel_launches=1)
+        counters.flops = single.flops * nfused
+
+        # Global loads: X once + the factor tiles for every fused factor.
+        n_blocks = self.tile.n_blocks(m, k, q, p)
+        x_load_elements = n_blocks * self.tile.tm * self.tile.tk
+        f_load_elements = n_blocks * p * self.tile.tq
+        counters.global_load_elements = x_load_elements + f_load_elements * nfused
+        counters.global_store_elements = single.global_store_elements
+        # Transactions scale with the element split: the X part of the single
+        # kernel's loads plus nfused times its F part.
+        x_fraction = x_load_elements / max(1, (x_load_elements + f_load_elements))
+        counters.global_load_transactions = int(
+            round(
+                single.global_load_transactions * x_fraction
+                + single.global_load_transactions * (1 - x_fraction) * nfused
+            )
+        )
+        counters.global_store_transactions = single.global_store_transactions
+
+        # Shared traffic: every fused multiply pays the load/compute traffic
+        # of the single kernel; multiplies other than the last additionally
+        # write their output tile to shared memory, and multiplies other
+        # than the first skip the global->shared staging of Xs (the data is
+        # already resident) but still re-stage it bank-conflict-free from
+        # the intermediate buffer.
+        warp_size = self.spec.warp_size
+        out_tile_words = self.tile.tm * (self.tile.tk // p) * q
+        intermediate_store_requests = n_blocks * (nfused - 1) * ceil_div(out_tile_words, warp_size)
+
+        counters.shared_load_requests = single.shared_load_requests * nfused
+        counters.shared_load_transactions = single.shared_load_transactions * nfused
+        counters.shared_store_requests = (
+            single.shared_store_requests * nfused + intermediate_store_requests
+        )
+        counters.shared_store_transactions = (
+            single.shared_store_transactions * nfused + intermediate_store_requests
+        )
+        return counters
+
+    def occupancy(self, p: int, q: int, dtype: np.dtype | type = np.float32):
+        """Occupancy of the fused configuration (double-buffered shared memory)."""
+        from repro.gpu.occupancy import compute_occupancy
+
+        return compute_occupancy(
+            self.spec,
+            threads_per_block=self.tile.threads_per_block(p),
+            shared_memory_per_block=self.tile.shared_memory_bytes(p, q, dtype),
+            registers_per_thread=self.tile.registers_per_thread(),
+        )

@@ -1,0 +1,210 @@
+"""Whole-problem execution on the simulated GPU: kernel launches + counters.
+
+:class:`GpuExecutor` strings together the per-iteration kernels (fused where
+the fusion plan allows) for a full Kron-Matmul problem.  It has two modes:
+
+``execute(x, factors)``
+    Numerically computes the result (using the vectorised sliced multiply —
+    the functional thread-block simulation is reserved for small validation
+    shapes) while accumulating the *analytic* counters of every launch.
+``estimate(problem)``
+    Accumulates the counters only, without touching data.  This is what the
+    performance models use for the paper-scale shapes (e.g. ``M=1024``,
+    ``K=128^3``) where materialising operands would be wasteful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.factors import as_factor_list
+from repro.core.fused import FusionPlan, plan_fusion
+from repro.core.problem import IterationShape, KronMatmulProblem
+from repro.core.sliced_multiply import sliced_multiply
+from repro.exceptions import ConfigurationError
+from repro.gpu.counters import KernelCounters
+from repro.gpu.device import GpuSpec, TESLA_V100
+from repro.kernels.caching import CachingScheme, ShiftCaching
+from repro.kernels.fused_kernel import FusedKernel
+from repro.kernels.sliced_kernel import SlicedMultiplyKernel
+from repro.kernels.tile_config import TileConfig, default_tile_config, max_fusable
+
+
+@dataclass
+class IterationExecution:
+    """Counters and metadata of one kernel launch (one fusion group)."""
+
+    iterations: List[IterationShape]
+    tile: TileConfig
+    counters: KernelCounters
+    fused: bool
+
+    @property
+    def label(self) -> str:
+        idx = [it.index for it in self.iterations]
+        kind = "fused" if self.fused else "single"
+        return f"{kind} kernel over iterations {idx} ({self.tile.describe()})"
+
+
+@dataclass
+class ProblemExecution:
+    """Aggregated result of executing a whole Kron-Matmul on the simulated GPU."""
+
+    problem: KronMatmulProblem
+    launches: List[IterationExecution] = field(default_factory=list)
+    output: Optional[np.ndarray] = None
+
+    @property
+    def counters(self) -> KernelCounters:
+        total = KernelCounters()
+        for launch in self.launches:
+            total += launch.counters
+        return total
+
+    @property
+    def n_kernel_launches(self) -> int:
+        return len(self.launches)
+
+
+class GpuExecutor:
+    """Executes Kron-Matmul problems on the simulated GPU."""
+
+    def __init__(
+        self,
+        spec: GpuSpec = TESLA_V100,
+        caching: Optional[CachingScheme] = None,
+        fuse: bool = True,
+        tile_overrides: Optional[Dict[int, TileConfig]] = None,
+    ):
+        """
+        Parameters
+        ----------
+        spec:
+            Target device.
+        caching:
+            Shared-memory caching scheme (defaults to FastKron's shift scheme).
+        fuse:
+            Enable cross-iteration fusion where the plan allows it
+            (``False`` reproduces the ``FastKron-wo-Fuse`` configuration).
+        tile_overrides:
+            Optional mapping from iteration index to a :class:`TileConfig`
+            (typically produced by the autotuner).  Iterations without an
+            override use :func:`default_tile_config`.
+        """
+        self.spec = spec
+        self.caching = caching if caching is not None else ShiftCaching()
+        self.fuse = fuse
+        self.tile_overrides = dict(tile_overrides or {})
+
+    # ------------------------------------------------------------------ #
+    def _tile_for(self, it: IterationShape, dtype: np.dtype) -> TileConfig:
+        if it.index in self.tile_overrides:
+            return self.tile_overrides[it.index]
+        return default_tile_config(
+            it.m, it.k, it.p, it.q, spec=self.spec, dtype=dtype, fuse=self.fuse
+        )
+
+    def _plan(self, problem: KronMatmulProblem) -> FusionPlan:
+        shared_elements = self.spec.shared_memory_elements_per_block(problem.dtype)
+        # Fused kernels double-buffer the intermediate tile, so the planner
+        # sees half the capacity.
+        return plan_fusion(problem, shared_memory_elements=shared_elements, enabled=self.fuse)
+
+    def _group_tile(
+        self, group_iterations: List[IterationShape], dtype: np.dtype
+    ) -> tuple[TileConfig, bool]:
+        """Choose the tile config for a fusion group and whether it runs fused."""
+        first = group_iterations[0]
+        tile = self._tile_for(first, dtype)
+        nfused = len(group_iterations)
+        if nfused == 1:
+            return tile.with_nfused(1), False
+        # The fused kernel needs T_P = P and N_fused <= floor(log_P T_K).
+        if tile.tp != first.p or first.p != first.q:
+            return tile.with_nfused(1), False
+        nfused = min(nfused, max_fusable(tile.tk, first.p))
+        if nfused <= 1:
+            return tile.with_nfused(1), False
+        fused_tile = tile.with_nfused(nfused)
+        if not fused_tile.fits(self.spec, first.p, first.q, dtype):
+            return tile.with_nfused(1), False
+        return fused_tile, True
+
+    # ------------------------------------------------------------------ #
+    def estimate(self, problem: KronMatmulProblem) -> ProblemExecution:
+        """Accumulate analytic counters for every kernel launch of ``problem``."""
+        plan = self._plan(problem)
+        iteration_shapes = problem.iteration_shapes()
+        execution = ProblemExecution(problem=problem)
+        for group in plan.groups:
+            group_iterations = [iteration_shapes[i] for i in group.iterations]
+            tile, fused = self._group_tile(group_iterations, problem.dtype)
+            first = group_iterations[0]
+            if fused and tile.nfused == len(group_iterations):
+                kernel = FusedKernel(tile, self.caching, self.spec)
+                counters = kernel.analytic_counters(
+                    first.m, first.k, first.p, first.q, problem.dtype
+                )
+                execution.launches.append(
+                    IterationExecution(group_iterations, tile, counters, fused=True)
+                )
+            elif fused:
+                # The plan asked for a deeper fusion than the tile supports;
+                # split into a fused prefix plus single kernels.
+                self._estimate_split_group(execution, group_iterations, tile, problem.dtype)
+            else:
+                for it in group_iterations:
+                    single_tile = self._tile_for(it, problem.dtype).with_nfused(1)
+                    kernel = SlicedMultiplyKernel(single_tile, self.caching, self.spec)
+                    counters = kernel.analytic_counters(it.m, it.k, it.p, it.q, problem.dtype)
+                    execution.launches.append(
+                        IterationExecution([it], single_tile, counters, fused=False)
+                    )
+        return execution
+
+    def _estimate_split_group(
+        self,
+        execution: ProblemExecution,
+        group_iterations: List[IterationShape],
+        tile: TileConfig,
+        dtype: np.dtype,
+    ) -> None:
+        nfused = tile.nfused
+        head, tail = group_iterations[:nfused], group_iterations[nfused:]
+        first = head[0]
+        kernel = FusedKernel(tile, self.caching, self.spec)
+        counters = kernel.analytic_counters(first.m, first.k, first.p, first.q, dtype)
+        execution.launches.append(IterationExecution(head, tile, counters, fused=True))
+        for it in tail:
+            single_tile = self._tile_for(it, dtype).with_nfused(1)
+            single = SlicedMultiplyKernel(single_tile, self.caching, self.spec)
+            execution.launches.append(
+                IterationExecution(
+                    [it],
+                    single_tile,
+                    single.analytic_counters(it.m, it.k, it.p, it.q, dtype),
+                    fused=False,
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    def execute(self, x: np.ndarray, factors: Sequence) -> ProblemExecution:
+        """Execute numerically (vectorised) and attach the analytic counters."""
+        factor_list = as_factor_list(factors)
+        x2d = np.asarray(x)
+        if x2d.ndim != 2:
+            raise ConfigurationError("GpuExecutor.execute expects a 2-D input matrix")
+        problem = KronMatmulProblem.from_factors(
+            x2d.shape[0], [f.values for f in factor_list], dtype=x2d.dtype
+        )
+        problem.validate_against(x2d, [f.values for f in factor_list])
+        execution = self.estimate(problem)
+
+        y = x2d
+        for it in problem.iteration_shapes():
+            y = sliced_multiply(y, factor_list[it.factor_index].values)
+        execution.output = np.ascontiguousarray(y)
+        return execution

@@ -1,0 +1,357 @@
+"""The simulated ``SlicedMultiplyKernel`` (Figure 3 of the paper).
+
+The kernel sliced-multiplies ``X (M×K)`` with a factor ``F (P×Q)`` producing
+``Y (M × K/P·Q)``.  Work is decomposed exactly as in the paper:
+
+* the grid has ``{M/T_M, K/T_K, Q/T_Q}`` thread blocks;
+* each block iterates over the ``P`` dimension in steps of ``T_P``, caching
+  ``T_P`` elements of each of its ``T_K/P`` slices (buffer ``Xs``) and of
+  its ``T_Q`` factor columns (buffer ``Fs``) in shared memory;
+* each thread owns ``R_K`` slices × ``R_Q`` columns and accumulates
+  ``T_M × R_K × R_Q`` output elements in registers, reading ``R_P`` elements
+  at a time from shared memory;
+* finished elements are written straight to their final position in ``Y``
+  (consecutive slice-results are consecutive in the output; results for
+  factor column ``c`` start at column ``c · K/P``).
+
+Two execution paths are provided.  :meth:`SlicedMultiplyKernel.execute`
+is a *functional* simulation that walks thread blocks, shared buffers and
+per-thread register tiles explicitly — slow, but bit-accurate with respect
+to the indexing, and able to measure shared-memory transactions with the
+bank model.  :meth:`SlicedMultiplyKernel.analytic_counters` computes the
+same counters in closed form for arbitrarily large problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.gpu.counters import KernelCounters
+from repro.gpu.device import GpuSpec, TESLA_V100
+from repro.gpu.memory import GlobalMemoryModel
+from repro.gpu.shared_memory import SharedMemoryBankModel
+from repro.kernels.caching import CachingScheme, ShiftCaching
+from repro.kernels.tile_config import TileConfig
+from repro.utils.intmath import ceil_div
+
+
+@dataclass
+class _BlockContext:
+    """Pre-computed per-kernel quantities shared by all thread blocks."""
+
+    m: int
+    k: int
+    p: int
+    q: int
+    slices_per_block: int
+    threads_along_k: int
+    threads_per_block: int
+    ks: int
+    out_cols: int
+    global_slices: int
+
+
+class SlicedMultiplyKernel:
+    """A single sliced-multiply kernel instantiation (one tile config)."""
+
+    def __init__(
+        self,
+        tile: TileConfig,
+        caching: Optional[CachingScheme] = None,
+        spec: GpuSpec = TESLA_V100,
+    ):
+        self.tile = tile
+        self.caching = caching if caching is not None else ShiftCaching()
+        self.spec = spec
+        self._bank_model = SharedMemoryBankModel(
+            num_banks=spec.shared_memory_banks, bank_width_bytes=spec.bank_width_bytes
+        )
+        self._gmem_model = GlobalMemoryModel(transaction_bytes=spec.memory_transaction_bytes)
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _context(self, m: int, k: int, p: int, q: int) -> _BlockContext:
+        self.tile.validate(p, q, k, m)
+        if m % self.tile.tm != 0:
+            raise ConfigurationError(
+                f"the functional/analytic kernel requires T_M={self.tile.tm} to divide M={m}"
+            )
+        slices = self.tile.slices_per_block(p)
+        return _BlockContext(
+            m=m,
+            k=k,
+            p=p,
+            q=q,
+            slices_per_block=slices,
+            threads_along_k=self.tile.threads_along_k(p),
+            threads_per_block=self.tile.threads_per_block(p),
+            ks=slices * self.tile.tp,
+            out_cols=(k // p) * q,
+            global_slices=k // p,
+        )
+
+    def _thread_coords(self, thread: int, ctx: _BlockContext) -> Tuple[int, int]:
+        """Return ``(yK, yQ)`` — the first slice and first factor column of a thread."""
+        yk = (thread % ctx.threads_along_k) * self.tile.rk
+        yq = (thread // ctx.threads_along_k) * self.tile.rq
+        return yk, yq
+
+    # ------------------------------------------------------------------ #
+    # functional simulation
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        x: np.ndarray,
+        f: np.ndarray,
+        count: bool = False,
+    ) -> Tuple[np.ndarray, Optional[KernelCounters]]:
+        """Run the kernel functionally over the whole grid.
+
+        Parameters
+        ----------
+        x, f:
+            The input matrix ``(M, K)`` and factor ``(P, Q)``.
+        count:
+            When True, shared-memory transactions are measured warp by warp
+            with the bank model and returned in a :class:`KernelCounters`
+            (much slower; meant for small validation shapes).
+
+        Returns
+        -------
+        (Y, counters)
+            The output matrix and, if requested, the measured counters.
+        """
+        x = np.asarray(x)
+        f = np.asarray(f)
+        m, k = x.shape
+        p, q = f.shape
+        ctx = self._context(m, k, p, q)
+        y = np.zeros((m, ctx.out_cols), dtype=x.dtype)
+        counters = KernelCounters() if count else None
+
+        grid_m, grid_k, grid_q = self.tile.grid(m, k, q, p)
+        for bm in range(grid_m):
+            for bk in range(grid_k):
+                for bq in range(grid_q):
+                    self._execute_block(x, f, y, bm, bk, bq, ctx, counters)
+        if counters is not None:
+            counters.kernel_launches = 1
+            counters.flops = 2 * m * ctx.out_cols * p
+            counters.global_load_elements = grid_m * grid_k * grid_q * (
+                self.tile.tm * self.tile.tk + p * self.tile.tq
+            )
+            counters.global_store_elements = m * ctx.out_cols
+            counters.global_load_transactions = self._analytic_global_load_transactions(ctx, x.dtype)
+            counters.global_store_transactions = self._analytic_global_store_transactions(ctx, x.dtype)
+        return y, counters
+
+    def _execute_block(
+        self,
+        x: np.ndarray,
+        f: np.ndarray,
+        y: np.ndarray,
+        bm: int,
+        bk: int,
+        bq: int,
+        ctx: _BlockContext,
+        counters: Optional[KernelCounters],
+    ) -> None:
+        tile = self.tile
+        warp_size = self.spec.warp_size
+        xs = np.zeros((tile.tm, ctx.ks), dtype=x.dtype)
+        fs = np.zeros((tile.tp, tile.tq), dtype=x.dtype)
+        yr = np.zeros((ctx.threads_per_block, tile.tm, tile.rk, tile.rq), dtype=x.dtype)
+
+        for t_p in range(0, ctx.p, tile.tp):
+            # ---------------- Step 1: global -> shared ------------------ #
+            for m_i in range(tile.tm):
+                row = bm * tile.tm + m_i
+                for k_lin in range(ctx.ks):
+                    slice_idx, elem = divmod(k_lin, tile.tp)
+                    col = self.caching.shared_column(slice_idx, elem, tile.tp, tile.rk)
+                    src_col = bk * tile.tk + slice_idx * ctx.p + t_p + elem
+                    xs[m_i, col] = x[row, src_col]
+            fs[:, :] = f[t_p : t_p + tile.tp, bq * tile.tq : (bq + 1) * tile.tq]
+
+            if counters is not None:
+                self._count_block_shared_stores(ctx, counters, warp_size)
+
+            # ---------------- Steps 2-3: registers + MACs --------------- #
+            for r_p in range(0, tile.tp, tile.rp):
+                if counters is not None:
+                    self._count_block_shared_loads(ctx, counters, warp_size, r_p)
+                for t in range(ctx.threads_per_block):
+                    yk, yq = self._thread_coords(t, ctx)
+                    xr = np.empty((tile.tm, tile.rk, tile.rp), dtype=x.dtype)
+                    for kk in range(tile.rk):
+                        for pp in range(tile.rp):
+                            col = self.caching.shared_column(
+                                yk + kk, r_p + pp, tile.tp, tile.rk
+                            )
+                            xr[:, kk, pp] = xs[:, col]
+                    fr = fs[r_p : r_p + tile.rp, yq : yq + tile.rq]
+                    yr[t] += np.einsum("mkp,pq->mkq", xr, fr)
+
+        # ---------------- Step 4: registers -> global ------------------- #
+        for t in range(ctx.threads_per_block):
+            yk, yq = self._thread_coords(t, ctx)
+            for m_i in range(tile.tm):
+                row = bm * tile.tm + m_i
+                for qq in range(tile.rq):
+                    q_global = bq * tile.tq + yq + qq
+                    for kk in range(tile.rk):
+                        slice_global = bk * ctx.slices_per_block + yk + kk
+                        y[row, q_global * ctx.global_slices + slice_global] = yr[t, m_i, kk, qq]
+
+    # ------------------------------------------------------------------ #
+    # empirical shared-memory transaction counting (functional path)
+    # ------------------------------------------------------------------ #
+    def _count_block_shared_stores(
+        self, ctx: _BlockContext, counters: KernelCounters, warp_size: int
+    ) -> None:
+        tile = self.tile
+        for m_i in range(tile.tm):
+            for first_k in range(0, ctx.ks, warp_size):
+                addresses = self.caching.store_warp_addresses(
+                    first_k, warp_size, tile.tp, tile.rk, ctx.ks
+                )
+                counters.shared_store_requests += 1
+                counters.shared_store_transactions += self._bank_model.access(addresses).transactions
+        # Fs staging: contiguous and tiny, one request per warp's worth of elements.
+        fs_requests = ceil_div(tile.tp * tile.tq, warp_size)
+        counters.shared_store_requests += fs_requests
+        counters.shared_store_transactions += fs_requests
+
+    def _count_block_shared_loads(
+        self, ctx: _BlockContext, counters: KernelCounters, warp_size: int, r_p: int
+    ) -> None:
+        tile = self.tile
+        warps = [
+            list(range(start, min(start + warp_size, ctx.threads_per_block)))
+            for start in range(0, ctx.threads_per_block, warp_size)
+        ]
+        for warp_threads in warps:
+            # Xr loads: one warp access per (m, kk, pp).
+            for _m in range(tile.tm):
+                for kk in range(tile.rk):
+                    for pp in range(tile.rp):
+                        addresses = self.caching.load_warp_addresses(
+                            warp_threads, kk, r_p + pp, tile, ctx.p
+                        )
+                        counters.shared_load_requests += 1
+                        counters.shared_load_transactions += self._bank_model.access(
+                            addresses
+                        ).transactions
+            # Fr loads: one warp access per (pp, qq); threads with equal yQ broadcast.
+            for pp in range(tile.rp):
+                for qq in range(tile.rq):
+                    addresses = []
+                    for t in warp_threads:
+                        _, yq = self._thread_coords(t, ctx)
+                        addresses.append((r_p + pp) * tile.tq + yq + qq)
+                    counters.shared_load_requests += 1
+                    counters.shared_load_transactions += self._bank_model.access(
+                        addresses
+                    ).transactions
+
+    # ------------------------------------------------------------------ #
+    # analytic counters
+    # ------------------------------------------------------------------ #
+    def analytic_counters(
+        self, m: int, k: int, p: int, q: int, dtype: np.dtype | type = np.float32
+    ) -> KernelCounters:
+        """Closed-form operation counts for one kernel launch on ``(M,K) × (P,Q)``.
+
+        The formulas follow directly from the loop structure of Figure 3;
+        the shared-memory conflict factors are measured on one representative
+        warp of the configured caching scheme (the access pattern repeats
+        identically across warps and main-loop steps, so this is exact, not
+        a sample).
+        """
+        dtype = np.dtype(dtype)
+        ctx = self._context(m, k, p, q)
+        tile = self.tile
+        itemsize = dtype.itemsize
+        warp_size = self.spec.warp_size
+        n_blocks = tile.n_blocks(m, k, q, p)
+        main_steps = p // tile.tp
+
+        counters = KernelCounters(kernel_launches=1)
+        counters.flops = 2 * m * ctx.out_cols * p
+
+        # -------- global memory ---------------------------------------- #
+        counters.global_load_elements = n_blocks * (
+            tile.tm * tile.tk + p * tile.tq
+        )
+        counters.global_store_elements = m * ctx.out_cols
+        counters.global_load_transactions = self._analytic_global_load_transactions(ctx, dtype)
+        counters.global_store_transactions = self._analytic_global_store_transactions(ctx, dtype)
+
+        # -------- shared memory: stores (staging Xs / Fs) -------------- #
+        xs_words_per_block = main_steps * tile.tm * ctx.ks
+        fs_words_per_block = main_steps * tile.tp * tile.tq
+        store_requests_per_block = main_steps * (
+            tile.tm * ceil_div(ctx.ks, warp_size) + ceil_div(tile.tp * tile.tq, warp_size)
+        )
+        store_factor = self.caching.store_conflict_factor(
+            tile, p, self._bank_model, warp_size
+        )
+        xs_store_requests = main_steps * tile.tm * ceil_div(ctx.ks, warp_size)
+        fs_store_requests = store_requests_per_block - xs_store_requests
+        counters.shared_store_requests = n_blocks * store_requests_per_block
+        counters.shared_store_transactions = n_blocks * int(
+            round(xs_store_requests * store_factor + fs_store_requests)
+        )
+
+        # -------- shared memory: loads (Xr / Fr) ------------------------ #
+        n_warps = ceil_div(ctx.threads_per_block, warp_size)
+        rp_steps = tile.tp // tile.rp
+        xr_requests_per_block = main_steps * rp_steps * n_warps * tile.tm * tile.rk * tile.rp
+        fr_requests_per_block = main_steps * rp_steps * n_warps * tile.rp * tile.rq
+        load_factor = self.caching.load_conflict_factor(tile, p, self._bank_model, warp_size)
+        counters.shared_load_requests = n_blocks * (xr_requests_per_block + fr_requests_per_block)
+        counters.shared_load_transactions = n_blocks * int(
+            round(xr_requests_per_block * load_factor + fr_requests_per_block)
+        )
+        _ = xs_words_per_block, fs_words_per_block  # documented quantities
+        return counters
+
+    def _analytic_global_load_transactions(self, ctx: _BlockContext, dtype: np.dtype) -> int:
+        tile = self.tile
+        itemsize = np.dtype(dtype).itemsize
+        n_blocks = tile.n_blocks(ctx.m, ctx.k, ctx.q, ctx.p)
+        main_steps = ctx.p // tile.tp
+        if tile.tp == ctx.p:
+            # Whole T_K row chunk is contiguous.
+            x_tx_per_block = tile.tm * self._gmem_model.contiguous_transactions(tile.tk, itemsize)
+        else:
+            per_slice = self._gmem_model.contiguous_transactions(tile.tp, itemsize)
+            x_tx_per_block = main_steps * tile.tm * ctx.slices_per_block * per_slice
+        f_tx_per_block = main_steps * tile.tp * max(
+            1, self._gmem_model.contiguous_transactions(tile.tq, itemsize)
+        )
+        return n_blocks * (x_tx_per_block + f_tx_per_block)
+
+    def _analytic_global_store_transactions(self, ctx: _BlockContext, dtype: np.dtype) -> int:
+        tile = self.tile
+        itemsize = np.dtype(dtype).itemsize
+        n_blocks = tile.n_blocks(ctx.m, ctx.k, ctx.q, ctx.p)
+        per_run = self._gmem_model.contiguous_transactions(ctx.slices_per_block, itemsize)
+        return n_blocks * tile.tm * tile.tq * per_run
+
+    # ------------------------------------------------------------------ #
+    def occupancy(self, p: int, q: int, dtype: np.dtype | type = np.float32):
+        """Occupancy of this kernel configuration on the target device."""
+        from repro.gpu.occupancy import compute_occupancy
+
+        return compute_occupancy(
+            self.spec,
+            threads_per_block=self.tile.threads_per_block(p),
+            shared_memory_per_block=self.tile.shared_memory_bytes(p, q, dtype),
+            registers_per_thread=self.tile.registers_per_thread(),
+        )

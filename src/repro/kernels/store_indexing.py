@@ -1,0 +1,94 @@
+"""Index math for scattering locally-computed results into global intermediates.
+
+Two closely related scatter patterns appear in the paper:
+
+``StoreFusedShMem`` (Figure 7)
+    After a fused kernel has applied ``N_fused`` sliced multiplications to a
+    ``T_K``-column chunk of a row (kept in shared memory), each local column
+    must be written to the correct column of the *global* intermediate — the
+    column it would have occupied had the multiplications been applied to
+    the whole row.
+
+``StoreGPUTile`` (Algorithm 2)
+    The multi-GPU algorithm applies ``N_local`` sliced multiplications to a
+    GPU's local ``T_GK``-column block; when the local intermediates are
+    exchanged, received elements are stored with the same index
+    transformation (with the GPU's block index playing the role of the
+    thread block index).
+
+Both are instances of one mapping, implemented here as
+:func:`local_to_global_columns`: for square ``P×P`` factors, local column
+``c`` of chunk ``b`` (chunk width ``T_K``, full width ``K``, ``n`` fused
+multiplications) maps to global column::
+
+    slice      = (c div (T_K/P)) · (K/P)
+    fusedSlice = ((c mod (T_K/P)) div (T_K/P^n)) · (K/P^n)
+    elem       = b · (T_K/P^n) + (c mod (T_K/P^n))
+    global     = slice + fusedSlice + elem
+
+The functions return NumPy index arrays so the scatter can be applied with
+one fancy-indexing assignment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def local_to_global_columns(k: int, tile_k: int, p: int, nfused: int, chunk_index: int) -> np.ndarray:
+    """Global column index of every local column of one ``T_K`` chunk.
+
+    Parameters
+    ----------
+    k:
+        Total number of columns of the full (global) input intermediate.
+    tile_k:
+        Width of the local chunk (``T_K`` for the fused kernel, ``T_GK`` for
+        the multi-GPU algorithm).  Must divide ``k``.
+    p:
+        Factor dimension (square factors).
+    nfused:
+        Number of sliced multiplications applied locally.
+    chunk_index:
+        Which ``T_K`` chunk of the full row this is (the kernel's ``bid.y``
+        or the GPU's column-grid coordinate).
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer array of length ``tile_k``: entry ``c`` is the global column
+        where local column ``c`` must be stored.
+    """
+    if k % tile_k != 0:
+        raise ConfigurationError(f"tile_k={tile_k} must divide k={k}")
+    if tile_k % (p ** nfused) != 0:
+        raise ConfigurationError(
+            f"tile_k={tile_k} must be divisible by P^nfused = {p ** nfused}"
+        )
+    n_chunks = k // tile_k
+    if not (0 <= chunk_index < n_chunks):
+        raise ConfigurationError(
+            f"chunk_index={chunk_index} out of range for {n_chunks} chunks"
+        )
+    xg_slices = k // p
+    xs_slices = tile_k // p
+    xg_fuse_slices = k // (p ** nfused)
+    xs_fuse_slices = tile_k // (p ** nfused)
+
+    c = np.arange(tile_k, dtype=np.int64)
+    slice_part = (c // xs_slices) * xg_slices
+    fused_slice_part = ((c % xs_slices) // xs_fuse_slices) * xg_fuse_slices
+    elem_part = chunk_index * xs_fuse_slices + (c % xs_fuse_slices)
+    return slice_part + fused_slice_part + elem_part
+
+
+def fused_store_columns(k: int, tile_k: int, p: int, nfused: int, block_k_index: int) -> np.ndarray:
+    """``StoreFusedShMem`` (Figure 7): local shared-memory column → global column."""
+    return local_to_global_columns(k, tile_k, p, nfused, block_k_index)
+
+
+def gpu_tile_store_columns(k: int, tile_gk: int, p: int, nlocal: int, gpu_k_index: int) -> np.ndarray:
+    """``StoreGPUTile`` (Algorithm 2): local GPU column → global intermediate column."""
+    return local_to_global_columns(k, tile_gk, p, nlocal, gpu_k_index)

@@ -1,0 +1,302 @@
+"""Kernel tile configurations (Section 4 and Section 4.3 of the paper).
+
+A :class:`TileConfig` fixes the thread-block tile sizes (``T_M``, ``T_K``,
+``T_P``, ``T_Q``) and the per-thread register tile sizes (``R_K``, ``R_Q``,
+``R_P``) of the ``SlicedMultiplyKernel``:
+
+* each thread block sliced-multiplies a ``{T_M, T_K}`` block of ``X`` with
+  ``T_Q`` columns of the factor, caching ``T_P`` elements of every slice
+  (and of every factor column) in shared memory per main-loop step;
+* each thread computes ``R_K × R_Q`` output elements per row of the block
+  by multiplying ``R_K`` slices with ``R_Q`` factor columns, ``R_P``
+  elements at a time.
+
+The config also knows its resource usage (shared memory, registers, thread
+count) which the autotuner uses to prune the search space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.gpu.device import GpuSpec, TESLA_V100
+from repro.utils.intmath import ceil_div, ilog
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """Tile-size parameters of one ``SlicedMultiplyKernel`` instantiation."""
+
+    #: Rows of X per thread block.
+    tm: int
+    #: Columns of X per thread block (multiple of P).
+    tk: int
+    #: Elements of each slice / factor column cached per main-loop step (divides P).
+    tp: int
+    #: Factor columns per thread block (divides Q).
+    tq: int
+    #: Slices of X per thread (divides T_K / P).
+    rk: int
+    #: Factor columns per thread (divides T_Q).
+    rq: int
+    #: Elements multiplied per inner step (divides T_P).
+    rp: int
+    #: Number of consecutive sliced multiplications fused into the kernel.
+    nfused: int = 1
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+    def validate(self, p: int, q: int, k: int, m: int) -> None:
+        """Check divisibility constraints against a sliced-multiply shape."""
+        if self.tk % p != 0:
+            raise ConfigurationError(f"T_K={self.tk} must be a multiple of P={p}")
+        if self.tk > k:
+            raise ConfigurationError(f"T_K={self.tk} exceeds K={k}")
+        if k % self.tk != 0:
+            raise ConfigurationError(f"T_K={self.tk} must divide K={k}")
+        if p % self.tp != 0:
+            raise ConfigurationError(f"T_P={self.tp} must divide P={p}")
+        if q % self.tq != 0:
+            raise ConfigurationError(f"T_Q={self.tq} must divide Q={q}")
+        if self.tp % self.rp != 0:
+            raise ConfigurationError(f"R_P={self.rp} must divide T_P={self.tp}")
+        if self.tq % self.rq != 0:
+            raise ConfigurationError(f"R_Q={self.rq} must divide T_Q={self.tq}")
+        slices = self.tk // p
+        if slices % self.rk != 0:
+            raise ConfigurationError(
+                f"R_K={self.rk} must divide the number of slices per block {slices}"
+            )
+        if self.tm < 1:
+            raise ConfigurationError(f"T_M={self.tm} must be >= 1")
+        if self.nfused < 1:
+            raise ConfigurationError(f"N_fused={self.nfused} must be >= 1")
+        if self.nfused > 1:
+            if self.tp != p:
+                raise ConfigurationError(
+                    f"fusion requires T_P = P (got T_P={self.tp}, P={p})"
+                )
+            if p != q:
+                raise ConfigurationError("fusion requires square factors (P == Q)")
+            if self.nfused > max_fusable(self.tk, p):
+                raise ConfigurationError(
+                    f"N_fused={self.nfused} exceeds ⌊log_P T_K⌋ = {max_fusable(self.tk, p)}"
+                )
+
+    def is_valid(self, p: int, q: int, k: int, m: int) -> bool:
+        try:
+            self.validate(p, q, k, m)
+            return True
+        except ConfigurationError:
+            return False
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    def slices_per_block(self, p: int) -> int:
+        """Number of length-``P`` slices handled by one block (``T_K / P``)."""
+        return self.tk // p
+
+    def threads_along_k(self, p: int) -> int:
+        return self.slices_per_block(p) // self.rk
+
+    def threads_along_q(self) -> int:
+        return self.tq // self.rq
+
+    def threads_per_block(self, p: int) -> int:
+        """Threads per block: ``(T_K/P)/R_K × T_Q/R_Q``."""
+        return self.threads_along_k(p) * self.threads_along_q()
+
+    def grid(self, m: int, k: int, q: int, p: int) -> tuple[int, int, int]:
+        """Thread-block grid ``{M/T_M, K/T_K, Q/T_Q}`` (ceiling division)."""
+        return (ceil_div(m, self.tm), ceil_div(k, self.tk), ceil_div(q, self.tq))
+
+    def n_blocks(self, m: int, k: int, q: int, p: int) -> int:
+        gm, gk, gq = self.grid(m, k, q, p)
+        return gm * gk * gq
+
+    def shared_memory_elements(self, p: int, q: int) -> int:
+        """Shared-memory elements of one block: the Xs and Fs buffers.
+
+        ``Xs`` holds ``T_M × (T_K/P) × T_P`` elements and ``Fs`` holds
+        ``T_P × T_Q``.  A fused kernel additionally needs a second ``Xs``
+        buffer to double-buffer the intra-group intermediate.
+        """
+        xs = self.tm * self.slices_per_block(p) * self.tp
+        fs = self.tp * self.tq
+        if self.nfused > 1:
+            xs *= 2
+        return xs + fs
+
+    def shared_memory_bytes(self, p: int, q: int, dtype: np.dtype | type) -> int:
+        return self.shared_memory_elements(p, q) * int(np.dtype(dtype).itemsize)
+
+    def registers_per_thread(self) -> int:
+        """Estimated 32-bit registers per thread.
+
+        The register tile ``Yr[T_M][R_K][R_Q]`` plus the staging tiles
+        ``Xr[T_M][R_K][R_P]`` and ``Fr[R_P][R_Q]`` plus a fixed overhead for
+        indices and loop counters.
+        """
+        yr = self.tm * self.rk * self.rq
+        xr = self.tm * self.rk * self.rp
+        fr = self.rp * self.rq
+        overhead = 32
+        return yr + xr + fr + overhead
+
+    def outputs_per_thread(self) -> int:
+        return self.tm * self.rk * self.rq
+
+    # ------------------------------------------------------------------ #
+    def fits(self, spec: GpuSpec, p: int, q: int, dtype: np.dtype | type) -> bool:
+        """True when this config respects the device's per-block resources."""
+        threads = self.threads_per_block(p)
+        if threads < 1 or threads > spec.max_threads_per_block:
+            return False
+        if self.shared_memory_bytes(p, q, dtype) > spec.shared_memory_per_block:
+            return False
+        if self.registers_per_thread() > spec.max_registers_per_thread:
+            return False
+        if threads * self.registers_per_thread() > spec.registers_per_sm:
+            return False
+        return True
+
+    def with_nfused(self, nfused: int) -> "TileConfig":
+        return replace(self, nfused=nfused)
+
+    def key(self) -> tuple:
+        return (self.tm, self.tk, self.tp, self.tq, self.rk, self.rq, self.rp, self.nfused)
+
+    def describe(self) -> str:
+        return (
+            f"TM={self.tm} TK={self.tk} TP={self.tp} TQ={self.tq} "
+            f"RK={self.rk} RQ={self.rq} RP={self.rp} Nfused={self.nfused}"
+        )
+
+
+def max_fusable(tile_k: int, p: int) -> int:
+    """``⌊log_P T_K⌋`` — the maximum number of fusable sliced multiplications."""
+    if tile_k < p:
+        return 0
+    return ilog(tile_k, p)
+
+
+def _largest_divisor_leq(n: int, limit: int) -> int:
+    """Largest divisor of ``n`` that is ``<= limit`` (at least 1)."""
+    best = 1
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            for cand in (d, n // d):
+                if cand <= limit and cand > best:
+                    best = cand
+        d += 1
+    return best
+
+
+def default_tile_config(
+    m: int,
+    k: int,
+    p: int,
+    q: int,
+    spec: GpuSpec = TESLA_V100,
+    dtype: np.dtype | type = np.float32,
+    fuse: bool = True,
+    target_threads: int = 256,
+) -> TileConfig:
+    """A sensible untuned configuration for a sliced-multiply shape.
+
+    The heuristic mirrors the defaults FastKron's implementation starts its
+    search from: ``T_P`` the largest divisor of ``P`` up to 32, ``T_Q`` the
+    largest divisor of ``Q`` up to 8, register tiles of up to 4×4, and
+    ``T_K`` grown (among multiples of ``P`` dividing ``K``) until the block
+    has roughly ``target_threads`` threads while the shared buffers still
+    fit in the per-block shared memory.
+    """
+    tp = _largest_divisor_leq(p, 32)
+    rp = _largest_divisor_leq(tp, 4)
+    shared_budget = spec.shared_memory_elements_per_block(dtype)
+    _ = shared_budget  # resource checks go through TileConfig.fits
+    tm = 1
+
+    # Candidate T_K values: p * d for divisors d of k/p, smallest to largest,
+    # and T_Q values: divisors of q (larger T_Q means the X tile is re-read
+    # from global memory fewer times — grid_q = Q / T_Q blocks share it).
+    k_over_p = k // p
+    tk_candidates = [p * d for d in sorted(set(_divisors_capped(k_over_p, 65536)))]
+    tq_candidates = sorted(set(_divisors_capped(q, 64)), reverse=True)
+
+    def config_for(tk: int, tq: int, nfused: int) -> TileConfig | None:
+        slices = tk // p
+        rk = _largest_divisor_leq(slices, 8)
+        rq = _largest_divisor_leq(tq, 4)
+        cfg = TileConfig(tm=tm, tk=tk, tp=tp, tq=tq, rk=rk, rq=rq, rp=rp, nfused=nfused)
+        if not cfg.is_valid(p, q, k, m):
+            return None
+        if not cfg.fits(spec, p, q, dtype):
+            return None
+        return cfg
+
+    def score(cfg: TileConfig) -> tuple:
+        threads = cfg.threads_per_block(p)
+        reload_factor = q // cfg.tq  # how many times the X tile is re-read
+        return (-reload_factor, -abs(threads - target_threads), cfg.tk)
+
+    best: TileConfig | None = None
+    best_score: tuple | None = None
+    for tq in tq_candidates:
+        for tk in tk_candidates:
+            cfg = config_for(tk, tq, 1)
+            if cfg is None:
+                continue
+            s = score(cfg)
+            if best_score is None or s > best_score:
+                best, best_score = cfg, s
+    if best is None:
+        # Smallest safe configuration: one slice per thread, one column.
+        best = TileConfig(tm=1, tk=p, tp=tp, tq=1, rk=1, rq=1, rp=1, nfused=1)
+        best.validate(p, q, k, m)
+
+    if fuse and p == q and tp == p and p <= 32:
+        # Prefer a fused configuration when one fits: fusion removes the
+        # global round-trip of the intra-group intermediates, which is the
+        # dominant cost at small P.  The fused kernel double-buffers its
+        # shared tile, so T_K (and possibly T_Q) may need to shrink relative
+        # to the unfused choice.
+        best_fused: TileConfig | None = None
+        best_fused_score: tuple | None = None
+        for tq in tq_candidates:
+            for tk in reversed(tk_candidates):
+                nfused = min(max_fusable(tk, p), 3)
+                if nfused <= 1:
+                    continue
+                cfg = config_for(tk, tq, nfused)
+                if cfg is None:
+                    continue
+                if cfg.threads_per_block(p) > 4 * target_threads:
+                    continue
+                s = (cfg.nfused,) + score(cfg)
+                if best_fused_score is None or s > best_fused_score:
+                    best_fused, best_fused_score = cfg, s
+        if best_fused is not None:
+            best = best_fused
+    return best
+
+
+def _divisors_capped(n: int, cap: int) -> list[int]:
+    """Divisors of ``n`` that are ``<= cap`` (keeps tile enumeration bounded)."""
+    out = []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            if d <= cap:
+                out.append(d)
+            if n // d <= cap:
+                out.append(n // d)
+        d += 1
+    return sorted(set(out))

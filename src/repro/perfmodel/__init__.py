@@ -1,0 +1,30 @@
+"""Performance models that turn simulated-GPU counters into time estimates.
+
+The paper reports wall-clock derived metrics (TFLOPS, milliseconds,
+speedups) measured on Tesla V100 GPUs.  This package converts the exact
+operation counts produced by :mod:`repro.kernels` into the same units with
+a roofline-style model of the device, and provides one model per evaluated
+system (FastKron with/without fusion, GPyTorch's shuffle algorithm, COGENT,
+cuTensor) so the benchmark harness can regenerate every figure and table.
+"""
+
+from repro.perfmodel.roofline import RooflineModel, kernel_time_seconds
+from repro.perfmodel.systems import (
+    CogentModel,
+    CuTensorModel,
+    FastKronModel,
+    GPyTorchModel,
+    SystemTiming,
+    all_single_gpu_models,
+)
+
+__all__ = [
+    "CogentModel",
+    "CuTensorModel",
+    "FastKronModel",
+    "GPyTorchModel",
+    "RooflineModel",
+    "SystemTiming",
+    "all_single_gpu_models",
+    "kernel_time_seconds",
+]

@@ -1,0 +1,129 @@
+"""Roofline-style kernel timing from operation counters.
+
+A kernel's execution time on a throughput-oriented GPU is bounded below by
+three resources: arithmetic throughput, DRAM bandwidth and shared-memory
+bandwidth.  The model here takes the exact counts produced by the kernel
+simulation and charges::
+
+    time = max(flop_time, dram_time, shared_time) / efficiency + launch_overhead
+
+where the efficiency factor accounts for everything the counter model does
+not capture (instruction overheads, occupancy-limited latency hiding,
+partial tiles).  Efficiencies are per-system calibration constants — see
+:mod:`repro.perfmodel.systems` — and are documented in EXPERIMENTS.md; they
+scale absolute numbers only, never the orderings between systems, which are
+driven by the counted work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.counters import KernelCounters
+from repro.gpu.device import GpuSpec, TESLA_V100
+
+
+@dataclass(frozen=True)
+class RooflineBreakdown:
+    """Per-resource times (seconds) of one kernel launch or launch sequence."""
+
+    flop_time: float
+    dram_time: float
+    shared_time: float
+    launch_time: float
+
+    @property
+    def total(self) -> float:
+        return max(self.flop_time, self.dram_time, self.shared_time) + self.launch_time
+
+    @property
+    def bound(self) -> str:
+        """Which resource bounds the kernel ('flops', 'dram' or 'shared')."""
+        times = {
+            "flops": self.flop_time,
+            "dram": self.dram_time,
+            "shared": self.shared_time,
+        }
+        return max(times, key=lambda k: times[k])
+
+
+@dataclass
+class RooflineModel:
+    """Roofline timing for one device.
+
+    Parameters
+    ----------
+    spec:
+        Device description.
+    compute_efficiency:
+        Fraction of peak FLOP/s a well-tuned kernel sustains.
+    dram_efficiency:
+        Fraction of peak DRAM bandwidth sustained for streaming accesses.
+    shared_efficiency:
+        Fraction of peak shared-memory bandwidth sustained.
+    """
+
+    spec: GpuSpec = TESLA_V100
+    compute_efficiency: float = 0.9
+    dram_efficiency: float = 0.82
+    shared_efficiency: float = 0.9
+
+    def breakdown(
+        self, counters: KernelCounters, dtype: np.dtype | type = np.float32
+    ) -> RooflineBreakdown:
+        dtype = np.dtype(dtype)
+        itemsize = dtype.itemsize
+        peak_flops = self.spec.peak_flops(dtype) * self.compute_efficiency
+        dram_bw = self.spec.memory_bandwidth * self.dram_efficiency
+        shared_bw = self.spec.shared_memory_bandwidth * self.shared_efficiency
+
+        flop_time = counters.flops / peak_flops if counters.flops else 0.0
+        dram_bytes = counters.global_bytes(itemsize)
+        dram_time = dram_bytes / dram_bw if dram_bytes else 0.0
+        # Each shared transaction moves one warp-wide row of banks.
+        shared_bytes = counters.shared_transactions * (
+            self.spec.shared_memory_banks * self.spec.bank_width_bytes
+        )
+        shared_time = shared_bytes / shared_bw if shared_bytes else 0.0
+        launch_time = counters.kernel_launches * self.spec.kernel_launch_overhead
+        return RooflineBreakdown(
+            flop_time=flop_time,
+            dram_time=dram_time,
+            shared_time=shared_time,
+            launch_time=launch_time,
+        )
+
+    def time_seconds(
+        self, counters: KernelCounters, dtype: np.dtype | type = np.float32
+    ) -> float:
+        """Estimated execution time of the counted work, in seconds."""
+        return self.breakdown(counters, dtype).total
+
+    def tflops(
+        self, counters: KernelCounters, dtype: np.dtype | type = np.float32
+    ) -> float:
+        """Achieved TFLOP/s implied by the counted FLOPs and estimated time."""
+        t = self.time_seconds(counters, dtype)
+        if t <= 0:
+            return 0.0
+        return counters.flops / t / 1e12
+
+
+def kernel_time_seconds(
+    counters: KernelCounters,
+    spec: GpuSpec = TESLA_V100,
+    dtype: np.dtype | type = np.float32,
+    compute_efficiency: float = 0.9,
+    dram_efficiency: float = 0.82,
+    shared_efficiency: float = 0.9,
+) -> float:
+    """Convenience wrapper: roofline time for counters on ``spec``."""
+    model = RooflineModel(
+        spec=spec,
+        compute_efficiency=compute_efficiency,
+        dram_efficiency=dram_efficiency,
+        shared_efficiency=shared_efficiency,
+    )
+    return model.time_seconds(counters, dtype)

@@ -1,0 +1,18 @@
+"""The FastKron autotuner (Section 4.3): tile-size search per problem shape."""
+
+from repro.tuner.autotuner import Autotuner, TuningResult
+from repro.tuner.cache import TuningCache
+from repro.tuner.search_space import (
+    SearchSpaceStats,
+    enumerate_tile_configs,
+    search_space_size,
+)
+
+__all__ = [
+    "Autotuner",
+    "SearchSpaceStats",
+    "TuningCache",
+    "TuningResult",
+    "enumerate_tile_configs",
+    "search_space_size",
+]

@@ -1,0 +1,174 @@
+"""The autotuner: pick the fastest tile configuration for each iteration.
+
+The real FastKron compiles every candidate kernel and times it on the GPU;
+here the "timing" is the roofline estimate of the analytic kernel counters,
+which ranks configurations by the same quantities that dominate on hardware
+(global traffic, shared-memory transactions including bank-conflict replays,
+arithmetic, occupancy-driven launch granularity).
+
+The tuner works per *iteration shape* (``(M, K) × (P, Q)``): a Kron-Matmul
+with ``N`` uniform factors needs ``N`` tuned kernels at most, and identical
+shapes are shared through the :class:`~repro.tuner.cache.TuningCache`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.problem import KronMatmulProblem
+from repro.exceptions import TuningError
+from repro.gpu.device import GpuSpec, TESLA_V100
+from repro.kernels.caching import CachingScheme, ShiftCaching
+from repro.kernels.fused_kernel import FusedKernel
+from repro.kernels.sliced_kernel import SlicedMultiplyKernel
+from repro.kernels.tile_config import TileConfig
+from repro.perfmodel.roofline import RooflineModel
+from repro.tuner.cache import TuningCache, shape_key
+from repro.tuner.search_space import SearchSpaceStats, enumerate_tile_configs
+
+
+@dataclass
+class TuningResult:
+    """Outcome of tuning one sliced-multiply shape."""
+
+    m: int
+    k: int
+    p: int
+    q: int
+    dtype: str
+    best: TileConfig
+    best_time: float
+    candidates_evaluated: int
+    search_stats: SearchSpaceStats
+    elapsed_seconds: float
+    top_configs: List[tuple] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return (
+            f"shape (M={self.m}, K={self.k}) x ({self.p}, {self.q}) [{self.dtype}]: "
+            f"{self.best.describe()} — est. {self.best_time * 1e3:.3f} ms over "
+            f"{self.candidates_evaluated} candidates in {self.elapsed_seconds:.2f} s"
+        )
+
+
+class Autotuner:
+    """Search the tile-size space of Section 4.3 with a roofline cost model."""
+
+    def __init__(
+        self,
+        spec: GpuSpec = TESLA_V100,
+        caching: Optional[CachingScheme] = None,
+        fuse: bool = True,
+        max_candidates: int = 10000,
+        cache: Optional[TuningCache] = None,
+        roofline: Optional[RooflineModel] = None,
+    ):
+        self.spec = spec
+        self.caching = caching if caching is not None else ShiftCaching()
+        self.fuse = fuse
+        self.max_candidates = max_candidates
+        self.cache = cache if cache is not None else TuningCache()
+        self.roofline = roofline if roofline is not None else RooflineModel(spec=spec)
+
+    # ------------------------------------------------------------------ #
+    def estimate_config_time(
+        self, config: TileConfig, m: int, k: int, p: int, q: int, dtype
+    ) -> float:
+        """Roofline time estimate of one candidate configuration (seconds).
+
+        Fused configurations are costed with the fused-kernel counters for
+        ``N_fused`` multiplications and normalised back to a single
+        multiplication so all candidates are comparable.
+        """
+        if config.nfused > 1:
+            kernel = FusedKernel(config, self.caching, self.spec)
+            counters = kernel.analytic_counters(m, k, p, q, dtype)
+            return self.roofline.time_seconds(counters, dtype) / config.nfused
+        kernel = SlicedMultiplyKernel(config, self.caching, self.spec)
+        counters = kernel.analytic_counters(m, k, p, q, dtype)
+        return self.roofline.time_seconds(counters, dtype)
+
+    # ------------------------------------------------------------------ #
+    def tune_shape(
+        self,
+        m: int,
+        k: int,
+        p: int,
+        q: int,
+        dtype: np.dtype | type = np.float32,
+        keep_top: int = 5,
+    ) -> TuningResult:
+        """Tune one sliced-multiply shape, using the cache when possible."""
+        dtype = np.dtype(dtype)
+        key = shape_key(m, k, p, q, dtype)
+        start = time.perf_counter()
+        cached = self.cache.get(key)
+        stats = SearchSpaceStats()
+        if cached is not None:
+            best_time = self.estimate_config_time(cached, m, k, p, q, dtype)
+            return TuningResult(
+                m=m, k=k, p=p, q=q, dtype=str(dtype), best=cached, best_time=best_time,
+                candidates_evaluated=0, search_stats=stats,
+                elapsed_seconds=time.perf_counter() - start,
+            )
+
+        best: Optional[TileConfig] = None
+        best_time = float("inf")
+        top: List[tuple] = []
+        evaluated = 0
+
+        # Always seed the search with the untuned default heuristic so the
+        # tuner can never do worse than not tuning, even under a tight
+        # max_candidates budget.
+        from repro.kernels.tile_config import default_tile_config
+
+        try:
+            seed = default_tile_config(m, k, p, q, spec=self.spec, dtype=dtype, fuse=self.fuse)
+            best, best_time = seed, self.estimate_config_time(seed, m, k, p, q, dtype)
+            top.append((best_time, seed))
+            evaluated += 1
+        except Exception:  # pragma: no cover - the heuristic can fail on exotic shapes
+            pass
+
+        for config in enumerate_tile_configs(
+            m, k, p, q, spec=self.spec, dtype=dtype, fuse=self.fuse,
+            max_candidates=self.max_candidates, stats=stats,
+        ):
+            evaluated += 1
+            est = self.estimate_config_time(config, m, k, p, q, dtype)
+            if est < best_time:
+                best, best_time = config, est
+            top.append((est, config))
+            if len(top) > 4 * keep_top:
+                top.sort(key=lambda item: item[0])
+                del top[keep_top:]
+        if best is None:
+            raise TuningError(
+                f"no valid tile configuration found for (M={m}, K={k}) x ({p}, {q})"
+            )
+        top.sort(key=lambda item: item[0])
+        self.cache.put(key, best)
+        return TuningResult(
+            m=m, k=k, p=p, q=q, dtype=str(dtype), best=best, best_time=best_time,
+            candidates_evaluated=evaluated, search_stats=stats,
+            elapsed_seconds=time.perf_counter() - start,
+            top_configs=top[:keep_top],
+        )
+
+    # ------------------------------------------------------------------ #
+    def tune_problem(self, problem: KronMatmulProblem) -> Dict[int, TileConfig]:
+        """Tune every iteration of a Kron-Matmul problem.
+
+        Returns a mapping from iteration index to the chosen tile config,
+        suitable for :class:`repro.kernels.launch.GpuExecutor`'s
+        ``tile_overrides``.
+        """
+        overrides: Dict[int, TileConfig] = {}
+        for it in problem.iteration_shapes():
+            result = self.tune_shape(it.m, it.k, it.p, it.q, problem.dtype)
+            overrides[it.index] = result.best
+        return overrides

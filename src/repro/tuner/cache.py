@@ -1,0 +1,75 @@
+"""A small persistent-able cache of tuning results keyed by problem shape.
+
+FastKron autotunes once per Kron-Matmul shape and reuses the chosen kernel
+for subsequent calls; :class:`TuningCache` provides the same behaviour for
+the simulated kernels (and can be serialised to JSON so the benchmark
+harness does not re-tune across processes).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.kernels.tile_config import TileConfig
+
+ShapeKey = Tuple[int, int, int, int, str]
+
+
+def shape_key(m: int, k: int, p: int, q: int, dtype) -> ShapeKey:
+    """Normalised cache key for one sliced-multiply shape."""
+    import numpy as np
+
+    return (int(m), int(k), int(p), int(q), str(np.dtype(dtype)))
+
+
+class TuningCache:
+    """Maps sliced-multiply shapes to their best tile configuration."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[ShapeKey, TileConfig] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: ShapeKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: ShapeKey) -> Optional[TileConfig]:
+        return self._entries.get(key)
+
+    def put(self, key: ShapeKey, config: TileConfig) -> None:
+        self._entries[key] = config
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def to_json(self) -> str:
+        payload = {
+            ",".join(map(str, key)): asdict(config) for key, config in self._entries.items()
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def from_json(cls, text: str) -> "TuningCache":
+        cache = cls()
+        for key_str, config_dict in json.loads(text).items():
+            parts = key_str.split(",")
+            key: ShapeKey = (int(parts[0]), int(parts[1]), int(parts[2]), int(parts[3]), parts[4])
+            cache.put(key, TileConfig(**config_dict))
+        return cache
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TuningCache":
+        return cls.from_json(Path(path).read_text())

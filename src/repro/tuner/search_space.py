@@ -1,0 +1,163 @@
+"""Tile-size search-space enumeration (Section 4.3 of the paper).
+
+The autotuner considers all combinations of:
+
+* thread-block tile sizes — ``T_K`` over multiples of ``P`` up to ``K``,
+  ``T_P`` over divisors of ``P``, ``T_Q`` over divisors of ``Q`` and even
+  values of ``T_M`` until device occupancy stops improving;
+* thread tile sizes — ``R_P`` over divisors of ``T_P``, ``R_Q`` over
+  divisors of ``T_Q`` and ``R_K`` over divisors of the number of slices per
+  block (``T_K / P``);
+
+pruned by the per-block resource limits (shared memory, registers, thread
+count).  The paper reports the pruned space stays under ~10,000 candidates
+per problem; the same bound holds here and is asserted by the autotuning
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.gpu.device import GpuSpec, TESLA_V100
+from repro.kernels.tile_config import TileConfig, max_fusable
+from repro.utils.intmath import divisors
+
+
+#: Practical bounds on the per-thread register tiles: wider tiles exceed the
+#: register budget or the useful ILP of the hardware, and the paper's search
+#: stays under ~10,000 candidates per shape because of equivalent cuts.
+MAX_RK = 16
+MAX_RQ = 8
+MAX_RP = 8
+MAX_TQ = 64
+MAX_TM = 4
+
+
+@dataclass
+class SearchSpaceStats:
+    """Bookkeeping of one enumeration run."""
+
+    total_combinations: int = 0
+    resource_pruned: int = 0
+    shape_pruned: int = 0
+    yielded: int = 0
+
+
+def _tk_candidates(k: int, p: int, max_slices: int) -> List[int]:
+    """Multiples of ``P`` that divide ``K``, with at most ``max_slices`` slices."""
+    out = []
+    for d in divisors(k // p):
+        if d <= max_slices:
+            out.append(p * d)
+    return sorted(out)
+
+
+def _tm_candidates(m: int) -> List[int]:
+    """Even values of ``T_M`` (plus 1) no larger than ``M``."""
+    cands = [1, 2, 4, 8]
+    return [c for c in cands if c <= min(m, MAX_TM) and (m % c == 0)]
+
+
+def enumerate_tile_configs(
+    m: int,
+    k: int,
+    p: int,
+    q: int,
+    spec: GpuSpec = TESLA_V100,
+    dtype: np.dtype | type = np.float32,
+    fuse: bool = True,
+    max_slices_per_block: int = 4096,
+    max_candidates: Optional[int] = None,
+    stats: Optional[SearchSpaceStats] = None,
+) -> Iterator[TileConfig]:
+    """Yield all valid tile configurations for one sliced-multiply shape.
+
+    Parameters
+    ----------
+    m, k, p, q:
+        The sliced-multiply shape (``(M, K) × (P, Q)``).
+    spec, dtype:
+        Device and element type used for resource pruning.
+    fuse:
+        Also yield fused variants (``N_fused up to ⌊log_P T_K⌋``) of
+        configurations that allow fusion.
+    max_slices_per_block:
+        Upper bound on ``T_K / P``; keeps the enumeration bounded for very
+        large ``K`` (the paper's search applies the same practical cut via
+        its shared-memory limit).
+    max_candidates:
+        Optional hard cap on the number of yielded configurations.
+    stats:
+        Optional :class:`SearchSpaceStats` filled in during enumeration.
+    """
+    dtype = np.dtype(dtype)
+    stats = stats if stats is not None else SearchSpaceStats()
+    yielded = 0
+    for tm in _tm_candidates(m):
+        for tk in _tk_candidates(k, p, max_slices_per_block):
+            slices = tk // p
+            for tp in divisors(p):
+                for tq in (d for d in divisors(q) if d <= MAX_TQ):
+                    for rk in (d for d in divisors(slices) if d <= MAX_RK):
+                        for rq in (d for d in divisors(tq) if d <= MAX_RQ):
+                            for rp in (d for d in divisors(tp) if d <= MAX_RP):
+                                stats.total_combinations += 1
+                                config = TileConfig(
+                                    tm=tm, tk=tk, tp=tp, tq=tq, rk=rk, rq=rq, rp=rp
+                                )
+                                if not config.is_valid(p, q, k, m):
+                                    stats.shape_pruned += 1
+                                    continue
+                                if not config.fits(spec, p, q, dtype):
+                                    stats.resource_pruned += 1
+                                    continue
+                                # Occupancy-style pruning (the paper narrows the
+                                # space by resource usage and occupancy): skip
+                                # configurations that cannot fill a warp even
+                                # though the tile is large enough, or whose
+                                # register tile is unreasonably large.
+                                threads = config.threads_per_block(p)
+                                max_threads_possible = slices * tq
+                                if threads < min(spec.warp_size, max_threads_possible):
+                                    stats.resource_pruned += 1
+                                    continue
+                                if config.outputs_per_thread() > 128:
+                                    stats.resource_pruned += 1
+                                    continue
+                                candidates = [config]
+                                if fuse and p == q and tp == p and p <= 32:
+                                    nf = max_fusable(tk, p)
+                                    for nfused in range(2, nf + 1):
+                                        fused = config.with_nfused(nfused)
+                                        if fused.fits(spec, p, q, dtype):
+                                            candidates.append(fused)
+                                for cand in candidates:
+                                    stats.yielded += 1
+                                    yielded += 1
+                                    yield cand
+                                    if max_candidates is not None and yielded >= max_candidates:
+                                        return
+
+
+def search_space_size(
+    m: int,
+    k: int,
+    p: int,
+    q: int,
+    spec: GpuSpec = TESLA_V100,
+    dtype: np.dtype | type = np.float32,
+    fuse: bool = True,
+    max_slices_per_block: int = 4096,
+) -> SearchSpaceStats:
+    """Enumerate the space once and return its statistics (no configs kept)."""
+    stats = SearchSpaceStats()
+    for _ in enumerate_tile_configs(
+        m, k, p, q, spec=spec, dtype=dtype, fuse=fuse,
+        max_slices_per_block=max_slices_per_block, stats=stats,
+    ):
+        pass
+    return stats

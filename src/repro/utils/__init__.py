@@ -1,0 +1,31 @@
+"""Shared utilities: integer math, validation, timing and reporting."""
+
+from repro.utils.intmath import (
+    ceil_div,
+    divisors,
+    ilog,
+    is_power_of,
+    largest_power_leq,
+    prod,
+)
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_dtype,
+    check_matrix,
+    check_positive_int,
+    ensure_2d,
+)
+
+__all__ = [
+    "Timer",
+    "ceil_div",
+    "check_dtype",
+    "check_matrix",
+    "check_positive_int",
+    "divisors",
+    "ensure_2d",
+    "ilog",
+    "is_power_of",
+    "largest_power_leq",
+    "prod",
+]

@@ -1,0 +1,99 @@
+"""Small integer math helpers used throughout the kernel and tuner code.
+
+The kernel tiling and the fusion planner reason entirely in terms of integer
+divisibility (tile sizes must divide problem dimensions, the fusion depth is
+``floor(log_P T_K)``, ...), so these helpers are kept dependency-free and
+exact: no floating point logarithms are used anywhere.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Iterable, List
+
+
+def prod(values: Iterable[int]) -> int:
+    """Return the product of ``values`` (1 for an empty iterable)."""
+    return reduce(lambda a, b: a * b, values, 1)
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Return ``ceil(a / b)`` for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div requires a positive divisor, got {b}")
+    if a < 0:
+        raise ValueError(f"ceil_div requires a non-negative dividend, got {a}")
+    return -(-a // b)
+
+
+def divisors(n: int) -> List[int]:
+    """Return all positive divisors of ``n`` in increasing order.
+
+    ``n`` must be a positive integer.  The implementation enumerates up to
+    ``sqrt(n)``; the tile sizes seen in practice are tiny (P, Q <= a few
+    hundred), so this is never a bottleneck.
+    """
+    if n <= 0:
+        raise ValueError(f"divisors requires a positive integer, got {n}")
+    small: List[int] = []
+    large: List[int] = []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    return small + large[::-1]
+
+
+def is_power_of(x: int, base: int) -> bool:
+    """Return True when ``x`` is an exact integer power of ``base`` (>= 1)."""
+    if base <= 1:
+        raise ValueError(f"is_power_of requires base > 1, got {base}")
+    if x < 1:
+        return False
+    while x % base == 0:
+        x //= base
+    return x == 1
+
+
+def ilog(x: int, base: int) -> int:
+    """Return ``floor(log_base(x))`` computed exactly with integer arithmetic.
+
+    This is the quantity the paper writes as ``⌊log_P T_K⌋`` when computing
+    the maximum number of fusable sliced multiplications (Section 4.2) and
+    ``⌊log_P T_GK⌋`` for the number of local multiplications per GPU
+    (Algorithm 2).
+    """
+    if base <= 1:
+        raise ValueError(f"ilog requires base > 1, got {base}")
+    if x < 1:
+        raise ValueError(f"ilog requires x >= 1, got {x}")
+    result = 0
+    power = base
+    while power <= x:
+        result += 1
+        power *= base
+    return result
+
+
+def largest_power_leq(x: int, base: int) -> int:
+    """Return the largest exact power of ``base`` that is ``<= x``."""
+    return base ** ilog(x, base)
+
+
+def multiples_up_to(step: int, limit: int) -> List[int]:
+    """Return all positive multiples of ``step`` that are ``<= limit``."""
+    if step <= 0:
+        raise ValueError(f"multiples_up_to requires a positive step, got {step}")
+    if limit < step:
+        return []
+    return list(range(step, limit + 1, step))
+
+
+def next_power_of_two(x: int) -> int:
+    """Return the smallest power of two ``>= x`` (``x >= 1``)."""
+    if x < 1:
+        raise ValueError(f"next_power_of_two requires x >= 1, got {x}")
+    return 1 << (x - 1).bit_length()

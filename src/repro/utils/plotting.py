@@ -1,0 +1,206 @@
+"""Dependency-free SVG charts for the benchmark harness.
+
+The paper's evaluation is presented as bar charts (Figures 9 and 10) and
+line charts (Figure 11).  matplotlib is not available in this environment,
+so this module renders simple grouped-bar and line charts as standalone SVG
+files from :class:`repro.utils.reporting.ResultTable` /
+:class:`~repro.utils.reporting.Series` data.  The output is intentionally
+minimal — axes, ticks, legend, bars/lines — but is real SVG that any browser
+renders, so the regenerated figures can be looked at, not just read as CSV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.utils.reporting import Series
+
+_COLORS = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+]
+
+
+@dataclass
+class SvgCanvas:
+    """A tiny SVG document builder."""
+
+    width: int = 860
+    height: int = 420
+    elements: List[str] = field(default_factory=list)
+
+    def rect(self, x: float, y: float, w: float, h: float, color: str, opacity: float = 1.0) -> None:
+        self.elements.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" height="{h:.2f}" '
+            f'fill="{color}" fill-opacity="{opacity:.2f}" />'
+        )
+
+    def line(self, x1: float, y1: float, x2: float, y2: float, color: str = "#333",
+             width: float = 1.0) -> None:
+        self.elements.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{color}" stroke-width="{width}" />'
+        )
+
+    def polyline(self, points: Sequence[tuple], color: str, width: float = 2.0) -> None:
+        path = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self.elements.append(
+            f'<polyline points="{path}" fill="none" stroke="{color}" stroke-width="{width}" />'
+        )
+
+    def circle(self, x: float, y: float, r: float, color: str) -> None:
+        self.elements.append(f'<circle cx="{x:.2f}" cy="{y:.2f}" r="{r}" fill="{color}" />')
+
+    def text(self, x: float, y: float, content: str, size: int = 12, anchor: str = "middle",
+             rotate: float | None = None, color: str = "#222") -> None:
+        transform = f' transform="rotate({rotate} {x:.2f} {y:.2f})"' if rotate else ""
+        self.elements.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" text-anchor="{anchor}" '
+            f'fill="{color}" font-family="Helvetica, Arial, sans-serif"{transform}>{content}</text>'
+        )
+
+    def render(self) -> str:
+        body = "\n  ".join(self.elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'  <rect width="{self.width}" height="{self.height}" fill="white" />\n'
+            f"  {body}\n</svg>\n"
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render())
+        return path
+
+
+def _nice_ticks(max_value: float, count: int = 5) -> List[float]:
+    if max_value <= 0:
+        return [0.0, 1.0]
+    raw_step = max_value / count
+    magnitude = 10 ** int(f"{raw_step:e}".split("e")[1])
+    for factor in (1, 2, 2.5, 5, 10):
+        step = factor * magnitude
+        if step >= raw_step:
+            break
+    ticks = []
+    value = 0.0
+    while value < max_value + step / 2:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def grouped_bar_chart(
+    series: Sequence[Series],
+    title: str,
+    y_label: str,
+    width: int = 900,
+    height: int = 420,
+) -> SvgCanvas:
+    """Render grouped bars: one group per x value, one bar per series."""
+    if not series:
+        raise ValueError("grouped_bar_chart needs at least one series")
+    x_labels = [str(x) for x in series[0].x]
+    for s in series:
+        if len(s.y) != len(x_labels):
+            raise ValueError(f"series {s.label!r} length does not match the x axis")
+
+    canvas = SvgCanvas(width=width, height=height)
+    margin_left, margin_bottom, margin_top, margin_right = 70, 60, 50, 20
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+    max_y = max(max(s.y) for s in series) or 1.0
+    ticks = _nice_ticks(max_y)
+    max_tick = ticks[-1]
+
+    def y_pos(value: float) -> float:
+        return margin_top + plot_h * (1.0 - value / max_tick)
+
+    # axes and ticks
+    canvas.text(width / 2, 24, title, size=15)
+    canvas.line(margin_left, margin_top, margin_left, margin_top + plot_h)
+    canvas.line(margin_left, margin_top + plot_h, margin_left + plot_w, margin_top + plot_h)
+    for tick in ticks:
+        y = y_pos(tick)
+        canvas.line(margin_left - 4, y, margin_left + plot_w, y, color="#ddd")
+        canvas.text(margin_left - 8, y + 4, f"{tick:g}", size=11, anchor="end")
+    canvas.text(18, margin_top + plot_h / 2, y_label, size=12, rotate=-90)
+
+    n_groups = len(x_labels)
+    n_series = len(series)
+    group_w = plot_w / n_groups
+    bar_w = group_w * 0.8 / n_series
+    for gi, label in enumerate(x_labels):
+        gx = margin_left + gi * group_w + group_w * 0.1
+        for si, s in enumerate(series):
+            color = _COLORS[si % len(_COLORS)]
+            value = s.y[gi]
+            top = y_pos(value)
+            canvas.rect(gx + si * bar_w, top, bar_w * 0.95,
+                        margin_top + plot_h - top, color)
+        canvas.text(margin_left + gi * group_w + group_w / 2,
+                    margin_top + plot_h + 18, label, size=11)
+
+    # legend
+    legend_x = margin_left + 10
+    for si, s in enumerate(series):
+        color = _COLORS[si % len(_COLORS)]
+        canvas.rect(legend_x, margin_top - 16, 12, 12, color)
+        canvas.text(legend_x + 18, margin_top - 6, s.label, size=11, anchor="start")
+        legend_x += 18 + 8 * len(s.label) + 24
+    return canvas
+
+
+def line_chart(
+    series: Sequence[Series],
+    title: str,
+    x_label: str,
+    y_label: str,
+    width: int = 860,
+    height: int = 420,
+) -> SvgCanvas:
+    """Render a multi-series line chart with markers (Figure 11 style)."""
+    if not series:
+        raise ValueError("line_chart needs at least one series")
+    x_labels = [str(x) for x in series[0].x]
+    canvas = SvgCanvas(width=width, height=height)
+    margin_left, margin_bottom, margin_top, margin_right = 70, 60, 50, 20
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+    max_y = max(max(s.y) for s in series) or 1.0
+    ticks = _nice_ticks(max_y)
+    max_tick = ticks[-1]
+
+    def x_pos(index: int) -> float:
+        if len(x_labels) == 1:
+            return margin_left + plot_w / 2
+        return margin_left + plot_w * index / (len(x_labels) - 1)
+
+    def y_pos(value: float) -> float:
+        return margin_top + plot_h * (1.0 - value / max_tick)
+
+    canvas.text(width / 2, 24, title, size=15)
+    canvas.line(margin_left, margin_top, margin_left, margin_top + plot_h)
+    canvas.line(margin_left, margin_top + plot_h, margin_left + plot_w, margin_top + plot_h)
+    for tick in ticks:
+        y = y_pos(tick)
+        canvas.line(margin_left - 4, y, margin_left + plot_w, y, color="#ddd")
+        canvas.text(margin_left - 8, y + 4, f"{tick:g}", size=11, anchor="end")
+    for i, label in enumerate(x_labels):
+        canvas.text(x_pos(i), margin_top + plot_h + 18, label, size=11)
+    canvas.text(width / 2, height - 12, x_label, size=12)
+    canvas.text(18, margin_top + plot_h / 2, y_label, size=12, rotate=-90)
+
+    for si, s in enumerate(series):
+        color = _COLORS[si % len(_COLORS)]
+        points = [(x_pos(i), y_pos(v)) for i, v in enumerate(s.y)]
+        canvas.polyline(points, color)
+        for x, y in points:
+            canvas.circle(x, y, 3.0, color)
+        canvas.rect(margin_left + 10 + si * 150, margin_top - 16, 12, 12, color)
+        canvas.text(margin_left + 28 + si * 150, margin_top - 6, s.label, size=11, anchor="start")
+    return canvas

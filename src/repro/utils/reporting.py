@@ -1,0 +1,119 @@
+"""Plain-text and CSV reporting helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures.  The
+results are rendered as monospace tables (for the terminal / log files) and
+written as CSV next to the benchmark so EXPERIMENTS.md can reference them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+Number = Union[int, float]
+Cell = Union[str, Number]
+
+
+def _format_cell(value: Cell, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    float_fmt: str = ".3g",
+    title: str | None = None,
+) -> str:
+    """Render a simple aligned monospace table."""
+    str_rows = [[_format_cell(c, float_fmt) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ResultTable:
+    """A named table of results that can be rendered and saved as CSV."""
+
+    name: str
+    headers: Sequence[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)} for table {self.name}"
+            )
+        self.rows.append(list(cells))
+
+    def render(self, float_fmt: str = ".3g") -> str:
+        return format_table(self.headers, self.rows, float_fmt=float_fmt, title=self.name)
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buf.getvalue()
+
+    def save_csv(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_csv())
+        return path
+
+    def column(self, header: str) -> List[Cell]:
+        """Return one column of the table by header name."""
+        idx = list(self.headers).index(header)
+        return [row[idx] for row in self.rows]
+
+
+@dataclass
+class Series:
+    """A labelled (x, y) series, the building block of the paper's figures."""
+
+    label: str
+    x: List[Cell] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+
+    def add(self, x: Cell, y: float) -> None:
+        self.x.append(x)
+        self.y.append(float(y))
+
+    def as_dict(self) -> Dict[str, List]:
+        return {"label": self.label, "x": list(self.x), "y": list(self.y)}
+
+
+def series_to_table(name: str, series: Sequence[Series]) -> ResultTable:
+    """Merge several series sharing the same x-axis into a single table."""
+    if not series:
+        raise ValueError("series_to_table requires at least one series")
+    x_ref = series[0].x
+    for s in series:
+        if s.x != x_ref:
+            raise ValueError(f"series {s.label!r} has a different x-axis than {series[0].label!r}")
+    table = ResultTable(name=name, headers=["x"] + [s.label for s in series])
+    for i, x in enumerate(x_ref):
+        table.add_row(x, *[s.y[i] for s in series])
+    return table

@@ -1,0 +1,76 @@
+"""Wall-clock timing helpers used by examples and the benchmark harness."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass
+class Timer:
+    """A tiny context-manager timer.
+
+    >>> with Timer() as t:
+    ...     sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: Optional[float] = field(default=None, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass
+class TimingStats:
+    """Aggregate statistics over repeated timed runs (seconds)."""
+
+    samples: List[float]
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples)
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples)
+
+    @property
+    def stdev(self) -> float:
+        return statistics.pstdev(self.samples) if len(self.samples) > 1 else 0.0
+
+
+def time_callable(fn: Callable[[], object], repeats: int = 5, warmup: int = 1) -> TimingStats:
+    """Time ``fn()`` ``repeats`` times after ``warmup`` discarded runs.
+
+    Mirrors the paper's measurement protocol (average of 100 runs after a
+    warmup of 10) at a smaller default scale suitable for a Python harness.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(max(0, warmup)):
+        fn()
+    samples: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return TimingStats(samples=samples)

@@ -1,0 +1,70 @@
+"""Input validation helpers shared by the public API surface."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DTypeError, ShapeError
+
+#: Floating point dtypes supported by the library, mirroring the paper's
+#: "float" and "double" data types.
+SUPPORTED_DTYPES: Tuple[np.dtype, ...] = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ShapeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value <= 0:
+        raise ShapeError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_dtype(dtype: np.dtype | type, name: str = "dtype") -> np.dtype:
+    """Validate that ``dtype`` is float32 or float64 and return it normalised."""
+    dt = np.dtype(dtype)
+    if dt not in SUPPORTED_DTYPES:
+        raise DTypeError(
+            f"{name} must be float32 or float64 (the paper's float/double), got {dt}"
+        )
+    return dt
+
+
+def ensure_2d(array: np.ndarray, name: str) -> np.ndarray:
+    """Validate that ``array`` is a 2-D ndarray and return it as such.
+
+    1-D arrays are promoted to a single-row matrix, matching the convention
+    used for Kronecker matrix-vector products.
+    """
+    arr = np.asarray(array)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ShapeError(f"{name} must be a 2-D matrix, got ndim={arr.ndim}")
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise ShapeError(f"{name} must be non-empty, got shape {arr.shape}")
+    return arr
+
+
+def check_matrix(array: np.ndarray, name: str) -> np.ndarray:
+    """Validate a floating point 2-D matrix (dtype and shape)."""
+    arr = ensure_2d(array, name)
+    check_dtype(arr.dtype, name=f"{name}.dtype")
+    return arr
+
+
+def check_same_dtype(arrays: Iterable[np.ndarray], names: Sequence[str]) -> np.dtype:
+    """Validate that all arrays share a dtype and return that dtype."""
+    arrays = list(arrays)
+    if not arrays:
+        raise ShapeError("expected at least one array")
+    dtype = np.dtype(arrays[0].dtype)
+    for arr, name in zip(arrays, names):
+        if np.dtype(arr.dtype) != dtype:
+            raise DTypeError(
+                f"all operands must share a dtype; {name} has {arr.dtype}, expected {dtype}"
+            )
+    return dtype

@@ -1,0 +1,38 @@
+"""Shared fixtures for the FastKron reproduction test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.factors import random_factors, random_factors_from_shapes
+from repro.gpu.device import TESLA_V100
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def spec():
+    """The default simulated device (Tesla V100)."""
+    return TESLA_V100
+
+
+@pytest.fixture
+def small_square_operands(rng):
+    """A small uniform square-factor problem: X (6, 64), three 4x4 factors."""
+    factors = random_factors(3, 4, 4, dtype=np.float64, seed=7)
+    x = rng.standard_normal((6, 4**3))
+    return x, factors
+
+
+@pytest.fixture
+def small_rectangular_operands(rng):
+    """A small non-uniform rectangular-factor problem."""
+    shapes = [(2, 3), (4, 2), (3, 5)]
+    factors = random_factors_from_shapes(shapes, dtype=np.float64, seed=11)
+    x = rng.standard_normal((5, 2 * 4 * 3))
+    return x, factors

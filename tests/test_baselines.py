@@ -1,0 +1,123 @@
+"""Unit tests for the baseline Kron-Matmul algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    available_algorithms,
+    ftmmt_kron_matmul,
+    get_algorithm,
+    naive_kron_matmul,
+    shuffle_kron_matmul,
+)
+from repro.baselines.naive import MAX_MATERIALIZED_ELEMENTS, naive_flops
+from repro.core.fastkron import kron_matmul
+from repro.core.problem import KronMatmulProblem
+
+
+class TestNaive:
+    def test_matches_manual_kron(self, rng):
+        a = rng.standard_normal((2, 3))
+        b = rng.standard_normal((4, 2))
+        x = rng.standard_normal((5, 8))
+        expected = x @ np.kron(a, b)
+        np.testing.assert_allclose(naive_kron_matmul(x, [a, b]), expected, atol=1e-12)
+
+    def test_size_guard(self, rng):
+        # A 2^14 x 2^14 Kronecker matrix would have 2^28 elements > the guard.
+        factors = [rng.standard_normal((2, 2)) for _ in range(14)]
+        x = rng.standard_normal((1, 2**14))
+        assert 2**28 > MAX_MATERIALIZED_ELEMENTS
+        with pytest.raises(ValueError):
+            naive_kron_matmul(x, factors)
+
+    def test_naive_flops(self):
+        problem = KronMatmulProblem.uniform(4, 4, 2)
+        assert naive_flops(problem) == 2 * 4 * 16 * 16
+
+
+class TestShuffle:
+    def test_matches_fastkron(self, small_square_operands):
+        x, factors = small_square_operands
+        result = shuffle_kron_matmul(x, factors)
+        np.testing.assert_allclose(result.output, kron_matmul(x, factors), atol=1e-10)
+
+    def test_matches_fastkron_rectangular(self, small_rectangular_operands):
+        x, factors = small_rectangular_operands
+        result = shuffle_kron_matmul(x, factors)
+        np.testing.assert_allclose(result.output, kron_matmul(x, factors), atol=1e-10)
+
+    def test_step_count(self, small_square_operands):
+        x, factors = small_square_operands
+        result = shuffle_kron_matmul(x, factors)
+        assert len(result.steps) == len(factors)
+
+    def test_step_order_last_factor_first(self, small_rectangular_operands):
+        x, factors = small_rectangular_operands
+        result = shuffle_kron_matmul(x, factors)
+        assert [s.factor_index for s in result.steps] == [2, 1, 0]
+
+    def test_transpose_elements_match_output_size(self, small_square_operands):
+        x, factors = small_square_operands
+        result = shuffle_kron_matmul(x, factors)
+        for step in result.steps:
+            assert step.transpose_elements == step.m * step.out_cols
+
+    def test_flop_accounting(self, small_square_operands):
+        x, factors = small_square_operands
+        result = shuffle_kron_matmul(x, factors)
+        problem = KronMatmulProblem.from_factors(x.shape[0], [f.values for f in factors])
+        assert result.total_matmul_flops == problem.flops
+
+    def test_memory_exceeds_fastkron_minimum(self, small_square_operands):
+        """The shuffle algorithm's transpose adds a full extra round trip."""
+        x, factors = small_square_operands
+        result = shuffle_kron_matmul(x, factors)
+        problem = KronMatmulProblem.from_factors(x.shape[0], [f.values for f in factors])
+        assert result.total_memory_elements > problem.min_memory_elements
+
+    def test_matmul_rows_shape(self, small_square_operands):
+        x, factors = small_square_operands
+        step = shuffle_kron_matmul(x, factors).steps[0]
+        assert step.matmul_rows == step.m * step.k // step.p
+
+
+class TestFtmmt:
+    def test_matches_fastkron(self, small_square_operands):
+        x, factors = small_square_operands
+        result = ftmmt_kron_matmul(x, factors)
+        np.testing.assert_allclose(result.output, kron_matmul(x, factors), atol=1e-10)
+
+    def test_matches_fastkron_rectangular(self, small_rectangular_operands):
+        x, factors = small_rectangular_operands
+        result = ftmmt_kron_matmul(x, factors)
+        np.testing.assert_allclose(result.output, kron_matmul(x, factors), atol=1e-10)
+
+    def test_flops_match_problem(self, small_square_operands):
+        x, factors = small_square_operands
+        result = ftmmt_kron_matmul(x, factors)
+        problem = KronMatmulProblem.from_factors(x.shape[0], [f.values for f in factors])
+        assert result.total_flops == problem.flops
+
+    def test_memory_equals_unfused_minimum(self, small_square_operands):
+        """FTMMT avoids the transpose but still round-trips every intermediate."""
+        x, factors = small_square_operands
+        result = ftmmt_kron_matmul(x, factors)
+        problem = KronMatmulProblem.from_factors(x.shape[0], [f.values for f in factors])
+        assert result.total_memory_elements == problem.min_memory_elements
+
+
+class TestRegistry:
+    def test_lists_all(self):
+        assert set(available_algorithms()) == {"fastkron", "shuffle", "ftmmt", "naive"}
+
+    def test_all_algorithms_agree(self, small_rectangular_operands):
+        x, factors = small_rectangular_operands
+        results = {name: get_algorithm(name)(x, factors) for name in available_algorithms()}
+        reference = results.pop("naive")
+        for name, value in results.items():
+            np.testing.assert_allclose(value, reference, atol=1e-10, err_msg=name)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            get_algorithm("does-not-exist")

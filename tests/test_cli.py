@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "fastkron-repro" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_parser_registers_all_subcommands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("estimate", "compare", "tune", "realworld", "scaling"):
+            assert command in text
+
+
+class TestEstimate:
+    def test_estimate_basic(self, capsys):
+        assert main(["estimate", "--p", "8", "--n", "4", "--m", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "TFLOPS" in out
+        assert "M=64 8^4" in out
+
+    def test_estimate_no_fuse(self, capsys):
+        assert main(["estimate", "--p", "8", "--n", "4", "--m", "64", "--no-fuse"]) == 0
+        assert "FastKron estimate" in capsys.readouterr().out
+
+    def test_estimate_a100(self, capsys):
+        assert main(["estimate", "--p", "16", "--n", "3", "--m", "64", "--gpu", "a100"]) == 0
+        assert "A100" in capsys.readouterr().out
+
+    def test_estimate_double(self, capsys):
+        assert main(["estimate", "--p", "8", "--n", "3", "--m", "16", "--dtype", "float64"]) == 0
+
+
+class TestCompare:
+    def test_compare_lists_all_systems(self, capsys):
+        assert main(["compare", "--p", "8", "--n", "4", "--m", "128"]) == 0
+        out = capsys.readouterr().out
+        for system in ("GPyTorch", "COGENT", "cuTensor", "FastKron"):
+            assert system in out
+
+
+class TestTune:
+    def test_tune_reports_configs(self, capsys):
+        assert main(["tune", "--p", "8", "--n", "3", "--m", "32", "--max-candidates", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "TK=" in out
+        assert "Autotuning" in out
+
+
+class TestRealWorld:
+    def test_single_case(self, capsys):
+        assert main(["realworld", "--case", "23"]) == 0
+        out = capsys.readouterr().out
+        assert "Drug-Targets" in out
+
+    def test_all_cases(self, capsys):
+        assert main(["realworld"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 28
+
+
+class TestScaling:
+    def test_scaling_table(self, capsys):
+        assert main(["scaling", "--p", "64", "--n", "4", "--m", "256", "--gpus", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "FastKron TFLOPS" in out
+        assert "CTF" in out

@@ -1,0 +1,147 @@
+"""Unit tests for Kronecker factors and the lazy Kronecker operator."""
+
+import numpy as np
+import pytest
+
+from repro.core.factors import (
+    KroneckerFactor,
+    KroneckerOperator,
+    as_factor,
+    as_factor_list,
+    random_factors,
+    random_factors_from_shapes,
+)
+from repro.exceptions import DTypeError, ShapeError
+
+
+class TestKroneckerFactor:
+    def test_shape_properties(self):
+        f = KroneckerFactor(np.zeros((3, 5), dtype=np.float32))
+        assert f.p == 3 and f.q == 5
+        assert f.shape == (3, 5)
+        assert f.dtype == np.float32
+
+    def test_contiguity_enforced(self):
+        base = np.asfortranarray(np.ones((4, 4), dtype=np.float64))
+        f = KroneckerFactor(base)
+        assert f.values.flags["C_CONTIGUOUS"]
+
+    def test_astype(self):
+        f = KroneckerFactor(np.ones((2, 2), dtype=np.float32))
+        g = f.astype(np.float64)
+        assert g.dtype == np.float64
+        assert f.dtype == np.float32
+
+    def test_array_protocol(self):
+        f = KroneckerFactor(np.ones((2, 2), dtype=np.float32))
+        assert np.asarray(f).shape == (2, 2)
+
+    def test_rejects_integer_dtype(self):
+        with pytest.raises(DTypeError):
+            KroneckerFactor(np.ones((2, 2), dtype=np.int32))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ShapeError):
+            KroneckerFactor(np.ones((2, 2, 2), dtype=np.float32))
+
+
+class TestFactorCoercion:
+    def test_as_factor_passthrough(self):
+        f = KroneckerFactor(np.ones((2, 2), dtype=np.float32))
+        assert as_factor(f) is f
+
+    def test_as_factor_from_ndarray(self):
+        f = as_factor(np.ones((2, 3), dtype=np.float64))
+        assert isinstance(f, KroneckerFactor)
+
+    def test_as_factor_list_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            as_factor_list([])
+
+    def test_as_factor_list_rejects_mixed_dtypes(self):
+        with pytest.raises(DTypeError):
+            as_factor_list([
+                np.ones((2, 2), dtype=np.float32),
+                np.ones((2, 2), dtype=np.float64),
+            ])
+
+
+class TestRandomFactors:
+    def test_count_and_shape(self):
+        factors = random_factors(4, 3, 5, seed=0)
+        assert len(factors) == 4
+        assert all(f.shape == (3, 5) for f in factors)
+
+    def test_default_square(self):
+        factors = random_factors(2, 6, seed=0)
+        assert all(f.shape == (6, 6) for f in factors)
+
+    def test_determinism(self):
+        a = random_factors(2, 3, seed=42)
+        b = random_factors(2, 3, seed=42)
+        for fa, fb in zip(a, b):
+            np.testing.assert_array_equal(fa.values, fb.values)
+
+    def test_scale_bound(self):
+        factors = random_factors(1, 8, seed=0, scale=0.5)
+        assert np.all(np.abs(factors[0].values) <= 0.5)
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ShapeError):
+            random_factors(0, 4)
+
+    def test_from_shapes(self):
+        factors = random_factors_from_shapes([(2, 3), (4, 5)], seed=1)
+        assert [f.shape for f in factors] == [(2, 3), (4, 5)]
+
+    def test_from_shapes_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            random_factors_from_shapes([])
+
+
+class TestKroneckerOperator:
+    def test_shape_algebra(self):
+        op = KroneckerOperator(random_factors_from_shapes([(2, 3), (4, 5)], seed=0))
+        assert op.shape == (8, 15)
+        assert op.nfactors == 2
+        assert not op.is_uniform
+
+    def test_materialize_matches_numpy_kron(self):
+        factors = random_factors_from_shapes([(2, 2), (3, 3)], dtype=np.float64, seed=0)
+        op = KroneckerOperator(factors)
+        expected = np.kron(factors[0].values, factors[1].values)
+        np.testing.assert_allclose(op.materialize(), expected)
+
+    def test_matmul_matches_materialized(self, rng):
+        factors = random_factors_from_shapes([(2, 3), (3, 2)], dtype=np.float64, seed=0)
+        op = KroneckerOperator(factors)
+        x = rng.standard_normal((4, op.row_dim))
+        np.testing.assert_allclose(op.matmul(x), x @ op.materialize(), atol=1e-12)
+
+    def test_rmatmul_operator_syntax(self, rng):
+        factors = random_factors(2, 3, dtype=np.float64, seed=0)
+        op = KroneckerOperator(factors)
+        x = rng.standard_normal((4, 9))
+        np.testing.assert_allclose(x @ op, x @ op.materialize(), atol=1e-12)
+
+    def test_operator_matmul_vector(self, rng):
+        factors = random_factors(2, 3, dtype=np.float64, seed=0)
+        op = KroneckerOperator(factors)
+        v = rng.standard_normal(9)
+        np.testing.assert_allclose(op @ v, op.materialize() @ v, atol=1e-12)
+
+    def test_transpose(self, rng):
+        factors = random_factors_from_shapes([(2, 4), (3, 2)], dtype=np.float64, seed=0)
+        op = KroneckerOperator(factors)
+        np.testing.assert_allclose(
+            op.transpose().materialize(), op.materialize().T, atol=1e-12
+        )
+
+    def test_rmatmul_vec(self, rng):
+        factors = random_factors(2, 3, dtype=np.float64, seed=0)
+        op = KroneckerOperator(factors)
+        v = rng.standard_normal(9)
+        np.testing.assert_allclose(op.rmatmul_vec(v), op.materialize().T @ v, atol=1e-12)
+
+    def test_is_uniform(self):
+        assert KroneckerOperator(random_factors(3, 4, seed=0)).is_uniform

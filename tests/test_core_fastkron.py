@@ -1,0 +1,157 @@
+"""Unit tests for the public kron_matmul API and the FastKron handle."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import naive_kron_matmul
+from repro.core.factors import random_factors, random_factors_from_shapes
+from repro.core.fastkron import FastKron, kron_matmul
+from repro.core.problem import KronMatmulProblem
+from repro.exceptions import ShapeError
+
+
+class TestKronMatmul:
+    def test_matches_naive_square(self, small_square_operands):
+        x, factors = small_square_operands
+        np.testing.assert_allclose(
+            kron_matmul(x, factors), naive_kron_matmul(x, factors), atol=1e-10
+        )
+
+    def test_matches_naive_rectangular(self, small_rectangular_operands):
+        x, factors = small_rectangular_operands
+        np.testing.assert_allclose(
+            kron_matmul(x, factors), naive_kron_matmul(x, factors), atol=1e-10
+        )
+
+    def test_single_factor_is_matmul(self, rng):
+        f = rng.standard_normal((6, 4))
+        x = rng.standard_normal((3, 6))
+        np.testing.assert_allclose(kron_matmul(x, [f]), x @ f, atol=1e-12)
+
+    def test_identity_factors(self, rng):
+        factors = [np.eye(3)] * 3
+        x = rng.standard_normal((2, 27))
+        np.testing.assert_allclose(kron_matmul(x, factors), x, atol=1e-12)
+
+    def test_vector_input_returns_vector(self, rng):
+        factors = random_factors(2, 3, dtype=np.float64, seed=0)
+        v = rng.standard_normal(9)
+        y = kron_matmul(v, factors)
+        assert y.ndim == 1
+        np.testing.assert_allclose(y, naive_kron_matmul(v.reshape(1, -1), factors)[0], atol=1e-10)
+
+    def test_out_parameter(self, small_square_operands):
+        x, factors = small_square_operands
+        out = np.empty((x.shape[0], 64))
+        result = kron_matmul(x, factors, out=out)
+        assert result is out
+        np.testing.assert_allclose(out, naive_kron_matmul(x, factors), atol=1e-10)
+
+    def test_out_wrong_shape(self, small_square_operands):
+        x, factors = small_square_operands
+        with pytest.raises(ShapeError):
+            kron_matmul(x, factors, out=np.empty((x.shape[0], 63)))
+
+    def test_mixed_precision_promotes(self, rng):
+        factors = random_factors(2, 4, dtype=np.float32, seed=1)
+        x = rng.standard_normal((3, 16))  # float64
+        y = kron_matmul(x, factors)
+        assert y.dtype == np.float64
+
+    def test_shape_mismatch_rejected(self, rng):
+        factors = random_factors(2, 4, dtype=np.float64, seed=1)
+        with pytest.raises(ShapeError):
+            kron_matmul(rng.standard_normal((3, 15)), factors)
+
+    def test_float32_accuracy(self, rng):
+        factors = random_factors(3, 4, dtype=np.float32, seed=2, scale=0.5)
+        x = rng.standard_normal((4, 64)).astype(np.float32)
+        expected = naive_kron_matmul(x.astype(np.float64), [f.astype(np.float64) for f in factors])
+        np.testing.assert_allclose(kron_matmul(x, factors), expected, rtol=1e-4, atol=1e-4)
+
+    def test_rectangular_growing_output(self, rng):
+        shapes = [(2, 5), (3, 4)]
+        factors = random_factors_from_shapes(shapes, dtype=np.float64, seed=3)
+        x = rng.standard_normal((2, 6))
+        y = kron_matmul(x, factors)
+        assert y.shape == (2, 20)
+        np.testing.assert_allclose(y, naive_kron_matmul(x, factors), atol=1e-10)
+
+    def test_many_tiny_factors(self, rng):
+        factors = random_factors(8, 2, dtype=np.float64, seed=4)
+        x = rng.standard_normal((3, 2**8))
+        np.testing.assert_allclose(
+            kron_matmul(x, factors), naive_kron_matmul(x, factors), atol=1e-9
+        )
+
+
+class TestFastKronHandle:
+    def test_multiply_matches_api(self, small_square_operands):
+        x, factors = small_square_operands
+        handle = FastKron.for_operands(x, factors)
+        np.testing.assert_allclose(handle.multiply(x, factors), kron_matmul(x, factors), atol=1e-12)
+
+    def test_callable(self, small_square_operands):
+        x, factors = small_square_operands
+        handle = FastKron.for_operands(x, factors)
+        np.testing.assert_allclose(handle(x, factors), kron_matmul(x, factors), atol=1e-12)
+
+    def test_repeated_calls_no_state_leak(self, rng):
+        factors = random_factors(3, 4, dtype=np.float64, seed=5)
+        handle = FastKron(KronMatmulProblem.uniform(4, 4, 3, dtype=np.float64))
+        x1 = rng.standard_normal((4, 64))
+        x2 = rng.standard_normal((4, 64))
+        y1 = handle.multiply(x1, factors).copy()
+        handle.multiply(x2, factors)
+        np.testing.assert_allclose(handle.multiply(x1, factors), y1, atol=1e-12)
+
+    def test_stats_populated(self, small_square_operands):
+        x, factors = small_square_operands
+        handle = FastKron.for_operands(x, factors)
+        handle.multiply(x, factors)
+        stats = handle.last_stats
+        assert stats is not None
+        assert stats.iterations == 3
+        assert stats.flops == handle.problem.flops
+        assert stats.fused_memory_elements <= stats.unfused_memory_elements
+        assert stats.memory_saving_factor >= 1.0
+
+    def test_fusion_disabled_stats(self, small_square_operands):
+        x, factors = small_square_operands
+        handle = FastKron.for_operands(x, factors, fuse=False)
+        handle.multiply(x, factors)
+        stats = handle.last_stats
+        assert stats.kernel_launches == 3
+        assert stats.fused_memory_elements == stats.unfused_memory_elements
+
+    def test_fusion_reduces_memory_traffic(self):
+        problem = KronMatmulProblem.uniform(8, 4, 4, dtype=np.float32)
+        fused = FastKron(problem, fuse=True)
+        unfused = FastKron(problem, fuse=False)
+        factors = random_factors(4, 4, dtype=np.float32, seed=6)
+        x = np.ones((8, 256), dtype=np.float32)
+        fused.multiply(x, factors)
+        unfused.multiply(x, factors)
+        assert fused.last_stats.fused_memory_elements < unfused.last_stats.fused_memory_elements
+
+    def test_workspace_bytes(self):
+        problem = KronMatmulProblem.uniform(4, 4, 2, dtype=np.float32)
+        handle = FastKron(problem)
+        assert handle.workspace_bytes() == 2 * 4 * problem.max_intermediate_cols * 4
+
+    def test_flops_matches_problem(self):
+        problem = KronMatmulProblem.uniform(4, 4, 2)
+        assert FastKron(problem).flops() == problem.flops
+
+    def test_wrong_operands_rejected(self, small_square_operands, rng):
+        x, factors = small_square_operands
+        handle = FastKron.for_operands(x, factors)
+        with pytest.raises(ShapeError):
+            handle.multiply(rng.standard_normal((6, 63)), factors)
+
+    def test_rectangular_handle(self, small_rectangular_operands):
+        x, factors = small_rectangular_operands
+        handle = FastKron.for_operands(x, factors)
+        np.testing.assert_allclose(
+            handle.multiply(x, factors), naive_kron_matmul(x, factors), atol=1e-10
+        )

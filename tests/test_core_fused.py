@@ -1,0 +1,122 @@
+"""Unit tests for the fusion planner (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fused import (
+    FusionGroup,
+    default_fused_tile_k,
+    fused_groups_factor_indices,
+    max_fused_multiplications,
+    plan_fusion,
+)
+from repro.core.problem import KronMatmulProblem
+from repro.exceptions import ShapeError
+
+SHMEM_ELEMENTS_48KB_FLOAT = (48 * 1024) // 4
+
+
+class TestFusionGroup:
+    def test_valid_group(self):
+        g = FusionGroup((2, 3, 4))
+        assert g.size == 3
+        assert g.first_iteration == 2 and g.last_iteration == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            FusionGroup(())
+
+    def test_rejects_non_consecutive(self):
+        with pytest.raises(ShapeError):
+            FusionGroup((1, 3))
+
+
+class TestMaxFused:
+    def test_log_floor(self):
+        assert max_fused_multiplications(128, 4) == 3
+        assert max_fused_multiplications(4096, 8) == 4
+
+    def test_tile_smaller_than_p(self):
+        assert max_fused_multiplications(4, 8) == 0
+
+
+class TestDefaultFusedTileK:
+    def test_power_of_p(self):
+        tk = default_fused_tile_k(8, SHMEM_ELEMENTS_48KB_FLOAT)
+        assert tk > 0
+        assert 8 ** (len(bin(tk)) and 1) or True  # tk is a power of 8 by construction
+        # explicit check
+        v = tk
+        while v % 8 == 0:
+            v //= 8
+        assert v == 1
+
+    def test_zero_when_no_room(self):
+        assert default_fused_tile_k(32, 32 * 32 + 10) == 0
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ShapeError):
+            default_fused_tile_k(8, 0)
+
+
+class TestPlanFusion:
+    def test_disabled_plan_is_singletons(self):
+        problem = KronMatmulProblem.uniform(16, 8, 5)
+        plan = plan_fusion(problem, SHMEM_ELEMENTS_48KB_FLOAT, enabled=False)
+        assert plan.n_kernels == 5
+        assert all(g.size == 1 for g in plan.groups)
+        assert not plan.is_fused
+
+    def test_small_p_gets_fused(self):
+        problem = KronMatmulProblem.uniform(16, 8, 6)
+        plan = plan_fusion(problem, SHMEM_ELEMENTS_48KB_FLOAT)
+        assert plan.is_fused
+        assert plan.n_kernels < 6
+        # Every iteration appears exactly once.
+        covered = [i for g in plan.groups for i in g.iterations]
+        assert covered == list(range(6))
+
+    def test_large_p_not_fused(self):
+        problem = KronMatmulProblem.uniform(16, 64, 3)
+        plan = plan_fusion(problem, SHMEM_ELEMENTS_48KB_FLOAT)
+        assert not plan.is_fused
+
+    def test_rectangular_not_fused(self):
+        problem = KronMatmulProblem.uniform(16, 8, 4, q=4)
+        plan = plan_fusion(problem, SHMEM_ELEMENTS_48KB_FLOAT)
+        assert not plan.is_fused
+
+    def test_max_group_size_cap(self):
+        problem = KronMatmulProblem.uniform(16, 4, 6)
+        plan = plan_fusion(problem, SHMEM_ELEMENTS_48KB_FLOAT, max_group_size=2)
+        assert plan.max_group_size <= 2
+
+    def test_group_of_iteration(self):
+        problem = KronMatmulProblem.uniform(16, 8, 6)
+        plan = plan_fusion(problem, SHMEM_ELEMENTS_48KB_FLOAT)
+        for i in range(6):
+            assert i in plan.group_of_iteration(i).iterations
+        with pytest.raises(ShapeError):
+            plan.group_of_iteration(6)
+
+    def test_mixed_shapes_fuse_only_matching_runs(self):
+        problem = KronMatmulProblem(m=8, factor_shapes=((5, 5), (5, 5), (2, 2), (2, 2), (2, 2)))
+        plan = plan_fusion(problem, SHMEM_ELEMENTS_48KB_FLOAT)
+        # Iterations run from the last factor (2x2 run) to the first (5x5 run):
+        # groups never mix the two shapes.
+        for group in plan.groups:
+            shapes = {problem.iteration_shapes()[i].p for i in group.iterations}
+            assert len(shapes) == 1
+
+    def test_describe(self):
+        problem = KronMatmulProblem.uniform(16, 8, 4)
+        plan = plan_fusion(problem, SHMEM_ELEMENTS_48KB_FLOAT)
+        text = plan.describe()
+        assert "[" in text and "]" in text
+
+    def test_factor_indices_mapping(self):
+        problem = KronMatmulProblem.uniform(16, 8, 4)
+        plan = plan_fusion(problem, SHMEM_ELEMENTS_48KB_FLOAT)
+        indices = fused_groups_factor_indices(plan)
+        flat = [i for group in indices for i in group]
+        assert flat == list(range(3, -1, -1))

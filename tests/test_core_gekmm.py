@@ -1,0 +1,131 @@
+"""Unit tests for the general Kron-Matmul API (gekmm, kron_matvec, batched)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import naive_kron_matmul
+from repro.core.factors import random_factors, random_factors_from_shapes
+from repro.core.gekmm import gekmm, kron_matmul_batched, kron_matvec
+from repro.exceptions import ShapeError
+
+
+@pytest.fixture
+def operands(rng):
+    factors = random_factors_from_shapes([(3, 2), (2, 4)], dtype=np.float64, seed=4)
+    x = rng.standard_normal((5, 6))
+    dense = np.kron(factors[0].values, factors[1].values)
+    return x, factors, dense
+
+
+class TestGekmm:
+    def test_plain_product(self, operands):
+        x, factors, dense = operands
+        np.testing.assert_allclose(gekmm(x, factors), x @ dense, atol=1e-12)
+
+    def test_alpha_scaling(self, operands):
+        x, factors, dense = operands
+        np.testing.assert_allclose(gekmm(x, factors, alpha=2.5), 2.5 * (x @ dense), atol=1e-12)
+
+    def test_beta_accumulation(self, operands, rng):
+        x, factors, dense = operands
+        z = rng.standard_normal((5, 8))
+        expected = 0.5 * (x @ dense) + 2.0 * z
+        np.testing.assert_allclose(gekmm(x, factors, alpha=0.5, beta=2.0, z=z), expected, atol=1e-12)
+
+    def test_beta_requires_z(self, operands):
+        x, factors, _ = operands
+        with pytest.raises(ShapeError):
+            gekmm(x, factors, beta=1.0)
+
+    def test_z_shape_checked(self, operands, rng):
+        x, factors, _ = operands
+        with pytest.raises(ShapeError):
+            gekmm(x, factors, beta=1.0, z=rng.standard_normal((5, 7)))
+
+    def test_transposed_factors(self, operands, rng):
+        x, factors, dense = operands
+        xt = rng.standard_normal((5, 8))  # operand for the transposed Kronecker matrix
+        np.testing.assert_allclose(
+            gekmm(xt, factors, op_factors="T"), xt @ dense.T, atol=1e-12
+        )
+
+    def test_transposed_x(self, operands):
+        x, factors, dense = operands
+        np.testing.assert_allclose(
+            gekmm(np.ascontiguousarray(x.T), factors, op_x="T"), x @ dense, atol=1e-12
+        )
+
+    def test_both_transposed(self, operands, rng):
+        _, factors, dense = operands
+        xt = rng.standard_normal((8, 5))
+        np.testing.assert_allclose(
+            gekmm(xt, factors, op_x="T", op_factors="T"), xt.T @ dense.T, atol=1e-12
+        )
+
+    def test_out_buffer(self, operands):
+        x, factors, dense = operands
+        out = np.empty((5, 8))
+        result = gekmm(x, factors, out=out)
+        assert result is out
+        np.testing.assert_allclose(out, x @ dense, atol=1e-12)
+
+    def test_invalid_op(self, operands):
+        x, factors, _ = operands
+        with pytest.raises(ShapeError):
+            gekmm(x, factors, op_x="X")
+
+    def test_alpha_zero(self, operands, rng):
+        x, factors, _ = operands
+        z = rng.standard_normal((5, 8))
+        np.testing.assert_allclose(gekmm(x, factors, alpha=0.0, beta=1.0, z=z), z, atol=1e-12)
+
+    def test_does_not_mutate_inputs(self, operands):
+        x, factors, _ = operands
+        x_copy = x.copy()
+        gekmm(x, factors, alpha=3.0)
+        np.testing.assert_array_equal(x, x_copy)
+
+
+class TestKronMatvec:
+    def test_forward(self, rng):
+        factors = random_factors_from_shapes([(2, 3), (4, 2)], dtype=np.float64, seed=1)
+        dense = np.kron(factors[0].values, factors[1].values)
+        v = rng.standard_normal(6)
+        np.testing.assert_allclose(kron_matvec(v, factors), dense @ v, atol=1e-12)
+
+    def test_transpose(self, rng):
+        factors = random_factors_from_shapes([(2, 3), (4, 2)], dtype=np.float64, seed=1)
+        dense = np.kron(factors[0].values, factors[1].values)
+        v = rng.standard_normal(8)
+        np.testing.assert_allclose(kron_matvec(v, factors, transpose=True), dense.T @ v, atol=1e-12)
+
+    def test_rejects_matrix(self, rng):
+        factors = random_factors(2, 2, dtype=np.float64, seed=1)
+        with pytest.raises(ShapeError):
+            kron_matvec(rng.standard_normal((2, 4)), factors)
+
+
+class TestBatched:
+    def test_matches_per_matrix(self, rng):
+        factors = random_factors(3, 3, dtype=np.float64, seed=2)
+        batch = rng.standard_normal((4, 5, 27))
+        result = kron_matmul_batched(batch, factors)
+        assert result.shape == (4, 5, 27)
+        for i in range(4):
+            np.testing.assert_allclose(
+                result[i], naive_kron_matmul(batch[i], factors), atol=1e-10
+            )
+
+    def test_alpha(self, rng):
+        factors = random_factors(2, 2, dtype=np.float64, seed=2)
+        batch = rng.standard_normal((2, 3, 4))
+        np.testing.assert_allclose(
+            kron_matmul_batched(batch, factors, alpha=2.0),
+            2.0 * kron_matmul_batched(batch, factors),
+            atol=1e-12,
+        )
+
+    def test_rejects_2d(self, rng):
+        factors = random_factors(2, 2, dtype=np.float64, seed=2)
+        with pytest.raises(ShapeError):
+            kron_matmul_batched(rng.standard_normal((3, 4)), factors)

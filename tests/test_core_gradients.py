@@ -1,0 +1,126 @@
+"""Tests for the Kron-Matmul backward pass (gradients w.r.t. X and the factors)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.factors import random_factors_from_shapes
+from repro.core.fastkron import kron_matmul
+from repro.core.gradients import (
+    kron_matmul_backward_factors,
+    kron_matmul_backward_x,
+    kron_matmul_vjp,
+)
+from repro.exceptions import ShapeError
+
+
+def loss_and_grads(x, factors, dy):
+    """Scalar loss L = <Y, dY> and its analytic gradients."""
+    dx, dfs = kron_matmul_vjp(x, dy, factors)
+    return dx, dfs
+
+
+def numerical_grad(f, array, eps=1e-6):
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = f()
+        flat[i] = orig - eps
+        minus = f()
+        flat[i] = orig
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestBackwardX:
+    def test_matches_dense_jacobian(self, rng):
+        factors = random_factors_from_shapes([(2, 3), (3, 2)], dtype=np.float64, seed=5)
+        dense = np.kron(factors[0].values, factors[1].values)
+        dy = rng.standard_normal((4, 6))
+        np.testing.assert_allclose(
+            kron_matmul_backward_x(dy, factors), dy @ dense.T, atol=1e-12
+        )
+
+    def test_round_trip_shapes(self, rng):
+        factors = random_factors_from_shapes([(3, 4), (2, 5)], dtype=np.float64, seed=6)
+        x = rng.standard_normal((3, 6))
+        y = kron_matmul(x, factors)
+        dx = kron_matmul_backward_x(np.ones_like(y), factors)
+        assert dx.shape == x.shape
+
+    def test_finite_differences(self, rng):
+        factors = random_factors_from_shapes([(2, 2), (3, 2)], dtype=np.float64, seed=7)
+        x = rng.standard_normal((2, 6))
+        dy = rng.standard_normal((2, 4))
+
+        def loss():
+            return float(np.sum(kron_matmul(x, factors) * dy))
+
+        analytic = kron_matmul_backward_x(dy, factors)
+        numeric = numerical_grad(loss, x)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+
+class TestBackwardFactors:
+    def test_shapes(self, rng):
+        factors = random_factors_from_shapes([(2, 3), (4, 2), (3, 3)], dtype=np.float64, seed=8)
+        x = rng.standard_normal((5, 24))
+        dy = rng.standard_normal((5, 18))
+        grads = kron_matmul_backward_factors(x, dy, factors)
+        assert [g.shape for g in grads] == [(2, 3), (4, 2), (3, 3)]
+
+    def test_finite_differences_all_factors(self, rng):
+        shapes = [(2, 3), (3, 2)]
+        factors = random_factors_from_shapes(shapes, dtype=np.float64, seed=9)
+        raw = [f.values for f in factors]
+        x = rng.standard_normal((3, 6))
+        dy = rng.standard_normal((3, 6))
+
+        def loss():
+            return float(np.sum(kron_matmul(x, raw) * dy))
+
+        grads = kron_matmul_backward_factors(x, dy, raw)
+        for i, factor in enumerate(raw):
+            numeric = numerical_grad(loss, factor)
+            np.testing.assert_allclose(grads[i], numeric, atol=1e-5, err_msg=f"factor {i}")
+
+    def test_single_factor_reduces_to_matmul_grad(self, rng):
+        f = rng.standard_normal((4, 3))
+        x = rng.standard_normal((5, 4))
+        dy = rng.standard_normal((5, 3))
+        grads = kron_matmul_backward_factors(x, dy, [f])
+        np.testing.assert_allclose(grads[0], x.T @ dy, atol=1e-12)
+
+    def test_shape_validation(self, rng):
+        factors = random_factors_from_shapes([(2, 2)], dtype=np.float64, seed=1)
+        with pytest.raises(ShapeError):
+            kron_matmul_backward_factors(rng.standard_normal((3, 3)), rng.standard_normal((3, 2)), factors)
+        with pytest.raises(ShapeError):
+            kron_matmul_backward_factors(rng.standard_normal((3, 2)), rng.standard_normal((3, 3)), factors)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    m=st.integers(1, 3),
+    p1=st.integers(1, 3), q1=st.integers(1, 3),
+    p2=st.integers(1, 3), q2=st.integers(1, 3),
+    seed=st.integers(0, 1000),
+)
+def test_property_vjp_matches_finite_differences(m, p1, q1, p2, q2, seed):
+    rng = np.random.default_rng(seed)
+    f1 = rng.standard_normal((p1, q1))
+    f2 = rng.standard_normal((p2, q2))
+    x = rng.standard_normal((m, p1 * p2))
+    dy = rng.standard_normal((m, q1 * q2))
+
+    def loss():
+        return float(np.sum(kron_matmul(x, [f1, f2]) * dy))
+
+    dx, (df1, df2) = kron_matmul_vjp(x, dy, [f1, f2])
+    np.testing.assert_allclose(dx, numerical_grad(loss, x), atol=1e-5)
+    np.testing.assert_allclose(df1, numerical_grad(loss, f1), atol=1e-5)
+    np.testing.assert_allclose(df2, numerical_grad(loss, f2), atol=1e-5)

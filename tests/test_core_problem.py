@@ -1,0 +1,130 @@
+"""Unit tests for KronMatmulProblem and its iteration/FLOP accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import KronMatmulProblem
+from repro.exceptions import ShapeError
+
+
+class TestConstruction:
+    def test_uniform(self):
+        p = KronMatmulProblem.uniform(16, 8, 3)
+        assert p.m == 16
+        assert p.k == 8**3
+        assert p.out_cols == 8**3
+        assert p.n_factors == 3
+        assert p.is_uniform and p.is_square_factors
+
+    def test_uniform_rectangular(self):
+        p = KronMatmulProblem.uniform(4, 4, 2, q=6)
+        assert p.k == 16 and p.out_cols == 36
+        assert not p.is_square_factors
+
+    def test_from_factors(self):
+        factors = [np.zeros((2, 3), dtype=np.float32), np.zeros((4, 5), dtype=np.float32)]
+        p = KronMatmulProblem.from_factors(7, factors)
+        assert p.factor_shapes == ((2, 3), (4, 5))
+        assert p.dtype == np.float32
+
+    def test_rejects_empty_factors(self):
+        with pytest.raises(ShapeError):
+            KronMatmulProblem(m=4, factor_shapes=())
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ShapeError):
+            KronMatmulProblem(m=0, factor_shapes=((2, 2),))
+
+    def test_label(self):
+        assert KronMatmulProblem.uniform(1024, 8, 5).label() == "M=1024 8^5"
+        assert "2x3" in KronMatmulProblem(m=4, factor_shapes=((2, 3),)).label()
+
+
+class TestIterationShapes:
+    def test_order_uses_last_factor_first(self):
+        p = KronMatmulProblem(m=2, factor_shapes=((2, 3), (4, 5)))
+        its = p.iteration_shapes()
+        assert [it.factor_index for it in its] == [1, 0]
+        assert its[0].k == 8  # full K
+        assert its[0].out_cols == 2 * 5
+        assert its[1].k == 10
+
+    def test_out_cols_chain(self):
+        p = KronMatmulProblem.uniform(3, 4, 3, q=2)
+        cols = p.intermediate_cols()
+        assert cols[0] == 64
+        assert cols[-1] == 8
+        assert len(cols) == 4
+
+    def test_max_intermediate_cols_expanding(self):
+        p = KronMatmulProblem.uniform(3, 2, 3, q=4)
+        # Columns grow 8 -> 16 -> 32 -> 64.
+        assert p.max_intermediate_cols == 64
+
+    def test_max_intermediate_cols_shrinking(self):
+        p = KronMatmulProblem.uniform(3, 4, 3, q=2)
+        assert p.max_intermediate_cols == 64
+
+    def test_iteration_flops(self):
+        p = KronMatmulProblem.uniform(2, 4, 1)
+        it = p.iteration_shapes()[0]
+        # 2 rows x 4 output cols x 4 MACs x 2 flops.
+        assert it.flops == 2 * 2 * 4 * 4
+
+    def test_n_slices(self):
+        p = KronMatmulProblem.uniform(2, 4, 2)
+        assert p.iteration_shapes()[0].n_slices == 4
+
+
+class TestCounts:
+    def test_flops_uniform_square_formula(self):
+        m, p_dim, n = 8, 4, 3
+        p = KronMatmulProblem.uniform(m, p_dim, n)
+        # For square factors every iteration has K columns in and out:
+        # flops = N * 2 * M * K * P.
+        assert p.flops == n * 2 * m * p_dim**n * p_dim
+
+    def test_naive_flops_larger(self):
+        p = KronMatmulProblem.uniform(8, 4, 3)
+        assert p.naive_flops > p.flops
+
+    def test_memory_elements_positive(self):
+        p = KronMatmulProblem.uniform(8, 4, 3)
+        assert p.min_memory_elements > 0
+        assert p.arithmetic_intensity > 0
+
+    def test_arithmetic_intensity_grows_with_p(self):
+        small = KronMatmulProblem.uniform(8, 4, 3)
+        large = KronMatmulProblem.uniform(8, 16, 3)
+        assert large.arithmetic_intensity > small.arithmetic_intensity
+
+    def test_workspace_elements(self):
+        p = KronMatmulProblem.uniform(4, 2, 2, q=4)
+        assert p.workspace_elements == 2 * 4 * p.max_intermediate_cols
+
+
+class TestValidation:
+    def test_validate_against_accepts_matching(self, small_square_operands):
+        x, factors = small_square_operands
+        p = KronMatmulProblem.from_factors(x.shape[0], [f.values for f in factors])
+        p.validate_against(x, [f.values for f in factors])
+
+    def test_validate_against_rejects_wrong_x(self, small_square_operands):
+        x, factors = small_square_operands
+        p = KronMatmulProblem.from_factors(x.shape[0], [f.values for f in factors])
+        with pytest.raises(ShapeError):
+            p.validate_against(x[:, :-1], [f.values for f in factors])
+
+    def test_validate_against_rejects_wrong_factor_count(self, small_square_operands):
+        x, factors = small_square_operands
+        p = KronMatmulProblem.from_factors(x.shape[0], [f.values for f in factors])
+        with pytest.raises(ShapeError):
+            p.validate_against(x, [f.values for f in factors[:-1]])
+
+    def test_validate_against_rejects_wrong_factor_shape(self, small_square_operands):
+        x, factors = small_square_operands
+        p = KronMatmulProblem.from_factors(x.shape[0], [f.values for f in factors])
+        bad = [f.values for f in factors]
+        bad[0] = bad[0][:, :-1]
+        with pytest.raises(ShapeError):
+            p.validate_against(x, bad)

@@ -1,0 +1,146 @@
+"""Unit and property tests for the sliced multiply."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sliced_multiply import (
+    sliced_multiply,
+    sliced_multiply_output_columns,
+    sliced_multiply_reference,
+    sliced_multiply_strided,
+)
+from repro.exceptions import ShapeError
+
+
+class TestSlicedMultiplyBasics:
+    def test_identity_factor(self, rng):
+        x = rng.standard_normal((3, 8))
+        y = sliced_multiply(x, np.eye(4))
+        # With F = I the result is a permutation of x (slices regrouped by column).
+        assert sorted(y.flatten()) == pytest.approx(sorted(x.flatten()))
+
+    def test_matches_reference(self, rng):
+        x = rng.standard_normal((3, 12))
+        f = rng.standard_normal((4, 5))
+        np.testing.assert_allclose(sliced_multiply(x, f), sliced_multiply_reference(x, f), atol=1e-12)
+
+    def test_output_shape(self, rng):
+        x = rng.standard_normal((2, 12))
+        f = rng.standard_normal((3, 7))
+        assert sliced_multiply(x, f).shape == (2, 4 * 7)
+
+    def test_single_slice_is_plain_matmul(self, rng):
+        x = rng.standard_normal((4, 6))
+        f = rng.standard_normal((6, 3))
+        np.testing.assert_allclose(sliced_multiply(x, f), x @ f, atol=1e-12)
+
+    def test_column_layout_slice_major(self, rng):
+        """Output column j = col * n_slices + slice (Section 3 of the paper)."""
+        x = rng.standard_normal((1, 8))
+        f = rng.standard_normal((4, 2))
+        y = sliced_multiply(x, f)
+        slices = x.reshape(2, 4)
+        for col in range(2):
+            for s in range(2):
+                expected = slices[s] @ f[:, col]
+                assert y[0, col * 2 + s] == pytest.approx(expected)
+
+    def test_rejects_indivisible_columns(self, rng):
+        with pytest.raises(ShapeError):
+            sliced_multiply(rng.standard_normal((2, 10)), rng.standard_normal((4, 4)))
+
+    def test_rejects_mixed_dtypes(self, rng):
+        x = rng.standard_normal((2, 8)).astype(np.float32)
+        f = rng.standard_normal((4, 4)).astype(np.float64)
+        from repro.exceptions import DTypeError
+
+        with pytest.raises(DTypeError):
+            sliced_multiply(x, f)
+
+    def test_out_buffer(self, rng):
+        x = rng.standard_normal((2, 8))
+        f = rng.standard_normal((4, 3))
+        out = np.empty((2, 6))
+        result = sliced_multiply(x, f, out=out)
+        assert result is out
+        np.testing.assert_allclose(out, sliced_multiply(x, f))
+
+    def test_out_buffer_strided_view(self, rng):
+        """Writing into a non-contiguous view must still land in the caller's buffer."""
+        x = rng.standard_normal((2, 8))
+        f = rng.standard_normal((4, 3))
+        backing = np.zeros((2, 10))
+        view = backing[:, :6]
+        sliced_multiply(x, f, out=view)
+        np.testing.assert_allclose(backing[:, :6], sliced_multiply(x, f))
+        assert np.all(backing[:, 6:] == 0)
+
+    def test_out_wrong_shape_rejected(self, rng):
+        x = rng.standard_normal((2, 8))
+        f = rng.standard_normal((4, 3))
+        with pytest.raises(ShapeError):
+            sliced_multiply(x, f, out=np.empty((2, 5)))
+
+    def test_float32_preserved(self, rng):
+        x = rng.standard_normal((2, 8)).astype(np.float32)
+        f = rng.standard_normal((4, 3)).astype(np.float32)
+        assert sliced_multiply(x, f).dtype == np.float32
+
+
+class TestSlicedMultiplyStrided:
+    def test_scatter_matches_dense(self, rng):
+        x = rng.standard_normal((2, 8))
+        f = rng.standard_normal((4, 4))
+        dense = sliced_multiply(x, f)
+        out = np.zeros((2, 16))
+        columns = np.arange(8) * 2  # spread across even columns
+        sliced_multiply_strided(x, f, out, columns)
+        np.testing.assert_allclose(out[:, columns], dense)
+        odd = np.ones(16, dtype=bool)
+        odd[columns] = False
+        assert np.all(out[:, odd] == 0)
+
+    def test_rejects_wrong_column_count(self, rng):
+        x = rng.standard_normal((2, 8))
+        f = rng.standard_normal((4, 4))
+        with pytest.raises(ShapeError):
+            sliced_multiply_strided(x, f, np.zeros((2, 16)), np.arange(4))
+
+
+class TestOutputColumns:
+    def test_value(self):
+        assert sliced_multiply_output_columns(16, 4, 6) == 24
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ShapeError):
+            sliced_multiply_output_columns(10, 4, 4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    m=st.integers(1, 6),
+    p=st.integers(1, 6),
+    q=st.integers(1, 6),
+    slices=st.integers(1, 5),
+)
+def test_property_vectorised_matches_reference(m, p, q, slices):
+    """The production sliced multiply always matches the literal Algorithm 1 loops."""
+    rng = np.random.default_rng(m * 1000 + p * 100 + q * 10 + slices)
+    x = rng.standard_normal((m, p * slices))
+    f = rng.standard_normal((p, q))
+    np.testing.assert_allclose(sliced_multiply(x, f), sliced_multiply_reference(x, f), atol=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(m=st.integers(1, 4), p=st.integers(1, 5), slices=st.integers(1, 4))
+def test_property_linear_in_x(m, p, slices):
+    """Sliced multiply is linear in X."""
+    rng = np.random.default_rng(m * 97 + p * 13 + slices)
+    x1 = rng.standard_normal((m, p * slices))
+    x2 = rng.standard_normal((m, p * slices))
+    f = rng.standard_normal((p, p))
+    lhs = sliced_multiply(x1 + 2.0 * x2, f)
+    rhs = sliced_multiply(x1, f) + 2.0 * sliced_multiply(x2, f)
+    np.testing.assert_allclose(lhs, rhs, atol=1e-10)

@@ -1,0 +1,92 @@
+"""Tests for Kronecker-structured solves and operator powers."""
+
+import numpy as np
+import pytest
+
+from repro.core.factors import random_factors, random_factors_from_shapes
+from repro.core.fastkron import kron_matmul
+from repro.core.solve import kron_lstsq_residual, kron_power, kron_solve
+from repro.exceptions import ShapeError
+
+
+def well_conditioned_factors(shapes, seed=0):
+    rng = np.random.default_rng(seed)
+    factors = []
+    for p, q in shapes:
+        a = rng.standard_normal((p, q))
+        if p == q:
+            a = a + p * np.eye(p)  # diagonally dominant -> invertible
+        factors.append(a)
+    return factors
+
+
+class TestKronSolve:
+    def test_square_exact_solve(self, rng):
+        factors = well_conditioned_factors([(3, 3), (4, 4)], seed=1)
+        x_true = rng.standard_normal((5, 12))
+        b = kron_matmul(x_true, factors)
+        x = kron_solve(b, factors)
+        np.testing.assert_allclose(x, x_true, atol=1e-8)
+
+    def test_vector_rhs(self, rng):
+        factors = well_conditioned_factors([(2, 2), (3, 3)], seed=2)
+        x_true = rng.standard_normal(6)
+        b = kron_matmul(x_true, factors)
+        np.testing.assert_allclose(kron_solve(b, factors), x_true, atol=1e-9)
+
+    def test_least_squares_consistency(self, rng):
+        """For a wide Kronecker matrix the pinv solution reproduces consistent systems."""
+        factors = well_conditioned_factors([(2, 3), (2, 3)], seed=3)
+        x_true = rng.standard_normal((2, 4))
+        b = kron_matmul(x_true, factors)
+        x = kron_solve(b, factors)
+        # The recovered X reproduces B even if it differs from x_true.
+        assert kron_lstsq_residual(x, b, factors) < 1e-8
+
+    def test_least_squares_overdetermined(self, rng):
+        """For a tall Kronecker matrix the solution minimises the residual."""
+        factors = well_conditioned_factors([(3, 2), (3, 2)], seed=4)
+        b = rng.standard_normal((2, 4))
+        x = kron_solve(b, factors)
+        dense = np.kron(factors[0], factors[1])
+        expected = b @ np.linalg.pinv(dense)
+        np.testing.assert_allclose(x, expected, atol=1e-8)
+
+    def test_singular_square_factor_rejected_without_rcond(self):
+        singular = np.zeros((2, 2))
+        with pytest.raises(ShapeError):
+            kron_solve(np.ones((1, 4)), [singular, np.eye(2)])
+
+    def test_singular_with_rcond_falls_back_to_pinv(self):
+        singular = np.diag([1.0, 0.0])
+        x = kron_solve(np.ones((1, 4)), [singular, np.eye(2)], rcond=1e-10)
+        assert x.shape == (1, 4)
+        assert np.all(np.isfinite(x))
+
+    def test_wrong_rhs_width(self, rng):
+        factors = well_conditioned_factors([(2, 2)], seed=5)
+        with pytest.raises(ShapeError):
+            kron_solve(rng.standard_normal((2, 3)), factors)
+
+
+class TestKronPower:
+    def test_power_zero_is_identity(self, rng):
+        factors = random_factors(2, 3, dtype=np.float64, seed=6)
+        x = rng.standard_normal((2, 9))
+        np.testing.assert_allclose(kron_power(x, factors, 0), x)
+
+    def test_power_two_matches_dense(self, rng):
+        factors = random_factors(2, 3, dtype=np.float64, seed=7, scale=0.5)
+        dense = np.kron(factors[0].values, factors[1].values)
+        x = rng.standard_normal((2, 9))
+        np.testing.assert_allclose(kron_power(x, factors, 2), x @ dense @ dense, atol=1e-10)
+
+    def test_requires_square(self, rng):
+        factors = random_factors_from_shapes([(2, 3)], dtype=np.float64, seed=8)
+        with pytest.raises(ShapeError):
+            kron_power(rng.standard_normal((1, 2)), factors, 1)
+
+    def test_negative_exponent_rejected(self, rng):
+        factors = random_factors(1, 2, dtype=np.float64, seed=9)
+        with pytest.raises(ShapeError):
+            kron_power(rng.standard_normal((1, 2)), factors, -1)

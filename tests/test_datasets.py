@@ -1,0 +1,102 @@
+"""Tests for the Table 4 real-world cases and workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.fastkron import kron_matmul
+from repro.baselines.naive import naive_kron_matmul
+from repro.datasets import (
+    REALWORLD_CASES,
+    cases_by_source,
+    get_case,
+    power_of_two_sweep,
+    random_problem,
+    random_problem_operands,
+)
+from repro.exceptions import ShapeError
+
+
+class TestRealWorldCases:
+    def test_twenty_eight_cases(self):
+        assert len(REALWORLD_CASES) == 28
+        assert [c.case_id for c in REALWORLD_CASES] == list(range(1, 29))
+
+    def test_sources_present(self):
+        sources = cases_by_source()
+        assert set(sources) == {
+            "LSTM/RNN", "ML Compression", "HyPA", "Graphs", "Biology", "Drug-Targets", "GP",
+        }
+        assert len(sources["HyPA"]) == 8
+        assert len(sources["GP"]) == 4
+
+    def test_case_lookup(self):
+        case = get_case(17)
+        assert case.source == "Graphs"
+        assert case.m == 1024
+
+    def test_unknown_case(self):
+        with pytest.raises(ShapeError):
+            get_case(99)
+
+    def test_problems_are_valid(self):
+        for case in REALWORLD_CASES:
+            problem = case.problem()
+            assert problem.flops > 0
+            assert problem.k >= 2
+
+    def test_gp_cases_match_paper(self):
+        gp_cases = cases_by_source()["GP"]
+        shapes = {(c.factor_shapes[0][0], len(c.factor_shapes)) for c in gp_cases}
+        assert shapes == {(8, 8), (16, 6), (32, 6), (64, 3)}
+
+    def test_labels_compact(self):
+        assert "M=1024" in get_case(18).label
+
+    def test_paper_spans_n_2_to_11(self):
+        ns = {len(c.factor_shapes) for c in REALWORLD_CASES}
+        assert min(ns) == 2
+        assert max(ns) == 11
+
+    def test_small_cases_computable(self, rng):
+        """The smaller Table 4 cases are directly checkable against the naive oracle."""
+        case = get_case(13)  # HyPA 8^3, M=4... id 13 is HyPA 8^3 family
+        problem = case.problem(dtype=np.float64)
+        if problem.k * problem.out_cols > 4 * 10**6:
+            pytest.skip("case too large for the dense oracle")
+        x = rng.standard_normal((problem.m, problem.k))
+        factors = [rng.standard_normal(shape) for shape in problem.factor_shapes]
+        np.testing.assert_allclose(
+            kron_matmul(x, factors), naive_kron_matmul(x, factors), atol=1e-9
+        )
+
+
+class TestGenerators:
+    def test_random_problem_bounds(self, rng):
+        for _ in range(20):
+            problem = random_problem(rng, max_m=16, max_p=6, max_q=6, max_factors=3)
+            assert 1 <= problem.m <= 16
+            assert 1 <= problem.n_factors <= 3
+
+    def test_random_problem_square_uniform(self, rng):
+        problem = random_problem(rng, square=True, uniform=True)
+        assert problem.is_uniform and problem.is_square_factors
+
+    def test_random_operands_match_problem(self, rng):
+        problem = random_problem(rng, max_m=8, max_p=4, max_q=4, max_factors=3)
+        x, factors = random_problem_operands(problem, seed=0)
+        problem.validate_against(x, [f.values for f in factors])
+
+    def test_power_of_two_sweep_shapes(self):
+        problems = list(power_of_two_sweep(1024, p_values=(8, 16), max_columns=2**16))
+        assert all(p.m == 1024 for p in problems)
+        assert all(p.is_uniform for p in problems)
+        # Two sizes per P value.
+        assert len(problems) == 4
+
+    def test_power_of_two_sweep_respects_cap(self):
+        for problem in power_of_two_sweep(4, p_values=(8,), max_columns=2**12):
+            assert problem.k <= 2**12
+
+    def test_power_of_two_sweep_rejects_bad_m(self):
+        with pytest.raises(ShapeError):
+            list(power_of_two_sweep(0))

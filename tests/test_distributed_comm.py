@@ -1,0 +1,107 @@
+"""Unit tests for the communication record and link model."""
+
+import pytest
+
+from repro.distributed.comm import CommunicationRecord, LinkModel
+from repro.gpu.device import TESLA_V100
+
+
+class TestCommunicationRecord:
+    def test_record_accumulates(self):
+        record = CommunicationRecord()
+        record.record(0, 1, 100)
+        record.record(0, 2, 50)
+        record.record(1, 0, 25)
+        assert record.total_elements == 175
+        assert record.messages == 3
+        assert record.per_pair_elements[(0, 1)] == 100
+
+    def test_self_sends_ignored(self):
+        record = CommunicationRecord()
+        record.record(3, 3, 1000)
+        assert record.total_elements == 0
+        assert record.messages == 0
+
+    def test_zero_sized_ignored(self):
+        record = CommunicationRecord()
+        record.record(0, 1, 0)
+        assert record.messages == 0
+
+    def test_max_elements_sent_by_any_gpu(self):
+        record = CommunicationRecord()
+        record.record(0, 1, 100)
+        record.record(0, 2, 100)
+        record.record(1, 0, 50)
+        assert record.max_elements_sent_by_any_gpu() == 200
+
+    def test_bytes(self):
+        record = CommunicationRecord()
+        record.record(0, 1, 10)
+        assert record.bytes(4) == 40
+
+    def test_empty_record(self):
+        assert CommunicationRecord().max_elements_sent_by_any_gpu() == 0
+
+
+class TestLinkModel:
+    def test_effective_bandwidth(self):
+        link = LinkModel(efficiency=0.5)
+        assert link.effective_bandwidth == pytest.approx(TESLA_V100.nvlink_bandwidth * 0.5)
+
+    def test_transfer_time_scales_with_volume(self):
+        link = LinkModel()
+        small = link.transfer_time(10**6, 4)
+        large = link.transfer_time(10**7, 4)
+        assert large > small
+
+    def test_transfer_time_zero_elements(self):
+        assert LinkModel().transfer_time(0, 4) == 0.0
+
+    def test_latency_term(self):
+        link = LinkModel()
+        one = link.transfer_time(1, 4, messages=1)
+        many = link.transfer_time(1, 4, messages=10)
+        assert many - one == pytest.approx(9 * TESLA_V100.interconnect_latency)
+
+    def test_exchange_time(self):
+        link = LinkModel()
+        assert link.exchange_time(10**6, 4, peers=3) > 0
+
+    def test_allgather_single_gpu_free(self):
+        assert LinkModel().allgather_time(10**6, 4, num_gpus=1) == 0.0
+
+    def test_allgather_scales_with_gpus(self):
+        link = LinkModel()
+        assert link.allgather_time(10**6, 4, 8) > link.allgather_time(10**6, 4, 2)
+
+
+class TestTransportVariants:
+    def test_p2p_faster_than_nccl(self):
+        """The fused P2P exchange beats NCCL for the same volume (Section 5)."""
+        nccl = LinkModel.nccl()
+        p2p = LinkModel.p2p()
+        elements = 10**7
+        assert p2p.transfer_time(elements, 4, messages=15) < nccl.transfer_time(elements, 4, messages=15)
+
+    def test_p2p_latency_independent_of_peers(self):
+        p2p = LinkModel.p2p()
+        one = p2p.transfer_time(10**6, 4, messages=1)
+        many = p2p.transfer_time(10**6, 4, messages=15)
+        assert one == pytest.approx(many)
+
+    def test_constructors(self):
+        assert LinkModel.nccl().peer_to_peer is False
+        assert LinkModel.p2p().peer_to_peer is True
+        assert LinkModel.p2p().effective_bandwidth > LinkModel.nccl().effective_bandwidth
+
+    def test_distributed_model_with_p2p_link(self):
+        from repro.core.problem import KronMatmulProblem
+        from repro.distributed.models import DistributedFastKronModel
+
+        problem = KronMatmulProblem.uniform(256, 64, 4)
+        nccl_model = DistributedFastKronModel(link=LinkModel.nccl())
+        p2p_model = DistributedFastKronModel(link=LinkModel.p2p())
+        nccl_time = nccl_model.estimate_on_gpus(problem, 16)
+        p2p_time = p2p_model.estimate_on_gpus(problem, 16)
+        assert p2p_time.communication_seconds < nccl_time.communication_seconds
+        assert p2p_time.compute_seconds == pytest.approx(nccl_time.compute_seconds)

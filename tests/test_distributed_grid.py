@@ -1,0 +1,61 @@
+"""Unit tests for GPU grid shapes and partitioning."""
+
+import pytest
+
+from repro.distributed.grid import GpuGrid, partition_gpus
+from repro.exceptions import DistributedError
+
+
+class TestGpuGrid:
+    def test_num_gpus(self):
+        assert GpuGrid(4, 4).num_gpus == 16
+
+    def test_coordinates_enumeration(self):
+        grid = GpuGrid(2, 3)
+        coords = list(grid.coordinates())
+        assert len(coords) == 6
+        assert coords[0] == (0, 0)
+        assert coords[-1] == (1, 2)
+
+    def test_block_shape(self):
+        assert GpuGrid(2, 4).block_shape(8, 64) == (4, 16)
+
+    def test_block_shape_rejects_indivisible_m(self):
+        with pytest.raises(DistributedError):
+            GpuGrid(3, 2).block_shape(8, 64)
+
+    def test_block_shape_rejects_indivisible_k(self):
+        with pytest.raises(DistributedError):
+            GpuGrid(2, 3).block_shape(8, 64)
+
+    def test_invalid_grid(self):
+        with pytest.raises(DistributedError):
+            GpuGrid(0, 2)
+
+    def test_describe(self):
+        assert GpuGrid(4, 2).describe() == "{4, 2}"
+
+
+class TestPartitioning:
+    @pytest.mark.parametrize(
+        "gpus,expected",
+        [
+            (1, (1, 1)),
+            (2, (2, 1)),
+            (4, (2, 2)),
+            (8, (4, 2)),
+            (16, (4, 4)),
+            (9, (3, 3)),
+        ],
+    )
+    def test_paper_partitioning_rule(self, gpus, expected):
+        grid = partition_gpus(gpus)
+        assert (grid.gm, grid.gk) == expected
+
+    def test_total_never_exceeds_requested(self):
+        for g in range(1, 33):
+            assert partition_gpus(g).num_gpus <= g
+
+    def test_invalid(self):
+        with pytest.raises(DistributedError):
+            partition_gpus(0)

@@ -1,0 +1,110 @@
+"""Tests for the multi-GPU timing models (Figure 11 shape)."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import KronMatmulProblem
+from repro.distributed.grid import GpuGrid
+from repro.distributed.models import (
+    CtfModel,
+    DistalModel,
+    DistributedFastKronModel,
+    all_multi_gpu_models,
+)
+from repro.exceptions import DistributedError
+
+
+@pytest.fixture(scope="module")
+def models():
+    return all_multi_gpu_models()
+
+
+def weak_scaling_problem(m, p=64, n=4):
+    return KronMatmulProblem.uniform(m, p, n, dtype=np.float32)
+
+
+class TestDistributedTiming:
+    def test_fields(self, models):
+        timing = models["FastKron"].estimate_on_gpus(weak_scaling_problem(128), 4)
+        assert timing.total_seconds == pytest.approx(
+            timing.compute_seconds + timing.communication_seconds
+        )
+        assert timing.tflops > 0
+        assert timing.grid.num_gpus == 4
+
+    def test_single_gpu_no_communication(self, models):
+        timing = models["FastKron"].estimate_on_gpus(weak_scaling_problem(128), 1)
+        assert timing.communication_seconds == 0.0
+        assert timing.communicated_elements == 0
+
+    def test_rejects_rectangular(self, models):
+        problem = KronMatmulProblem.uniform(128, 8, 3, q=4)
+        with pytest.raises(DistributedError):
+            models["FastKron"].estimate(problem, GpuGrid(1, 2))
+
+
+class TestFigure11Shape:
+    @pytest.mark.parametrize("gpus,m", [(1, 128), (2, 256), (4, 512), (8, 1024), (16, 2048)])
+    def test_fastkron_beats_ctf_and_distal(self, models, gpus, m):
+        problem = weak_scaling_problem(m)
+        fk = models["FastKron"].estimate_on_gpus(problem, gpus)
+        ctf = models["CTF"].estimate_on_gpus(problem, gpus)
+        distal = models["DISTAL"].estimate_on_gpus(problem, gpus)
+        assert fk.total_seconds < distal.total_seconds
+        assert fk.total_seconds < ctf.total_seconds
+
+    def test_distal_beats_ctf(self, models):
+        """The paper: DISTAL performs better than CTF (it avoids distributed transposes)."""
+        problem = weak_scaling_problem(2048)
+        ctf = models["CTF"].estimate_on_gpus(problem, 16)
+        distal = models["DISTAL"].estimate_on_gpus(problem, 16)
+        assert distal.total_seconds < ctf.total_seconds
+
+    def test_weak_scaling_increases_aggregate_tflops(self, models):
+        tflops = [
+            models["FastKron"].estimate_on_gpus(weak_scaling_problem(m), g).tflops
+            for g, m in [(1, 128), (2, 256), (4, 512), (8, 1024), (16, 2048)]
+        ]
+        assert all(b > a for a, b in zip(tflops, tflops[1:]))
+
+    def test_scaling_efficiency_below_linear(self, models):
+        one = models["FastKron"].estimate_on_gpus(weak_scaling_problem(128), 1).tflops
+        sixteen = models["FastKron"].estimate_on_gpus(weak_scaling_problem(2048), 16).tflops
+        assert sixteen < 16 * one
+        assert sixteen > 4 * one  # but still scales substantially
+
+    def test_speedup_over_ctf_grows_with_gpus(self, models):
+        small = weak_scaling_problem(256)
+        large = weak_scaling_problem(2048)
+        s2 = models["FastKron"].estimate_on_gpus(small, 2).speedup_over(
+            models["CTF"].estimate_on_gpus(small, 2)
+        )
+        s16 = models["FastKron"].estimate_on_gpus(large, 16).speedup_over(
+            models["CTF"].estimate_on_gpus(large, 16)
+        )
+        assert s16 >= s2
+
+    def test_p128_configuration(self, models):
+        problem = KronMatmulProblem.uniform(128, 128, 4, dtype=np.float32)
+        fk = models["FastKron"].estimate_on_gpus(problem, 16)
+        assert fk.tflops > models["CTF"].estimate_on_gpus(problem, 16).tflops
+
+
+class TestCommunicationVolumes:
+    def test_fastkron_fewer_elements_than_baselines(self, models):
+        problem = weak_scaling_problem(2048)
+        fk = models["FastKron"].estimate_on_gpus(problem, 16)
+        ctf = models["CTF"].estimate_on_gpus(problem, 16)
+        distal = models["DISTAL"].estimate_on_gpus(problem, 16)
+        assert fk.communicated_elements < ctf.communicated_elements
+        assert ctf.communicated_elements == distal.communicated_elements
+
+    def test_ctf_link_slower_than_distal(self):
+        """CTF's MPI-staged exchanges sustain less bandwidth than DISTAL/FastKron."""
+        assert CtfModel().link.effective_bandwidth < DistalModel().link.effective_bandwidth
+
+    def test_compute_reuses_single_gpu_models(self):
+        problem = weak_scaling_problem(256)
+        model = DistributedFastKronModel()
+        t2 = model.estimate_on_gpus(problem, 2)
+        assert t2.compute_seconds > 0

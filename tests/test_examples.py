@@ -1,0 +1,55 @@
+"""Smoke tests that the runnable examples stay runnable.
+
+Each example is executed in-process (``runpy``) with stdout captured; the
+slowest, purely illustrative ones are exercised through their ``main()``
+only.  These tests guard the documented entry points of the repository.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"example {name} is missing"
+    sys.modules.pop("__main__", None)
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "matches the dense Kronecker construction: True" in out
+        assert "fusion plan" in out
+
+    def test_gekmm_and_gradients(self, capsys):
+        out = run_example("gekmm_and_gradients.py", capsys)
+        assert "matches dense: True" in out
+        assert "kron_solve recovers X: True" in out
+
+    def test_kronecker_graph_features(self, capsys):
+        out = run_example("kronecker_graph_features.py", capsys)
+        assert "matches dense adjacency: True" in out
+        assert "faster" in out
+
+    def test_multi_gpu_weak_scaling(self, capsys):
+        out = run_example("multi_gpu_weak_scaling.py", capsys)
+        assert "result matches single device: True" in out
+        assert "Weak scaling" in out
+
+    @pytest.mark.slow
+    def test_autotune_and_inspect(self, capsys):
+        out = run_example("autotune_and_inspect.py", capsys)
+        assert "tuned best" in out
+
+    @pytest.mark.slow
+    def test_gaussian_process_training(self, capsys):
+        out = run_example("gaussian_process_training.py", capsys)
+        assert "Functional GP training" in out
+        assert "Table 5-style" in out

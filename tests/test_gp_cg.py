@@ -1,0 +1,98 @@
+"""Unit tests for the batched conjugate-gradient solver and Lanczos."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError
+from repro.gp.cg import conjugate_gradient, lanczos_tridiagonal
+
+
+def random_spd(rng, n, cond=10.0):
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    eigvals = np.linspace(1.0, cond, n)
+    return (q * eigvals) @ q.T
+
+
+class TestConjugateGradient:
+    def test_solves_spd_system(self, rng):
+        a = random_spd(rng, 20)
+        b = rng.standard_normal(20)
+        result = conjugate_gradient(lambda v: a @ v, b, tol=1e-10, max_iterations=100)
+        assert result.converged
+        np.testing.assert_allclose(result.solution, np.linalg.solve(a, b), atol=1e-6)
+
+    def test_multiple_rhs(self, rng):
+        a = random_spd(rng, 15)
+        b = rng.standard_normal((15, 4))
+        result = conjugate_gradient(lambda v: a @ v, b, tol=1e-10, max_iterations=100)
+        assert result.converged
+        np.testing.assert_allclose(result.solution, np.linalg.solve(a, b), atol=1e-6)
+        assert result.residual_norms.shape == (4,)
+
+    def test_identity_converges_in_one_iteration(self, rng):
+        b = rng.standard_normal((10, 2))
+        result = conjugate_gradient(lambda v: v, b, tol=1e-12)
+        assert result.iterations == 1
+        np.testing.assert_allclose(result.solution, b)
+
+    def test_iteration_cap(self, rng):
+        a = random_spd(rng, 40, cond=1e6)
+        b = rng.standard_normal(40)
+        result = conjugate_gradient(lambda v: a @ v, b, tol=1e-14, max_iterations=3)
+        assert result.iterations == 3
+        assert not result.converged
+
+    def test_raise_on_failure(self, rng):
+        a = random_spd(rng, 40, cond=1e8)
+        b = rng.standard_normal(40)
+        with pytest.raises(ConvergenceError):
+            conjugate_gradient(lambda v: a @ v, b, tol=1e-15, max_iterations=2,
+                               raise_on_failure=True)
+
+    def test_initial_guess(self, rng):
+        a = random_spd(rng, 10)
+        b = rng.standard_normal(10)
+        x_star = np.linalg.solve(a, b)
+        result = conjugate_gradient(lambda v: a @ v, b, x0=x_star[:, None].reshape(-1, 1) if False else x_star, tol=1e-12)
+        assert result.iterations <= 2
+
+    def test_x0_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            conjugate_gradient(lambda v: v, rng.standard_normal(5), x0=np.zeros((4, 1)))
+
+    def test_matvec_count(self, rng):
+        a = random_spd(rng, 10)
+        b = rng.standard_normal(10)
+        result = conjugate_gradient(lambda v: a @ v, b, tol=1e-10, max_iterations=50)
+        assert result.matvec_count == result.iterations + 1
+
+    def test_matvec_shape_check(self, rng):
+        with pytest.raises(ValueError):
+            conjugate_gradient(lambda v: v[:-1], rng.standard_normal(5))
+
+    def test_zero_rhs(self):
+        result = conjugate_gradient(lambda v: v, np.zeros(6), tol=1e-10)
+        np.testing.assert_allclose(result.solution, 0.0)
+        assert result.converged
+
+
+class TestLanczos:
+    def test_tridiagonal_eigenvalues_approximate_extremes(self, rng):
+        a = random_spd(rng, 30, cond=50.0)
+        v0 = rng.standard_normal(30)
+        basis, t = lanczos_tridiagonal(lambda v: a @ v, v0, 15)
+        ritz = np.linalg.eigvalsh(t)
+        true = np.linalg.eigvalsh(a)
+        assert ritz.max() == pytest.approx(true.max(), rel=0.05)
+
+    def test_basis_orthonormal(self, rng):
+        a = random_spd(rng, 20)
+        basis, _ = lanczos_tridiagonal(lambda v: a @ v, rng.standard_normal(20), 10)
+        gram = basis.T @ basis
+        np.testing.assert_allclose(gram, np.eye(gram.shape[0]), atol=1e-8)
+
+    def test_steps_capped_by_dimension(self, rng):
+        a = random_spd(rng, 5)
+        basis, t = lanczos_tridiagonal(lambda v: a @ v, rng.standard_normal(5), 10)
+        assert basis.shape[1] <= 5
+        assert t.shape[0] == basis.shape[1]

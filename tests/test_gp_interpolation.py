@@ -1,0 +1,66 @@
+"""Unit tests for the SKI interpolation matrix."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.gp.interpolation import interpolation_matrix
+from repro.gp.kernels import grid_1d
+
+
+class TestInterpolationMatrix:
+    def test_shape_and_sparsity(self, rng):
+        points = rng.uniform(0, 1, size=(20, 2))
+        grids = [grid_1d(5), grid_1d(7)]
+        w = interpolation_matrix(points, grids)
+        assert w.shape == (20, 35)
+        assert w.nnz <= 20 * 4  # at most 2^d nonzeros per point
+
+    def test_rows_sum_to_one(self, rng):
+        """Multilinear interpolation weights are a partition of unity."""
+        points = rng.uniform(0, 1, size=(50, 3))
+        grids = [grid_1d(4), grid_1d(5), grid_1d(6)]
+        w = interpolation_matrix(points, grids)
+        np.testing.assert_allclose(np.asarray(w.sum(axis=1)).ravel(), 1.0, atol=1e-12)
+
+    def test_weights_nonnegative(self, rng):
+        points = rng.uniform(0, 1, size=(30, 2))
+        w = interpolation_matrix(points, [grid_1d(5), grid_1d(5)])
+        assert w.data.min() >= -1e-12
+
+    def test_exact_on_grid_points(self):
+        """A data point lying on a grid node gets weight 1 on that node."""
+        grids = [grid_1d(5), grid_1d(5)]
+        g = grid_1d(5)
+        point = np.array([[g[2], g[3]]])
+        w = interpolation_matrix(point, grids).toarray()[0]
+        expected_col = 2 * 5 + 3
+        assert w[expected_col] == pytest.approx(1.0)
+        assert np.count_nonzero(np.abs(w) > 1e-12) == 1
+
+    def test_interpolates_linear_functions_exactly(self, rng):
+        """Multilinear interpolation reproduces affine functions exactly."""
+        grids = [grid_1d(6), grid_1d(5)]
+        points = rng.uniform(0, 1, size=(40, 2))
+        w = interpolation_matrix(points, grids)
+        grid_values = np.array([2.0 * a - 3.0 * b + 0.5 for a in grids[0] for b in grids[1]])
+        interpolated = w @ grid_values
+        expected = 2.0 * points[:, 0] - 3.0 * points[:, 1] + 0.5
+        np.testing.assert_allclose(interpolated, expected, atol=1e-10)
+
+    def test_points_outside_grid_clipped(self):
+        grids = [grid_1d(4)]
+        w = interpolation_matrix(np.array([[-1.0], [2.0]]), grids)
+        np.testing.assert_allclose(np.asarray(w.sum(axis=1)).ravel(), 1.0)
+
+    def test_1d_points_accepted(self, rng):
+        w = interpolation_matrix(rng.uniform(0, 1, size=10), [grid_1d(6)])
+        assert w.shape == (10, 6)
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            interpolation_matrix(rng.uniform(0, 1, size=(5, 2)), [grid_1d(4)])
+
+    def test_single_node_grid(self, rng):
+        w = interpolation_matrix(rng.uniform(0, 1, size=(5, 1)), [np.array([0.5])])
+        np.testing.assert_allclose(w.toarray(), np.ones((5, 1)))

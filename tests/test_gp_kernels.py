@@ -1,0 +1,102 @@
+"""Unit tests for GP covariance kernels and Kronecker grid kernels."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.gp.kernels import grid_1d, grid_kernel_factors, matern32_kernel, rbf_kernel
+
+
+class TestRbfKernel:
+    def test_diagonal_is_outputscale(self, rng):
+        x = rng.standard_normal((5, 3))
+        k = rbf_kernel(x, x, lengthscale=0.7, outputscale=2.0)
+        np.testing.assert_allclose(np.diag(k), 2.0)
+
+    def test_symmetry(self, rng):
+        x = rng.standard_normal((6, 2))
+        k = rbf_kernel(x, x)
+        np.testing.assert_allclose(k, k.T)
+
+    def test_positive_semidefinite(self, rng):
+        x = rng.standard_normal((10, 2))
+        k = rbf_kernel(x, x)
+        eigvals = np.linalg.eigvalsh(k)
+        assert eigvals.min() > -1e-10
+
+    def test_decay_with_distance(self):
+        k = rbf_kernel(np.array([[0.0]]), np.array([[0.0], [1.0], [5.0]]), lengthscale=1.0)
+        assert k[0, 0] > k[0, 1] > k[0, 2]
+
+    def test_1d_inputs(self):
+        k = rbf_kernel(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        assert k.shape == (2, 2)
+
+    def test_cross_shape(self, rng):
+        k = rbf_kernel(rng.standard_normal((4, 3)), rng.standard_normal((7, 3)))
+        assert k.shape == (4, 7)
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            rbf_kernel(rng.standard_normal((4, 3)), rng.standard_normal((4, 2)))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ShapeError):
+            rbf_kernel(np.zeros((2, 1)), np.zeros((2, 1)), lengthscale=0.0)
+
+
+class TestMatern32:
+    def test_diagonal(self, rng):
+        x = rng.standard_normal((4, 2))
+        np.testing.assert_allclose(np.diag(matern32_kernel(x, x, outputscale=1.5)), 1.5)
+
+    def test_less_smooth_than_rbf(self):
+        """At moderate distance the Matérn-3/2 kernel decays differently from RBF."""
+        x1 = np.array([[0.0]])
+        x2 = np.array([[0.5]])
+        assert not np.isclose(matern32_kernel(x1, x2)[0, 0], rbf_kernel(x1, x2)[0, 0])
+
+
+class TestGrid:
+    def test_grid_1d(self):
+        g = grid_1d(5, 0.0, 1.0)
+        assert g.shape == (5,)
+        assert g[0] == 0.0 and g[-1] == 1.0
+
+    def test_grid_invalid(self):
+        with pytest.raises(ShapeError):
+            grid_1d(0)
+        with pytest.raises(ShapeError):
+            grid_1d(4, 1.0, 0.0)
+
+
+class TestGridKernelFactors:
+    def test_shapes(self):
+        factors = grid_kernel_factors([4, 6, 5])
+        assert [f.shape for f in factors] == [(4, 4), (6, 6), (5, 5)]
+
+    def test_factors_positive_definite(self):
+        for f in grid_kernel_factors([8, 8], jitter=1e-4):
+            eigvals = np.linalg.eigvalsh(f)
+            assert eigvals.min() > 0
+
+    def test_kronecker_product_matches_full_grid_kernel(self):
+        """K_1 ⊗ K_2 equals the kernel over the full tensor-product grid."""
+        sizes = [3, 4]
+        factors = grid_kernel_factors(sizes, lengthscale=0.5, jitter=0.0)
+        g1, g2 = grid_1d(3), grid_1d(4)
+        full_points = np.array([[a, b] for a in g1 for b in g2])
+        full = rbf_kernel(full_points, full_points, lengthscale=0.5)
+        np.testing.assert_allclose(np.kron(factors[0], factors[1]), full, atol=1e-12)
+
+    def test_matern_option(self):
+        factors = grid_kernel_factors([4], kernel="matern32")
+        assert factors[0].shape == (4, 4)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ShapeError):
+            grid_kernel_factors([4], kernel="linear")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            grid_kernel_factors([])

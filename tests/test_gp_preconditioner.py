@@ -1,0 +1,131 @@
+"""Tests for the pivoted-Cholesky preconditioner and preconditioned CG."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.gp.cg import conjugate_gradient
+from repro.gp.kernels import grid_1d
+from repro.gp.preconditioner import (
+    PivotedCholeskyPreconditioner,
+    pivoted_cholesky,
+    preconditioned_conjugate_gradient,
+    ski_preconditioner,
+)
+from repro.gp.ski import SkiKernelOperator
+
+
+def dense_spd(rng, n, cond=100.0):
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    eigvals = np.geomspace(1.0, cond, n)
+    return (q * eigvals) @ q.T
+
+
+class TestPivotedCholesky:
+    def test_full_rank_reconstructs_matrix(self, rng):
+        a = dense_spd(rng, 12, cond=10.0)
+        low_rank = pivoted_cholesky(lambda i: a[:, i], np.diag(a).copy(), rank=12)
+        np.testing.assert_allclose(low_rank @ low_rank.T, a, atol=1e-8)
+
+    def test_partial_rank_captures_dominant_modes(self, rng):
+        a = dense_spd(rng, 30, cond=1e4)
+        low_rank = pivoted_cholesky(lambda i: a[:, i], np.diag(a).copy(), rank=10)
+        approx = low_rank @ low_rank.T
+        rel_err = np.linalg.norm(a - approx) / np.linalg.norm(a)
+        assert rel_err < 0.5
+        assert low_rank.shape == (30, 10)
+
+    def test_early_termination_on_small_diagonal(self, rng):
+        # A rank-2 matrix terminates after 2 pivots.
+        u = rng.standard_normal((10, 2))
+        a = u @ u.T
+        low_rank = pivoted_cholesky(lambda i: a[:, i], np.diag(a).copy(), rank=8)
+        assert low_rank.shape[1] <= 3
+        np.testing.assert_allclose(low_rank @ low_rank.T, a, atol=1e-8)
+
+    def test_invalid_rank(self, rng):
+        a = dense_spd(rng, 4)
+        with pytest.raises(ShapeError):
+            pivoted_cholesky(lambda i: a[:, i], np.diag(a).copy(), rank=0)
+
+    def test_column_shape_checked(self, rng):
+        a = dense_spd(rng, 4)
+        with pytest.raises(ShapeError):
+            pivoted_cholesky(lambda i: a[:2, i], np.diag(a).copy(), rank=2)
+
+
+class TestPreconditionerObject:
+    def test_apply_matches_dense_inverse(self, rng):
+        low_rank = rng.standard_normal((15, 4))
+        noise = 0.3
+        pre = PivotedCholeskyPreconditioner(low_rank=low_rank, noise=noise)
+        dense = low_rank @ low_rank.T + noise * np.eye(15)
+        v = rng.standard_normal((15, 3))
+        np.testing.assert_allclose(pre.apply(v), np.linalg.solve(dense, v), atol=1e-9)
+
+    def test_logdet_matches_dense(self, rng):
+        low_rank = rng.standard_normal((10, 3))
+        noise = 0.5
+        pre = PivotedCholeskyPreconditioner(low_rank=low_rank, noise=noise)
+        dense = low_rank @ low_rank.T + noise * np.eye(10)
+        assert pre.logdet() == pytest.approx(np.linalg.slogdet(dense)[1], rel=1e-9)
+
+    def test_vector_input(self, rng):
+        pre = PivotedCholeskyPreconditioner(low_rank=rng.standard_normal((8, 2)), noise=0.1)
+        assert pre(rng.standard_normal(8)).shape == (8,)
+
+    def test_invalid_noise(self, rng):
+        with pytest.raises(ShapeError):
+            PivotedCholeskyPreconditioner(low_rank=rng.standard_normal((4, 2)), noise=0.0)
+
+    def test_wrong_vector_length(self, rng):
+        pre = PivotedCholeskyPreconditioner(low_rank=rng.standard_normal((8, 2)), noise=0.1)
+        with pytest.raises(ShapeError):
+            pre.apply(rng.standard_normal(5))
+
+
+class TestPreconditionedCg:
+    def test_matches_unpreconditioned_solution(self, rng):
+        a = dense_spd(rng, 20, cond=50.0)
+        b = rng.standard_normal(20)
+        plain = conjugate_gradient(lambda v: a @ v, b, tol=1e-10, max_iterations=200)
+        pre = preconditioned_conjugate_gradient(
+            lambda v: a @ v, b, preconditioner=None, tol=1e-10, max_iterations=200
+        )
+        np.testing.assert_allclose(plain.solution, pre.solution, atol=1e-6)
+
+    def test_preconditioning_reduces_iterations(self, rng):
+        """A good preconditioner lowers the iteration count on ill-conditioned systems."""
+        n = 60
+        u = rng.standard_normal((n, 5)) * 10.0
+        noise = 0.1
+        a = u @ u.T + noise * np.eye(n)
+        b = rng.standard_normal(n)
+
+        low_rank = pivoted_cholesky(lambda i: (u @ u.T)[:, i], np.diag(u @ u.T).copy(), rank=5)
+        pre = PivotedCholeskyPreconditioner(low_rank=low_rank, noise=noise)
+
+        plain = conjugate_gradient(lambda v: a @ v, b, tol=1e-8, max_iterations=200)
+        preconditioned = preconditioned_conjugate_gradient(
+            lambda v: a @ v, b, preconditioner=pre.apply, tol=1e-8, max_iterations=200
+        )
+        assert preconditioned.converged
+        assert preconditioned.iterations < plain.iterations
+
+    def test_ski_preconditioner_end_to_end(self, rng):
+        points = rng.uniform(0, 1, size=(40, 2))
+        operator = SkiKernelOperator(points, [grid_1d(6), grid_1d(6)], noise=0.05,
+                                     lengthscale=0.5)
+        pre = ski_preconditioner(operator, rank=8)
+        assert pre.rank <= 8
+
+        b = rng.standard_normal(40)
+        plain = conjugate_gradient(operator.matvec, b, tol=1e-8, max_iterations=300)
+        preconditioned = preconditioned_conjugate_gradient(
+            operator.matvec, b, preconditioner=pre.apply, tol=1e-8, max_iterations=300
+        )
+        assert preconditioned.converged
+        assert preconditioned.iterations <= plain.iterations
+        np.testing.assert_allclose(
+            operator.matvec(preconditioned.solution), b, atol=1e-5
+        )

@@ -1,0 +1,169 @@
+"""Unit tests for the SKI / SKIP / LOVE operators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.gp.cg import conjugate_gradient
+from repro.gp.interpolation import interpolation_matrix
+from repro.gp.kernels import grid_1d, grid_kernel_factors, rbf_kernel
+from repro.gp.ski import LoveOperator, SkiKernelOperator, SkipKernelOperator
+
+
+@pytest.fixture
+def small_ski(rng):
+    points = rng.uniform(0, 1, size=(25, 2))
+    grids = [grid_1d(5), grid_1d(6)]
+    return SkiKernelOperator(points, grids, noise=0.1, lengthscale=0.4)
+
+
+class TestSkiOperator:
+    def test_shapes(self, small_ski):
+        assert small_ski.num_points == 25
+        assert small_ski.grid_size == 30
+        assert small_ski.w.shape == (25, 30)
+
+    def test_matvec_shape(self, small_ski, rng):
+        v = rng.standard_normal((25, 3))
+        assert small_ski.matvec(v).shape == (25, 3)
+        assert (small_ski @ v).shape == (25, 3)
+
+    def test_vector_input(self, small_ski, rng):
+        v = rng.standard_normal(25)
+        assert small_ski.matvec(v).shape == (25,)
+
+    def test_matvec_matches_dense_operator(self, small_ski, rng):
+        """The implicit matvec equals W (K1 ⊗ K2) W^T + σ² I applied densely."""
+        dense_kron = np.kron(small_ski.kernel_factors[0], small_ski.kernel_factors[1])
+        w = small_ski.w.toarray()
+        dense = w @ dense_kron @ w.T + small_ski.noise * np.eye(25)
+        v = rng.standard_normal((25, 2))
+        np.testing.assert_allclose(small_ski.matvec(v), dense @ v, atol=1e-10)
+
+    def test_operator_symmetric(self, small_ski):
+        dense = small_ski.dense()
+        np.testing.assert_allclose(dense, dense.T, atol=1e-10)
+
+    def test_operator_positive_definite(self, small_ski):
+        eigvals = np.linalg.eigvalsh(small_ski.dense())
+        assert eigvals.min() > 0
+
+    def test_cg_solve_against_dense(self, small_ski, rng):
+        b = rng.standard_normal((25, 2))
+        result = conjugate_gradient(small_ski.matvec, b, tol=1e-10, max_iterations=200)
+        np.testing.assert_allclose(
+            small_ski.dense() @ result.solution, b, atol=1e-6
+        )
+
+    def test_ski_approximates_exact_kernel(self, rng):
+        """On a dense grid the SKI kernel approaches the exact RBF kernel."""
+        points = rng.uniform(0.05, 0.95, size=(15, 1))
+        grids = [grid_1d(64)]
+        factors = grid_kernel_factors([64], lengthscale=0.3, jitter=0.0)
+        op = SkiKernelOperator(points, grids, kernel_factors=factors, noise=1e-6)
+        approx = op.dense() - 1e-6 * np.eye(15)
+        exact = rbf_kernel(points, points, lengthscale=0.3)
+        assert np.max(np.abs(approx - exact)) < 0.01
+
+    def test_kron_workloads(self, small_ski):
+        workloads = small_ski.kron_workloads(num_rhs=16)
+        assert len(workloads) == 1
+        assert workloads[0].problem.m == 16
+        assert workloads[0].problem.factor_shapes == ((5, 5), (6, 6))
+
+    def test_rejects_mismatched_factor(self, rng):
+        with pytest.raises(ShapeError):
+            SkiKernelOperator(
+                rng.uniform(0, 1, size=(5, 1)), [grid_1d(4)],
+                kernel_factors=[np.eye(3)], noise=0.1,
+            )
+
+    def test_rejects_nonpositive_noise(self, rng):
+        with pytest.raises(ShapeError):
+            SkiKernelOperator(rng.uniform(0, 1, size=(5, 1)), [grid_1d(4)], noise=0.0)
+
+    def test_rejects_wrong_vector_length(self, small_ski, rng):
+        with pytest.raises(ShapeError):
+            small_ski.matvec(rng.standard_normal(10))
+
+
+class TestSkipOperator:
+    @pytest.fixture
+    def skip_op(self, rng):
+        points = rng.uniform(0, 1, size=(30, 4))
+        op_a = SkiKernelOperator(points[:, :2], [grid_1d(4), grid_1d(4)], noise=0.05)
+        op_b = SkiKernelOperator(points[:, 2:], [grid_1d(4), grid_1d(4)], noise=0.05)
+        return SkipKernelOperator([op_a, op_b], rank=6, noise=0.05)
+
+    def test_symmetric(self, skip_op, rng):
+        v = np.eye(30)
+        dense = skip_op.matvec(v)
+        np.testing.assert_allclose(dense, dense.T, atol=1e-8)
+
+    def test_positive_definite(self, skip_op):
+        dense = skip_op.matvec(np.eye(30))
+        eigvals = np.linalg.eigvalsh((dense + dense.T) / 2)
+        assert eigvals.min() > 0
+
+    def test_cg_converges(self, skip_op, rng):
+        b = rng.standard_normal((30, 2))
+        result = conjugate_gradient(skip_op.matvec, b, tol=1e-8, max_iterations=300)
+        assert result.converged
+
+    def test_approximates_hadamard_product(self, rng):
+        """With full rank the SKIP operator approaches K_A ∘ K_B + σ² I."""
+        points = rng.uniform(0, 1, size=(12, 2))
+        op_a = SkiKernelOperator(points[:, :1], [grid_1d(16)], noise=1e-6, lengthscale=0.4)
+        op_b = SkiKernelOperator(points[:, 1:], [grid_1d(16)], noise=1e-6, lengthscale=0.4)
+        skip = SkipKernelOperator([op_a, op_b], rank=12, noise=1e-6)
+        k_a = op_a.dense() - 1e-6 * np.eye(12)
+        k_b = op_b.dense() - 1e-6 * np.eye(12)
+        expected = k_a * k_b + 1e-6 * np.eye(12)
+        actual = skip.matvec(np.eye(12))
+        assert np.max(np.abs(actual - expected)) < 0.05
+
+    def test_kron_workload_scales_with_rank(self, skip_op):
+        workloads = skip_op.kron_workloads(16)
+        assert any(wl.count > 1 for wl in workloads)
+
+    def test_requires_two_groups(self, rng):
+        op = SkiKernelOperator(rng.uniform(0, 1, size=(10, 1)), [grid_1d(4)], noise=0.1)
+        with pytest.raises(ShapeError):
+            SkipKernelOperator([op], rank=2)
+
+    def test_rank_validation(self, rng):
+        points = rng.uniform(0, 1, size=(10, 2))
+        op_a = SkiKernelOperator(points[:, :1], [grid_1d(4)], noise=0.1)
+        op_b = SkiKernelOperator(points[:, 1:], [grid_1d(4)], noise=0.1)
+        with pytest.raises(ShapeError):
+            SkipKernelOperator([op_a, op_b], rank=0)
+
+
+class TestLoveOperator:
+    def test_predictive_variance_nonnegative(self, small_ski, rng):
+        love = LoveOperator(small_ski, num_lanczos=8)
+        love.precompute()
+        w_test = rng.standard_normal((7, 25)) * 0.1
+        variances = love.predictive_variance(w_test)
+        assert variances.shape == (7,)
+        assert np.all(variances >= 0)
+
+    def test_lazy_precompute(self, small_ski, rng):
+        love = LoveOperator(small_ski, num_lanczos=5)
+        variances = love.predictive_variance(rng.standard_normal((3, 25)) * 0.1)
+        assert variances.shape == (3,)
+
+    def test_kron_workload_counts_lanczos_steps(self, small_ski):
+        love = LoveOperator(small_ski, num_lanczos=7)
+        workloads = love.kron_workloads(1)
+        assert workloads[0].count == 7
+
+    def test_variance_reduction_property(self, small_ski):
+        """Observing data reduces predictive variance below the prior variance."""
+        love = LoveOperator(small_ski, num_lanczos=12)
+        love.precompute()
+        # Cross-covariance probes between three test points and the training set.
+        w_test = small_ski.dense()[:3]
+        prior = np.einsum("ij,ij->i", w_test, w_test)
+        posterior = love.predictive_variance(w_test)
+        assert np.all(posterior <= prior + 1e-9)

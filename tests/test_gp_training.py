@@ -1,0 +1,133 @@
+"""Tests for GP training: functional runs and the Table 5 speedup model."""
+
+import numpy as np
+import pytest
+
+from repro.gp.datasets import TABLE5_DATASETS, GpDataset, Table5Row, synthetic_dataset
+from repro.gp.training import GpTrainingModel, train_gp_numerically
+from repro.exceptions import ShapeError
+
+
+class TestSyntheticDatasets:
+    def test_shapes(self):
+        ds = synthetic_dataset("toy", 50, 3, 8, seed=0)
+        assert ds.x.shape == (50, 3)
+        assert ds.y.shape == (50,)
+        assert ds.kron_shape == (8, 3)
+        assert "toy" in ds.describe()
+
+    def test_determinism_by_seed(self):
+        a = synthetic_dataset("toy", 20, 2, 4, seed=5)
+        b = synthetic_dataset("toy", 20, 2, 4, seed=5)
+        np.testing.assert_array_equal(a.x, b.x)
+
+    def test_features_in_unit_cube(self):
+        ds = synthetic_dataset("toy", 100, 4, 4, seed=1)
+        assert ds.x.min() >= 0.0 and ds.x.max() <= 1.0
+
+    def test_invalid_shape(self):
+        with pytest.raises(ShapeError):
+            synthetic_dataset("bad", 0, 2, 4)
+
+    def test_table5_rows(self):
+        assert len(TABLE5_DATASETS) == 8
+        labels = [row.label for row in TABLE5_DATASETS]
+        assert "yacht 16^6" in labels
+        assert "servo 64^4" in labels
+
+    def test_table5_row_build_subsampled(self):
+        row = Table5Row("kin40k", 40000, 8, 8)
+        ds = row.build(max_points=100)
+        assert ds.n_points == 100
+        assert ds.n_dims == 8
+
+
+class TestFunctionalTraining:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return synthetic_dataset("toy", 60, 3, 5, seed=3)
+
+    @pytest.mark.parametrize("method", ["SKI", "SKIP", "LOVE"])
+    def test_training_converges(self, dataset, method):
+        report = train_gp_numerically(dataset, method=method, cg_iterations=80, num_probes=4)
+        assert report.cg_result.max_residual < 1e-6
+        assert report.kron_matmul_calls > 0
+        assert report.method == method
+
+    def test_report_problem_shapes(self, dataset):
+        report = train_gp_numerically(dataset, method="SKI", cg_iterations=5, num_probes=8)
+        assert report.kron_problems[0].m == 8
+        assert report.kron_problems[0].factor_shapes == ((5, 5),) * 3
+        assert report.grid_size_total == 125
+
+    def test_probe_count_controls_rhs(self, dataset):
+        report = train_gp_numerically(dataset, method="SKI", cg_iterations=3, num_probes=2)
+        assert report.cg_result.solution.shape == (60, 2)
+
+    def test_solution_fits_targets(self):
+        """With enough iterations the GP mean reproduces the (noisy) targets reasonably."""
+        ds = synthetic_dataset("fit", 80, 2, 12, seed=9, noise=0.01)
+        report = train_gp_numerically(ds, method="SKI", cg_iterations=200, num_probes=1,
+                                      noise=0.01, lengthscale=0.2)
+        # alpha = K^-1 y; reconstruct K alpha ≈ y.
+        assert report.cg_result.converged or report.cg_result.max_residual < 1e-4
+
+    def test_unknown_method(self):
+        ds = synthetic_dataset("toy", 10, 2, 4, seed=0)
+        with pytest.raises(ShapeError):
+            train_gp_numerically(ds, method="EXACT")  # type: ignore[arg-type]
+
+    def test_one_dimensional_dataset_skip(self):
+        ds = synthetic_dataset("one-dim", 30, 1, 6, seed=2)
+        report = train_gp_numerically(ds, method="SKIP", cg_iterations=40, num_probes=2)
+        assert report.kron_matmul_calls > 0
+
+
+class TestTable5Model:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return GpTrainingModel()
+
+    def test_speedups_greater_than_one(self, model):
+        for row in TABLE5_DATASETS:
+            estimate = model.estimate(row, "SKI", num_gpus=1)
+            assert estimate.speedup >= 1.0, row.label
+
+    def test_speedups_in_paper_band(self, model):
+        """Single-GPU speedups stay in a plausible band around the paper's 1.1-2.2x."""
+        for row in TABLE5_DATASETS:
+            for method in ("SKI", "SKIP", "LOVE"):
+                speedup = model.estimate(row, method, num_gpus=1).speedup
+                assert 1.0 <= speedup <= 4.0, (row.label, method)
+
+    def test_multi_gpu_at_least_as_fast(self, model):
+        for row in TABLE5_DATASETS[:4]:
+            single = model.estimate(row, "SKI", num_gpus=1).speedup
+            multi = model.estimate(row, "SKI", num_gpus=16).speedup
+            assert multi >= single * 0.999
+
+    def test_larger_grid_larger_speedup(self, model):
+        """Within one dataset, the larger P^N row benefits more (the paper's trend)."""
+        servo_small = Table5Row("servo", 167, 32, 4)
+        servo_large = Table5Row("servo", 167, 64, 4)
+        assert (
+            model.estimate(servo_large, "SKI", 1).speedup
+            >= model.estimate(servo_small, "SKI", 1).speedup
+        )
+
+    def test_kron_fraction_between_zero_and_one(self, model):
+        est = model.estimate(TABLE5_DATASETS[3], "SKI", 1)
+        assert 0.0 < est.kron_fraction_baseline < 1.0
+
+    def test_table5_generates_all_cells(self, model):
+        estimates = model.table5(rows=TABLE5_DATASETS[:2])
+        # 2 rows x 2 GPU counts x 3 methods.
+        assert len(estimates) == 12
+
+    def test_skip_speedup_at_least_ski(self, model):
+        """SKIP does strictly more Kron-Matmul work, so it benefits at least as much."""
+        row = TABLE5_DATASETS[3]
+        assert (
+            model.estimate(row, "SKIP", 1).speedup
+            >= model.estimate(row, "SKI", 1).speedup * 0.95
+        )

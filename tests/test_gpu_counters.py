@@ -1,0 +1,58 @@
+"""Unit tests for the KernelCounters accumulator."""
+
+from repro.gpu.counters import KernelCounters
+
+
+class TestCounters:
+    def test_addition(self):
+        a = KernelCounters(flops=10, global_load_elements=5, kernel_launches=1)
+        b = KernelCounters(flops=20, global_store_elements=3, kernel_launches=2)
+        c = a + b
+        assert c.flops == 30
+        assert c.global_load_elements == 5
+        assert c.global_store_elements == 3
+        assert c.kernel_launches == 3
+        # operands untouched
+        assert a.flops == 10
+
+    def test_inplace_addition(self):
+        a = KernelCounters(flops=1)
+        a += KernelCounters(flops=2, shared_load_transactions=4)
+        assert a.flops == 3
+        assert a.shared_load_transactions == 4
+
+    def test_scaled(self):
+        a = KernelCounters(flops=3, global_load_elements=2)
+        b = a.scaled(4)
+        assert b.flops == 12 and b.global_load_elements == 8
+        assert a.flops == 3
+
+    def test_global_bytes(self):
+        a = KernelCounters(global_load_elements=10, global_store_elements=6)
+        assert a.global_bytes(4) == 64
+
+    def test_shared_transactions_sum(self):
+        a = KernelCounters(shared_load_transactions=4, shared_store_transactions=3)
+        assert a.shared_transactions == 7
+
+    def test_conflict_factors_default_to_one(self):
+        a = KernelCounters()
+        assert a.shared_load_conflict_factor == 1.0
+        assert a.shared_store_conflict_factor == 1.0
+
+    def test_conflict_factors(self):
+        a = KernelCounters(
+            shared_load_requests=10, shared_load_transactions=25,
+            shared_store_requests=4, shared_store_transactions=4,
+        )
+        assert a.shared_load_conflict_factor == 2.5
+        assert a.shared_store_conflict_factor == 1.0
+
+    def test_as_dict(self):
+        d = KernelCounters(flops=5).as_dict()
+        assert d["flops"] == 5
+        assert "communicated_elements" in d
+
+    def test_add_rejects_other_types(self):
+        result = KernelCounters().__add__(42)
+        assert result is NotImplemented

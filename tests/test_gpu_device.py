@@ -1,0 +1,75 @@
+"""Unit tests for the GPU device model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.gpu.device import TESLA_V100, TESLA_V100_32GB, GpuSpec, spec_by_name
+
+
+class TestTeslaV100Spec:
+    def test_paper_peak_flops(self):
+        """The paper quotes 15.7 float / 7.8 double TFLOPS for the Tesla V100."""
+        assert TESLA_V100.peak_flops(np.float32) == pytest.approx(15.7e12)
+        assert TESLA_V100.peak_flops(np.float64) == pytest.approx(7.8e12)
+
+    def test_memory_capacity_32gb(self):
+        assert TESLA_V100.memory_capacity == 32 * 1024**3
+
+    def test_warp_and_banks(self):
+        assert TESLA_V100.warp_size == 32
+        assert TESLA_V100.shared_memory_banks == 32
+        assert TESLA_V100.bank_width_bytes == 4
+
+    def test_shared_memory_sizes(self):
+        assert TESLA_V100.shared_memory_per_block == 48 * 1024
+        assert TESLA_V100.shared_memory_per_sm == 96 * 1024
+
+    def test_alias(self):
+        assert TESLA_V100 is TESLA_V100_32GB
+
+    def test_shared_memory_bandwidth_positive(self):
+        # 80 SMs x 32 banks x 4 B x clock.
+        expected = 80 * 32 * 4 * TESLA_V100.clock_hz
+        assert TESLA_V100.shared_memory_bandwidth == pytest.approx(expected)
+
+    def test_shared_memory_elements_per_block(self):
+        assert TESLA_V100.shared_memory_elements_per_block(np.float32) == 12288
+        assert TESLA_V100.shared_memory_elements_per_block(np.float64) == 6144
+
+
+class TestGpuSpecApi:
+    def test_peak_flops_rejects_other_dtypes(self):
+        with pytest.raises(ConfigurationError):
+            TESLA_V100.peak_flops(np.int32)
+
+    def test_with_overrides(self):
+        half = TESLA_V100.with_overrides(sm_count=40)
+        assert half.sm_count == 40
+        assert half.name == TESLA_V100.name
+        assert TESLA_V100.sm_count == 80  # original untouched
+
+    def test_spec_by_name(self):
+        assert spec_by_name("V100") is TESLA_V100
+        assert spec_by_name("tesla v100") is TESLA_V100
+
+    def test_spec_by_name_unknown(self):
+        with pytest.raises(ConfigurationError):
+            spec_by_name("H100")
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            TESLA_V100.sm_count = 1  # type: ignore[misc]
+
+    def test_custom_spec(self):
+        spec = GpuSpec(
+            name="tiny", sm_count=2, clock_hz=1e9, peak_flops_float=1e12,
+            peak_flops_double=5e11, memory_bandwidth=1e11, memory_capacity=2**30,
+            shared_memory_per_block=16384, shared_memory_per_sm=32768,
+            shared_memory_banks=16, bank_width_bytes=4, registers_per_sm=32768,
+            max_registers_per_thread=128, warp_size=16, max_threads_per_sm=1024,
+            max_threads_per_block=512, max_blocks_per_sm=16,
+            memory_transaction_bytes=32, kernel_launch_overhead=1e-6,
+            nvlink_bandwidth=5e10, interconnect_latency=1e-5,
+        )
+        assert spec.shared_memory_elements_per_block(np.float32) == 4096

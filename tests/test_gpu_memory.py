@@ -1,0 +1,58 @@
+"""Unit tests for the global-memory coalescing model."""
+
+import pytest
+
+from repro.gpu.memory import GlobalMemoryModel
+
+
+@pytest.fixture
+def gmem():
+    return GlobalMemoryModel(transaction_bytes=32)
+
+
+class TestAccess:
+    def test_fully_coalesced_float(self, gmem):
+        """32 consecutive 4-byte accesses span 4 sectors of 32 bytes."""
+        access = gmem.access([i * 4 for i in range(32)], access_bytes=4)
+        assert access.transactions == 4
+        assert access.efficiency == 1.0
+
+    def test_strided_access_one_sector_per_thread(self, gmem):
+        access = gmem.access([i * 128 for i in range(32)], access_bytes=4)
+        assert access.transactions == 32
+        assert access.efficiency == pytest.approx(4 / 32)
+
+    def test_same_address_broadcast(self, gmem):
+        access = gmem.access([0] * 32, access_bytes=4)
+        assert access.transactions == 1
+
+    def test_unaligned_access_spans_two_sectors(self, gmem):
+        access = gmem.access([30], access_bytes=4)
+        assert access.transactions == 2
+
+    def test_empty(self, gmem):
+        assert gmem.access([], access_bytes=4).transactions == 0
+
+
+class TestAnalyticHelpers:
+    def test_contiguous_transactions(self, gmem):
+        assert gmem.contiguous_transactions(32, 4) == 4
+        assert gmem.contiguous_transactions(1, 4) == 1
+        assert gmem.contiguous_transactions(0, 4) == 0
+
+    def test_contiguous_transactions_double(self, gmem):
+        assert gmem.contiguous_transactions(32, 8) == 8
+
+    def test_strided_transactions_wide_stride(self, gmem):
+        assert gmem.strided_transactions(10, 64, 4) == 10
+
+    def test_strided_transactions_packed(self, gmem):
+        # stride 8 bytes, 10 elements -> span 76 bytes -> 3 sectors.
+        assert gmem.strided_transactions(10, 8, 4) == 3
+
+    def test_zero_elements(self, gmem):
+        assert gmem.strided_transactions(0, 64, 4) == 0
+
+    def test_invalid_transaction_size(self):
+        with pytest.raises(ValueError):
+            GlobalMemoryModel(transaction_bytes=0)

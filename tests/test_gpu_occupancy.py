@@ -1,0 +1,58 @@
+"""Unit tests for the occupancy calculator."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.gpu.device import TESLA_V100
+from repro.gpu.occupancy import compute_occupancy
+
+
+class TestOccupancy:
+    def test_full_occupancy_small_blocks(self):
+        result = compute_occupancy(TESLA_V100, threads_per_block=256,
+                                   shared_memory_per_block=0, registers_per_thread=32)
+        assert result.blocks_per_sm == 8
+        assert result.occupancy == pytest.approx(1.0)
+
+    def test_shared_memory_limited(self):
+        result = compute_occupancy(TESLA_V100, threads_per_block=64,
+                                   shared_memory_per_block=48 * 1024, registers_per_thread=32)
+        assert result.limiting_resource == "shared_memory"
+        assert result.blocks_per_sm == 2
+
+    def test_register_limited(self):
+        result = compute_occupancy(TESLA_V100, threads_per_block=1024,
+                                   shared_memory_per_block=0, registers_per_thread=128)
+        assert result.limiting_resource == "registers"
+        assert result.blocks_per_sm == 0 or result.occupancy < 1.0
+
+    def test_thread_limited(self):
+        result = compute_occupancy(TESLA_V100, threads_per_block=1024,
+                                   shared_memory_per_block=1024, registers_per_thread=16)
+        assert result.blocks_per_sm == 2
+        assert result.warps_per_sm == 64
+
+    def test_occupancy_bounded_by_one(self):
+        result = compute_occupancy(TESLA_V100, threads_per_block=32,
+                                   shared_memory_per_block=0, registers_per_thread=16)
+        assert 0.0 < result.occupancy <= 1.0
+
+    def test_rejects_too_many_threads(self):
+        with pytest.raises(ConfigurationError):
+            compute_occupancy(TESLA_V100, threads_per_block=2048,
+                              shared_memory_per_block=0, registers_per_thread=32)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ConfigurationError):
+            compute_occupancy(TESLA_V100, threads_per_block=0,
+                              shared_memory_per_block=0, registers_per_thread=32)
+
+    def test_rejects_excess_shared_memory(self):
+        with pytest.raises(ConfigurationError):
+            compute_occupancy(TESLA_V100, threads_per_block=32,
+                              shared_memory_per_block=64 * 1024, registers_per_thread=32)
+
+    def test_rejects_excess_registers(self):
+        with pytest.raises(ConfigurationError):
+            compute_occupancy(TESLA_V100, threads_per_block=32,
+                              shared_memory_per_block=0, registers_per_thread=512)

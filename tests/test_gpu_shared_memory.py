@@ -1,0 +1,83 @@
+"""Unit tests for the shared-memory bank-conflict model."""
+
+import pytest
+
+from repro.gpu.shared_memory import SharedMemoryBankModel, split_into_warps
+
+
+@pytest.fixture
+def banks32():
+    return SharedMemoryBankModel(num_banks=32, bank_width_bytes=4)
+
+
+class TestBankModel:
+    def test_conflict_free_consecutive(self, banks32):
+        access = banks32.access(range(32))
+        assert access.transactions == 1
+        assert access.is_conflict_free
+
+    def test_broadcast_same_address(self, banks32):
+        access = banks32.access([7] * 32)
+        assert access.transactions == 1
+        assert access.distinct_words == 1
+
+    def test_two_way_conflict(self, banks32):
+        # Threads access addresses 0 and 32 (same bank, different words) in pairs.
+        addresses = [i % 16 + (i // 16) * 32 for i in range(32)]
+        # addresses 0..15 and 32..47: banks 0..15 twice.
+        access = banks32.access(addresses)
+        assert access.transactions == 2
+
+    def test_full_stride_conflict(self, banks32):
+        """Stride-32 accesses put every word in bank 0: a 32-way conflict."""
+        access = banks32.access([i * 32 for i in range(32)])
+        assert access.transactions == 32
+        assert access.max_bank_multiplicity == 32
+
+    def test_stride_equal_to_p_multiple_of_banks(self, banks32):
+        """The paper's Section 4.1 example: stride P with P | banks conflicts P-way-ish."""
+        p = 8
+        access = banks32.access([t * p for t in range(32)])
+        # 32 distinct addresses land in 4 banks -> 8 words per bank.
+        assert access.transactions == 8
+
+    def test_odd_stride_conflict_free(self, banks32):
+        access = banks32.access([t * 33 for t in range(32)])
+        assert access.transactions == 1
+
+    def test_empty_access(self, banks32):
+        assert banks32.access([]).transactions == 0
+
+    def test_partial_warp(self, banks32):
+        assert banks32.access(range(5)).transactions == 1
+
+    def test_access_bytes(self, banks32):
+        access = banks32.access_bytes([i * 4 for i in range(32)])
+        assert access.transactions == 1
+
+    def test_count_transactions(self, banks32):
+        total = banks32.count_transactions([range(32), [0] * 32, [i * 32 for i in range(32)]])
+        assert total == 1 + 1 + 32
+
+    def test_conflict_degree(self, banks32):
+        assert banks32.conflict_degree([i * 32 for i in range(4)]) == 4
+
+    def test_bank_of_word(self, banks32):
+        assert banks32.bank_of_word(0) == 0
+        assert banks32.bank_of_word(33) == 1
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            SharedMemoryBankModel(num_banks=0)
+
+
+class TestWarpSplitting:
+    def test_split_exact(self):
+        warps = split_into_warps(list(range(64)), 32)
+        assert len(warps) == 2
+        assert warps[0] == list(range(32))
+
+    def test_split_ragged(self):
+        warps = split_into_warps(list(range(40)), 32)
+        assert len(warps) == 2
+        assert len(warps[1]) == 8

@@ -1,0 +1,112 @@
+"""End-to-end integration tests spanning multiple subsystems.
+
+Each test exercises a pipeline a user of the library would actually run:
+numerical Kron-Matmul through the simulated-GPU executor, autotuned
+execution, the distributed algorithm on real data, GP training end to end
+and the benchmark-harness entry points.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import naive_kron_matmul
+from repro.core.factors import KroneckerOperator, random_factors
+from repro.core.fastkron import FastKron, kron_matmul
+from repro.core.problem import KronMatmulProblem
+from repro.datasets.realworld import get_case
+from repro.distributed import DistributedFastKron, partition_gpus
+from repro.gp import synthetic_dataset, train_gp_numerically
+from repro.kernels.launch import GpuExecutor
+from repro.perfmodel import all_single_gpu_models
+from repro.tuner import Autotuner
+
+
+class TestNumericalPipelines:
+    def test_operator_and_handle_and_executor_agree(self, rng):
+        factors = random_factors(4, 3, dtype=np.float64, seed=21)
+        x = rng.standard_normal((10, 81))
+        op = KroneckerOperator(factors)
+        handle = FastKron.for_operands(x, factors)
+        executor = GpuExecutor()
+        results = [
+            kron_matmul(x, factors),
+            op.matmul(x),
+            handle.multiply(x, factors),
+            executor.execute(x, factors).output,
+        ]
+        reference = naive_kron_matmul(x, factors)
+        for result in results:
+            np.testing.assert_allclose(result, reference, atol=1e-10)
+
+    def test_autotuned_execution_matches_untuned(self, rng):
+        problem = KronMatmulProblem.uniform(8, 4, 4, dtype=np.float64)
+        tuner = Autotuner(max_candidates=200)
+        overrides = tuner.tune_problem(problem)
+        factors = random_factors(4, 4, dtype=np.float64, seed=3)
+        x = rng.standard_normal((8, 256))
+        tuned = GpuExecutor(tile_overrides=overrides).execute(x, factors)
+        untuned = GpuExecutor().execute(x, factors)
+        np.testing.assert_allclose(tuned.output, untuned.output, atol=1e-12)
+
+    def test_distributed_matches_single_gpu_executor(self, rng):
+        factors = random_factors(4, 4, dtype=np.float64, seed=5)
+        x = rng.standard_normal((8, 256))
+        single = GpuExecutor().execute(x, factors).output
+        distributed = DistributedFastKron(partition_gpus(4)).execute(x, factors).output
+        np.testing.assert_allclose(distributed, single, atol=1e-10)
+
+    def test_real_world_case_end_to_end(self, rng):
+        """A Table 4 case small enough for the dense oracle, through the whole stack."""
+        case = get_case(1)  # LSTM/RNN, M=20, 2^7
+        problem = case.problem(dtype=np.float64)
+        x = rng.standard_normal((problem.m, problem.k))
+        factors = [rng.standard_normal(s) for s in problem.factor_shapes]
+        execution = GpuExecutor().execute(x, factors)
+        np.testing.assert_allclose(
+            execution.output, naive_kron_matmul(x, factors), atol=1e-9
+        )
+        assert execution.counters.flops == problem.flops
+
+    def test_gp_training_uses_fastkron_and_fits(self):
+        dataset = synthetic_dataset("integration", 40, 2, 6, seed=11, noise=0.02)
+        report = train_gp_numerically(
+            dataset, method="SKI", cg_iterations=150, num_probes=2, noise=0.05
+        )
+        assert report.cg_result.max_residual < 1e-5
+        assert report.kron_problems[0].factor_shapes == ((6, 6), (6, 6))
+
+
+class TestPerformanceModelPipelines:
+    def test_full_figure9_point(self):
+        """One Figure 9 configuration through every system model."""
+        problem = KronMatmulProblem.uniform(1024, 16, 4, dtype=np.float32)
+        timings = {name: model.estimate(problem) for name, model in all_single_gpu_models().items()}
+        assert timings["FastKron"].total_seconds < timings["GPyTorch"].total_seconds
+        assert timings["FastKron"].total_seconds <= timings["FastKron-wo-Fuse"].total_seconds
+        for timing in timings.values():
+            assert timing.tflops > 0
+
+    def test_autotuned_model_not_slower_than_default(self):
+        from repro.perfmodel.systems import FastKronModel
+
+        problem = KronMatmulProblem.uniform(64, 8, 4, dtype=np.float32)
+        default = FastKronModel().estimate(problem).total_seconds
+        tuned = FastKronModel(autotune=True, autotune_candidates=400).estimate(problem).total_seconds
+        assert tuned <= default * 1.001
+
+    def test_models_handle_every_table4_case(self):
+        models = all_single_gpu_models()
+        for case_id in (2, 7, 17, 21, 23, 26):
+            problem = get_case(case_id).problem()
+            for name, model in models.items():
+                timing = model.estimate(problem)
+                assert timing.total_seconds > 0, (case_id, name)
+
+    def test_multi_gpu_pipeline(self):
+        from repro.distributed.models import all_multi_gpu_models
+
+        problem = KronMatmulProblem.uniform(256, 64, 4, dtype=np.float32)
+        for name, model in all_multi_gpu_models().items():
+            timing = model.estimate_on_gpus(problem, 4)
+            assert timing.total_seconds > 0, name
+            assert timing.communicated_elements > 0, name

@@ -1,0 +1,123 @@
+"""Unit tests for the shift/direct caching schemes and their conflict analysis."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.gpu.shared_memory import SharedMemoryBankModel
+from repro.kernels.caching import (
+    DirectCaching,
+    ShiftCaching,
+    get_caching_scheme,
+    measure_warp_access,
+)
+from repro.kernels.tile_config import TileConfig
+
+
+@pytest.fixture
+def bank_model():
+    return SharedMemoryBankModel(num_banks=32, bank_width_bytes=4)
+
+
+class TestIndexMaps:
+    def test_direct_identity_layout(self):
+        direct = DirectCaching()
+        assert direct.shared_column(0, 0, tp=4, rk=2) == 0
+        assert direct.shared_column(2, 3, tp=4, rk=2) == 11
+
+    def test_shift_rotates_within_slice(self):
+        """The paper's Figure 4/5 example: slice 2, T_P=4, R_K=2 shifts by 1."""
+        shift = ShiftCaching()
+        # slice 2 -> shift 1: elements 0-2 at columns 9-11, element 3 at column 8.
+        assert shift.shared_column(2, 0, tp=4, rk=2) == 9
+        assert shift.shared_column(2, 2, tp=4, rk=2) == 11
+        assert shift.shared_column(2, 3, tp=4, rk=2) == 8
+
+    def test_shift_slice_zero_unchanged(self):
+        shift = ShiftCaching()
+        for e in range(4):
+            assert shift.shared_column(0, e, tp=4, rk=2) == e
+
+    def test_both_schemes_are_bijections_within_slice(self):
+        for scheme in (DirectCaching(), ShiftCaching()):
+            for slice_idx in range(8):
+                cols = {scheme.shared_column(slice_idx, e, tp=8, rk=2) for e in range(8)}
+                assert cols == set(range(slice_idx * 8, slice_idx * 8 + 8))
+
+    def test_store_load_round_trip(self):
+        """Elements stored by ShiftGToS are read back from the same column by ShiftSToR.
+
+        The load path addresses element (slice, e) through the same
+        shared_column map, so storing and loading agree by construction;
+        this test pins that invariant for a range of parameters.
+        """
+        shift = ShiftCaching()
+        for rk in (1, 2, 4):
+            for tp in (2, 4, 8):
+                for slice_idx in range(8):
+                    for e in range(tp):
+                        col = shift.shared_column(slice_idx, e, tp, rk)
+                        assert slice_idx * tp <= col < (slice_idx + 1) * tp
+
+
+class TestWarpAddresses:
+    def test_store_addresses_cover_row(self):
+        shift = ShiftCaching()
+        ks = 64
+        seen = set()
+        for first in range(0, ks, 32):
+            seen.update(shift.store_warp_addresses(first, 32, tp=4, rk=2, ks=ks))
+        assert seen == set(range(ks))
+
+    def test_store_addresses_partial_warp(self):
+        direct = DirectCaching()
+        addresses = direct.store_warp_addresses(0, 32, tp=4, rk=2, ks=8)
+        assert len(addresses) == 8
+
+    def test_load_addresses_length(self):
+        tile = TileConfig(tm=1, tk=512, tp=8, tq=8, rk=8, rq=4, rp=4)
+        shift = ShiftCaching()
+        addresses = shift.load_warp_addresses(list(range(16)), 0, 0, tile, 8)
+        assert len(addresses) == 16
+
+
+class TestConflictFactors:
+    def test_paper_bound_for_shift(self, bank_model):
+        """Shift caching conflicts are bounded by ceil(warpSize / T_P)."""
+        tile = TileConfig(tm=1, tk=8192, tp=8, tq=8, rk=8, rq=4, rp=4)
+        factor = ShiftCaching().load_conflict_factor(tile, 8, bank_model, 32)
+        assert factor <= -(-32 // 8)  # ceil(32/8) = 4
+
+    def test_direct_worse_than_shift_for_power_of_two(self, bank_model):
+        tile = TileConfig(tm=1, tk=8192, tp=8, tq=8, rk=8, rq=4, rp=4)
+        shift = ShiftCaching().load_conflict_factor(tile, 8, bank_model, 32)
+        direct = DirectCaching().load_conflict_factor(tile, 8, bank_model, 32)
+        assert direct > shift
+        assert direct == pytest.approx(32.0)
+
+    def test_store_factors_near_one(self, bank_model):
+        """The global->shared copy is near conflict-free for both schemes."""
+        tile = TileConfig(tm=1, tk=512, tp=8, tq=8, rk=4, rq=4, rp=4)
+        for scheme in (ShiftCaching(), DirectCaching()):
+            assert scheme.store_conflict_factor(tile, 8, bank_model, 32) <= 2.0
+
+    def test_measure_warp_access(self):
+        tile = TileConfig(tm=1, tk=8192, tp=8, tq=8, rk=8, rq=4, rp=4)
+        direct = measure_warp_access(DirectCaching(), tile, 8)
+        shift = measure_warp_access(ShiftCaching(), tile, 8)
+        assert direct.transactions >= shift.transactions
+
+    def test_small_thread_blocks(self, bank_model):
+        """Configs with fewer threads than a warp still produce a factor >= 1."""
+        tile = TileConfig(tm=1, tk=16, tp=4, tq=2, rk=2, rq=2, rp=2)
+        factor = ShiftCaching().load_conflict_factor(tile, 4, bank_model, 32)
+        assert factor >= 1.0
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(get_caching_scheme("shift"), ShiftCaching)
+        assert isinstance(get_caching_scheme("DIRECT"), DirectCaching)
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_caching_scheme("padded")

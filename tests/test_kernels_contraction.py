@@ -1,0 +1,50 @@
+"""Unit tests for the COGENT/cuTensor contraction kernel counter model."""
+
+import numpy as np
+
+from repro.kernels.contraction_kernel import CONTRACTION_MAX_REPLAY, ContractionKernelModel
+from repro.kernels.launch import GpuExecutor
+from repro.core.problem import KronMatmulProblem
+
+
+class TestContractionModel:
+    def test_flops_match_iteration(self):
+        model = ContractionKernelModel()
+        counters = model.analytic_counters(1024, 8**5, 8, 8)
+        assert counters.flops == 2 * 1024 * 8**5 * 8
+
+    def test_replay_capped(self):
+        model = ContractionKernelModel()
+        counters = model.analytic_counters(1024, 8**5, 8, 8)
+        assert counters.shared_load_transactions <= counters.shared_load_requests * (
+            CONTRACTION_MAX_REPLAY + 1
+        )
+
+    def test_staging_adds_shared_traffic(self):
+        """The output staging pass makes COGENT's shared traffic exceed FastKron's."""
+        problem = KronMatmulProblem.uniform(1024, 16, 4, dtype=np.float32)
+        it = problem.iteration_shapes()[0]
+        cogent = ContractionKernelModel().analytic_counters(it.m, it.k, it.p, it.q)
+        fastkron = GpuExecutor(fuse=False).estimate(problem).launches[0].counters
+        assert cogent.shared_store_transactions > fastkron.shared_store_transactions
+
+    def test_more_shared_loads_than_fastkron(self):
+        """Table 2's direction: FastKron issues fewer shared load transactions."""
+        for p, n in [(8, 5), (16, 4), (32, 3)]:
+            problem = KronMatmulProblem.uniform(1024, p, n, dtype=np.float32)
+            it = problem.iteration_shapes()[0]
+            cogent = ContractionKernelModel().analytic_counters(it.m, it.k, it.p, it.q)
+            fastkron = GpuExecutor(fuse=False).estimate(problem).launches[0].counters
+            assert cogent.shared_load_transactions > fastkron.shared_load_transactions
+
+    def test_custom_max_replay(self):
+        relaxed = ContractionKernelModel(max_replay=32.0).analytic_counters(256, 8**4, 8, 8)
+        capped = ContractionKernelModel(max_replay=2.0).analytic_counters(256, 8**4, 8, 8)
+        assert relaxed.shared_load_transactions >= capped.shared_load_transactions
+
+    def test_explicit_tile(self):
+        from repro.kernels.tile_config import TileConfig
+
+        tile = TileConfig(tm=1, tk=64, tp=8, tq=8, rk=2, rq=2, rp=2)
+        counters = ContractionKernelModel(tile=tile).analytic_counters(8, 64, 8, 8)
+        assert counters.flops == 2 * 8 * 64 * 8

@@ -1,0 +1,126 @@
+"""Unit tests for the fused kernel (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sliced_multiply import sliced_multiply
+from repro.exceptions import ConfigurationError
+from repro.kernels.caching import ShiftCaching
+from repro.kernels.fused_kernel import FusedKernel
+from repro.kernels.tile_config import TileConfig
+
+
+def fused_tile(nfused: int = 2) -> TileConfig:
+    return TileConfig(tm=1, tk=128, tp=4, tq=4, rk=2, rq=2, rp=2, nfused=nfused)
+
+
+def apply_factors(x, factors):
+    y = x
+    for f in list(factors)[::-1]:
+        y = sliced_multiply(y, f)
+    return y
+
+
+class TestFunctionalCorrectness:
+    def test_two_fused_multiplies(self, rng):
+        x = rng.standard_normal((2, 256))
+        factors = [rng.standard_normal((4, 4)) for _ in range(2)]
+        y = FusedKernel(fused_tile(2)).execute(x, factors)
+        np.testing.assert_allclose(y, apply_factors(x, factors), atol=1e-12)
+
+    def test_three_fused_multiplies(self, rng):
+        tile = TileConfig(tm=1, tk=64, tp=4, tq=4, rk=2, rq=2, rp=2, nfused=3)
+        x = rng.standard_normal((3, 256))
+        factors = [rng.standard_normal((4, 4)) for _ in range(3)]
+        y = FusedKernel(tile).execute(x, factors)
+        np.testing.assert_allclose(y, apply_factors(x, factors), atol=1e-12)
+
+    def test_single_chunk(self, rng):
+        tile = TileConfig(tm=1, tk=64, tp=4, tq=4, rk=2, rq=2, rp=2, nfused=2)
+        x = rng.standard_normal((2, 64))
+        factors = [rng.standard_normal((4, 4)) for _ in range(2)]
+        y = FusedKernel(tile).execute(x, factors)
+        np.testing.assert_allclose(y, apply_factors(x, factors), atol=1e-12)
+
+    def test_distinct_factors_order(self, rng):
+        """Fusion must preserve the execution order (last factor first)."""
+        x = rng.standard_normal((1, 256))
+        f_a = np.triu(rng.standard_normal((4, 4)))
+        f_b = np.tril(rng.standard_normal((4, 4)))
+        y = FusedKernel(fused_tile(2)).execute(x, [f_a, f_b])
+        np.testing.assert_allclose(y, apply_factors(x, [f_a, f_b]), atol=1e-12)
+        # Swapping the factors changes the result (sanity check on the test itself).
+        y_swapped = FusedKernel(fused_tile(2)).execute(x, [f_b, f_a])
+        assert not np.allclose(y, y_swapped)
+
+
+class TestValidation:
+    def test_wrong_factor_count(self, rng):
+        with pytest.raises(ConfigurationError):
+            FusedKernel(fused_tile(2)).execute(
+                rng.standard_normal((1, 256)), [np.eye(4)]
+            )
+
+    def test_non_square_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            FusedKernel(fused_tile(2)).execute(
+                rng.standard_normal((1, 256)), [np.ones((4, 2)), np.ones((4, 2))]
+            )
+
+    def test_mismatched_shapes_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            FusedKernel(fused_tile(2)).execute(
+                rng.standard_normal((1, 256)), [np.eye(4), np.eye(2)]
+            )
+
+    def test_tp_must_equal_p(self, rng):
+        tile = TileConfig(tm=1, tk=128, tp=2, tq=4, rk=2, rq=2, rp=2, nfused=2)
+        with pytest.raises(ConfigurationError):
+            FusedKernel(tile).execute(rng.standard_normal((1, 256)), [np.eye(4), np.eye(4)])
+
+    def test_nfused_beyond_log_bound(self, rng):
+        tile = TileConfig(tm=1, tk=16, tp=4, tq=4, rk=1, rq=2, rp=2, nfused=3)
+        with pytest.raises(ConfigurationError):
+            FusedKernel(tile).execute(
+                rng.standard_normal((1, 64)), [np.eye(4)] * 3
+            )
+
+    def test_invalid_nfused_zero(self):
+        with pytest.raises(ConfigurationError):
+            FusedKernel(TileConfig(tm=1, tk=16, tp=4, tq=4, rk=1, rq=2, rp=2, nfused=0))
+
+
+class TestAnalyticCounters:
+    def test_global_traffic_reduced_vs_unfused(self):
+        """Fusion removes the intermediate global round trips (the paper's key win)."""
+        from repro.kernels.sliced_kernel import SlicedMultiplyKernel
+
+        tile = fused_tile(2)
+        fused = FusedKernel(tile).analytic_counters(16, 256, 4, 4)
+        single = SlicedMultiplyKernel(tile.with_nfused(1)).analytic_counters(16, 256, 4, 4)
+        unfused_total = single.scaled(2)
+        fused_global = fused.global_load_elements + fused.global_store_elements
+        unfused_global = unfused_total.global_load_elements + unfused_total.global_store_elements
+        assert fused_global < unfused_global
+        assert fused.flops == unfused_total.flops
+
+    def test_shared_traffic_increases_with_fusion(self):
+        """The intermediates move to shared memory, so shared stores go up."""
+        from repro.kernels.sliced_kernel import SlicedMultiplyKernel
+
+        tile = fused_tile(2)
+        fused = FusedKernel(tile).analytic_counters(16, 256, 4, 4)
+        single = SlicedMultiplyKernel(tile.with_nfused(1)).analytic_counters(16, 256, 4, 4)
+        assert fused.shared_store_transactions > single.shared_store_transactions
+
+    def test_one_kernel_launch(self):
+        counters = FusedKernel(fused_tile(2)).analytic_counters(16, 256, 4, 4)
+        assert counters.kernel_launches == 1
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ConfigurationError):
+            FusedKernel(fused_tile(2)).analytic_counters(16, 256, 4, 8)
+
+    def test_occupancy(self):
+        occ = FusedKernel(fused_tile(2), ShiftCaching()).occupancy(4, 4)
+        assert 0.0 < occ.occupancy <= 1.0

@@ -1,0 +1,83 @@
+"""Unit tests for whole-problem execution on the simulated GPU (GpuExecutor)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import naive_kron_matmul
+from repro.core.factors import random_factors
+from repro.core.problem import KronMatmulProblem
+from repro.kernels.caching import DirectCaching
+from repro.kernels.launch import GpuExecutor
+from repro.kernels.tile_config import TileConfig
+
+
+class TestExecute:
+    def test_output_matches_naive(self, rng):
+        factors = random_factors(3, 4, dtype=np.float64, seed=3)
+        x = rng.standard_normal((8, 64))
+        execution = GpuExecutor().execute(x, factors)
+        np.testing.assert_allclose(execution.output, naive_kron_matmul(x, factors), atol=1e-10)
+
+    def test_counters_attached(self, rng):
+        factors = random_factors(3, 4, dtype=np.float64, seed=3)
+        x = rng.standard_normal((8, 64))
+        execution = GpuExecutor().execute(x, factors)
+        assert execution.counters.flops == execution.problem.flops
+        assert execution.n_kernel_launches >= 1
+
+    def test_rejects_vector_input(self, rng):
+        factors = random_factors(2, 4, dtype=np.float64, seed=3)
+        with pytest.raises(Exception):
+            GpuExecutor().execute(rng.standard_normal(16), factors)
+
+
+class TestEstimate:
+    def test_fusion_reduces_launches_and_traffic(self):
+        problem = KronMatmulProblem.uniform(64, 8, 6, dtype=np.float32)
+        fused = GpuExecutor(fuse=True).estimate(problem)
+        unfused = GpuExecutor(fuse=False).estimate(problem)
+        assert fused.n_kernel_launches < unfused.n_kernel_launches
+        assert (
+            fused.counters.global_load_elements + fused.counters.global_store_elements
+            < unfused.counters.global_load_elements + unfused.counters.global_store_elements
+        )
+        assert fused.counters.flops == unfused.counters.flops
+
+    def test_flops_match_problem(self):
+        problem = KronMatmulProblem.uniform(1024, 16, 4, dtype=np.float32)
+        execution = GpuExecutor().estimate(problem)
+        assert execution.counters.flops == problem.flops
+
+    def test_launch_labels(self):
+        problem = KronMatmulProblem.uniform(64, 8, 4, dtype=np.float32)
+        execution = GpuExecutor().estimate(problem)
+        for launch in execution.launches:
+            assert "kernel over iterations" in launch.label
+
+    def test_tile_overrides_used(self):
+        problem = KronMatmulProblem.uniform(8, 4, 3, dtype=np.float32)
+        override = TileConfig(tm=1, tk=16, tp=4, tq=4, rk=2, rq=2, rp=2)
+        executor = GpuExecutor(fuse=False, tile_overrides={0: override, 1: override, 2: override})
+        execution = executor.estimate(problem)
+        assert all(launch.tile.tk == 16 for launch in execution.launches)
+
+    def test_caching_scheme_changes_transactions(self):
+        problem = KronMatmulProblem.uniform(64, 8, 4, dtype=np.float32)
+        shift = GpuExecutor(fuse=False).estimate(problem)
+        direct = GpuExecutor(fuse=False, caching=DirectCaching()).estimate(problem)
+        assert direct.counters.shared_load_transactions > shift.counters.shared_load_transactions
+
+    def test_large_p_no_fusion(self):
+        problem = KronMatmulProblem.uniform(16, 64, 3, dtype=np.float32)
+        execution = GpuExecutor(fuse=True).estimate(problem)
+        assert all(not launch.fused for launch in execution.launches)
+
+    def test_rectangular_problem_supported(self):
+        problem = KronMatmulProblem(m=10, factor_shapes=((52, 50), (65, 20)))
+        execution = GpuExecutor().estimate(problem)
+        assert execution.counters.flops == problem.flops
+
+    def test_non_uniform_mixed_shapes(self):
+        problem = KronMatmulProblem(m=4, factor_shapes=((5, 5), (5, 5), (2, 2)))
+        execution = GpuExecutor().estimate(problem)
+        assert execution.n_kernel_launches >= 1

@@ -1,0 +1,141 @@
+"""Unit tests for the simulated SlicedMultiplyKernel (functional + analytic)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sliced_multiply import sliced_multiply
+from repro.exceptions import ConfigurationError
+from repro.gpu.device import TESLA_V100
+from repro.kernels.caching import DirectCaching, ShiftCaching
+from repro.kernels.sliced_kernel import SlicedMultiplyKernel
+from repro.kernels.tile_config import TileConfig
+
+
+def small_tile() -> TileConfig:
+    return TileConfig(tm=1, tk=64, tp=4, tq=4, rk=2, rq=2, rp=2)
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("caching", [ShiftCaching(), DirectCaching()])
+    def test_matches_sliced_multiply(self, rng, caching):
+        x = rng.standard_normal((2, 64)).astype(np.float32)
+        f = rng.standard_normal((8, 8)).astype(np.float32)
+        kernel = SlicedMultiplyKernel(small_tile(), caching)
+        y, _ = kernel.execute(x, f)
+        np.testing.assert_allclose(y, sliced_multiply(x, f), rtol=1e-5, atol=1e-5)
+
+    def test_multiple_blocks_along_k(self, rng):
+        tile = TileConfig(tm=1, tk=32, tp=4, tq=4, rk=2, rq=2, rp=2)
+        x = rng.standard_normal((2, 64)).astype(np.float64)
+        f = rng.standard_normal((8, 8)).astype(np.float64)
+        y, _ = SlicedMultiplyKernel(tile).execute(x, f)
+        np.testing.assert_allclose(y, sliced_multiply(x, f), atol=1e-12)
+
+    def test_multiple_blocks_along_q(self, rng):
+        tile = TileConfig(tm=1, tk=64, tp=4, tq=2, rk=2, rq=2, rp=2)
+        x = rng.standard_normal((2, 64)).astype(np.float64)
+        f = rng.standard_normal((8, 8)).astype(np.float64)
+        y, _ = SlicedMultiplyKernel(tile).execute(x, f)
+        np.testing.assert_allclose(y, sliced_multiply(x, f), atol=1e-12)
+
+    def test_tm_greater_than_one(self, rng):
+        tile = TileConfig(tm=2, tk=64, tp=4, tq=4, rk=2, rq=2, rp=2)
+        x = rng.standard_normal((4, 64)).astype(np.float64)
+        f = rng.standard_normal((8, 8)).astype(np.float64)
+        y, _ = SlicedMultiplyKernel(tile).execute(x, f)
+        np.testing.assert_allclose(y, sliced_multiply(x, f), atol=1e-12)
+
+    def test_rectangular_factor(self, rng):
+        tile = TileConfig(tm=1, tk=64, tp=4, tq=3, rk=2, rq=3, rp=2)
+        x = rng.standard_normal((2, 64)).astype(np.float64)
+        f = rng.standard_normal((4, 3)).astype(np.float64)
+        y, _ = SlicedMultiplyKernel(tile).execute(x, f)
+        np.testing.assert_allclose(y, sliced_multiply(x, f), atol=1e-12)
+
+    def test_tp_equal_p(self, rng):
+        tile = TileConfig(tm=1, tk=64, tp=8, tq=8, rk=4, rq=4, rp=4)
+        x = rng.standard_normal((2, 64)).astype(np.float64)
+        f = rng.standard_normal((8, 8)).astype(np.float64)
+        y, _ = SlicedMultiplyKernel(tile).execute(x, f)
+        np.testing.assert_allclose(y, sliced_multiply(x, f), atol=1e-12)
+
+    def test_rejects_m_not_divisible_by_tm(self, rng):
+        tile = TileConfig(tm=2, tk=64, tp=4, tq=4, rk=2, rq=2, rp=2)
+        x = rng.standard_normal((3, 64)).astype(np.float64)
+        f = rng.standard_normal((8, 8)).astype(np.float64)
+        with pytest.raises(ConfigurationError):
+            SlicedMultiplyKernel(tile).execute(x, f)
+
+
+class TestCounters:
+    def test_empirical_matches_analytic_shared_counts(self, rng):
+        """The closed-form counters must agree with warp-by-warp measurement."""
+        x = rng.standard_normal((2, 64)).astype(np.float32)
+        f = rng.standard_normal((8, 8)).astype(np.float32)
+        for caching in (ShiftCaching(), DirectCaching()):
+            kernel = SlicedMultiplyKernel(small_tile(), caching)
+            _, measured = kernel.execute(x, f, count=True)
+            analytic = kernel.analytic_counters(2, 64, 8, 8, np.float32)
+            assert measured.shared_load_requests == analytic.shared_load_requests
+            assert measured.shared_store_requests == analytic.shared_store_requests
+            assert measured.shared_load_transactions == analytic.shared_load_transactions
+            assert measured.shared_store_transactions == analytic.shared_store_transactions
+
+    def test_flop_count_exact(self):
+        kernel = SlicedMultiplyKernel(small_tile())
+        counters = kernel.analytic_counters(4, 64, 8, 8)
+        assert counters.flops == 2 * 4 * 64 * 8  # 2*M*(K/P*Q)*P
+
+    def test_global_store_elements(self):
+        kernel = SlicedMultiplyKernel(small_tile())
+        counters = kernel.analytic_counters(4, 64, 8, 8)
+        assert counters.global_store_elements == 4 * 64
+
+    def test_global_loads_scale_with_q_blocks(self):
+        """Splitting Q over more blocks re-reads the X tile."""
+        tile_full_q = TileConfig(tm=1, tk=64, tp=4, tq=8, rk=2, rq=2, rp=2)
+        tile_half_q = TileConfig(tm=1, tk=64, tp=4, tq=4, rk=2, rq=2, rp=2)
+        full = SlicedMultiplyKernel(tile_full_q).analytic_counters(4, 64, 8, 8)
+        half = SlicedMultiplyKernel(tile_half_q).analytic_counters(4, 64, 8, 8)
+        assert half.global_load_elements > full.global_load_elements
+
+    def test_shift_fewer_load_transactions_than_direct(self):
+        tile = TileConfig(tm=1, tk=512, tp=8, tq=8, rk=8, rq=4, rp=4)
+        shift = SlicedMultiplyKernel(tile, ShiftCaching()).analytic_counters(8, 512, 8, 8)
+        direct = SlicedMultiplyKernel(tile, DirectCaching()).analytic_counters(8, 512, 8, 8)
+        assert shift.shared_load_transactions < direct.shared_load_transactions
+        assert shift.shared_load_requests == direct.shared_load_requests
+
+    def test_counters_scale_linearly_with_m(self):
+        kernel = SlicedMultiplyKernel(small_tile())
+        small = kernel.analytic_counters(2, 64, 8, 8)
+        large = kernel.analytic_counters(8, 64, 8, 8)
+        assert large.flops == 4 * small.flops
+        assert large.global_store_elements == 4 * small.global_store_elements
+
+    def test_kernel_launch_counted_once(self):
+        counters = SlicedMultiplyKernel(small_tile()).analytic_counters(2, 64, 8, 8)
+        assert counters.kernel_launches == 1
+
+    def test_occupancy_reported(self):
+        occ = SlicedMultiplyKernel(small_tile()).occupancy(8, 8)
+        assert 0.0 < occ.occupancy <= 1.0
+
+    def test_double_precision_transactions_larger(self):
+        kernel = SlicedMultiplyKernel(small_tile())
+        f32 = kernel.analytic_counters(4, 64, 8, 8, np.float32)
+        f64 = kernel.analytic_counters(4, 64, 8, 8, np.float64)
+        assert f64.global_load_transactions >= f32.global_load_transactions
+
+
+class TestLargeShapeAnalytic:
+    def test_paper_scale_shape_does_not_overflow(self):
+        """Analytic counters must work at the paper's largest sizes (no materialisation)."""
+        from repro.kernels.tile_config import default_tile_config
+
+        m, p, n = 1024, 128, 3
+        k = p**n
+        tile = default_tile_config(m, k, p, p)
+        counters = SlicedMultiplyKernel(tile).analytic_counters(m, k, p, p)
+        assert counters.flops == 2 * m * k * p
+        assert counters.global_load_elements >= m * k

@@ -1,0 +1,108 @@
+"""Unit tests for the fused / multi-GPU store index math (Figure 7, Algorithm 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sliced_multiply import sliced_multiply
+from repro.exceptions import ConfigurationError
+from repro.kernels.store_indexing import (
+    fused_store_columns,
+    gpu_tile_store_columns,
+    local_to_global_columns,
+)
+
+
+class TestPaperExample:
+    def test_figure6_element_41_maps_to_81(self):
+        """The worked example of Figure 6/7: K=256, T_K=128, P=4, N_fused=2."""
+        columns = fused_store_columns(k=256, tile_k=128, p=4, nfused=2, block_k_index=0)
+        assert columns[41] == 81
+
+    def test_figure6_contiguity_structure(self):
+        """After 2 fused multiplies there are 16 sets of 8 contiguous elements."""
+        columns = fused_store_columns(k=256, tile_k=128, p=4, nfused=2, block_k_index=0)
+        runs = np.split(columns, np.where(np.diff(columns) != 1)[0] + 1)
+        assert all(len(run) == 8 for run in runs)
+        assert len(runs) == 16
+
+
+class TestMappingProperties:
+    def test_identity_when_tile_is_full_row(self):
+        columns = local_to_global_columns(k=64, tile_k=64, p=4, nfused=2, chunk_index=0)
+        np.testing.assert_array_equal(columns, np.arange(64))
+
+    def test_chunks_partition_all_columns(self):
+        k, tile_k = 256, 64
+        seen = set()
+        for chunk in range(k // tile_k):
+            seen.update(local_to_global_columns(k, tile_k, 4, 2, chunk).tolist())
+        assert seen == set(range(k))
+
+    def test_injective_per_chunk(self):
+        columns = local_to_global_columns(256, 64, 4, 2, 1)
+        assert len(set(columns.tolist())) == len(columns)
+
+    def test_nfused_one_matches_single_multiply_layout(self, rng):
+        """With one multiply, the scatter must equal the global sliced multiply."""
+        k, tile_k, p = 64, 16, 4
+        x = rng.standard_normal((3, k))
+        f = rng.standard_normal((p, p))
+        expected = sliced_multiply(x, f)
+        out = np.empty_like(expected)
+        for chunk in range(k // tile_k):
+            local = sliced_multiply(x[:, chunk * tile_k : (chunk + 1) * tile_k], f)
+            out[:, fused_store_columns(k, tile_k, p, 1, chunk)] = local
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_rejects_tile_not_dividing_k(self):
+        with pytest.raises(ConfigurationError):
+            local_to_global_columns(100, 30, 5, 1, 0)
+
+    def test_rejects_tile_smaller_than_p_power(self):
+        with pytest.raises(ConfigurationError):
+            local_to_global_columns(256, 8, 4, 2, 0)
+
+    def test_rejects_chunk_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            local_to_global_columns(256, 64, 4, 2, 4)
+
+    def test_gpu_tile_alias(self):
+        np.testing.assert_array_equal(
+            gpu_tile_store_columns(256, 64, 4, 2, 1),
+            local_to_global_columns(256, 64, 4, 2, 1),
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    p=st.sampled_from([2, 3, 4]),
+    tile_exp=st.integers(1, 3),
+    extra_chunks=st.integers(1, 3),
+    nfused=st.integers(1, 3),
+)
+def test_property_chunked_fused_multiply_equals_global(p, tile_exp, extra_chunks, nfused):
+    """Applying n fused multiplies chunk-by-chunk + scatter equals the global result.
+
+    This is the correctness property behind both the fused kernel
+    (StoreFusedShMem) and the distributed exchange (StoreGPUTile).
+    """
+    nfused = min(nfused, tile_exp)
+    tile_k = p**tile_exp
+    k = tile_k * extra_chunks
+    rng = np.random.default_rng(p * 1000 + tile_exp * 100 + extra_chunks * 10 + nfused)
+    x = rng.standard_normal((2, k))
+    factors = [rng.standard_normal((p, p)) for _ in range(nfused)]
+
+    expected = x
+    for f in factors[::-1]:
+        expected = sliced_multiply(expected, f)
+
+    out = np.empty_like(expected)
+    for chunk in range(k // tile_k):
+        local = x[:, chunk * tile_k : (chunk + 1) * tile_k]
+        for f in factors[::-1]:
+            local = sliced_multiply(local, f)
+        out[:, local_to_global_columns(k, tile_k, p, nfused, chunk)] = local
+    np.testing.assert_allclose(out, expected, atol=1e-10)

@@ -1,0 +1,153 @@
+"""Unit tests for TileConfig and the default configuration heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.gpu.device import TESLA_V100
+from repro.kernels.tile_config import TileConfig, default_tile_config, max_fusable
+
+
+def paper_example_tile() -> TileConfig:
+    """The Figure 4 example: T_M=1, T_K=512, T_P=4, T_Q=2, R_P=2, R_Q=2, R_K=2."""
+    return TileConfig(tm=1, tk=512, tp=4, tq=2, rk=2, rq=2, rp=2)
+
+
+class TestTileConfigValidation:
+    def test_paper_example_valid(self):
+        tile = paper_example_tile()
+        tile.validate(p=8, q=8, k=512, m=2)
+
+    def test_paper_example_threads(self):
+        """Figure 4: 64 slices, R_K=2 and T_Q/R_Q=1 -> 32 threads per block."""
+        tile = paper_example_tile()
+        assert tile.slices_per_block(8) == 64
+        assert tile.threads_per_block(8) == 32
+
+    def test_paper_example_grid(self):
+        """Figure 4: grid {2/1, 512/512, 8/2} = {2, 1, 4}."""
+        tile = paper_example_tile()
+        assert tile.grid(2, 512, 8, 8) == (2, 1, 4)
+        assert tile.n_blocks(2, 512, 8, 8) == 8
+
+    def test_tk_not_multiple_of_p(self):
+        with pytest.raises(ConfigurationError):
+            TileConfig(tm=1, tk=100, tp=4, tq=2, rk=2, rq=2, rp=2).validate(8, 8, 800, 2)
+
+    def test_tk_must_divide_k(self):
+        with pytest.raises(ConfigurationError):
+            TileConfig(tm=1, tk=24, tp=4, tq=2, rk=2, rq=2, rp=2).validate(8, 8, 64, 2)
+
+    def test_tp_must_divide_p(self):
+        with pytest.raises(ConfigurationError):
+            TileConfig(tm=1, tk=64, tp=3, tq=2, rk=2, rq=2, rp=1).validate(8, 8, 64, 2)
+
+    def test_rk_must_divide_slices(self):
+        with pytest.raises(ConfigurationError):
+            TileConfig(tm=1, tk=64, tp=4, tq=2, rk=3, rq=2, rp=2).validate(8, 8, 64, 2)
+
+    def test_fusion_requires_tp_equal_p(self):
+        with pytest.raises(ConfigurationError):
+            TileConfig(tm=1, tk=64, tp=4, tq=8, rk=2, rq=2, rp=2, nfused=2).validate(8, 8, 64, 2)
+
+    def test_fusion_requires_square(self):
+        with pytest.raises(ConfigurationError):
+            TileConfig(tm=1, tk=64, tp=4, tq=2, rk=2, rq=2, rp=2, nfused=2).validate(4, 2, 64, 2)
+
+    def test_fusion_depth_bound(self):
+        with pytest.raises(ConfigurationError):
+            TileConfig(tm=1, tk=64, tp=4, tq=4, rk=2, rq=2, rp=2, nfused=4).validate(4, 4, 64, 2)
+
+    def test_is_valid_boolean(self):
+        assert paper_example_tile().is_valid(8, 8, 512, 2)
+        assert not paper_example_tile().is_valid(8, 8, 500, 2)
+
+
+class TestResources:
+    def test_shared_memory_elements(self):
+        tile = TileConfig(tm=1, tk=64, tp=8, tq=8, rk=2, rq=2, rp=2)
+        # Xs: 1 * (64/8) * 8 = 64, Fs: 8*8 = 64.
+        assert tile.shared_memory_elements(8, 8) == 128
+
+    def test_fused_doubles_xs(self):
+        tile = TileConfig(tm=1, tk=64, tp=8, tq=8, rk=2, rq=2, rp=2, nfused=2)
+        assert tile.shared_memory_elements(8, 8) == 64 * 2 + 64
+
+    def test_shared_memory_bytes_dtype(self):
+        tile = TileConfig(tm=1, tk=64, tp=8, tq=8, rk=2, rq=2, rp=2)
+        assert tile.shared_memory_bytes(8, 8, np.float64) == 2 * tile.shared_memory_bytes(8, 8, np.float32)
+
+    def test_registers_per_thread(self):
+        tile = TileConfig(tm=1, tk=64, tp=8, tq=8, rk=2, rq=2, rp=2)
+        assert tile.registers_per_thread() == 2 * 2 + 2 * 2 + 2 * 2 + 32
+
+    def test_outputs_per_thread(self):
+        tile = TileConfig(tm=2, tk=64, tp=8, tq=8, rk=2, rq=4, rp=2)
+        assert tile.outputs_per_thread() == 2 * 2 * 4
+
+    def test_fits_device(self):
+        assert paper_example_tile().fits(TESLA_V100, 8, 8, np.float32)
+
+    def test_fits_rejects_oversized_shared(self):
+        tile = TileConfig(tm=16, tk=8192, tp=32, tq=32, rk=2, rq=2, rp=2)
+        assert not tile.fits(TESLA_V100, 32, 32, np.float32)
+
+    def test_with_nfused(self):
+        tile = paper_example_tile().with_nfused(3)
+        assert tile.nfused == 3
+        assert paper_example_tile().nfused == 1
+
+    def test_key_and_describe(self):
+        tile = paper_example_tile()
+        assert tile.key() == (1, 512, 4, 2, 2, 2, 2, 1)
+        assert "TK=512" in tile.describe()
+
+
+class TestMaxFusable:
+    def test_values(self):
+        assert max_fusable(128, 4) == 3
+        assert max_fusable(512, 8) == 3
+        assert max_fusable(4, 8) == 0
+
+
+class TestDefaultTileConfig:
+    @pytest.mark.parametrize(
+        "m,k,p,q",
+        [
+            (1024, 8**5, 8, 8),
+            (1024, 16**5, 16, 16),
+            (1024, 64**3, 64, 64),
+            (1024, 128**3, 128, 128),
+            (16, 64**4, 64, 64),
+            (20, 2**7, 2, 2),
+            (10, 52 * 65, 52, 50),
+            (1, 5**3 * 2, 5, 5),
+            (3, 7, 7, 3),
+        ],
+    )
+    def test_valid_and_fits(self, m, k, p, q):
+        tile = default_tile_config(m, k, p, q)
+        tile.validate(p, q, k, m)
+        assert tile.fits(TESLA_V100, p, q, np.float32)
+
+    def test_small_p_is_fused(self):
+        tile = default_tile_config(1024, 8**5, 8, 8)
+        assert tile.nfused > 1
+
+    def test_large_p_not_fused(self):
+        tile = default_tile_config(1024, 64**3, 64, 64)
+        assert tile.nfused == 1
+
+    def test_fuse_flag_disables_fusion(self):
+        tile = default_tile_config(1024, 8**5, 8, 8, fuse=False)
+        assert tile.nfused == 1
+
+    def test_large_q_not_rerread_excessively(self):
+        """For big square factors the whole Q should be covered by one block column."""
+        tile = default_tile_config(1024, 64**3, 64, 64)
+        assert 64 // tile.tq <= 2
+
+    def test_reasonable_thread_count(self):
+        tile = default_tile_config(1024, 16**5, 16, 16)
+        threads = tile.threads_per_block(16)
+        assert 32 <= threads <= 1024

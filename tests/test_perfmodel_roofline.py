@@ -1,0 +1,68 @@
+"""Unit tests for the roofline model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.counters import KernelCounters
+from repro.gpu.device import TESLA_V100
+from repro.perfmodel.roofline import RooflineModel, kernel_time_seconds
+
+
+class TestRoofline:
+    def test_pure_compute_bound(self):
+        model = RooflineModel(compute_efficiency=1.0, dram_efficiency=1.0, shared_efficiency=1.0)
+        counters = KernelCounters(flops=int(15.7e12))  # exactly one second of peak float work
+        t = model.time_seconds(counters, np.float32)
+        assert t == pytest.approx(1.0, rel=1e-6)
+
+    def test_pure_memory_bound(self):
+        model = RooflineModel(compute_efficiency=1.0, dram_efficiency=1.0)
+        counters = KernelCounters(global_load_elements=int(900e9 // 4))
+        assert model.time_seconds(counters, np.float32) == pytest.approx(1.0, rel=1e-6)
+
+    def test_max_of_bounds(self):
+        model = RooflineModel(compute_efficiency=1.0, dram_efficiency=1.0, shared_efficiency=1.0)
+        counters = KernelCounters(flops=int(15.7e12), global_load_elements=int(900e9 // 4) * 2)
+        breakdown = model.breakdown(counters, np.float32)
+        assert breakdown.bound == "dram"
+        assert breakdown.total == pytest.approx(2.0, rel=1e-5)
+
+    def test_double_precision_slower(self):
+        model = RooflineModel()
+        counters = KernelCounters(flops=10**12)
+        assert model.time_seconds(counters, np.float64) > model.time_seconds(counters, np.float32)
+
+    def test_launch_overhead_added(self):
+        model = RooflineModel()
+        counters = KernelCounters(kernel_launches=100)
+        assert model.time_seconds(counters, np.float32) == pytest.approx(
+            100 * TESLA_V100.kernel_launch_overhead
+        )
+
+    def test_shared_memory_bound(self):
+        model = RooflineModel(shared_efficiency=1.0)
+        tx_per_second = TESLA_V100.shared_memory_bandwidth / 128
+        counters = KernelCounters(shared_load_transactions=int(tx_per_second))
+        breakdown = model.breakdown(counters, np.float32)
+        assert breakdown.bound == "shared"
+        assert breakdown.shared_time == pytest.approx(1.0, rel=1e-5)
+
+    def test_tflops_reporting(self):
+        model = RooflineModel(compute_efficiency=1.0)
+        counters = KernelCounters(flops=int(15.7e12))
+        assert model.tflops(counters, np.float32) == pytest.approx(15.7, rel=1e-3)
+
+    def test_zero_counters(self):
+        model = RooflineModel()
+        assert model.time_seconds(KernelCounters(), np.float32) == 0.0
+        assert model.tflops(KernelCounters(), np.float32) == 0.0
+
+    def test_efficiency_scales_time(self):
+        counters = KernelCounters(flops=10**12)
+        fast = RooflineModel(compute_efficiency=1.0).time_seconds(counters)
+        slow = RooflineModel(compute_efficiency=0.5).time_seconds(counters)
+        assert slow == pytest.approx(2 * fast)
+
+    def test_convenience_wrapper(self):
+        counters = KernelCounters(flops=10**12)
+        assert kernel_time_seconds(counters) == RooflineModel().time_seconds(counters)

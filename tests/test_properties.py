@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) on the core invariants of the library.
+
+These complement the per-module unit tests with randomly generated shapes:
+
+* all four Kron-Matmul algorithms agree with the dense Kronecker oracle;
+* Kron-Matmul respects the algebraic identities of the Kronecker product
+  (mixed-product property, transpose identity, linearity);
+* the simulated kernels' counters respect accounting identities.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ftmmt_kron_matmul, naive_kron_matmul, shuffle_kron_matmul
+from repro.core.fastkron import kron_matmul
+from repro.core.problem import KronMatmulProblem
+
+
+# --------------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------------- #
+factor_shapes = st.lists(
+    st.tuples(st.integers(1, 5), st.integers(1, 5)), min_size=1, max_size=4
+)
+
+
+def _operands(m, shapes, seed):
+    rng = np.random.default_rng(seed)
+    k = int(np.prod([p for p, _ in shapes]))
+    x = rng.standard_normal((m, k))
+    factors = [rng.standard_normal(shape) for shape in shapes]
+    return x, factors
+
+
+# --------------------------------------------------------------------------- #
+# algorithm equivalence
+# --------------------------------------------------------------------------- #
+@settings(max_examples=40, deadline=None)
+@given(m=st.integers(1, 8), shapes=factor_shapes, seed=st.integers(0, 10**6))
+def test_fastkron_matches_dense_oracle(m, shapes, seed):
+    x, factors = _operands(m, shapes, seed)
+    np.testing.assert_allclose(
+        kron_matmul(x, factors), naive_kron_matmul(x, factors), atol=1e-9
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(m=st.integers(1, 6), shapes=factor_shapes, seed=st.integers(0, 10**6))
+def test_all_algorithms_agree(m, shapes, seed):
+    x, factors = _operands(m, shapes, seed)
+    reference = kron_matmul(x, factors)
+    np.testing.assert_allclose(shuffle_kron_matmul(x, factors).output, reference, atol=1e-9)
+    np.testing.assert_allclose(ftmmt_kron_matmul(x, factors).output, reference, atol=1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# Kronecker algebra identities
+# --------------------------------------------------------------------------- #
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(1, 5),
+    p1=st.integers(1, 4), q1=st.integers(1, 4),
+    p2=st.integers(1, 4), q2=st.integers(1, 4),
+    seed=st.integers(0, 10**6),
+)
+def test_mixed_product_property(m, p1, q1, p2, q2, seed):
+    """(A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD), checked through kron_matmul."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((p1, q1))
+    b = rng.standard_normal((p2, q2))
+    c = rng.standard_normal((q1, 3))
+    d = rng.standard_normal((q2, 2))
+    x = rng.standard_normal((m, p1 * p2))
+    lhs = kron_matmul(kron_matmul(x, [a, b]), [c, d])
+    rhs = kron_matmul(x, [a @ c, b @ d])
+    np.testing.assert_allclose(lhs, rhs, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(m=st.integers(1, 6), shapes=factor_shapes, seed=st.integers(0, 10**6))
+def test_linearity_in_x(m, shapes, seed):
+    x1, factors = _operands(m, shapes, seed)
+    x2, _ = _operands(m, shapes, seed + 1)
+    lhs = kron_matmul(2.5 * x1 - x2, factors)
+    rhs = 2.5 * kron_matmul(x1, factors) - kron_matmul(x2, factors)
+    np.testing.assert_allclose(lhs, rhs, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(m=st.integers(1, 5), shapes=factor_shapes, seed=st.integers(0, 10**6))
+def test_identity_factors_do_not_change_x(m, shapes, seed):
+    rng = np.random.default_rng(seed)
+    identities = [np.eye(p) for p, _ in shapes]
+    k = int(np.prod([p for p, _ in shapes]))
+    x = rng.standard_normal((m, k))
+    np.testing.assert_allclose(kron_matmul(x, identities), x, atol=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    m=st.integers(1, 4),
+    shapes=st.lists(st.tuples(st.integers(1, 4), st.integers(1, 4)), min_size=2, max_size=3),
+    seed=st.integers(0, 10**6),
+)
+def test_associativity_of_factor_grouping(m, shapes, seed):
+    """Multiplying with all factors at once equals grouping them as (head, kron(tail))."""
+    x, factors = _operands(m, shapes, seed)
+    tail_dense = factors[-2]
+    tail_dense = np.kron(factors[-2], factors[-1])
+    grouped = kron_matmul(x, factors[:-2] + [tail_dense])
+    np.testing.assert_allclose(grouped, kron_matmul(x, factors), atol=1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# problem accounting invariants
+# --------------------------------------------------------------------------- #
+@settings(max_examples=50, deadline=None)
+@given(shapes=factor_shapes, m=st.integers(1, 64))
+def test_problem_accounting_invariants(shapes, m):
+    problem = KronMatmulProblem(m=m, factor_shapes=tuple(shapes))
+    iterations = problem.iteration_shapes()
+    # Execution order covers each factor exactly once, last factor first.
+    assert [it.factor_index for it in iterations] == list(range(len(shapes) - 1, -1, -1))
+    # Column counts chain consistently.
+    for earlier, later in zip(iterations, iterations[1:]):
+        assert earlier.out_cols == later.k
+    # Totals are consistent with the per-iteration values.
+    assert problem.flops == sum(it.flops for it in iterations)
+    assert problem.max_intermediate_cols >= problem.k or problem.max_intermediate_cols >= problem.out_cols
+    assert iterations[-1].out_cols == problem.out_cols
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    m=st.sampled_from([1, 2, 4, 8]),
+    p=st.sampled_from([2, 4, 8]),
+    n=st.integers(2, 4),
+)
+def test_executor_counter_invariants(m, p, n):
+    """Simulated-GPU counters: fusion never changes FLOPs and never adds global traffic."""
+    from repro.kernels.launch import GpuExecutor
+
+    problem = KronMatmulProblem.uniform(m, p, n, dtype=np.float32)
+    fused = GpuExecutor(fuse=True).estimate(problem)
+    unfused = GpuExecutor(fuse=False).estimate(problem)
+    assert fused.counters.flops == unfused.counters.flops == problem.flops
+    fused_global = fused.counters.global_load_elements + fused.counters.global_store_elements
+    unfused_global = (
+        unfused.counters.global_load_elements + unfused.counters.global_store_elements
+    )
+    assert fused_global <= unfused_global
+    assert fused.n_kernel_launches <= unfused.n_kernel_launches

@@ -1,0 +1,142 @@
+"""Robustness and failure-injection tests for the public API.
+
+These cover the unglamorous cases a downstream user will eventually hit:
+non-contiguous and Fortran-ordered inputs, views, NaN/Inf propagation,
+degenerate shapes (single row, single column, 1x1 factors), extreme aspect
+ratios and dtype preservation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import naive_kron_matmul
+from repro.core.factors import random_factors, random_factors_from_shapes
+from repro.core.fastkron import kron_matmul
+from repro.core.problem import KronMatmulProblem
+from repro.exceptions import ShapeError
+from repro.kernels.launch import GpuExecutor
+
+
+class TestInputLayouts:
+    def test_fortran_ordered_x(self, rng):
+        factors = random_factors(2, 4, dtype=np.float64, seed=1)
+        x = np.asfortranarray(rng.standard_normal((6, 16)))
+        np.testing.assert_allclose(
+            kron_matmul(x, factors), naive_kron_matmul(np.ascontiguousarray(x), factors), atol=1e-10
+        )
+
+    def test_strided_view_x(self, rng):
+        factors = random_factors(2, 4, dtype=np.float64, seed=2)
+        big = rng.standard_normal((12, 32))
+        view = big[::2, ::2]  # non-contiguous view of shape (6, 16)
+        np.testing.assert_allclose(
+            kron_matmul(view, factors), naive_kron_matmul(np.ascontiguousarray(view), factors),
+            atol=1e-10,
+        )
+
+    def test_fortran_ordered_factor(self, rng):
+        f = np.asfortranarray(rng.standard_normal((4, 4)))
+        x = rng.standard_normal((3, 16))
+        np.testing.assert_allclose(
+            kron_matmul(x, [f, np.eye(4)]), naive_kron_matmul(x, [f, np.eye(4)]), atol=1e-10
+        )
+
+    def test_python_list_factors_rejected_cleanly(self, rng):
+        # Lists of lists are fine as long as they form valid float matrices.
+        x = rng.standard_normal((2, 4))
+        result = kron_matmul(x, [[[1.0, 0.0], [0.0, 1.0]], [[2.0, 0.0], [0.0, 2.0]]])
+        np.testing.assert_allclose(result, 2.0 * x, atol=1e-12)
+
+
+class TestDegenerateShapes:
+    def test_single_row(self, rng):
+        factors = random_factors(3, 3, dtype=np.float64, seed=3)
+        x = rng.standard_normal((1, 27))
+        np.testing.assert_allclose(kron_matmul(x, factors), naive_kron_matmul(x, factors), atol=1e-10)
+
+    def test_one_by_one_factors(self, rng):
+        factors = [np.array([[2.0]]), np.array([[3.0]]), np.array([[0.5]])]
+        x = rng.standard_normal((4, 1))
+        np.testing.assert_allclose(kron_matmul(x, factors), 3.0 * x, atol=1e-12)
+
+    def test_column_factor(self, rng):
+        """Factors with Q=1 shrink the output to a single column per mode."""
+        factors = random_factors_from_shapes([(4, 1), (3, 1)], dtype=np.float64, seed=4)
+        x = rng.standard_normal((5, 12))
+        result = kron_matmul(x, factors)
+        assert result.shape == (5, 1)
+        np.testing.assert_allclose(result, naive_kron_matmul(x, factors), atol=1e-10)
+
+    def test_row_factor(self, rng):
+        """Factors with P=1 expand the output."""
+        factors = random_factors_from_shapes([(1, 4), (1, 3)], dtype=np.float64, seed=5)
+        x = rng.standard_normal((5, 1))
+        result = kron_matmul(x, factors)
+        assert result.shape == (5, 12)
+        np.testing.assert_allclose(result, naive_kron_matmul(x, factors), atol=1e-10)
+
+    def test_extreme_aspect_ratio(self, rng):
+        factors = random_factors_from_shapes([(64, 2), (2, 64)], dtype=np.float64, seed=6)
+        x = rng.standard_normal((2, 128))
+        result = kron_matmul(x, factors)
+        assert result.shape == (2, 128)
+
+    def test_zero_matrix(self):
+        factors = random_factors(2, 4, dtype=np.float64, seed=7)
+        x = np.zeros((3, 16))
+        np.testing.assert_array_equal(kron_matmul(x, factors), np.zeros((3, 16)))
+
+
+class TestSpecialValues:
+    def test_nan_propagates(self, rng):
+        factors = random_factors(2, 4, dtype=np.float64, seed=8)
+        x = rng.standard_normal((2, 16))
+        x[0, 3] = np.nan
+        with np.errstate(invalid="ignore"):
+            result = kron_matmul(x, factors)
+        assert np.isnan(result[0]).any()
+        assert not np.isnan(result[1]).any()
+
+    def test_inf_propagates(self, rng):
+        factors = random_factors(2, 4, dtype=np.float64, seed=9)
+        x = rng.standard_normal((2, 16))
+        x[1, 0] = np.inf
+        with np.errstate(invalid="ignore", over="ignore"):
+            result = kron_matmul(x, factors)
+        assert not np.isfinite(result[1]).all()
+
+    def test_float32_no_upcast(self, rng):
+        factors = random_factors(3, 4, dtype=np.float32, seed=10)
+        x = rng.standard_normal((2, 64)).astype(np.float32)
+        assert kron_matmul(x, factors).dtype == np.float32
+
+    def test_large_values_no_overflow_float64(self):
+        factors = [np.full((2, 2), 1e150)]
+        x = np.full((1, 2), 1e-150)
+        result = kron_matmul(x, factors)
+        assert np.all(np.isfinite(result))
+
+
+class TestExecutorRobustness:
+    def test_executor_handles_single_factor(self, rng):
+        factors = random_factors(1, 8, dtype=np.float64, seed=11)
+        x = rng.standard_normal((4, 8))
+        execution = GpuExecutor().execute(x, factors)
+        np.testing.assert_allclose(execution.output, naive_kron_matmul(x, factors), atol=1e-10)
+
+    def test_executor_handles_prime_dimensions(self, rng):
+        problem = KronMatmulProblem(m=7, factor_shapes=((7, 7), (11, 11)))
+        execution = GpuExecutor().estimate(problem)
+        assert execution.counters.flops == problem.flops
+
+    def test_executor_single_row_problem(self, rng):
+        factors = random_factors(3, 5, dtype=np.float64, seed=12)
+        x = rng.standard_normal((1, 125))
+        execution = GpuExecutor().execute(x, factors)
+        np.testing.assert_allclose(execution.output, naive_kron_matmul(x, factors), atol=1e-10)
+
+    def test_problem_with_many_factors(self, rng):
+        problem = KronMatmulProblem.uniform(2, 2, 16)
+        execution = GpuExecutor().estimate(problem)
+        assert execution.counters.flops == problem.flops
+        assert execution.n_kernel_launches >= 1

@@ -1,0 +1,134 @@
+"""Unit tests for the autotuner (Section 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import KronMatmulProblem
+from repro.gpu.device import TESLA_V100
+from repro.kernels.tile_config import TileConfig
+from repro.tuner import (
+    Autotuner,
+    TuningCache,
+    enumerate_tile_configs,
+    search_space_size,
+)
+from repro.tuner.cache import shape_key
+
+
+class TestSearchSpace:
+    def test_all_yielded_configs_are_valid(self):
+        for config in enumerate_tile_configs(16, 8**3, 8, 8, max_candidates=500):
+            config.validate(8, 8, 8**3, 16)
+            assert config.fits(TESLA_V100, 8, 8, np.float32)
+
+    def test_space_is_bounded_like_the_paper(self):
+        """The paper reports ~10,000 evaluated configurations per problem size.
+
+        The raw enumeration here stays within a small multiple of that and the
+        tuner's default evaluation budget (``max_candidates``) is exactly the
+        paper's 10,000.
+        """
+        stats = search_space_size(1024, 8**5, 8, 8)
+        assert 0 < stats.yielded <= 40000
+        assert Autotuner().max_candidates == 10000
+
+    def test_space_nontrivial(self):
+        stats = search_space_size(16, 16**3, 16, 16)
+        assert stats.yielded > 50
+        assert stats.total_combinations >= stats.yielded
+
+    def test_pruning_counted(self):
+        stats = search_space_size(16, 16**3, 16, 16)
+        assert stats.resource_pruned + stats.shape_pruned + stats.yielded <= stats.total_combinations + stats.yielded
+
+    def test_max_candidates_cap(self):
+        configs = list(enumerate_tile_configs(16, 8**4, 8, 8, max_candidates=37))
+        assert len(configs) == 37
+
+    def test_fused_variants_present_for_small_p(self):
+        configs = list(enumerate_tile_configs(16, 8**4, 8, 8, max_candidates=2000))
+        assert any(c.nfused > 1 for c in configs)
+
+    def test_no_fused_variants_when_disabled(self):
+        configs = list(enumerate_tile_configs(16, 8**4, 8, 8, fuse=False, max_candidates=2000))
+        assert all(c.nfused == 1 for c in configs)
+
+    def test_rectangular_space(self):
+        configs = list(enumerate_tile_configs(10, 52 * 65, 52, 50, max_candidates=200))
+        assert configs
+        for c in configs[:20]:
+            c.validate(52, 50, 52 * 65, 10)
+
+
+class TestTuningCache:
+    def test_put_get(self):
+        cache = TuningCache()
+        key = shape_key(16, 64, 8, 8, np.float32)
+        tile = TileConfig(tm=1, tk=64, tp=8, tq=8, rk=2, rq=2, rp=2)
+        cache.put(key, tile)
+        assert cache.get(key) == tile
+        assert key in cache and len(cache) == 1
+
+    def test_round_trip_json(self, tmp_path):
+        cache = TuningCache()
+        key = shape_key(16, 64, 8, 8, np.float32)
+        cache.put(key, TileConfig(tm=1, tk=64, tp=8, tq=8, rk=2, rq=2, rp=2))
+        path = cache.save(tmp_path / "tune.json")
+        loaded = TuningCache.load(path)
+        assert loaded.get(key) == cache.get(key)
+
+    def test_clear(self):
+        cache = TuningCache()
+        cache.put(shape_key(1, 2, 2, 2, np.float32), TileConfig(1, 2, 2, 2, 1, 1, 1))
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestAutotuner:
+    @pytest.fixture
+    def tuner(self):
+        return Autotuner(max_candidates=300)
+
+    def test_tune_shape_returns_valid_config(self, tuner):
+        result = tuner.tune_shape(16, 8**3, 8, 8)
+        result.best.validate(8, 8, 8**3, 16)
+        assert result.best_time > 0
+        assert result.candidates_evaluated > 0
+        assert "shape" in result.describe()
+
+    def test_tuned_no_worse_than_default(self, tuner):
+        """The tuned config must beat (or match) the untuned default heuristic."""
+        from repro.kernels.tile_config import default_tile_config
+
+        m, k, p, q = 64, 16**3, 16, 16
+        result = tuner.tune_shape(m, k, p, q)
+        default = default_tile_config(m, k, p, q)
+        default_time = tuner.estimate_config_time(default, m, k, p, q, np.float32)
+        assert result.best_time <= default_time * 1.001
+
+    def test_cache_hit_on_second_call(self, tuner):
+        first = tuner.tune_shape(16, 8**3, 8, 8)
+        second = tuner.tune_shape(16, 8**3, 8, 8)
+        assert second.candidates_evaluated == 0
+        assert second.best == first.best
+
+    def test_tune_problem_covers_all_iterations(self, tuner):
+        problem = KronMatmulProblem.uniform(16, 8, 3, dtype=np.float32)
+        overrides = tuner.tune_problem(problem)
+        assert set(overrides.keys()) == {0, 1, 2}
+
+    def test_top_configs_sorted(self, tuner):
+        result = tuner.tune_shape(16, 8**3, 8, 8, keep_top=3)
+        times = [t for t, _ in result.top_configs]
+        assert times == sorted(times)
+        assert times[0] == pytest.approx(result.best_time)
+
+    def test_fused_config_preferred_for_small_p(self):
+        tuner = Autotuner(max_candidates=2000)
+        result = tuner.tune_shape(64, 8**4, 8, 8)
+        assert result.best.nfused > 1
+
+    def test_autotuner_without_fusion(self):
+        tuner = Autotuner(fuse=False, max_candidates=300)
+        result = tuner.tune_shape(64, 8**4, 8, 8)
+        assert result.best.nfused == 1

@@ -1,0 +1,158 @@
+"""Unit tests for repro.utils.intmath."""
+
+import pytest
+
+from repro.utils.intmath import (
+    ceil_div,
+    divisors,
+    ilog,
+    is_power_of,
+    largest_power_leq,
+    multiples_up_to,
+    next_power_of_two,
+    prod,
+)
+
+
+class TestProd:
+    def test_empty(self):
+        assert prod([]) == 1
+
+    def test_single(self):
+        assert prod([7]) == 7
+
+    def test_many(self):
+        assert prod([2, 3, 4]) == 24
+
+    def test_generator_input(self):
+        assert prod(x for x in (5, 5)) == 25
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounding_up(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 4) == 0
+
+    def test_one(self):
+        assert ceil_div(1, 1000) == 1
+
+    def test_negative_divisor_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    def test_negative_dividend_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+
+class TestDivisors:
+    def test_one(self):
+        assert divisors(1) == [1]
+
+    def test_prime(self):
+        assert divisors(13) == [1, 13]
+
+    def test_composite_sorted(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+
+    def test_perfect_square(self):
+        assert divisors(36) == [1, 2, 3, 4, 6, 9, 12, 18, 36]
+
+    def test_power_of_two(self):
+        assert divisors(64) == [1, 2, 4, 8, 16, 32, 64]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+
+    def test_every_divisor_divides(self):
+        n = 360
+        for d in divisors(n):
+            assert n % d == 0
+
+
+class TestIsPowerOf:
+    def test_powers_of_two(self):
+        assert is_power_of(1, 2)
+        assert is_power_of(8, 2)
+        assert not is_power_of(12, 2)
+
+    def test_powers_of_three(self):
+        assert is_power_of(27, 3)
+        assert not is_power_of(28, 3)
+
+    def test_zero_and_negative(self):
+        assert not is_power_of(0, 2)
+        assert not is_power_of(-8, 2)
+
+    def test_invalid_base(self):
+        with pytest.raises(ValueError):
+            is_power_of(8, 1)
+
+
+class TestIlog:
+    def test_exact_powers(self):
+        assert ilog(64, 2) == 6
+        assert ilog(64, 4) == 3
+        assert ilog(64, 8) == 2
+
+    def test_floor_behaviour(self):
+        assert ilog(65, 2) == 6
+        assert ilog(63, 2) == 5
+
+    def test_one(self):
+        assert ilog(1, 7) == 0
+
+    def test_matches_paper_fusion_bound(self):
+        # The fused kernel example: T_K = 128, P = 4 -> max fusion 3.
+        assert ilog(128, 4) == 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ilog(0, 2)
+        with pytest.raises(ValueError):
+            ilog(8, 1)
+
+
+class TestLargestPowerLeq:
+    def test_exact(self):
+        assert largest_power_leq(64, 2) == 64
+
+    def test_between(self):
+        assert largest_power_leq(100, 2) == 64
+        assert largest_power_leq(100, 10) == 100
+
+    def test_below_base(self):
+        assert largest_power_leq(5, 8) == 1
+
+
+class TestMultiplesUpTo:
+    def test_simple(self):
+        assert multiples_up_to(8, 32) == [8, 16, 24, 32]
+
+    def test_limit_below_step(self):
+        assert multiples_up_to(8, 7) == []
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            multiples_up_to(0, 10)
+
+
+class TestNextPowerOfTwo:
+    def test_exact(self):
+        assert next_power_of_two(8) == 8
+
+    def test_round_up(self):
+        assert next_power_of_two(9) == 16
+
+    def test_one(self):
+        assert next_power_of_two(1) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)

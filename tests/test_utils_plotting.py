@@ -1,0 +1,82 @@
+"""Tests for the dependency-free SVG chart rendering."""
+
+import pytest
+
+from repro.utils.plotting import SvgCanvas, _nice_ticks, grouped_bar_chart, line_chart
+from repro.utils.reporting import Series
+
+
+def make_series():
+    a = Series("FastKron")
+    b = Series("GPyTorch")
+    for x, ya, yb in [("8^5", 3.4, 0.4), ("16^4", 5.5, 0.8), ("32^3", 7.4, 1.5)]:
+        a.add(x, ya)
+        b.add(x, yb)
+    return [a, b]
+
+
+class TestCanvas:
+    def test_render_produces_valid_svg_envelope(self):
+        canvas = SvgCanvas(width=100, height=50)
+        canvas.text(10, 10, "hello")
+        svg = canvas.render()
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "hello" in svg
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas()
+        canvas.rect(0, 0, 10, 10, "#fff")
+        path = canvas.save(tmp_path / "sub" / "chart.svg")
+        assert path.exists()
+        assert "<rect" in path.read_text()
+
+
+class TestTicks:
+    def test_covers_max(self):
+        ticks = _nice_ticks(9.7)
+        assert ticks[0] == 0.0
+        assert ticks[-1] >= 9.7
+
+    def test_zero_max(self):
+        assert _nice_ticks(0.0) == [0.0, 1.0]
+
+    def test_reasonable_count(self):
+        assert 3 <= len(_nice_ticks(123.0)) <= 10
+
+
+class TestBarChart:
+    def test_contains_bars_and_labels(self):
+        svg = grouped_bar_chart(make_series(), "Figure 9", "TFLOPS").render()
+        assert svg.count("<rect") >= 6  # background + 2 series x 3 groups + legend
+        for label in ("8^5", "16^4", "32^3", "FastKron", "GPyTorch", "TFLOPS"):
+            assert label in svg
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart([], "t", "y")
+
+    def test_rejects_mismatched_lengths(self):
+        a = Series("A")
+        a.add("x", 1.0)
+        b = Series("B")
+        with pytest.raises(ValueError):
+            grouped_bar_chart([a, b], "t", "y")
+
+
+class TestLineChart:
+    def test_contains_polylines_and_markers(self):
+        svg = line_chart(make_series(), "Figure 11", "GPUs", "TFLOPS").render()
+        assert svg.count("<polyline") == 2
+        assert svg.count("<circle") == 6
+        assert "GPUs" in svg
+
+    def test_single_point_series(self):
+        s = Series("only")
+        s.add("1", 2.0)
+        svg = line_chart([s], "t", "x", "y").render()
+        assert "<circle" in svg
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            line_chart([], "t", "x", "y")

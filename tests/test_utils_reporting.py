@@ -1,0 +1,103 @@
+"""Unit tests for repro.utils.reporting and repro.utils.timer."""
+
+import pytest
+
+from repro.utils.reporting import ResultTable, Series, format_table, series_to_table
+from repro.utils.timer import Timer, TimingStats, time_callable
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        text = format_table(["a", "bbbb"], [[1, 2.5], [33, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "bbbb" in lines[0]
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestResultTable:
+    def test_add_and_render(self):
+        table = ResultTable("t", ["p", "tflops"])
+        table.add_row(8, 3.9)
+        table.add_row(16, 6.8)
+        out = table.render()
+        assert "3.9" in out and "16" in out
+
+    def test_add_row_arity_check(self):
+        table = ResultTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_csv_round_trip(self, tmp_path):
+        table = ResultTable("t", ["a", "b"])
+        table.add_row(1, 2)
+        path = table.save_csv(tmp_path / "out.csv")
+        text = path.read_text()
+        assert text.splitlines()[0] == "a,b"
+        assert text.splitlines()[1] == "1,2"
+
+    def test_column_access(self):
+        table = ResultTable("t", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+
+
+class TestSeries:
+    def test_add(self):
+        s = Series("FastKron")
+        s.add("8^5", 3.9)
+        assert s.x == ["8^5"]
+        assert s.y == [3.9]
+
+    def test_series_to_table(self):
+        s1 = Series("A")
+        s2 = Series("B")
+        for x, y1, y2 in [("p1", 1.0, 2.0), ("p2", 3.0, 4.0)]:
+            s1.add(x, y1)
+            s2.add(x, y2)
+        table = series_to_table("fig", [s1, s2])
+        assert table.headers == ["x", "A", "B"]
+        assert table.rows[1] == ["p2", 3.0, 4.0]
+
+    def test_series_to_table_mismatched_x(self):
+        s1 = Series("A")
+        s2 = Series("B")
+        s1.add("x1", 1.0)
+        s2.add("x2", 1.0)
+        with pytest.raises(ValueError):
+            series_to_table("fig", [s1, s2])
+
+    def test_series_to_table_empty(self):
+        with pytest.raises(ValueError):
+            series_to_table("fig", [])
+
+
+class TestTimer:
+    def test_timer_context(self):
+        with Timer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0.0
+
+    def test_time_callable_stats(self):
+        stats = time_callable(lambda: sum(range(50)), repeats=3, warmup=1)
+        assert len(stats.samples) == 3
+        assert stats.minimum <= stats.mean <= stats.maximum
+        assert stats.median >= 0.0
+        assert stats.stdev >= 0.0
+
+    def test_time_callable_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
+    def test_timing_stats_single_sample(self):
+        stats = TimingStats(samples=[1.0])
+        assert stats.stdev == 0.0

@@ -1,0 +1,96 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DTypeError, ShapeError
+from repro.utils.validation import (
+    check_dtype,
+    check_matrix,
+    check_positive_int,
+    check_same_dtype,
+    ensure_2d,
+)
+
+
+class TestCheckPositiveInt:
+    def test_valid(self):
+        assert check_positive_int(5, "x") == 5
+
+    def test_numpy_integer(self):
+        assert check_positive_int(np.int64(3), "x") == 3
+
+    def test_zero_rejected(self):
+        with pytest.raises(ShapeError):
+            check_positive_int(0, "x")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ShapeError):
+            check_positive_int(-1, "x")
+
+    def test_bool_rejected(self):
+        with pytest.raises(ShapeError):
+            check_positive_int(True, "x")
+
+    def test_float_rejected(self):
+        with pytest.raises(ShapeError):
+            check_positive_int(2.0, "x")
+
+
+class TestCheckDtype:
+    def test_float32(self):
+        assert check_dtype(np.float32) == np.dtype(np.float32)
+
+    def test_float64(self):
+        assert check_dtype("float64") == np.dtype(np.float64)
+
+    def test_int_rejected(self):
+        with pytest.raises(DTypeError):
+            check_dtype(np.int32)
+
+    def test_float16_rejected(self):
+        with pytest.raises(DTypeError):
+            check_dtype(np.float16)
+
+
+class TestEnsure2d:
+    def test_passthrough(self):
+        a = np.zeros((3, 4))
+        assert ensure_2d(a, "a").shape == (3, 4)
+
+    def test_vector_promoted(self):
+        a = np.zeros(5)
+        assert ensure_2d(a, "a").shape == (1, 5)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ShapeError):
+            ensure_2d(np.zeros((2, 2, 2)), "a")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            ensure_2d(np.zeros((0, 4)), "a")
+
+
+class TestCheckMatrix:
+    def test_valid(self):
+        a = np.zeros((2, 3), dtype=np.float32)
+        assert check_matrix(a, "a").shape == (2, 3)
+
+    def test_integer_matrix_rejected(self):
+        with pytest.raises(DTypeError):
+            check_matrix(np.zeros((2, 3), dtype=np.int64), "a")
+
+
+class TestCheckSameDtype:
+    def test_same(self):
+        arrays = [np.zeros(2, dtype=np.float32), np.ones(3, dtype=np.float32)]
+        assert check_same_dtype(arrays, ["a", "b"]) == np.dtype(np.float32)
+
+    def test_mismatch(self):
+        arrays = [np.zeros(2, dtype=np.float32), np.ones(3, dtype=np.float64)]
+        with pytest.raises(DTypeError):
+            check_same_dtype(arrays, ["a", "b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            check_same_dtype([], [])
