@@ -1,0 +1,127 @@
+"""Backend comparison: numpy vs threaded across the paper's ``(M, P^N)`` sweep.
+
+Unlike the figure/table benchmarks (which drive the *analytic* GPU models),
+this bench times *real* Kron-Matmul executions on the host through the
+execution-backend seam.  It writes ``Backend-Comparison.csv`` with the
+wall-clock time and speedup of the ``threaded`` backend over the ``numpy``
+reference for each problem of the sweep, and asserts bit-identical results.
+
+On a multi-core runner the threaded backend must reach ≥ 1.5× on the large
+``M = 4096, P = 16, N = 5`` float32 problem (the acceptance configuration);
+on a single core the speedup test is skipped — there are no extra cores to
+shard onto — but the parity assertions still run on every sweep row.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.backends import ThreadedBackend, get_backend
+from repro.core.factors import random_factors
+from repro.core.fastkron import kron_matmul
+from repro.core.problem import KronMatmulProblem
+from repro.utils.reporting import ResultTable
+
+#: The (M, P, N, dtype) sweep: shapes from the paper's microbenchmark grid
+#: sized so the sweep stays tractable on a small CI runner.
+SWEEP = [
+    (256, 8, 4, np.float32),
+    (1024, 8, 5, np.float32),
+    (1024, 16, 4, np.float32),
+    (4096, 16, 4, np.float32),
+    (1024, 32, 3, np.float64),
+]
+
+#: The acceptance configuration: M=4096, 16^5, float32 (~17 GB operands).
+LARGE_CASE = (4096, 16, 5, np.float32)
+
+#: Fallback for runners without the ~70 GB the acceptance problem needs
+#: (input + output + double-buffered workspace): one factor fewer, ~1 GB.
+LARGE_CASE_LOW_MEM = (4096, 16, 4, np.float32)
+
+MULTI_CORE = (os.cpu_count() or 1) >= 2
+
+
+def _total_ram_bytes() -> int:
+    try:
+        return os.sysconf("SC_PAGE_SIZE") * os.sysconf("SC_PHYS_PAGES")
+    except (ValueError, OSError, AttributeError):  # pragma: no cover - exotic platforms
+        return 0
+
+
+def _operands(m: int, p: int, n: int, dtype) -> tuple:
+    problem = KronMatmulProblem.uniform(m, p, n, dtype=dtype)
+    rng = np.random.default_rng(17)
+    x = rng.standard_normal((m, problem.k)).astype(dtype)
+    factors = random_factors(n, p, p, dtype=np.dtype(dtype), seed=3)
+    return problem, x, factors
+
+
+def _time_best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def generate_backend_table() -> ResultTable:
+    table = ResultTable(
+        name="Backend comparison: real Kron-Matmul wall time, numpy vs threaded",
+        headers=["problem", "dtype", "numpy ms", "threaded ms", "speedup", "identical"],
+    )
+    numpy_backend = get_backend("numpy")
+    threaded = ThreadedBackend()
+    for m, p, n, dtype in SWEEP:
+        problem, x, factors = _operands(m, p, n, dtype)
+        out_numpy = kron_matmul(x, factors, backend=numpy_backend)
+        out_threaded = kron_matmul(x, factors, backend=threaded)
+        t_numpy = _time_best_of(lambda: kron_matmul(x, factors, backend=numpy_backend))
+        t_threaded = _time_best_of(lambda: kron_matmul(x, factors, backend=threaded))
+        table.add_row(
+            problem.label(),
+            str(np.dtype(dtype)),
+            round(t_numpy * 1e3, 3),
+            round(t_threaded * 1e3, 3),
+            round(t_numpy / t_threaded, 2),
+            bool(np.array_equal(out_numpy, out_threaded)),
+        )
+    threaded.close()
+    return table
+
+
+@pytest.mark.benchmark(group="backends")
+def test_backend_sweep(benchmark, save_table):
+    """Regenerate the backend-comparison table; every row must be bit-identical."""
+    table = generate_backend_table()
+    save_table(table, "Backend-Comparison.csv")
+    for row in table.rows:
+        assert row[5] is True, f"threaded result diverged on {row[0]}"
+
+    _, x, factors = _operands(1024, 16, 4, np.float32)
+    threaded = ThreadedBackend()
+    kron_matmul(x, factors, backend=threaded)  # warm the pool
+    benchmark(lambda: kron_matmul(x, factors, backend=threaded))
+    threaded.close()
+
+
+def test_threaded_speedup_large_problem():
+    """Threaded ≥ 1.5× numpy on M=4096, 16^5 float32 (multi-core runners only)."""
+    if not MULTI_CORE:
+        pytest.skip("single-core runner: no rows to shard onto")
+    m, p, n, dtype = LARGE_CASE if _total_ram_bytes() >= 70 * 2**30 else LARGE_CASE_LOW_MEM
+    problem, x, factors = _operands(m, p, n, dtype)
+    numpy_backend = get_backend("numpy")
+    threaded = ThreadedBackend()
+    kron_matmul(x, factors, backend=threaded)  # warm the pool
+    t_numpy = _time_best_of(lambda: kron_matmul(x, factors, backend=numpy_backend), repeats=2)
+    t_threaded = _time_best_of(lambda: kron_matmul(x, factors, backend=threaded), repeats=2)
+    speedup = t_numpy / t_threaded
+    threaded.close()
+    print(f"\nthreaded speedup on {problem.label()}: {speedup:.2f}x")
+    assert speedup >= 1.5, f"threaded backend only {speedup:.2f}x over numpy"

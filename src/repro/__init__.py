@@ -7,6 +7,17 @@ provides:
 ``repro.core``
     The FastKron Kron-Matmul algorithm (Algorithm 1 of the paper), the public
     :func:`kron_matmul` API, and fusion planning.
+``repro.backends``
+    Pluggable execution backends behind every numerical path.  ``numpy`` is
+    the single-threaded reference; ``threaded`` row-shards large multiplies
+    across a persistent thread pool (NumPy's GEMM releases the GIL, so this
+    scales with cores while staying bit-identical to ``numpy``); ``torch``
+    and ``cupy`` adapters resolve only when their libraries are installed.
+    Select a backend per call (``kron_matmul(x, f, backend="threaded")``),
+    per handle (``FastKron(problem, backend="threaded")``), process-wide
+    (:func:`repro.backends.set_default_backend`) or from the command line
+    via the global ``--backend`` flag of ``fastkron-repro`` (the
+    ``backends`` subcommand lists availability).
 ``repro.baselines``
     The algorithms the paper compares against: the naive algorithm, the
     shuffle algorithm (GPyTorch / PyKronecker) and the fused tensor-matrix
@@ -40,9 +51,26 @@ Quick start
 >>> y = kron_matmul(x, factors)
 >>> y.shape
 (16, 64)
+
+Backends
+--------
+
+>>> from repro.backends import available_backends
+>>> sorted(set(available_backends()) & {"numpy", "threaded"})
+['numpy', 'threaded']
+>>> y2 = kron_matmul(x, factors, backend="threaded")
+>>> bool(np.array_equal(y, y2))
+True
 """
 
 from repro._version import __version__
+from repro.backends import (
+    ArrayBackend,
+    available_backends,
+    get_backend,
+    set_default_backend,
+    use_backend,
+)
 from repro.core.factors import KroneckerFactor, KroneckerOperator, random_factors
 from repro.core.fastkron import FastKron, kron_matmul
 from repro.core.gekmm import gekmm, kron_matmul_batched, kron_matvec
@@ -53,6 +81,7 @@ from repro.core.solve import kron_power, kron_solve
 
 __all__ = [
     "__version__",
+    "ArrayBackend",
     "FastKron",
     "KronMatmulProblem",
     "KroneckerFactor",
@@ -64,6 +93,10 @@ __all__ = [
     "kron_matvec",
     "kron_power",
     "kron_solve",
+    "available_backends",
+    "get_backend",
     "random_factors",
+    "set_default_backend",
     "sliced_multiply",
+    "use_backend",
 ]

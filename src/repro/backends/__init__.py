@@ -1,0 +1,51 @@
+"""Pluggable execution backends for the FastKron reproduction.
+
+Every numerical path in the package — :func:`repro.kron_matmul`, the
+baselines, the GP operators, the distributed executor — routes its GEMMs
+through an :class:`ArrayBackend` resolved by name from the registry:
+
+``numpy``
+    The single-threaded reference path (the seed implementation).
+``threaded``
+    Row-shards large-``M`` sliced multiplies across a persistent thread
+    pool; NumPy's GEMM releases the GIL, so this scales with cores while
+    staying bit-identical to ``numpy``.
+``torch`` / ``cupy``
+    Optional device adapters, resolvable only when their libraries are
+    installed; the registry reports them as unavailable otherwise.
+
+>>> from repro import kron_matmul
+>>> from repro.backends import available_backends
+>>> "numpy" in available_backends() and "threaded" in available_backends()
+True
+"""
+
+from repro.backends.base import ArrayBackend
+from repro.backends.cupy_backend import CupyBackend
+from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.registry import (
+    available_backends,
+    default_backend,
+    get_backend,
+    register_backend,
+    registered_backends,
+    set_default_backend,
+    use_backend,
+)
+from repro.backends.threaded import ThreadedBackend
+from repro.backends.torch_backend import TorchBackend
+
+__all__ = [
+    "ArrayBackend",
+    "CupyBackend",
+    "NumpyBackend",
+    "ThreadedBackend",
+    "TorchBackend",
+    "available_backends",
+    "default_backend",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
+    "set_default_backend",
+    "use_backend",
+]

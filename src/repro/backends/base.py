@@ -1,0 +1,109 @@
+"""The :class:`ArrayBackend` protocol — the seam every execution path goes through.
+
+A backend owns the *numerical execution* of the two primitives the whole
+package is built from:
+
+``sliced_multiply_into``
+    One FastKron iteration: multiply an ``(M, K)`` intermediate with a
+    ``(P, Q)`` factor and write the slice-major result into a pre-validated
+    output buffer (Section 3 of the paper).
+``matmul``
+    A plain GEMM, used by the baselines (the shuffle algorithm's tall-skinny
+    matmul, the naive algorithm's dense product) and the FTMMT contraction.
+
+Backends also own workspace allocation (:meth:`ArrayBackend.empty`) so a
+device backend can hand out pinned or device-resident buffers, and expose a
+:meth:`ArrayBackend.close` hook for releasing persistent resources such as
+thread pools.
+
+The package-level contract is NumPy-in / NumPy-out: operands arrive as
+``numpy.ndarray`` and results are returned as ``numpy.ndarray``.  A device
+backend (torch, cupy) is free to move data to its device internally, but the
+seam stays host-visible so every layer above it — core, baselines, GP,
+distributed, CLI — is backend-agnostic.
+
+Validation (shape/dtype checks, ``out`` shape enforcement) happens *above*
+the seam in :mod:`repro.core.sliced_multiply`; backend implementations may
+assume well-formed operands.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class ArrayBackend:
+    """Base class for execution backends.
+
+    Subclasses must set :attr:`name` and implement
+    :meth:`sliced_multiply_into`; the remaining methods have NumPy defaults.
+    """
+
+    #: Registry name of the backend (e.g. ``"numpy"``, ``"threaded"``).
+    name: str = "abstract"
+
+    #: One-line human description shown by ``fastkron-repro backends``.
+    description: str = ""
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether the backend can run in this environment (e.g. torch importable)."""
+        return True
+
+    # ------------------------------------------------------------------ #
+    def sliced_multiply_into(
+        self,
+        x: np.ndarray,
+        f: np.ndarray,
+        out: np.ndarray,
+        m: int,
+        k: int,
+        p: int,
+        q: int,
+    ) -> np.ndarray:
+        """Compute the sliced multiply of validated operands into ``out``.
+
+        ``out`` has shape ``(m, k // p * q)`` and may be a strided view (the
+        double-buffered workspace hands out column slices).  Implementations
+        must write the slice-major layout ``out[i, col * n_slices + s]``.
+        """
+        raise NotImplementedError
+
+    def matmul(self, a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Plain matrix product ``a @ b`` (host arrays in, host array out)."""
+        if out is None:
+            return a @ b
+        np.matmul(a, b, out=out)
+        return out
+
+    def empty(self, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        """Allocate a workspace buffer owned by this backend.
+
+        The default is a plain host allocation; device backends may return
+        pinned host memory here so transfers overlap.
+        """
+        return np.empty(shape, dtype=dtype)
+
+    def close(self) -> None:
+        """Release persistent resources (thread pools, device handles)."""
+
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+def write_swapped(out: np.ndarray, products: np.ndarray, m: int, n_slices: int, q: int) -> None:
+    """Write batched-GEMM ``products`` (``(m * n_slices, q)``) into ``out`` slice-major.
+
+    Shared by the NumPy and threaded backends: the slice/column axis swap is
+    fused into the output write (the paper's "store at the right index"),
+    taking the fast path when ``out`` is C-contiguous.
+    """
+    swapped = products.reshape(m, n_slices, q).swapaxes(1, 2)
+    if out.flags["C_CONTIGUOUS"]:
+        np.copyto(out.reshape(m, q, n_slices), swapped)
+    else:
+        np.copyto(out, swapped.reshape(m, n_slices * q))

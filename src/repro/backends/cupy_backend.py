@@ -1,0 +1,73 @@
+"""Optional CuPy adapter — registered only when ``cupy`` is importable.
+
+Same contract as the torch adapter: NumPy arrays in and out, with the GEMM
+executed on the GPU via ``cupy.matmul``.  Workspace buffers are allocated
+with pinned host memory so the device round-trips overlap with compute.
+When cupy is missing :func:`CupyBackend.is_available` is False and the
+registry reports the backend as unavailable instead of raising.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.backends.base import ArrayBackend, write_swapped
+
+try:  # pragma: no cover - exercised only where cupy is installed
+    import cupy
+
+    _CUPY_AVAILABLE = True
+except ImportError:  # pragma: no cover
+    cupy = None  # type: ignore[assignment]
+    _CUPY_AVAILABLE = False
+
+
+class CupyBackend(ArrayBackend):
+    """CuPy execution on the default CUDA device."""
+
+    name = "cupy"
+    description = "CuPy GEMM on the default CUDA device"
+
+    def __init__(self) -> None:
+        if not _CUPY_AVAILABLE:  # pragma: no cover - registry gates this
+            raise ImportError("cupy is not installed")
+
+    @classmethod
+    def is_available(cls) -> bool:
+        if not _CUPY_AVAILABLE:
+            return False
+        try:  # pragma: no cover - needs a CUDA device
+            return int(cupy.cuda.runtime.getDeviceCount()) > 0
+        except Exception:  # pragma: no cover - driver errors mean "not usable"
+            return False
+
+    # ------------------------------------------------------------------ #
+    def sliced_multiply_into(
+        self,
+        x: np.ndarray,
+        f: np.ndarray,
+        out: np.ndarray,
+        m: int,
+        k: int,
+        p: int,
+        q: int,
+    ) -> np.ndarray:  # pragma: no cover - exercised only where cupy is installed
+        n_slices = k // p
+        x_dev = cupy.asarray(np.ascontiguousarray(x)).reshape(m * n_slices, p)
+        products = cupy.asnumpy(cupy.matmul(x_dev, cupy.asarray(f)))
+        write_swapped(out, products, m, n_slices, q)
+        return out
+
+    def matmul(self, a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:  # pragma: no cover
+        result = cupy.asnumpy(cupy.matmul(cupy.asarray(a), cupy.asarray(b)))
+        if out is None:
+            return result
+        np.copyto(out, result)
+        return out
+
+    def empty(self, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:  # pragma: no cover
+        # Pinned host memory keeps host<->device copies asynchronous.
+        mem = cupy.cuda.alloc_pinned_memory(int(np.prod(shape)) * np.dtype(dtype).itemsize)
+        return np.frombuffer(mem, dtype=dtype, count=int(np.prod(shape))).reshape(shape)

@@ -1,0 +1,141 @@
+"""Backend registry: name → :class:`ArrayBackend` with lazy singletons.
+
+The registry is the single place the rest of the package asks "which backend
+runs this call?".  Resolution rules:
+
+* ``None`` resolves to the process default (``"numpy"`` unless changed with
+  :func:`set_default_backend` or the CLI's global ``--backend`` flag);
+* a string resolves through the registry (instantiating the backend once and
+  caching it);
+* an :class:`ArrayBackend` instance passes through unchanged, so callers can
+  inject a custom-configured backend (e.g. a ``ThreadedBackend`` with a
+  specific thread count) anywhere a name is accepted.
+
+Optional device backends (torch, cupy) are *registered* unconditionally so
+``fastkron-repro backends`` can report them, but they only *resolve* when
+their import probe succeeds; asking for an unavailable backend raises
+:class:`~repro.exceptions.BackendError` naming the available ones.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Type, Union
+
+from repro.backends.base import ArrayBackend
+from repro.backends.cupy_backend import CupyBackend
+from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.threaded import ThreadedBackend
+from repro.backends.torch_backend import TorchBackend
+from repro.exceptions import BackendError
+
+BackendLike = Union[None, str, ArrayBackend]
+
+_REGISTRY: Dict[str, Type[ArrayBackend]] = {}
+_INSTANCES: Dict[str, ArrayBackend] = {}
+_LOCK = threading.Lock()
+_DEFAULT_NAME = "numpy"
+
+
+def register_backend(cls: Type[ArrayBackend], replace: bool = False) -> Type[ArrayBackend]:
+    """Register a backend class under ``cls.name`` (usable as a decorator)."""
+    name = cls.name
+    if not name or name == ArrayBackend.name:
+        raise BackendError(f"backend class {cls.__name__} must define a concrete name")
+    with _LOCK:
+        if name in _REGISTRY and not replace:
+            raise BackendError(f"backend {name!r} is already registered")
+        _REGISTRY[name] = cls
+        _INSTANCES.pop(name, None)
+    return cls
+
+
+def registered_backends() -> List[Tuple[str, bool, str]]:
+    """All registered backends as ``(name, available, description)`` rows."""
+    return [
+        (name, cls.is_available(), cls.description)
+        for name, cls in sorted(_REGISTRY.items())
+    ]
+
+
+def available_backends() -> List[str]:
+    """Names of the backends that can actually run in this environment."""
+    return [name for name, available, _ in registered_backends() if available]
+
+
+def get_backend(backend: BackendLike = None) -> ArrayBackend:
+    """Resolve a backend name / instance / ``None`` to a live backend."""
+    if isinstance(backend, ArrayBackend):
+        return backend
+    name = _DEFAULT_NAME if backend is None else str(backend)
+    with _LOCK:
+        instance = _INSTANCES.get(name)
+        if instance is not None:
+            return instance
+        cls = _REGISTRY.get(name)
+        if cls is None:
+            raise BackendError(
+                f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+            )
+        if not cls.is_available():
+            raise BackendError(
+                f"backend {name!r} is registered but unavailable in this environment "
+                f"(missing optional dependency); available: {', '.join(available_backends())}"
+            )
+        instance = cls()
+        _INSTANCES[name] = instance
+        return instance
+
+
+def default_backend() -> str:
+    """Name of the process-wide default backend."""
+    return _DEFAULT_NAME
+
+
+def set_default_backend(backend: BackendLike) -> str:
+    """Set the process default backend; returns the previous default's name.
+
+    Passing an :class:`ArrayBackend` instance also installs it as the live
+    instance for its name (process-wide, by design — see :func:`use_backend`
+    for a scoped switch that restores the previous instance).
+    """
+    global _DEFAULT_NAME
+    resolved = get_backend(backend if backend is not None else _DEFAULT_NAME)
+    with _LOCK:
+        previous = _DEFAULT_NAME
+        _DEFAULT_NAME = resolved.name
+        if isinstance(backend, ArrayBackend):
+            _INSTANCES[resolved.name] = backend
+    return previous
+
+
+@contextmanager
+def use_backend(backend: BackendLike) -> Iterator[ArrayBackend]:
+    """Temporarily switch the process default backend (restores on exit).
+
+    Both the default *name* and, when a custom instance is passed, the
+    registry's cached instance for that name are restored on exit, so a
+    scoped ``use_backend(ThreadedBackend(num_threads=1))`` does not leak its
+    configuration to later ``get_backend("threaded")`` callers.
+    """
+    resolved = get_backend(backend if backend is not None else _DEFAULT_NAME)
+    with _LOCK:
+        previous_instance = _INSTANCES.get(resolved.name)
+    previous = set_default_backend(backend)
+    try:
+        yield get_backend(None)
+    finally:
+        set_default_backend(previous)
+        if isinstance(backend, ArrayBackend):
+            with _LOCK:
+                if previous_instance is not None:
+                    _INSTANCES[resolved.name] = previous_instance
+                else:
+                    _INSTANCES.pop(resolved.name, None)
+
+
+register_backend(NumpyBackend)
+register_backend(ThreadedBackend)
+register_backend(TorchBackend)
+register_backend(CupyBackend)

@@ -1,0 +1,70 @@
+"""Optional PyTorch adapter — registered only when ``torch`` is importable.
+
+The adapter keeps the package's NumPy-in / NumPy-out contract: operands are
+wrapped with ``torch.from_numpy`` (zero-copy on CPU), the GEMM runs through
+``torch.matmul`` (CUDA when available, otherwise torch's threaded CPU GEMM)
+and the result is copied back into the caller's output buffer.  When torch
+is not installed :func:`TorchBackend.is_available` is False and the registry
+reports the backend as unavailable instead of failing at import time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.backends.base import ArrayBackend, write_swapped
+
+try:  # pragma: no cover - exercised only where torch is installed
+    import torch
+
+    _TORCH_AVAILABLE = True
+except ImportError:  # pragma: no cover
+    torch = None  # type: ignore[assignment]
+    _TORCH_AVAILABLE = False
+
+
+class TorchBackend(ArrayBackend):
+    """PyTorch execution (CUDA when available, else torch CPU)."""
+
+    name = "torch"
+    description = "PyTorch GEMM (CUDA when available)"
+
+    def __init__(self, device: Optional[str] = None):
+        if not _TORCH_AVAILABLE:  # pragma: no cover - registry gates this
+            raise ImportError("torch is not installed")
+        if device is None:
+            device = "cuda" if torch.cuda.is_available() else "cpu"
+        self.device = torch.device(device)
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return _TORCH_AVAILABLE
+
+    # ------------------------------------------------------------------ #
+    def _to_device(self, array: np.ndarray) -> "torch.Tensor":
+        tensor = torch.from_numpy(np.ascontiguousarray(array))
+        return tensor.to(self.device, non_blocking=True)
+
+    def sliced_multiply_into(
+        self,
+        x: np.ndarray,
+        f: np.ndarray,
+        out: np.ndarray,
+        m: int,
+        k: int,
+        p: int,
+        q: int,
+    ) -> np.ndarray:  # pragma: no cover - exercised only where torch is installed
+        n_slices = k // p
+        products = torch.matmul(self._to_device(x).reshape(m * n_slices, p), self._to_device(f))
+        write_swapped(out, products.cpu().numpy(), m, n_slices, q)
+        return out
+
+    def matmul(self, a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:  # pragma: no cover
+        result = torch.matmul(self._to_device(a), self._to_device(b)).cpu().numpy()
+        if out is None:
+            return result
+        np.copyto(out, result)
+        return out

@@ -22,6 +22,7 @@ from typing import Iterable, List
 
 import numpy as np
 
+from repro.backends.registry import BackendLike, get_backend
 from repro.core.factors import as_factor_list
 from repro.core.problem import IterationShape, KronMatmulProblem
 from repro.utils.validation import ensure_2d
@@ -47,13 +48,16 @@ class FtmmtExecution:
         )
 
 
-def ftmmt_kron_matmul(x: np.ndarray, factors: Iterable) -> FtmmtExecution:
+def ftmmt_kron_matmul(
+    x: np.ndarray, factors: Iterable, backend: BackendLike = None
+) -> FtmmtExecution:
     """Run the FTMMT algorithm, returning the result and per-iteration counts."""
     x2d = ensure_2d(np.asarray(x), "X")
     factor_list = as_factor_list(factors)
     problem = KronMatmulProblem.from_factors(x2d.shape[0], [f.values for f in factor_list])
     problem.validate_against(x2d, [f.values for f in factor_list])
 
+    resolved = get_backend(backend)
     m = x2d.shape[0]
     y = x2d
     iteration_shapes = problem.iteration_shapes()
@@ -62,8 +66,10 @@ def ftmmt_kron_matmul(x: np.ndarray, factors: Iterable) -> FtmmtExecution:
         p, q = factor.shape
         k = y.shape[1]
         # Fused contraction: (M, K/P, P) x (P, Q) -> (M, Q, K/P), i.e. the
-        # transpose is fused into the output layout of the contraction.
-        tensor = y.reshape(m, k // p, p)
-        contracted = np.einsum("msp,pq->mqs", tensor, factor, optimize=True)
+        # transpose is fused into the output layout of the contraction.  The
+        # contraction itself is one tall GEMM over the slices (delegated to
+        # the backend) followed by the fused transpose of the output layout.
+        tall = np.ascontiguousarray(y).reshape(m * (k // p), p)
+        contracted = resolved.matmul(tall, factor).reshape(m, k // p, q).transpose(0, 2, 1)
         y = np.ascontiguousarray(contracted).reshape(m, q * (k // p))
     return FtmmtExecution(output=y, iterations=list(iteration_shapes))

@@ -11,6 +11,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.backends.registry import BackendLike, get_backend
 from repro.core.factors import as_factor_list
 from repro.core.problem import KronMatmulProblem
 from repro.utils.validation import ensure_2d
@@ -20,7 +21,9 @@ from repro.utils.validation import ensure_2d
 MAX_MATERIALIZED_ELEMENTS = 64 * 1024 * 1024
 
 
-def naive_kron_matmul(x: np.ndarray, factors: Iterable) -> np.ndarray:
+def naive_kron_matmul(
+    x: np.ndarray, factors: Iterable, backend: BackendLike = None
+) -> np.ndarray:
     """Compute ``X (F_1 ⊗ ... ⊗ F_N)`` by materialising the Kronecker matrix.
 
     Raises
@@ -43,7 +46,7 @@ def naive_kron_matmul(x: np.ndarray, factors: Iterable) -> np.ndarray:
     dense = factor_list[0].values
     for factor in factor_list[1:]:
         dense = np.kron(dense, factor.values)
-    return x2d @ dense
+    return get_backend(backend).matmul(x2d, dense)
 
 
 def naive_flops(problem: KronMatmulProblem) -> int:

@@ -10,24 +10,29 @@ from typing import Callable, Dict, Iterable, List
 
 import numpy as np
 
+from repro.backends.registry import BackendLike
 from repro.baselines.ftmmt import ftmmt_kron_matmul
 from repro.baselines.naive import naive_kron_matmul
 from repro.baselines.shuffle import shuffle_kron_matmul
 from repro.core.fastkron import kron_matmul
 
-AlgorithmFn = Callable[[np.ndarray, Iterable], np.ndarray]
+AlgorithmFn = Callable[..., np.ndarray]
 
 
-def _shuffle(x: np.ndarray, factors: Iterable) -> np.ndarray:
-    return shuffle_kron_matmul(x, factors).output
+def _fastkron(x: np.ndarray, factors: Iterable, backend: BackendLike = None) -> np.ndarray:
+    return kron_matmul(x, factors, backend=backend)
 
 
-def _ftmmt(x: np.ndarray, factors: Iterable) -> np.ndarray:
-    return ftmmt_kron_matmul(x, factors).output
+def _shuffle(x: np.ndarray, factors: Iterable, backend: BackendLike = None) -> np.ndarray:
+    return shuffle_kron_matmul(x, factors, backend=backend).output
+
+
+def _ftmmt(x: np.ndarray, factors: Iterable, backend: BackendLike = None) -> np.ndarray:
+    return ftmmt_kron_matmul(x, factors, backend=backend).output
 
 
 _ALGORITHMS: Dict[str, AlgorithmFn] = {
-    "fastkron": kron_matmul,
+    "fastkron": _fastkron,
     "shuffle": _shuffle,
     "ftmmt": _ftmmt,
     "naive": naive_kron_matmul,

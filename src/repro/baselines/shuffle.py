@@ -24,6 +24,7 @@ from typing import Iterable, List
 
 import numpy as np
 
+from repro.backends.registry import BackendLike, get_backend
 from repro.core.factors import as_factor_list
 from repro.core.problem import KronMatmulProblem
 from repro.utils.validation import ensure_2d
@@ -85,7 +86,9 @@ class ShuffleExecution:
         return total
 
 
-def shuffle_kron_matmul(x: np.ndarray, factors: Iterable) -> ShuffleExecution:
+def shuffle_kron_matmul(
+    x: np.ndarray, factors: Iterable, backend: BackendLike = None
+) -> ShuffleExecution:
     """Run the shuffle algorithm, returning the result and per-step counts.
 
     The numerical result is identical to :func:`repro.kron_matmul`; what
@@ -97,6 +100,7 @@ def shuffle_kron_matmul(x: np.ndarray, factors: Iterable) -> ShuffleExecution:
     problem = KronMatmulProblem.from_factors(x2d.shape[0], [f.values for f in factor_list])
     problem.validate_against(x2d, [f.values for f in factor_list])
 
+    resolved = get_backend(backend)
     m = x2d.shape[0]
     y = x2d
     steps: List[ShuffleStep] = []
@@ -106,8 +110,8 @@ def shuffle_kron_matmul(x: np.ndarray, factors: Iterable) -> ShuffleExecution:
         k = y.shape[1]
         steps.append(ShuffleStep(factor_index=factor_index, m=m, k=k, p=p, q=q))
         # Step (a): reshape to (M*K/P, P) and matmul with (P, Q).
-        tall = y.reshape(m * (k // p), p)
-        product = tall @ factor  # (M*K/P, Q)
+        tall = np.ascontiguousarray(y).reshape(m * (k // p), p)
+        product = resolved.matmul(tall, factor)  # (M*K/P, Q)
         # Step (b): reshape to (M, K/P, Q), transpose last two dims.
         tensor = product.reshape(m, k // p, q)
         transposed = np.ascontiguousarray(tensor.transpose(0, 2, 1))

@@ -7,6 +7,12 @@ Installed as the ``fastkron-repro`` console script::
     fastkron-repro compare --m 1024 --p 8 --n 6
     fastkron-repro realworld --case 23
     fastkron-repro scaling --p 64 --n 4 --gpus 16
+    fastkron-repro backends
+    fastkron-repro --backend threaded check --m 4096 --p 16 --n 3
+
+The global ``--backend`` flag selects the execution backend (numpy,
+threaded, torch, cupy) for every numerical path of the invoked subcommand;
+``backends`` lists what is available in this environment.
 
 Every subcommand prints a small plain-text table; the heavyweight
 reproduction of whole figures/tables lives in ``benchmarks/`` (pytest).
@@ -21,6 +27,13 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro._version import __version__
+from repro.backends import (
+    default_backend,
+    get_backend,
+    registered_backends,
+    set_default_backend,
+)
+from repro.exceptions import BackendError
 from repro.core.problem import KronMatmulProblem
 from repro.gpu.device import spec_by_name
 from repro.utils.reporting import format_table
@@ -129,6 +142,46 @@ def _cmd_realworld(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends(args: argparse.Namespace) -> int:
+    rows = []
+    for name, available, description in registered_backends():
+        marker = "default" if name == default_backend() else ""
+        rows.append([name, "yes" if available else "no", marker, description])
+    print(format_table(
+        ["backend", "available", "", "description"],
+        rows,
+        title="Execution backends",
+    ))
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Run one real Kron-Matmul on the selected backend and report timing."""
+    import time
+
+    from repro.core.factors import random_factors
+    from repro.core.fastkron import kron_matmul
+
+    problem = _problem_from_args(args)
+    backend = get_backend(None)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((problem.m, problem.k)).astype(problem.dtype)
+    factors = random_factors(args.n, args.p, args.q or args.p, dtype=problem.dtype, seed=1)
+    start = time.perf_counter()
+    y = kron_matmul(x, factors, backend=backend)
+    elapsed = time.perf_counter() - start
+    gflops = problem.flops / elapsed / 1e9 if elapsed > 0 else float("inf")
+    rows = [
+        ["problem", problem.label()],
+        ["backend", backend.name],
+        ["output shape", str(y.shape)],
+        ["wall time", f"{elapsed * 1e3:.2f} ms"],
+        ["achieved", f"{gflops:.2f} GFLOPS"],
+    ]
+    print(format_table(["quantity", "value"], rows, title="Backend check"))
+    return 0
+
+
 def _cmd_scaling(args: argparse.Namespace) -> int:
     from repro.distributed.models import all_multi_gpu_models
 
@@ -160,6 +213,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="FastKron reproduction: estimates, tuning and paper-style comparisons.",
     )
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="execution backend for all numerical paths "
+             "(see the 'backends' subcommand for availability)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_est = sub.add_parser("estimate", help="estimate FastKron's time/TFLOPS for one problem")
@@ -186,13 +245,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_problem_arguments(p_sc)
     p_sc.add_argument("--gpus", type=int, default=16, help="largest GPU count to report")
     p_sc.set_defaults(func=_cmd_scaling)
+
+    p_be = sub.add_parser("backends", help="list execution backends and availability")
+    p_be.set_defaults(func=_cmd_backends)
+
+    p_ck = sub.add_parser("check", help="run one real multiply on the selected backend")
+    _add_problem_arguments(p_ck)
+    p_ck.set_defaults(func=_cmd_check)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    if args.backend is None:
+        return args.func(args)
+    # The global --backend flag retargets every numerical path of the
+    # subcommand by switching the process default for its duration.
+    try:
+        previous = set_default_backend(args.backend)
+    except BackendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        return args.func(args)
+    finally:
+        set_default_backend(previous)
 
 
 if __name__ == "__main__":  # pragma: no cover

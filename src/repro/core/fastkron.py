@@ -18,6 +18,7 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.backends.registry import BackendLike, get_backend
 from repro.core.factors import KroneckerFactor, as_factor_list
 from repro.core.fused import FusionPlan, plan_fusion
 from repro.core.problem import KronMatmulProblem
@@ -30,6 +31,7 @@ def kron_matmul(
     x: np.ndarray,
     factors: Iterable["KroneckerFactor | np.ndarray"],
     out: Optional[np.ndarray] = None,
+    backend: BackendLike = None,
 ) -> np.ndarray:
     """Multiply ``x`` with the Kronecker product of ``factors``.
 
@@ -43,6 +45,10 @@ def kron_matmul(
         ``(P_i, Q_i)``) in Kronecker-product order.
     out:
         Optional output buffer of shape ``(M, prod_i Q_i)``.
+    backend:
+        Execution backend name (``"numpy"``, ``"threaded"``, ...), an
+        :class:`~repro.backends.ArrayBackend` instance, or ``None`` for the
+        process default.
 
     Returns
     -------
@@ -71,7 +77,7 @@ def kron_matmul(
         x2d = x2d.astype(common)
         factor_list = [f.astype(common) for f in factor_list]
 
-    y = _run_iterations(x2d, factor_list)
+    y = _run_iterations(x2d, factor_list, backend=backend)
     if out is not None:
         if out.shape != y.shape:
             raise ShapeError(f"out has shape {out.shape}, expected {y.shape}")
@@ -80,11 +86,14 @@ def kron_matmul(
     return y[0] if squeeze else y
 
 
-def _run_iterations(x: np.ndarray, factors: Sequence[KroneckerFactor]) -> np.ndarray:
+def _run_iterations(
+    x: np.ndarray, factors: Sequence[KroneckerFactor], backend: BackendLike = None
+) -> np.ndarray:
     """Run Algorithm 1: one sliced multiply per factor, last factor first."""
+    resolved = get_backend(backend)
     y = x
     for factor in reversed(list(factors)):
-        y = sliced_multiply(y, factor.values)
+        y = sliced_multiply(y, factor.values, backend=resolved)
     return np.ascontiguousarray(y)
 
 
@@ -133,6 +142,10 @@ class FastKron:
     shared_memory_elements:
         Capacity used by the fusion planner; defaults to the Tesla V100's
         48 KiB per thread block divided by the dtype size.
+    backend:
+        Execution backend name or instance; ``None`` uses the process
+        default.  The handle resolves it once at construction and owns the
+        backend-allocated workspace for its lifetime.
     """
 
     def __init__(
@@ -140,9 +153,11 @@ class FastKron:
         problem: KronMatmulProblem,
         fuse: bool = True,
         shared_memory_elements: Optional[int] = None,
+        backend: BackendLike = None,
     ):
         self.problem = problem
         self.fuse = fuse
+        self.backend = get_backend(backend)
         if shared_memory_elements is None:
             shared_memory_elements = (48 * 1024) // problem.itemsize
         self.shared_memory_elements = int(shared_memory_elements)
@@ -152,9 +167,11 @@ class FastKron:
             enabled=fuse,
         )
         max_cols = problem.max_intermediate_cols
+        # The workspace is allocated by the backend so device backends can
+        # hand out pinned or device-adjacent buffers.
         self._buffers = (
-            np.empty((problem.m, max_cols), dtype=problem.dtype),
-            np.empty((problem.m, max_cols), dtype=problem.dtype),
+            self.backend.empty((problem.m, max_cols), dtype=problem.dtype),
+            self.backend.empty((problem.m, max_cols), dtype=problem.dtype),
         )
         self.last_stats: Optional[ExecutionStats] = None
 
@@ -208,7 +225,12 @@ class FastKron:
             if factor.dtype != self.problem.dtype:
                 factor = factor.astype(self.problem.dtype)
             target = buf_a[:, : it.out_cols]
-            sliced_multiply(cur[:, : it.k] if cur.shape[1] != it.k else cur, factor, out=target)
+            sliced_multiply(
+                cur[:, : it.k] if cur.shape[1] != it.k else cur,
+                factor,
+                out=target,
+                backend=self.backend,
+            )
             cur = target
             buf_a, buf_b = buf_b, buf_a
 

@@ -20,6 +20,7 @@ from typing import Iterable, List, Literal, Optional
 
 import numpy as np
 
+from repro.backends.registry import BackendLike
 from repro.core.factors import KroneckerFactor, as_factor_list
 from repro.core.fastkron import kron_matmul
 from repro.exceptions import ShapeError
@@ -49,6 +50,7 @@ def gekmm(
     op_x: str = "N",
     op_factors: str = "N",
     out: Optional[np.ndarray] = None,
+    backend: BackendLike = None,
 ) -> np.ndarray:
     """General Kron-Matmul: ``Y = α · op(X) (⊗_i op(F_i)) + β · Z``.
 
@@ -67,6 +69,8 @@ def gekmm(
         ``'N'`` or ``'T'``.
     out:
         Optional output buffer.
+    backend:
+        Execution backend name or instance (``None``: process default).
 
     Returns
     -------
@@ -81,23 +85,44 @@ def gekmm(
     if op_x == "T":
         x2d = np.ascontiguousarray(x2d.T)
 
-    product = kron_matmul(x2d, factor_list)
-    result = product if alpha == 1.0 else alpha * product
-    if result is product and (beta != 0.0 or out is not None):
-        result = product.copy()
-
+    product = kron_matmul(x2d, factor_list, backend=backend)
+    z_arr: Optional[np.ndarray] = None
     if beta != 0.0:
         if z is None:
             raise ShapeError("beta != 0 requires an accumulator matrix z")
         z_arr = ensure_2d(np.asarray(z), "Z")
-        if z_arr.shape != result.shape:
-            raise ShapeError(f"Z has shape {z_arr.shape}, expected {result.shape}")
-        result += beta * z_arr
+        if z_arr.shape != product.shape:
+            raise ShapeError(f"Z has shape {z_arr.shape}, expected {product.shape}")
+
     if out is not None:
-        if out.shape != result.shape:
-            raise ShapeError(f"out has shape {out.shape}, expected {result.shape}")
-        np.copyto(out, result)
+        if out.shape != product.shape:
+            raise ShapeError(f"out has shape {out.shape}, expected {product.shape}")
+        # Scale straight into the caller's buffer: no intermediate copy of
+        # the (potentially huge) product even when alpha != 1.  The beta
+        # term is written first so the BLAS-style aliasing ``z is out``
+        # (Y = alpha*XF + beta*Y) reads z before it is overwritten;
+        # `product` is fresh and cannot alias anything.
+        if z_arr is not None:
+            np.multiply(z_arr, beta, out=out)
+            if alpha != 1.0:
+                np.multiply(product, alpha, out=product)
+            out += product
+        elif alpha == 1.0:
+            np.copyto(out, product)
+        else:
+            np.multiply(product, alpha, out=out)
         return out
+
+    # `product` is freshly allocated by kron_matmul, so it can be scaled
+    # and accumulated into in place.
+    result = product
+    if alpha != 1.0:
+        np.multiply(result, alpha, out=result)
+    if z_arr is not None:
+        if beta == 1.0:
+            result += z_arr
+        else:
+            result += beta * z_arr
     return result
 
 
@@ -105,6 +130,7 @@ def kron_matvec(
     v: np.ndarray,
     factors: Iterable,
     transpose: bool = False,
+    backend: BackendLike = None,
 ) -> np.ndarray:
     """Kronecker matrix-vector product ``(⊗F_i)^{(T)} v``.
 
@@ -118,15 +144,16 @@ def kron_matvec(
         raise ShapeError(f"kron_matvec expects a 1-D vector, got ndim={v_arr.ndim}")
     if transpose:
         # (⊗F)^T v = (v^T (⊗F))^T
-        return kron_matmul(v_arr.reshape(1, -1), factor_list)[0]
+        return kron_matmul(v_arr.reshape(1, -1), factor_list, backend=backend)[0]
     transposed = [KroneckerFactor(np.ascontiguousarray(f.values.T)) for f in factor_list]
-    return kron_matmul(v_arr.reshape(1, -1), transposed)[0]
+    return kron_matmul(v_arr.reshape(1, -1), transposed, backend=backend)[0]
 
 
 def kron_matmul_batched(
     x_batch: np.ndarray,
     factors: Iterable,
     alpha: float = 1.0,
+    backend: BackendLike = None,
 ) -> np.ndarray:
     """Apply the same Kronecker product to a batch of matrices.
 
@@ -141,7 +168,7 @@ def kron_matmul_batched(
     b, m, k = x_arr.shape
     factor_list = as_factor_list(factors)
     flat = np.ascontiguousarray(x_arr).reshape(b * m, k)
-    result = kron_matmul(flat, factor_list)
+    result = kron_matmul(flat, factor_list, backend=backend)
     if alpha != 1.0:
-        result = alpha * result
+        np.multiply(result, alpha, out=result)
     return result.reshape(b, m, -1)

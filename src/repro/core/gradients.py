@@ -23,33 +23,41 @@ from typing import Iterable, List, Tuple
 
 import numpy as np
 
+from repro.backends.registry import BackendLike
 from repro.core.factors import KroneckerFactor, as_factor_list
 from repro.core.fastkron import kron_matmul
 from repro.exceptions import ShapeError
 from repro.utils.validation import ensure_2d
 
 
-def kron_matmul_backward_x(dy: np.ndarray, factors: Iterable) -> np.ndarray:
+def kron_matmul_backward_x(
+    dy: np.ndarray, factors: Iterable, backend: BackendLike = None
+) -> np.ndarray:
     """Gradient of the Kron-Matmul with respect to ``X``.
 
     ``dX = dY (⊗_i F_i)^T = dY (⊗_i F_i^T)`` — another Kron-Matmul.
     """
     factor_list = as_factor_list(factors)
     transposed = [KroneckerFactor(np.ascontiguousarray(f.values.T)) for f in factor_list]
-    return kron_matmul(np.asarray(dy), transposed)
+    return kron_matmul(np.asarray(dy), transposed, backend=backend)
 
 
-def _partial_product(x: np.ndarray, factor_list: List[KroneckerFactor], skip: int) -> np.ndarray:
+def _partial_product(
+    x: np.ndarray,
+    factor_list: List[KroneckerFactor],
+    skip: int,
+    backend: BackendLike = None,
+) -> np.ndarray:
     """Multiply ``x`` with every factor except ``skip``, replacing it by identity."""
     replaced = [
         KroneckerFactor(np.eye(f.p, dtype=f.dtype)) if i == skip else f
         for i, f in enumerate(factor_list)
     ]
-    return kron_matmul(x, replaced)
+    return kron_matmul(x, replaced, backend=backend)
 
 
 def kron_matmul_backward_factors(
-    x: np.ndarray, dy: np.ndarray, factors: Iterable
+    x: np.ndarray, dy: np.ndarray, factors: Iterable, backend: BackendLike = None
 ) -> List[np.ndarray]:
     """Gradients with respect to every factor.
 
@@ -79,7 +87,7 @@ def kron_matmul_backward_factors(
     n = len(factor_list)
     for i, factor in enumerate(factor_list):
         # Apply every other factor; the i-th mode keeps extent P_i.
-        partial = _partial_product(x2d, factor_list, skip=i)
+        partial = _partial_product(x2d, factor_list, skip=i, backend=backend)
         # partial has modes (m, q_1, .., q_{i-1}, P_i, q_{i+1}, .., q_n);
         # dy has modes      (m, q_1, .., q_{i-1}, Q_i, q_{i+1}, .., q_n).
         partial_shape: Tuple[int, ...] = (m, *[
@@ -96,10 +104,10 @@ def kron_matmul_backward_factors(
 
 
 def kron_matmul_vjp(
-    x: np.ndarray, dy: np.ndarray, factors: Iterable
+    x: np.ndarray, dy: np.ndarray, factors: Iterable, backend: BackendLike = None
 ) -> Tuple[np.ndarray, List[np.ndarray]]:
     """Full vector-Jacobian product: ``(dX, [dF_1, ..., dF_N])``."""
     return (
-        kron_matmul_backward_x(dy, factors),
-        kron_matmul_backward_factors(x, dy, factors),
+        kron_matmul_backward_x(dy, factors, backend=backend),
+        kron_matmul_backward_factors(x, dy, factors, backend=backend),
     )

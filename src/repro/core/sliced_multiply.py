@@ -18,8 +18,9 @@ to the right index, which is the paper's key algorithmic idea.
 Three implementations are provided:
 
 ``sliced_multiply``
-    The production path: a vectorised NumPy implementation (batched matmul
-    followed by an axis swap that is fused into the output write).
+    The production path: validates the operands and delegates the numerical
+    work to a pluggable :class:`~repro.backends.ArrayBackend` (NumPy
+    reference, row-sharded threaded, or an optional device adapter).
 ``sliced_multiply_reference``
     A literal transcription of Algorithm 1's inner loops.  Quadratically
     slower; used by the test-suite as an oracle.
@@ -35,6 +36,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backends.registry import BackendLike, get_backend
 from repro.exceptions import ShapeError
 from repro.utils.validation import check_same_dtype, ensure_2d
 
@@ -52,7 +54,12 @@ def _check_operands(x: np.ndarray, f: np.ndarray) -> tuple[np.ndarray, np.ndarra
     return x, f, m, k, p, q
 
 
-def sliced_multiply(x: np.ndarray, f: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+def sliced_multiply(
+    x: np.ndarray,
+    f: np.ndarray,
+    out: Optional[np.ndarray] = None,
+    backend: BackendLike = None,
+) -> np.ndarray:
     """Sliced-multiply ``X (M,K)`` with factor ``F (P,Q)`` → ``(M, K//P*Q)``.
 
     Parameters
@@ -64,6 +71,10 @@ def sliced_multiply(x: np.ndarray, f: np.ndarray, out: Optional[np.ndarray] = No
     out:
         Optional pre-allocated output of shape ``(M, K//P*Q)``.  When given,
         the result is written in place and ``out`` is returned.
+    backend:
+        Execution backend: a registry name (``"numpy"``, ``"threaded"``,
+        ...), an :class:`~repro.backends.ArrayBackend` instance, or ``None``
+        for the process default.
 
     Notes
     -----
@@ -71,29 +82,17 @@ def sliced_multiply(x: np.ndarray, f: np.ndarray, out: Optional[np.ndarray] = No
     (``(M, K/P, P) @ (P, Q)``) and the slice/column axes are swapped when
     writing the output, which realises the paper's "write at the right
     index" property without a separate transpose pass over global memory.
+    Validation happens here; the numerical work is delegated to the backend.
     """
     x, f, m, k, p, q = _check_operands(x, f)
+    resolved = get_backend(backend)
     n_slices = k // p
     out_cols = n_slices * q
     if out is None:
-        out = np.empty((m, out_cols), dtype=x.dtype)
+        out = resolved.empty((m, out_cols), dtype=x.dtype)
     elif out.shape != (m, out_cols):
         raise ShapeError(f"out has shape {out.shape}, expected {(m, out_cols)}")
-    # One large 2-D GEMM over all slices: (M*slices, P) @ (P, Q).  This is
-    # considerably faster in NumPy than a batched 3-D matmul and matches how
-    # the slices are actually independent.
-    x_view = x if x.flags["C_CONTIGUOUS"] else np.ascontiguousarray(x)
-    products = x_view.reshape(m * n_slices, p) @ f
-    swapped = products.reshape(m, n_slices, q).swapaxes(1, 2)
-    # Output column j = col * n_slices + slice  ->  axes (M, Q, slices).
-    if out.flags["C_CONTIGUOUS"]:
-        # Single strided copy straight into the caller's buffer.
-        np.copyto(out.reshape(m, q, n_slices), swapped)
-    else:
-        # ``out`` is a strided view (e.g. a slice of the double-buffered
-        # workspace): materialise the swap first, then copy element-wise.
-        np.copyto(out, swapped.reshape(m, out_cols))
-    return out
+    return resolved.sliced_multiply_into(x, f, out, m, k, p, q)
 
 
 def sliced_multiply_reference(x: np.ndarray, f: np.ndarray) -> np.ndarray:
@@ -116,11 +115,34 @@ def sliced_multiply_reference(x: np.ndarray, f: np.ndarray) -> np.ndarray:
     return y
 
 
+def _regular_stride(out_columns: np.ndarray) -> Optional[tuple[int, int]]:
+    """Return ``(start, step)`` when ``out_columns`` is an arithmetic progression.
+
+    The fused/distributed store patterns overwhelmingly produce either a
+    contiguous run (``step == 1``) or a constant-stride comb; both can be
+    written with a single strided-view copy instead of fancy indexing, which
+    avoids NumPy's per-element gather of the index array.
+    """
+    if out_columns.ndim != 1 or out_columns.size == 0:
+        return None
+    start = int(out_columns[0])
+    if out_columns.size == 1:
+        return start, 1
+    step = int(out_columns[1]) - start
+    if step <= 0:
+        return None
+    expected = start + step * np.arange(out_columns.size, dtype=out_columns.dtype)
+    if np.array_equal(out_columns, expected):
+        return start, step
+    return None
+
+
 def sliced_multiply_strided(
     x: np.ndarray,
     f: np.ndarray,
     out: np.ndarray,
     out_columns: np.ndarray,
+    backend: BackendLike = None,
 ) -> np.ndarray:
     """Sliced multiply scattering the result into ``out[:, out_columns]``.
 
@@ -129,6 +151,10 @@ def sliced_multiply_strided(
     kernel's ``StoreFusedShMem`` and the distributed ``StoreGPUTile``: a
     locally contiguous sliced-multiply result is scattered into the global
     intermediate at the correct (strided) positions.
+
+    Contiguous and constant-stride column patterns (the common cases) are
+    written through a strided view of ``out``; arbitrary permutations fall
+    back to fancy indexing.
     """
     x, f, m, k, p, q = _check_operands(x, f)
     n_slices = k // p
@@ -138,7 +164,17 @@ def sliced_multiply_strided(
         raise ShapeError(
             f"out_columns has shape {out_columns.shape}, expected {(out_cols,)}"
         )
-    local = sliced_multiply(x, f)
+    regular = _regular_stride(out_columns)
+    if regular is not None:
+        start, step = regular
+        stop = start + step * (out_cols - 1) + 1
+        if stop <= out.shape[1]:
+            # A strided view is a valid `out` for the backend: the sliced
+            # multiply writes straight into the scatter destination with no
+            # intermediate `local` buffer at all.
+            sliced_multiply(x, f, out=out[:, start:stop:step], backend=backend)
+            return out
+    local = sliced_multiply(x, f, backend=backend)
     out[:, out_columns] = local
     return out
 

@@ -17,6 +17,7 @@ from typing import Iterable, List
 
 import numpy as np
 
+from repro.backends.registry import BackendLike
 from repro.core.factors import KroneckerFactor, as_factor_list
 from repro.core.fastkron import kron_matmul
 from repro.exceptions import ShapeError
@@ -44,6 +45,7 @@ def kron_solve(
     b: np.ndarray,
     factors: Iterable,
     rcond: float | None = None,
+    backend: BackendLike = None,
 ) -> np.ndarray:
     """Solve ``X (F_1 ⊗ ... ⊗ F_N) = B`` for ``X``.
 
@@ -57,6 +59,8 @@ def kron_solve(
         pseudo-inverse, yielding the least-squares / minimum-norm solution.
     rcond:
         Cut-off for small singular values when pseudo-inverting.
+    backend:
+        Execution backend for the Kron-Matmul (``None``: process default).
 
     Returns
     -------
@@ -72,7 +76,7 @@ def kron_solve(
     # X = B G^{-1} = B (F_1^{-1} ⊗ ... ⊗ F_N^{-1}) — use pinv(F_i) for the
     # rectangular case, for which B G^+ is the minimum-norm least-squares X.
     inverted = _inverted_factors(factor_list, rcond)
-    result = kron_matmul(b2d, inverted)
+    result = kron_matmul(b2d, inverted, backend=backend)
     return result[0] if squeeze else result
 
 
@@ -81,7 +85,9 @@ def kron_lstsq_residual(x: np.ndarray, b: np.ndarray, factors: Iterable) -> floa
     return float(np.linalg.norm(kron_matmul(np.asarray(x), factors) - np.asarray(b)))
 
 
-def kron_power(x: np.ndarray, factors: Iterable, exponent: int) -> np.ndarray:
+def kron_power(
+    x: np.ndarray, factors: Iterable, exponent: int, backend: BackendLike = None
+) -> np.ndarray:
     """Apply the (square) Kronecker operator ``exponent`` times: ``X G^k``.
 
     Useful for propagating features over Kronecker graphs (``A^k``) and for
@@ -95,5 +101,5 @@ def kron_power(x: np.ndarray, factors: Iterable, exponent: int) -> np.ndarray:
             raise ShapeError("kron_power requires square factors")
     result = ensure_2d(np.asarray(x), "X")
     for _ in range(exponent):
-        result = kron_matmul(result, factor_list)
+        result = kron_matmul(result, factor_list, backend=backend)
     return result

@@ -24,6 +24,7 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.backends.registry import BackendLike, get_backend
 from repro.core.factors import as_factor_list
 from repro.core.fastkron import kron_matmul
 from repro.core.problem import KronMatmulProblem
@@ -111,8 +112,11 @@ class DistributedFastKron:
     (``T_GK >= P``).
     """
 
-    def __init__(self, grid: GpuGrid):
+    def __init__(self, grid: GpuGrid, backend: BackendLike = None):
         self.grid = grid
+        # One backend instance shared by every simulated GPU's local
+        # multiplications (a threaded backend shards each block's rows).
+        self.backend = get_backend(backend)
 
     # ------------------------------------------------------------------ #
     def _validate(self, x: np.ndarray, factors: Sequence) -> tuple[int, int, int, int]:
@@ -173,7 +177,7 @@ class DistributedFastKron:
                 for g_k in range(self.grid.gk):
                     local = blocks[g_m][g_k]
                     for factor in batch_factors[::-1]:
-                        local = sliced_multiply(local, factor)
+                        local = sliced_multiply(local, factor, backend=self.backend)
                     blocks[g_m][g_k] = local
 
             # ---- exchange: relocate to the canonical distribution ------- #
@@ -221,7 +225,7 @@ class DistributedFastKron:
     # ------------------------------------------------------------------ #
     def reference(self, x: np.ndarray, factors: Iterable) -> np.ndarray:
         """Single-device reference result for verification."""
-        return kron_matmul(np.asarray(x), factors)
+        return kron_matmul(np.asarray(x), factors, backend=self.backend)
 
     def problem_for(self, x: np.ndarray, factors: Sequence) -> KronMatmulProblem:
         factor_list = as_factor_list(factors)

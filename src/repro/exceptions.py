@@ -38,3 +38,7 @@ class DistributedError(ReproError, ValueError):
 
 class ConvergenceError(ReproError, RuntimeError):
     """An iterative solver (e.g. conjugate gradients) failed to converge."""
+
+
+class BackendError(ReproError, ValueError):
+    """An execution backend is unknown or unavailable in this environment."""

@@ -10,11 +10,49 @@ dominated by a Kron-Matmul.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 import numpy as np
 
 from repro.exceptions import ConvergenceError
+
+
+def kron_matvec_operator(
+    factors: Iterable, noise: float = 0.0, backend=None
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Build a CG-compatible matvec ``v -> (⊗F_i) v + noise·v``.
+
+    The returned closure applies the Kronecker operator column-wise through
+    :func:`repro.kron_matmul` on the requested execution backend — the
+    standard way to hand a Kronecker covariance to
+    :func:`conjugate_gradient` without materialising it.
+    """
+    from repro.backends.registry import get_backend
+    from repro.core.factors import KroneckerFactor, as_factor_list
+    from repro.core.fastkron import kron_matmul
+
+    # (⊗F) v = (v^T (⊗F^T))^T: the column-vector product is a row-major
+    # Kron-Matmul with the transposed factors (a no-op for the symmetric
+    # covariance factors CG actually needs).  Cast to float64 here, once —
+    # CG runs in float64, and casting inside the closure would re-convert
+    # every factor on every iteration.
+    transposed = [
+        KroneckerFactor(np.ascontiguousarray(f.values.T, dtype=np.float64))
+        for f in as_factor_list(factors)
+    ]
+    resolved = get_backend(backend)
+
+    def matvec(v: np.ndarray) -> np.ndarray:
+        v = np.asarray(v, dtype=np.float64)
+        squeeze = v.ndim == 1
+        if squeeze:
+            v = v[:, None]
+        result = kron_matmul(np.ascontiguousarray(v.T), transposed, backend=resolved).T
+        if noise:
+            result = result + noise * v
+        return result[:, 0] if squeeze else np.ascontiguousarray(result)
+
+    return matvec
 
 
 @dataclass

@@ -30,6 +30,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 from scipy import sparse
 
+from repro.backends.registry import BackendLike, get_backend
 from repro.core.fastkron import kron_matmul
 from repro.core.problem import KronMatmulProblem
 from repro.exceptions import ShapeError
@@ -56,7 +57,9 @@ class SkiKernelOperator:
         kernel_factors: Optional[Sequence[np.ndarray]] = None,
         noise: float = 1e-2,
         lengthscale: float = 0.2,
+        backend: BackendLike = None,
     ):
+        self.backend = get_backend(backend)
         pts = np.asarray(points, dtype=np.float64)
         if pts.ndim == 1:
             pts = pts[:, None]
@@ -99,7 +102,7 @@ class SkiKernelOperator:
         ``((K_1 ⊗ ... ⊗ K_N) v^T)^T`` and a single row-major Kron-Matmul
         suffices.
         """
-        return kron_matmul(v_grid, self.kernel_factors)
+        return kron_matmul(v_grid, self.kernel_factors, backend=self.backend)
 
     def matvec(self, v: np.ndarray) -> np.ndarray:
         """Apply the SKI covariance to ``v`` of shape ``(n_points, m)``."""

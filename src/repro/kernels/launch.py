@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.factors import as_factor_list
 from repro.core.fused import FusionPlan, plan_fusion
 from repro.core.problem import IterationShape, KronMatmulProblem
+from repro.backends.registry import BackendLike, get_backend
 from repro.core.sliced_multiply import sliced_multiply
 from repro.exceptions import ConfigurationError
 from repro.gpu.counters import KernelCounters
@@ -78,6 +79,7 @@ class GpuExecutor:
         caching: Optional[CachingScheme] = None,
         fuse: bool = True,
         tile_overrides: Optional[Dict[int, TileConfig]] = None,
+        backend: BackendLike = None,
     ):
         """
         Parameters
@@ -95,6 +97,7 @@ class GpuExecutor:
             override use :func:`default_tile_config`.
         """
         self.spec = spec
+        self.backend = get_backend(backend)
         self.caching = caching if caching is not None else ShiftCaching()
         self.fuse = fuse
         self.tile_overrides = dict(tile_overrides or {})
@@ -205,6 +208,6 @@ class GpuExecutor:
 
         y = x2d
         for it in problem.iteration_shapes():
-            y = sliced_multiply(y, factor_list[it.factor_index].values)
+            y = sliced_multiply(y, factor_list[it.factor_index].values, backend=self.backend)
         execution.output = np.ascontiguousarray(y)
         return execution

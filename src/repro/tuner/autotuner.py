@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.backends.registry import default_backend
 from repro.core.problem import KronMatmulProblem
 from repro.exceptions import TuningError
 from repro.gpu.device import GpuSpec, TESLA_V100
@@ -66,8 +67,13 @@ class Autotuner:
         max_candidates: int = 10000,
         cache: Optional[TuningCache] = None,
         roofline: Optional[RooflineModel] = None,
+        backend: Optional[str] = None,
     ):
         self.spec = spec
+        # Name of the execution backend the tuned configurations target;
+        # cache keys are qualified with it so per-backend results coexist.
+        # None follows the process default (e.g. the CLI's --backend flag).
+        self.backend = str(backend) if backend is not None else default_backend()
         self.caching = caching if caching is not None else ShiftCaching()
         self.fuse = fuse
         self.max_candidates = max_candidates
@@ -104,7 +110,7 @@ class Autotuner:
     ) -> TuningResult:
         """Tune one sliced-multiply shape, using the cache when possible."""
         dtype = np.dtype(dtype)
-        key = shape_key(m, k, p, q, dtype)
+        key = shape_key(m, k, p, q, dtype, backend=self.backend)
         start = time.perf_counter()
         cached = self.cache.get(key)
         stats = SearchSpaceStats()

@@ -4,6 +4,10 @@ FastKron autotunes once per Kron-Matmul shape and reuses the chosen kernel
 for subsequent calls; :class:`TuningCache` provides the same behaviour for
 the simulated kernels (and can be serialised to JSON so the benchmark
 harness does not re-tune across processes).
+
+Keys are qualified by the execution backend: the best tile configuration for
+the single-threaded ``numpy`` path need not be the best for a row-sharded or
+device backend, so ``(M, K, P, Q, dtype, backend)`` is the cache identity.
 """
 
 from __future__ import annotations
@@ -13,16 +17,19 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
+import numpy as np
+
 from repro.kernels.tile_config import TileConfig
 
-ShapeKey = Tuple[int, int, int, int, str]
+ShapeKey = Tuple[int, int, int, int, str, str]
+
+#: Backend recorded for keys written before keys were backend-qualified.
+DEFAULT_KEY_BACKEND = "numpy"
 
 
-def shape_key(m: int, k: int, p: int, q: int, dtype) -> ShapeKey:
-    """Normalised cache key for one sliced-multiply shape."""
-    import numpy as np
-
-    return (int(m), int(k), int(p), int(q), str(np.dtype(dtype)))
+def shape_key(m: int, k: int, p: int, q: int, dtype, backend: str = DEFAULT_KEY_BACKEND) -> ShapeKey:
+    """Normalised cache key for one sliced-multiply shape on one backend."""
+    return (int(m), int(k), int(p), int(q), str(np.dtype(dtype)), str(backend))
 
 
 class TuningCache:
@@ -66,7 +73,12 @@ class TuningCache:
         cache = cls()
         for key_str, config_dict in json.loads(text).items():
             parts = key_str.split(",")
-            key: ShapeKey = (int(parts[0]), int(parts[1]), int(parts[2]), int(parts[3]), parts[4])
+            # Caches written before backend-qualified keys have five fields;
+            # adopt the default backend for them on load.
+            backend = parts[5] if len(parts) > 5 else DEFAULT_KEY_BACKEND
+            key: ShapeKey = (
+                int(parts[0]), int(parts[1]), int(parts[2]), int(parts[3]), parts[4], backend,
+            )
             cache.put(key, TileConfig(**config_dict))
         return cache
 

@@ -1,0 +1,405 @@
+"""Backend registry, threaded-execution and cross-backend parity tests.
+
+The parity suite runs every backend that is available in the environment
+against the single-threaded NumPy reference:
+
+* float64 results must be *bit-for-bit identical* across backends — each
+  backend runs the same GEMM kernel over independent rows, so sharding and
+  buffering must not change a single bit (``sliced_multiply_reference``, the
+  pure-Python Algorithm 1 oracle, accumulates in a different order, so it is
+  compared to tolerance);
+* float32 results must match the reference to tolerance;
+* the ``out=``, batched and strided-scatter paths are covered explicitly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    ArrayBackend,
+    NumpyBackend,
+    ThreadedBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    registered_backends,
+    set_default_backend,
+    use_backend,
+)
+from repro.core.fastkron import FastKron, kron_matmul
+from repro.core.gekmm import gekmm, kron_matmul_batched
+from repro.core.problem import KronMatmulProblem
+from repro.core.sliced_multiply import (
+    sliced_multiply,
+    sliced_multiply_reference,
+    sliced_multiply_strided,
+)
+from repro.exceptions import BackendError
+
+
+def _backend_instances():
+    """Every available backend, with the threaded one forced to shard."""
+    instances = []
+    for name in available_backends():
+        if name == "threaded":
+            instances.append(ThreadedBackend(num_threads=4, min_parallel_rows=2))
+        else:
+            instances.append(get_backend(name))
+    return instances
+
+
+BACKENDS = _backend_instances()
+BACKEND_IDS = [b.name for b in BACKENDS]
+
+
+# --------------------------------------------------------------------------- #
+# registry behaviour
+# --------------------------------------------------------------------------- #
+class TestRegistry:
+    def test_numpy_and_threaded_always_available(self):
+        names = available_backends()
+        assert "numpy" in names and "threaded" in names
+
+    def test_registered_includes_optional_adapters(self):
+        names = [name for name, _, _ in registered_backends()]
+        assert {"numpy", "threaded", "torch", "cupy"} <= set(names)
+
+    def test_unknown_backend_raises_with_suggestions(self):
+        with pytest.raises(BackendError, match="numpy"):
+            get_backend("does-not-exist")
+
+    def test_unavailable_backend_raises_cleanly(self):
+        unavailable = [
+            name for name, available, _ in registered_backends() if not available
+        ]
+        for name in unavailable:
+            with pytest.raises(BackendError, match="unavailable"):
+                get_backend(name)
+
+    def test_get_backend_is_singleton_per_name(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_instance_passthrough(self):
+        custom = ThreadedBackend(num_threads=2)
+        assert get_backend(custom) is custom
+
+    def test_default_backend_roundtrip(self):
+        previous = set_default_backend("threaded")
+        try:
+            assert get_backend(None).name == "threaded"
+        finally:
+            set_default_backend(previous)
+
+    def test_use_backend_context_restores(self):
+        before = get_backend(None).name
+        with use_backend("threaded") as backend:
+            assert backend.name == "threaded"
+            assert get_backend(None).name == "threaded"
+        assert get_backend(None).name == before
+
+    def test_use_backend_instance_does_not_leak(self):
+        """A scoped custom instance must not replace the registry singleton."""
+        shared = get_backend("threaded")
+        custom = ThreadedBackend(num_threads=1)
+        with use_backend(custom):
+            assert get_backend("threaded") is custom
+        assert get_backend("threaded") is shared
+        assert get_backend("threaded").num_threads != 1 or shared.num_threads == 1
+        custom.close()
+
+    def test_register_rejects_duplicate(self):
+        with pytest.raises(BackendError, match="already registered"):
+            register_backend(NumpyBackend)
+
+    def test_register_rejects_abstract_name(self):
+        with pytest.raises(BackendError, match="concrete name"):
+            register_backend(ArrayBackend)
+
+
+# --------------------------------------------------------------------------- #
+# cross-backend parity
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend", BACKENDS, ids=BACKEND_IDS)
+class TestBackendParity:
+    def test_float64_bit_identical_to_numpy(self, backend, rng):
+        x = rng.standard_normal((37, 8 * 6))
+        f = rng.standard_normal((8, 5))
+        expected = sliced_multiply(x, f, backend="numpy")
+        assert np.array_equal(sliced_multiply(x, f, backend=backend), expected)
+
+    def test_float64_matches_reference_oracle(self, backend, rng):
+        x = rng.standard_normal((9, 4 * 5))
+        f = rng.standard_normal((4, 3))
+        np.testing.assert_allclose(
+            sliced_multiply(x, f, backend=backend),
+            sliced_multiply_reference(x, f),
+            atol=1e-12,
+        )
+
+    def test_float32_matches_reference_to_tolerance(self, backend, rng):
+        x = rng.standard_normal((33, 8 * 4)).astype(np.float32)
+        f = rng.standard_normal((8, 8)).astype(np.float32)
+        np.testing.assert_allclose(
+            sliced_multiply(x, f, backend=backend),
+            sliced_multiply_reference(x, f),
+            rtol=1e-5,
+            atol=1e-5,
+        )
+
+    def test_out_buffer_path(self, backend, rng):
+        x = rng.standard_normal((21, 16))
+        f = rng.standard_normal((4, 3))
+        out = np.full((21, 12), np.nan)
+        result = sliced_multiply(x, f, out=out, backend=backend)
+        assert result is out
+        assert np.array_equal(out, sliced_multiply(x, f, backend="numpy"))
+
+    def test_out_strided_view_path(self, backend, rng):
+        x = rng.standard_normal((19, 16))
+        f = rng.standard_normal((4, 4))
+        backing = np.zeros((19, 20))
+        sliced_multiply(x, f, out=backing[:, :16], backend=backend)
+        assert np.array_equal(backing[:, :16], sliced_multiply(x, f, backend="numpy"))
+        assert np.all(backing[:, 16:] == 0)
+
+    def test_strided_scatter_path(self, backend, rng):
+        x = rng.standard_normal((17, 8))
+        f = rng.standard_normal((4, 4))
+        dense = sliced_multiply(x, f, backend="numpy")
+        # Regular-stride comb (fast path) and arbitrary permutation (fallback).
+        for columns in (np.arange(8) * 2, np.array([5, 0, 3, 1, 7, 2, 6, 4])):
+            out = np.zeros((17, 16 if columns.max() > 7 else 8))
+            sliced_multiply_strided(x, f, out, columns, backend=backend)
+            assert np.array_equal(out[:, columns], dense)
+
+    def test_kron_matmul_parity(self, backend, rng):
+        factors = [rng.standard_normal((4, 4)) for _ in range(3)]
+        x = rng.standard_normal((29, 4**3))
+        expected = kron_matmul(x, factors, backend="numpy")
+        assert np.array_equal(kron_matmul(x, factors, backend=backend), expected)
+
+    def test_batched_parity(self, backend, rng):
+        factors = [rng.standard_normal((3, 3)) for _ in range(3)]
+        batch = rng.standard_normal((4, 11, 3**3))
+        expected = kron_matmul_batched(batch, factors, backend="numpy")
+        assert np.array_equal(
+            kron_matmul_batched(batch, factors, backend=backend), expected
+        )
+
+    def test_fastkron_handle_parity(self, backend, rng):
+        factors = [rng.standard_normal((4, 4)) for _ in range(3)]
+        x = rng.standard_normal((23, 4**3))
+        problem = KronMatmulProblem.from_factors(x.shape[0], factors, dtype=np.float64)
+        reference = FastKron(problem, backend="numpy").multiply(x, factors)
+        result = FastKron(problem, backend=backend).multiply(x, factors)
+        assert np.array_equal(result, reference)
+
+    def test_gekmm_parity(self, backend, rng):
+        factors = [rng.standard_normal((3, 3)) for _ in range(2)]
+        x = rng.standard_normal((13, 9))
+        z = rng.standard_normal((13, 9))
+        expected = gekmm(x, factors, alpha=2.0, beta=0.5, z=z, backend="numpy")
+        np.testing.assert_allclose(
+            gekmm(x, factors, alpha=2.0, beta=0.5, z=z, backend=backend),
+            expected,
+            atol=1e-12,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# threaded backend specifics
+# --------------------------------------------------------------------------- #
+class TestThreadedBackend:
+    def test_small_m_falls_through_single_threaded(self, rng):
+        backend = ThreadedBackend(num_threads=4, min_parallel_rows=1000)
+        x = rng.standard_normal((8, 16))
+        f = rng.standard_normal((4, 4))
+        assert backend._pool is None
+        result = sliced_multiply(x, f, backend=backend)
+        # The fall-through path must not spin up the pool at all.
+        assert backend._pool is None
+        assert np.array_equal(result, sliced_multiply(x, f, backend="numpy"))
+
+    def test_shard_bounds_cover_all_rows(self):
+        backend = ThreadedBackend(num_threads=4)
+        for m in (1, 3, 4, 7, 16, 1001):
+            bounds = backend._shard_bounds(m)
+            assert bounds[0][0] == 0 and bounds[-1][1] == m
+            for (a, b), (c, d) in zip(bounds, bounds[1:]):
+                assert b == c and b > a
+            assert len(bounds) <= 4
+
+    def test_pool_persists_across_calls(self, rng):
+        backend = ThreadedBackend(num_threads=2, min_parallel_rows=2)
+        x = rng.standard_normal((64, 16))
+        f = rng.standard_normal((4, 4))
+        sliced_multiply(x, f, backend=backend)
+        pool = backend._pool
+        assert pool is not None
+        sliced_multiply(x, f, backend=backend)
+        assert backend._pool is pool
+        backend.close()
+        assert backend._pool is None
+
+    def test_threaded_matmul_matches_numpy(self, rng):
+        backend = ThreadedBackend(num_threads=3, min_parallel_rows=2)
+        a = rng.standard_normal((40, 7))
+        b = rng.standard_normal((7, 5))
+        assert np.array_equal(backend.matmul(a, b), a @ b)
+        out = np.empty((40, 5))
+        backend.matmul(a, b, out=out)
+        assert np.array_equal(out, a @ b)
+        backend.close()
+
+    def test_many_shards_on_tall_problem(self, rng):
+        backend = ThreadedBackend(num_threads=8, min_parallel_rows=2)
+        x = rng.standard_normal((513, 8 * 4)).astype(np.float32)
+        f = rng.standard_normal((8, 8)).astype(np.float32)
+        assert np.array_equal(
+            sliced_multiply(x, f, backend=backend),
+            sliced_multiply(x, f, backend="numpy"),
+        )
+        backend.close()
+
+
+# --------------------------------------------------------------------------- #
+# strided-scatter fast path
+# --------------------------------------------------------------------------- #
+class TestStridedScatterFastPath:
+    def test_contiguous_run(self, rng):
+        from repro.core.sliced_multiply import _regular_stride
+
+        assert _regular_stride(np.arange(4, 12)) == (4, 1)
+
+    def test_constant_stride(self):
+        from repro.core.sliced_multiply import _regular_stride
+
+        assert _regular_stride(np.arange(8) * 3 + 1) == (1, 3)
+
+    def test_irregular_rejected(self):
+        from repro.core.sliced_multiply import _regular_stride
+
+        assert _regular_stride(np.array([0, 1, 3])) is None
+        assert _regular_stride(np.array([3, 2, 1])) is None
+
+    def test_offset_contiguous_scatter(self, rng):
+        x = rng.standard_normal((5, 8))
+        f = rng.standard_normal((4, 4))
+        out = np.zeros((5, 20))
+        sliced_multiply_strided(x, f, out, np.arange(6, 14))
+        assert np.array_equal(out[:, 6:14], sliced_multiply(x, f))
+        assert np.all(out[:, :6] == 0) and np.all(out[:, 14:] == 0)
+
+    def test_fast_and_fallback_paths_agree(self, rng):
+        x = rng.standard_normal((6, 8))
+        f = rng.standard_normal((4, 4))
+        columns = np.arange(8) * 2 + 1
+        fast = np.zeros((6, 17))
+        sliced_multiply_strided(x, f, fast, columns)
+        slow = np.zeros((6, 17))
+        slow[:, columns] = sliced_multiply(x, f)
+        assert np.array_equal(fast, slow)
+
+
+# --------------------------------------------------------------------------- #
+# gekmm in-place scaling (satellite)
+# --------------------------------------------------------------------------- #
+class TestGekmmInPlace:
+    def test_alpha_scales_into_out(self, rng):
+        factors = [rng.standard_normal((3, 3)) for _ in range(2)]
+        x = rng.standard_normal((7, 9))
+        out = np.full((7, 9), np.nan)
+        result = gekmm(x, factors, alpha=2.5, out=out)
+        assert result is out
+        np.testing.assert_allclose(out, 2.5 * kron_matmul(x, factors), atol=1e-12)
+
+    def test_alpha_beta_accumulate_into_out(self, rng):
+        factors = [rng.standard_normal((3, 3)) for _ in range(2)]
+        x = rng.standard_normal((7, 9))
+        z = rng.standard_normal((7, 9))
+        out = np.empty((7, 9))
+        gekmm(x, factors, alpha=0.5, beta=3.0, z=z, out=out)
+        np.testing.assert_allclose(
+            out, 0.5 * kron_matmul(x, factors) + 3.0 * z, atol=1e-12
+        )
+
+    def test_beta_one_fast_path(self, rng):
+        factors = [rng.standard_normal((3, 3)) for _ in range(2)]
+        x = rng.standard_normal((5, 9))
+        z = rng.standard_normal((5, 9))
+        np.testing.assert_allclose(
+            gekmm(x, factors, beta=1.0, z=z),
+            kron_matmul(x, factors) + z,
+            atol=1e-12,
+        )
+
+    def test_z_not_mutated(self, rng):
+        factors = [rng.standard_normal((3, 3)) for _ in range(2)]
+        x = rng.standard_normal((5, 9))
+        z = rng.standard_normal((5, 9))
+        z_before = z.copy()
+        gekmm(x, factors, alpha=2.0, beta=0.5, z=z)
+        assert np.array_equal(z, z_before)
+
+    def test_z_aliasing_out_blas_style(self, rng):
+        """``gekmm(..., z=buf, out=buf)`` is the BLAS idiom Y = alpha*XF + beta*Y."""
+        factors = [rng.standard_normal((3, 3)) for _ in range(2)]
+        x = rng.standard_normal((5, 9))
+        buf = rng.standard_normal((5, 9))
+        expected = 2.0 * kron_matmul(x, factors) + 0.5 * buf
+        result = gekmm(x, factors, alpha=2.0, beta=0.5, z=buf, out=buf)
+        assert result is buf
+        np.testing.assert_allclose(buf, expected, atol=1e-12)
+
+
+# --------------------------------------------------------------------------- #
+# seam coverage in the upper layers
+# --------------------------------------------------------------------------- #
+class TestUpperLayerRouting:
+    def test_baseline_registry_accepts_backend(self, rng):
+        from repro.baselines.registry import get_algorithm
+
+        factors = [rng.standard_normal((3, 3)) for _ in range(2)]
+        x = rng.standard_normal((6, 9))
+        for name in ("fastkron", "shuffle", "ftmmt"):
+            fn = get_algorithm(name)
+            np.testing.assert_allclose(
+                fn(x, factors, backend="threaded"), fn(x, factors), atol=1e-12
+            )
+
+    def test_distributed_with_threaded_backend(self, rng):
+        from repro.distributed.grid import GpuGrid
+        from repro.distributed.multi_gpu import DistributedFastKron
+
+        factors = [rng.standard_normal((4, 4)) for _ in range(3)]
+        x = rng.standard_normal((8, 4**3))
+        executor = DistributedFastKron(GpuGrid(gm=2, gk=2), backend="threaded")
+        execution = executor.execute(x, factors)
+        np.testing.assert_allclose(execution.output, executor.reference(x, factors), atol=1e-10)
+
+    def test_cg_kron_matvec_operator(self, rng):
+        from repro.gp.cg import conjugate_gradient, kron_matvec_operator
+
+        # A symmetric positive definite Kronecker operator.
+        a = rng.standard_normal((4, 4))
+        spd = a @ a.T + 4 * np.eye(4)
+        matvec = kron_matvec_operator([spd, spd], noise=0.1, backend="threaded")
+        b = rng.standard_normal(16)
+        result = conjugate_gradient(matvec, b, tol=1e-10, max_iterations=200)
+        assert result.converged
+        dense = np.kron(spd, spd) + 0.1 * np.eye(16)
+        np.testing.assert_allclose(dense @ result.solution, b, atol=1e-6)
+
+    def test_ski_operator_backend(self, rng):
+        from repro.gp.ski import SkiKernelOperator
+
+        grids = [np.linspace(0, 1, 5), np.linspace(0, 1, 4)]
+        points = rng.uniform(0, 1, size=(12, 2))
+        op_numpy = SkiKernelOperator(points, grids)
+        op_threaded = SkiKernelOperator(points, grids, backend="threaded")
+        v = rng.standard_normal((12, 3))
+        np.testing.assert_allclose(op_threaded.matvec(v), op_numpy.matvec(v), atol=1e-12)
+
+    def test_kron_matmul_rejects_bad_backend(self, rng):
+        with pytest.raises(BackendError):
+            kron_matmul(rng.standard_normal((2, 4)), [np.eye(2), np.eye(2)], backend="nope")

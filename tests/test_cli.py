@@ -19,8 +19,51 @@ class TestParser:
     def test_parser_registers_all_subcommands(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("estimate", "compare", "tune", "realworld", "scaling"):
+        for command in ("estimate", "compare", "tune", "realworld", "scaling", "backends", "check"):
             assert command in text
+
+    def test_global_backend_flag_in_help(self):
+        assert "--backend" in build_parser().format_help()
+
+
+class TestBackends:
+    def test_backends_lists_availability(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("numpy", "threaded", "torch", "cupy"):
+            assert name in out
+        assert "default" in out
+
+    def test_check_runs_real_multiply(self, capsys):
+        assert main(["check", "--p", "4", "--n", "3", "--m", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "GFLOPS" in out
+        assert "numpy" in out
+
+    def test_check_with_threaded_backend(self, capsys):
+        assert main(["--backend", "threaded", "check", "--p", "4", "--n", "3", "--m", "32"]) == 0
+        assert "threaded" in capsys.readouterr().out
+
+    def test_backend_flag_restores_default(self):
+        from repro.backends import default_backend
+
+        before = default_backend()
+        assert main(["--backend", "threaded", "backends"]) == 0
+        assert default_backend() == before
+
+    def test_unknown_backend_fails_cleanly(self, capsys):
+        assert main(["--backend", "nope", "backends"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown backend" in err and "numpy" in err
+
+    def test_unavailable_backend_fails_cleanly(self, capsys):
+        from repro.backends import registered_backends
+
+        unavailable = [n for n, ok, _ in registered_backends() if not ok]
+        if not unavailable:
+            pytest.skip("all registered backends available here")
+        assert main(["--backend", unavailable[0], "backends"]) == 2
+        assert "unavailable" in capsys.readouterr().err
 
 
 class TestEstimate:

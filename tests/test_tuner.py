@@ -77,6 +77,39 @@ class TestTuningCache:
         loaded = TuningCache.load(path)
         assert loaded.get(key) == cache.get(key)
 
+    def test_keys_are_backend_qualified(self):
+        key_numpy = shape_key(16, 64, 8, 8, np.float32)
+        key_threaded = shape_key(16, 64, 8, 8, np.float32, backend="threaded")
+        assert key_numpy[-1] == "numpy"
+        assert key_threaded[-1] == "threaded"
+        assert key_numpy != key_threaded
+        cache = TuningCache()
+        cache.put(key_numpy, TileConfig(tm=1, tk=64, tp=8, tq=8, rk=2, rq=2, rp=2))
+        cache.put(key_threaded, TileConfig(tm=2, tk=64, tp=8, tq=8, rk=2, rq=2, rp=2))
+        assert len(cache) == 2
+        assert cache.get(key_numpy) != cache.get(key_threaded)
+
+    def test_round_trip_json_backend_qualified(self, tmp_path):
+        cache = TuningCache()
+        key_a = shape_key(16, 64, 8, 8, np.float32, backend="numpy")
+        key_b = shape_key(16, 64, 8, 8, np.float32, backend="threaded")
+        cache.put(key_a, TileConfig(tm=1, tk=64, tp=8, tq=8, rk=2, rq=2, rp=2))
+        cache.put(key_b, TileConfig(tm=2, tk=64, tp=8, tq=8, rk=2, rq=2, rp=2))
+        path = cache.save(tmp_path / "tune.json")
+        loaded = TuningCache.load(path)
+        assert len(loaded) == 2
+        assert loaded.get(key_a) == cache.get(key_a)
+        assert loaded.get(key_b) == cache.get(key_b)
+
+    def test_load_legacy_unqualified_keys(self):
+        """Caches serialised before backend qualification load as 'numpy' keys."""
+        legacy = (
+            '{"16,64,8,8,float32": '
+            '{"tm": 1, "tk": 64, "tp": 8, "tq": 8, "rk": 2, "rq": 2, "rp": 2, "nfused": 1}}'
+        )
+        loaded = TuningCache.from_json(legacy)
+        assert loaded.get(shape_key(16, 64, 8, 8, np.float32, backend="numpy")) is not None
+
     def test_clear(self):
         cache = TuningCache()
         cache.put(shape_key(1, 2, 2, 2, np.float32), TileConfig(1, 2, 2, 2, 1, 1, 1))
@@ -132,3 +165,19 @@ class TestAutotuner:
         tuner = Autotuner(fuse=False, max_candidates=300)
         result = tuner.tune_shape(64, 8**4, 8, 8)
         assert result.best.nfused == 1
+
+    def test_autotuner_follows_default_backend(self):
+        """Cache keys must be qualified with the process default backend."""
+        from repro.backends import use_backend
+
+        with use_backend("threaded"):
+            tuner = Autotuner(max_candidates=100)
+            assert tuner.backend == "threaded"
+            tuner.tune_shape(16, 8**3, 8, 8)
+            assert shape_key(16, 8**3, 8, 8, np.float32, backend="threaded") in tuner.cache
+
+    def test_autotuner_explicit_backend_kept(self):
+        tuner = Autotuner(max_candidates=100, backend="threaded")
+        tuner.tune_shape(16, 8**3, 8, 8)
+        assert shape_key(16, 8**3, 8, 8, np.float32, backend="threaded") in tuner.cache
+        assert shape_key(16, 8**3, 8, 8, np.float32, backend="numpy") not in tuner.cache
