@@ -13,7 +13,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.gpu.device import TESLA_V100
 from repro.gpu.shared_memory import SharedMemoryBankModel
 from repro.kernels.caching import DirectCaching, ShiftCaching
 from repro.kernels.sliced_kernel import SlicedMultiplyKernel

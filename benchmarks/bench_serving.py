@@ -1,0 +1,174 @@
+"""Serving benchmark: sequential per-request kron_matmul vs KronEngine.
+
+Each sweep row serves the same burst of small same-model requests two ways —
+one :func:`~repro.core.fastkron.kron_matmul` call per request (paying
+per-request setup every time, as a naive server would) and one
+:class:`~repro.serving.KronEngine` coalescing the burst — and asserts the
+outputs are bit-identical.  Results land in ``Serving-Comparison.csv`` and,
+for the CI perf gate, in a ``BENCH_serving.json`` snapshot.
+
+The regression gate tracks the *speedup* (engine throughput normalised by
+the same-run sequential throughput): a same-machine ratio is comparable
+across runner generations, unlike absolute requests/second.  CI fails when
+any config's speedup drops more than 20 % below the committed baseline
+(``benchmarks/baselines/BENCH_serving_baseline.json``).
+
+Run as a script to (re)generate the JSON snapshot::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --json results/BENCH_serving.json
+
+or through pytest for the asserting sweep plus the multi-core ≥2× gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro._version import __version__
+from repro.serving import COMPARISON_HEADERS, ServingComparison, compare_serving, comparison_rows
+from repro.utils.reporting import ResultTable
+
+#: The sweep: (backend, requests, rows per request, P, N, dtype).  Small
+#: requests with a shared model — the workload the engine exists for.
+SWEEP = [
+    ("numpy", 256, 8, 8, 3, np.float32),
+    ("threaded", 256, 8, 8, 3, np.float32),
+    ("threaded", 256, 2, 8, 3, np.float32),
+    ("threaded", 128, 16, 16, 3, np.float32),
+    ("threaded", 64, 8, 8, 4, np.float64),
+]
+
+#: The acceptance configuration for the ≥2× multi-core gate: many small
+#: float32 requests on the threaded backend, where coalescing additionally
+#: unlocks row sharding that 8-row requests can never reach alone.
+GATE_CASE = ("threaded", 256, 8, 8, 3, np.float32)
+
+MULTI_CORE = (os.cpu_count() or 1) >= 2
+
+
+def config_key(backend: str, requests: int, rows: int, p: int, n: int, dtype) -> str:
+    return f"{backend}|{requests}x{rows}|p{p}n{n}|{np.dtype(dtype)}"
+
+
+def run_sweep(repeats: int = 3) -> List[ServingComparison]:
+    return [
+        compare_serving(
+            backend=backend,
+            requests=requests,
+            rows_per_request=rows,
+            p=p,
+            n=n,
+            dtype=np.dtype(dtype),
+            repeats=repeats,
+        )
+        for backend, requests, rows, p, n, dtype in SWEEP
+    ]
+
+
+def snapshot(results: List[ServingComparison]) -> Dict:
+    """The ``BENCH_serving.json`` payload uploaded as a CI artifact."""
+    configs = {}
+    for (backend, requests, rows, p, n, dtype), result in zip(SWEEP, results):
+        configs[config_key(backend, requests, rows, p, n, dtype)] = {
+            "sequential_rps": round(result.sequential_rps, 1),
+            "engine_rps": round(result.engine_rps, 1),
+            "speedup": round(result.speedup, 3),
+            "coalesce_ratio": round(result.engine_stats.coalesce_ratio, 2)
+            if result.engine_stats
+            else None,
+            "identical": result.identical,
+        }
+    return {
+        "schema": 1,
+        "version": __version__,
+        "cpu_count": os.cpu_count(),
+        "configs": configs,
+    }
+
+
+def results_table(results: List[ServingComparison]) -> ResultTable:
+    table = ResultTable(
+        name="Serving comparison: sequential kron_matmul vs KronEngine",
+        headers=list(COMPARISON_HEADERS),
+    )
+    for row in comparison_rows(results):
+        table.add_row(*row)
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# pytest entry points
+# --------------------------------------------------------------------------- #
+@pytest.mark.benchmark(group="serving")
+def test_serving_sweep(benchmark, save_table, results_dir):
+    """Regenerate the serving table + JSON snapshot; every row bit-identical."""
+    results = run_sweep()
+    save_table(results_table(results), "Serving-Comparison.csv")
+    path = Path(results_dir) / "BENCH_serving.json"
+    path.write_text(json.dumps(snapshot(results), indent=2, sort_keys=True))
+    for result in results:
+        assert result.identical, f"engine diverged from sequential on {result.label()}"
+
+    backend, requests, rows, p, n, dtype = GATE_CASE
+
+    def serve_once():
+        return compare_serving(
+            backend=backend, requests=requests, rows_per_request=rows,
+            p=p, n=n, dtype=np.dtype(dtype), repeats=1,
+        )
+
+    benchmark(serve_once)
+
+
+def test_engine_speedup_threaded():
+    """Engine ≥ 2× sequential on the threaded backend (multi-core runners)."""
+    if not MULTI_CORE:
+        pytest.skip("single-core runner: coalescing cannot unlock sharding")
+    backend, requests, rows, p, n, dtype = GATE_CASE
+    result = compare_serving(
+        backend=backend, requests=requests, rows_per_request=rows,
+        p=p, n=n, dtype=np.dtype(dtype), repeats=3,
+    )
+    assert result.identical
+    print(f"\nengine speedup on {result.label()} ({backend}): {result.speedup:.2f}x")
+    assert result.speedup >= 2.0, (
+        f"engine only {result.speedup:.2f}x over sequential serving"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# script entry point (used by CI to emit the artifact)
+# --------------------------------------------------------------------------- #
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        default=str(Path(__file__).parent / "results" / "BENCH_serving.json"),
+        help="where to write the perf snapshot",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    results = run_sweep(repeats=args.repeats)
+    print(results_table(results).render())
+    payload = snapshot(results)
+    path = Path(args.json)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nwrote {path}")
+    if not all(r.identical for r in results):
+        print("error: engine results diverged from sequential execution", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""CI regression gate for the serving benchmark (stdlib only).
+
+Compares a fresh ``BENCH_serving.json`` (written by ``bench_serving.py``)
+against the committed baseline and fails when any config's *speedup* —
+engine throughput normalised by the same-run sequential throughput — drops
+more than ``--tolerance`` (default 20 %) below its baseline value.
+
+The baseline stores conservative floors measured on a standard 4-core
+GitHub-hosted runner; configs present in the snapshot but absent from the
+baseline are reported and ignored, so adding a sweep row does not require a
+lockstep baseline update.
+
+Usage::
+
+    python benchmarks/check_serving_regression.py \
+        benchmarks/results/BENCH_serving.json \
+        benchmarks/baselines/BENCH_serving_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def check(current_path: Path, baseline_path: Path, tolerance: float) -> int:
+    current = json.loads(current_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+
+    failures = []
+    rows = []
+    for key, base_cfg in sorted(baseline["configs"].items()):
+        cur_cfg = current["configs"].get(key)
+        if cur_cfg is None:
+            failures.append(f"{key}: present in baseline but missing from the snapshot")
+            continue
+        if not cur_cfg.get("identical", False):
+            failures.append(f"{key}: engine output diverged from sequential execution")
+        floor = base_cfg["speedup"] * (1.0 - tolerance)
+        got = cur_cfg["speedup"]
+        status = "ok" if got >= floor else "REGRESSED"
+        rows.append(f"  {key}: speedup {got:.2f} vs baseline {base_cfg['speedup']:.2f} "
+                    f"(floor {floor:.2f}) -> {status}")
+        if got < floor:
+            failures.append(
+                f"{key}: speedup {got:.2f} fell >{tolerance:.0%} below baseline "
+                f"{base_cfg['speedup']:.2f}"
+            )
+
+    extra = sorted(set(current["configs"]) - set(baseline["configs"]))
+    print(f"serving perf gate (tolerance {tolerance:.0%}, "
+          f"snapshot from {current.get('cpu_count')}-core runner):")
+    print("\n".join(rows))
+    for key in extra:
+        print(f"  {key}: not in baseline (ignored)")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nall configs within tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="freshly generated BENCH_serving.json")
+    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional speedup regression (default 0.20)")
+    args = parser.parse_args(argv)
+    return check(args.current, args.baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,11 @@ provides:
     (:func:`repro.backends.set_default_backend`) or from the command line
     via the global ``--backend`` flag of ``fastkron-repro`` (the
     ``backends`` subcommand lists availability).
+``repro.serving``
+    The batched serving layer: :class:`~repro.serving.KronEngine` coalesces
+    concurrent small Kron-Matmul requests into large sliced multiplies
+    (bit-identically), backed by an LRU plan cache of prepared
+    :class:`FastKron` handles and the tuner's persistent cache.
 ``repro.baselines``
     The algorithms the paper compares against: the naive algorithm, the
     shuffle algorithm (GPyTorch / PyKronecker) and the fused tensor-matrix
@@ -78,11 +83,13 @@ from repro.core.gradients import kron_matmul_vjp
 from repro.core.problem import KronMatmulProblem
 from repro.core.sliced_multiply import sliced_multiply
 from repro.core.solve import kron_power, kron_solve
+from repro.serving import KronEngine
 
 __all__ = [
     "__version__",
     "ArrayBackend",
     "FastKron",
+    "KronEngine",
     "KronMatmulProblem",
     "KroneckerFactor",
     "KroneckerOperator",

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, List, Optional, Tuple, Type, Union
+from typing import Dict, Iterator, List, Tuple, Type, Union
 
 from repro.backends.base import ArrayBackend
 from repro.backends.cupy_backend import CupyBackend

@@ -9,10 +9,15 @@ Installed as the ``fastkron-repro`` console script::
     fastkron-repro scaling --p 64 --n 4 --gpus 16
     fastkron-repro backends
     fastkron-repro --backend threaded check --m 4096 --p 16 --n 3
+    fastkron-repro --backend threaded serve --requests 512 --clients 8
+    fastkron-repro --backend threaded bench-serve --requests 256 --rows 8
 
 The global ``--backend`` flag selects the execution backend (numpy,
 threaded, torch, cupy) for every numerical path of the invoked subcommand;
-``backends`` lists what is available in this environment.
+``backends`` lists what is available in this environment.  ``serve`` drives
+a :class:`~repro.serving.KronEngine` with a synthetic multi-client workload
+and reports its coalescing/plan-cache statistics; ``bench-serve`` times
+engine-batched serving against sequential per-request calls.
 
 Every subcommand prints a small plain-text table; the heavyweight
 reproduction of whole figures/tables lives in ``benchmarks/`` (pytest).
@@ -182,6 +187,122 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Drive a KronEngine with a synthetic multi-client burst; report stats."""
+    import threading
+    import time
+
+    from repro.core.factors import random_factors
+    from repro.serving import KronEngine
+    from repro.tuner.cache import TuningCache
+
+    dtype = np.dtype(args.dtype)
+    q = args.q or args.p
+    factors = random_factors(args.n, args.p, q, dtype=dtype, seed=1)
+    k = int(np.prod([args.p] * args.n))
+    rng = np.random.default_rng(0)
+    inputs = [
+        rng.standard_normal((args.rows, k)).astype(dtype) for _ in range(args.requests)
+    ]
+
+    tuning_cache = TuningCache()
+    if args.tuning_cache:
+        try:
+            tuning_cache = TuningCache.load(args.tuning_cache)
+        except FileNotFoundError:
+            pass  # first run: the save below creates it
+    engine = KronEngine(
+        backend=get_backend(None),
+        max_batch_rows=args.max_batch_rows,
+        max_batch_requests=args.max_batch_requests,
+        max_delay_ms=args.max_delay_ms,
+        tuning_cache=tuning_cache,
+        autotune=args.autotune,
+    )
+
+    clients = max(1, args.clients)
+    chunks = [inputs[i::clients] for i in range(clients)]
+    futures_per_client: List[list] = [[] for _ in range(clients)]
+
+    def client(idx: int) -> None:
+        for x in chunks[idx]:
+            futures_per_client[idx].append(engine.submit(x, factors))
+
+    start = time.perf_counter()
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    engine.flush()
+    elapsed = time.perf_counter() - start
+    stats = engine.stats()
+    engine.close()
+    if args.tuning_cache and args.autotune:
+        # Merge into the on-disk cache rather than overwriting it: a
+        # concurrent serve run may have persisted other shapes meanwhile.
+        try:
+            on_disk = TuningCache.load(args.tuning_cache)
+        except FileNotFoundError:
+            on_disk = TuningCache()
+        on_disk.update(tuning_cache)
+        on_disk.save(args.tuning_cache)
+
+    failures = [
+        future.exception()
+        for client_futures in futures_per_client
+        for future in client_futures
+        if future.exception() is not None
+    ]
+    if failures:
+        print(
+            f"error: {len(failures)}/{stats.requests} requests failed: {failures[0]}",
+            file=sys.stderr,
+        )
+        return 1
+
+    served_rows = args.requests * args.rows
+    rows = [
+        ["backend", engine.backend.name],
+        ["requests", str(stats.requests)],
+        ["clients", str(clients)],
+        ["batches executed", str(stats.batches)],
+        ["coalesce ratio", f"{stats.coalesce_ratio:.1f} requests/batch"],
+        ["plan cache", f"{stats.plan_misses} built, {stats.plan_hits} hits"],
+        ["rows served", f"{served_rows:,}"],
+        ["wall time", f"{elapsed * 1e3:.1f} ms"],
+        ["throughput", f"{args.requests / elapsed:,.0f} req/s ({served_rows / elapsed:,.0f} rows/s)"],
+    ]
+    print(format_table(["quantity", "value"], rows, title="KronEngine serving run"))
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    """Sequential per-request calls vs one engine: throughput and parity."""
+    from repro.serving import COMPARISON_HEADERS, compare_serving, comparison_rows
+
+    result = compare_serving(
+        backend=get_backend(None),
+        requests=args.requests,
+        rows_per_request=args.rows,
+        p=args.p,
+        n=args.n,
+        dtype=np.dtype(args.dtype),
+        max_batch_rows=args.max_batch_rows,
+        max_delay_ms=args.max_delay_ms,
+        repeats=args.repeats,
+    )
+    print(format_table(
+        COMPARISON_HEADERS,
+        comparison_rows([result]),
+        title="Serving throughput: sequential kron_matmul vs KronEngine",
+    ))
+    if not result.identical:
+        print("error: engine results diverged from sequential execution", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_scaling(args: argparse.Namespace) -> int:
     from repro.distributed.models import all_multi_gpu_models
 
@@ -252,6 +373,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_ck = sub.add_parser("check", help="run one real multiply on the selected backend")
     _add_problem_arguments(p_ck)
     p_ck.set_defaults(func=_cmd_check)
+
+    p_sv = sub.add_parser("serve", help="run a synthetic serving workload through a KronEngine")
+    p_sv.add_argument("--requests", type=int, default=512, help="total requests to serve")
+    p_sv.add_argument("--clients", type=int, default=4, help="concurrent producer threads")
+    p_sv.add_argument("--rows", type=int, default=8, help="rows per request")
+    p_sv.add_argument("--p", type=int, default=8, help="factor rows P")
+    p_sv.add_argument("--q", type=int, default=None, help="factor columns Q (default: P)")
+    p_sv.add_argument("--n", type=int, default=3, help="number of factors N")
+    p_sv.add_argument("--dtype", choices=["float32", "float64"], default="float32")
+    p_sv.add_argument("--max-batch-rows", type=int, default=4096)
+    p_sv.add_argument("--max-batch-requests", type=int, default=256)
+    p_sv.add_argument("--max-delay-ms", type=float, default=2.0)
+    p_sv.add_argument("--autotune", action="store_true", help="autotune each new plan")
+    p_sv.add_argument("--tuning-cache", default=None, metavar="PATH",
+                      help="load/save the tuning cache at PATH (with --autotune)")
+    p_sv.set_defaults(func=_cmd_serve)
+
+    p_bs = sub.add_parser("bench-serve", help="compare engine-batched vs sequential serving")
+    p_bs.add_argument("--requests", type=int, default=256)
+    p_bs.add_argument("--rows", type=int, default=8, help="rows per request")
+    p_bs.add_argument("--p", type=int, default=8)
+    p_bs.add_argument("--n", type=int, default=3)
+    p_bs.add_argument("--dtype", choices=["float32", "float64"], default="float32")
+    p_bs.add_argument("--max-batch-rows", type=int, default=4096)
+    p_bs.add_argument("--max-delay-ms", type=float, default=2.0)
+    p_bs.add_argument("--repeats", type=int, default=3)
+    p_bs.set_defaults(func=_cmd_bench_serve)
     return parser
 
 

@@ -13,8 +13,8 @@ configurations together with the simulated-GPU execution statistics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -146,6 +146,12 @@ class FastKron:
         Execution backend name or instance; ``None`` uses the process
         default.  The handle resolves it once at construction and owns the
         backend-allocated workspace for its lifetime.
+    row_capacity:
+        Allocate the workspace for up to this many input rows (at least
+        ``problem.m``).  A handle with spare row capacity accepts any ``X``
+        with ``rows <= row_capacity`` and the problem's column count, which
+        is what lets the serving engine reuse one prepared handle for
+        variable-size coalesced batches without reallocating.
     """
 
     def __init__(
@@ -154,10 +160,15 @@ class FastKron:
         fuse: bool = True,
         shared_memory_elements: Optional[int] = None,
         backend: BackendLike = None,
+        row_capacity: Optional[int] = None,
     ):
         self.problem = problem
         self.fuse = fuse
         self.backend = get_backend(backend)
+        # Accepting fewer rows than problem.m is an explicit opt-in: handles
+        # that never asked for row capacity keep the strict shape guard.
+        self._flexible_rows = row_capacity is not None
+        self.row_capacity = max(problem.m, int(row_capacity) if row_capacity else 0)
         if shared_memory_elements is None:
             shared_memory_elements = (48 * 1024) // problem.itemsize
         self.shared_memory_elements = int(shared_memory_elements)
@@ -170,8 +181,8 @@ class FastKron:
         # The workspace is allocated by the backend so device backends can
         # hand out pinned or device-adjacent buffers.
         self._buffers = (
-            self.backend.empty((problem.m, max_cols), dtype=problem.dtype),
-            self.backend.empty((problem.m, max_cols), dtype=problem.dtype),
+            self.backend.empty((self.row_capacity, max_cols), dtype=problem.dtype),
+            self.backend.empty((self.row_capacity, max_cols), dtype=problem.dtype),
         )
         self.last_stats: Optional[ExecutionStats] = None
 
@@ -189,13 +200,33 @@ class FastKron:
         return self.multiply(x, factors)
 
     def multiply(self, x: np.ndarray, factors: Iterable) -> np.ndarray:
-        """Compute the Kron-Matmul, recording :attr:`last_stats`."""
+        """Compute the Kron-Matmul, recording :attr:`last_stats`.
+
+        ``x`` may carry fewer rows than ``problem.m`` (and up to
+        :attr:`row_capacity`); the handle then runs the same schedule over
+        the rows actually present, slicing its preallocated workspace.
+        """
         factor_list = as_factor_list(factors)
         x2d = ensure_2d(np.asarray(x), "X")
-        self.problem.validate_against(x2d, [f.values for f in factor_list])
+        rows = x2d.shape[0]
+        if rows == self.problem.m:
+            problem = self.problem
+        else:
+            if not self._flexible_rows:
+                raise ShapeError(
+                    f"X has {rows} rows, expected {self.problem.m} (construct the "
+                    f"handle with row_capacity= to serve variable row counts)"
+                )
+            if rows > self.row_capacity:
+                raise ShapeError(
+                    f"X has {rows} rows, exceeding this handle's row capacity "
+                    f"{self.row_capacity}"
+                )
+            problem = self.problem.with_rows(rows)
+        problem.validate_against(x2d, [f.values for f in factor_list])
 
         stats = ExecutionStats()
-        iteration_shapes = self.problem.iteration_shapes()
+        iteration_shapes = problem.iteration_shapes()
         for it in iteration_shapes:
             stats.flops += it.flops
             stats.unfused_memory_elements += (
@@ -224,7 +255,7 @@ class FastKron:
             factor = factor_list[it.factor_index].values
             if factor.dtype != self.problem.dtype:
                 factor = factor.astype(self.problem.dtype)
-            target = buf_a[:, : it.out_cols]
+            target = buf_a[:rows, : it.out_cols]
             sliced_multiply(
                 cur[:, : it.k] if cur.shape[1] != it.k else cur,
                 factor,

@@ -23,7 +23,7 @@ one, i.e. they fall back to the unfused kernel.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.problem import KronMatmulProblem
 from repro.exceptions import ShapeError

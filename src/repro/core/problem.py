@@ -132,6 +132,17 @@ class KronMatmulProblem:
         dt = np.dtype(dtype) if dtype is not None else np.asarray(factors[0]).dtype
         return cls(m=m, factor_shapes=shapes, dtype=dt)
 
+    def with_rows(self, m: int) -> "KronMatmulProblem":
+        """The same factor shapes and dtype with a different row count ``m``.
+
+        Used by :class:`~repro.core.fastkron.FastKron` handles with a row
+        capacity (and the serving engine on top of them) to re-describe the
+        problem for the rows actually present in one call/batch.
+        """
+        if m == self.m:
+            return self
+        return KronMatmulProblem(m=m, factor_shapes=self.factor_shapes, dtype=self.dtype)
+
     # ------------------------------------------------------------------ #
     # shape algebra
     # ------------------------------------------------------------------ #

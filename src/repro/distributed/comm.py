@@ -13,8 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
-import numpy as np
-
 from repro.gpu.device import GpuSpec, TESLA_V100
 
 

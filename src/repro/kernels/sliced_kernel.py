@@ -29,7 +29,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, ShapeError
+from repro.exceptions import ConfigurationError
 from repro.gpu.counters import KernelCounters
 from repro.gpu.device import GpuSpec, TESLA_V100
 from repro.gpu.memory import GlobalMemoryModel

@@ -18,8 +18,6 @@ count) which the autotuner uses to prune the search space.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
-
 import numpy as np
 
 from repro.exceptions import ConfigurationError

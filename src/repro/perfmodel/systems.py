@@ -33,7 +33,7 @@ import numpy as np
 from repro.core.problem import IterationShape, KronMatmulProblem
 from repro.gpu.counters import KernelCounters
 from repro.gpu.device import GpuSpec, TESLA_V100
-from repro.kernels.caching import DirectCaching, ShiftCaching
+from repro.kernels.caching import ShiftCaching
 from repro.kernels.contraction_kernel import ContractionKernelModel
 from repro.kernels.launch import GpuExecutor
 from repro.perfmodel.roofline import RooflineModel

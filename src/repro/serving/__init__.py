@@ -1,0 +1,76 @@
+"""Batched Kron-Matmul serving: the :class:`KronEngine` and its plan cache.
+
+The paper amortises work *within* one Kron-Matmul (workspace reuse, fused
+iterations, tune-once-per-shape).  This package amortises work *across*
+requests, which is what a server handling heavy small-request traffic
+needs:
+
+:class:`KronEngine`
+    Accepts many concurrent requests (:meth:`KronEngine.submit` returns a
+    future; :meth:`KronEngine.multiply` blocks), groups requests that share
+    their factor matrices, coalesces each group by stacking the ``x`` rows
+    into one large sliced multiply and splits the output back per request —
+    bit-identical to calling :func:`repro.kron_matmul` per request.
+:class:`PlanCache`
+    An LRU of prepared :class:`~repro.core.fastkron.FastKron` handles keyed
+    by ``(factor shapes, dtype, backend, fuse)``, so repeated shapes reuse
+    workspaces and (with ``autotune=True``) tuned tile configurations.
+
+Micro-batching knobs (constructor arguments of :class:`KronEngine`)
+-------------------------------------------------------------------
+
+``max_batch_rows`` (default 4096)
+    Row capacity of every prepared handle and the ceiling on stacked rows
+    per batch.  Larger values amortise more but hold a bigger workspace per
+    cached plan; requests larger than this run uncoalesced.
+``max_batch_requests`` (default 256)
+    Maximum requests coalesced into one batch; bounds per-request latency
+    spent waiting behind a huge batch.
+``max_delay_ms`` (default 2.0)
+    How long the dispatcher holds the oldest pending request waiting for
+    coalescable companions.  ``0`` still batches bursts but never waits —
+    the latency-optimal setting; a few milliseconds is the throughput-
+    optimal setting under steady traffic.
+``plan_capacity`` (default 32)
+    Prepared handles kept by the LRU plan cache.
+``tuning_cache`` / ``autotune`` / ``tune_candidates``
+    Plans created with ``autotune=True`` tune their iteration shapes
+    through the shared :class:`~repro.tuner.cache.TuningCache`; save/load
+    that cache to persist tuning across server restarts.
+
+Quick start
+-----------
+
+>>> import numpy as np
+>>> from repro import random_factors
+>>> from repro.serving import KronEngine
+>>> factors = random_factors(n=3, p=4, q=4, seed=0)
+>>> x = np.random.default_rng(1).standard_normal((8, 4 ** 3))
+>>> with KronEngine(max_delay_ms=0.5) as engine:
+...     future = engine.submit(x, factors)
+...     y = future.result()
+>>> y.shape
+(8, 64)
+"""
+
+from repro.serving.benchmark import (
+    COMPARISON_HEADERS,
+    ServingComparison,
+    compare_serving,
+    comparison_rows,
+)
+from repro.serving.engine import EngineStats, KronEngine
+from repro.serving.plan_cache import PlanCache, PlanCacheStats, PlanEntry, PlanKey
+
+__all__ = [
+    "COMPARISON_HEADERS",
+    "EngineStats",
+    "KronEngine",
+    "PlanCache",
+    "PlanCacheStats",
+    "PlanEntry",
+    "PlanKey",
+    "ServingComparison",
+    "compare_serving",
+    "comparison_rows",
+]

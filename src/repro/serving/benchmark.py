@@ -1,0 +1,178 @@
+"""Sequential-vs-engine serving comparison, shared by the CLI and benchmarks.
+
+The comparison models the serving scenario the engine is built for: a burst
+of small same-model requests.  The *sequential* arm pays the per-request
+cost a naive server would — one :func:`~repro.core.fastkron.kron_matmul`
+call per request, each constructing its schedule and workspace.  The
+*engine* arm submits the same requests to a :class:`~repro.serving.engine.KronEngine`
+and gathers the futures.  Outputs are asserted bit-identical, so the
+reported speedup is a pure systems win.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.backends.registry import BackendLike, get_backend
+from repro.core.factors import random_factors
+from repro.core.fastkron import kron_matmul
+from repro.core.problem import KronMatmulProblem
+from repro.serving.engine import EngineStats, KronEngine
+
+
+@dataclass
+class ServingComparison:
+    """Result of one sequential-vs-engine run on one backend."""
+
+    backend: str
+    requests: int
+    rows_per_request: int
+    p: int
+    n: int
+    dtype: str
+    sequential_seconds: float
+    engine_seconds: float
+    identical: bool
+    engine_stats: Optional[EngineStats] = None
+
+    @property
+    def total_rows(self) -> int:
+        return self.requests * self.rows_per_request
+
+    @property
+    def sequential_rps(self) -> float:
+        """Sequential throughput in requests/second."""
+        return self.requests / self.sequential_seconds
+
+    @property
+    def engine_rps(self) -> float:
+        """Engine-coalesced throughput in requests/second."""
+        return self.requests / self.engine_seconds
+
+    @property
+    def speedup(self) -> float:
+        """Engine throughput normalised by the same-run sequential baseline.
+
+        Being a same-machine ratio, this is comparable across runner
+        generations in a way absolute requests/second never are — the CI
+        regression gate tracks it for exactly that reason.
+        """
+        return self.sequential_seconds / self.engine_seconds
+
+    def label(self) -> str:
+        return f"{self.requests}x{self.rows_per_request} rows, {self.p}^{self.n} {self.dtype}"
+
+
+def _make_requests(
+    requests: int, rows: int, p: int, n: int, dtype: np.dtype, seed: int = 7
+) -> tuple:
+    problem = KronMatmulProblem.uniform(rows, p, n, dtype=dtype)
+    factors = random_factors(n, p, p, dtype=dtype, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    inputs = [
+        rng.standard_normal((rows, problem.k)).astype(dtype) for _ in range(requests)
+    ]
+    return inputs, factors
+
+
+def compare_serving(
+    backend: BackendLike = None,
+    requests: int = 256,
+    rows_per_request: int = 8,
+    p: int = 8,
+    n: int = 3,
+    dtype: np.dtype = np.dtype(np.float32),
+    max_batch_rows: int = 4096,
+    max_batch_requests: int = 256,
+    max_delay_ms: float = 2.0,
+    repeats: int = 3,
+) -> ServingComparison:
+    """Time sequential per-request calls against one engine-batched run.
+
+    Both arms are warmed once (imports, BLAS threads, the engine's plan) and
+    timed best-of-``repeats``; the engine stays up across repeats, as a real
+    server would.
+    """
+    resolved = get_backend(backend)
+    dtype = np.dtype(dtype)
+    inputs, factors = _make_requests(requests, rows_per_request, p, n, dtype)
+
+    def run_sequential() -> List[np.ndarray]:
+        return [kron_matmul(x, factors, backend=resolved) for x in inputs]
+
+    expected = run_sequential()  # warm-up; also the parity reference
+    sequential_seconds = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_sequential()
+        sequential_seconds = min(sequential_seconds, time.perf_counter() - start)
+
+    engine = KronEngine(
+        backend=resolved,
+        max_batch_rows=max_batch_rows,
+        # Size the count limit to the burst so the dispatcher flushes the
+        # moment the burst is fully enqueued instead of waiting out the
+        # micro-batching window.
+        max_batch_requests=min(requests, max_batch_requests),
+        max_delay_ms=max_delay_ms,
+    )
+    try:
+
+        def run_engine() -> List[np.ndarray]:
+            futures = [engine.submit(x, factors) for x in inputs]
+            return [f.result() for f in futures]
+
+        got = run_engine()  # warm-up: builds and caches the plan
+        engine_seconds = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run_engine()
+            engine_seconds = min(engine_seconds, time.perf_counter() - start)
+        stats = engine.stats()
+    finally:
+        engine.close()
+
+    identical = all(np.array_equal(a, b) for a, b in zip(expected, got))
+    return ServingComparison(
+        backend=resolved.name,
+        requests=requests,
+        rows_per_request=rows_per_request,
+        p=p,
+        n=n,
+        dtype=str(dtype),
+        sequential_seconds=sequential_seconds,
+        engine_seconds=engine_seconds,
+        identical=identical,
+        engine_stats=stats,
+    )
+
+
+def comparison_rows(results: Sequence[ServingComparison]) -> List[List[object]]:
+    """Render comparisons as table rows (shared by the CLI and the bench CSV)."""
+    rows: List[List[object]] = []
+    for r in results:
+        rows.append([
+            r.backend,
+            r.label(),
+            round(r.sequential_rps, 1),
+            round(r.engine_rps, 1),
+            round(r.speedup, 2),
+            round(r.engine_stats.coalesce_ratio, 1) if r.engine_stats else "-",
+            r.identical,
+        ])
+    return rows
+
+
+COMPARISON_HEADERS = [
+    "backend",
+    "workload",
+    "sequential req/s",
+    "engine req/s",
+    "speedup",
+    "coalesce ratio",
+    "identical",
+]

@@ -1,0 +1,430 @@
+"""The :class:`KronEngine`: batched serving of concurrent Kron-Matmul requests.
+
+The engine applies the paper's amortisation idea one level up.  Within one
+Kron-Matmul, FastKron reuses workspaces and tunes once per iteration shape;
+across *requests*, the engine reuses prepared handles (via the
+:class:`~repro.serving.plan_cache.PlanCache`) and coalesces concurrent small
+requests into one large sliced multiply.
+
+Coalescing is a row-stacking trick: every output row of a Kron-Matmul
+depends on exactly one input row, so requests that share the same factor
+matrices (and therefore the same iteration schedule) can be stacked into a
+single ``X`` and split back afterwards — bit-identically, because each row
+runs through the same GEMM kernel whether it travels alone or in a batch
+(the same property that makes the ``threaded`` backend's row sharding
+bit-exact).  On the ``threaded`` backend the stacked batch additionally
+crosses the sharding threshold that individual small requests never reach,
+so coalescing turns per-request serial execution into multi-core execution.
+
+Requests are grouped by *signature* — the identity of their factor arrays
+plus the (shapes, dtype) plan key — so only calls against the same model
+coalesce; different models with the same shapes still share a prepared plan.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.backends.registry import BackendLike, get_backend
+from repro.core.factors import KroneckerFactor, as_factor_list
+from repro.core.fastkron import FastKron, kron_matmul
+from repro.core.problem import KronMatmulProblem
+from repro.exceptions import ShapeError
+from repro.serving.plan_cache import PlanCache, PlanEntry, PlanKey
+from repro.tuner.cache import TuningCache
+from repro.utils.validation import ensure_2d
+
+#: Coalescing identity: factor-array ids + plan key.  Two requests coalesce
+#: only when they reference the very same factor buffers.
+GroupKey = Tuple[Tuple[int, ...], PlanKey]
+
+
+@dataclass
+class EngineStats:
+    """A snapshot of one engine's serving counters.
+
+    ``coalesce_ratio`` is the mean number of requests per executed batch;
+    1.0 means no coalescing happened (every request ran alone).
+    """
+
+    requests: int = 0
+    batches: int = 0
+    coalesced_requests: int = 0
+    batched_rows: int = 0
+    direct_requests: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    plan_evictions: int = 0
+
+    @property
+    def coalesce_ratio(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+    @property
+    def plan_hit_rate(self) -> float:
+        total = self.plan_hits + self.plan_misses
+        return self.plan_hits / total if total else 0.0
+
+
+class _Request:
+    """One queued Kron-Matmul: validated operands plus the caller's future."""
+
+    __slots__ = ("x", "rows", "factors", "signature", "plan_key", "future", "squeeze", "arrival")
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        factors: List[KroneckerFactor],
+        signature: GroupKey,
+        plan_key: PlanKey,
+        squeeze: bool,
+    ):
+        self.x = x
+        self.rows = x.shape[0]
+        self.factors = factors
+        self.signature = signature
+        self.plan_key = plan_key
+        self.future: "Future[np.ndarray]" = Future()
+        self.squeeze = squeeze
+        self.arrival = time.monotonic()
+
+
+class KronEngine:
+    """Serve many concurrent Kron-Matmul requests through shared plans.
+
+    Parameters
+    ----------
+    backend:
+        Execution backend (name, instance or ``None`` for the process
+        default), resolved once; every request served by this engine runs on
+        it.
+    max_batch_rows:
+        Row capacity of each prepared handle and the ceiling on the number
+        of stacked rows per coalesced batch.  A single request larger than
+        this bypasses the shared workspace (a "direct" execution).
+    max_batch_requests:
+        Maximum number of requests coalesced into one batch.
+    max_delay_ms:
+        Micro-batching window: how long the dispatcher holds the oldest
+        pending request waiting for companions before flushing.  ``0``
+        disables waiting (batches still form under bursts).
+    plan_capacity:
+        Number of prepared handles kept by the LRU plan cache.
+    fuse:
+        Forwarded to the prepared handles' fusion planner.
+    tuning_cache:
+        A shared :class:`~repro.tuner.cache.TuningCache`.  Plans tuned under
+        the engine store their results here, so passing a cache loaded from
+        disk (and saving it afterwards) persists tuning across processes.
+    autotune:
+        When true, each newly created plan autotunes its iteration shapes
+        (through ``tuning_cache``, so repeated shapes never re-search).
+    tune_candidates:
+        Search budget per iteration shape when ``autotune`` is enabled.
+    """
+
+    def __init__(
+        self,
+        backend: BackendLike = None,
+        *,
+        max_batch_rows: int = 4096,
+        max_batch_requests: int = 256,
+        max_delay_ms: float = 2.0,
+        plan_capacity: int = 32,
+        fuse: bool = True,
+        tuning_cache: Optional[TuningCache] = None,
+        autotune: bool = False,
+        tune_candidates: int = 200,
+    ):
+        if max_batch_rows < 1:
+            raise ValueError(f"max_batch_rows must be >= 1, got {max_batch_rows}")
+        if max_batch_requests < 1:
+            raise ValueError(f"max_batch_requests must be >= 1, got {max_batch_requests}")
+        if max_delay_ms < 0:
+            raise ValueError(f"max_delay_ms must be >= 0, got {max_delay_ms}")
+        self.backend = get_backend(backend)
+        self.max_batch_rows = int(max_batch_rows)
+        self.max_batch_requests = int(max_batch_requests)
+        self.max_delay = float(max_delay_ms) / 1e3
+        self.fuse = bool(fuse)
+        self.autotune = bool(autotune)
+        self.tune_candidates = int(tune_candidates)
+        self.tuning_cache = tuning_cache if tuning_cache is not None else TuningCache()
+        self.plans = PlanCache(capacity=plan_capacity)
+
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._pending: List[_Request] = []
+        self._pending_rows = 0
+        self._inflight = 0
+        self._solo_seq = 0
+        self._closed = False
+        self._stats = EngineStats()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="kron-engine-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def submit(self, x: np.ndarray, factors: Iterable) -> "Future[np.ndarray]":
+        """Enqueue one Kron-Matmul; returns a future resolving to ``Y``.
+
+        Operand validation happens synchronously (malformed requests raise
+        here, not in the future); numerical execution happens on the
+        dispatcher thread, possibly coalesced with concurrent requests.
+        """
+        x_arr = np.asarray(x)
+        squeeze = x_arr.ndim == 1
+        x2d = ensure_2d(x_arr, "X")
+        factor_list = as_factor_list(factors)
+        if x2d.dtype != factor_list[0].dtype:
+            # Same promotion rule as kron_matmul; promoted factor copies get
+            # fresh ids, so mixed-dtype submissions never cross-coalesce.
+            common = np.promote_types(x2d.dtype, factor_list[0].dtype)
+            x2d = x2d.astype(common)
+            factor_list = [f.astype(common) for f in factor_list]
+        # Validation is kept deliberately light on this hot path (the full
+        # problem validation runs once per *batch* inside the handle): the
+        # factor shapes fix the expected column count outright.
+        shapes = tuple(f.shape for f in factor_list)
+        k = 1
+        for p, _ in shapes:
+            k *= p
+        if x2d.shape[1] != k:
+            raise ShapeError(
+                f"X has {x2d.shape[1]} columns, expected {k} for factor shapes {shapes}"
+            )
+        # Coalescing is bit-exact only while every GEMM keeps >= 2 rows: a
+        # one-row GEMM takes a different (gemv-style) BLAS kernel, so a
+        # request that would run one anywhere in its schedule (one input row
+        # and a single-slice iteration, e.g. a one-factor model) must travel
+        # alone to hit the exact kernel a direct call would.
+        solo = False
+        if x2d.shape[0] == 1:
+            cols = k
+            for p, q in reversed(shapes):
+                slices = cols // p
+                if slices == 1:
+                    solo = True
+                    break
+                cols = slices * q
+
+        plan_key: PlanKey = (shapes, str(x2d.dtype), self.backend.name, self.fuse)
+        signature: GroupKey = (tuple(id(f.values) for f in factor_list), plan_key)
+        request = _Request(x2d, factor_list, signature, plan_key, squeeze)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("KronEngine is closed")
+            if solo:
+                # A negative pseudo-id can never collide with real array ids.
+                self._solo_seq += 1
+                request.signature = ((-self._solo_seq,), plan_key)
+            self._pending.append(request)
+            self._pending_rows += request.rows
+            self._inflight += 1
+            self._stats.requests += 1
+            # Wake the dispatcher only when it can act: on the first request
+            # of a window (to start the delay clock) and when a batch limit
+            # fills (to flush early).  Waking it on every submit would make
+            # producers and dispatcher fight over the GIL during bursts.
+            if (
+                len(self._pending) == 1
+                or len(self._pending) >= self.max_batch_requests
+                or self._pending_rows >= self.max_batch_rows
+            ):
+                self._work.notify_all()
+        return request.future
+
+    def multiply(self, x: np.ndarray, factors: Iterable, timeout: Optional[float] = None) -> np.ndarray:
+        """Blocking convenience wrapper: ``submit(...).result(timeout)``."""
+        return self.submit(x, factors).result(timeout)
+
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted request has resolved.
+
+        Returns ``False`` if ``timeout`` (seconds) elapsed first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while self._inflight > 0:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(timeout=remaining)
+            return True
+
+    def stats(self) -> EngineStats:
+        """A consistent snapshot of the serving counters."""
+        with self._lock:
+            snapshot = replace(self._stats)
+        plan_stats = self.plans.stats()
+        snapshot.plan_hits = plan_stats.hits
+        snapshot.plan_misses = plan_stats.misses
+        snapshot.plan_evictions = plan_stats.evictions
+        return snapshot
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests; drain the queue, then stop the dispatcher."""
+        with self._lock:
+            if self._closed:
+                if wait and self._dispatcher.is_alive():
+                    self._dispatcher.join()
+                return
+            self._closed = True
+            self._work.notify_all()
+        if wait:
+            self._dispatcher.join()
+
+    def __enter__(self) -> "KronEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # dispatcher
+    # ------------------------------------------------------------------ #
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._pending and not self._closed:
+                    self._work.wait()
+                if not self._pending:
+                    return  # closed and fully drained
+                # Micro-batching window: hold the oldest request up to
+                # max_delay waiting for coalescable companions, flushing
+                # early once either batch limit is reachable.
+                deadline = self._pending[0].arrival + self.max_delay
+                while (
+                    not self._closed
+                    and len(self._pending) < self.max_batch_requests
+                    and self._pending_rows < self.max_batch_rows
+                ):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._work.wait(timeout=remaining)
+                batch = self._pending
+                self._pending = []
+                self._pending_rows = 0
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: List[_Request]) -> None:
+        groups: "Dict[GroupKey, List[_Request]]" = {}
+        for request in batch:
+            groups.setdefault(request.signature, []).append(request)
+        for requests in groups.values():
+            for chunk in self._chunk(requests):
+                self._run_chunk(chunk)
+
+    def _chunk(self, requests: List[_Request]) -> Iterable[List[_Request]]:
+        """Split one coalescable group along the batch limits (greedy pack)."""
+        chunk: List[_Request] = []
+        chunk_rows = 0
+        for request in requests:
+            if chunk and (
+                chunk_rows + request.rows > self.max_batch_rows
+                or len(chunk) >= self.max_batch_requests
+            ):
+                yield chunk
+                chunk, chunk_rows = [], 0
+            chunk.append(request)
+            chunk_rows += request.rows
+        if chunk:
+            yield chunk
+
+    @staticmethod
+    def _resolve(future: "Future[np.ndarray]", result: Optional[np.ndarray], exc: Optional[BaseException]) -> None:
+        """Set a future's outcome, tolerating a caller-side cancel() racing in.
+
+        The dispatcher must survive InvalidStateError here: a dead dispatcher
+        would strand every in-flight and future request.
+        """
+        try:
+            if exc is not None:
+                future.set_exception(exc)
+            else:
+                future.set_result(result)
+        except InvalidStateError:
+            pass  # the caller cancelled between our check and the set
+
+    def _run_chunk(self, chunk: List[_Request]) -> None:
+        first = chunk[0]
+        rows = sum(r.rows for r in chunk)
+        direct = rows > self.max_batch_rows
+        try:
+            if direct:
+                # A single oversized request: the shared workspace cannot
+                # hold it, run it through the one-shot path instead.  The
+                # result is a fresh allocation (no workspace aliasing), so
+                # it is handed over without a defensive copy.
+                y = kron_matmul(first.x, first.factors, backend=self.backend)
+                self._resolve(first.future, y[0] if first.squeeze else y, None)
+            else:
+                plan = self.plans.get_or_create(first.plan_key, lambda: self._build_plan(first))
+                plan.uses += 1
+                x = first.x if len(chunk) == 1 else np.concatenate([r.x for r in chunk], axis=0)
+                y = plan.handle.multiply(x, first.factors)
+                start = 0
+                for request in chunk:
+                    # Copy out of the batch output: the plan's workspace
+                    # (which the handle's result may alias) is reused by the
+                    # very next batch, and each future must own its rows
+                    # outright.
+                    result = y[start : start + request.rows].copy()
+                    start += request.rows
+                    if request.squeeze:
+                        result = result[0]
+                    self._resolve(request.future, result, None)
+        except BaseException as exc:
+            for request in chunk:
+                if not request.future.done():
+                    self._resolve(request.future, None, exc)
+        self._finish_chunk(chunk, rows, direct)
+
+    def _finish_chunk(self, chunk: List[_Request], rows: int, direct: bool) -> None:
+        with self._lock:
+            self._stats.batches += 1
+            self._stats.batched_rows += rows
+            if len(chunk) > 1:
+                self._stats.coalesced_requests += len(chunk)
+            if direct:
+                self._stats.direct_requests += 1
+            self._inflight -= len(chunk)
+            if self._inflight == 0:
+                self._idle.notify_all()
+
+    def _build_plan(self, request: _Request) -> PlanEntry:
+        shapes, dtype_name, _backend, _fuse = request.plan_key
+        problem = KronMatmulProblem(
+            m=self.max_batch_rows, factor_shapes=shapes, dtype=np.dtype(dtype_name)
+        )
+        handle = FastKron(
+            problem,
+            fuse=self.fuse,
+            backend=self.backend,
+            row_capacity=self.max_batch_rows,
+        )
+        tile_overrides = None
+        if self.autotune:
+            # Imported lazily: the tuner pulls in the simulated-GPU stack,
+            # which untuned serving paths never need.
+            from repro.tuner.autotuner import Autotuner
+
+            tuner = Autotuner(
+                cache=self.tuning_cache,
+                backend=self.backend.name,
+                max_candidates=self.tune_candidates,
+                fuse=self.fuse,
+            )
+            tile_overrides = tuner.tune_problem(problem)
+        return PlanEntry(handle=handle, tile_overrides=tile_overrides)

@@ -1,0 +1,112 @@
+"""An LRU cache of prepared :class:`~repro.core.fastkron.FastKron` handles.
+
+Preparing a Kron-Matmul execution is not free: the handle computes the
+iteration schedule and fusion plan, allocates the double-buffered workspace
+and (optionally) autotunes tile configurations.  A serving system must not
+pay that per request, so :class:`PlanCache` keeps the most recently used
+prepared handles keyed by *plan identity* — the factor shapes, dtype and
+backend (the row count is deliberately **not** part of the key: handles are
+allocated with spare row capacity and serve any batch that fits).
+
+The cache is a plain LRU with thread-safe access and hit/miss/eviction
+counters; evicted entries simply drop their workspace for the garbage
+collector (``FastKron`` holds no resources beyond its buffers).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.fastkron import FastKron
+from repro.kernels.tile_config import TileConfig
+
+#: Plan identity: (factor shapes, dtype name, backend name, fuse flag).
+PlanKey = Tuple[Tuple[Tuple[int, int], ...], str, str, bool]
+
+
+@dataclass
+class PlanEntry:
+    """One prepared execution plan: a reusable handle plus tuning metadata."""
+
+    handle: FastKron
+    #: Per-iteration tile configurations chosen by the autotuner (``None``
+    #: when the engine runs with ``autotune=False``).
+    tile_overrides: Optional[Dict[int, TileConfig]] = None
+    #: Number of batches served by this plan since it was created.
+    uses: int = 0
+
+
+@dataclass
+class PlanCacheStats:
+    """Counters of one :class:`PlanCache` (monotonic since construction)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """A bounded, thread-safe LRU mapping :data:`PlanKey` to :class:`PlanEntry`."""
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError(f"plan cache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[PlanKey, PlanEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._stats = PlanCacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get_or_create(self, key: PlanKey, factory: Callable[[], PlanEntry]) -> PlanEntry:
+        """Return the cached entry for ``key``, building it on first use.
+
+        The factory runs under the cache lock: the engine's dispatcher is the
+        only writer in practice, and holding the lock makes concurrent
+        external lookups see either the finished plan or none at all.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._stats.hits += 1
+                return entry
+            entry = factory()
+            self._entries[key] = entry
+            self._stats.misses += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+            return entry
+
+    def stats(self) -> PlanCacheStats:
+        """A snapshot copy of the hit/miss/eviction counters."""
+        with self._lock:
+            return PlanCacheStats(
+                hits=self._stats.hits,
+                misses=self._stats.misses,
+                evictions=self._stats.evictions,
+            )
+
+    def keys(self) -> Tuple[PlanKey, ...]:
+        """The cached keys, least recently used first."""
+        with self._lock:
+            return tuple(self._entries.keys())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -53,6 +53,17 @@ class TuningCache:
     def clear(self) -> None:
         self._entries.clear()
 
+    def update(self, other: "TuningCache") -> None:
+        """Merge another cache's entries into this one (theirs win on clash).
+
+        Used by serving deployments that load a persisted cache at startup
+        and fold freshly tuned plans back in before saving.
+        """
+        self._entries.update(other._entries)
+
+    def keys(self) -> Tuple[ShapeKey, ...]:
+        return tuple(self._entries.keys())
+
     # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #

@@ -19,7 +19,8 @@ class TestParser:
     def test_parser_registers_all_subcommands(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("estimate", "compare", "tune", "realworld", "scaling", "backends", "check"):
+        for command in ("estimate", "compare", "tune", "realworld", "scaling",
+                        "backends", "check", "serve", "bench-serve"):
             assert command in text
 
     def test_global_backend_flag_in_help(self):
@@ -64,6 +65,48 @@ class TestBackends:
             pytest.skip("all registered backends available here")
         assert main(["--backend", unavailable[0], "backends"]) == 2
         assert "unavailable" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serve_reports_engine_stats(self, capsys):
+        assert main([
+            "serve", "--requests", "24", "--clients", "3", "--rows", "2",
+            "--p", "4", "--n", "2", "--max-delay-ms", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "KronEngine serving run" in out
+        assert "coalesce ratio" in out
+        assert "plan cache" in out
+        assert "req/s" in out
+
+    def test_serve_with_threaded_backend(self, capsys):
+        assert main([
+            "--backend", "threaded", "serve", "--requests", "8", "--clients", "2",
+            "--rows", "2", "--p", "4", "--n", "2", "--max-delay-ms", "1",
+        ]) == 0
+        assert "threaded" in capsys.readouterr().out
+
+    def test_serve_autotune_persists_tuning_cache(self, capsys, tmp_path):
+        path = tmp_path / "tuning.json"
+        assert main([
+            "serve", "--requests", "4", "--clients", "1", "--rows", "2",
+            "--p", "4", "--n", "2", "--max-delay-ms", "1",
+            "--autotune", "--tuning-cache", str(path),
+        ]) == 0
+        assert path.exists()
+        from repro.tuner.cache import TuningCache
+
+        assert len(TuningCache.load(path)) > 0
+
+    def test_bench_serve_prints_comparison(self, capsys):
+        assert main([
+            "bench-serve", "--requests", "8", "--rows", "2", "--p", "4", "--n", "2",
+            "--repeats", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sequential req/s" in out
+        assert "speedup" in out
+        assert "True" in out  # the identical column
 
 
 class TestEstimate:

@@ -155,3 +155,55 @@ class TestFastKronHandle:
         np.testing.assert_allclose(
             handle.multiply(x, factors), naive_kron_matmul(x, factors), atol=1e-10
         )
+
+
+class TestRowCapacity:
+    """The serving engine's core dependency: one handle, many batch sizes."""
+
+    def test_capacity_defaults_to_problem_rows(self):
+        problem = KronMatmulProblem.uniform(8, 4, 2)
+        assert FastKron(problem).row_capacity == 8
+        assert FastKron(problem, row_capacity=3).row_capacity == 8  # never below m
+
+    def test_smaller_batches_bit_identical(self, rng):
+        problem = KronMatmulProblem.uniform(64, 4, 3, dtype=np.float64)
+        handle = FastKron(problem, row_capacity=64)
+        factors = random_factors(3, 4, dtype=np.float64, seed=21)
+        for rows in (1, 7, 33, 64):
+            x = rng.standard_normal((rows, 64))
+            got = handle.multiply(x, factors)
+            assert got.shape == (rows, 64)
+            assert np.array_equal(got, kron_matmul(x, factors))
+
+    def test_stats_reflect_actual_rows(self, rng):
+        problem = KronMatmulProblem.uniform(32, 4, 2, dtype=np.float64)
+        handle = FastKron(problem, row_capacity=32)
+        factors = random_factors(2, 4, dtype=np.float64, seed=22)
+        handle.multiply(rng.standard_normal((5, 16)), factors)
+        assert handle.last_stats.flops == problem.with_rows(5).flops
+
+    def test_strict_handle_rejects_fewer_rows(self, rng):
+        """Without the row_capacity opt-in the exact-shape guard stays."""
+        problem = KronMatmulProblem.uniform(8, 4, 2, dtype=np.float64)
+        handle = FastKron(problem)
+        factors = random_factors(2, 4, dtype=np.float64, seed=24)
+        with pytest.raises(ShapeError, match="row_capacity"):
+            handle.multiply(rng.standard_normal((5, 16)), factors)
+
+    def test_rows_above_capacity_rejected(self, rng):
+        problem = KronMatmulProblem.uniform(4, 4, 2, dtype=np.float64)
+        handle = FastKron(problem, row_capacity=8)
+        factors = random_factors(2, 4, dtype=np.float64, seed=23)
+        with pytest.raises(ShapeError, match="row capacity"):
+            handle.multiply(rng.standard_normal((9, 16)), factors)
+
+    def test_workspace_sized_for_capacity(self):
+        problem = KronMatmulProblem.uniform(4, 4, 2, dtype=np.float32)
+        handle = FastKron(problem, row_capacity=16)
+        assert handle.workspace_bytes() == 2 * 16 * problem.max_intermediate_cols * 4
+
+    def test_with_rows_identity(self):
+        problem = KronMatmulProblem.uniform(8, 4, 2)
+        assert problem.with_rows(8) is problem
+        shrunk = problem.with_rows(3)
+        assert shrunk.m == 3 and shrunk.factor_shapes == problem.factor_shapes

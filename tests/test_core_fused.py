@@ -1,6 +1,5 @@
 """Unit tests for the fusion planner (Section 4.2)."""
 
-import numpy as np
 import pytest
 
 from repro.core.fused import (

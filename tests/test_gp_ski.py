@@ -5,7 +5,6 @@ import pytest
 
 from repro.exceptions import ShapeError
 from repro.gp.cg import conjugate_gradient
-from repro.gp.interpolation import interpolation_matrix
 from repro.gp.kernels import grid_1d, grid_kernel_factors, rbf_kernel
 from repro.gp.ski import LoveOperator, SkiKernelOperator, SkipKernelOperator
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.gp.datasets import TABLE5_DATASETS, GpDataset, Table5Row, synthetic_dataset
+from repro.gp.datasets import TABLE5_DATASETS, Table5Row, synthetic_dataset
 from repro.gp.training import GpTrainingModel, train_gp_numerically
 from repro.exceptions import ShapeError
 

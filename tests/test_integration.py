@@ -7,7 +7,6 @@ and the benchmark-harness entry points.
 """
 
 import numpy as np
-import pytest
 
 from repro.baselines.naive import naive_kron_matmul
 from repro.core.factors import KroneckerOperator, random_factors

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.sliced_multiply import sliced_multiply
 from repro.exceptions import ConfigurationError
-from repro.gpu.device import TESLA_V100
 from repro.kernels.caching import DirectCaching, ShiftCaching
 from repro.kernels.sliced_kernel import SlicedMultiplyKernel
 from repro.kernels.tile_config import TileConfig

@@ -9,13 +9,7 @@ import numpy as np
 import pytest
 
 from repro.core.problem import KronMatmulProblem
-from repro.perfmodel import (
-    CogentModel,
-    CuTensorModel,
-    FastKronModel,
-    GPyTorchModel,
-    all_single_gpu_models,
-)
+from repro.perfmodel import GPyTorchModel, all_single_gpu_models
 
 
 @pytest.fixture(scope="module")

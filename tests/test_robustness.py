@@ -7,13 +7,11 @@ ratios and dtype preservation.
 """
 
 import numpy as np
-import pytest
 
 from repro.baselines.naive import naive_kron_matmul
 from repro.core.factors import random_factors, random_factors_from_shapes
 from repro.core.fastkron import kron_matmul
 from repro.core.problem import KronMatmulProblem
-from repro.exceptions import ShapeError
 from repro.kernels.launch import GpuExecutor
 
 

@@ -1,0 +1,474 @@
+"""Tests for the batched serving engine: plan cache, KronEngine, parity.
+
+The central guarantee under test: results served through the engine —
+grouped, coalesced, row-stacked, split back — are **bit-identical** to
+calling :func:`repro.kron_matmul` per request, for any mix of shapes,
+dtypes and row counts (the hypothesis property test), under concurrent
+producers (the stress test), and across batch-limit edge cases.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kron_matmul, random_factors
+from repro.core.fastkron import FastKron
+from repro.core.problem import KronMatmulProblem
+from repro.exceptions import ShapeError
+from repro.serving import (
+    EngineStats,
+    KronEngine,
+    PlanCache,
+    PlanEntry,
+    compare_serving,
+)
+from repro.tuner.cache import TuningCache
+
+
+def _entry(p: int = 2, n: int = 2, rows: int = 8) -> PlanEntry:
+    problem = KronMatmulProblem.uniform(rows, p, n, dtype=np.float64)
+    return PlanEntry(handle=FastKron(problem, row_capacity=rows))
+
+
+# --------------------------------------------------------------------------- #
+# plan cache
+# --------------------------------------------------------------------------- #
+class TestPlanCache:
+    def test_get_or_create_builds_once(self):
+        cache = PlanCache(capacity=4)
+        built = []
+
+        def factory():
+            built.append(1)
+            return _entry()
+
+        key = (((2, 2), (2, 2)), "float64", "numpy", True)
+        first = cache.get_or_create(key, factory)
+        second = cache.get_or_create(key, factory)
+        assert first is second
+        assert len(built) == 1
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1 and stats.evictions == 0
+        assert stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(capacity=2)
+        keys = [(((2, 2),) * i, "float64", "numpy", True) for i in (1, 2, 3)]
+        cache.get_or_create(keys[0], _entry)
+        cache.get_or_create(keys[1], _entry)
+        cache.get_or_create(keys[0], _entry)  # refresh key 0
+        cache.get_or_create(keys[2], _entry)  # evicts key 1 (least recent)
+        assert keys[1] not in cache
+        assert keys[0] in cache and keys[2] in cache
+        assert cache.stats().evictions == 1
+
+    def test_keys_least_recent_first(self):
+        cache = PlanCache(capacity=4)
+        keys = [(((3, 3),) * i, "float32", "numpy", True) for i in (1, 2)]
+        cache.get_or_create(keys[0], _entry)
+        cache.get_or_create(keys[1], _entry)
+        cache.get_or_create(keys[0], _entry)
+        assert cache.keys() == (keys[1], keys[0])
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+# --------------------------------------------------------------------------- #
+# engine basics
+# --------------------------------------------------------------------------- #
+class TestEngineBasics:
+    def test_single_request_bit_identical(self, rng):
+        factors = random_factors(3, 4, 4, dtype=np.float64, seed=0)
+        x = rng.standard_normal((6, 64))
+        with KronEngine(max_delay_ms=1) as engine:
+            got = engine.submit(x, factors).result(timeout=10)
+        assert np.array_equal(got, kron_matmul(x, factors))
+
+    def test_blocking_multiply_wrapper(self, rng):
+        factors = random_factors(2, 3, 3, dtype=np.float64, seed=1)
+        x = rng.standard_normal((4, 9))
+        with KronEngine(max_delay_ms=1) as engine:
+            assert np.array_equal(engine.multiply(x, factors), kron_matmul(x, factors))
+
+    def test_vector_input_squeezed(self, rng):
+        factors = random_factors(2, 3, 3, dtype=np.float64, seed=2)
+        v = rng.standard_normal(9)
+        with KronEngine(max_delay_ms=1) as engine:
+            got = engine.multiply(v, factors)
+        assert got.shape == (9,)
+        assert np.array_equal(got, kron_matmul(v, factors))
+
+    def test_burst_coalesces_into_one_batch(self, rng):
+        factors = random_factors(3, 4, 4, dtype=np.float64, seed=3)
+        xs = [rng.standard_normal((3, 64)) for _ in range(12)]
+        # Flush triggers on the count limit, so the burst forms one batch
+        # deterministically regardless of scheduling.
+        with KronEngine(max_batch_requests=12, max_delay_ms=5000) as engine:
+            futures = [engine.submit(x, factors) for x in xs]
+            for x, future in zip(xs, futures):
+                assert np.array_equal(future.result(timeout=30), kron_matmul(x, factors))
+            stats = engine.stats()
+        assert stats.requests == 12
+        assert stats.batches == 1
+        assert stats.coalesce_ratio == 12.0
+        assert stats.coalesced_requests == 12
+        assert stats.batched_rows == 36
+
+    def test_results_survive_workspace_reuse(self, rng):
+        """Later batches through the same cached plan must not mutate
+        earlier futures' results (the workspace is recycled)."""
+        factors = random_factors(2, 4, 4, dtype=np.float64, seed=4)
+        xs = [rng.standard_normal((2, 16)) for _ in range(6)]
+        with KronEngine(max_batch_requests=2, max_delay_ms=1) as engine:
+            futures = [engine.submit(x, factors) for x in xs]
+            results = [f.result(timeout=10).copy() for f in futures]
+            engine.flush()
+            # Push more traffic through the same plan.
+            for x in xs:
+                engine.multiply(x, factors)
+            for got, x in zip(results, xs):
+                assert np.array_equal(got, kron_matmul(x, factors))
+
+    def test_mixed_shapes_grouped_separately(self, rng):
+        f_a = random_factors(3, 4, 4, dtype=np.float64, seed=5)
+        f_b = random_factors(2, 5, 5, dtype=np.float64, seed=6)
+        xs_a = [rng.standard_normal((2, 64)) for _ in range(4)]
+        xs_b = [rng.standard_normal((3, 25)) for _ in range(4)]
+        with KronEngine(max_batch_requests=8, max_delay_ms=200) as engine:
+            futures = [engine.submit(x, f_a) for x in xs_a]
+            futures += [engine.submit(x, f_b) for x in xs_b]
+            expected = [kron_matmul(x, f_a) for x in xs_a] + [
+                kron_matmul(x, f_b) for x in xs_b
+            ]
+            for future, want in zip(futures, expected):
+                assert np.array_equal(future.result(timeout=30), want)
+            stats = engine.stats()
+        # One flush, two signature groups -> two executed batches, one plan each.
+        assert stats.batches == 2
+        assert stats.plan_misses == 2
+
+    def test_same_shape_different_factors_do_not_cross_coalesce(self, rng):
+        """Distinct models with equal shapes share a plan but never a batch."""
+        f_a = random_factors(2, 4, 4, dtype=np.float64, seed=7)
+        f_b = random_factors(2, 4, 4, dtype=np.float64, seed=8)
+        x = rng.standard_normal((3, 16))
+        with KronEngine(max_batch_requests=2, max_delay_ms=200) as engine:
+            fut_a = engine.submit(x, f_a)
+            fut_b = engine.submit(x, f_b)
+            assert np.array_equal(fut_a.result(timeout=30), kron_matmul(x, f_a))
+            assert np.array_equal(fut_b.result(timeout=30), kron_matmul(x, f_b))
+            stats = engine.stats()
+        assert stats.batches == 2
+        # ...but the second batch reuses the first one's prepared plan.
+        assert stats.plan_misses == 1 and stats.plan_hits == 1
+
+    def test_single_row_single_slice_requests_stay_bit_identical(self, rng):
+        """One-row requests against a one-factor model hit a different BLAS
+        kernel (gemv) than any stacked GEMM would; the engine must not
+        coalesce them, or bits change."""
+        factors = random_factors(1, 6, 3, dtype=np.float64, seed=99)
+        xs = [rng.standard_normal((1, 6)) for _ in range(4)]
+        with KronEngine(max_batch_requests=4, max_delay_ms=5000) as engine:
+            futures = [engine.submit(x, factors) for x in xs]
+            for x, future in zip(xs, futures):
+                assert np.array_equal(future.result(timeout=30), kron_matmul(x, factors))
+            stats = engine.stats()
+        assert stats.batches == 4  # each travelled alone
+        assert stats.plan_misses == 1  # ...through one shared plan
+
+    def test_plan_cache_reused_across_bursts(self, rng):
+        factors = random_factors(2, 4, 4, dtype=np.float64, seed=9)
+        with KronEngine(max_batch_requests=4, max_delay_ms=1) as engine:
+            for _ in range(3):
+                x = rng.standard_normal((2, 16))
+                engine.multiply(x, factors)
+            stats = engine.stats()
+        assert stats.plan_misses == 1
+        assert stats.plan_hits == 2
+
+    def test_max_delay_flushes_partial_batch(self, rng):
+        factors = random_factors(2, 3, 3, dtype=np.float64, seed=10)
+        x = rng.standard_normal((2, 9))
+        # Count limit far above the traffic: only the delay can flush.
+        with KronEngine(max_batch_requests=1000, max_delay_ms=10) as engine:
+            got = engine.submit(x, factors).result(timeout=10)
+        assert np.array_equal(got, kron_matmul(x, factors))
+
+    def test_oversized_request_runs_direct(self, rng):
+        factors = random_factors(2, 4, 4, dtype=np.float64, seed=11)
+        x = rng.standard_normal((40, 16))
+        with KronEngine(max_batch_rows=16, max_delay_ms=1) as engine:
+            got = engine.multiply(x, factors)
+            stats = engine.stats()
+        assert np.array_equal(got, kron_matmul(x, factors))
+        assert stats.direct_requests == 1
+        assert stats.plan_misses == 0  # no plan built for the direct path
+
+    def test_dtype_promotion_matches_kron_matmul(self, rng):
+        factors = random_factors(2, 3, 3, dtype=np.float64, seed=12)
+        x = rng.standard_normal((4, 9)).astype(np.float32)
+        with KronEngine(max_delay_ms=1) as engine:
+            got = engine.multiply(x, factors)
+        want = kron_matmul(x, factors)
+        assert got.dtype == want.dtype == np.float64
+        assert np.array_equal(got, want)
+
+    def test_malformed_request_raises_synchronously(self, rng):
+        factors = random_factors(2, 3, 3, dtype=np.float64, seed=13)
+        with KronEngine(max_delay_ms=1) as engine:
+            with pytest.raises(ShapeError):
+                engine.submit(rng.standard_normal((4, 8)), factors)
+        assert engine.stats().requests == 0
+
+    def test_execution_failure_lands_on_futures(self, rng, monkeypatch):
+        factors = random_factors(2, 3, 3, dtype=np.float64, seed=14)
+        x = rng.standard_normal((2, 9))
+
+        def boom(self, x, factors):
+            raise RuntimeError("injected plan failure")
+
+        monkeypatch.setattr(FastKron, "multiply", boom)
+        with KronEngine(max_delay_ms=1) as engine:
+            future = engine.submit(x, factors)
+            with pytest.raises(RuntimeError, match="injected plan failure"):
+                future.result(timeout=10)
+
+    def test_cancelled_future_does_not_kill_dispatcher(self, rng):
+        """A caller-side cancel() racing the dispatcher must not strand the
+        engine: later requests still resolve."""
+        factors = random_factors(2, 3, 3, dtype=np.float64, seed=30)
+        x = rng.standard_normal((2, 9))
+        with KronEngine(max_batch_requests=1000, max_delay_ms=50) as engine:
+            doomed = engine.submit(x, factors)
+            doomed.cancel()  # pending futures are never RUNNING, so this wins
+            # The engine must survive resolving the cancelled future...
+            assert np.array_equal(engine.multiply(x, factors), kron_matmul(x, factors))
+        assert doomed.cancelled()
+
+    def test_submit_after_close_raises(self, rng):
+        factors = random_factors(2, 3, 3, dtype=np.float64, seed=15)
+        engine = KronEngine(max_delay_ms=1)
+        engine.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.submit(rng.standard_normal((2, 9)), factors)
+        engine.close()  # idempotent
+
+    def test_close_drains_pending_requests(self, rng):
+        factors = random_factors(2, 3, 3, dtype=np.float64, seed=16)
+        xs = [rng.standard_normal((2, 9)) for _ in range(8)]
+        engine = KronEngine(max_batch_requests=1000, max_delay_ms=60_000)
+        futures = [engine.submit(x, factors) for x in xs]
+        engine.close()  # must cut the delay window short and drain
+        for x, future in zip(xs, futures):
+            assert np.array_equal(future.result(timeout=10), kron_matmul(x, factors))
+
+    def test_flush_waits_for_all_inflight(self, rng):
+        factors = random_factors(2, 3, 3, dtype=np.float64, seed=17)
+        with KronEngine(max_batch_requests=4, max_delay_ms=5) as engine:
+            futures = [engine.submit(rng.standard_normal((2, 9)), factors) for _ in range(10)]
+            assert engine.flush(timeout=30)
+            assert all(f.done() for f in futures)
+
+    def test_stats_snapshot_is_detached(self, rng):
+        factors = random_factors(2, 3, 3, dtype=np.float64, seed=18)
+        with KronEngine(max_delay_ms=1) as engine:
+            engine.multiply(rng.standard_normal((2, 9)), factors)
+            first = engine.stats()
+            engine.multiply(rng.standard_normal((2, 9)), factors)
+            second = engine.stats()
+        assert isinstance(first, EngineStats)
+        assert first.requests == 1 and second.requests == 2
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            KronEngine(max_batch_rows=0)
+        with pytest.raises(ValueError):
+            KronEngine(max_batch_requests=0)
+        with pytest.raises(ValueError):
+            KronEngine(max_delay_ms=-1)
+
+
+# --------------------------------------------------------------------------- #
+# tuning-cache integration
+# --------------------------------------------------------------------------- #
+class TestTuningIntegration:
+    def test_autotuned_plans_populate_shared_cache(self, rng, tmp_path):
+        factors = random_factors(2, 4, 4, dtype=np.float32, seed=19)
+        x = rng.standard_normal((4, 16)).astype(np.float32)
+        cache = TuningCache()
+        with KronEngine(
+            max_batch_rows=32,
+            max_delay_ms=1,
+            tuning_cache=cache,
+            autotune=True,
+            tune_candidates=50,
+        ) as engine:
+            assert np.array_equal(engine.multiply(x, factors), kron_matmul(x, factors))
+        assert len(cache) > 0
+        # Keys are backend-qualified, tuned at the plan's batch row capacity.
+        for key in cache.keys():
+            assert key[0] == 32
+            assert key[5] == "numpy"
+
+        # Persist and reload: a fresh engine over the loaded cache finds its
+        # plans pre-tuned (no new entries appear for the same shapes).
+        path = cache.save(tmp_path / "tuning.json")
+        reloaded = TuningCache.load(path)
+        assert reloaded.keys() == cache.keys()
+        with KronEngine(
+            max_batch_rows=32,
+            max_delay_ms=1,
+            tuning_cache=reloaded,
+            autotune=True,
+            tune_candidates=50,
+        ) as engine:
+            engine.multiply(x, factors)
+        assert reloaded.keys() == cache.keys()
+
+    def test_tuning_cache_update_merges(self):
+        a, b = TuningCache(), TuningCache()
+        from repro.kernels.tile_config import default_tile_config
+        from repro.tuner.cache import shape_key
+
+        config = default_tile_config(8, 16, 4, 4)
+        a.put(shape_key(8, 16, 4, 4, np.float32), config)
+        b.put(shape_key(8, 16, 4, 4, np.float64), config)
+        a.update(b)
+        assert len(a) == 2
+
+    def test_plan_entry_records_tile_overrides(self, rng):
+        factors = random_factors(2, 4, 4, dtype=np.float32, seed=20)
+        x = rng.standard_normal((4, 16)).astype(np.float32)
+        with KronEngine(
+            max_batch_rows=32, max_delay_ms=1, autotune=True, tune_candidates=50
+        ) as engine:
+            engine.multiply(x, factors)
+            entries = [engine.plans.get_or_create(key, lambda: None) for key in engine.plans.keys()]
+        assert entries and all(e.tile_overrides for e in entries)
+
+
+# --------------------------------------------------------------------------- #
+# property test: engine == direct kron_matmul for mixed-shape streams
+# --------------------------------------------------------------------------- #
+#: A small pool of models (factor lists) covering square/rectangular factor
+#: shapes and both dtypes; streams draw (model, rows) pairs from it.
+_MODELS = [
+    random_factors(3, 4, 4, dtype=np.float64, seed=100),
+    random_factors(2, 3, 5, dtype=np.float64, seed=101),
+    random_factors(2, 8, 8, dtype=np.float32, seed=102),
+    random_factors(4, 2, 2, dtype=np.float32, seed=103),
+    random_factors(1, 6, 3, dtype=np.float64, seed=104),
+]
+
+_request_strategy = st.tuples(
+    st.integers(min_value=0, max_value=len(_MODELS) - 1),
+    st.integers(min_value=1, max_value=9),
+)
+
+
+class TestEngineParityProperty:
+    @given(stream=st.lists(_request_strategy, min_size=1, max_size=24))
+    @settings(max_examples=25, deadline=None)
+    def test_stream_bit_identical_to_direct_calls(self, stream):
+        rng = np.random.default_rng(sum(rows for _, rows in stream) + len(stream))
+        requests = []
+        for model_index, rows in stream:
+            factors = _MODELS[model_index]
+            k = int(np.prod([f.p for f in factors]))
+            x = rng.standard_normal((rows, k)).astype(factors[0].dtype)
+            requests.append((x, factors))
+        # Tight row/count limits + zero delay exercise chunk splitting and
+        # partial flushes; correctness must not depend on the knobs.
+        with KronEngine(
+            max_batch_rows=16, max_batch_requests=6, max_delay_ms=0
+        ) as engine:
+            futures = [engine.submit(x, factors) for x, factors in requests]
+            results = [future.result(timeout=60) for future in futures]
+        for (x, factors), got in zip(requests, results):
+            assert np.array_equal(got, kron_matmul(x, factors))
+
+
+# --------------------------------------------------------------------------- #
+# threaded stress: many producers, one engine
+# --------------------------------------------------------------------------- #
+class TestThreadedStress:
+    @pytest.mark.parametrize("backend", ["numpy", "threaded"])
+    def test_many_producers_no_deadlock(self, backend):
+        producers, per_producer = 8, 25
+        factors = random_factors(2, 4, 4, dtype=np.float64, seed=200)
+        engine = KronEngine(
+            backend=backend, max_batch_rows=64, max_batch_requests=16, max_delay_ms=1
+        )
+        results: list = [None] * producers
+        errors: list = []
+
+        def producer(index: int) -> None:
+            try:
+                rng = np.random.default_rng(index)
+                futures = []
+                for _ in range(per_producer):
+                    x = rng.standard_normal((rng.integers(1, 7), 16))
+                    futures.append((x, engine.submit(x, factors)))
+                results[index] = [(x, f.result(timeout=60)) for x, f in futures]
+            except BaseException as exc:  # surface, don't hang the join
+                errors.append(exc)
+
+        threads = [threading.Thread(target=producer, args=(i,)) for i in range(producers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+            assert not t.is_alive(), "producer thread hung: engine deadlocked"
+        engine.close()
+        assert not errors, f"producer failed: {errors[0]!r}"
+        stats = engine.stats()
+        assert stats.requests == producers * per_producer
+        assert stats.batches <= stats.requests
+        for per_thread in results:
+            assert per_thread is not None
+            for x, got in per_thread:
+                assert np.array_equal(got, kron_matmul(x, factors))
+
+    def test_concurrent_submit_during_close(self):
+        """Closing while producers race submit() must neither hang nor corrupt."""
+        factors = random_factors(2, 3, 3, dtype=np.float64, seed=201)
+        engine = KronEngine(max_delay_ms=1)
+        stop = threading.Event()
+        rejected = []
+
+        def producer() -> None:
+            rng = np.random.default_rng(0)
+            while not stop.is_set():
+                try:
+                    engine.submit(rng.standard_normal((2, 9)), factors)
+                except RuntimeError:
+                    rejected.append(1)
+                    return
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        engine.close()
+        stop.set()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end comparison helper (the benchmark's engine)
+# --------------------------------------------------------------------------- #
+class TestCompareServing:
+    def test_compare_serving_smoke(self):
+        result = compare_serving(
+            backend="numpy", requests=16, rows_per_request=2, p=4, n=2, repeats=1
+        )
+        assert result.identical
+        assert result.sequential_rps > 0 and result.engine_rps > 0
+        assert result.engine_stats is not None
+        assert result.engine_stats.requests == 32  # warm-up burst + timed burst
