@@ -1,0 +1,257 @@
+"""Plan benchmark: compile-once-execute-many vs per-call planning.
+
+Each sweep row serves the same burst of same-shape Kron-Matmul calls two
+ways — one plain :func:`~repro.core.fastkron.kron_matmul` per call (which
+compiles a fresh :class:`~repro.plan.KronPlan` and allocates a fresh
+workspace every time) and the same calls through one prepared
+:class:`~repro.plan.PlanExecutor` (``kron_matmul(..., plan=executor)``:
+compiled once, workspace reused) — and asserts the outputs are
+bit-identical.  Results land in ``Plan-Comparison.csv`` and, for the CI perf
+gate, in a ``BENCH_plan.json`` snapshot.
+
+The regression gate tracks the *speedup* (prepared-plan throughput
+normalised by the same-run per-call throughput): a same-machine ratio is
+comparable across runner generations, unlike absolute calls/second.  CI
+fails when any config's speedup drops more than 20 % below the committed
+baseline (``benchmarks/baselines/BENCH_plan_baseline.json``) — reusing
+``check_serving_regression.py``, since the snapshot schema is shared.
+
+Run as a script to (re)generate the JSON snapshot::
+
+    PYTHONPATH=src python benchmarks/bench_plan.py --json results/BENCH_plan.json
+
+or through pytest for the asserting sweep plus the reuse gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro._version import __version__
+from repro.backends.registry import get_backend
+from repro.core.factors import random_factors
+from repro.core.fastkron import kron_matmul
+from repro.core.problem import KronMatmulProblem
+from repro.plan import PlanExecutor, compile_plan
+from repro.utils.reporting import ResultTable
+
+#: The sweep: (backend, rows per call, P, N, dtype, calls).  Small,
+#: overhead-dominated shapes — the regime where ahead-of-time planning and
+#: workspace reuse matter; large shapes amortise planning to noise.
+SWEEP = [
+    ("numpy", 4, 4, 3, np.float32, 200),
+    ("numpy", 8, 8, 3, np.float32, 200),
+    ("numpy", 16, 4, 4, np.float64, 200),
+    ("numpy", 64, 8, 3, np.float32, 100),
+    ("threaded", 8, 8, 3, np.float32, 200),
+]
+
+#: The acceptance configuration for the reuse gate: the smallest shape,
+#: where per-call planning overhead dominates most clearly.
+GATE_CASE = ("numpy", 4, 4, 3, np.float32, 200)
+
+#: Very conservative floor for the in-suite gate (CI additionally checks the
+#: committed per-config baselines with check_serving_regression.py).  The
+#: per-call arm shares the one-shot plan memoization, so the prepared
+#: executor's edge is workspace reuse + skipped per-call validation —
+#: measured 1.3-1.5x on these shapes.
+GATE_MIN_SPEEDUP = 1.15
+
+
+@dataclass
+class PlanComparison:
+    """Result of one per-call-vs-prepared-plan run on one backend."""
+
+    backend: str
+    rows: int
+    p: int
+    n: int
+    dtype: str
+    calls: int
+    percall_seconds: float
+    plan_seconds: float
+    identical: bool
+
+    @property
+    def percall_cps(self) -> float:
+        """Per-call-planning throughput in calls/second."""
+        return self.calls / self.percall_seconds
+
+    @property
+    def plan_cps(self) -> float:
+        """Prepared-plan throughput in calls/second."""
+        return self.calls / self.plan_seconds
+
+    @property
+    def speedup(self) -> float:
+        """Prepared-plan throughput normalised by the per-call baseline."""
+        return self.percall_seconds / self.plan_seconds
+
+    def label(self) -> str:
+        return f"{self.calls}x{self.rows} rows, {self.p}^{self.n} {self.dtype}"
+
+
+def config_key(backend: str, rows: int, p: int, n: int, dtype, calls: int) -> str:
+    return f"{backend}|{calls}x{rows}|p{p}n{n}|{np.dtype(dtype)}"
+
+
+def compare_plan_reuse(
+    backend: str,
+    rows: int,
+    p: int,
+    n: int,
+    dtype,
+    calls: int,
+    repeats: int = 3,
+) -> PlanComparison:
+    """Time per-call planning against one prepared executor, best-of-repeats."""
+    resolved = get_backend(backend)
+    dtype = np.dtype(dtype)
+    problem = KronMatmulProblem.uniform(rows, p, n, dtype=dtype)
+    factors = random_factors(n, p, dtype=dtype, seed=7)
+    rng = np.random.default_rng(11)
+    xs = [rng.standard_normal((rows, problem.k)).astype(dtype) for _ in range(calls)]
+
+    executor = PlanExecutor(compile_plan(problem, backend=resolved))
+
+    def run_percall() -> List[np.ndarray]:
+        return [kron_matmul(x, factors, backend=resolved) for x in xs]
+
+    def run_prepared() -> List[np.ndarray]:
+        return [kron_matmul(x, factors, plan=executor) for x in xs]
+
+    expected = run_percall()  # warm-up; also the parity reference
+    got = run_prepared()
+    identical = all(np.array_equal(a, b) for a, b in zip(expected, got))
+
+    percall_seconds = plan_seconds = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_percall()
+        percall_seconds = min(percall_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        run_prepared()
+        plan_seconds = min(plan_seconds, time.perf_counter() - start)
+
+    return PlanComparison(
+        backend=resolved.name,
+        rows=rows,
+        p=p,
+        n=n,
+        dtype=str(dtype),
+        calls=calls,
+        percall_seconds=percall_seconds,
+        plan_seconds=plan_seconds,
+        identical=identical,
+    )
+
+
+def run_sweep(repeats: int = 3) -> List[PlanComparison]:
+    return [
+        compare_plan_reuse(backend, rows, p, n, dtype, calls, repeats=repeats)
+        for backend, rows, p, n, dtype, calls in SWEEP
+    ]
+
+
+def snapshot(results: List[PlanComparison]) -> Dict:
+    """The ``BENCH_plan.json`` payload; schema shared with the serving gate."""
+    configs = {}
+    for (backend, rows, p, n, dtype, calls), result in zip(SWEEP, results):
+        configs[config_key(backend, rows, p, n, dtype, calls)] = {
+            "percall_cps": round(result.percall_cps, 1),
+            "plan_cps": round(result.plan_cps, 1),
+            "speedup": round(result.speedup, 3),
+            "identical": result.identical,
+        }
+    return {
+        "schema": 1,
+        "version": __version__,
+        "cpu_count": os.cpu_count(),
+        "configs": configs,
+    }
+
+
+def results_table(results: List[PlanComparison]) -> ResultTable:
+    table = ResultTable(
+        name="Plan reuse: per-call planning vs prepared PlanExecutor",
+        headers=["backend", "workload", "per-call calls/s", "prepared calls/s",
+                 "speedup", "identical"],
+    )
+    for r in results:
+        table.add_row(
+            r.backend, r.label(), round(r.percall_cps, 1), round(r.plan_cps, 1),
+            round(r.speedup, 2), r.identical,
+        )
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# pytest entry points
+# --------------------------------------------------------------------------- #
+@pytest.mark.benchmark(group="plan")
+def test_plan_sweep(benchmark, save_table, results_dir):
+    """Regenerate the plan table + JSON snapshot; every row bit-identical."""
+    results = run_sweep()
+    save_table(results_table(results), "Plan-Comparison.csv")
+    path = Path(results_dir) / "BENCH_plan.json"
+    path.write_text(json.dumps(snapshot(results), indent=2, sort_keys=True))
+    for result in results:
+        assert result.identical, f"prepared plan diverged from per-call on {result.label()}"
+
+    backend, rows, p, n, dtype, calls = GATE_CASE
+
+    def reuse_once():
+        return compare_plan_reuse(backend, rows, p, n, dtype, calls, repeats=1)
+
+    benchmark(reuse_once)
+
+
+def test_plan_reuse_speedup():
+    """Compile-once-execute-many beats per-call planning on repeated shapes."""
+    backend, rows, p, n, dtype, calls = GATE_CASE
+    result = compare_plan_reuse(backend, rows, p, n, dtype, calls, repeats=3)
+    assert result.identical
+    print(f"\nplan reuse speedup on {result.label()} ({backend}): {result.speedup:.2f}x")
+    assert result.speedup >= GATE_MIN_SPEEDUP, (
+        f"prepared plan only {result.speedup:.2f}x over per-call planning"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# script entry point (used by CI to emit the artifact)
+# --------------------------------------------------------------------------- #
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        default=str(Path(__file__).parent / "results" / "BENCH_plan.json"),
+        help="where to write the perf snapshot",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    results = run_sweep(repeats=args.repeats)
+    print(results_table(results).render())
+    payload = snapshot(results)
+    path = Path(args.json)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nwrote {path}")
+    if not all(r.identical for r in results):
+        print("error: prepared-plan results diverged from per-call execution", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

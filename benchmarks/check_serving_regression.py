@@ -1,9 +1,10 @@
-"""CI regression gate for the serving benchmark (stdlib only).
+"""CI regression gate for the speedup-snapshot benchmarks (stdlib only).
 
-Compares a fresh ``BENCH_serving.json`` (written by ``bench_serving.py``)
-against the committed baseline and fails when any config's *speedup* —
-engine throughput normalised by the same-run sequential throughput — drops
-more than ``--tolerance`` (default 20 %) below its baseline value.
+Compares a fresh snapshot (``BENCH_serving.json`` from ``bench_serving.py``
+or ``BENCH_plan.json`` from ``bench_plan.py`` — same schema) against the
+committed baseline and fails when any config's *speedup* — the optimised
+arm's throughput normalised by the same-run baseline arm — drops more than
+``--tolerance`` (default 20 %) below its baseline value.
 
 The baseline stores conservative floors measured on a standard 4-core
 GitHub-hosted runner; configs present in the snapshot but absent from the
@@ -50,7 +51,8 @@ def check(current_path: Path, baseline_path: Path, tolerance: float) -> int:
             )
 
     extra = sorted(set(current["configs"]) - set(baseline["configs"]))
-    print(f"serving perf gate (tolerance {tolerance:.0%}, "
+    label = current_path.stem.replace("BENCH_", "") or "serving"
+    print(f"{label} perf gate (tolerance {tolerance:.0%}, "
           f"snapshot from {current.get('cpu_count')}-core runner):")
     print("\n".join(rows))
     for key in extra:

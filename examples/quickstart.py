@@ -57,7 +57,13 @@ def main() -> None:
           f"(global traffic reduced {stats.memory_saving_factor:.2f}x)")
 
     # ------------------------------------------------------------------ #
-    # 4. A quick wall-clock comparison of the NumPy execution paths.
+    # 4. The plan view: inspect the compiled schedule the handle runs.
+    # ------------------------------------------------------------------ #
+    print("\ncompiled execution plan (KronPlan.explain):")
+    print(handle.plan.explain())
+
+    # ------------------------------------------------------------------ #
+    # 5. A quick wall-clock comparison of the NumPy execution paths.
     # ------------------------------------------------------------------ #
     fastkron_time = time_callable(lambda: kron_matmul(x, factors), repeats=3).median
     naive_time = time_callable(lambda: naive_kron_matmul(x, factors), repeats=3).median

@@ -7,6 +7,12 @@ provides:
 ``repro.core``
     The FastKron Kron-Matmul algorithm (Algorithm 1 of the paper), the public
     :func:`kron_matmul` API, and fusion planning.
+``repro.plan``
+    The execution-plan IR every layer compiles through: a
+    :class:`KronPlan` captures the full schedule (iteration order, fusion
+    groups, tile configs, buffer assignments, dtype/backend binding) once,
+    and a :class:`PlanExecutor` interprets it many times.  See
+    ``ARCHITECTURE.md`` for the layer stack.
 ``repro.backends``
     Pluggable execution backends behind every numerical path.  ``numpy`` is
     the single-threaded reference; ``threaded`` row-shards large multiplies
@@ -83,6 +89,7 @@ from repro.core.gradients import kron_matmul_vjp
 from repro.core.problem import KronMatmulProblem
 from repro.core.sliced_multiply import sliced_multiply
 from repro.core.solve import kron_power, kron_solve
+from repro.plan import KronPlan, PlanExecutor, compile_plan
 from repro.serving import KronEngine
 
 __all__ = [
@@ -91,8 +98,11 @@ __all__ = [
     "FastKron",
     "KronEngine",
     "KronMatmulProblem",
+    "KronPlan",
     "KroneckerFactor",
     "KroneckerOperator",
+    "PlanExecutor",
+    "compile_plan",
     "gekmm",
     "kron_matmul",
     "kron_matmul_batched",

@@ -4,6 +4,7 @@ Installed as the ``fastkron-repro`` console script::
 
     fastkron-repro estimate --m 1024 --p 8 --n 5
     fastkron-repro tune --m 1024 --p 16 --n 4 --max-candidates 2000
+    fastkron-repro plan --m 1024 --p 8 --n 5 --tune
     fastkron-repro compare --m 1024 --p 8 --n 6
     fastkron-repro realworld --case 23
     fastkron-repro scaling --p 64 --n 4 --gpus 16
@@ -144,6 +145,32 @@ def _cmd_realworld(args: argparse.Namespace) -> int:
         rows,
         title="Table 4 real-world Kron-Matmul sizes",
     ))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Compile and print the KronPlan for one problem shape/backend."""
+    import json
+
+    from repro.plan import compile_plan
+
+    problem = _problem_from_args(args)
+    plan = compile_plan(
+        problem, fuse=not args.no_fuse, row_capacity=args.row_capacity
+    )
+    if args.tune:
+        from repro.tuner import Autotuner
+
+        spec = spec_by_name(args.gpu)
+        tuner = Autotuner(
+            spec=spec, max_candidates=args.max_candidates, fuse=not args.no_fuse
+        )
+        plan = tuner.tune_plan(plan)
+    if args.json:
+        print(json.dumps(plan.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(plan.explain())
+    print(f"  cache key: {plan.cache_key()}")
     return 0
 
 
@@ -366,6 +393,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_problem_arguments(p_sc)
     p_sc.add_argument("--gpus", type=int, default=16, help="largest GPU count to report")
     p_sc.set_defaults(func=_cmd_scaling)
+
+    p_pl = sub.add_parser(
+        "plan", help="compile and print the execution plan (KronPlan) for one problem"
+    )
+    _add_problem_arguments(p_pl)
+    p_pl.add_argument("--no-fuse", action="store_true", help="disable fusion grouping")
+    p_pl.add_argument("--row-capacity", type=int, default=None,
+                      help="compile the plan (and size its workspace) for up to this many rows")
+    p_pl.add_argument("--tune", action="store_true",
+                      help="run the autotuner pass and show the chosen tile configs")
+    p_pl.add_argument("--max-candidates", type=int, default=2000,
+                      help="tuning search budget per step (with --tune)")
+    p_pl.add_argument("--json", action="store_true",
+                      help="dump the serialised plan (KronPlan.to_dict) instead of the summary")
+    p_pl.set_defaults(func=_cmd_plan)
 
     p_be = sub.add_parser("backends", help="list execution backends and availability")
     p_be.set_defaults(func=_cmd_backends)

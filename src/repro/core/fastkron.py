@@ -5,26 +5,94 @@ without ever materialising the Kronecker matrix, using Algorithm 1 of the
 paper: one sliced multiply per factor, starting with the last factor, with
 the two intermediate buffers swapped after every iteration.
 
-:class:`FastKron` is a reusable handle bound to a problem shape.  It owns
-the double-buffered workspace (so repeated multiplications allocate
-nothing), the fusion plan and, when requested, autotuned kernel tile
-configurations together with the simulated-GPU execution statistics.
+Both entry points are thin shells over the execution-plan IR
+(:mod:`repro.plan`): every call *compiles* a :class:`~repro.plan.KronPlan`
+(iteration order, fusion groups, buffer assignment, dtype promotion, backend
+binding) and *executes* it through a :class:`~repro.plan.PlanExecutor`.
+:func:`kron_matmul` compiles per call (or reuses a caller-supplied plan via
+``plan=``); :class:`FastKron` compiles once at construction and keeps the
+executor — and its double-buffered workspace — alive across calls.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from functools import lru_cache
+from typing import Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.backends.registry import BackendLike, get_backend
 from repro.core.factors import KroneckerFactor, as_factor_list
-from repro.core.fused import FusionPlan, plan_fusion
+from repro.core.fused import FusionGroup, FusionPlan
 from repro.core.problem import KronMatmulProblem
-from repro.core.sliced_multiply import sliced_multiply
-from repro.exceptions import ShapeError
+from repro.exceptions import BackendError, DTypeError, ShapeError
+from repro.plan.compiler import check_out_dtype, compile_plan, default_shared_memory_elements
+from repro.plan.executor import ExecutionStats, PlanExecutor
+from repro.plan.ir import KronPlan
 from repro.utils.validation import ensure_2d
+
+__all__ = [
+    "ExecutionStats",
+    "FastKron",
+    "PlanLike",
+    "kron_matmul",
+]
+
+#: A caller-supplied execution plan: either the serialisable IR (a transient
+#: executor is built around it) or a live executor whose workspace is reused.
+PlanLike = Union[KronPlan, PlanExecutor]
+
+
+def _prepare_operands(
+    x: np.ndarray, factors: Iterable["KroneckerFactor | np.ndarray"]
+) -> Tuple[np.ndarray, List[KroneckerFactor], bool]:
+    """Shared operand normalisation: 2-D view, factor list, dtype promotion."""
+    x_arr = np.asarray(x)
+    squeeze = x_arr.ndim == 1
+    x2d = ensure_2d(x_arr, "X")
+    factor_list = as_factor_list(factors)
+    if x2d.dtype != factor_list[0].dtype:
+        # Promote to the common dtype; mixed float32/float64 inputs are a
+        # user convenience, the library computes in the promoted type.
+        common = np.promote_types(x2d.dtype, factor_list[0].dtype)
+        x2d = x2d.astype(common)
+        factor_list = [f.astype(common) for f in factor_list]
+    return x2d, factor_list, squeeze
+
+
+def _resolve_executor(plan: PlanLike, backend: BackendLike) -> PlanExecutor:
+    if isinstance(plan, PlanExecutor):
+        # A live executor owns its backend; an explicit conflicting backend=
+        # cannot be honoured (the workspace is already bound), so reject it
+        # rather than silently executing on the wrong backend.
+        if backend is not None and get_backend(backend).name != plan.backend.name:
+            raise BackendError(
+                f"plan executor is bound to backend {plan.backend.name!r} but "
+                f"backend={get_backend(backend).name!r} was requested; rebuild the "
+                f"executor for that backend or drop the backend argument"
+            )
+        return plan
+    if isinstance(plan, KronPlan):
+        return PlanExecutor(plan, backend=backend)
+    raise TypeError(f"plan must be a KronPlan or PlanExecutor, got {type(plan).__name__}")
+
+
+@lru_cache(maxsize=256)
+def _memoized_plan(
+    m: int, factor_shapes: Tuple[Tuple[int, int], ...], dtype_name: str, backend_name: str
+) -> KronPlan:
+    """Per-call plan compilation cache for the one-shot ``kron_matmul`` path.
+
+    Plans are immutable value objects, so sharing them across calls (and
+    threads) is safe; only the executor's workspace is per-call state.  The
+    cache deliberately covers just the untuned default-fusion compile the
+    one-shot path needs — tuned or custom-configured plans always come in
+    through the ``plan=`` argument.
+    """
+    problem = KronMatmulProblem(
+        m=m, factor_shapes=factor_shapes, dtype=np.dtype(dtype_name)
+    )
+    return compile_plan(problem, backend=backend_name)
 
 
 def kron_matmul(
@@ -32,6 +100,7 @@ def kron_matmul(
     factors: Iterable["KroneckerFactor | np.ndarray"],
     out: Optional[np.ndarray] = None,
     backend: BackendLike = None,
+    plan: Optional[PlanLike] = None,
 ) -> np.ndarray:
     """Multiply ``x`` with the Kronecker product of ``factors``.
 
@@ -44,11 +113,21 @@ def kron_matmul(
         The Kronecker factors ``F_1 ... F_N`` (``F_i`` of shape
         ``(P_i, Q_i)``) in Kronecker-product order.
     out:
-        Optional output buffer of shape ``(M, prod_i Q_i)``.
+        Optional output buffer of shape ``(M, prod_i Q_i)``.  Its dtype must
+        equal the promoted compute dtype — a mismatch raises
+        :class:`~repro.exceptions.DTypeError` at plan-compile time rather
+        than silently down- or up-casting the result.
     backend:
         Execution backend name (``"numpy"``, ``"threaded"``, ...), an
         :class:`~repro.backends.ArrayBackend` instance, or ``None`` for the
         process default.
+    plan:
+        Optional pre-compiled :class:`~repro.plan.KronPlan` (or a live
+        :class:`~repro.plan.PlanExecutor`) to reuse instead of compiling per
+        call.  The plan must match the operands' factor shapes and their
+        promoted compute dtype (no silent casts on this path); passing a
+        :class:`~repro.plan.PlanExecutor` additionally reuses its workspace,
+        which is the compile-once-execute-many fast path.
 
     Returns
     -------
@@ -64,71 +143,49 @@ def kron_matmul(
     >>> np.array_equal(kron_matmul(x, f), x)
     True
     """
-    x_arr = np.asarray(x)
-    squeeze = x_arr.ndim == 1
-    x2d = ensure_2d(x_arr, "X")
-    factor_list = as_factor_list(factors)
-    problem = KronMatmulProblem.from_factors(x2d.shape[0], [f.values for f in factor_list])
-    problem.validate_against(x2d, [f.values for f in factor_list])
-    if x2d.dtype != factor_list[0].dtype:
-        # Promote to the common dtype; mixed float32/float64 inputs are a
-        # user convenience, the library computes in the promoted type.
-        common = np.promote_types(x2d.dtype, factor_list[0].dtype)
-        x2d = x2d.astype(common)
-        factor_list = [f.astype(common) for f in factor_list]
-
-    y = _run_iterations(x2d, factor_list, backend=backend)
-    if out is not None:
-        if out.shape != y.shape:
-            raise ShapeError(f"out has shape {out.shape}, expected {y.shape}")
-        np.copyto(out, y)
-        y = out
+    x2d, factor_list, squeeze = _prepare_operands(x, factors)
+    if plan is None:
+        check_out_dtype(out, x2d.dtype)
+        compiled = _memoized_plan(
+            x2d.shape[0],
+            tuple(f.shape for f in factor_list),
+            str(x2d.dtype),
+            get_backend(backend).name,
+        )
+        # The backend is forwarded to the executor as well: the plan binds
+        # only the backend *name*, and a caller-configured instance (custom
+        # thread count, device handle) must execute as given.  Operand
+        # validation happens inside the executor.
+        executor = PlanExecutor(compiled, backend=backend)
+    else:
+        executor = _resolve_executor(plan, backend)
+        if executor.plan.np_dtype != x2d.dtype:
+            raise DTypeError(
+                f"operands promote to {x2d.dtype} but the supplied plan computes "
+                f"in {executor.plan.np_dtype}; compile the plan for the promoted "
+                f"dtype (silent casts are never applied on the plan= path)"
+            )
+        check_out_dtype(out, executor.plan.np_dtype)
+    y = executor.execute(x2d, factor_list, out=out)
+    if isinstance(plan, PlanExecutor) and out is None and y.base is not None:
+        # A caller-owned executor keeps its workspace alive across calls and
+        # the final intermediate may be a view of it; kron_matmul's contract
+        # is an owned result, so detach before the next call overwrites it.
+        # (With plan=None or a bare KronPlan the executor — and hence the
+        # workspace the view aliases — is transient to this call.)
+        y = y.copy()
     return y[0] if squeeze else y
-
-
-def _run_iterations(
-    x: np.ndarray, factors: Sequence[KroneckerFactor], backend: BackendLike = None
-) -> np.ndarray:
-    """Run Algorithm 1: one sliced multiply per factor, last factor first."""
-    resolved = get_backend(backend)
-    y = x
-    for factor in reversed(list(factors)):
-        y = sliced_multiply(y, factor.values, backend=resolved)
-    return np.ascontiguousarray(y)
-
-
-@dataclass
-class ExecutionStats:
-    """Operation counts of one :class:`FastKron` execution.
-
-    These counts are exact properties of Algorithm 1 (they do not depend on
-    the simulated GPU): FLOPs, the global-memory elements an unfused
-    execution would read/write, and the elements actually read/written under
-    the active fusion plan (fused iterations keep their intermediate in
-    shared memory and therefore skip the global round-trip).
-    """
-
-    flops: int = 0
-    unfused_memory_elements: int = 0
-    fused_memory_elements: int = 0
-    iterations: int = 0
-    kernel_launches: int = 0
-
-    @property
-    def memory_saving_factor(self) -> float:
-        """How much global traffic fusion removes (>= 1)."""
-        if self.fused_memory_elements == 0:
-            return 1.0
-        return self.unfused_memory_elements / self.fused_memory_elements
 
 
 class FastKron:
     """A reusable Kron-Matmul handle bound to one problem shape.
 
-    The handle pre-computes the iteration schedule and the fusion plan and
-    allocates the double-buffered workspace once.  Calling the handle with
-    concrete operands performs the multiplication with no further
-    allocation (beyond NumPy temporaries inside the batched matmul).
+    The handle compiles its :class:`~repro.plan.KronPlan` once — iteration
+    schedule, fusion plan, buffer assignment — and keeps a
+    :class:`~repro.plan.PlanExecutor` (and its double-buffered workspace)
+    alive, so calling the handle with concrete operands performs the
+    multiplication with no further planning or allocation (beyond NumPy
+    temporaries inside the batched matmul).
 
     Parameters
     ----------
@@ -152,6 +209,10 @@ class FastKron:
         with ``rows <= row_capacity`` and the problem's column count, which
         is what lets the serving engine reuse one prepared handle for
         variable-size coalesced batches without reallocating.
+    plan:
+        Optional pre-compiled :class:`~repro.plan.KronPlan` (e.g. a tuned or
+        deserialised one) to adopt instead of compiling; it must match the
+        problem's factor shapes and dtype.
     """
 
     def __init__(
@@ -161,6 +222,7 @@ class FastKron:
         shared_memory_elements: Optional[int] = None,
         backend: BackendLike = None,
         row_capacity: Optional[int] = None,
+        plan: Optional[KronPlan] = None,
     ):
         self.problem = problem
         self.fuse = fuse
@@ -170,23 +232,39 @@ class FastKron:
         self._flexible_rows = row_capacity is not None
         self.row_capacity = max(problem.m, int(row_capacity) if row_capacity else 0)
         if shared_memory_elements is None:
-            shared_memory_elements = (48 * 1024) // problem.itemsize
+            shared_memory_elements = default_shared_memory_elements(problem.dtype)
         self.shared_memory_elements = int(shared_memory_elements)
-        self.fusion_plan: FusionPlan = plan_fusion(
-            problem,
-            shared_memory_elements=self.shared_memory_elements,
-            enabled=fuse,
-        )
-        max_cols = problem.max_intermediate_cols
-        # The workspace is allocated by the backend so device backends can
-        # hand out pinned or device-adjacent buffers.
-        self._buffers = (
-            self.backend.empty((self.row_capacity, max_cols), dtype=problem.dtype),
-            self.backend.empty((self.row_capacity, max_cols), dtype=problem.dtype),
-        )
+        if plan is None:
+            plan = compile_plan(
+                problem,
+                backend=self.backend,
+                fuse=fuse,
+                shared_memory_elements=self.shared_memory_elements,
+                row_capacity=self.row_capacity,
+            )
+        else:
+            if plan.factor_shapes != problem.factor_shapes or plan.np_dtype != problem.dtype:
+                raise ShapeError(
+                    f"plan compiled for {plan.label()} does not match problem "
+                    f"{problem.label()} [{problem.dtype}]"
+                )
+            if plan.m < self.row_capacity:
+                raise ShapeError(
+                    f"plan row capacity {plan.m} is below the handle's requested "
+                    f"capacity {self.row_capacity}"
+                )
+        self.plan: KronPlan = plan
+        self._executor = PlanExecutor(self.plan, backend=self.backend)
         self.last_stats: Optional[ExecutionStats] = None
 
     # ------------------------------------------------------------------ #
+    @property
+    def fusion_plan(self) -> FusionPlan:
+        """The fusion grouping of this handle's plan, in the classic view."""
+        return FusionPlan(
+            self.problem, tuple(FusionGroup(g) for g in self.plan.groups)
+        )
+
     @classmethod
     def for_operands(cls, x: np.ndarray, factors: Iterable, **kwargs) -> "FastKron":
         """Build a handle matching concrete operands."""
@@ -203,15 +281,13 @@ class FastKron:
         """Compute the Kron-Matmul, recording :attr:`last_stats`.
 
         ``x`` may carry fewer rows than ``problem.m`` (and up to
-        :attr:`row_capacity`); the handle then runs the same schedule over
+        :attr:`row_capacity`); the executor then runs the same schedule over
         the rows actually present, slicing its preallocated workspace.
         """
         factor_list = as_factor_list(factors)
         x2d = ensure_2d(np.asarray(x), "X")
         rows = x2d.shape[0]
-        if rows == self.problem.m:
-            problem = self.problem
-        else:
+        if rows != self.problem.m:
             if not self._flexible_rows:
                 raise ShapeError(
                     f"X has {rows} rows, expected {self.problem.m} (construct the "
@@ -222,51 +298,9 @@ class FastKron:
                     f"X has {rows} rows, exceeding this handle's row capacity "
                     f"{self.row_capacity}"
                 )
-            problem = self.problem.with_rows(rows)
-        problem.validate_against(x2d, [f.values for f in factor_list])
-
-        stats = ExecutionStats()
-        iteration_shapes = problem.iteration_shapes()
-        for it in iteration_shapes:
-            stats.flops += it.flops
-            stats.unfused_memory_elements += (
-                it.input_elements + it.output_elements + it.factor_elements
-            )
-        stats.iterations = len(iteration_shapes)
-
-        # Fused global traffic: one read of the group input and one write of
-        # the group output per fusion group; intra-group intermediates stay
-        # in (simulated) shared memory.
-        for group in self.fusion_plan.groups:
-            first = iteration_shapes[group.first_iteration]
-            last = iteration_shapes[group.last_iteration]
-            stats.fused_memory_elements += first.input_elements + last.output_elements
-            stats.fused_memory_elements += sum(
-                iteration_shapes[i].factor_elements for i in group.iterations
-            )
-        stats.kernel_launches = len(self.fusion_plan.groups)
-
-        # Numerical execution into the double-buffered workspace.
-        buf_a, buf_b = self._buffers
-        cur = x2d
-        if cur.dtype != self.problem.dtype:
-            cur = cur.astype(self.problem.dtype)
-        for it in iteration_shapes:
-            factor = factor_list[it.factor_index].values
-            if factor.dtype != self.problem.dtype:
-                factor = factor.astype(self.problem.dtype)
-            target = buf_a[:rows, : it.out_cols]
-            sliced_multiply(
-                cur[:, : it.k] if cur.shape[1] != it.k else cur,
-                factor,
-                out=target,
-                backend=self.backend,
-            )
-            cur = target
-            buf_a, buf_b = buf_b, buf_a
-
-        self.last_stats = stats
-        return np.ascontiguousarray(cur)
+        y = self._executor.execute(x2d, factor_list)
+        self.last_stats = self._executor.last_stats
+        return y
 
     # ------------------------------------------------------------------ #
     def flops(self) -> int:
@@ -275,4 +309,4 @@ class FastKron:
 
     def workspace_bytes(self) -> int:
         """Bytes of the double-buffered intermediate workspace."""
-        return sum(buf.nbytes for buf in self._buffers)
+        return self._executor.workspace_bytes()

@@ -102,7 +102,9 @@ class FusionPlan:
 
 def max_fused_multiplications(tile_k: int, p: int) -> int:
     """Maximum ``N_fused`` for a thread-block tile of ``T_K`` columns: ``⌊log_P T_K⌋``."""
-    if tile_k < p:
+    if p <= 1 or tile_k < p:
+        # A 1x1 factor never shrinks the slice sets, so the log-P bound is
+        # undefined; such iterations simply run unfused.
         return 0
     return ilog(tile_k, p)
 
@@ -117,6 +119,8 @@ def default_fused_tile_k(p: int, shared_memory_elements: int, m_tile: int = 1) -
     """
     if shared_memory_elements <= 0:
         raise ShapeError("shared_memory_elements must be positive")
+    if p <= 1:
+        return 0  # degenerate 1x1 factors cannot fuse (see max_fused_multiplications)
     budget = shared_memory_elements - p * p
     if budget <= 0:
         return 0
@@ -159,7 +163,7 @@ def plan_fusion(
         group_size = 1
         if (
             it.p == it.q
-            and it.p <= MAX_FUSABLE_P
+            and 1 < it.p <= MAX_FUSABLE_P
             and it.q <= MAX_FUSABLE_Q
         ):
             tile_k = default_fused_tile_k(it.p, shared_memory_elements)

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.backends.registry import BackendLike
 from repro.core.factors import KroneckerFactor, as_factor_list
-from repro.core.fastkron import kron_matmul
+from repro.core.fastkron import PlanLike, kron_matmul
 from repro.exceptions import ShapeError
 from repro.utils.validation import ensure_2d
 
@@ -51,6 +51,7 @@ def gekmm(
     op_factors: str = "N",
     out: Optional[np.ndarray] = None,
     backend: BackendLike = None,
+    plan: Optional[PlanLike] = None,
 ) -> np.ndarray:
     """General Kron-Matmul: ``Y = α · op(X) (⊗_i op(F_i)) + β · Z``.
 
@@ -71,6 +72,12 @@ def gekmm(
         Optional output buffer.
     backend:
         Execution backend name or instance (``None``: process default).
+    plan:
+        Optional pre-compiled :class:`~repro.plan.KronPlan` (or a live
+        :class:`~repro.plan.PlanExecutor`) reused for the inner Kron-Matmul
+        instead of compiling per call.  It must match the factors *after*
+        ``op_factors`` is applied (with ``op_factors='N'`` that is simply
+        the caller's forward plan).
 
     Returns
     -------
@@ -85,7 +92,7 @@ def gekmm(
     if op_x == "T":
         x2d = np.ascontiguousarray(x2d.T)
 
-    product = kron_matmul(x2d, factor_list, backend=backend)
+    product = kron_matmul(x2d, factor_list, backend=backend, plan=plan)
     z_arr: Optional[np.ndarray] = None
     if beta != 0.0:
         if z is None:
@@ -154,13 +161,15 @@ def kron_matmul_batched(
     factors: Iterable,
     alpha: float = 1.0,
     backend: BackendLike = None,
+    plan: Optional[PlanLike] = None,
 ) -> np.ndarray:
     """Apply the same Kronecker product to a batch of matrices.
 
     ``x_batch`` has shape ``(B, M, Π P_i)``; the result has shape
     ``(B, M, Π Q_i)``.  The batch is flattened into one tall Kron-Matmul so
     the per-call overhead is paid once (this mirrors FastKron's strided
-    batched interface).
+    batched interface).  A caller-supplied ``plan`` (compiled with row
+    capacity ``>= B * M``) is reused for the flattened multiply.
     """
     x_arr = np.asarray(x_batch)
     if x_arr.ndim != 3:
@@ -168,7 +177,7 @@ def kron_matmul_batched(
     b, m, k = x_arr.shape
     factor_list = as_factor_list(factors)
     flat = np.ascontiguousarray(x_arr).reshape(b * m, k)
-    result = kron_matmul(flat, factor_list, backend=backend)
+    result = kron_matmul(flat, factor_list, backend=backend, plan=plan)
     if alpha != 1.0:
         np.multiply(result, alpha, out=result)
     return result.reshape(b, m, -1)

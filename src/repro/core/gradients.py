@@ -19,27 +19,34 @@ All gradients are validated against finite differences in the test-suite.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.backends.registry import BackendLike
 from repro.core.factors import KroneckerFactor, as_factor_list
-from repro.core.fastkron import kron_matmul
+from repro.core.fastkron import PlanLike, kron_matmul
 from repro.exceptions import ShapeError
 from repro.utils.validation import ensure_2d
 
 
 def kron_matmul_backward_x(
-    dy: np.ndarray, factors: Iterable, backend: BackendLike = None
+    dy: np.ndarray,
+    factors: Iterable,
+    backend: BackendLike = None,
+    plan: Optional[PlanLike] = None,
 ) -> np.ndarray:
     """Gradient of the Kron-Matmul with respect to ``X``.
 
-    ``dX = dY (⊗_i F_i)^T = dY (⊗_i F_i^T)`` — another Kron-Matmul.
+    ``dX = dY (⊗_i F_i)^T = dY (⊗_i F_i^T)`` — another Kron-Matmul.  A
+    caller-supplied ``plan`` is reused for it; the plan must match the
+    *transposed* factor shapes ``(Q_i, P_i)`` (identical to the forward
+    shapes when the factors are square), which is what a training loop that
+    compiles once per parameter shape hands in.
     """
     factor_list = as_factor_list(factors)
     transposed = [KroneckerFactor(np.ascontiguousarray(f.values.T)) for f in factor_list]
-    return kron_matmul(np.asarray(dy), transposed, backend=backend)
+    return kron_matmul(np.asarray(dy), transposed, backend=backend, plan=plan)
 
 
 def _partial_product(
@@ -104,10 +111,19 @@ def kron_matmul_backward_factors(
 
 
 def kron_matmul_vjp(
-    x: np.ndarray, dy: np.ndarray, factors: Iterable, backend: BackendLike = None
+    x: np.ndarray,
+    dy: np.ndarray,
+    factors: Iterable,
+    backend: BackendLike = None,
+    plan: Optional[PlanLike] = None,
 ) -> Tuple[np.ndarray, List[np.ndarray]]:
-    """Full vector-Jacobian product: ``(dX, [dF_1, ..., dF_N])``."""
+    """Full vector-Jacobian product: ``(dX, [dF_1, ..., dF_N])``.
+
+    ``plan`` (matching the transposed factor shapes) is reused for the
+    ``dX`` Kron-Matmul; the per-factor contractions compile their own
+    schedules since each isolates a different mode.
+    """
     return (
-        kron_matmul_backward_x(dy, factors, backend=backend),
+        kron_matmul_backward_x(dy, factors, backend=backend, plan=plan),
         kron_matmul_backward_factors(x, dy, factors, backend=backend),
     )

@@ -13,13 +13,13 @@ on tiny grids and serve as a building block for preconditioners.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 import numpy as np
 
 from repro.backends.registry import BackendLike
 from repro.core.factors import KroneckerFactor, as_factor_list
-from repro.core.fastkron import kron_matmul
+from repro.core.fastkron import PlanLike, kron_matmul
 from repro.exceptions import ShapeError
 from repro.utils.validation import ensure_2d
 
@@ -46,6 +46,7 @@ def kron_solve(
     factors: Iterable,
     rcond: float | None = None,
     backend: BackendLike = None,
+    plan: Optional[PlanLike] = None,
 ) -> np.ndarray:
     """Solve ``X (F_1 ⊗ ... ⊗ F_N) = B`` for ``X``.
 
@@ -61,6 +62,12 @@ def kron_solve(
         Cut-off for small singular values when pseudo-inverting.
     backend:
         Execution backend for the Kron-Matmul (``None``: process default).
+    plan:
+        Optional pre-compiled :class:`~repro.plan.KronPlan` (or live
+        :class:`~repro.plan.PlanExecutor`) reused for the multiply with the
+        *inverted* factors.  With square factors the inverted shapes equal
+        the forward shapes, so a repeated solver can compile one plan for
+        ``(M, (Q_i, P_i))`` and amortise it across right-hand sides.
 
     Returns
     -------
@@ -76,7 +83,7 @@ def kron_solve(
     # X = B G^{-1} = B (F_1^{-1} ⊗ ... ⊗ F_N^{-1}) — use pinv(F_i) for the
     # rectangular case, for which B G^+ is the minimum-norm least-squares X.
     inverted = _inverted_factors(factor_list, rcond)
-    result = kron_matmul(b2d, inverted, backend=backend)
+    result = kron_matmul(b2d, inverted, backend=backend, plan=plan)
     return result[0] if squeeze else result
 
 

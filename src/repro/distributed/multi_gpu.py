@@ -28,11 +28,13 @@ from repro.backends.registry import BackendLike, get_backend
 from repro.core.factors import as_factor_list
 from repro.core.fastkron import kron_matmul
 from repro.core.problem import KronMatmulProblem
-from repro.core.sliced_multiply import sliced_multiply
 from repro.distributed.comm import CommunicationRecord
 from repro.distributed.grid import GpuGrid
-from repro.exceptions import DistributedError
+from repro.exceptions import DistributedError, DTypeError
 from repro.kernels.store_indexing import gpu_tile_store_columns
+from repro.plan.compiler import compile_plan
+from repro.plan.executor import PlanExecutor
+from repro.plan.lowering import DistributedPlan, lower_to_grid
 from repro.utils.intmath import ceil_div, ilog
 
 
@@ -92,6 +94,8 @@ class DistributedExecution:
     n_local: int
     rounds: int
     local_multiplications: List[int] = field(default_factory=list)
+    #: The lowered schedule the execution interpreted (global plan + rounds).
+    plan: "DistributedPlan | None" = None
 
     @property
     def communicated_elements(self) -> int:
@@ -119,33 +123,46 @@ class DistributedFastKron:
         self.backend = get_backend(backend)
 
     # ------------------------------------------------------------------ #
-    def _validate(self, x: np.ndarray, factors: Sequence) -> tuple[int, int, int, int]:
-        m, k = x.shape
-        shapes = {tuple(np.asarray(f).shape) for f in factors}
-        if len(shapes) != 1:
-            raise DistributedError("distributed Kron-Matmul requires identically shaped factors")
-        p, q = shapes.pop()
-        if p != q:
-            raise DistributedError("distributed Kron-Matmul requires square factors")
-        tgm, tgk = self.grid.block_shape(m, k)
-        if tgk % p != 0:
-            raise DistributedError(f"per-GPU block width {tgk} is not a multiple of P={p}")
-        if tgk < p:
-            raise DistributedError("per-GPU block narrower than one slice")
-        _ = tgm
-        return m, k, p, q
+    def lower(self, x: np.ndarray, factors: Sequence) -> DistributedPlan:
+        """Compile the global :class:`~repro.plan.KronPlan` and lower it onto the grid.
 
-    # ------------------------------------------------------------------ #
+        The distributed executor no longer derives its own loop: the global
+        plan fixes the factor consumption order, and the lowering chunks its
+        steps into exchange rounds with one per-device *segment plan* each.
+        """
+        factor_list = as_factor_list(factors)
+        problem = KronMatmulProblem.from_factors(
+            np.asarray(x).shape[0], [f.values for f in factor_list]
+        )
+        # Fusion is a single-device shared-memory concern; the distributed
+        # schedule only consumes the step order.
+        plan = compile_plan(problem, backend=self.backend, fuse=False)
+        return lower_to_grid(plan, self.grid)
+
     def execute(self, x: np.ndarray, factors: Iterable) -> DistributedExecution:
-        """Run Algorithm 2 and return the assembled output plus comm counts."""
+        """Run Algorithm 2 and return the assembled output plus comm counts.
+
+        The per-grid invariants (identical square factors, block divisible
+        into whole slices) are enforced once, by the lowering — there is no
+        second copy of those checks to keep in sync here.
+        """
         factor_list = as_factor_list(factors)
         x = np.asarray(x)
-        m, k, p, q = self._validate(x, [f.values for f in factor_list])
-        n = len(factor_list)
-        tgm, tgk = self.grid.block_shape(m, k)
-        n_local = ilog(tgk, p)
-        if n_local < 1:
-            raise DistributedError("T_GK smaller than P; cannot perform local multiplications")
+        if x.ndim != 2:
+            raise DistributedError(f"X must be a 2-D matrix, got ndim={x.ndim}")
+        if x.dtype != factor_list[0].dtype:
+            raise DTypeError(
+                f"X has dtype {x.dtype} but the factors have {factor_list[0].dtype}; "
+                "promote the operands before the distributed execution"
+            )
+        dplan = self.lower(x, factor_list)
+        m, k = x.shape
+        if k != dplan.global_plan.k:
+            raise DistributedError(
+                f"X has {k} columns, expected {dplan.global_plan.k} for these factors"
+            )
+        p = dplan.global_plan.factor_shapes[0][0]
+        tgm, tgk, n_local = dplan.tgm, dplan.tgk, dplan.n_local
 
         comm = CommunicationRecord()
 
@@ -160,25 +177,30 @@ class DistributedFastKron:
             for g_m in range(self.grid.gm)
         ]
 
-        remaining = n
-        factor_cursor = n  # factors are consumed from the last one backwards
-        rounds = 0
+        # Rounds of equal size have identical segment plans (same block
+        # shape, factor shapes, dtype, backend by construction), so they
+        # share one executor — and its workspace — across rounds and blocks.
+        executors: dict[int, PlanExecutor] = {}
         local_counts: List[int] = []
-        while remaining > 0:
-            batch = min(n_local, remaining)
-            batch_factors = [factor_list[i].values for i in range(factor_cursor - batch, factor_cursor)]
-            factor_cursor -= batch
-            remaining -= batch
-            rounds += 1
+        for rnd in dplan.rounds:
+            batch = rnd.size
             local_counts.append(batch)
+            executor = executors.get(batch)
+            if executor is None:
+                executor = PlanExecutor(rnd.local_plan, backend=self.backend)
+                executors[batch] = executor
+            round_factors = [factor_list[i].values for i in rnd.factor_indices]
 
             # ---- local multiplications (no communication) --------------- #
+            # Each block gets its own output buffer: the executor's result
+            # may alias the shared workspace, which the next block reuses.
             for g_m in range(self.grid.gm):
                 for g_k in range(self.grid.gk):
-                    local = blocks[g_m][g_k]
-                    for factor in batch_factors[::-1]:
-                        local = sliced_multiply(local, factor, backend=self.backend)
-                    blocks[g_m][g_k] = local
+                    blocks[g_m][g_k] = executor.execute(
+                        blocks[g_m][g_k],
+                        round_factors,
+                        out=np.empty((tgm, rnd.local_plan.out_cols), dtype=x.dtype),
+                    )
 
             # ---- exchange: relocate to the canonical distribution ------- #
             if self.grid.gk > 1:
@@ -218,8 +240,9 @@ class DistributedFastKron:
             output=output,
             communication=comm,
             n_local=n_local,
-            rounds=rounds,
+            rounds=dplan.n_rounds,
             local_multiplications=local_counts,
+            plan=dplan,
         )
 
     # ------------------------------------------------------------------ #

@@ -102,6 +102,27 @@ class GpuExecutor:
         self.fuse = fuse
         self.tile_overrides = dict(tile_overrides or {})
 
+    @classmethod
+    def from_plan(
+        cls,
+        plan,
+        spec: GpuSpec = TESLA_V100,
+        caching: Optional[CachingScheme] = None,
+    ) -> "GpuExecutor":
+        """Build a simulated-GPU executor from a compiled :class:`~repro.plan.KronPlan`.
+
+        The plan's fusion setting, per-step tile configs (when tuned) and
+        backend binding carry over, so the simulated execution costs exactly
+        the schedule the plan describes.
+        """
+        return cls(
+            spec=spec,
+            caching=caching,
+            fuse=plan.fuse,
+            tile_overrides=plan.tile_overrides(),
+            backend=plan.backend,
+        )
+
     # ------------------------------------------------------------------ #
     def _tile_for(self, it: IterationShape, dtype: np.dtype) -> TileConfig:
         if it.index in self.tile_overrides:

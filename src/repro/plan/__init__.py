@@ -1,0 +1,43 @@
+"""The execution-plan IR: compile once, run everywhere.
+
+This package is the single substrate every layer schedules through:
+
+:class:`KronPlan` (:mod:`repro.plan.ir`)
+    The immutable, serialisable schedule — ordered steps, fusion groups,
+    per-step tile configs, buffer assignments, dtype/backend binding — with
+    ``explain()``, ``to_dict()``/``from_dict()`` and a content
+    ``fingerprint()``.
+:func:`compile_plan` / :func:`compile_segment` (:mod:`repro.plan.compiler`)
+    Deterministic compilation from a problem (or a distributed block
+    segment) plus optional cached tuning state.
+:class:`PlanExecutor` (:mod:`repro.plan.executor`)
+    Interprets a plan over a reused double-buffered workspace,
+    bit-identically to the historical per-call paths.
+:mod:`repro.plan.fingerprint`
+    The one canonical cache-key scheme (per-step tuning keys, the serving
+    plan-cache key, plan content hashes).
+:func:`lower_to_grid` (:mod:`repro.plan.lowering`)
+    Lowers a plan onto a GPU grid as per-round, per-device sub-plans.
+"""
+
+from repro.plan.compiler import check_out_dtype, compile_plan, compile_segment
+from repro.plan.executor import ExecutionStats, PlanExecutor, plan_execution_stats
+from repro.plan.fingerprint import plan_cache_key, step_key
+from repro.plan.ir import KronPlan, PlanStep
+from repro.plan.lowering import DeviceRound, DistributedPlan, lower_to_grid
+
+__all__ = [
+    "DeviceRound",
+    "DistributedPlan",
+    "ExecutionStats",
+    "KronPlan",
+    "PlanExecutor",
+    "PlanStep",
+    "check_out_dtype",
+    "compile_plan",
+    "compile_segment",
+    "lower_to_grid",
+    "plan_cache_key",
+    "plan_execution_stats",
+    "step_key",
+]

@@ -1,0 +1,196 @@
+"""Plan compilation: problem + backend + tuning state → :class:`KronPlan`.
+
+Compilation is pure and deterministic: the same problem, backend, fusion
+setting and tuning-cache contents always produce an identical plan (and
+therefore an identical fingerprint).  It performs no search of its own — the
+autotuner is a separate *pass* (:meth:`repro.tuner.autotuner.Autotuner.tune_plan`)
+that rewrites step tiles; the compiler merely picks up already-cached tuning
+results when a :class:`~repro.tuner.cache.TuningCache` is supplied.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backends.registry import BackendLike, get_backend
+from repro.core.fused import plan_fusion
+from repro.core.problem import KronMatmulProblem
+from repro.exceptions import DTypeError, ShapeError
+from repro.plan.fingerprint import step_key
+from repro.plan.ir import INPUT_BUFFER, WORKSPACE_BUFFERS, KronPlan, PlanStep
+
+
+def default_shared_memory_elements(dtype) -> int:
+    """The fusion planner's default capacity: V100's 48 KiB per block."""
+    return (48 * 1024) // int(np.dtype(dtype).itemsize)
+
+
+def check_out_dtype(out: Optional[np.ndarray], compute_dtype) -> None:
+    """Reject an ``out=`` buffer whose dtype differs from the compute dtype.
+
+    Copying the promoted result into a narrower buffer would silently
+    downcast (and into a wider one silently upcast), so the mismatch is a
+    compile-time error rather than a data-dependent surprise.
+    """
+    if out is None:
+        return
+    compute = np.dtype(compute_dtype)
+    if out.dtype != compute:
+        raise DTypeError(
+            f"out has dtype {out.dtype}, but the plan computes in {compute} "
+            f"(promote the inputs or allocate out with the compute dtype)"
+        )
+
+
+def compile_plan(
+    problem: KronMatmulProblem,
+    backend: BackendLike = None,
+    fuse: bool = True,
+    shared_memory_elements: Optional[int] = None,
+    row_capacity: Optional[int] = None,
+    tuning_cache=None,
+    max_group_size: Optional[int] = None,
+) -> KronPlan:
+    """Compile the full execution schedule for ``problem``.
+
+    Parameters
+    ----------
+    problem:
+        The Kron-Matmul shape to schedule.
+    backend:
+        Execution backend (name, instance or ``None`` for the process
+        default); the plan binds to its *name*.
+    fuse:
+        Enable fusion grouping (Section 4.2).
+    shared_memory_elements:
+        Fusion planner capacity; defaults to 48 KiB worth of the problem's
+        dtype.
+    row_capacity:
+        Compile the plan (and size its workspace) for up to this many rows;
+        never below ``problem.m``.
+    tuning_cache:
+        Optional :class:`~repro.tuner.cache.TuningCache`: steps whose shape
+        is already tuned for this backend get their tile installed.  No
+        search happens here.
+    max_group_size:
+        Optional cap on the fusion group size (ablation use).
+    """
+    resolved = get_backend(backend)
+    rows = max(problem.m, int(row_capacity) if row_capacity else 0)
+    if shared_memory_elements is None:
+        shared_memory_elements = default_shared_memory_elements(problem.dtype)
+    shared_memory_elements = int(shared_memory_elements)
+
+    fusion = plan_fusion(
+        problem,
+        shared_memory_elements=shared_memory_elements,
+        enabled=fuse,
+        max_group_size=max_group_size,
+    )
+    group_of = {}
+    for gi, group in enumerate(fusion.groups):
+        for i in group.iterations:
+            group_of[i] = gi
+
+    steps = []
+    for it in problem.iteration_shapes():
+        tile = None
+        if tuning_cache is not None:
+            tile = tuning_cache.get(
+                step_key(rows, it.k, it.p, it.q, problem.dtype, backend=resolved.name)
+            )
+        steps.append(
+            PlanStep(
+                index=it.index,
+                factor_index=it.factor_index,
+                m=rows,
+                k=it.k,
+                p=it.p,
+                q=it.q,
+                group=group_of[it.index],
+                source=_source_buffer(it.index),
+                target=_target_buffer(it.index),
+                tile=tile,
+            )
+        )
+
+    return KronPlan(
+        m=rows,
+        k=problem.k,
+        factor_shapes=problem.factor_shapes,
+        dtype=str(problem.dtype),
+        backend=resolved.name,
+        fuse=bool(fuse),
+        shared_memory_elements=shared_memory_elements,
+        steps=tuple(steps),
+        groups=tuple(tuple(g.iterations) for g in fusion.groups),
+    )
+
+
+def compile_segment(
+    rows: int,
+    k: int,
+    factor_shapes: Sequence[Tuple[int, int]],
+    dtype,
+    backend: BackendLike = None,
+) -> KronPlan:
+    """Compile a *segment* plan: sliced multiplies over an extra-wide input.
+
+    The distributed lowering runs batches of local multiplications on each
+    device's ``(T_GM, T_GK)`` block, where ``T_GK`` is a multiple of (not
+    equal to) the batch factors' footprint.  A segment plan schedules those
+    multiplies — last factor first, widths evolving ``k -> k/p*q`` from the
+    block width — with the same step/buffer IR as a whole-problem plan.
+    Fusion never applies (each step is its own kernel on the device).
+    """
+    resolved = get_backend(backend)
+    shapes = tuple((int(p), int(q)) for p, q in factor_shapes)
+    if not shapes:
+        raise ShapeError("a segment plan needs at least one factor")
+    steps = []
+    width = int(k)
+    n = len(shapes)
+    for index, factor_index in enumerate(range(n - 1, -1, -1)):
+        p, q = shapes[factor_index]
+        if width % p != 0:
+            raise ShapeError(
+                f"segment width {width} not divisible by factor rows {p} "
+                f"(factor {factor_index})"
+            )
+        steps.append(
+            PlanStep(
+                index=index,
+                factor_index=factor_index,
+                m=int(rows),
+                k=width,
+                p=p,
+                q=q,
+                group=index,
+                source=_source_buffer(index),
+                target=_target_buffer(index),
+            )
+        )
+        width = (width // p) * q
+    return KronPlan(
+        m=int(rows),
+        k=int(k),
+        factor_shapes=shapes,
+        dtype=str(np.dtype(dtype)),
+        backend=resolved.name,
+        fuse=False,
+        shared_memory_elements=default_shared_memory_elements(dtype),
+        steps=tuple(steps),
+        groups=tuple((i,) for i in range(len(steps))),
+    )
+
+
+def _source_buffer(step_index: int) -> str:
+    if step_index == 0:
+        return INPUT_BUFFER
+    return WORKSPACE_BUFFERS[(step_index - 1) % 2]
+
+
+def _target_buffer(step_index: int) -> str:
+    return WORKSPACE_BUFFERS[step_index % 2]

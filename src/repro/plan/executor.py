@@ -1,0 +1,168 @@
+"""The :class:`PlanExecutor`: interpret a compiled :class:`~repro.plan.ir.KronPlan`.
+
+The executor owns the runtime state a plan deliberately excludes — the
+resolved backend instance and the double-buffered workspace — and walks the
+plan's steps, issuing one sliced multiply per step into the buffer the plan
+assigned.  It never re-derives scheduling decisions: iteration order, fusion
+grouping (reported in the execution stats) and buffer ping-pong all come
+from the plan.
+
+Numerics are bit-identical to the historical ``FastKron.multiply`` /
+``kron_matmul`` paths: the same backend primitive runs over the same shapes
+in the same order, and output values do not depend on whether the
+destination is a fresh buffer or a workspace view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.backends.registry import BackendLike, get_backend
+from repro.core.factors import as_factor_list
+from repro.core.sliced_multiply import sliced_multiply
+from repro.exceptions import ShapeError
+from repro.plan.compiler import check_out_dtype
+from repro.plan.ir import WORKSPACE_BUFFERS, KronPlan
+from repro.utils.validation import ensure_2d
+
+
+@dataclass
+class ExecutionStats:
+    """Operation counts of one plan execution.
+
+    These counts are exact properties of Algorithm 1 (they do not depend on
+    the simulated GPU): FLOPs, the global-memory elements an unfused
+    execution would read/write, and the elements actually read/written under
+    the active fusion grouping (fused steps keep their intermediate in
+    shared memory and therefore skip the global round-trip).
+    """
+
+    flops: int = 0
+    unfused_memory_elements: int = 0
+    fused_memory_elements: int = 0
+    iterations: int = 0
+    kernel_launches: int = 0
+
+    @property
+    def memory_saving_factor(self) -> float:
+        """How much global traffic fusion removes (>= 1)."""
+        if self.fused_memory_elements == 0:
+            return 1.0
+        return self.unfused_memory_elements / self.fused_memory_elements
+
+
+def plan_execution_stats(plan: KronPlan, rows: Optional[int] = None) -> ExecutionStats:
+    """The :class:`ExecutionStats` of executing ``plan`` over ``rows`` rows."""
+    rows = plan.m if rows is None else int(rows)
+    stats = ExecutionStats()
+    for step in plan.steps:
+        stats.flops += step.flops(rows)
+        stats.unfused_memory_elements += (
+            step.input_elements(rows) + step.output_elements(rows) + step.factor_elements
+        )
+    stats.iterations = plan.n_steps
+    # Fused global traffic: one read of the group input and one write of the
+    # group output per fusion group; intra-group intermediates stay in
+    # (simulated) shared memory.
+    for group in plan.groups:
+        first = plan.steps[group[0]]
+        last = plan.steps[group[-1]]
+        stats.fused_memory_elements += first.input_elements(rows) + last.output_elements(rows)
+        stats.fused_memory_elements += sum(plan.steps[i].factor_elements for i in group)
+    stats.kernel_launches = plan.n_kernel_launches
+    return stats
+
+
+class PlanExecutor:
+    """Executes one :class:`KronPlan` many times over a reused workspace.
+
+    Parameters
+    ----------
+    plan:
+        The compiled schedule to interpret.
+    backend:
+        Optional backend override (instance or name); defaults to resolving
+        the plan's bound backend name.  The workspace is allocated by the
+        backend so device backends can hand out pinned buffers.
+    """
+
+    def __init__(self, plan: KronPlan, backend: BackendLike = None):
+        self.plan = plan
+        self.backend = get_backend(backend if backend is not None else plan.backend)
+        dtype = plan.np_dtype
+        cols = plan.workspace_cols
+        self._buffers: Dict[str, np.ndarray] = {
+            name: self.backend.empty((plan.m, cols), dtype=dtype)
+            for name in WORKSPACE_BUFFERS
+        }
+        self.last_stats: Optional[ExecutionStats] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def row_capacity(self) -> int:
+        return self.plan.m
+
+    def workspace_bytes(self) -> int:
+        """Bytes of the double-buffered intermediate workspace."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        x: np.ndarray,
+        factors: Iterable,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Run the plan over concrete operands, recording :attr:`last_stats`.
+
+        ``x`` may carry fewer rows than the plan's capacity; the same
+        schedule runs over the rows actually present, slicing the
+        preallocated workspace.  ``out``, when given, must match the result
+        shape and the plan's compute dtype (a dtype mismatch raises
+        :class:`~repro.exceptions.DTypeError` — the plan decided the compute
+        dtype at compile time and never silently downcasts).
+
+        Without ``out`` the returned array may *alias the workspace* (it is
+        whatever the final ping-pong buffer holds, made contiguous): callers
+        that keep results across calls must copy them out, exactly as the
+        serving engine does when splitting a coalesced batch.
+        """
+        factor_list = as_factor_list(factors)
+        x2d = ensure_2d(np.asarray(x), "X")
+        rows = x2d.shape[0]
+        plan = self.plan
+        plan.validate_operands(x2d, [f.values for f in factor_list])
+        check_out_dtype(out, plan.np_dtype)
+        if out is not None and out.shape != (rows, plan.out_cols):
+            raise ShapeError(
+                f"out has shape {out.shape}, expected {(rows, plan.out_cols)}"
+            )
+
+        dtype = plan.np_dtype
+        cur = x2d
+        if cur.dtype != dtype:
+            cur = cur.astype(dtype)
+        for step in plan.steps:
+            factor = factor_list[step.factor_index].values
+            if factor.dtype != dtype:
+                factor = factor.astype(dtype)
+            target = self._buffers[step.target][:rows, : step.out_cols]
+            sliced_multiply(
+                cur[:, : step.k] if cur.shape[1] != step.k else cur,
+                factor,
+                out=target,
+                backend=self.backend,
+            )
+            cur = target
+
+        self.last_stats = plan_execution_stats(plan, rows)
+        if out is not None:
+            np.copyto(out, cur)
+            return out
+        return np.ascontiguousarray(cur)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<PlanExecutor {self.plan.label()} backend={self.backend.name!r}>"

@@ -1,0 +1,69 @@
+"""Canonical cache identities for plans and plan steps.
+
+Before this module existed the package had three ad-hoc key schemes for
+"the same compiled decision": the tuner's ``(M, K, P, Q, dtype, backend)``
+shape key, the serving plan-cache's ``(factor shapes, dtype, backend, fuse)``
+tuple, and the backend-qualified tuning-cache JSON keys.  All three are now
+derived here, from the same canonical fields a :class:`~repro.plan.KronPlan`
+serialises:
+
+``step_key``
+    The per-iteration tuning identity (re-exported by
+    :func:`repro.tuner.cache.shape_key` for backwards compatibility —
+    legacy five-field cache files still load).
+``plan_cache_key``
+    The serving-cache identity of a plan: every plan compiled from the same
+    factor shapes, compute dtype, backend and fusion setting shares it,
+    regardless of tuning state or row capacity.  It equals
+    ``KronPlan.cache_key()`` so callers can key a cache before compiling.
+``fingerprint_digest``
+    The stable content hash used by :meth:`~repro.plan.KronPlan.fingerprint`:
+    a SHA-256 over the canonical JSON form, truncated for readability.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Sequence, Tuple
+
+import numpy as np
+
+StepKey = Tuple[int, int, int, int, str, str]
+
+#: Backend recorded for tuning keys written before keys were backend-qualified.
+DEFAULT_KEY_BACKEND = "numpy"
+
+
+def step_key(
+    m: int, k: int, p: int, q: int, dtype, backend: str = DEFAULT_KEY_BACKEND
+) -> StepKey:
+    """Normalised tuning identity of one sliced-multiply step on one backend."""
+    return (int(m), int(k), int(p), int(q), str(np.dtype(dtype)), str(backend))
+
+
+def plan_cache_key(
+    factor_shapes: Sequence[Tuple[int, int]],
+    dtype,
+    backend: str,
+    fuse: bool,
+) -> str:
+    """The plan-cache identity shared by every plan over these inputs.
+
+    Deliberately excludes the row count / row capacity (serving handles are
+    allocated with spare rows and serve any batch that fits) and the tuning
+    state (tuned and untuned plans for one shape occupy one cache slot).
+    """
+    payload = {
+        "factor_shapes": [[int(p), int(q)] for p, q in factor_shapes],
+        "dtype": str(np.dtype(dtype)),
+        "backend": str(backend),
+        "fuse": bool(fuse),
+    }
+    return "kp_" + fingerprint_digest(payload)
+
+
+def fingerprint_digest(payload: object, length: int = 16) -> str:
+    """Stable hex digest of a JSON-serialisable payload (sorted keys)."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:length]

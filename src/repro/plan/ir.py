@@ -1,0 +1,379 @@
+"""The :class:`KronPlan` IR: one explicit, serialisable execution schedule.
+
+A plan captures every decision FastKron makes *ahead of* execution — the
+factor iteration order (Algorithm 1 consumes the last factor first), the
+fusion grouping of Section 4.2, per-step tile configurations when tuned
+(Section 4.3), the double-buffered workspace assignment, and the compute
+dtype / backend binding.  Compiling is cheap and deterministic; executing is
+the job of :class:`~repro.plan.executor.PlanExecutor`, which interprets the
+steps without re-deriving anything.
+
+Plans serialise (:meth:`KronPlan.to_dict` / :meth:`KronPlan.from_dict`) so
+they can be persisted next to the tuning cache, and fingerprint
+(:meth:`KronPlan.fingerprint`) so caches — the serving plan cache, the tuner
+— share one key scheme (see :mod:`repro.plan.fingerprint`).
+
+A plan is usually compiled for a whole :class:`~repro.core.problem.KronMatmulProblem`
+(``k == prod P_i``), but the IR also represents *segment* plans whose input
+is wider than the factors' footprint (``k`` a multiple of ``prod P_i``) —
+the distributed lowering uses these for the per-device local batches, where
+each GPU's block spans many slices of many factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.fused import FusionGroup, FusionPlan
+from repro.core.problem import KronMatmulProblem
+from repro.exceptions import ShapeError
+from repro.kernels.tile_config import TileConfig
+from repro.plan.fingerprint import fingerprint_digest, plan_cache_key
+from repro.utils.intmath import prod
+
+#: Buffer names used by the step buffer assignment: the caller's input and
+#: the two ping-pong workspace halves.
+INPUT_BUFFER = "X"
+WORKSPACE_BUFFERS = ("W0", "W1")
+
+_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One scheduled sliced multiply: shapes, fusion group, buffers, tile.
+
+    ``index`` is the execution position (step 0 runs first and consumes the
+    *last* factor); ``source``/``target`` name the buffer the step reads
+    from and writes to (``"X"`` for the caller's input, ``"W0"``/``"W1"``
+    for the ping-pong workspace).  ``tile`` is the tuned kernel
+    configuration, ``None`` while untuned.
+    """
+
+    index: int
+    factor_index: int
+    m: int
+    k: int
+    p: int
+    q: int
+    group: int
+    source: str
+    target: str
+    tile: Optional[TileConfig] = None
+
+    @property
+    def out_cols(self) -> int:
+        return (self.k // self.p) * self.q
+
+    @property
+    def n_slices(self) -> int:
+        return self.k // self.p
+
+    def flops(self, rows: Optional[int] = None) -> int:
+        rows = self.m if rows is None else rows
+        return 2 * rows * self.out_cols * self.p
+
+    def input_elements(self, rows: Optional[int] = None) -> int:
+        rows = self.m if rows is None else rows
+        return rows * self.k
+
+    def output_elements(self, rows: Optional[int] = None) -> int:
+        rows = self.m if rows is None else rows
+        return rows * self.out_cols
+
+    @property
+    def factor_elements(self) -> int:
+        return self.p * self.q
+
+    def describe(self) -> str:
+        tile = self.tile.describe() if self.tile is not None else "untuned"
+        return (
+            f"step {self.index}: F[{self.factor_index}] ({self.p}x{self.q})  "
+            f"{self.source}({self.m}x{self.k}) -> {self.target}({self.m}x{self.out_cols})  "
+            f"[{tile}]"
+        )
+
+    def to_dict(self) -> Dict:
+        payload = {
+            "index": self.index,
+            "factor_index": self.factor_index,
+            "m": self.m,
+            "k": self.k,
+            "p": self.p,
+            "q": self.q,
+            "group": self.group,
+            "source": self.source,
+            "target": self.target,
+            "tile": asdict(self.tile) if self.tile is not None else None,
+        }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "PlanStep":
+        tile = payload.get("tile")
+        return cls(
+            index=int(payload["index"]),
+            factor_index=int(payload["factor_index"]),
+            m=int(payload["m"]),
+            k=int(payload["k"]),
+            p=int(payload["p"]),
+            q=int(payload["q"]),
+            group=int(payload["group"]),
+            source=str(payload["source"]),
+            target=str(payload["target"]),
+            tile=TileConfig(**tile) if tile is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class KronPlan:
+    """The complete compiled schedule of one Kron-Matmul execution.
+
+    Attributes
+    ----------
+    m:
+        Row capacity the plan is compiled for.  Executions may present fewer
+        rows; the executor slices its workspace accordingly.
+    k:
+        Input column count.  Equals ``prod P_i`` for whole-problem plans;
+        segment plans (distributed local batches) carry a larger multiple.
+    factor_shapes:
+        The ``(P_i, Q_i)`` shapes of the factors the plan consumes, in
+        Kronecker-product order.
+    dtype:
+        Name of the compute dtype every step runs in (inputs are promoted
+        to it before execution).
+    backend:
+        Name of the execution backend the plan is bound to.
+    fuse:
+        Whether fusion planning was enabled at compile time.
+    shared_memory_elements:
+        The fusion planner's shared-memory capacity input.
+    steps:
+        The ordered :class:`PlanStep` schedule.
+    groups:
+        Fusion groups as tuples of step indices (one kernel launch each).
+    """
+
+    m: int
+    k: int
+    factor_shapes: Tuple[Tuple[int, int], ...]
+    dtype: str
+    backend: str
+    fuse: bool
+    shared_memory_elements: int
+    steps: Tuple[PlanStep, ...] = field(default_factory=tuple)
+    groups: Tuple[Tuple[int, ...], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ShapeError("a KronPlan needs at least one step")
+        covered = [i for group in self.groups for i in group]
+        if sorted(covered) != list(range(len(self.steps))):
+            raise ShapeError(
+                f"fusion groups {self.groups} do not cover the {len(self.steps)} steps exactly"
+            )
+
+    # ------------------------------------------------------------------ #
+    # shape algebra
+    # ------------------------------------------------------------------ #
+    @property
+    def n_factors(self) -> int:
+        return len(self.factor_shapes)
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def out_cols(self) -> int:
+        """Columns of the final intermediate (the execution's output width)."""
+        return self.steps[-1].out_cols
+
+    @property
+    def workspace_cols(self) -> int:
+        """Column capacity of each ping-pong workspace buffer."""
+        return max(max(s.k for s in self.steps), max(s.out_cols for s in self.steps))
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return np.dtype(self.dtype)
+
+    @property
+    def itemsize(self) -> int:
+        return int(self.np_dtype.itemsize)
+
+    @property
+    def workspace_bytes(self) -> int:
+        return 2 * self.m * self.workspace_cols * self.itemsize
+
+    @property
+    def is_segment(self) -> bool:
+        """True for plans whose input is wider than the factors' footprint."""
+        return self.k != prod(p for p, _ in self.factor_shapes)
+
+    @property
+    def is_fused(self) -> bool:
+        return any(len(group) > 1 for group in self.groups)
+
+    @property
+    def n_kernel_launches(self) -> int:
+        return len(self.groups)
+
+    def problem(self) -> KronMatmulProblem:
+        """The :class:`KronMatmulProblem` this plan was compiled from.
+
+        Only whole-problem plans correspond to a problem; segment plans
+        (used by the distributed lowering) raise.
+        """
+        if self.is_segment:
+            raise ShapeError(
+                f"plan input width {self.k} exceeds the factors' footprint "
+                f"{prod(p for p, _ in self.factor_shapes)}; segment plans have no problem form"
+            )
+        return KronMatmulProblem(
+            m=self.m, factor_shapes=self.factor_shapes, dtype=self.np_dtype
+        )
+
+    def fusion_plan(self) -> FusionPlan:
+        """Reconstruct the :class:`~repro.core.fused.FusionPlan` view of the groups."""
+        return FusionPlan(self.problem(), tuple(FusionGroup(g) for g in self.groups))
+
+    def tile_overrides(self) -> Dict[int, TileConfig]:
+        """Per-step tuned tiles as the mapping the simulated GPU executor takes."""
+        return {s.index: s.tile for s in self.steps if s.tile is not None}
+
+    @property
+    def is_tuned(self) -> bool:
+        return any(s.tile is not None for s in self.steps)
+
+    def validate_operands(self, x: np.ndarray, factors) -> None:
+        """Check concrete operands against the compiled shapes (rows may be fewer)."""
+        rows, cols = x.shape
+        if rows > self.m:
+            raise ShapeError(
+                f"X has {rows} rows, exceeding this plan's row capacity {self.m}"
+            )
+        if cols != self.k:
+            raise ShapeError(f"X has {cols} columns, expected {self.k}")
+        if len(factors) != self.n_factors:
+            raise ShapeError(f"got {len(factors)} factors, expected {self.n_factors}")
+        for i, (factor, (p, q)) in enumerate(zip(factors, self.factor_shapes)):
+            shape = tuple(np.asarray(factor).shape)
+            if shape != (p, q):
+                raise ShapeError(f"factor {i} has shape {shape}, expected {(p, q)}")
+
+    # ------------------------------------------------------------------ #
+    # rewriting (plan passes return new plans; the IR is immutable)
+    # ------------------------------------------------------------------ #
+    def with_step_tiles(self, tiles: Dict[int, TileConfig]) -> "KronPlan":
+        """A copy of this plan with the given per-step tile configs installed.
+
+        This is the output form of the autotuner pass: unknown step indices
+        are rejected, steps absent from the mapping keep their current tile.
+        """
+        unknown = set(tiles) - {s.index for s in self.steps}
+        if unknown:
+            raise ShapeError(f"tile overrides reference unknown steps {sorted(unknown)}")
+        steps = tuple(
+            PlanStep(
+                index=s.index, factor_index=s.factor_index, m=s.m, k=s.k, p=s.p, q=s.q,
+                group=s.group, source=s.source, target=s.target,
+                tile=tiles.get(s.index, s.tile),
+            )
+            for s in self.steps
+        )
+        return KronPlan(
+            m=self.m, k=self.k, factor_shapes=self.factor_shapes, dtype=self.dtype,
+            backend=self.backend, fuse=self.fuse,
+            shared_memory_elements=self.shared_memory_elements,
+            steps=steps, groups=self.groups,
+        )
+
+    # ------------------------------------------------------------------ #
+    # identity and serialisation
+    # ------------------------------------------------------------------ #
+    def cache_key(self) -> str:
+        """The tuning-independent cache identity (see :func:`plan_cache_key`)."""
+        return plan_cache_key(self.factor_shapes, self.dtype, self.backend, self.fuse)
+
+    def fingerprint(self) -> str:
+        """Content hash of the full compiled schedule (tiles included).
+
+        Deterministic: compiling the same problem on the same backend with
+        the same tuning state always yields the same fingerprint.
+        """
+        return fingerprint_digest(self.to_dict())
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": _SCHEMA,
+            "m": self.m,
+            "k": self.k,
+            "factor_shapes": [[p, q] for p, q in self.factor_shapes],
+            "dtype": self.dtype,
+            "backend": self.backend,
+            "fuse": self.fuse,
+            "shared_memory_elements": self.shared_memory_elements,
+            "steps": [s.to_dict() for s in self.steps],
+            "groups": [list(g) for g in self.groups],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "KronPlan":
+        schema = payload.get("schema")
+        if schema != _SCHEMA:
+            raise ShapeError(f"unsupported KronPlan schema {schema!r} (expected {_SCHEMA})")
+        return cls(
+            m=int(payload["m"]),
+            k=int(payload["k"]),
+            factor_shapes=tuple((int(p), int(q)) for p, q in payload["factor_shapes"]),
+            dtype=str(payload["dtype"]),
+            backend=str(payload["backend"]),
+            fuse=bool(payload["fuse"]),
+            shared_memory_elements=int(payload["shared_memory_elements"]),
+            steps=tuple(PlanStep.from_dict(s) for s in payload["steps"]),
+            groups=tuple(tuple(int(i) for i in g) for g in payload["groups"]),
+        )
+
+    # ------------------------------------------------------------------ #
+    # human-readable schedule dump
+    # ------------------------------------------------------------------ #
+    def label(self) -> str:
+        core = "⊗".join(f"{p}x{q}" for p, q in self.factor_shapes)
+        return f"M={self.m} {core} {self.dtype}"
+
+    def explain(self) -> str:
+        """A human-readable dump of the compiled schedule.
+
+        Names the fusion groups (one kernel launch each), the per-step tile
+        configurations (or ``untuned``), and the buffer assignments of the
+        double-buffered workspace.
+        """
+        lines: List[str] = []
+        fused = "on" if self.fuse else "off"
+        lines.append(
+            f"KronPlan {self.fingerprint()} — {self.label()} on {self.backend} (fuse={fused})"
+        )
+        lines.append(f"  input  X : ({self.m}, {self.k}) {self.dtype}")
+        lines.append(f"  output   : ({self.m}, {self.out_cols}) {self.dtype}")
+        mib = self.workspace_bytes / (1024 * 1024)
+        lines.append(
+            f"  workspace: 2 x ({self.m}, {self.workspace_cols}) ping-pong buffers "
+            f"({', '.join(WORKSPACE_BUFFERS)}), {mib:.2f} MiB"
+        )
+        lines.append(
+            f"  schedule : {self.n_steps} steps in {self.n_kernel_launches} kernel launches"
+        )
+        for gi, group in enumerate(self.groups):
+            kind = "fused kernel" if len(group) > 1 else "single kernel"
+            span = (
+                f"steps {group[0]}..{group[-1]}" if len(group) > 1 else f"step {group[0]}"
+            )
+            lines.append(f"  group {gi}: {kind}, {span}")
+            for step_index in group:
+                lines.append(f"    {self.steps[step_index].describe()}")
+        return "\n".join(lines)

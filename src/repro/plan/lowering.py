@@ -1,0 +1,129 @@
+"""Lowering a :class:`~repro.plan.ir.KronPlan` onto a device grid (Algorithm 2).
+
+The multi-GPU algorithm batches ``N_local = ⌊log_P T_GK⌋`` of the plan's
+steps between exchanges.  This module derives that decomposition *from the
+compiled plan* — the single place the step order lives — instead of letting
+the distributed executor re-derive its own loop: the global plan's steps are
+chunked into rounds, and each round lowers to a per-device *segment plan*
+(the same step/buffer IR, compiled for the device block's ``(T_GM, T_GK)``
+shape) that every GPU of the grid executes locally before the exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.exceptions import DistributedError
+
+if TYPE_CHECKING:  # imported lazily to keep repro.plan free of package cycles
+    from repro.distributed.grid import GpuGrid
+from repro.plan.compiler import compile_segment
+from repro.plan.ir import KronPlan
+from repro.utils.intmath import ilog
+
+
+@dataclass(frozen=True)
+class DeviceRound:
+    """One round of the distributed schedule: local steps, then one exchange.
+
+    ``factor_indices`` are the *global* factor indices this round consumes,
+    in Kronecker-product order; ``local_plan`` is the segment plan every
+    device block runs over its ``(T_GM, T_GK)`` slice (it consumes those
+    factors last-first, exactly as the global plan's step order dictates).
+    """
+
+    index: int
+    factor_indices: Tuple[int, ...]
+    local_plan: KronPlan
+
+    @property
+    def size(self) -> int:
+        return len(self.factor_indices)
+
+
+@dataclass(frozen=True)
+class DistributedPlan:
+    """A :class:`KronPlan` lowered onto a ``{G_M, G_K}`` grid."""
+
+    global_plan: KronPlan
+    grid: "GpuGrid"
+    tgm: int
+    tgk: int
+    n_local: int
+    rounds: Tuple[DeviceRound, ...]
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    def explain(self) -> str:
+        lines = [
+            f"DistributedPlan over {self.grid.gm}x{self.grid.gk} grid — "
+            f"block ({self.tgm}, {self.tgk}), N_local={self.n_local}, "
+            f"{self.n_rounds} exchange rounds"
+        ]
+        for rnd in self.rounds:
+            lines.append(
+                f"  round {rnd.index}: factors {list(rnd.factor_indices)} "
+                f"({rnd.size} local multiplications per device)"
+            )
+        return "\n".join(lines)
+
+
+def lower_to_grid(plan: KronPlan, grid: "GpuGrid") -> DistributedPlan:
+    """Chunk ``plan``'s steps into exchange rounds and compile per-device sub-plans.
+
+    Requires the restrictions of Algorithm 2 (already enforced by the
+    distributed executor's validation): identically shaped square factors
+    and a per-device block spanning at least one slice.
+    """
+    shapes = set(plan.factor_shapes)
+    if len(shapes) != 1:
+        raise DistributedError("distributed lowering requires identically shaped factors")
+    p, q = shapes.pop()
+    if p != q:
+        raise DistributedError("distributed lowering requires square factors")
+    tgm, tgk = grid.block_shape(plan.m, plan.k)
+    if tgk % p != 0 or tgk < p:
+        raise DistributedError(
+            f"per-GPU block of {tgk} columns cannot hold a slice of P={p}"
+        )
+    n_local = ilog(tgk, p)
+    if n_local < 1:
+        raise DistributedError("T_GK smaller than P; cannot perform local multiplications")
+
+    # The global plan's steps consume the factors in execution order (last
+    # factor first); chunks of up to N_local consecutive steps share one
+    # exchange.
+    rounds: List[DeviceRound] = []
+    steps = list(plan.steps)
+    cursor = 0
+    while cursor < len(steps):
+        chunk = steps[cursor : cursor + n_local]
+        cursor += len(chunk)
+        # Within a round the local multiplications run in the same global
+        # execution order; in Kronecker order that is the ascending sort.
+        factor_indices = tuple(sorted(step.factor_index for step in chunk))
+        local_plan = compile_segment(
+            rows=tgm,
+            k=tgk,
+            factor_shapes=[plan.factor_shapes[i] for i in factor_indices],
+            dtype=plan.dtype,
+            backend=plan.backend,
+        )
+        rounds.append(
+            DeviceRound(
+                index=len(rounds),
+                factor_indices=factor_indices,
+                local_plan=local_plan,
+            )
+        )
+    return DistributedPlan(
+        global_plan=plan,
+        grid=grid,
+        tgm=tgm,
+        tgk=tgk,
+        n_local=n_local,
+        rounds=tuple(rounds),
+    )

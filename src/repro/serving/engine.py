@@ -1,8 +1,9 @@
 """The :class:`KronEngine`: batched serving of concurrent Kron-Matmul requests.
 
 The engine applies the paper's amortisation idea one level up.  Within one
-Kron-Matmul, FastKron reuses workspaces and tunes once per iteration shape;
-across *requests*, the engine reuses prepared handles (via the
+Kron-Matmul, FastKron compiles its :class:`~repro.plan.KronPlan` once and
+reuses workspaces; across *requests*, the engine reuses compiled plans and
+their live executors (via the fingerprint-keyed
 :class:`~repro.serving.plan_cache.PlanCache`) and coalesces concurrent small
 requests into one large sliced multiply.
 
@@ -17,8 +18,8 @@ crosses the sharding threshold that individual small requests never reach,
 so coalescing turns per-request serial execution into multi-core execution.
 
 Requests are grouped by *signature* — the identity of their factor arrays
-plus the (shapes, dtype) plan key — so only calls against the same model
-coalesce; different models with the same shapes still share a prepared plan.
+plus the plan fingerprint — so only calls against the same model coalesce;
+different models with the same shapes still share a compiled plan.
 """
 
 from __future__ import annotations
@@ -27,22 +28,35 @@ import threading
 import time
 from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.backends.registry import BackendLike, get_backend
 from repro.core.factors import KroneckerFactor, as_factor_list
-from repro.core.fastkron import FastKron, kron_matmul
+from repro.core.fastkron import kron_matmul
 from repro.core.problem import KronMatmulProblem
 from repro.exceptions import ShapeError
+from repro.plan.compiler import compile_plan
+from repro.plan.executor import PlanExecutor
+from repro.plan.fingerprint import plan_cache_key
 from repro.serving.plan_cache import PlanCache, PlanEntry, PlanKey
 from repro.tuner.cache import TuningCache
 from repro.utils.validation import ensure_2d
 
-#: Coalescing identity: factor-array ids + plan key.  Two requests coalesce
-#: only when they reference the very same factor buffers.
+#: Coalescing identity: factor-array ids + plan fingerprint.  Two requests
+#: coalesce only when they reference the very same factor buffers.
 GroupKey = Tuple[Tuple[int, ...], PlanKey]
+
+
+@lru_cache(maxsize=1024)
+def _memoized_plan_key(
+    shapes: Tuple[Tuple[int, int], ...], dtype_name: str, backend_name: str, fuse: bool
+) -> PlanKey:
+    """Fingerprint computation is hashing work; the submit hot path sees the
+    same handful of shapes millions of times, so cache the canonical key."""
+    return plan_cache_key(shapes, dtype_name, backend_name, fuse)
 
 
 @dataclass
@@ -105,9 +119,9 @@ class KronEngine:
         default), resolved once; every request served by this engine runs on
         it.
     max_batch_rows:
-        Row capacity of each prepared handle and the ceiling on the number
-        of stacked rows per coalesced batch.  A single request larger than
-        this bypasses the shared workspace (a "direct" execution).
+        Row capacity of each compiled plan's executor and the ceiling on the
+        number of stacked rows per coalesced batch.  A single request larger
+        than this bypasses the shared workspace (a "direct" execution).
     max_batch_requests:
         Maximum number of requests coalesced into one batch.
     max_delay_ms:
@@ -115,9 +129,10 @@ class KronEngine:
         pending request waiting for companions before flushing.  ``0``
         disables waiting (batches still form under bursts).
     plan_capacity:
-        Number of prepared handles kept by the LRU plan cache.
+        Number of compiled plans (with live executors) kept by the LRU
+        plan cache.
     fuse:
-        Forwarded to the prepared handles' fusion planner.
+        Forwarded to the compiled plans' fusion planner.
     tuning_cache:
         A shared :class:`~repro.tuner.cache.TuningCache`.  Plans tuned under
         the engine store their results here, so passing a cache loaded from
@@ -218,7 +233,9 @@ class KronEngine:
                     break
                 cols = slices * q
 
-        plan_key: PlanKey = (shapes, str(x2d.dtype), self.backend.name, self.fuse)
+        plan_key: PlanKey = _memoized_plan_key(
+            shapes, str(x2d.dtype), self.backend.name, self.fuse
+        )
         signature: GroupKey = (tuple(id(f.values) for f in factor_list), plan_key)
         request = _Request(x2d, factor_list, signature, plan_key, squeeze)
         with self._lock:
@@ -373,7 +390,7 @@ class KronEngine:
                 plan = self.plans.get_or_create(first.plan_key, lambda: self._build_plan(first))
                 plan.uses += 1
                 x = first.x if len(chunk) == 1 else np.concatenate([r.x for r in chunk], axis=0)
-                y = plan.handle.multiply(x, first.factors)
+                y = plan.executor.execute(x, first.factors)
                 start = 0
                 for request in chunk:
                     # Copy out of the batch output: the plan's workspace
@@ -404,17 +421,21 @@ class KronEngine:
                 self._idle.notify_all()
 
     def _build_plan(self, request: _Request) -> PlanEntry:
-        shapes, dtype_name, _backend, _fuse = request.plan_key
         problem = KronMatmulProblem(
-            m=self.max_batch_rows, factor_shapes=shapes, dtype=np.dtype(dtype_name)
+            m=self.max_batch_rows,
+            factor_shapes=tuple(f.shape for f in request.factors),
+            dtype=request.x.dtype,
         )
-        handle = FastKron(
+        # Compiling through the shared tuning cache installs any tiles a
+        # previous run (or a persisted cache loaded at startup) already
+        # chose, even when this engine runs with autotune=False.
+        plan = compile_plan(
             problem,
-            fuse=self.fuse,
             backend=self.backend,
+            fuse=self.fuse,
             row_capacity=self.max_batch_rows,
+            tuning_cache=self.tuning_cache,
         )
-        tile_overrides = None
         if self.autotune:
             # Imported lazily: the tuner pulls in the simulated-GPU stack,
             # which untuned serving paths never need.
@@ -426,5 +447,5 @@ class KronEngine:
                 max_candidates=self.tune_candidates,
                 fuse=self.fuse,
             )
-            tile_overrides = tuner.tune_problem(problem)
-        return PlanEntry(handle=handle, tile_overrides=tile_overrides)
+            plan = tuner.tune_plan(plan)
+        return PlanEntry(plan=plan, executor=PlanExecutor(plan, backend=self.backend))

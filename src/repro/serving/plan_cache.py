@@ -1,16 +1,22 @@
-"""An LRU cache of prepared :class:`~repro.core.fastkron.FastKron` handles.
+"""An LRU cache of compiled :class:`~repro.plan.KronPlan` executions.
 
-Preparing a Kron-Matmul execution is not free: the handle computes the
-iteration schedule and fusion plan, allocates the double-buffered workspace
-and (optionally) autotunes tile configurations.  A serving system must not
-pay that per request, so :class:`PlanCache` keeps the most recently used
-prepared handles keyed by *plan identity* — the factor shapes, dtype and
-backend (the row count is deliberately **not** part of the key: handles are
-allocated with spare row capacity and serve any batch that fits).
+Preparing a Kron-Matmul execution is not free: compiling the
+:class:`~repro.plan.KronPlan` derives the iteration schedule and fusion
+groups, (optionally) autotunes tile configurations, and the
+:class:`~repro.plan.PlanExecutor` built around it allocates the
+double-buffered workspace.  A serving system must not pay that per request,
+so :class:`PlanCache` keeps the most recently used prepared entries keyed by
+*plan fingerprint* — the canonical identity from
+:func:`repro.plan.fingerprint.plan_cache_key` over the factor shapes, compute
+dtype, backend and fusion setting.  The row count is deliberately **not**
+part of the key: executors are allocated with spare row capacity and serve
+any batch that fits.
 
-The cache is a plain LRU with thread-safe access and hit/miss/eviction
-counters; evicted entries simply drop their workspace for the garbage
-collector (``FastKron`` holds no resources beyond its buffers).
+Each entry pairs the serialisable plan (persist it with
+:meth:`PlanCache.export_plans` next to the tuning cache) with its live
+executor.  The cache is a plain LRU with thread-safe access and
+hit/miss/eviction counters; evicted entries simply drop their workspace for
+the garbage collector.
 """
 
 from __future__ import annotations
@@ -18,25 +24,30 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Tuple
 
-from repro.core.fastkron import FastKron
-from repro.kernels.tile_config import TileConfig
+from repro.plan.executor import PlanExecutor
+from repro.plan.ir import KronPlan
 
-#: Plan identity: (factor shapes, dtype name, backend name, fuse flag).
-PlanKey = Tuple[Tuple[Tuple[int, int], ...], str, str, bool]
+#: Plan identity: the canonical fingerprint string of
+#: :func:`repro.plan.fingerprint.plan_cache_key` (factor shapes, dtype,
+#: backend, fuse — tuning state and row capacity excluded).
+PlanKey = str
 
 
 @dataclass
 class PlanEntry:
-    """One prepared execution plan: a reusable handle plus tuning metadata."""
+    """One prepared execution: the compiled plan plus its live executor."""
 
-    handle: FastKron
-    #: Per-iteration tile configurations chosen by the autotuner (``None``
-    #: when the engine runs with ``autotune=False``).
-    tile_overrides: Optional[Dict[int, TileConfig]] = None
+    plan: KronPlan
+    executor: PlanExecutor
     #: Number of batches served by this plan since it was created.
     uses: int = 0
+
+    @property
+    def tile_overrides(self):
+        """Per-step tuned tiles of the plan (empty mapping when untuned)."""
+        return self.plan.tile_overrides()
 
 
 @dataclass
@@ -106,6 +117,16 @@ class PlanCache:
         """The cached keys, least recently used first."""
         with self._lock:
             return tuple(self._entries.keys())
+
+    def export_plans(self) -> Dict[PlanKey, dict]:
+        """Serialise every cached plan (key → ``KronPlan.to_dict()``).
+
+        The payload round-trips through :meth:`repro.plan.KronPlan.from_dict`,
+        so a deployment can persist its hot plans next to the tuning cache
+        and warm a fresh cache at startup.
+        """
+        with self._lock:
+            return {key: entry.plan.to_dict() for key, entry in self._entries.items()}
 
     def clear(self) -> None:
         with self._lock:

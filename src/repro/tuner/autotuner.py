@@ -15,9 +15,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.plan.ir import KronPlan
 
 from repro.backends.registry import default_backend
 from repro.core.problem import KronMatmulProblem
@@ -178,3 +181,30 @@ class Autotuner:
             result = self.tune_shape(it.m, it.k, it.p, it.q, problem.dtype)
             overrides[it.index] = result.best
         return overrides
+
+    # ------------------------------------------------------------------ #
+    def tune_plan(self, plan: "KronPlan") -> "KronPlan":
+        """The autotuner as a *plan pass*: rewrite every step's tile config.
+
+        Takes a compiled :class:`~repro.plan.KronPlan`, tunes each step's
+        ``(M, K, P, Q)`` shape (through the shared :class:`TuningCache`, so
+        repeated shapes never re-search) and returns a new plan with the
+        chosen tiles installed.  The schedule — step order, fusion groups,
+        buffer assignment — is untouched; only the ``tile`` fields change,
+        which is exactly what makes tuning composable with any other plan
+        rewrite.
+
+        The pass tunes for the plan's bound backend; a mismatch with this
+        tuner's configured backend raises :class:`~repro.exceptions.TuningError`
+        rather than silently poisoning the cache with wrong-backend keys.
+        """
+        if plan.backend != self.backend:
+            raise TuningError(
+                f"plan is bound to backend {plan.backend!r} but this tuner targets "
+                f"{self.backend!r}"
+            )
+        tiles: Dict[int, TileConfig] = {}
+        for step in plan.steps:
+            result = self.tune_shape(step.m, step.k, step.p, step.q, plan.np_dtype)
+            tiles[step.index] = result.best
+        return plan.with_step_tiles(tiles)

@@ -8,6 +8,10 @@ harness does not re-tune across processes).
 Keys are qualified by the execution backend: the best tile configuration for
 the single-threaded ``numpy`` path need not be the best for a row-sharded or
 device backend, so ``(M, K, P, Q, dtype, backend)`` is the cache identity.
+The key scheme itself is the plan IR's per-step identity
+(:func:`repro.plan.fingerprint.step_key`, re-exported here as
+:func:`shape_key` for backwards compatibility); legacy five-field JSON keys
+written before backend qualification still load.
 """
 
 from __future__ import annotations
@@ -17,19 +21,15 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
-import numpy as np
-
 from repro.kernels.tile_config import TileConfig
+from repro.plan.fingerprint import DEFAULT_KEY_BACKEND, StepKey, step_key
 
-ShapeKey = Tuple[int, int, int, int, str, str]
+ShapeKey = StepKey
 
-#: Backend recorded for keys written before keys were backend-qualified.
-DEFAULT_KEY_BACKEND = "numpy"
+#: The per-step tuning identity — one scheme shared with the plan IR.
+shape_key = step_key
 
-
-def shape_key(m: int, k: int, p: int, q: int, dtype, backend: str = DEFAULT_KEY_BACKEND) -> ShapeKey:
-    """Normalised cache key for one sliced-multiply shape on one backend."""
-    return (int(m), int(k), int(p), int(q), str(np.dtype(dtype)), str(backend))
+__all__ = ["DEFAULT_KEY_BACKEND", "ShapeKey", "TuningCache", "shape_key"]
 
 
 class TuningCache:

@@ -19,7 +19,7 @@ class TestParser:
     def test_parser_registers_all_subcommands(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("estimate", "compare", "tune", "realworld", "scaling",
+        for command in ("estimate", "compare", "tune", "plan", "realworld", "scaling",
                         "backends", "check", "serve", "bench-serve"):
             assert command in text
 
@@ -65,6 +65,45 @@ class TestBackends:
             pytest.skip("all registered backends available here")
         assert main(["--backend", unavailable[0], "backends"]) == 2
         assert "unavailable" in capsys.readouterr().err
+
+
+class TestPlan:
+    def test_plan_prints_schedule(self, capsys):
+        assert main(["plan", "--m", "16", "--p", "4", "--n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "KronPlan" in out
+        assert "group 0" in out
+        assert "W0" in out and "W1" in out  # buffer assignments
+        assert "untuned" in out
+        assert "cache key" in out
+
+    def test_plan_tuned_shows_tiles(self, capsys):
+        assert main([
+            "plan", "--m", "16", "--p", "4", "--n", "2", "--tune",
+            "--max-candidates", "50",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "TM=" in out  # tuned tile configs printed per step
+
+    def test_plan_json_roundtrips(self, capsys):
+        assert main(["plan", "--m", "8", "--p", "2", "--n", "3", "--json"]) == 0
+        import json as _json
+
+        from repro.plan import KronPlan
+
+        payload = _json.loads(capsys.readouterr().out)
+        plan = KronPlan.from_dict(payload)
+        assert plan.m == 8 and plan.n_steps == 3
+
+    def test_plan_respects_backend_flag(self, capsys):
+        assert main(["--backend", "threaded", "plan", "--m", "8", "--p", "2", "--n", "2"]) == 0
+        assert "threaded" in capsys.readouterr().out
+
+    def test_plan_no_fuse(self, capsys):
+        assert main(["plan", "--m", "8", "--p", "4", "--n", "3", "--no-fuse"]) == 0
+        out = capsys.readouterr().out
+        assert "fuse=off" in out
+        assert "fused kernel" not in out
 
 
 class TestServe:

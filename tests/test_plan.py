@@ -1,0 +1,418 @@
+"""Tests for the execution-plan IR: compilation, determinism, serialisation,
+executor parity, plan reuse across the entry points, and the grid lowering.
+
+The central guarantees under test:
+
+* plan compilation is **deterministic** — the same problem/backend/tuning
+  state always yields an identical fingerprint (the hypothesis property);
+* ``to_dict()``/``from_dict()`` round-trips execute **bit-identically**;
+* every entry point routed through a caller-supplied plan matches the
+  plain per-call path bit-for-bit;
+* an ``out=`` buffer whose dtype differs from the promoted compute dtype is
+  rejected at plan-compile time (regression: it used to downcast silently).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FastKron, kron_matmul
+from repro.core.factors import random_factors, random_factors_from_shapes
+from repro.core.gradients import kron_matmul_backward_x
+from repro.core.gekmm import gekmm, kron_matmul_batched
+from repro.core.problem import KronMatmulProblem
+from repro.core.solve import kron_solve
+from repro.exceptions import DTypeError, ShapeError
+from repro.plan import (
+    KronPlan,
+    PlanExecutor,
+    compile_plan,
+    compile_segment,
+    plan_cache_key,
+    step_key,
+)
+from repro.plan.lowering import lower_to_grid
+from repro.tuner.cache import TuningCache, shape_key
+
+
+def _rand_x(rows: int, cols: int, dtype, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal((rows, cols)).astype(dtype)
+
+
+# --------------------------------------------------------------------------- #
+# compilation basics
+# --------------------------------------------------------------------------- #
+class TestCompile:
+    def test_steps_consume_last_factor_first(self):
+        plan = compile_plan(KronMatmulProblem.uniform(4, 3, 3, dtype=np.float64))
+        assert [s.factor_index for s in plan.steps] == [2, 1, 0]
+        assert plan.steps[0].source == "X"
+        assert [s.target for s in plan.steps] == ["W0", "W1", "W0"]
+        assert plan.steps[1].source == "W0" and plan.steps[2].source == "W1"
+
+    def test_groups_cover_steps_exactly(self):
+        plan = compile_plan(KronMatmulProblem.uniform(8, 4, 4, dtype=np.float32))
+        covered = sorted(i for g in plan.groups for i in g)
+        assert covered == list(range(plan.n_steps))
+        assert plan.is_fused  # 4x4 factors fuse under the default budget
+
+    def test_no_fuse_gives_singleton_groups(self):
+        plan = compile_plan(KronMatmulProblem.uniform(8, 4, 4), fuse=False)
+        assert all(len(g) == 1 for g in plan.groups)
+        assert plan.n_kernel_launches == plan.n_steps
+
+    def test_row_capacity_widens_plan(self):
+        problem = KronMatmulProblem.uniform(4, 4, 2, dtype=np.float64)
+        plan = compile_plan(problem, row_capacity=64)
+        assert plan.m == 64
+        assert all(s.m == 64 for s in plan.steps)
+        assert plan.problem().m == 64
+
+    def test_bad_group_cover_rejected(self):
+        plan = compile_plan(KronMatmulProblem.uniform(4, 2, 2))
+        with pytest.raises(ShapeError):
+            KronPlan(
+                m=plan.m, k=plan.k, factor_shapes=plan.factor_shapes,
+                dtype=plan.dtype, backend=plan.backend, fuse=plan.fuse,
+                shared_memory_elements=plan.shared_memory_elements,
+                steps=plan.steps, groups=((0,),),  # misses step 1
+            )
+
+    def test_with_step_tiles_rejects_unknown_steps(self):
+        plan = compile_plan(KronMatmulProblem.uniform(4, 2, 2))
+        from repro.kernels.tile_config import default_tile_config
+
+        tile = default_tile_config(4, 4, 2, 2)
+        with pytest.raises(ShapeError):
+            plan.with_step_tiles({17: tile})
+
+    def test_segment_plan_has_no_problem_form(self):
+        seg = compile_segment(4, 16, [(2, 2), (2, 2)], np.float64)
+        assert seg.is_segment
+        with pytest.raises(ShapeError):
+            seg.problem()
+
+    def test_segment_rejects_indivisible_width(self):
+        with pytest.raises(ShapeError):
+            compile_segment(4, 10, [(4, 4)], np.float32)
+
+
+# --------------------------------------------------------------------------- #
+# determinism + serialisation (the satellite property tests)
+# --------------------------------------------------------------------------- #
+_shape_strategy = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5)),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestDeterminismProperty:
+    @given(m=st.integers(min_value=1, max_value=9), shapes=_shape_strategy,
+           fuse=st.booleans(), dtype=st.sampled_from(["float32", "float64"]))
+    @settings(max_examples=40, deadline=None)
+    def test_same_inputs_same_fingerprint(self, m, shapes, fuse, dtype):
+        problem = KronMatmulProblem(m=m, factor_shapes=tuple(shapes), dtype=np.dtype(dtype))
+        a = compile_plan(problem, fuse=fuse)
+        b = compile_plan(problem, fuse=fuse)
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+        assert a.cache_key() == b.cache_key()
+
+    @given(m=st.integers(min_value=1, max_value=6), shapes=_shape_strategy,
+           seed=st.integers(min_value=0, max_value=99))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_executes_bit_identically(self, m, shapes, seed):
+        problem = KronMatmulProblem(m=m, factor_shapes=tuple(shapes), dtype=np.float64)
+        plan = compile_plan(problem)
+        restored = KronPlan.from_dict(plan.to_dict())
+        assert restored == plan
+        assert restored.fingerprint() == plan.fingerprint()
+
+        factors = random_factors_from_shapes(shapes, dtype=np.float64, seed=seed)
+        x = _rand_x(m, problem.k, np.float64, seed=seed + 1)
+        direct = PlanExecutor(plan).execute(x, factors)
+        revived = PlanExecutor(restored).execute(x, factors)
+        assert np.array_equal(direct, revived)
+        assert np.array_equal(direct, kron_matmul(x, factors))
+
+    def test_tuning_state_changes_fingerprint_not_cache_key(self):
+        from repro.tuner.autotuner import Autotuner
+
+        cache = TuningCache()
+        problem = KronMatmulProblem.uniform(8, 4, 2, dtype=np.float32)
+        untuned = compile_plan(problem, tuning_cache=cache)
+        tuned = Autotuner(cache=cache, max_candidates=50).tune_plan(untuned)
+        assert tuned.is_tuned and not untuned.is_tuned
+        assert tuned.fingerprint() != untuned.fingerprint()
+        assert tuned.cache_key() == untuned.cache_key()
+        # Recompiling against the now-warm cache reproduces the tuned plan
+        # exactly — "same tuning state, same fingerprint".
+        recompiled = compile_plan(problem, tuning_cache=cache)
+        assert recompiled.fingerprint() == tuned.fingerprint()
+
+    def test_schema_guard(self):
+        plan = compile_plan(KronMatmulProblem.uniform(2, 2, 2))
+        payload = plan.to_dict()
+        payload["schema"] = 99
+        with pytest.raises(ShapeError):
+            KronPlan.from_dict(payload)
+
+
+# --------------------------------------------------------------------------- #
+# one key scheme for every cache
+# --------------------------------------------------------------------------- #
+class TestKeyDedup:
+    def test_tuner_shape_key_is_plan_step_key(self):
+        assert shape_key is step_key
+        assert shape_key(4, 16, 2, 2, np.float32, backend="threaded") == (
+            4, 16, 2, 2, "float32", "threaded",
+        )
+
+    def test_plan_cache_key_ignores_rows_and_tuning(self):
+        problem = KronMatmulProblem.uniform(8, 4, 2, dtype=np.float32)
+        small = compile_plan(problem)
+        big = compile_plan(problem, row_capacity=512)
+        assert small.cache_key() == big.cache_key()
+        assert small.cache_key() == plan_cache_key(
+            problem.factor_shapes, "float32", "numpy", True
+        )
+
+    def test_plan_cache_key_separates_backend_and_fuse(self):
+        problem = KronMatmulProblem.uniform(8, 4, 2, dtype=np.float32)
+        base = compile_plan(problem)
+        assert base.cache_key() != compile_plan(problem, fuse=False).cache_key()
+        assert base.cache_key() != compile_plan(problem, backend="threaded").cache_key()
+
+
+# --------------------------------------------------------------------------- #
+# executor parity + plan reuse across the entry points
+# --------------------------------------------------------------------------- #
+class TestExecutorParity:
+    def test_fewer_rows_bit_identical(self):
+        problem = KronMatmulProblem.uniform(64, 4, 3, dtype=np.float64)
+        executor = PlanExecutor(compile_plan(problem))
+        factors = random_factors(3, 4, dtype=np.float64, seed=2)
+        for rows in (1, 7, 33, 64):
+            x = _rand_x(rows, 64, np.float64, seed=rows)
+            assert np.array_equal(executor.execute(x, factors), kron_matmul(x, factors))
+
+    def test_rows_above_capacity_rejected(self):
+        executor = PlanExecutor(compile_plan(KronMatmulProblem.uniform(4, 4, 2, dtype=np.float64)))
+        factors = random_factors(2, 4, dtype=np.float64, seed=3)
+        with pytest.raises(ShapeError, match="row capacity"):
+            executor.execute(_rand_x(5, 16, np.float64), factors)
+
+    def test_entry_points_reuse_callers_plan(self):
+        factors = random_factors(3, 4, dtype=np.float64, seed=4)
+        problem = KronMatmulProblem.uniform(8, 4, 3, dtype=np.float64)
+        executor = PlanExecutor(compile_plan(problem))
+        x = _rand_x(8, 64, np.float64, seed=5)
+        z = _rand_x(8, 64, np.float64, seed=6)
+        assert np.array_equal(
+            kron_matmul(x, factors, plan=executor), kron_matmul(x, factors)
+        )
+        assert np.array_equal(
+            gekmm(x, factors, alpha=1.5, beta=0.5, z=z, plan=executor),
+            gekmm(x, factors, alpha=1.5, beta=0.5, z=z),
+        )
+        assert np.array_equal(
+            kron_solve(x, factors, plan=executor), kron_solve(x, factors)
+        )
+        assert np.array_equal(
+            kron_matmul_backward_x(x, factors, plan=executor),
+            kron_matmul_backward_x(x, factors),
+        )
+
+    def test_batched_reuses_plan_with_capacity(self):
+        factors = random_factors(2, 3, dtype=np.float64, seed=7)
+        problem = KronMatmulProblem.uniform(12, 3, 2, dtype=np.float64)  # 4 * 3 rows
+        executor = PlanExecutor(compile_plan(problem))
+        batch = np.random.default_rng(8).standard_normal((4, 3, 9))
+        assert np.array_equal(
+            kron_matmul_batched(batch, factors, plan=executor),
+            kron_matmul_batched(batch, factors),
+        )
+
+    def test_custom_backend_instance_honoured(self):
+        """A caller-configured backend instance must execute the call, not
+        the registry singleton of the same name (regression)."""
+        from repro.backends.threaded import ThreadedBackend
+
+        calls = []
+
+        class SpyBackend(ThreadedBackend):
+            def sliced_multiply_into(self, x, f, out, m, k, p, q):
+                calls.append(id(self))
+                return super().sliced_multiply_into(x, f, out, m, k, p, q)
+
+        spy = SpyBackend(num_threads=1)
+        factors = random_factors(2, 4, dtype=np.float64, seed=18)
+        kron_matmul(_rand_x(3, 16, np.float64), factors, backend=spy)
+        assert calls and all(c == id(spy) for c in calls)
+
+    def test_plan_dtype_mismatch_rejected(self):
+        """A float32-compiled plan must not silently downcast float64
+        operands handed to kron_matmul(plan=...)."""
+        executor = PlanExecutor(
+            compile_plan(KronMatmulProblem.uniform(3, 4, 2, dtype=np.float32))
+        )
+        factors = random_factors(2, 4, dtype=np.float64, seed=19)
+        with pytest.raises(DTypeError):
+            kron_matmul(_rand_x(3, 16, np.float64), factors, plan=executor)
+
+    def test_conflicting_backend_with_executor_rejected(self):
+        """backend= naming a different backend than a live executor's cannot
+        be honoured (the workspace is bound) and must not be silently
+        ignored."""
+        from repro.exceptions import BackendError
+
+        factors = random_factors(2, 4, dtype=np.float64, seed=20)
+        executor = PlanExecutor(
+            compile_plan(KronMatmulProblem.uniform(3, 4, 2, dtype=np.float64))
+        )
+        with pytest.raises(BackendError, match="bound to backend"):
+            kron_matmul(_rand_x(3, 16, np.float64), factors,
+                        backend="threaded", plan=executor)
+        # Naming the executor's own backend is fine.
+        y = kron_matmul(_rand_x(3, 16, np.float64), factors,
+                        backend="numpy", plan=executor)
+        assert y.shape == (3, 16)
+
+    def test_plan_kwarg_rejects_garbage(self):
+        factors = random_factors(2, 3, dtype=np.float64, seed=9)
+        with pytest.raises(TypeError):
+            kron_matmul(_rand_x(2, 9, np.float64), factors, plan="not a plan")
+
+    def test_mismatched_plan_rejected(self):
+        factors = random_factors(2, 3, dtype=np.float64, seed=10)
+        wrong = PlanExecutor(compile_plan(KronMatmulProblem.uniform(2, 4, 2, dtype=np.float64)))
+        with pytest.raises(ShapeError):
+            kron_matmul(_rand_x(2, 9, np.float64), factors, plan=wrong)
+
+    def test_fastkron_adopts_precompiled_plan(self):
+        problem = KronMatmulProblem.uniform(8, 4, 2, dtype=np.float64)
+        plan = compile_plan(problem, row_capacity=16)
+        handle = FastKron(problem, row_capacity=16, plan=plan)
+        assert handle.plan is plan
+        factors = random_factors(2, 4, dtype=np.float64, seed=11)
+        x = _rand_x(8, 16, np.float64, seed=12)
+        assert np.array_equal(handle.multiply(x, factors), kron_matmul(x, factors))
+
+    def test_fastkron_rejects_mismatched_plan(self):
+        problem = KronMatmulProblem.uniform(8, 4, 2, dtype=np.float64)
+        other = compile_plan(KronMatmulProblem.uniform(8, 3, 2, dtype=np.float64))
+        with pytest.raises(ShapeError):
+            FastKron(problem, plan=other)
+        under = compile_plan(problem)  # capacity 8 < requested 16
+        with pytest.raises(ShapeError):
+            FastKron(problem, row_capacity=16, plan=under)
+
+
+# --------------------------------------------------------------------------- #
+# out= dtype enforcement (regression: silent downcasts)
+# --------------------------------------------------------------------------- #
+class TestOutDtype:
+    def test_out_dtype_mismatch_raises(self):
+        factors = random_factors(2, 4, dtype=np.float64, seed=13)
+        x = _rand_x(3, 16, np.float64)
+        out = np.empty((3, 16), dtype=np.float32)
+        with pytest.raises(DTypeError):
+            kron_matmul(x, factors, out=out)
+        # DTypeError is a TypeError, per the documented contract.
+        with pytest.raises(TypeError):
+            kron_matmul(x, factors, out=out)
+
+    def test_out_mismatch_after_promotion_raises(self):
+        """float32 x against float64 factors promotes to float64: a float32
+        out buffer must be rejected, not silently downcast into."""
+        factors = random_factors(2, 4, dtype=np.float64, seed=14)
+        x = _rand_x(3, 16, np.float32)
+        with pytest.raises(DTypeError):
+            kron_matmul(x, factors, out=np.empty((3, 16), dtype=np.float32))
+
+    def test_matching_out_still_works(self):
+        factors = random_factors(2, 4, dtype=np.float64, seed=15)
+        x = _rand_x(3, 16, np.float64)
+        out = np.empty((3, 16), dtype=np.float64)
+        result = kron_matmul(x, factors, out=out)
+        assert result is out
+        assert np.array_equal(out, kron_matmul(x, factors))
+
+    def test_executor_out_dtype_guard(self):
+        problem = KronMatmulProblem.uniform(3, 4, 2, dtype=np.float64)
+        executor = PlanExecutor(compile_plan(problem))
+        factors = random_factors(2, 4, dtype=np.float64, seed=16)
+        with pytest.raises(DTypeError):
+            executor.execute(_rand_x(3, 16, np.float64), factors,
+                             out=np.empty((3, 16), dtype=np.float32))
+
+
+# --------------------------------------------------------------------------- #
+# explain(): the human-readable schedule dump
+# --------------------------------------------------------------------------- #
+class TestExplain:
+    def test_explain_names_groups_tiles_buffers(self):
+        from repro.tuner.autotuner import Autotuner
+
+        problem = KronMatmulProblem.uniform(16, 8, 3, dtype=np.float32)
+        plan = Autotuner(max_candidates=50).tune_plan(compile_plan(problem))
+        text = plan.explain()
+        assert "group 0" in text and "kernel" in text
+        assert "W0" in text and "W1" in text
+        assert "TM=" in text  # tuned tile configs are printed
+        assert plan.fingerprint() in text
+
+    def test_untuned_explain_marks_steps_untuned(self):
+        plan = compile_plan(KronMatmulProblem.uniform(4, 5, 2, dtype=np.float64))
+        assert "untuned" in plan.explain()
+
+
+# --------------------------------------------------------------------------- #
+# simulated-GPU bridge
+# --------------------------------------------------------------------------- #
+class TestGpuExecutorBridge:
+    def test_from_plan_carries_tiles_and_fusion(self):
+        from repro.kernels.launch import GpuExecutor
+        from repro.tuner.autotuner import Autotuner
+
+        problem = KronMatmulProblem.uniform(16, 8, 3, dtype=np.float32)
+        plan = Autotuner(max_candidates=50).tune_plan(compile_plan(problem))
+        sim = GpuExecutor.from_plan(plan)
+        assert sim.fuse is True
+        assert sim.tile_overrides == plan.tile_overrides()
+        execution = sim.estimate(problem)
+        assert execution.n_kernel_launches >= 1
+
+
+# --------------------------------------------------------------------------- #
+# lowering onto a device grid
+# --------------------------------------------------------------------------- #
+class TestLowering:
+    def test_rounds_chunk_steps_by_n_local(self):
+        from repro.distributed.grid import GpuGrid
+
+        problem = KronMatmulProblem.uniform(8, 2, 5, dtype=np.float64)
+        plan = compile_plan(problem, fuse=False)
+        lowered = lower_to_grid(plan, GpuGrid(gm=2, gk=2))
+        assert lowered.tgk == problem.k // 2
+        assert lowered.n_local == 4  # log2(16)
+        assert [r.size for r in lowered.rounds] == [4, 1]
+        # Rounds consume the trailing factors first.
+        assert lowered.rounds[0].factor_indices == (1, 2, 3, 4)
+        assert lowered.rounds[1].factor_indices == (0,)
+        for rnd in lowered.rounds:
+            assert rnd.local_plan.is_segment or rnd.local_plan.k == lowered.tgk
+            assert rnd.local_plan.m == lowered.tgm
+        assert "round 0" in lowered.explain()
+
+    def test_lowering_rejects_rectangular(self):
+        from repro.distributed.grid import GpuGrid
+
+        problem = KronMatmulProblem(m=4, factor_shapes=((2, 3), (2, 3)), dtype=np.float32)
+        plan = compile_plan(problem, fuse=False)
+        with pytest.raises(Exception):
+            lower_to_grid(plan, GpuGrid(gm=1, gk=2))

@@ -17,9 +17,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import kron_matmul, random_factors
-from repro.core.fastkron import FastKron
 from repro.core.problem import KronMatmulProblem
 from repro.exceptions import ShapeError
+from repro.plan import PlanExecutor, compile_plan, plan_cache_key
 from repro.serving import (
     EngineStats,
     KronEngine,
@@ -32,7 +32,8 @@ from repro.tuner.cache import TuningCache
 
 def _entry(p: int = 2, n: int = 2, rows: int = 8) -> PlanEntry:
     problem = KronMatmulProblem.uniform(rows, p, n, dtype=np.float64)
-    return PlanEntry(handle=FastKron(problem, row_capacity=rows))
+    plan = compile_plan(problem, row_capacity=rows)
+    return PlanEntry(plan=plan, executor=PlanExecutor(plan))
 
 
 # --------------------------------------------------------------------------- #
@@ -47,7 +48,7 @@ class TestPlanCache:
             built.append(1)
             return _entry()
 
-        key = (((2, 2), (2, 2)), "float64", "numpy", True)
+        key = plan_cache_key(((2, 2), (2, 2)), "float64", "numpy", True)
         first = cache.get_or_create(key, factory)
         second = cache.get_or_create(key, factory)
         assert first is second
@@ -58,7 +59,7 @@ class TestPlanCache:
 
     def test_lru_eviction_order(self):
         cache = PlanCache(capacity=2)
-        keys = [(((2, 2),) * i, "float64", "numpy", True) for i in (1, 2, 3)]
+        keys = [plan_cache_key(((2, 2),) * i, "float64", "numpy", True) for i in (1, 2, 3)]
         cache.get_or_create(keys[0], _entry)
         cache.get_or_create(keys[1], _entry)
         cache.get_or_create(keys[0], _entry)  # refresh key 0
@@ -69,7 +70,7 @@ class TestPlanCache:
 
     def test_keys_least_recent_first(self):
         cache = PlanCache(capacity=4)
-        keys = [(((3, 3),) * i, "float32", "numpy", True) for i in (1, 2)]
+        keys = [plan_cache_key(((3, 3),) * i, "float32", "numpy", True) for i in (1, 2)]
         cache.get_or_create(keys[0], _entry)
         cache.get_or_create(keys[1], _entry)
         cache.get_or_create(keys[0], _entry)
@@ -231,10 +232,10 @@ class TestEngineBasics:
         factors = random_factors(2, 3, 3, dtype=np.float64, seed=14)
         x = rng.standard_normal((2, 9))
 
-        def boom(self, x, factors):
+        def boom(self, x, factors, out=None):
             raise RuntimeError("injected plan failure")
 
-        monkeypatch.setattr(FastKron, "multiply", boom)
+        monkeypatch.setattr(PlanExecutor, "execute", boom)
         with KronEngine(max_delay_ms=1) as engine:
             future = engine.submit(x, factors)
             with pytest.raises(RuntimeError, match="injected plan failure"):
@@ -352,6 +353,73 @@ class TestTuningIntegration:
             engine.multiply(x, factors)
             entries = [engine.plans.get_or_create(key, lambda: None) for key in engine.plans.keys()]
         assert entries and all(e.tile_overrides for e in entries)
+
+
+# --------------------------------------------------------------------------- #
+# plan-backed cache: parity under eviction and row-capacity reuse
+# --------------------------------------------------------------------------- #
+class TestPlanBackedCache:
+    def test_entries_carry_serialisable_plans(self, rng):
+        factors = random_factors(2, 4, 4, dtype=np.float64, seed=40)
+        with KronEngine(max_batch_rows=32, max_delay_ms=1) as engine:
+            engine.multiply(rng.standard_normal((4, 16)), factors)
+            keys = engine.plans.keys()
+            exported = engine.plans.export_plans()
+        assert len(keys) == 1
+        key = keys[0]
+        # Keys are the canonical plan fingerprints, computable without compiling.
+        from repro.plan import KronPlan
+
+        assert key == plan_cache_key(
+            tuple(f.shape for f in factors), "float64", "numpy", True
+        )
+        restored = KronPlan.from_dict(exported[key])
+        assert restored.factor_shapes == ((4, 4), (4, 4))
+        assert restored.m == 32  # compiled at the engine's batch row capacity
+
+    def test_eviction_mid_stream_stays_bit_identical(self, rng):
+        """A plan cache of one slot alternating between two models must
+        rebuild plans constantly yet never change a single bit."""
+        f_a = random_factors(3, 4, 4, dtype=np.float64, seed=41)
+        f_b = random_factors(2, 5, 5, dtype=np.float64, seed=42)
+        requests = []
+        for i in range(10):
+            factors = f_a if i % 2 == 0 else f_b
+            k = int(np.prod([f.p for f in factors]))
+            requests.append((rng.standard_normal((3, k)), factors))
+        with KronEngine(plan_capacity=1, max_delay_ms=0) as engine:
+            results = [engine.multiply(x, factors) for x, factors in requests]
+            stats = engine.stats()
+        for (x, factors), got in zip(requests, results):
+            assert np.array_equal(got, kron_matmul(x, factors))
+        assert stats.plan_evictions > 0  # the single slot really thrashed
+
+    def test_row_capacity_reuse_single_plan(self, rng):
+        """Variable-size batches through one compiled plan: one miss, the
+        rest hits, all bit-identical."""
+        factors = random_factors(2, 4, 4, dtype=np.float64, seed=43)
+        sizes = [1, 3, 8, 2, 7, 8, 5]
+        with KronEngine(max_batch_rows=16, max_delay_ms=0) as engine:
+            results = [
+                engine.multiply(rng.standard_normal((rows, 16)), factors)
+                for rows in sizes
+            ]
+            # different row counts, same plan key -> one compiled plan
+            assert len(engine.plans) == 1
+            stats = engine.stats()
+        assert stats.plan_misses == 1
+        assert stats.plan_hits == len(sizes) - 1
+        for rows, got in zip(sizes, results):
+            assert got.shape == (rows, 16)
+
+    def test_hit_rate_stats_preserved_through_migration(self, rng):
+        factors = random_factors(2, 3, 3, dtype=np.float64, seed=44)
+        with KronEngine(max_delay_ms=1) as engine:
+            for _ in range(4):
+                engine.multiply(rng.standard_normal((2, 9)), factors)
+            cache_stats = engine.plans.stats()
+        assert cache_stats.hits == 3 and cache_stats.misses == 1
+        assert cache_stats.hit_rate == 0.75
 
 
 # --------------------------------------------------------------------------- #
