@@ -20,6 +20,7 @@ through an :class:`ArrayBackend` resolved by name from the registry:
 True
 """
 
+from repro.backends.arena import ScratchArena
 from repro.backends.base import ArrayBackend
 from repro.backends.cupy_backend import CupyBackend
 from repro.backends.numpy_backend import NumpyBackend
@@ -38,6 +39,7 @@ from repro.backends.torch_backend import TorchBackend
 __all__ = [
     "ArrayBackend",
     "CupyBackend",
+    "ScratchArena",
     "NumpyBackend",
     "ThreadedBackend",
     "TorchBackend",

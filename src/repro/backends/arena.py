@@ -1,0 +1,105 @@
+"""The :class:`ScratchArena`: reusable, thread-local scratch buffers.
+
+Every sliced multiply needs short-lived temporaries — the batched-GEMM
+``products`` array, and (for fused-group execution) the small per-row-block
+ping-pong buffers the chain runs through.  Allocating them per call puts a
+``malloc``/page-fault round-trip on the hot path and defeats the point of
+fusion, which is precisely to keep those temporaries resident in fast
+memory.
+
+The arena hands out *named* buffers that grow monotonically and are reused
+across calls: ``get("products", shape, dtype)`` returns the same underlying
+allocation every time once it has grown to the high-water mark.  Buffers are
+**thread-local** — each worker of the threaded backend transparently gets
+its own set, so shards never share scratch and no locking is needed on the
+hot path.
+
+Arenas are owned by long-lived objects (one per
+:class:`~repro.plan.executor.PlanExecutor`); transient callers may pass
+``arena=None`` to the backend primitives, which then allocate a call-local
+arena (still reusing buffers across the row blocks of that one call).
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["ScratchArena"]
+
+
+class _ThreadBuffers(dict):
+    """Per-thread buffer pool; a dict subclass so it can be weakly tracked.
+
+    Identity hashing restores hashability (dicts opt out) — pools are
+    tracked as objects, never compared by content.
+    """
+
+    __hash__ = object.__hash__
+
+
+class ScratchArena:
+    """Named, monotonically grown, thread-local scratch buffers.
+
+    Buffers are keyed by ``(tag, dtype)`` per thread and stored flat; ``get``
+    returns a C-contiguous view reshaped to the requested shape.  Distinct
+    tags never alias, so a caller chaining through ``"chain0"``/``"chain1"``
+    ping-pong buffers while streaming GEMM output through ``"products"`` is
+    guaranteed three disjoint allocations.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        # Weakly tracked per-thread pools, for the informational nbytes()
+        # accounting: a pool dies with its thread's local storage and then
+        # simply stops being counted.
+        self._pools: "weakref.WeakSet[_ThreadBuffers]" = weakref.WeakSet()
+        self._pools_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def _buffers(self) -> _ThreadBuffers:
+        buffers = getattr(self._local, "buffers", None)
+        if buffers is None:
+            buffers = _ThreadBuffers()
+            self._local.buffers = buffers
+            with self._pools_lock:
+                self._pools.add(buffers)
+        return buffers
+
+    def get(self, tag: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """A C-contiguous ``shape``/``dtype`` scratch view under ``tag``.
+
+        The view's contents are uninitialised (like ``np.empty``); callers
+        fully overwrite it.  Requesting a larger size grows the backing
+        buffer; smaller requests reuse the existing allocation.
+        """
+        dtype = np.dtype(dtype)
+        key = (tag, dtype.str)
+        buffers = self._buffers()
+        needed = 1
+        for dim in shape:
+            needed *= int(dim)
+        buf = buffers.get(key)
+        if buf is None or buf.size < needed:
+            buf = np.empty(needed, dtype=dtype)
+            buffers[key] = buf
+        return buf[:needed].reshape(shape)
+
+    # ------------------------------------------------------------------ #
+    def nbytes(self) -> int:
+        """Bytes currently retained across all live threads (best effort:
+        pools mutating concurrently are skipped for this read)."""
+        total = 0
+        with self._pools_lock:
+            for pool in self._pools:
+                try:
+                    total += sum(buf.nbytes for buf in list(pool.values()))
+                except RuntimeError:  # pool resized mid-read by its owner thread
+                    continue
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ScratchArena ~{self.nbytes()} bytes>"

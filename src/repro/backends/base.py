@@ -1,12 +1,18 @@
 """The :class:`ArrayBackend` protocol — the seam every execution path goes through.
 
-A backend owns the *numerical execution* of the two primitives the whole
+A backend owns the *numerical execution* of the primitives the whole
 package is built from:
 
 ``sliced_multiply_into``
     One FastKron iteration: multiply an ``(M, K)`` intermediate with a
     ``(P, Q)`` factor and write the slice-major result into a pre-validated
     output buffer (Section 3 of the paper).
+``fused_sliced_multiply_into``
+    One *fusion group*: chain several sliced multiplies while the
+    intermediate stays in fast memory, writing only the group's final
+    result (Section 4.2).  The base class provides a sequential fallback;
+    the NumPy and threaded backends implement it for real by processing
+    rows in cache-budget-sized blocks through small scratch buffers.
 ``matmul``
     A plain GEMM, used by the baselines (the shuffle algorithm's tall-skinny
     matmul, the naive algorithm's dense product) and the FTMMT contraction.
@@ -24,14 +30,19 @@ distributed, CLI — is backend-agnostic.
 
 Validation (shape/dtype checks, ``out`` shape enforcement) happens *above*
 the seam in :mod:`repro.core.sliced_multiply`; backend implementations may
-assume well-formed operands.
+assume well-formed operands.  The optional ``arena`` argument is a
+:class:`~repro.backends.arena.ScratchArena` owned by the caller (typically a
+:class:`~repro.plan.executor.PlanExecutor`); backends stage their GEMM
+temporaries there instead of allocating per call.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.backends.arena import ScratchArena
 
 
 class ArrayBackend:
@@ -63,14 +74,50 @@ class ArrayBackend:
         k: int,
         p: int,
         q: int,
+        arena: Optional[ScratchArena] = None,
     ) -> np.ndarray:
         """Compute the sliced multiply of validated operands into ``out``.
 
         ``out`` has shape ``(m, k // p * q)`` and may be a strided view (the
         double-buffered workspace hands out column slices).  Implementations
         must write the slice-major layout ``out[i, col * n_slices + s]``.
+        ``arena``, when given, holds reusable scratch for the GEMM staging
+        buffer; backends that do not stage host-side may ignore it.
         """
         raise NotImplementedError
+
+    def fused_sliced_multiply_into(
+        self,
+        x: np.ndarray,
+        factors: Sequence[np.ndarray],
+        out: np.ndarray,
+        m: int,
+        k: int,
+        row_block: int = 0,
+        arena: Optional[ScratchArena] = None,
+    ) -> np.ndarray:
+        """Chain one fusion group's sliced multiplies, writing only the final result.
+
+        ``factors`` are the group's factor matrices in *execution order*
+        (the order the steps consume them); the widths evolve
+        ``k -> k/p*q`` per step and ``out`` has the final step's shape
+        ``(m, final_cols)``.  Intermediates never touch the caller's
+        workspace — only the group's output is written, which is what turns
+        the plan IR's ``fused_memory_elements`` accounting into actual
+        traffic.
+
+        This generic fallback runs the chain sequentially at full width
+        through arena scratch (``row_block`` is ignored: a device backend
+        would pay a transfer round-trip per block), correct for any backend
+        that implements :meth:`sliced_multiply_into`.  The NumPy and
+        threaded backends override it with a row-blocked version that
+        honours ``row_block``.
+        """
+        if arena is None:
+            arena = ScratchArena()
+        return fused_chain_rows(
+            x, factors, out, k, 0, arena, multiply=self.sliced_multiply_into
+        )
 
     def matmul(self, a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
         """Plain matrix product ``a @ b`` (host arrays in, host array out)."""
@@ -100,10 +147,104 @@ def write_swapped(out: np.ndarray, products: np.ndarray, m: int, n_slices: int, 
 
     Shared by the NumPy and threaded backends: the slice/column axis swap is
     fused into the output write (the paper's "store at the right index"),
-    taking the fast path when ``out`` is C-contiguous.
+    taking the fast path when ``out`` is C-contiguous.  Degenerate axes need
+    no swap at all: a single slice (``n_slices == 1``) or a single factor
+    column (``q == 1``) makes ``products`` already slice-major, so the write
+    collapses to one reshaped copy.
     """
+    if n_slices == 1 or q == 1:
+        np.copyto(out, products.reshape(m, n_slices * q))
+        return
     swapped = products.reshape(m, n_slices, q).swapaxes(1, 2)
     if out.flags["C_CONTIGUOUS"]:
         np.copyto(out.reshape(m, q, n_slices), swapped)
     else:
         np.copyto(out, swapped.reshape(m, n_slices * q))
+
+
+def sliced_gemm_into(
+    x: np.ndarray,
+    f: np.ndarray,
+    out: np.ndarray,
+    m: int,
+    k: int,
+    p: int,
+    q: int,
+    arena: Optional[ScratchArena] = None,
+) -> np.ndarray:
+    """One sliced multiply as a single 2-D GEMM plus the swapped write.
+
+    The workhorse of the NumPy and threaded backends: ``(M*slices, P) @
+    (P, Q)`` — considerably faster in NumPy than a batched 3-D matmul, and it
+    matches how the slices are actually independent.  With an ``arena`` the
+    GEMM streams into a reused ``products`` staging buffer instead of
+    allocating one per call.
+    """
+    n_slices = k // p
+    x_view = x if x.flags["C_CONTIGUOUS"] else np.ascontiguousarray(x)
+    a = x_view.reshape(m * n_slices, p)
+    if arena is None:
+        products = a @ f
+    else:
+        products = arena.get("products", (m * n_slices, q), out.dtype)
+        np.matmul(a, f, out=products)
+    write_swapped(out, products, m, n_slices, q)
+    return out
+
+
+def chain_widths(k: int, factors: Sequence[np.ndarray]) -> List[Tuple[int, int, int]]:
+    """Per-step ``(width, p, q)`` of chaining ``factors`` over an input of ``k`` columns."""
+    shapes: List[Tuple[int, int, int]] = []
+    width = int(k)
+    for f in factors:
+        p, q = f.shape
+        shapes.append((width, int(p), int(q)))
+        width = (width // p) * q
+    return shapes
+
+
+def fused_chain_rows(
+    x: np.ndarray,
+    factors: Sequence[np.ndarray],
+    out: np.ndarray,
+    k: int,
+    row_block: int,
+    arena: ScratchArena,
+    multiply=sliced_gemm_into,
+) -> np.ndarray:
+    """Row-blocked fused chain: the real fused-group execution kernel.
+
+    Processes ``x``'s rows in blocks of ``row_block`` (0 means all rows at
+    once), chaining the entire group's factors through two small ping-pong
+    scratch buffers that stay cache-resident, and writing only each block's
+    *final* rows into ``out``.  ``multiply`` is the per-step primitive
+    (``sliced_gemm_into`` for the host backends; the base-class fallback
+    passes the backend's own ``sliced_multiply_into``).  Numerics are
+    bit-identical to the full-width stepwise path because BLAS computes
+    GEMM output rows independently — splitting the M dimension never
+    changes a row's dot products (the same property the threaded backend's
+    row sharding already relies on).
+
+    Safe when ``out`` aliases ``x`` (an even-sized group reads and writes
+    the same ping-pong workspace buffer): within a block the input rows are
+    fully consumed by the first multiply before the final write touches the
+    same rows, and blocks are disjoint.
+    """
+    m = x.shape[0]
+    shapes = chain_widths(k, factors)
+    if row_block <= 0 or row_block > m:
+        row_block = m
+    last = len(factors) - 1
+    for start in range(0, m, row_block):
+        stop = min(start + row_block, m)
+        bm = stop - start
+        cur = x[start:stop]
+        for j, (f, (width, p, q)) in enumerate(zip(factors, shapes)):
+            out_cols = (width // p) * q
+            if j == last:
+                dest = out[start:stop]
+            else:
+                dest = arena.get(f"fchain{j % 2}", (bm, out_cols), out.dtype)
+            multiply(cur, f, dest, bm, width, p, q, arena=arena)
+            cur = dest
+    return out

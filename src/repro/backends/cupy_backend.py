@@ -13,6 +13,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.backends.arena import ScratchArena
 from repro.backends.base import ArrayBackend, write_swapped
 
 try:  # pragma: no cover - exercised only where cupy is installed
@@ -53,6 +54,7 @@ class CupyBackend(ArrayBackend):
         k: int,
         p: int,
         q: int,
+        arena: Optional[ScratchArena] = None,
     ) -> np.ndarray:  # pragma: no cover - exercised only where cupy is installed
         n_slices = k // p
         x_dev = cupy.asarray(np.ascontiguousarray(x)).reshape(m * n_slices, p)

@@ -1,16 +1,22 @@
 """The reference NumPy backend — the seed implementation behind the seam.
 
-This is the exact computation the package shipped with before the backend
-layer existed: one large 2-D GEMM over all slices followed by the fused
-axis-swap write.  Every other backend is validated against it bit-for-bit
-(float64) or to tolerance (float32) by the parity suite.
+The unfused primitive is the exact computation the package shipped with
+before the backend layer existed: one large 2-D GEMM over all slices
+followed by the fused axis-swap write.  The fused primitive runs a whole
+fusion group in cache-budget-sized row blocks, chaining through small
+scratch buffers so intra-group intermediates never stream to the workspace.
+Every other backend is validated against this one bit-for-bit (float64) or
+to tolerance (float32) by the parity suite.
 """
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 import numpy as np
 
-from repro.backends.base import ArrayBackend, write_swapped
+from repro.backends.arena import ScratchArena
+from repro.backends.base import ArrayBackend, fused_chain_rows, sliced_gemm_into
 
 
 class NumpyBackend(ArrayBackend):
@@ -28,12 +34,20 @@ class NumpyBackend(ArrayBackend):
         k: int,
         p: int,
         q: int,
+        arena: Optional[ScratchArena] = None,
     ) -> np.ndarray:
-        n_slices = k // p
-        # One large 2-D GEMM over all slices: (M*slices, P) @ (P, Q).  This is
-        # considerably faster in NumPy than a batched 3-D matmul and matches
-        # how the slices are actually independent.
-        x_view = x if x.flags["C_CONTIGUOUS"] else np.ascontiguousarray(x)
-        products = x_view.reshape(m * n_slices, p) @ f
-        write_swapped(out, products, m, n_slices, q)
-        return out
+        return sliced_gemm_into(x, f, out, m, k, p, q, arena=arena)
+
+    def fused_sliced_multiply_into(
+        self,
+        x: np.ndarray,
+        factors: Sequence[np.ndarray],
+        out: np.ndarray,
+        m: int,
+        k: int,
+        row_block: int = 0,
+        arena: Optional[ScratchArena] = None,
+    ) -> np.ndarray:
+        if arena is None:
+            arena = ScratchArena()
+        return fused_chain_rows(x, factors, out, k, row_block, arena)

@@ -24,11 +24,12 @@ import atexit
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.backends.base import ArrayBackend, write_swapped
+from repro.backends.arena import ScratchArena
+from repro.backends.base import ArrayBackend, fused_chain_rows, sliced_gemm_into
 
 
 class ThreadedBackend(ArrayBackend):
@@ -96,20 +97,45 @@ class ThreadedBackend(ArrayBackend):
         k: int,
         p: int,
         q: int,
+        arena: Optional[ScratchArena] = None,
     ) -> np.ndarray:
-        n_slices = k // p
         if m < self.min_parallel_rows or self.num_threads < 2:
-            x_view = x if x.flags["C_CONTIGUOUS"] else np.ascontiguousarray(x)
-            write_swapped(out, x_view.reshape(m * n_slices, p) @ f, m, n_slices, q)
-            return out
+            return sliced_gemm_into(x, f, out, m, k, p, q, arena=arena)
 
         def run_shard(start: int, stop: int) -> None:
-            rows = stop - start
-            shard = x[start:stop]
-            if not shard.flags["C_CONTIGUOUS"]:
-                shard = np.ascontiguousarray(shard)
-            products = shard.reshape(rows * n_slices, p) @ f
-            write_swapped(out[start:stop], products, rows, n_slices, q)
+            # The arena is thread-local internally, so every worker stages
+            # its GEMM products in its own reused buffer.
+            sliced_gemm_into(
+                x[start:stop], f, out[start:stop], stop - start, k, p, q, arena=arena
+            )
+
+        pool = self._executor()
+        futures = [pool.submit(run_shard, start, stop) for start, stop in self._shard_bounds(m)]
+        for future in futures:
+            future.result()
+        return out
+
+    def fused_sliced_multiply_into(
+        self,
+        x: np.ndarray,
+        factors: Sequence[np.ndarray],
+        out: np.ndarray,
+        m: int,
+        k: int,
+        row_block: int = 0,
+        arena: Optional[ScratchArena] = None,
+    ) -> np.ndarray:
+        if arena is None:
+            arena = ScratchArena()
+        if m < self.min_parallel_rows or self.num_threads < 2:
+            return fused_chain_rows(x, factors, out, k, row_block, arena)
+
+        def run_shard(start: int, stop: int) -> None:
+            # Each worker runs the *whole* fused chain over its row shard in
+            # cache-sized blocks, through its own thread-local scratch — one
+            # pool dispatch (and one barrier) per fusion group instead of
+            # one per step.
+            fused_chain_rows(x[start:stop], factors, out[start:stop], k, row_block, arena)
 
         pool = self._executor()
         futures = [pool.submit(run_shard, start, stop) for start, stop in self._shard_bounds(m)]

@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backends.arena import ScratchArena
 from repro.backends.base import ArrayBackend, write_swapped
 
 try:  # pragma: no cover - exercised only where torch is installed
@@ -56,6 +57,7 @@ class TorchBackend(ArrayBackend):
         k: int,
         p: int,
         q: int,
+        arena: Optional[ScratchArena] = None,
     ) -> np.ndarray:  # pragma: no cover - exercised only where torch is installed
         n_slices = k // p
         products = torch.matmul(self._to_device(x).reshape(m * n_slices, p), self._to_device(f))

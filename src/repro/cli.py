@@ -156,16 +156,20 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
     problem = _problem_from_args(args)
     plan = compile_plan(
-        problem, fuse=not args.no_fuse, row_capacity=args.row_capacity
+        problem, fuse=not args.no_fuse, row_capacity=args.row_capacity,
+        cache_budget_bytes=args.cache_budget,
     )
-    if args.tune:
+    if args.tune or args.tune_row_block:
         from repro.tuner import Autotuner
 
         spec = spec_by_name(args.gpu)
         tuner = Autotuner(
             spec=spec, max_candidates=args.max_candidates, fuse=not args.no_fuse
         )
-        plan = tuner.tune_plan(plan)
+        if args.tune:
+            plan = tuner.tune_plan(plan)
+        if args.tune_row_block:
+            plan = tuner.tune_row_blocks(plan)
     if args.json:
         print(json.dumps(plan.to_dict(), indent=2, sort_keys=True))
         return 0
@@ -405,6 +409,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="run the autotuner pass and show the chosen tile configs")
     p_pl.add_argument("--max-candidates", type=int, default=2000,
                       help="tuning search budget per step (with --tune)")
+    p_pl.add_argument("--cache-budget", type=int, default=None, metavar="BYTES",
+                      help="cache budget bounding each fused group's per-row-block "
+                           "working set (default 1 MiB); sizes the compiled row blocks")
+    p_pl.add_argument("--tune-row-block", action="store_true",
+                      help="empirically tune the fused groups' row-block sizes "
+                           "(measured executions, not the roofline model)")
     p_pl.add_argument("--json", action="store_true",
                       help="dump the serialised plan (KronPlan.to_dict) instead of the summary")
     p_pl.set_defaults(func=_cmd_plan)

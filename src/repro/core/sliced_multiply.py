@@ -36,6 +36,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backends.arena import ScratchArena
 from repro.backends.registry import BackendLike, get_backend
 from repro.exceptions import ShapeError
 from repro.utils.validation import check_same_dtype, ensure_2d
@@ -59,6 +60,7 @@ def sliced_multiply(
     f: np.ndarray,
     out: Optional[np.ndarray] = None,
     backend: BackendLike = None,
+    arena: Optional[ScratchArena] = None,
 ) -> np.ndarray:
     """Sliced-multiply ``X (M,K)`` with factor ``F (P,Q)`` → ``(M, K//P*Q)``.
 
@@ -75,6 +77,11 @@ def sliced_multiply(
         Execution backend: a registry name (``"numpy"``, ``"threaded"``,
         ...), an :class:`~repro.backends.ArrayBackend` instance, or ``None``
         for the process default.
+    arena:
+        Optional :class:`~repro.backends.ScratchArena` the backend stages
+        its GEMM temporaries in (a long-lived caller such as a
+        :class:`~repro.plan.PlanExecutor` passes its own to avoid the
+        per-call ``products`` allocation).
 
     Notes
     -----
@@ -92,7 +99,11 @@ def sliced_multiply(
         out = resolved.empty((m, out_cols), dtype=x.dtype)
     elif out.shape != (m, out_cols):
         raise ShapeError(f"out has shape {out.shape}, expected {(m, out_cols)}")
-    return resolved.sliced_multiply_into(x, f, out, m, k, p, q)
+    if arena is None:
+        # Keep the pre-arena call shape so ArrayBackend subclasses written
+        # against the 7-argument seam keep working when no arena is involved.
+        return resolved.sliced_multiply_into(x, f, out, m, k, p, q)
+    return resolved.sliced_multiply_into(x, f, out, m, k, p, q, arena=arena)
 
 
 def sliced_multiply_reference(x: np.ndarray, f: np.ndarray) -> np.ndarray:
@@ -131,10 +142,16 @@ def _regular_stride(out_columns: np.ndarray) -> Optional[tuple[int, int]]:
     step = int(out_columns[1]) - start
     if step <= 0:
         return None
-    expected = start + step * np.arange(out_columns.size, dtype=out_columns.dtype)
-    if np.array_equal(out_columns, expected):
-        return start, step
-    return None
+    # Cheap O(1) reject before the full check: an arithmetic progression's
+    # endpoints are determined by (start, step).
+    if int(out_columns[-1]) != start + step * (out_columns.size - 1):
+        return None
+    # Constant-diff check over adjacent views — no index array is
+    # materialised (the old arange+array_equal path built two full-size
+    # temporaries just to compare against).
+    if bool((out_columns[1:] != out_columns[:-1] + step).any()):
+        return None
+    return start, step
 
 
 def sliced_multiply_strided(

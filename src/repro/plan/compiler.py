@@ -10,7 +10,7 @@ results when a :class:`~repro.tuner.cache.TuningCache` is supplied.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,10 +21,74 @@ from repro.exceptions import DTypeError, ShapeError
 from repro.plan.fingerprint import step_key
 from repro.plan.ir import INPUT_BUFFER, WORKSPACE_BUFFERS, KronPlan, PlanStep
 
+#: Default cache budget for sizing fused row blocks: 1 MiB, a conservative
+#: per-core L2 slice on current x86/ARM server parts.  The budget bounds the
+#: per-block working set of a fused group's scratch chain so the whole chain
+#: runs cache-resident.
+DEFAULT_CACHE_BUDGET_BYTES = 1 << 20
+
+#: Below this row-block size the per-block GEMMs are too skinny to amortise
+#: dispatch; a fused group whose minimal block cannot fit the budget falls
+#: back to unfused streaming instead.
+MIN_FUSED_ROW_BLOCK = 8
+
 
 def default_shared_memory_elements(dtype) -> int:
     """The fusion planner's default capacity: V100's 48 KiB per block."""
     return (48 * 1024) // int(np.dtype(dtype).itemsize)
+
+
+def fused_row_block(k_first: int, max_out_cols: int, itemsize: int, cache_budget_bytes: int) -> int:
+    """Rows per block so one fused chain's working set fits the cache budget.
+
+    Per block row the chain touches the input slab (``k_first`` columns),
+    the two ping-pong scratch buffers and the GEMM staging buffer (each at
+    most ``max_out_cols`` columns wide).  The result is rounded down to a
+    power of two; 0 means no admissible block exists (the group should run
+    unfused).
+    """
+    bytes_per_row = (k_first + 3 * max_out_cols) * itemsize
+    if bytes_per_row <= 0:
+        return 0
+    block = cache_budget_bytes // bytes_per_row
+    if block < MIN_FUSED_ROW_BLOCK:
+        return 0
+    return 1 << (int(block).bit_length() - 1)
+
+
+def _apply_cache_budget(
+    groups: Sequence[Tuple[int, ...]],
+    iterations,
+    itemsize: int,
+    cache_budget_bytes: int,
+) -> Tuple[Tuple[Tuple[int, ...], ...], Tuple[int, ...]]:
+    """The group-sizing pass: bound every fused group's working set.
+
+    Multi-step groups get the largest power-of-two row block whose working
+    set fits ``cache_budget_bytes``; a group that cannot fit even the
+    minimal block is demoted to singleton groups (unfused streaming through
+    the workspace, exactly the pre-fusion execution).
+    """
+    sized: List[Tuple[int, ...]] = []
+    row_blocks: List[int] = []
+    for group in groups:
+        if len(group) == 1:
+            sized.append(tuple(group))
+            row_blocks.append(0)
+            continue
+        k_first = iterations[group[0]].k
+        max_out_cols = max(
+            (iterations[i].k // iterations[i].p) * iterations[i].q for i in group
+        )
+        block = fused_row_block(k_first, max_out_cols, itemsize, cache_budget_bytes)
+        if block == 0:
+            for i in group:
+                sized.append((i,))
+                row_blocks.append(0)
+        else:
+            sized.append(tuple(group))
+            row_blocks.append(block)
+    return tuple(sized), tuple(row_blocks)
 
 
 def check_out_dtype(out: Optional[np.ndarray], compute_dtype) -> None:
@@ -52,6 +116,7 @@ def compile_plan(
     row_capacity: Optional[int] = None,
     tuning_cache=None,
     max_group_size: Optional[int] = None,
+    cache_budget_bytes: Optional[int] = None,
 ) -> KronPlan:
     """Compile the full execution schedule for ``problem``.
 
@@ -76,12 +141,20 @@ def compile_plan(
         search happens here.
     max_group_size:
         Optional cap on the fusion group size (ablation use).
+    cache_budget_bytes:
+        Cache budget the group-sizing pass bounds each fused group's
+        per-block working set by (defaults to
+        :data:`DEFAULT_CACHE_BUDGET_BYTES`); also decides the compiled
+        per-group row-block sizes.
     """
     resolved = get_backend(backend)
     rows = max(problem.m, int(row_capacity) if row_capacity else 0)
     if shared_memory_elements is None:
         shared_memory_elements = default_shared_memory_elements(problem.dtype)
     shared_memory_elements = int(shared_memory_elements)
+    if cache_budget_bytes is None:
+        cache_budget_bytes = DEFAULT_CACHE_BUDGET_BYTES
+    cache_budget_bytes = int(cache_budget_bytes)
 
     fusion = plan_fusion(
         problem,
@@ -89,13 +162,20 @@ def compile_plan(
         enabled=fuse,
         max_group_size=max_group_size,
     )
+    iterations = problem.iteration_shapes()
+    groups, group_row_blocks = _apply_cache_budget(
+        [tuple(g.iterations) for g in fusion.groups],
+        iterations,
+        int(np.dtype(problem.dtype).itemsize),
+        cache_budget_bytes,
+    )
     group_of = {}
-    for gi, group in enumerate(fusion.groups):
-        for i in group.iterations:
+    for gi, group in enumerate(groups):
+        for i in group:
             group_of[i] = gi
 
     steps = []
-    for it in problem.iteration_shapes():
+    for it in iterations:
         tile = None
         if tuning_cache is not None:
             tile = tuning_cache.get(
@@ -125,7 +205,9 @@ def compile_plan(
         fuse=bool(fuse),
         shared_memory_elements=shared_memory_elements,
         steps=tuple(steps),
-        groups=tuple(tuple(g.iterations) for g in fusion.groups),
+        groups=groups,
+        cache_budget_bytes=cache_budget_bytes,
+        group_row_blocks=group_row_blocks,
     )
 
 

@@ -1,16 +1,21 @@
 """The :class:`PlanExecutor`: interpret a compiled :class:`~repro.plan.ir.KronPlan`.
 
 The executor owns the runtime state a plan deliberately excludes — the
-resolved backend instance and the double-buffered workspace — and walks the
-plan's steps, issuing one sliced multiply per step into the buffer the plan
-assigned.  It never re-derives scheduling decisions: iteration order, fusion
-grouping (reported in the execution stats) and buffer ping-pong all come
-from the plan.
+resolved backend instance, the double-buffered workspace, and a reusable
+:class:`~repro.backends.arena.ScratchArena` — and walks the plan's *fusion
+groups*: a single-step group is one sliced multiply into the buffer the
+plan assigned, a multi-step group dispatches to the backend's fused
+primitive (:meth:`~repro.backends.ArrayBackend.fused_sliced_multiply_into`),
+which chains the whole group through cache-sized row blocks and writes only
+the group's final output.  It never re-derives scheduling decisions:
+iteration order, fusion grouping, per-group row blocks and buffer ping-pong
+all come from the plan.
 
 Numerics are bit-identical to the historical ``FastKron.multiply`` /
-``kron_matmul`` paths: the same backend primitive runs over the same shapes
-in the same order, and output values do not depend on whether the
-destination is a fresh buffer or a workspace view.
+``kron_matmul`` paths: the same GEMM kernel runs over the same row/column
+shapes (BLAS computes output rows independently, so row blocking never
+changes a row's values), and output values do not depend on whether the
+destination is a fresh buffer, a workspace view, or the caller's ``out``.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from typing import Dict, Iterable, Optional
 
 import numpy as np
 
+from repro.backends.arena import ScratchArena
 from repro.backends.registry import BackendLike, get_backend
 from repro.core.factors import as_factor_list
 from repro.core.sliced_multiply import sliced_multiply
@@ -98,6 +104,10 @@ class PlanExecutor:
             name: self.backend.empty((plan.m, cols), dtype=dtype)
             for name in WORKSPACE_BUFFERS
         }
+        # Per-executor scratch: the fused row-block chain buffers and the
+        # backends' GEMM staging buffer live here, thread-local per pool
+        # worker, reused across every execute() call.
+        self.arena = ScratchArena()
         self.last_stats: Optional[ExecutionStats] = None
 
     # ------------------------------------------------------------------ #
@@ -108,6 +118,10 @@ class PlanExecutor:
     def workspace_bytes(self) -> int:
         """Bytes of the double-buffered intermediate workspace."""
         return sum(buf.nbytes for buf in self._buffers.values())
+
+    def scratch_bytes(self) -> int:
+        """Approximate bytes retained by the fused-execution scratch arena."""
+        return self.arena.nbytes()
 
     # ------------------------------------------------------------------ #
     def execute(
@@ -123,12 +137,21 @@ class PlanExecutor:
         preallocated workspace.  ``out``, when given, must match the result
         shape and the plan's compute dtype (a dtype mismatch raises
         :class:`~repro.exceptions.DTypeError` — the plan decided the compute
-        dtype at compile time and never silently downcasts).
+        dtype at compile time and never silently downcasts).  The final
+        group writes straight into ``out`` — no workspace-then-copy round
+        trip — unless ``out`` may overlap the input, a factor, or the
+        workspace, in which case the copy path keeps the old aliasing
+        semantics.
+
+        Execution walks the plan's fusion groups: multi-step groups run the
+        backend's fused row-blocked primitive (intermediates stay in the
+        scratch arena, only the group output reaches the workspace);
+        single-step groups stream one sliced multiply as before.
 
         Without ``out`` the returned array may *alias the workspace* (it is
-        whatever the final ping-pong buffer holds, made contiguous): callers
-        that keep results across calls must copy them out, exactly as the
-        serving engine does when splitting a coalesced batch.
+        whatever the final buffer holds, made contiguous): callers that keep
+        results across calls must copy them out, exactly as the serving
+        engine does when splitting a coalesced batch.
         """
         factor_list = as_factor_list(factors)
         x2d = ensure_2d(np.asarray(x), "X")
@@ -145,22 +168,50 @@ class PlanExecutor:
         cur = x2d
         if cur.dtype != dtype:
             cur = cur.astype(dtype)
-        for step in plan.steps:
-            factor = factor_list[step.factor_index].values
-            if factor.dtype != dtype:
-                factor = factor.astype(dtype)
-            target = self._buffers[step.target][:rows, : step.out_cols]
-            sliced_multiply(
-                cur[:, : step.k] if cur.shape[1] != step.k else cur,
-                factor,
-                out=target,
-                backend=self.backend,
-            )
-            cur = target
+        prepared = []
+        for f in factor_list:
+            values = f.values
+            if values.dtype != dtype:
+                values = values.astype(dtype)
+            prepared.append(values)
+
+        direct_out = (
+            out is not None
+            and not np.may_share_memory(out, x2d)
+            and not any(np.may_share_memory(out, buf) for buf in self._buffers.values())
+            and not any(np.may_share_memory(out, f) for f in prepared)
+        )
+        steps = plan.steps
+        n_groups = len(plan.groups)
+        for gi, group in enumerate(plan.groups):
+            first = steps[group[0]]
+            last = steps[group[-1]]
+            if gi == n_groups - 1 and direct_out:
+                dest = out
+            else:
+                dest = self._buffers[last.target][:rows, : last.out_cols]
+            src = cur[:, : first.k] if cur.shape[1] != first.k else cur
+            if len(group) > 1:
+                self.backend.fused_sliced_multiply_into(
+                    src,
+                    [prepared[steps[i].factor_index] for i in group],
+                    dest,
+                    rows,
+                    first.k,
+                    row_block=plan.group_row_blocks[gi],
+                    arena=self.arena,
+                )
+            else:
+                sliced_multiply(
+                    src, prepared[first.factor_index], out=dest,
+                    backend=self.backend, arena=self.arena,
+                )
+            cur = dest
 
         self.last_stats = plan_execution_stats(plan, rows)
         if out is not None:
-            np.copyto(out, cur)
+            if not direct_out:
+                np.copyto(out, cur)
             return out
         return np.ascontiguousarray(cur)
 

@@ -22,7 +22,7 @@ each GPU's block spans many slices of many factors.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -39,7 +39,11 @@ from repro.utils.intmath import prod
 INPUT_BUFFER = "X"
 WORKSPACE_BUFFERS = ("W0", "W1")
 
-_SCHEMA = 1
+#: Schema 2 added ``cache_budget_bytes`` and per-group ``group_row_blocks``
+#: (the row-blocked fused-execution parameters); schema-1 payloads still
+#: load with both defaulted.
+_SCHEMA = 2
+_LEGACY_SCHEMAS = (1,)
 
 
 @dataclass(frozen=True)
@@ -156,6 +160,14 @@ class KronPlan:
         The ordered :class:`PlanStep` schedule.
     groups:
         Fusion groups as tuples of step indices (one kernel launch each).
+    cache_budget_bytes:
+        The group-sizing pass's cache budget: the per-row-block working set
+        of every fused group is bounded by it (0 means "unbudgeted", e.g. a
+        deserialised legacy plan).
+    group_row_blocks:
+        Per-group row-block size for fused execution (parallel to
+        ``groups``; 0 means "all rows at once" and is what single-step
+        groups carry).
     """
 
     m: int
@@ -167,15 +179,30 @@ class KronPlan:
     shared_memory_elements: int
     steps: Tuple[PlanStep, ...] = field(default_factory=tuple)
     groups: Tuple[Tuple[int, ...], ...] = field(default_factory=tuple)
+    cache_budget_bytes: int = 0
+    group_row_blocks: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.steps:
             raise ShapeError("a KronPlan needs at least one step")
         covered = [i for group in self.groups for i in group]
-        if sorted(covered) != list(range(len(self.steps))):
+        if covered != list(range(len(self.steps))):
+            # Execution walks the groups in order, chaining each group's
+            # output into the next group's input, so the groups must be
+            # consecutive ascending runs covering the steps exactly.
             raise ShapeError(
-                f"fusion groups {self.groups} do not cover the {len(self.steps)} steps exactly"
+                f"fusion groups {self.groups} must partition the {len(self.steps)} steps "
+                f"into consecutive runs in execution order"
             )
+        if not self.group_row_blocks:
+            object.__setattr__(self, "group_row_blocks", (0,) * len(self.groups))
+        elif len(self.group_row_blocks) != len(self.groups):
+            raise ShapeError(
+                f"group_row_blocks has {len(self.group_row_blocks)} entries for "
+                f"{len(self.groups)} groups"
+            )
+        if any(rb < 0 for rb in self.group_row_blocks):
+            raise ShapeError(f"group_row_blocks must be non-negative, got {self.group_row_blocks}")
 
     # ------------------------------------------------------------------ #
     # shape algebra
@@ -286,12 +313,25 @@ class KronPlan:
             )
             for s in self.steps
         )
-        return KronPlan(
-            m=self.m, k=self.k, factor_shapes=self.factor_shapes, dtype=self.dtype,
-            backend=self.backend, fuse=self.fuse,
-            shared_memory_elements=self.shared_memory_elements,
-            steps=steps, groups=self.groups,
+        return replace(self, steps=steps)
+
+    def with_group_row_blocks(self, row_blocks: Dict[int, int]) -> "KronPlan":
+        """A copy of this plan with the given per-group row-block sizes installed.
+
+        This is the output form of the row-block tuning pass: unknown group
+        indices are rejected, groups absent from the mapping keep their
+        current value.  Row blocks only affect *how* fused groups execute
+        (block size of the scratch chain), never the numerics, so the
+        schedule is otherwise untouched.
+        """
+        unknown = set(row_blocks) - set(range(len(self.groups)))
+        if unknown:
+            raise ShapeError(f"row-block overrides reference unknown groups {sorted(unknown)}")
+        blocks = tuple(
+            int(row_blocks.get(gi, current))
+            for gi, current in enumerate(self.group_row_blocks)
         )
+        return replace(self, group_row_blocks=blocks)
 
     # ------------------------------------------------------------------ #
     # identity and serialisation
@@ -320,12 +360,14 @@ class KronPlan:
             "shared_memory_elements": self.shared_memory_elements,
             "steps": [s.to_dict() for s in self.steps],
             "groups": [list(g) for g in self.groups],
+            "cache_budget_bytes": self.cache_budget_bytes,
+            "group_row_blocks": list(self.group_row_blocks),
         }
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "KronPlan":
         schema = payload.get("schema")
-        if schema != _SCHEMA:
+        if schema != _SCHEMA and schema not in _LEGACY_SCHEMAS:
             raise ShapeError(f"unsupported KronPlan schema {schema!r} (expected {_SCHEMA})")
         return cls(
             m=int(payload["m"]),
@@ -337,6 +379,8 @@ class KronPlan:
             shared_memory_elements=int(payload["shared_memory_elements"]),
             steps=tuple(PlanStep.from_dict(s) for s in payload["steps"]),
             groups=tuple(tuple(int(i) for i in g) for g in payload["groups"]),
+            cache_budget_bytes=int(payload.get("cache_budget_bytes", 0)),
+            group_row_blocks=tuple(int(rb) for rb in payload.get("group_row_blocks", ())),
         )
 
     # ------------------------------------------------------------------ #
@@ -368,12 +412,17 @@ class KronPlan:
         lines.append(
             f"  schedule : {self.n_steps} steps in {self.n_kernel_launches} kernel launches"
         )
+        if self.cache_budget_bytes:
+            kib = self.cache_budget_bytes / 1024
+            lines.append(f"  fused row blocks sized for a {kib:.0f} KiB cache budget")
         for gi, group in enumerate(self.groups):
             kind = "fused kernel" if len(group) > 1 else "single kernel"
             span = (
                 f"steps {group[0]}..{group[-1]}" if len(group) > 1 else f"step {group[0]}"
             )
-            lines.append(f"  group {gi}: {kind}, {span}")
+            row_block = self.group_row_blocks[gi]
+            blocking = f", row block {row_block}" if len(group) > 1 and row_block else ""
+            lines.append(f"  group {gi}: {kind}, {span}{blocking}")
             for step_index in group:
                 lines.append(f"    {self.steps[step_index].describe()}")
         return "\n".join(lines)

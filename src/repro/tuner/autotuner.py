@@ -208,3 +208,62 @@ class Autotuner:
             result = self.tune_shape(step.m, step.k, step.p, step.q, plan.np_dtype)
             tiles[step.index] = result.best
         return plan.with_step_tiles(tiles)
+
+    # ------------------------------------------------------------------ #
+    def tune_row_blocks(
+        self,
+        plan: "KronPlan",
+        rows: Optional[int] = None,
+        repeats: int = 3,
+        scales: tuple = (0.25, 0.5, 1.0, 2.0, 4.0),
+        seed: int = 0,
+    ) -> "KronPlan":
+        """Empirically tune the fused groups' row-block sizes (a plan pass).
+
+        Unlike the tile pass, which ranks candidates with the roofline
+        model, row blocking is a *host-side* cache effect, so this pass
+        measures real executions: the compiler's cache-budget-derived blocks
+        are scaled by each candidate factor (every fused group together, so
+        the search stays ``len(scales)`` runs), timed over synthetic
+        operands, and the fastest rewrite wins.  Plans without fused groups
+        are returned unchanged.  Numerics are unaffected by construction —
+        row blocking never changes a row's values — so this pass trades
+        nothing for the speed it finds.
+        """
+        from repro.backends.registry import get_backend
+        from repro.core.factors import random_factors_from_shapes
+        from repro.plan.compiler import MIN_FUSED_ROW_BLOCK
+        from repro.plan.executor import PlanExecutor
+
+        fused_groups = [gi for gi, g in enumerate(plan.groups) if len(g) > 1]
+        if not fused_groups:
+            return plan
+
+        backend = get_backend(plan.backend)
+        rows = plan.m if rows is None else min(int(rows), plan.m)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((rows, plan.k)).astype(plan.np_dtype)
+        factors = random_factors_from_shapes(plan.factor_shapes, dtype=plan.np_dtype, seed=seed)
+
+        candidates = []
+        for scale in scales:
+            blocks = {}
+            for gi in fused_groups:
+                base = plan.group_row_blocks[gi] or plan.m
+                blocks[gi] = min(plan.m, max(MIN_FUSED_ROW_BLOCK, int(base * scale)))
+            candidate = plan.with_group_row_blocks(blocks)
+            if all(c.group_row_blocks != candidate.group_row_blocks for c in candidates):
+                candidates.append(candidate)
+
+        best_plan, best_time = plan, float("inf")
+        for candidate in candidates:
+            executor = PlanExecutor(candidate, backend=backend)
+            executor.execute(x, factors)  # warm the workspace and arena
+            elapsed = float("inf")
+            for _ in range(max(1, repeats)):
+                start = time.perf_counter()
+                executor.execute(x, factors)
+                elapsed = min(elapsed, time.perf_counter() - start)
+            if elapsed < best_time:
+                best_plan, best_time = candidate, elapsed
+        return best_plan

@@ -1,0 +1,412 @@
+"""Fused-group execution: bit-parity with the stepwise path, and the knobs.
+
+The central guarantee: executing a fused plan — multi-step groups chained
+through cache-sized row blocks in scratch, only the group output written —
+is **bit-identical** (float64) to executing the same problem unfused
+stepwise, on both the numpy and threaded backends.  BLAS computes GEMM
+output rows independently, so neither row blocking nor row sharding can
+change a row's values; these tests pin that contract down across the edges
+(ragged last block, 1x1 factors, single-step groups, fewer rows than the
+plan's capacity, direct ``out=`` writes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import NumpyBackend, ScratchArena, ThreadedBackend
+from repro.backends.base import fused_chain_rows, write_swapped
+from repro.core.factors import random_factors, random_factors_from_shapes
+from repro.core.fastkron import kron_matmul
+from repro.core.problem import KronMatmulProblem
+from repro.core.sliced_multiply import _regular_stride, sliced_multiply
+from repro.exceptions import ShapeError
+from repro.plan import KronPlan, PlanExecutor, compile_plan
+from repro.plan.compiler import MIN_FUSED_ROW_BLOCK, fused_row_block
+
+
+def _rand_x(rows: int, cols: int, dtype=np.float64, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal((rows, cols)).astype(dtype)
+
+
+def _sharded_threaded() -> ThreadedBackend:
+    """A threaded backend that actually shards, even on tiny test problems."""
+    return ThreadedBackend(num_threads=4, min_parallel_rows=4)
+
+
+def _execute_both(problem, factors, x, backend):
+    """(fused result, unfused stepwise result) on one backend instance."""
+    fused = PlanExecutor(compile_plan(problem, backend=backend), backend=backend)
+    unfused = PlanExecutor(compile_plan(problem, backend=backend, fuse=False), backend=backend)
+    assert fused.plan.is_fused, "test shape must actually produce a fused group"
+    return fused.execute(x, factors), unfused.execute(x, factors)
+
+
+# --------------------------------------------------------------------------- #
+# bit parity: fused vs stepwise
+# --------------------------------------------------------------------------- #
+class TestFusedParity:
+    @pytest.mark.parametrize("backend_factory", [NumpyBackend, _sharded_threaded],
+                             ids=["numpy", "threaded"])
+    @pytest.mark.parametrize("p,n,m", [(4, 4, 37), (8, 3, 129), (2, 9, 100)])
+    def test_fused_matches_stepwise_bitwise(self, backend_factory, p, n, m):
+        backend = backend_factory()
+        problem = KronMatmulProblem.uniform(m, p, n, dtype=np.float64)
+        factors = random_factors(n, p, dtype=np.float64, seed=1)
+        x = _rand_x(m, problem.k, seed=m)
+        a, b = _execute_both(problem, factors, x, backend)
+        assert np.array_equal(a, b)
+        assert np.array_equal(a, kron_matmul(x, factors, backend=NumpyBackend()))
+
+    @pytest.mark.parametrize("backend_factory", [NumpyBackend, _sharded_threaded],
+                             ids=["numpy", "threaded"])
+    def test_ragged_last_row_block(self, backend_factory):
+        """m deliberately not divisible by the compiled row block."""
+        backend = backend_factory()
+        problem = KronMatmulProblem.uniform(61, 4, 4, dtype=np.float64)
+        plan = compile_plan(problem, backend=backend)
+        (row_block,) = [rb for rb in plan.group_row_blocks if rb]
+        assert 61 % row_block != 0 or row_block > 61
+        factors = random_factors(4, 4, dtype=np.float64, seed=3)
+        x = _rand_x(61, problem.k, seed=4)
+        a, b = _execute_both(problem, factors, x, backend)
+        assert np.array_equal(a, b)
+
+    def test_tiny_row_block_forced(self):
+        """An explicit row block much smaller than m still agrees bitwise."""
+        problem = KronMatmulProblem.uniform(53, 4, 3, dtype=np.float64)
+        plan = compile_plan(problem)
+        forced = plan.with_group_row_blocks({0: MIN_FUSED_ROW_BLOCK})
+        factors = random_factors(3, 4, dtype=np.float64, seed=5)
+        x = _rand_x(53, problem.k, seed=6)
+        assert np.array_equal(
+            PlanExecutor(forced).execute(x, factors),
+            PlanExecutor(compile_plan(problem, fuse=False)).execute(x, factors),
+        )
+
+    def test_one_by_one_factors_run_unfused(self):
+        """1x1 factors never fuse (the log-P bound degenerates) but execute."""
+        problem = KronMatmulProblem(m=5, factor_shapes=((1, 1), (1, 1), (3, 3)),
+                                    dtype=np.float64)
+        plan = compile_plan(problem)
+        assert not plan.is_fused
+        assert plan.group_row_blocks == (0,) * len(plan.groups)
+        factors = random_factors_from_shapes(problem.factor_shapes, dtype=np.float64, seed=7)
+        x = _rand_x(5, problem.k, seed=8)
+        assert np.array_equal(PlanExecutor(plan).execute(x, factors),
+                              kron_matmul(x, factors))
+
+    def test_mixed_single_step_and_fused_groups(self):
+        """Non-uniform shapes: square runs fuse, the rectangular step doesn't."""
+        shapes = ((4, 4), (4, 4), (3, 5))
+        problem = KronMatmulProblem(m=24, factor_shapes=shapes, dtype=np.float64)
+        plan = compile_plan(problem)
+        sizes = sorted(len(g) for g in plan.groups)
+        assert sizes == [1, 2]  # the 3x5 step stays alone, the 4x4 run fuses
+        factors = random_factors_from_shapes(shapes, dtype=np.float64, seed=9)
+        x = _rand_x(24, problem.k, seed=10)
+        a, b = _execute_both(problem, factors, x, NumpyBackend())
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("rows", [1, 7, 33, 64])
+    def test_fewer_rows_than_capacity(self, rows):
+        """Workspace slicing: the fused path serves any rows <= plan.m."""
+        problem = KronMatmulProblem.uniform(64, 4, 3, dtype=np.float64)
+        executor = PlanExecutor(compile_plan(problem))
+        assert executor.plan.is_fused
+        factors = random_factors(3, 4, dtype=np.float64, seed=11)
+        x = _rand_x(rows, problem.k, seed=rows)
+        assert np.array_equal(executor.execute(x, factors), kron_matmul(x, factors))
+
+    def test_generic_fallback_matches_real_implementation(self):
+        """A backend without a fused override inherits the sequential fallback."""
+        from repro.backends.base import ArrayBackend
+
+        class FallbackBackend(NumpyBackend):
+            # Re-point the override at the base-class generic implementation,
+            # as a backend that only implements sliced_multiply_into would get.
+            fused_sliced_multiply_into = ArrayBackend.fused_sliced_multiply_into
+
+        problem = KronMatmulProblem.uniform(19, 4, 3, dtype=np.float64)
+        factors = random_factors(3, 4, dtype=np.float64, seed=12)
+        x = _rand_x(19, problem.k, seed=13)
+        a, b = _execute_both(problem, factors, x, FallbackBackend())
+        assert np.array_equal(a, b)
+
+
+# --------------------------------------------------------------------------- #
+# the hypothesis property: fused and unfused plans always agree
+# --------------------------------------------------------------------------- #
+class TestFusedProperty:
+    @given(
+        m=st.integers(min_value=1, max_value=40),
+        p=st.sampled_from([2, 3, 4]),
+        n=st.integers(min_value=2, max_value=5),
+        backend_name=st.sampled_from(["numpy", "threaded"]),
+        seed=st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fused_equals_unfused(self, m, p, n, backend_name, seed):
+        backend = (
+            _sharded_threaded() if backend_name == "threaded" else NumpyBackend()
+        )
+        problem = KronMatmulProblem.uniform(m, p, n, dtype=np.float64)
+        factors = random_factors(n, p, dtype=np.float64, seed=seed)
+        x = _rand_x(m, problem.k, seed=seed + 1)
+        fused = PlanExecutor(compile_plan(problem, backend=backend), backend=backend)
+        unfused = PlanExecutor(
+            compile_plan(problem, backend=backend, fuse=False), backend=backend
+        )
+        assert np.array_equal(fused.execute(x, factors), unfused.execute(x, factors))
+
+
+# --------------------------------------------------------------------------- #
+# out= direct write
+# --------------------------------------------------------------------------- #
+class TestDirectOut:
+    def test_final_group_writes_out_directly(self):
+        problem = KronMatmulProblem.uniform(32, 4, 3, dtype=np.float64)
+        executor = PlanExecutor(compile_plan(problem))
+        factors = random_factors(3, 4, dtype=np.float64, seed=14)
+        x = _rand_x(32, problem.k, seed=15)
+        out = np.full((32, problem.out_cols), np.nan)
+        result = executor.execute(x, factors, out=out)
+        assert result is out
+        assert np.array_equal(out, kron_matmul(x, factors))
+
+    def test_out_aliasing_input_still_correct(self):
+        """out= overlapping x falls back to the workspace-then-copy path."""
+        problem = KronMatmulProblem.uniform(16, 4, 2, dtype=np.float64)
+        executor = PlanExecutor(compile_plan(problem))
+        factors = random_factors(2, 4, dtype=np.float64, seed=16)
+        x = _rand_x(16, problem.k, seed=17)
+        expected = kron_matmul(x.copy(), factors)
+        result = executor.execute(x, factors, out=x)
+        assert result is x
+        assert np.array_equal(x, expected)
+
+    def test_out_aliasing_previous_result_view(self):
+        """A previous no-out result may alias the workspace; passing it back
+        as out= must not corrupt the computation."""
+        problem = KronMatmulProblem.uniform(8, 3, 2, dtype=np.float64)
+        executor = PlanExecutor(compile_plan(problem))
+        factors = random_factors(2, 3, dtype=np.float64, seed=18)
+        first = executor.execute(_rand_x(8, problem.k, seed=19), factors)
+        x2 = _rand_x(8, problem.k, seed=20)
+        expected = kron_matmul(x2, factors)
+        result = executor.execute(x2, factors, out=first)
+        assert np.array_equal(result, expected)
+
+    def test_out_aliasing_factor_still_correct(self):
+        """out= overlapping a factor must fall back to workspace-then-copy:
+        a direct row-blocked write would corrupt the factor mid-execution
+        (factors are not copied on ingestion when already contiguous)."""
+        problem = KronMatmulProblem.uniform(16, 4, 2, dtype=np.float64)
+        # Small row blocks: an unguarded direct write would corrupt the
+        # overlapping factor after the first block, poisoning the rest.
+        plan = compile_plan(problem).with_group_row_blocks({0: 4})
+        executor = PlanExecutor(plan)
+        blob = np.random.default_rng(35).standard_normal(16 * 16)
+        out = blob.reshape(16, 16)
+        f_overlap = blob[:16].reshape(4, 4)  # shares out's first row
+        f_other = np.random.default_rng(36).standard_normal((4, 4))
+        x = _rand_x(16, problem.k, seed=37)
+        expected = kron_matmul(x, [f_overlap.copy(), f_other])
+        result = executor.execute(x, [f_overlap, f_other], out=out)
+        assert result is out
+        assert np.array_equal(out, expected)
+
+    def test_noncontiguous_out(self):
+        problem = KronMatmulProblem.uniform(8, 4, 2, dtype=np.float64)
+        executor = PlanExecutor(compile_plan(problem))
+        factors = random_factors(2, 4, dtype=np.float64, seed=21)
+        x = _rand_x(8, problem.k, seed=22)
+        wide = np.zeros((8, 2 * problem.out_cols))
+        out = wide[:, ::2]
+        executor.execute(x, factors, out=out)
+        assert np.array_equal(out, kron_matmul(x, factors))
+
+
+# --------------------------------------------------------------------------- #
+# scratch arena
+# --------------------------------------------------------------------------- #
+class TestScratchArena:
+    def test_buffers_are_reused_and_grown(self):
+        arena = ScratchArena()
+        a = arena.get("t", (4, 8), np.float64)
+        a[:] = 7.0
+        b = arena.get("t", (2, 8), np.float64)  # smaller: same backing memory
+        assert np.all(b == 7.0)
+        before = arena.nbytes()
+        c = arena.get("t", (16, 16), np.float64)  # larger: grown
+        assert c.size == 256 and arena.nbytes() > before
+        u = arena.get("u", (4, 8), np.float64)  # distinct tag: no aliasing
+        assert not np.shares_memory(u, c)
+
+    def test_distinct_dtypes_do_not_alias(self):
+        arena = ScratchArena()
+        a = arena.get("t", (4,), np.float64)
+        b = arena.get("t", (4,), np.float32)
+        a[:] = 1.0
+        b[:] = 2.0
+        assert np.all(a == 1.0)
+
+    def test_executor_arena_stops_growing(self):
+        problem = KronMatmulProblem.uniform(64, 4, 3, dtype=np.float64)
+        executor = PlanExecutor(compile_plan(problem))
+        factors = random_factors(3, 4, dtype=np.float64, seed=23)
+        x = _rand_x(64, problem.k, seed=24)
+        executor.execute(x, factors)
+        high_water = executor.scratch_bytes()
+        assert high_water > 0
+        for _ in range(3):
+            executor.execute(x, factors)
+        assert executor.scratch_bytes() == high_water
+
+
+# --------------------------------------------------------------------------- #
+# the cache-budget group-sizing pass
+# --------------------------------------------------------------------------- #
+class TestCacheBudget:
+    def test_default_budget_recorded_and_explained(self):
+        plan = compile_plan(KronMatmulProblem.uniform(64, 4, 3, dtype=np.float64))
+        assert plan.cache_budget_bytes == 1 << 20
+        assert "cache budget" in plan.explain()
+        assert "row block" in plan.explain()
+
+    def test_budget_sizes_row_blocks(self):
+        problem = KronMatmulProblem.uniform(1024, 4, 5, dtype=np.float64)
+        small = compile_plan(problem, cache_budget_bytes=1 << 18)
+        large = compile_plan(problem, cache_budget_bytes=1 << 22)
+        small_blocks = [rb for rb in small.group_row_blocks if rb]
+        large_blocks = [rb for rb in large.group_row_blocks if rb]
+        assert small_blocks and large_blocks
+        assert max(small_blocks) < max(large_blocks)
+
+    def test_impossible_budget_demotes_group_to_unfused(self):
+        problem = KronMatmulProblem.uniform(256, 2, 8, dtype=np.float32)
+        assert compile_plan(problem).is_fused
+        starved = compile_plan(problem, cache_budget_bytes=1 << 10)
+        assert not starved.is_fused
+        assert all(rb == 0 for rb in starved.group_row_blocks)
+        # Numerics are untouched either way.
+        factors = random_factors(8, 2, dtype=np.float32, seed=25)
+        x = _rand_x(256, problem.k, np.float32, seed=26)
+        assert np.array_equal(
+            PlanExecutor(starved).execute(x, factors),
+            PlanExecutor(compile_plan(problem)).execute(x, factors),
+        )
+
+    def test_budget_changes_fingerprint_deterministically(self):
+        problem = KronMatmulProblem.uniform(64, 4, 3, dtype=np.float64)
+        a = compile_plan(problem, cache_budget_bytes=1 << 18)
+        b = compile_plan(problem, cache_budget_bytes=1 << 18)
+        c = compile_plan(problem, cache_budget_bytes=1 << 19)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_fused_row_block_power_of_two(self):
+        block = fused_row_block(256, 256, 8, 1 << 20)
+        assert block > 0 and block & (block - 1) == 0
+        assert fused_row_block(10**9, 10**9, 8, 1 << 20) == 0
+
+
+# --------------------------------------------------------------------------- #
+# IR plumbing for the new fields
+# --------------------------------------------------------------------------- #
+class TestRowBlockIR:
+    def test_roundtrip_preserves_row_blocks(self):
+        plan = compile_plan(KronMatmulProblem.uniform(64, 4, 3, dtype=np.float64))
+        restored = KronPlan.from_dict(plan.to_dict())
+        assert restored == plan
+        assert restored.group_row_blocks == plan.group_row_blocks
+        assert restored.cache_budget_bytes == plan.cache_budget_bytes
+
+    def test_legacy_schema1_payload_loads_with_defaults(self):
+        plan = compile_plan(KronMatmulProblem.uniform(8, 4, 2, dtype=np.float64))
+        payload = plan.to_dict()
+        payload["schema"] = 1
+        del payload["cache_budget_bytes"]
+        del payload["group_row_blocks"]
+        legacy = KronPlan.from_dict(payload)
+        assert legacy.cache_budget_bytes == 0
+        assert legacy.group_row_blocks == (0,) * len(legacy.groups)
+
+    def test_with_group_row_blocks_validates(self):
+        plan = compile_plan(KronMatmulProblem.uniform(64, 4, 3, dtype=np.float64))
+        with pytest.raises(ShapeError):
+            plan.with_group_row_blocks({17: 32})
+        rewritten = plan.with_group_row_blocks({0: 16})
+        assert rewritten.group_row_blocks[0] == 16
+        assert rewritten.steps == plan.steps
+
+    def test_mismatched_row_block_count_rejected(self):
+        plan = compile_plan(KronMatmulProblem.uniform(8, 4, 2, dtype=np.float64))
+        with pytest.raises(ShapeError):
+            KronPlan(
+                m=plan.m, k=plan.k, factor_shapes=plan.factor_shapes,
+                dtype=plan.dtype, backend=plan.backend, fuse=plan.fuse,
+                shared_memory_elements=plan.shared_memory_elements,
+                steps=plan.steps, groups=plan.groups,
+                group_row_blocks=(1, 2, 3, 4, 5),
+            )
+
+    def test_tune_row_blocks_returns_equivalent_plan(self):
+        from repro.tuner.autotuner import Autotuner
+
+        plan = compile_plan(KronMatmulProblem.uniform(64, 4, 3, dtype=np.float64))
+        tuned = Autotuner().tune_row_blocks(plan, repeats=1)
+        assert tuned.groups == plan.groups
+        factors = random_factors(3, 4, dtype=np.float64, seed=27)
+        x = _rand_x(64, plan.k, seed=28)
+        assert np.array_equal(
+            PlanExecutor(tuned).execute(x, factors),
+            PlanExecutor(plan).execute(x, factors),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# backend-level primitive + write helpers
+# --------------------------------------------------------------------------- #
+class TestBackendPrimitive:
+    def test_fused_primitive_direct_call(self):
+        backend = NumpyBackend()
+        factors = [f.values for f in random_factors(3, 4, dtype=np.float64, seed=29)]
+        x = _rand_x(21, 64, seed=30)
+        out = np.empty((21, 64))
+        backend.fused_sliced_multiply_into(x, factors, out, 21, 64, row_block=8)
+        expected = x
+        for f in factors:
+            expected = sliced_multiply(expected, f)
+        assert np.array_equal(out, expected)
+
+    def test_fused_chain_rows_handles_out_aliasing_x(self):
+        """Even-sized groups read and write the same ping-pong buffer."""
+        factors = [f.values for f in random_factors(2, 4, dtype=np.float64, seed=31)]
+        buf = _rand_x(24, 16, seed=32)
+        expected = sliced_multiply(sliced_multiply(buf.copy(), factors[0]), factors[1])
+        fused_chain_rows(buf, factors, buf, 16, 8, ScratchArena())
+        assert np.array_equal(buf, expected)
+
+    def test_write_swapped_single_slice_fast_path(self):
+        products = _rand_x(12, 5, seed=33)  # m=4, n_slices=1... shapes below
+        out = np.empty((12, 5))
+        write_swapped(out, products, 12, 1, 5)
+        assert np.array_equal(out, products)
+
+    def test_write_swapped_single_column_fast_path(self):
+        products = _rand_x(12, 1, seed=34).reshape(12, 1)
+        out = np.empty((4, 3))
+        write_swapped(out, products, 4, 3, 1)
+        assert np.array_equal(out, products.reshape(4, 3))
+
+    def test_regular_stride_detection(self):
+        assert _regular_stride(np.array([3])) == (3, 1)
+        assert _regular_stride(np.array([0, 1, 2, 3])) == (0, 1)
+        assert _regular_stride(np.array([5, 8, 11])) == (5, 3)
+        assert _regular_stride(np.array([0, 2, 3])) is None  # irregular middle
+        assert _regular_stride(np.array([0, 1, 2, 4])) is None  # endpoint off
+        assert _regular_stride(np.array([4, 2, 0])) is None  # descending

@@ -245,9 +245,16 @@ class TestExecutorParity:
         calls = []
 
         class SpyBackend(ThreadedBackend):
-            def sliced_multiply_into(self, x, f, out, m, k, p, q):
+            def sliced_multiply_into(self, x, f, out, m, k, p, q, arena=None):
                 calls.append(id(self))
-                return super().sliced_multiply_into(x, f, out, m, k, p, q)
+                return super().sliced_multiply_into(x, f, out, m, k, p, q, arena=arena)
+
+            def fused_sliced_multiply_into(self, x, factors, out, m, k,
+                                           row_block=0, arena=None):
+                calls.append(id(self))
+                return super().fused_sliced_multiply_into(
+                    x, factors, out, m, k, row_block=row_block, arena=arena
+                )
 
         spy = SpyBackend(num_threads=1)
         factors = random_factors(2, 4, dtype=np.float64, seed=18)
