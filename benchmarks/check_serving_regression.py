@@ -1,21 +1,28 @@
 """CI regression gate for the speedup-snapshot benchmarks (stdlib only).
 
-Compares a fresh snapshot (``BENCH_serving.json`` from ``bench_serving.py``
-or ``BENCH_plan.json`` from ``bench_plan.py`` — same schema) against the
-committed baseline and fails when any config's *speedup* — the optimised
-arm's throughput normalised by the same-run baseline arm — drops more than
-``--tolerance`` (default 20 %) below its baseline value.
+Compares a fresh snapshot (``BENCH_<suite>.json`` from any of the
+``bench_serving``/``bench_plan``/``bench_fused``/``bench_process`` scripts —
+same schema) against the committed baseline and fails when any config's
+*speedup* — the optimised arm's throughput normalised by the same-run
+baseline arm — drops more than ``--tolerance`` (default 20 %) below its
+baseline value.
 
 The baseline stores conservative floors measured on a standard 4-core
 GitHub-hosted runner; configs present in the snapshot but absent from the
 baseline are reported and ignored, so adding a sweep row does not require a
 lockstep baseline update.
 
+Deliberately self-contained (standard library only, no ``repro`` import),
+so CI can invoke it without ``PYTHONPATH`` gymnastics.  ``--label`` names
+the suite in every gate message, so a failing matrix job says *which* suite
+regressed instead of leaving it to the artifact filename.
+
 Usage::
 
     python benchmarks/check_serving_regression.py \
         benchmarks/results/BENCH_serving.json \
-        benchmarks/baselines/BENCH_serving_baseline.json
+        benchmarks/baselines/BENCH_serving_baseline.json \
+        --label serving
 """
 
 from __future__ import annotations
@@ -26,19 +33,26 @@ import sys
 from pathlib import Path
 
 
-def check(current_path: Path, baseline_path: Path, tolerance: float) -> int:
+def check(
+    current_path: Path, baseline_path: Path, tolerance: float, label: str = ""
+) -> int:
     current = json.loads(current_path.read_text())
     baseline = json.loads(baseline_path.read_text())
+    label = label or current_path.stem.replace("BENCH_", "") or "serving"
 
     failures = []
     rows = []
     for key, base_cfg in sorted(baseline["configs"].items()):
         cur_cfg = current["configs"].get(key)
         if cur_cfg is None:
-            failures.append(f"{key}: present in baseline but missing from the snapshot")
+            failures.append(
+                f"[{label}] {key}: present in baseline but missing from the snapshot"
+            )
             continue
         if not cur_cfg.get("identical", False):
-            failures.append(f"{key}: engine output diverged from sequential execution")
+            failures.append(
+                f"[{label}] {key}: optimised output diverged from the reference arm"
+            )
         floor = base_cfg["speedup"] * (1.0 - tolerance)
         got = cur_cfg["speedup"]
         status = "ok" if got >= floor else "REGRESSED"
@@ -46,12 +60,11 @@ def check(current_path: Path, baseline_path: Path, tolerance: float) -> int:
                     f"(floor {floor:.2f}) -> {status}")
         if got < floor:
             failures.append(
-                f"{key}: speedup {got:.2f} fell >{tolerance:.0%} below baseline "
-                f"{base_cfg['speedup']:.2f}"
+                f"[{label}] {key}: speedup {got:.2f} fell >{tolerance:.0%} below "
+                f"baseline {base_cfg['speedup']:.2f}"
             )
 
     extra = sorted(set(current["configs"]) - set(baseline["configs"]))
-    label = current_path.stem.replace("BENCH_", "") or "serving"
     print(f"{label} perf gate (tolerance {tolerance:.0%}, "
           f"snapshot from {current.get('cpu_count')}-core runner):")
     print("\n".join(rows))
@@ -59,22 +72,25 @@ def check(current_path: Path, baseline_path: Path, tolerance: float) -> int:
         print(f"  {key}: not in baseline (ignored)")
 
     if failures:
-        print("\nFAIL:", file=sys.stderr)
+        print(f"\nFAIL [{label}]:", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print("\nall configs within tolerance")
+    print(f"\n[{label}] all configs within tolerance")
     return 0
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("current", type=Path, help="freshly generated BENCH_serving.json")
+    parser.add_argument("current", type=Path, help="freshly generated BENCH_<suite>.json")
     parser.add_argument("baseline", type=Path, help="committed baseline JSON")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional speedup regression (default 0.20)")
+    parser.add_argument("--label", default="",
+                        help="suite name used in gate messages (default: derived "
+                             "from the snapshot filename)")
     args = parser.parse_args(argv)
-    return check(args.current, args.baseline, args.tolerance)
+    return check(args.current, args.baseline, args.tolerance, label=args.label)
 
 
 if __name__ == "__main__":

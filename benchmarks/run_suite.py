@@ -1,0 +1,161 @@
+"""One entrypoint for every CI benchmark suite: gate → snapshot → regression check.
+
+The CI ``bench`` job is a matrix over ``{serving, plan, fused, process}``;
+each leg runs this script with the suite name, which performs the three
+steps the old hand-unrolled workflow blocks duplicated per suite:
+
+1. **acceptance gate** — the suite's pytest ``speedup`` tests (they skip
+   themselves on runners without enough cores);
+2. **snapshot** — run the benchmark script to emit
+   ``benchmarks/results/BENCH_<suite>.json`` (uploaded as the CI artifact);
+3. **regression check** — ``check_serving_regression.py`` against the
+   committed ``benchmarks/baselines/BENCH_<suite>_baseline.json``, labelled
+   with the suite name so a failing matrix leg says what regressed.
+
+Self-contained: invoked as ``python benchmarks/run_suite.py <suite>`` with
+no ``PYTHONPATH`` — it locates the repo's ``src`` itself and forwards it to
+the benchmark subprocesses.
+
+Usage::
+
+    python benchmarks/run_suite.py serving
+    python benchmarks/run_suite.py process --skip-gate --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+SRC_DIR = REPO_ROOT / "src"
+
+# The checker is a sibling stdlib-only script; make it importable no matter
+# where this entrypoint was invoked from.
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+import check_serving_regression  # noqa: E402
+
+
+@dataclass(frozen=True)
+class Suite:
+    """One benchmark suite: script, gate selection, snapshot and baseline."""
+
+    name: str
+    script: str
+    #: pytest -k expression selecting the acceptance-gate tests.
+    gate_expr: str = "speedup"
+
+    @property
+    def script_path(self) -> Path:
+        return BENCH_DIR / self.script
+
+    @property
+    def baseline_path(self) -> Path:
+        return BENCH_DIR / "baselines" / f"BENCH_{self.name}_baseline.json"
+
+    def snapshot_path(self, results_dir: Path) -> Path:
+        return results_dir / f"BENCH_{self.name}.json"
+
+
+SUITES: Dict[str, Suite] = {
+    suite.name: suite
+    for suite in (
+        Suite("serving", "bench_serving.py"),
+        Suite("plan", "bench_plan.py"),
+        Suite("fused", "bench_fused.py"),
+        Suite("process", "bench_process.py"),
+    )
+}
+
+
+def _child_env() -> Dict[str, str]:
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = str(SRC_DIR) + (os.pathsep + existing if existing else "")
+    return env
+
+
+def _run(step: str, command: List[str]) -> int:
+    print(f"\n=== {step}: {' '.join(command)}", flush=True)
+    return subprocess.call(command, cwd=str(REPO_ROOT), env=_child_env())
+
+
+def run_suite(
+    suite: Suite,
+    results_dir: Path,
+    repeats: Optional[int] = None,
+    tolerance: float = 0.20,
+    skip_gate: bool = False,
+    skip_check: bool = False,
+) -> int:
+    if skip_gate:
+        print(f"=== gate [{suite.name}]: skipped (--skip-gate)")
+    else:
+        code = _run(
+            f"gate [{suite.name}]",
+            [sys.executable, "-m", "pytest", str(suite.script_path), "-q",
+             "-k", suite.gate_expr],
+        )
+        # pytest exit code 5 = no tests collected: a -k expression that
+        # selects nothing is a wiring bug, fail loudly rather than greenly.
+        if code != 0:
+            print(f"error: acceptance gate failed for suite {suite.name!r}",
+                  file=sys.stderr)
+            return code or 1
+
+    results_dir.mkdir(parents=True, exist_ok=True)
+    snapshot = suite.snapshot_path(results_dir)
+    command = [sys.executable, str(suite.script_path), "--json", str(snapshot)]
+    if repeats is not None:
+        command += ["--repeats", str(repeats)]
+    code = _run(f"snapshot [{suite.name}]", command)
+    if code != 0:
+        print(f"error: snapshot emission failed for suite {suite.name!r}",
+              file=sys.stderr)
+        return code
+    if not snapshot.exists():
+        print(f"error: {snapshot} was not written", file=sys.stderr)
+        return 1
+
+    if skip_check:
+        print(f"=== check [{suite.name}]: skipped (--skip-check)")
+        return 0
+    print(f"\n=== check [{suite.name}] vs {suite.baseline_path.name}", flush=True)
+    return check_serving_regression.check(
+        snapshot, suite.baseline_path, tolerance, label=suite.name
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("suite", choices=sorted(SUITES), help="benchmark suite to run")
+    parser.add_argument("--results-dir", type=Path, default=BENCH_DIR / "results",
+                        help="where BENCH_<suite>.json lands (default benchmarks/results)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="forwarded to the benchmark script's --repeats")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="regression-check tolerance (default 0.20)")
+    parser.add_argument("--skip-gate", action="store_true",
+                        help="skip the pytest acceptance gate")
+    parser.add_argument("--skip-check", action="store_true",
+                        help="skip the baseline regression check")
+    args = parser.parse_args(argv)
+    return run_suite(
+        SUITES[args.suite],
+        results_dir=args.results_dir,
+        repeats=args.repeats,
+        tolerance=args.tolerance,
+        skip_gate=args.skip_gate,
+        skip_check=args.skip_check,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

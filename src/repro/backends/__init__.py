@@ -10,6 +10,11 @@ through an :class:`ArrayBackend` resolved by name from the registry:
     Row-shards large-``M`` sliced multiplies across a persistent thread
     pool; NumPy's GEMM releases the GIL, so this scales with cores while
     staying bit-identical to ``numpy``.
+``process``
+    Row-shards whole plan executions across persistent OS worker processes
+    over shared memory — one IPC round-trip per execution, no GIL ceiling,
+    still bit-identical to ``numpy``.  Unavailable in environments without
+    POSIX shared memory.
 ``torch`` / ``cupy``
     Optional device adapters, resolvable only when their libraries are
     installed; the registry reports them as unavailable otherwise.
@@ -24,6 +29,7 @@ from repro.backends.arena import ScratchArena
 from repro.backends.base import ArrayBackend
 from repro.backends.cupy_backend import CupyBackend
 from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.process_backend import ProcessBackend
 from repro.backends.registry import (
     available_backends,
     default_backend,
@@ -41,6 +47,7 @@ __all__ = [
     "CupyBackend",
     "ScratchArena",
     "NumpyBackend",
+    "ProcessBackend",
     "ThreadedBackend",
     "TorchBackend",
     "available_backends",

@@ -38,11 +38,14 @@ temporaries there instead of allocating per call.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.backends.arena import ScratchArena
+
+if TYPE_CHECKING:  # imported lazily: repro.plan depends on repro.backends
+    from repro.plan.ir import KronPlan
 
 
 class ArrayBackend:
@@ -57,6 +60,30 @@ class ArrayBackend:
 
     #: One-line human description shown by ``fastkron-repro backends``.
     description: str = ""
+
+    #: Whether float64 results are bit-for-bit identical to the ``numpy``
+    #: reference.  True for every backend that runs the host BLAS over row
+    #: shards (numpy, threaded, process); device adapters (torch, cupy) run
+    #: a different GEMM implementation and are only tolerance-comparable.
+    bit_identical: bool = True
+
+    #: Backends that execute a whole compiled :class:`~repro.plan.ir.KronPlan`
+    #: in one call set this; the :class:`~repro.plan.executor.PlanExecutor`
+    #: then hands over the entire group walk via :meth:`execute_plan` — one
+    #: backend round-trip per execution instead of one dispatch per group.
+    supports_plan_execution: bool = False
+
+    #: Backends whose :meth:`workspace_empty` buffers other processes can see
+    #: set this; the serving engine then row-stacks coalesced batches
+    #: straight into such a buffer instead of ``np.concatenate``-ing first.
+    supports_shared_staging: bool = False
+
+    #: Backends whose workspace lives in explicitly managed memory (shm
+    #: segments that :meth:`release_workspace` *unmaps*) set this; the
+    #: executor then returns owned copies instead of workspace-aliasing
+    #: views, so no caller can ever hold a view into unmapped pages after
+    #: ``executor.close()``.
+    workspace_requires_copy_out: bool = False
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -133,6 +160,41 @@ class ArrayBackend:
         pinned host memory here so transfers overlap.
         """
         return np.empty(shape, dtype=dtype)
+
+    def workspace_empty(self, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        """Allocate a *long-lived* workspace buffer (plan executor, staging).
+
+        Unlike :meth:`empty` — whose results are handed to callers and freed
+        by the garbage collector — workspace buffers have an owner that
+        promises to call :meth:`release_workspace` when done, so a backend
+        may place them in memory needing explicit cleanup (the process
+        backend allocates shared-memory segments here).
+        """
+        return self.empty(shape, dtype)
+
+    def release_workspace(self, buffer: np.ndarray) -> None:
+        """Release a buffer obtained from :meth:`workspace_empty`."""
+
+    def execute_plan(
+        self,
+        plan: "KronPlan",
+        x: np.ndarray,
+        factors: Sequence[np.ndarray],
+        buffers: Dict[str, np.ndarray],
+        rows: int,
+    ) -> Optional[np.ndarray]:
+        """Run a whole compiled plan's group walk in one backend call.
+
+        Only meaningful on backends with :attr:`supports_plan_execution`.
+        ``buffers`` are the executor's full-size ping-pong workspace arrays
+        (allocated via :meth:`workspace_empty`); operands are pre-validated
+        and already promoted to the plan's compute dtype.  Returns the final
+        intermediate as a view of the plan's target buffer, or ``None`` to
+        decline (problem too small to amortise the dispatch, workspace not
+        backend-managed), in which case the executor falls back to its
+        in-process group walk — which must be bit-identical.
+        """
+        raise NotImplementedError
 
     def close(self) -> None:
         """Release persistent resources (thread pools, device handles)."""

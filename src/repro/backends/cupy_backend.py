@@ -30,6 +30,9 @@ class CupyBackend(ArrayBackend):
 
     name = "cupy"
     description = "CuPy GEMM on the default CUDA device"
+    # cuBLAS results differ from host BLAS in low-order bits; the parity
+    # suite compares device adapters to tolerance, not exactly.
+    bit_identical = False
 
     def __init__(self) -> None:
         if not _CUPY_AVAILABLE:  # pragma: no cover - registry gates this

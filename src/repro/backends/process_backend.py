@@ -1,0 +1,564 @@
+"""The process backend: row-sharded plan execution across OS worker processes.
+
+The ``threaded`` backend's ceiling is the GIL: BLAS releases it, but on deep
+small-factor chains the per-step Python work — reshapes, view arithmetic,
+the swapped output write — dominates the tiny GEMMs and serialises every
+worker thread.  This backend moves the row shards into *processes*, where
+each worker's interpreter runs truly in parallel, and pays for it with
+shared memory instead of serialisation:
+
+* ``X``, the factors and the ping-pong workspace live in
+  :mod:`multiprocessing.shared_memory` segments (see
+  :mod:`repro.backends.shm`), mapped into every worker — the descriptors
+  travel over the pipes, the data never does;
+* workers are persistent and hold *serialised per-shard plan segments*
+  (:func:`repro.plan.lowering.lower_to_row_shards`): the parent sends each
+  worker its shard's :class:`~repro.plan.ir.KronPlan` once per schedule,
+  after which an execution is a single ``{fingerprint, row range, buffer
+  descriptors}`` message — **one IPC round-trip per execute**, not per step;
+* each worker interprets its shard exactly as the
+  :class:`~repro.plan.executor.PlanExecutor` would — whole fused groups
+  through :func:`~repro.backends.base.fused_chain_rows` with the plan's row
+  blocks, single steps through :func:`~repro.backends.base.sliced_gemm_into`
+  — over its ``[start, stop)`` row slice of the shared buffers, so results
+  are bit-identical to the ``numpy`` reference (BLAS computes GEMM output
+  rows independently; the same argument that makes the threaded backend
+  exact).
+
+Small problems (fewer than ``min_parallel_rows`` rows) and the direct
+primitive calls (:meth:`sliced_multiply_into` outside a plan) run in-process
+through the same NumPy kernels: the dispatch/copy-in cost is only amortised
+by a whole schedule, never by one step.
+
+Failure modes are surfaced, not hung: a worker dying mid-execute (or a reply
+timing out) raises :class:`~repro.exceptions.BackendError` and tears the
+pool down; the next execution starts a fresh pool against the still-owned
+segments.  :meth:`close` shuts the workers down and unlinks every segment.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+import time
+import traceback
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import multiprocessing
+import numpy as np
+
+from repro.backends.arena import ScratchArena
+from repro.backends.base import ArrayBackend, fused_chain_rows, sliced_gemm_into
+from repro.backends.shm import (
+    SegmentTable,
+    SharedFactorStore,
+    attach_array,
+    disable_tracker_registration,
+    drop_attachments,
+    shared_memory_available,
+)
+from repro.exceptions import BackendError
+
+__all__ = ["ProcessBackend"]
+
+#: How many deserialised shard plans each worker retains.  The parent
+#: mirrors the eviction (same capacity, same insertion-ordered LRU fed by
+#: the same message sequence), so it always knows exactly which fingerprints
+#: a worker still holds and re-sends payloads the worker has dropped.
+WORKER_PLAN_CACHE = 32
+
+
+def _default_start_method() -> str:
+    # fork starts workers in milliseconds and inherits the loaded numpy; the
+    # backend only ever runs fresh numpy work in children, which modern BLAS
+    # builds re-initialise after fork.  Platforms without fork use spawn.
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class _Worker:
+    """Parent-side handle of one worker process."""
+
+    __slots__ = ("index", "process", "connection", "plans", "pending_retired")
+
+    def __init__(self, index: int, process, connection) -> None:
+        self.index = index
+        self.process = process
+        self.connection = connection
+        #: Parent-side mirror of the worker's plan LRU (see
+        #: :data:`WORKER_PLAN_CACHE`): insertion-ordered fingerprints,
+        #: evicted with identical logic, so membership here means the worker
+        #: still holds the deserialised shard plan.
+        self.plans: "OrderedDict[str, bool]" = OrderedDict()
+        #: Segment names unlinked by the parent that this worker has not yet
+        #: been told to drop (delivered with its next message).
+        self.pending_retired: List[str] = []
+
+    def mark_plan_sent(self, fingerprint: str) -> None:
+        self.plans[fingerprint] = True
+        self.plans.move_to_end(fingerprint)
+        while len(self.plans) > WORKER_PLAN_CACHE:
+            self.plans.popitem(last=False)
+
+
+class ProcessBackend(ArrayBackend):
+    """Row-sharded plan execution on a persistent process pool over shared memory.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker process count; defaults to ``os.cpu_count()``.
+    min_parallel_rows:
+        Executions with fewer rows run in-process (bit-identically); below
+        this the IPC round-trip and the copy-in exceed the compute.
+    start_method:
+        ``multiprocessing`` start method (``"fork"``/``"spawn"``/
+        ``"forkserver"``); defaults to fork where available, spawn otherwise.
+        Results are identical either way — the parity suite runs both.
+    op_timeout:
+        Seconds to wait for a worker's reply before declaring the pool dead
+        (guards CI against silent hangs).
+
+    The registry instantiates the singleton with defaults; the environment
+    variables ``FASTKRON_PROCESS_WORKERS``, ``FASTKRON_PROCESS_MIN_ROWS``
+    and ``FASTKRON_PROCESS_START_METHOD`` override them, which is how CLI
+    runs (``fastkron-repro --backend process ...``) configure the pool.
+    """
+
+    name = "process"
+    description = "row-sharded plan execution across OS processes over shared memory"
+    supports_plan_execution = True
+    supports_shared_staging = True
+    # Workspace segments are unmapped on release; results must leave the
+    # executor as owned copies, never shm-aliasing views.
+    workspace_requires_copy_out = True
+
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        min_parallel_rows: Optional[int] = None,
+        start_method: Optional[str] = None,
+        op_timeout: float = 120.0,
+    ):
+        # Environment variables fill in only *omitted* arguments, never
+        # override explicit ones (they exist for registry/CLI instantiation,
+        # where no constructor arguments can be passed).
+        if num_workers is None:
+            num_workers = int(os.environ.get("FASTKRON_PROCESS_WORKERS", 0)) or (
+                os.cpu_count() or 1
+            )
+        if min_parallel_rows is None:
+            min_parallel_rows = int(os.environ.get("FASTKRON_PROCESS_MIN_ROWS", 256))
+        if start_method is None:
+            start_method = os.environ.get("FASTKRON_PROCESS_START_METHOD") or None
+        self.num_workers = max(1, int(num_workers))
+        self.min_parallel_rows = int(min_parallel_rows)
+        self.start_method = start_method or _default_start_method()
+        self.op_timeout = float(op_timeout)
+        self._ctx = multiprocessing.get_context(self.start_method)
+        self._workers: List[_Worker] = []
+        self._segments = SegmentTable()
+        self._factors = SharedFactorStore(self._segments)
+        #: Flat per-dtype staging segments for inputs that are not already
+        #: shm-resident; grown monotonically, viewed per call.
+        self._staging: Dict[str, np.ndarray] = {}
+        #: (plan, workers) → (fingerprint, per-worker shard-plan payloads);
+        #: keyed by plan *value* (KronPlan hashes by content), so id reuse
+        #: can never resurrect a stale schedule.
+        self._shard_payloads: "OrderedDict[Tuple[Any, int], Tuple[str, List[dict]]]" = (
+            OrderedDict()
+        )
+        #: Guards cheap shared state (staging dict, payload cache, closed
+        #: flag); never held across IPC, so workspace_empty/release callers
+        #: are never blocked behind an in-flight execution.
+        self._lock = threading.RLock()
+        #: Serialises whole executions (dispatch through receive) and owns
+        #: the worker pool; close() takes it to drain in-flight work first.
+        self._exec_lock = threading.Lock()
+        self._closed = False
+        self._atexit_registered = False
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def is_available(cls) -> bool:
+        return shared_memory_available()
+
+    # ------------------------------------------------------------------ #
+    # in-process primitives: direct (non-plan) calls never pay the IPC +
+    # copy-in of a worker round-trip for a single step; they run the same
+    # NumPy kernels the workers do, so numerics are identical either way.
+    # ------------------------------------------------------------------ #
+    def sliced_multiply_into(
+        self,
+        x: np.ndarray,
+        f: np.ndarray,
+        out: np.ndarray,
+        m: int,
+        k: int,
+        p: int,
+        q: int,
+        arena: Optional[ScratchArena] = None,
+    ) -> np.ndarray:
+        return sliced_gemm_into(x, f, out, m, k, p, q, arena=arena)
+
+    def fused_sliced_multiply_into(
+        self,
+        x: np.ndarray,
+        factors: Sequence[np.ndarray],
+        out: np.ndarray,
+        m: int,
+        k: int,
+        row_block: int = 0,
+        arena: Optional[ScratchArena] = None,
+    ) -> np.ndarray:
+        if arena is None:
+            arena = ScratchArena()
+        return fused_chain_rows(x, factors, out, k, row_block, arena)
+
+    # ------------------------------------------------------------------ #
+    # workspace management: plan executors and the serving engine allocate
+    # their long-lived buffers here, which is what puts them in shared
+    # memory — workers then receive descriptors instead of copies.
+    # ------------------------------------------------------------------ #
+    def workspace_empty(self, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        with self._lock:
+            if self._closed:
+                raise BackendError("process backend is closed")
+            self._register_atexit()
+        return self._segments.create(tuple(int(s) for s in shape), dtype)
+
+    def release_workspace(self, buffer: np.ndarray) -> None:
+        with self._lock:
+            self._segments.release(buffer)
+
+    def segment_count(self) -> int:
+        """Live shared-memory segments owned by this backend (diagnostics)."""
+        return len(self._segments)
+
+    # ------------------------------------------------------------------ #
+    # whole-plan execution
+    # ------------------------------------------------------------------ #
+    def execute_plan(
+        self,
+        plan,
+        x: np.ndarray,
+        factors: Sequence[np.ndarray],
+        buffers: Dict[str, np.ndarray],
+        rows: int,
+    ) -> Optional[np.ndarray]:
+        if rows < self.min_parallel_rows or self.num_workers < 2:
+            return None
+        buffer_specs = {
+            name: self._segments.spec_for(buf) for name, buf in buffers.items()
+        }
+        if any(spec is None for spec in buffer_specs.values()):
+            # The workspace was not allocated through workspace_empty
+            # (e.g. an executor built before the backend switch): the
+            # workers cannot see it, run in-process instead.
+            return None
+        with self._exec_lock:
+            with self._lock:
+                if self._closed:
+                    raise BackendError("process backend is closed")
+            self._ensure_workers()
+            x_spec = self._segments.spec_for(x[:rows] if x.shape[0] != rows else x)
+            if x_spec is None:
+                staged = self._stage_input(x, rows)
+                x_spec = self._segments.spec_for(staged)
+                assert x_spec is not None
+            factor_specs = [self._factors.get(f) for f in factors]
+            fingerprint, payloads = self._shard_plans(plan)
+            # Every worker keeps its own attachment cache, so every worker
+            # must hear about every unlinked segment — queued per worker and
+            # delivered with its next message.
+            retired = self._segments.drain_retired()
+            if retired:
+                for worker in self._workers:
+                    worker.pending_retired.extend(retired)
+
+            from repro.plan.lowering import shard_rows
+
+            bounds = shard_rows(rows, self.num_workers)
+            dispatched: List[_Worker] = []
+            for worker, (start, stop) in zip(self._workers, bounds):
+                message = {
+                    "op": "execute",
+                    "fingerprint": fingerprint,
+                    "start": start,
+                    "stop": stop,
+                    "x": x_spec,
+                    "buffers": buffer_specs,
+                    "factors": factor_specs,
+                    "retired": worker.pending_retired,
+                }
+                if fingerprint not in worker.plans:
+                    message["plan"] = payloads[worker.index]
+                self._send(worker, message)
+                worker.pending_retired = []
+                worker.mark_plan_sent(fingerprint)
+                dispatched.append(worker)
+            errors = []
+            for worker in dispatched:
+                reply = self._receive(worker)
+                if not reply.get("ok"):
+                    # An errored message may or may not have reached the
+                    # worker's LRU bookkeeping, so the mirror's order is no
+                    # longer trustworthy.  Clearing it re-sends payloads
+                    # from scratch; re-sent entries land newest in the
+                    # worker's LRU, so its stale extras are evicted first
+                    # and the two sides reconverge without ever omitting a
+                    # payload the worker lacks.
+                    worker.plans.clear()
+                    errors.append(reply.get("error", "unknown worker error"))
+            if errors:
+                raise BackendError(
+                    f"process backend execution failed in {len(errors)} worker(s): "
+                    f"{errors[0]}"
+                )
+        last = plan.steps[plan.groups[-1][-1]]
+        return buffers[last.target][:rows, : last.out_cols]
+
+    def _stage_input(self, x: np.ndarray, rows: int) -> np.ndarray:
+        """Copy ``x`` into the per-dtype staging segment; returns the shm view."""
+        cols = x.shape[1]
+        dtype = x.dtype
+        needed = rows * cols * dtype.itemsize
+        with self._lock:
+            flat = self._staging.get(dtype.str)
+            if flat is None or flat.nbytes < needed:
+                if flat is not None:
+                    self._segments.release(flat)
+                capacity = max(needed, 1 << 16)
+                flat = self._segments.create((capacity,), np.uint8)
+                self._staging[dtype.str] = flat
+        view = np.ndarray((rows, cols), dtype=dtype, buffer=flat.data)
+        np.copyto(view, x[:rows])
+        return view
+
+    def _shard_plans(self, plan) -> Tuple[str, List[dict]]:
+        """Fingerprint + per-worker shard-plan payloads for ``plan`` (cached)."""
+        key = (plan, self.num_workers)
+        with self._lock:
+            cached = self._shard_payloads.get(key)
+            if cached is not None:
+                self._shard_payloads.move_to_end(key)
+                return cached
+        from repro.plan.lowering import lower_to_row_shards
+
+        fingerprint = plan.fingerprint()
+        shards = lower_to_row_shards(plan, self.num_workers)
+        # Capacity lowering can yield fewer shards than workers only when
+        # plan.m < num_workers; execution bounds shrink at least as fast
+        # (rows <= plan.m), so a worker without a payload is never
+        # dispatched and no padding is needed.
+        payloads = [shard.plan.to_dict() for shard in shards]
+        with self._lock:
+            self._shard_payloads[key] = (fingerprint, payloads)
+            while len(self._shard_payloads) > 64:
+                self._shard_payloads.popitem(last=False)
+        return fingerprint, payloads
+
+    # ------------------------------------------------------------------ #
+    # pool management
+    # ------------------------------------------------------------------ #
+    def _register_atexit(self) -> None:
+        if not self._atexit_registered:
+            self._atexit_registered = True
+            atexit.register(self.close)
+
+    def _ensure_workers(self) -> None:
+        if self._workers:
+            return
+        self._register_atexit()
+        workers: List[_Worker] = []
+        for index in range(self.num_workers):
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn,),
+                name=f"fastkron-shard-{index}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            workers.append(_Worker(index, process, parent_conn))
+        self._workers = workers
+
+    def _send(self, worker: _Worker, message: dict) -> None:
+        try:
+            worker.connection.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            self._abort_pool()
+            raise BackendError(
+                f"process backend worker {worker.index} is gone "
+                f"(pid {worker.process.pid}): {exc}"
+            ) from exc
+
+    def _receive(self, worker: _Worker) -> dict:
+        deadline = time.monotonic() + self.op_timeout
+        while True:
+            try:
+                if worker.connection.poll(0.05):
+                    return worker.connection.recv()
+            except (EOFError, OSError) as exc:
+                self._abort_pool()
+                raise BackendError(
+                    f"process backend worker {worker.index} died mid-execution "
+                    f"(pid {worker.process.pid}, exitcode {worker.process.exitcode})"
+                ) from exc
+            if not worker.process.is_alive():
+                self._abort_pool()
+                raise BackendError(
+                    f"process backend worker {worker.index} died mid-execution "
+                    f"(pid {worker.process.pid}, exitcode {worker.process.exitcode})"
+                )
+            if time.monotonic() > deadline:
+                self._abort_pool()
+                raise BackendError(
+                    f"process backend worker {worker.index} did not reply within "
+                    f"{self.op_timeout:.0f}s"
+                )
+
+    def _abort_pool(self) -> None:
+        """Tear the pool down after a failure; segments stay owned."""
+        workers, self._workers = self._workers, []
+        for worker in workers:
+            try:
+                worker.connection.close()
+            except OSError:
+                pass
+            if worker.process.is_alive():
+                worker.process.terminate()
+        for worker in workers:
+            worker.process.join(timeout=5.0)
+
+    def _shutdown_workers(self) -> None:
+        workers, self._workers = self._workers, []
+        for worker in workers:
+            try:
+                worker.connection.send({"op": "close"})
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            try:
+                worker.connection.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        """Stop the workers and unlink every owned shared-memory segment.
+
+        Takes the execution lock first, so an in-flight execution drains
+        before the pool goes down; idempotent afterwards.
+        """
+        with self._exec_lock:
+            with self._lock:
+                if self._closed:
+                    return
+                self._closed = True
+                self._staging.clear()
+                self._shard_payloads.clear()
+            self._shutdown_workers()
+            self._factors.clear()
+            self._segments.close_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ProcessBackend workers={self.num_workers} "
+            f"start_method={self.start_method!r} segments={len(self._segments)}>"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# worker process
+# --------------------------------------------------------------------------- #
+def _run_shard(plan, x, factors, buffers, start, stop, arena) -> None:
+    """Interpret one plan over rows ``[start, stop)`` of the shared buffers.
+
+    The *same* group walk as :class:`~repro.plan.executor.PlanExecutor`
+    (shared :func:`~repro.plan.executor.run_groups`, so the semantics cannot
+    drift): multi-step groups run the fused row-blocked chain, single-step
+    groups one sliced GEMM, ping-ponging between the shared workspace
+    buffers the plan assigned.  Writes land directly in the shard's row
+    slice; no result travels back over the pipe.
+    """
+    from repro.plan.executor import run_groups
+
+    rows = stop - start
+    if rows <= 0:
+        return
+
+    def dest_of(gi, last):
+        return buffers[last.target][start:stop, : last.out_cols]
+
+    def fused(src, group_factors, dest, k, row_block):
+        fused_chain_rows(src, group_factors, dest, k, row_block, arena)
+
+    def single(src, factor, dest, step):
+        sliced_gemm_into(src, factor, dest, rows, step.k, step.p, step.q, arena=arena)
+
+    run_groups(plan, x[start:stop], factors, dest_of, fused, single)
+
+
+def _worker_main(connection) -> None:
+    """Worker loop: attach segments, interpret shard plans, reply per message."""
+    from repro.plan.ir import KronPlan
+
+    disable_tracker_registration()
+    arena = ScratchArena()
+    plans: "OrderedDict[str, KronPlan]" = OrderedDict()
+    segments: OrderedDict = OrderedDict()
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        op = message.get("op")
+        if op == "close":
+            break
+        if op == "ping":
+            connection.send({"ok": True})
+            continue
+        if op == "crash":  # test hook: simulate a hard worker death
+            os._exit(17)
+        try:
+            drop_attachments(segments, message.get("retired", ()))
+            fingerprint = message["fingerprint"]
+            payload = message.get("plan")
+            if payload is not None:
+                plans[fingerprint] = KronPlan.from_dict(payload)
+            plan = plans[fingerprint]
+            # Refresh on every use, mirroring the parent's bookkeeping
+            # (_Worker.mark_plan_sent): both sides see the same message
+            # sequence, so both LRUs evict identically and the parent knows
+            # exactly when a payload must be re-sent.
+            plans.move_to_end(fingerprint)
+            while len(plans) > WORKER_PLAN_CACHE:
+                plans.popitem(last=False)
+            x = attach_array(segments, message["x"])
+            buffers = {
+                name: attach_array(segments, spec)
+                for name, spec in message["buffers"].items()
+            }
+            factors = [attach_array(segments, spec) for spec in message["factors"]]
+            _run_shard(plan, x, factors, buffers, message["start"], message["stop"], arena)
+            connection.send({"ok": True})
+        except BaseException as exc:  # surfaced to the parent as BackendError
+            try:
+                connection.send(
+                    {
+                        "ok": False,
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "traceback": traceback.format_exc(),
+                    }
+                )
+            except (BrokenPipeError, OSError):
+                break
+    for segment in segments.values():
+        segment.close()

@@ -26,6 +26,7 @@ from typing import Dict, Iterator, List, Tuple, Type, Union
 from repro.backends.base import ArrayBackend
 from repro.backends.cupy_backend import CupyBackend
 from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.process_backend import ProcessBackend
 from repro.backends.threaded import ThreadedBackend
 from repro.backends.torch_backend import TorchBackend
 from repro.exceptions import BackendError
@@ -137,5 +138,6 @@ def use_backend(backend: BackendLike) -> Iterator[ArrayBackend]:
 
 register_backend(NumpyBackend)
 register_backend(ThreadedBackend)
+register_backend(ProcessBackend)
 register_backend(TorchBackend)
 register_backend(CupyBackend)

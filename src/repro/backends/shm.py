@@ -1,0 +1,357 @@
+"""Shared-memory plumbing for the process backend.
+
+The process backend's whole design rests on one fact: a
+:class:`multiprocessing.shared_memory.SharedMemory` segment mapped into
+several processes is *the same physical pages* in all of them, so a NumPy
+array constructed over the segment's buffer is readable and writable from
+every worker with zero serialisation.  This module owns that plumbing:
+
+:class:`ShmArraySpec`
+    The serialisable descriptor of a shm-backed array — segment name, view
+    shape, dtype.  It is what actually travels over the worker pipes; the
+    array data never does.
+:class:`SharedArray`
+    Parent-side owner of one segment viewed as an ndarray (created,
+    eventually unlinked).
+:class:`SegmentTable`
+    The parent-side registry of every segment a backend owns.  It resolves
+    *live arrays back to descriptors* (``spec_for``), which is what makes
+    zero-copy hand-off work: when a caller passes an array that is already a
+    prefix view of a registered segment — the plan executor's workspace, the
+    serving engine's batch-staging buffer — the backend ships a descriptor
+    instead of copying.  It also tracks *retired* segment names so workers
+    can drop stale attachments deterministically.
+:class:`SharedFactorStore`
+    Pins host factor arrays in shared memory across calls.  Serving
+    workloads present the same factor matrices thousands of times; pinning
+    them once (keyed by the host array's identity, evicted when the host
+    array is garbage-collected) means repeated requests pay zero factor
+    traffic.
+:func:`attach_array`
+    Worker-side attach: map a descriptor to a live ndarray view, keeping a
+    bounded cache of open segments per worker.
+
+Lifetime rules: the *parent* creates and unlinks every segment; workers only
+attach and detach.  Worker attachments are unregistered from the
+``resource_tracker`` so a worker's exit never unlinks (or warns about)
+segments the parent still owns.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ShmArraySpec",
+    "SharedArray",
+    "SegmentTable",
+    "SharedFactorStore",
+    "attach_array",
+    "shared_memory_available",
+]
+
+_PROBE_RESULT: Optional[bool] = None
+
+
+def shared_memory_available() -> bool:
+    """Whether this environment can create shared-memory segments.
+
+    Probed once by actually creating (and immediately unlinking) a tiny
+    segment: some sandboxes mount no ``/dev/shm`` or forbid the syscalls, in
+    which case the process backend must report itself unavailable instead of
+    failing mid-execution.
+    """
+    global _PROBE_RESULT
+    if _PROBE_RESULT is None:
+        try:
+            probe = shared_memory.SharedMemory(create=True, size=16)
+            probe.close()
+            probe.unlink()
+            _PROBE_RESULT = True
+        except Exception:
+            _PROBE_RESULT = False
+    return _PROBE_RESULT
+
+
+@dataclass(frozen=True)
+class ShmArraySpec:
+    """Serialisable handle of a shm-backed ndarray view.
+
+    ``shape`` is the *view* shape, which may cover only a prefix of the
+    segment (the staging buffers are flat allocations viewed per call).
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+
+class SharedArray:
+    """One parent-owned shared-memory segment viewed as an ndarray."""
+
+    def __init__(self, shape: Tuple[int, ...], dtype) -> None:
+        dtype = np.dtype(dtype)
+        count = 1
+        for dim in shape:
+            count *= int(dim)
+        self.shm = shared_memory.SharedMemory(create=True, size=max(1, count * dtype.itemsize))
+        self.array: np.ndarray = np.ndarray(shape, dtype=dtype, buffer=self.shm.buf)
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def spec(self) -> ShmArraySpec:
+        return ShmArraySpec(self.shm.name, tuple(self.array.shape), self.array.dtype.str)
+
+    def close(self) -> None:
+        """Release and unlink the segment (idempotent).
+
+        Closing *unmaps* the pages even if NumPy views over the buffer are
+        still alive (CPython's ``SharedMemory.close`` does not detect the
+        exports), so callers must guarantee no external view outlives this —
+        the executor enforces it by returning owned copies, never
+        workspace-aliasing views (``workspace_requires_copy_out``).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        # The ndarray view holds the buffer; drop it before closing the
+        # mapping or SharedMemory.close() raises BufferError.
+        self.array = None  # type: ignore[assignment]
+        try:
+            self.shm.close()
+        except Exception:
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass
+        except Exception:
+            pass
+
+
+class SegmentTable:
+    """Parent-side registry of owned segments, keyed by buffer address.
+
+    ``spec_for`` resolves any C-contiguous *prefix view* of a registered
+    array (same start address, fits inside the segment) to a descriptor —
+    the zero-copy fast path for workspace buffers and staging views.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[int, SharedArray] = {}
+        self._retired: List[str] = []
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _address(array: np.ndarray) -> int:
+        return array.__array_interface__["data"][0]
+
+    def create(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """Allocate a new registered segment; returns its ndarray view."""
+        segment = SharedArray(shape, dtype)
+        with self._lock:
+            self._segments[self._address(segment.array)] = segment
+        return segment.array
+
+    def spec_for(self, array: np.ndarray) -> Optional[ShmArraySpec]:
+        """Descriptor for ``array`` if it is a prefix view of an owned segment."""
+        if not isinstance(array, np.ndarray) or not array.flags["C_CONTIGUOUS"]:
+            return None
+        with self._lock:
+            segment = self._segments.get(self._address(array))
+        if segment is None or segment.array is None:
+            return None
+        if array.nbytes > segment.shm.size:
+            return None
+        return ShmArraySpec(segment.name, tuple(array.shape), array.dtype.str)
+
+    def release(self, array: np.ndarray) -> bool:
+        """Unlink the segment backing ``array``; remembers the retired name."""
+        if not isinstance(array, np.ndarray):
+            return False
+        with self._lock:
+            segment = self._segments.pop(self._address(array), None)
+            if segment is None:
+                return False
+            self._retired.append(segment.name)
+        segment.close()
+        return True
+
+    def drain_retired(self) -> List[str]:
+        """Names unlinked since the last drain (workers drop their attachments)."""
+        with self._lock:
+            retired, self._retired = self._retired, []
+        return retired
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return [segment.name for segment in self._segments.values()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+    def close_all(self) -> None:
+        with self._lock:
+            segments = list(self._segments.values())
+            self._segments.clear()
+            self._retired.clear()
+        for segment in segments:
+            segment.close()
+
+
+class SharedFactorStore:
+    """Pin factor matrices in shared memory across executions.
+
+    Entries are keyed by the host array's *identity* (``id``, shape, dtype)
+    — the same identity notion the serving engine's coalescing uses — and
+    evicted when the host array is garbage-collected (``weakref.finalize``)
+    or when the LRU capacity is exceeded.  A serving process multiplying
+    against the same model therefore copies each factor into shared memory
+    exactly once, no matter how many requests it serves.
+
+    Hits additionally verify a content checksum: mutating a factor in place
+    would otherwise keep serving the stale shm copy (every other backend
+    reads the live array).  A mismatch refreshes the pinned copy in place —
+    factors are small, so the per-call checksum is noise next to the GEMMs.
+    """
+
+    def __init__(self, table: SegmentTable, capacity: int = 256) -> None:
+        self._table = table
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[Tuple[int, Tuple[int, ...], str], Tuple[np.ndarray, int]]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @staticmethod
+    def _checksum(factor: np.ndarray) -> int:
+        import zlib
+
+        return zlib.adler32(np.ascontiguousarray(factor).view(np.uint8))
+
+    def get(self, factor: np.ndarray) -> ShmArraySpec:
+        """The shm descriptor of ``factor``, pinning a copy on first sight."""
+        key = (id(factor), tuple(factor.shape), factor.dtype.str)
+        checksum = self._checksum(factor)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                pinned, pinned_checksum = entry
+                self._entries.move_to_end(key)
+                spec = self._table.spec_for(pinned)
+                if spec is not None:
+                    if pinned_checksum != checksum:
+                        # The host array was mutated in place: refresh the
+                        # pinned copy so workers see the live values.
+                        np.copyto(pinned, factor)
+                        self._entries[key] = (pinned, checksum)
+                    return spec
+                del self._entries[key]  # segment was released externally
+        pinned = self._table.create(tuple(factor.shape), factor.dtype)
+        np.copyto(pinned, factor)
+        try:
+            weakref.finalize(factor, self._evict, key)
+        except TypeError:
+            pass  # non-weakref-able input: entry lives until LRU eviction
+        evicted: List[np.ndarray] = []
+        with self._lock:
+            self._entries[key] = (pinned, checksum)
+            while len(self._entries) > self.capacity:
+                _, (old, _) = self._entries.popitem(last=False)
+                evicted.append(old)
+        for old in evicted:
+            self._table.release(old)
+        spec = self._table.spec_for(pinned)
+        assert spec is not None
+        return spec
+
+    def _evict(self, key) -> None:
+        with self._lock:
+            entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._table.release(entry[0])
+
+    def clear(self) -> None:
+        with self._lock:
+            entries = [pinned for pinned, _ in self._entries.values()]
+            self._entries.clear()
+        for pinned in entries:
+            self._table.release(pinned)
+
+
+# --------------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------------- #
+def disable_tracker_registration() -> None:
+    """Worker-side: stop the resource tracker from adopting attached segments.
+
+    Attaching registers a segment with the process's resource tracker, which
+    then unlinks it (or warns about a "leak") when the worker exits — but
+    ownership is the parent's alone, and under the ``fork`` start method the
+    tracker is *shared* with the parent, so a per-attach ``unregister``
+    would strip the parent's own registration.  Workers never create
+    segments, so the clean fix is to disable registration outright in the
+    worker process.
+    """
+    try:  # pragma: no cover - exercised only inside worker processes
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register = lambda name, rtype: None  # type: ignore[assignment]
+    except Exception:
+        pass
+
+
+def attach_array(
+    cache: "OrderedDict[str, shared_memory.SharedMemory]",
+    spec: ShmArraySpec,
+    max_cached: int = 64,
+) -> np.ndarray:
+    """Worker-side view of a descriptor, via a bounded per-worker segment cache.
+
+    Segments are cached by name (attaching means an ``shm_open`` + ``mmap``
+    round-trip); views are rebuilt per call, which is free.  The cache is a
+    small LRU so a worker never holds more than ``max_cached`` mappings even
+    if the parent churns staging segments.
+    """
+    segment = cache.get(spec.name)
+    if segment is None:
+        segment = shared_memory.SharedMemory(name=spec.name)
+        cache[spec.name] = segment
+        while len(cache) > max_cached:
+            _, old = cache.popitem(last=False)
+            old.close()
+    else:
+        cache.move_to_end(spec.name)
+    return np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf)
+
+
+def drop_attachments(
+    cache: "OrderedDict[str, shared_memory.SharedMemory]", names: List[str]
+) -> None:
+    """Close cached attachments for segments the parent has retired."""
+    for name in names:
+        segment = cache.pop(name, None)
+        if segment is not None:
+            segment.close()

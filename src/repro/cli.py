@@ -14,8 +14,11 @@ Installed as the ``fastkron-repro`` console script::
     fastkron-repro --backend threaded bench-serve --requests 256 --rows 8
 
 The global ``--backend`` flag selects the execution backend (numpy,
-threaded, torch, cupy) for every numerical path of the invoked subcommand;
-``backends`` lists what is available in this environment.  ``serve`` drives
+threaded, process, torch, cupy) for every numerical path of the invoked
+subcommand; ``backends`` lists what is available in this environment.  The
+``process`` backend's pool is configured through the
+``FASTKRON_PROCESS_WORKERS`` / ``FASTKRON_PROCESS_MIN_ROWS`` /
+``FASTKRON_PROCESS_START_METHOD`` environment variables.  ``serve`` drives
 a :class:`~repro.serving.KronEngine` with a synthetic multi-client workload
 and reports its coalescing/plan-cache statistics; ``bench-serve`` times
 engine-batched serving against sequential per-request calls.
@@ -368,7 +371,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--backend",
         default=None,
-        help="execution backend for all numerical paths "
+        help="execution backend for all numerical paths: numpy, threaded, "
+             "process (multi-process over shared memory), torch, cupy "
              "(see the 'backends' subcommand for availability)",
     )
     sub = parser.add_subparsers(dest="command", required=True)

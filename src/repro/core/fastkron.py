@@ -144,6 +144,10 @@ def kron_matmul(
     True
     """
     x2d, factor_list, squeeze = _prepare_operands(x, factors)
+    # With plan=None or a bare KronPlan the executor is transient to this
+    # call and must hand its workspace back (a GC formality for host
+    # backends, a shared-memory unlink for the process backend).
+    transient = not isinstance(plan, PlanExecutor)
     if plan is None:
         check_out_dtype(out, x2d.dtype)
         compiled = _memoized_plan(
@@ -159,14 +163,21 @@ def kron_matmul(
         executor = PlanExecutor(compiled, backend=backend)
     else:
         executor = _resolve_executor(plan, backend)
-        if executor.plan.np_dtype != x2d.dtype:
-            raise DTypeError(
-                f"operands promote to {x2d.dtype} but the supplied plan computes "
-                f"in {executor.plan.np_dtype}; compile the plan for the promoted "
-                f"dtype (silent casts are never applied on the plan= path)"
-            )
-        check_out_dtype(out, executor.plan.np_dtype)
-    y = executor.execute(x2d, factor_list, out=out)
+    try:
+        if plan is not None:
+            if executor.plan.np_dtype != x2d.dtype:
+                raise DTypeError(
+                    f"operands promote to {x2d.dtype} but the supplied plan computes "
+                    f"in {executor.plan.np_dtype}; compile the plan for the promoted "
+                    f"dtype (silent casts are never applied on the plan= path)"
+                )
+            check_out_dtype(out, executor.plan.np_dtype)
+        y = executor.execute(x2d, factor_list, out=out)
+    finally:
+        if transient:
+            # Safe while y may alias the workspace: host-backend buffers
+            # stay alive through the view; copy-out backends never alias.
+            executor.close()
     if isinstance(plan, PlanExecutor) and out is None and y.base is not None:
         # A caller-owned executor keeps its workspace alive across calls and
         # the final intermediate may be a view of it; kron_matmul's contract

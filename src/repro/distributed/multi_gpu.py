@@ -161,7 +161,6 @@ class DistributedFastKron:
             raise DistributedError(
                 f"X has {k} columns, expected {dplan.global_plan.k} for these factors"
             )
-        p = dplan.global_plan.factor_shapes[0][0]
         tgm, tgk, n_local = dplan.tgm, dplan.tgk, dplan.n_local
 
         comm = CommunicationRecord()
@@ -182,6 +181,37 @@ class DistributedFastKron:
         # share one executor — and its workspace — across rounds and blocks.
         executors: dict[int, PlanExecutor] = {}
         local_counts: List[int] = []
+        try:
+            self._run_rounds(
+                dplan, executors, local_counts, blocks, factor_list, comm, x.dtype
+            )
+        finally:
+            # Workspace back to the backend: a no-op for host backends, a
+            # shared-memory unlink for the process backend (these executors
+            # are per-execution, unlike the long-lived handle paths).
+            for executor in executors.values():
+                executor.close()
+
+        output = np.empty((m, k), dtype=x.dtype)
+        for g_m in range(self.grid.gm):
+            for g_k in range(self.grid.gk):
+                output[g_m * tgm : (g_m + 1) * tgm, g_k * tgk : (g_k + 1) * tgk] = blocks[g_m][g_k]
+        return DistributedExecution(
+            grid=self.grid,
+            output=output,
+            communication=comm,
+            n_local=n_local,
+            rounds=dplan.n_rounds,
+            local_multiplications=local_counts,
+            plan=dplan,
+        )
+
+    def _run_rounds(
+        self, dplan, executors, local_counts, blocks, factor_list, comm, dtype
+    ) -> None:
+        tgm, tgk = dplan.tgm, dplan.tgk
+        k = dplan.global_plan.k
+        p = dplan.global_plan.factor_shapes[0][0]
         for rnd in dplan.rounds:
             batch = rnd.size
             local_counts.append(batch)
@@ -199,13 +229,13 @@ class DistributedFastKron:
                     blocks[g_m][g_k] = executor.execute(
                         blocks[g_m][g_k],
                         round_factors,
-                        out=np.empty((tgm, rnd.local_plan.out_cols), dtype=x.dtype),
+                        out=np.empty((tgm, rnd.local_plan.out_cols), dtype=dtype),
                     )
 
             # ---- exchange: relocate to the canonical distribution ------- #
             if self.grid.gk > 1:
                 for g_m in range(self.grid.gm):
-                    global_row = np.empty((tgm, k), dtype=x.dtype)
+                    global_row = np.empty((tgm, k), dtype=dtype)
                     for g_k in range(self.grid.gk):
                         columns = gpu_tile_store_columns(k, tgk, p, batch, g_k)
                         global_row[:, columns] = blocks[g_m][g_k]
@@ -230,20 +260,6 @@ class DistributedFastKron:
                     permuted = np.empty_like(blocks[g_m][0])
                     permuted[:, columns] = blocks[g_m][0]
                     blocks[g_m][0] = permuted
-
-        output = np.empty((m, k), dtype=x.dtype)
-        for g_m in range(self.grid.gm):
-            for g_k in range(self.grid.gk):
-                output[g_m * tgm : (g_m + 1) * tgm, g_k * tgk : (g_k + 1) * tgk] = blocks[g_m][g_k]
-        return DistributedExecution(
-            grid=self.grid,
-            output=output,
-            communication=comm,
-            n_local=n_local,
-            rounds=dplan.n_rounds,
-            local_multiplications=local_counts,
-            plan=dplan,
-        )
 
     # ------------------------------------------------------------------ #
     def reference(self, x: np.ndarray, factors: Iterable) -> np.ndarray:

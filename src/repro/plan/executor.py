@@ -82,6 +82,41 @@ def plan_execution_stats(plan: KronPlan, rows: Optional[int] = None) -> Executio
     return stats
 
 
+def run_groups(plan: KronPlan, x: np.ndarray, prepared, dest_of, fused, single) -> np.ndarray:
+    """The one group walk every interpreter shares.
+
+    Walks ``plan.groups`` in order, chaining each group's output into the
+    next group's input: ``dest_of(group_index, last_step)`` resolves the
+    group's destination buffer, ``fused(src, factors, dest, k, row_block)``
+    runs a multi-step group, ``single(src, factor, dest, step)`` one sliced
+    multiply.  Both the :class:`PlanExecutor` and the process backend's
+    workers interpret plans through this function (the workers over a row
+    slice of shared buffers), so the walk semantics — source trimming,
+    destination shapes, fused-vs-singleton dispatch — cannot drift between
+    the in-process and sharded paths, which is what keeps their bit-parity
+    guarantee structural.  Returns the final group's destination.
+    """
+    steps = plan.steps
+    cur = x
+    for gi, group in enumerate(plan.groups):
+        first = steps[group[0]]
+        last = steps[group[-1]]
+        dest = dest_of(gi, last)
+        src = cur[:, : first.k] if cur.shape[1] != first.k else cur
+        if len(group) > 1:
+            fused(
+                src,
+                [prepared[steps[i].factor_index] for i in group],
+                dest,
+                first.k,
+                plan.group_row_blocks[gi],
+            )
+        else:
+            single(src, prepared[first.factor_index], dest, first)
+        cur = dest
+    return cur
+
+
 class PlanExecutor:
     """Executes one :class:`KronPlan` many times over a reused workspace.
 
@@ -100,8 +135,11 @@ class PlanExecutor:
         self.backend = get_backend(backend if backend is not None else plan.backend)
         dtype = plan.np_dtype
         cols = plan.workspace_cols
+        # Long-lived buffers go through workspace_empty so backends that
+        # place them in externally visible memory (the process backend's
+        # shared-memory segments) can; close() hands them back.
         self._buffers: Dict[str, np.ndarray] = {
-            name: self.backend.empty((plan.m, cols), dtype=dtype)
+            name: self.backend.workspace_empty((plan.m, cols), dtype=dtype)
             for name in WORKSPACE_BUFFERS
         }
         # Per-executor scratch: the fused row-block chain buffers and the
@@ -109,6 +147,7 @@ class PlanExecutor:
         # worker, reused across every execute() call.
         self.arena = ScratchArena()
         self.last_stats: Optional[ExecutionStats] = None
+        self._closed = False
 
     # ------------------------------------------------------------------ #
     @property
@@ -122,6 +161,21 @@ class PlanExecutor:
     def scratch_bytes(self) -> int:
         """Approximate bytes retained by the fused-execution scratch arena."""
         return self.arena.nbytes()
+
+    def close(self) -> None:
+        """Release the workspace back to the backend (idempotent).
+
+        A no-op for plain host backends (the garbage collector owns their
+        buffers); required for backends whose workspace lives in explicitly
+        managed memory — the process backend unlinks the shared-memory
+        segments here.  A closed executor no longer executes.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        buffers, self._buffers = self._buffers, {}
+        for buf in buffers.values():
+            self.backend.release_workspace(buf)
 
     # ------------------------------------------------------------------ #
     def execute(
@@ -153,6 +207,8 @@ class PlanExecutor:
         results across calls must copy them out, exactly as the serving
         engine does when splitting a coalesced batch.
         """
+        if self._closed:
+            raise ShapeError("this PlanExecutor is closed (its workspace was released)")
         factor_list = as_factor_list(factors)
         x2d = ensure_2d(np.asarray(x), "X")
         rows = x2d.shape[0]
@@ -181,38 +237,48 @@ class PlanExecutor:
             and not any(np.may_share_memory(out, buf) for buf in self._buffers.values())
             and not any(np.may_share_memory(out, f) for f in prepared)
         )
-        steps = plan.steps
-        n_groups = len(plan.groups)
-        for gi, group in enumerate(plan.groups):
-            first = steps[group[0]]
-            last = steps[group[-1]]
-            if gi == n_groups - 1 and direct_out:
-                dest = out
-            else:
-                dest = self._buffers[last.target][:rows, : last.out_cols]
-            src = cur[:, : first.k] if cur.shape[1] != first.k else cur
-            if len(group) > 1:
+        # Backends that execute whole plans (the process backend's worker
+        # pool) take over the entire group walk here — one backend round
+        # trip per execution.  A None return declines (problem too small to
+        # amortise the dispatch) and the in-process walk below runs instead;
+        # both paths are bit-identical.
+        offloaded = None
+        if self.backend.supports_plan_execution:
+            offloaded = self.backend.execute_plan(plan, cur, prepared, self._buffers, rows)
+        if offloaded is not None:
+            cur = offloaded
+            direct_out = False  # the final group landed in the workspace
+        else:
+            n_groups = len(plan.groups)
+
+            def dest_of(gi: int, last) -> np.ndarray:
+                if gi == n_groups - 1 and direct_out:
+                    return out
+                return self._buffers[last.target][:rows, : last.out_cols]
+
+            def fused(src, group_factors, dest, k, row_block) -> None:
                 self.backend.fused_sliced_multiply_into(
-                    src,
-                    [prepared[steps[i].factor_index] for i in group],
-                    dest,
-                    rows,
-                    first.k,
-                    row_block=plan.group_row_blocks[gi],
-                    arena=self.arena,
+                    src, group_factors, dest, rows, k,
+                    row_block=row_block, arena=self.arena,
                 )
-            else:
+
+            def single(src, factor, dest, step) -> None:
                 sliced_multiply(
-                    src, prepared[first.factor_index], out=dest,
-                    backend=self.backend, arena=self.arena,
+                    src, factor, out=dest, backend=self.backend, arena=self.arena
                 )
-            cur = dest
+
+            cur = run_groups(plan, cur, prepared, dest_of, fused, single)
 
         self.last_stats = plan_execution_stats(plan, rows)
         if out is not None:
             if not direct_out:
                 np.copyto(out, cur)
             return out
+        if self.backend.workspace_requires_copy_out:
+            # The workspace is explicitly managed memory (shared-memory
+            # segments unmapped by close()); a returned view would become a
+            # dangling mapping, so results always leave as owned copies.
+            return cur.copy()
         return np.ascontiguousarray(cur)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

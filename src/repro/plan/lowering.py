@@ -1,20 +1,30 @@
-"""Lowering a :class:`~repro.plan.ir.KronPlan` onto a device grid (Algorithm 2).
+"""Lowering a :class:`~repro.plan.ir.KronPlan` onto execution grids.
 
-The multi-GPU algorithm batches ``N_local = ⌊log_P T_GK⌋`` of the plan's
-steps between exchanges.  This module derives that decomposition *from the
-compiled plan* — the single place the step order lives — instead of letting
-the distributed executor re-derive its own loop: the global plan's steps are
-chunked into rounds, and each round lowers to a per-device *segment plan*
-(the same step/buffer IR, compiled for the device block's ``(T_GM, T_GK)``
-shape) that every GPU of the grid executes locally before the exchange.
+Two lowerings live here, both deriving their decomposition *from the
+compiled plan* — the single place the step order lives:
+
+**Device-grid lowering** (Algorithm 2, :func:`lower_to_grid`): the multi-GPU
+algorithm batches ``N_local = ⌊log_P T_GK⌋`` of the plan's steps between
+exchanges.  The global plan's steps are chunked into rounds, and each round
+lowers to a per-device *segment plan* (the same step/buffer IR, compiled for
+the device block's ``(T_GM, T_GK)`` shape) that every GPU of the grid
+executes locally before the exchange.
+
+**Row-shard lowering** (:func:`lower_to_row_shards`): every output row of a
+sliced multiply depends on exactly one input row, so a plan's *entire*
+schedule — fusion groups, row blocks, buffer ping-pong — runs unchanged and
+bit-identically over disjoint row ranges.  The simulated device grid shards
+columns; this lowering shards rows across *real executors* (the process
+backend's OS workers), handing each shard the same schedule restricted to
+its row range as a serialisable per-shard :class:`~repro.plan.ir.KronPlan`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Tuple
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
-from repro.exceptions import DistributedError
+from repro.exceptions import DistributedError, ShapeError
 
 if TYPE_CHECKING:  # imported lazily to keep repro.plan free of package cycles
     from repro.distributed.grid import GpuGrid
@@ -69,6 +79,83 @@ class DistributedPlan:
                 f"({rnd.size} local multiplications per device)"
             )
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RowShard:
+    """One worker's share of a row-sharded plan execution.
+
+    ``plan`` is the global schedule re-capacitied for this shard's height —
+    what a process-backend worker deserialises and interprets over its
+    ``[start, stop)`` slice of the shared buffers.
+    """
+
+    index: int
+    start: int
+    stop: int
+    plan: KronPlan
+
+    @property
+    def rows(self) -> int:
+        return self.stop - self.start
+
+
+def shard_rows(rows: int, shards: int) -> List[Tuple[int, int]]:
+    """Balanced contiguous ``[start, stop)`` row ranges (at most ``shards``).
+
+    The first ``rows % shards`` shards carry one extra row; empty shards are
+    never produced.  Shared by the row-shard lowering and the process
+    backend's per-execution dispatch, so capacity-time and execution-time
+    bounds always agree on which worker owns which rows.
+    """
+    if rows < 1:
+        raise ShapeError(f"cannot shard {rows} rows")
+    shards = max(1, min(int(shards), rows))
+    base, extra = divmod(rows, shards)
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(shards):
+        stop = start + base + (1 if i < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def with_row_capacity(plan: KronPlan, rows: int) -> KronPlan:
+    """A copy of ``plan`` re-capacitied to ``rows`` (schedule untouched).
+
+    Row capacity is not part of a plan's schedule identity — the steps, the
+    fusion grouping and the row blocks all survive — so this is the whole
+    per-shard "compilation": cheap dataclass rewriting, no re-planning.
+    """
+    rows = int(rows)
+    if rows < 1:
+        raise ShapeError(f"plan row capacity must be >= 1, got {rows}")
+    if rows == plan.m:
+        return plan
+    steps = tuple(replace(step, m=rows) for step in plan.steps)
+    return replace(plan, m=rows, steps=steps)
+
+
+def lower_to_row_shards(
+    plan: KronPlan, shards: int, rows: Optional[int] = None
+) -> Tuple[RowShard, ...]:
+    """Row-partition ``plan`` across up to ``shards`` real executors.
+
+    Correctness is the threaded backend's argument one level up: BLAS
+    computes GEMM output rows independently, so running the identical
+    schedule over disjoint row ranges of shared buffers is bit-identical to
+    the single-executor run.  ``rows`` defaults to the plan's capacity;
+    passing the execution's actual row count yields balanced shards for
+    partially filled workspaces.
+    """
+    rows = plan.m if rows is None else int(rows)
+    if rows > plan.m:
+        raise ShapeError(f"{rows} rows exceed the plan's row capacity {plan.m}")
+    return tuple(
+        RowShard(index=i, start=start, stop=stop, plan=with_row_capacity(plan, stop - start))
+        for i, (start, stop) in enumerate(shard_rows(rows, shards))
+    )
 
 
 def lower_to_grid(plan: KronPlan, grid: "GpuGrid") -> DistributedPlan:

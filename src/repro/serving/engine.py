@@ -182,6 +182,12 @@ class KronEngine:
         self._solo_seq = 0
         self._closed = False
         self._stats = EngineStats()
+        # Coalesced batches on shared-staging backends (process) are
+        # row-stacked straight into these backend-visible buffers — each
+        # request's rows are written exactly once, and the executor ships a
+        # descriptor instead of re-copying the batch.  Keyed by (columns,
+        # dtype); released on close.
+        self._batch_staging: Dict[Tuple[int, str], np.ndarray] = {}
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="kron-engine-dispatcher", daemon=True
         )
@@ -290,16 +296,24 @@ class KronEngine:
         return snapshot
 
     def close(self, wait: bool = True) -> None:
-        """Stop accepting requests; drain the queue, then stop the dispatcher."""
+        """Stop accepting requests; drain the queue, then stop the dispatcher.
+
+        With ``wait=True`` (the default) the compiled plans' executors are
+        closed and the staging buffers released once the dispatcher has
+        drained — on the process backend this unlinks the engine's
+        shared-memory segments.
+        """
         with self._lock:
-            if self._closed:
-                if wait and self._dispatcher.is_alive():
-                    self._dispatcher.join()
-                return
+            already_closed = self._closed
             self._closed = True
             self._work.notify_all()
         if wait:
-            self._dispatcher.join()
+            if self._dispatcher.is_alive() or not already_closed:
+                self._dispatcher.join()
+            self.plans.clear()
+            staging, self._batch_staging = self._batch_staging, {}
+            for buf in staging.values():
+                self.backend.release_workspace(buf)
 
     def __enter__(self) -> "KronEngine":
         return self
@@ -389,14 +403,16 @@ class KronEngine:
             else:
                 plan = self.plans.get_or_create(first.plan_key, lambda: self._build_plan(first))
                 plan.uses += 1
-                x = first.x if len(chunk) == 1 else np.concatenate([r.x for r in chunk], axis=0)
+                x = first.x if len(chunk) == 1 else self._stack_rows(chunk, rows)
                 y = plan.executor.execute(x, first.factors)
                 start = 0
                 for request in chunk:
-                    # Copy out of the batch output: the plan's workspace
-                    # (which the handle's result may alias) is reused by the
-                    # very next batch, and each future must own its rows
-                    # outright.
+                    # Copy out of the batch output: each future must own its
+                    # rows outright — on host backends y may alias the
+                    # workspace the next batch reuses; on copy-out backends
+                    # y is owned but shared, and slicing without copy would
+                    # pin the whole batch buffer for as long as any single
+                    # result lives.
                     result = y[start : start + request.rows].copy()
                     start += request.rows
                     if request.squeeze:
@@ -407,6 +423,35 @@ class KronEngine:
                 if not request.future.done():
                     self._resolve(request.future, None, exc)
         self._finish_chunk(chunk, rows, direct)
+
+    def _stack_rows(self, chunk: List[_Request], rows: int) -> np.ndarray:
+        """Row-stack a coalesced chunk into one batch input.
+
+        On ordinary backends this is ``np.concatenate``.  On shared-staging
+        backends (process) the rows are written once into an engine-owned
+        backend-visible buffer: the executor's plan offload then passes the
+        workers a descriptor of that buffer instead of copying the batch a
+        second time into backend memory.
+        """
+        first = chunk[0]
+        if not self.backend.supports_shared_staging:
+            return np.concatenate([r.x for r in chunk], axis=0)
+        cols = first.x.shape[1]
+        dtype = first.x.dtype
+        key = (cols, dtype.str)
+        staging = self._batch_staging.get(key)
+        if staging is None or staging.shape[0] < rows:
+            if staging is not None:
+                self.backend.release_workspace(staging)
+            capacity = max(rows, self.max_batch_rows)
+            staging = self.backend.workspace_empty((capacity, cols), dtype)
+            self._batch_staging[key] = staging
+        view = staging[:rows]
+        start = 0
+        for request in chunk:
+            view[start : start + request.rows] = request.x
+            start += request.rows
+        return view
 
     def _finish_chunk(self, chunk: List[_Request], rows: int, direct: bool) -> None:
         with self._lock:

@@ -15,8 +15,9 @@ any batch that fits.
 Each entry pairs the serialisable plan (persist it with
 :meth:`PlanCache.export_plans` next to the tuning cache) with its live
 executor.  The cache is a plain LRU with thread-safe access and
-hit/miss/eviction counters; evicted entries simply drop their workspace for
-the garbage collector.
+hit/miss/eviction counters; evicted entries close their executor, which
+releases the workspace back to the backend — a garbage-collection formality
+for host backends, a shared-memory unlink for the process backend.
 """
 
 from __future__ import annotations
@@ -100,7 +101,8 @@ class PlanCache:
             self._entries[key] = entry
             self._stats.misses += 1
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                _, evicted = self._entries.popitem(last=False)
+                evicted.executor.close()
                 self._stats.evictions += 1
             return entry
 
@@ -129,5 +131,9 @@ class PlanCache:
             return {key: entry.plan.to_dict() for key, entry in self._entries.items()}
 
     def clear(self) -> None:
+        """Drop every entry, closing the executors (workspace released)."""
         with self._lock:
+            entries = list(self._entries.values())
             self._entries.clear()
+        for entry in entries:
+            entry.executor.close()

@@ -258,12 +258,17 @@ class Autotuner:
         best_plan, best_time = plan, float("inf")
         for candidate in candidates:
             executor = PlanExecutor(candidate, backend=backend)
-            executor.execute(x, factors)  # warm the workspace and arena
-            elapsed = float("inf")
-            for _ in range(max(1, repeats)):
-                start = time.perf_counter()
-                executor.execute(x, factors)
-                elapsed = min(elapsed, time.perf_counter() - start)
+            try:
+                executor.execute(x, factors)  # warm the workspace and arena
+                elapsed = float("inf")
+                for _ in range(max(1, repeats)):
+                    start = time.perf_counter()
+                    executor.execute(x, factors)
+                    elapsed = min(elapsed, time.perf_counter() - start)
+            finally:
+                # Candidate executors are transient; hand the workspace back
+                # (a shared-memory unlink on the process backend).
+                executor.close()
             if elapsed < best_time:
                 best_plan, best_time = candidate, elapsed
         return best_plan

@@ -1,12 +1,25 @@
-"""Shared fixtures for the FastKron reproduction test-suite."""
+"""Shared fixtures for the FastKron reproduction test-suite.
+
+Hypothesis runs under named profiles selected by the ``HYPOTHESIS_PROFILE``
+environment variable: ``default`` (the library defaults, used by CI-per-push
+and local runs) and ``nightly`` (an order of magnitude more examples, no
+deadline — the scheduled nightly workflow's setting).
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.core.factors import random_factors, random_factors_from_shapes
 from repro.gpu.device import TESLA_V100
+
+settings.register_profile("default", settings())
+settings.register_profile("nightly", max_examples=1000, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

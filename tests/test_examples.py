@@ -17,8 +17,16 @@ EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 def run_example(name: str, capsys) -> str:
     path = EXAMPLES_DIR / name
     assert path.exists(), f"example {name} is missing"
-    sys.modules.pop("__main__", None)
-    runpy.run_path(str(path), run_name="__main__")
+    # runpy needs __main__ free, but it must be restored afterwards: the
+    # multiprocessing "spawn" start method (used by the process-backend
+    # tests) reads sys.modules['__main__'] while preparing children and
+    # crashes if an earlier test left it popped.
+    saved_main = sys.modules.pop("__main__", None)
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        if saved_main is not None:
+            sys.modules["__main__"] = saved_main
     return capsys.readouterr().out
 
 

@@ -1,0 +1,389 @@
+"""Process-backend tests: parity, failure modes, shm lifecycle, start methods.
+
+The backend's correctness claim is the threaded backend's, one level up:
+workers interpret the identical plan schedule over disjoint row shards of
+shared buffers through the same BLAS kernels, so float64 results are
+bit-for-bit identical to the ``numpy`` reference.  The failure-mode tests
+pin the operational contract: a worker dying mid-execute surfaces a clean
+:class:`~repro.exceptions.BackendError` (never a hang), shared-memory
+segments are unlinked on executor/engine/backend close (no leaks across the
+suite), and fork/spawn start methods agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.backends import ProcessBackend, available_backends
+from repro.backends.process_backend import _default_start_method
+from repro.backends.shm import SegmentTable, SharedFactorStore, shared_memory_available
+from repro.core.factors import random_factors
+from repro.core.fastkron import FastKron, kron_matmul
+from repro.core.gekmm import gekmm
+from repro.core.problem import KronMatmulProblem
+from repro.exceptions import BackendError
+from repro.plan import PlanExecutor, compile_plan
+from repro.plan.lowering import lower_to_row_shards, shard_rows, with_row_capacity
+from repro.serving import KronEngine
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="no POSIX shared memory in this environment"
+)
+
+
+@pytest.fixture
+def backend():
+    """A small always-sharding pool; closed (and leak-checked) after the test."""
+    instance = ProcessBackend(num_workers=2, min_parallel_rows=8, op_timeout=60.0)
+    yield instance
+    instance.close()
+    assert instance.segment_count() == 0, "backend.close() must unlink every segment"
+
+
+def _operands(m=300, p=2, n=8, dtype=np.float64, seed=5):
+    factors = random_factors(n, p, p, dtype=dtype, seed=seed)
+    x = np.random.default_rng(seed + 1).standard_normal((m, p**n)).astype(dtype)
+    return x, factors
+
+
+# --------------------------------------------------------------------------- #
+# registry and capability probing
+# --------------------------------------------------------------------------- #
+class TestRegistration:
+    def test_registered_and_available(self):
+        assert "process" in available_backends()
+
+    def test_probe_is_cached(self):
+        assert shared_memory_available() is shared_memory_available()
+
+
+# --------------------------------------------------------------------------- #
+# numerical parity
+# --------------------------------------------------------------------------- #
+class TestParity:
+    def test_float64_bit_identical_to_numpy(self, backend):
+        x, factors = _operands()
+        expected = kron_matmul(x, factors, backend="numpy")
+        assert np.array_equal(kron_matmul(x, factors, backend=backend), expected)
+
+    def test_float32_bit_identical_to_numpy(self, backend):
+        # Same GEMM kernel over row shards: exact even in float32.
+        x, factors = _operands(dtype=np.float32)
+        expected = kron_matmul(x, factors, backend="numpy")
+        assert np.array_equal(kron_matmul(x, factors, backend=backend), expected)
+
+    def test_rectangular_factors(self, backend):
+        factors = [np.random.default_rng(i).standard_normal(s) for i, s in
+                   enumerate([(2, 3), (4, 2), (3, 4)])]
+        x = np.random.default_rng(9).standard_normal((64, 2 * 4 * 3))
+        expected = kron_matmul(x, factors, backend="numpy")
+        assert np.array_equal(kron_matmul(x, factors, backend=backend), expected)
+
+    def test_unfused_plan_parity(self, backend):
+        x, factors = _operands(m=128, n=6)
+        problem = KronMatmulProblem.from_factors(x.shape[0], factors, dtype=np.float64)
+        plan = compile_plan(problem, backend=backend, fuse=False)
+        executor = PlanExecutor(plan, backend=backend)
+        try:
+            assert np.array_equal(
+                executor.execute(x, factors), kron_matmul(x, factors, backend="numpy")
+            )
+        finally:
+            executor.close()
+
+    def test_out_buffer_path(self, backend):
+        x, factors = _operands(m=96, n=6)
+        out = np.full((96, 2**6), np.nan)
+        result = kron_matmul(x, factors, out=out, backend=backend)
+        assert result is out
+        assert np.array_equal(out, kron_matmul(x, factors, backend="numpy"))
+
+    def test_gekmm_parity(self, backend):
+        x, factors = _operands(m=80, n=5)
+        z = np.random.default_rng(3).standard_normal(x.shape)
+        expected = gekmm(x, factors, alpha=2.0, beta=0.5, z=z, backend="numpy")
+        np.testing.assert_allclose(
+            gekmm(x, factors, alpha=2.0, beta=0.5, z=z, backend=backend),
+            expected,
+            atol=1e-12,
+        )
+
+    def test_small_problems_fall_through_in_process(self, backend):
+        x, factors = _operands(m=4, n=4)
+        assert np.array_equal(
+            kron_matmul(x, factors, backend=backend),
+            kron_matmul(x, factors, backend="numpy"),
+        )
+        # The fall-through must not have spawned the pool.
+        assert backend._workers == []
+
+    def test_handle_reuse_with_fewer_rows(self, backend):
+        x, factors = _operands(m=256, n=6)
+        problem = KronMatmulProblem.from_factors(256, factors, dtype=np.float64)
+        handle = FastKron(problem, backend=backend, row_capacity=256)
+        full = handle.multiply(x, factors)
+        part = handle.multiply(x[:100], factors)
+        reference = kron_matmul(x, factors, backend="numpy")
+        assert np.array_equal(full, reference)
+        assert np.array_equal(part, reference[:100])
+
+
+# --------------------------------------------------------------------------- #
+# start-method parity (fork vs spawn)
+# --------------------------------------------------------------------------- #
+class TestStartMethods:
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_bit_identical_across_start_methods(self, method):
+        if method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"start method {method!r} unavailable on this platform")
+        x, factors = _operands(m=128, n=6)
+        expected = kron_matmul(x, factors, backend="numpy")
+        instance = ProcessBackend(num_workers=2, min_parallel_rows=8, start_method=method)
+        try:
+            assert np.array_equal(kron_matmul(x, factors, backend=instance), expected)
+        finally:
+            instance.close()
+
+    def test_default_start_method_is_supported(self):
+        assert _default_start_method() in multiprocessing.get_all_start_methods()
+
+
+# --------------------------------------------------------------------------- #
+# failure modes
+# --------------------------------------------------------------------------- #
+class TestFailureModes:
+    def test_worker_crash_mid_execute_raises_clean_error(self, backend):
+        x, factors = _operands(m=64, n=5)
+        assert np.array_equal(  # warm the pool and the plan distribution
+            kron_matmul(x, factors, backend=backend),
+            kron_matmul(x, factors, backend="numpy"),
+        )
+        victim = backend._workers[0]
+        victim.connection.send({"op": "crash"})  # worker calls os._exit mid-loop
+        deadline = time.monotonic() + 30
+        while victim.process.is_alive() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not victim.process.is_alive()
+        with pytest.raises(BackendError, match="died|gone"):
+            kron_matmul(x, factors, backend=backend)
+
+    def test_pool_recovers_after_crash(self, backend):
+        x, factors = _operands(m=64, n=5)
+        expected = kron_matmul(x, factors, backend="numpy")
+        kron_matmul(x, factors, backend=backend)
+        os.kill(backend._workers[1].process.pid, signal.SIGKILL)
+        with pytest.raises(BackendError):
+            kron_matmul(x, factors, backend=backend)
+        # The next execution starts a fresh pool against the same segments.
+        assert np.array_equal(kron_matmul(x, factors, backend=backend), expected)
+
+    def test_worker_error_reply_surfaces_without_killing_pool(self, backend):
+        x, factors = _operands(m=64, n=5)
+        kron_matmul(x, factors, backend=backend)
+        workers = list(backend._workers)
+        # A malformed message makes the worker reply ok=False (it survives).
+        for worker in workers:
+            worker.connection.send(
+                {"op": "execute", "fingerprint": "no-such-plan", "start": 0, "stop": 0,
+                 "x": None, "buffers": {}, "factors": []}
+            )
+        for worker in workers:
+            reply = backend._receive(worker)
+            assert reply["ok"] is False and "error" in reply
+        assert all(w.process.is_alive() for w in workers)
+        assert np.array_equal(
+            kron_matmul(x, factors, backend=backend),
+            kron_matmul(x, factors, backend="numpy"),
+        )
+
+    def test_plan_resent_after_worker_cache_eviction(self, backend):
+        """Churning more distinct plans than the workers' plan LRU holds must
+        not strand old fingerprints: the parent mirrors the eviction and
+        re-sends the payload (regression: KeyError in the worker, permanent
+        BackendError)."""
+        from repro.backends.process_backend import WORKER_PLAN_CACHE
+
+        factors = random_factors(4, 2, 2, dtype=np.float64, seed=2)
+        rng = np.random.default_rng(3)
+        first_x = rng.standard_normal((16, 2**4))
+        expected = kron_matmul(first_x, factors, backend="numpy")
+
+        def run(rows):
+            x = first_x if rows == 16 else rng.standard_normal((rows, 2**4))
+            problem = KronMatmulProblem.from_factors(rows, factors, dtype=np.float64)
+            executor = PlanExecutor(compile_plan(problem, backend=backend), backend=backend)
+            try:
+                return executor.execute(x, factors)
+            finally:
+                executor.close()
+
+        run(16)  # the plan that will be evicted from every worker's cache
+        for rows in range(17, 17 + WORKER_PLAN_CACHE + 2):  # distinct fingerprints
+            run(rows)
+        assert np.array_equal(run(16), expected)
+
+    def test_closed_backend_refuses_work(self):
+        instance = ProcessBackend(num_workers=2, min_parallel_rows=8)
+        instance.close()
+        with pytest.raises(BackendError, match="closed"):
+            instance.workspace_empty((4, 4), np.dtype(np.float64))
+        instance.close()  # idempotent
+
+
+# --------------------------------------------------------------------------- #
+# shared-memory lifecycle
+# --------------------------------------------------------------------------- #
+class TestShmLifecycle:
+    def test_executor_close_releases_workspace(self, backend):
+        x, factors = _operands(m=128, n=6)
+        problem = KronMatmulProblem.from_factors(128, factors, dtype=np.float64)
+        plan = compile_plan(problem, backend=backend)
+        executor = PlanExecutor(plan, backend=backend)
+        executor.execute(x, factors)
+        before = backend.segment_count()
+        executor.close()
+        assert backend.segment_count() == before - 2  # the two ping-pong buffers
+        with pytest.raises(Exception):
+            executor.execute(x, factors)
+        executor.close()  # idempotent
+
+    def test_engine_close_releases_plans_and_staging(self, backend):
+        x, factors = _operands(m=16, n=6)
+        engine = KronEngine(backend=backend, max_batch_rows=256, max_delay_ms=5.0)
+        futures = [engine.submit(x, factors) for _ in range(8)]
+        for future in futures:
+            future.result(timeout=30)
+        engine.close()
+        # Only the factor-store pins survive an engine close, by design:
+        # they belong to the backend and die with backend.close() (checked
+        # by the fixture) or with the host factor arrays.
+        assert backend.segment_count() <= len(factors)
+
+    def test_segments_released_when_exception_interrupts(self, backend):
+        x, factors = _operands(m=128, n=6)
+        problem = KronMatmulProblem.from_factors(128, factors, dtype=np.float64)
+        executor = PlanExecutor(compile_plan(problem, backend=backend), backend=backend)
+        try:
+            with pytest.raises(Exception):
+                executor.execute(x[:, :-1], factors)  # malformed operands
+        finally:
+            executor.close()
+        kron_matmul(x, factors, backend=backend)  # backend still healthy
+
+    def test_results_never_alias_unmapped_workspace(self, backend):
+        """Results must be owned copies: reading one after executor.close()
+        (which unmaps the shm workspace) must be safe (regression: returning
+        a workspace view segfaulted on first touch after close)."""
+        x, factors = _operands(m=128, n=6)
+        problem = KronMatmulProblem.from_factors(128, factors, dtype=np.float64)
+        executor = PlanExecutor(compile_plan(problem, backend=backend), backend=backend)
+        y = executor.execute(x, factors)
+        assert y.base is None, "process-backend results must not alias the workspace"
+        executor.close()
+        assert np.array_equal(y, kron_matmul(x, factors, backend="numpy"))
+
+    def test_one_shot_calls_do_not_accumulate_segments(self, backend):
+        """Transient executors (kron_matmul's one-shot path) must hand their
+        workspace back per call: repeated calls keep the segment count flat
+        (regression: 2 leaked shm segments per kron_matmul call)."""
+        x, factors = _operands(m=128, n=6)
+        kron_matmul(x, factors, backend=backend)
+        settled = backend.segment_count()
+        for _ in range(5):
+            kron_matmul(x, factors, backend=backend)
+        assert backend.segment_count() == settled
+
+    def test_factor_store_pins_once_across_calls(self, backend):
+        x, factors = _operands(m=128, n=6)
+        kron_matmul(x, factors, backend=backend)
+        pinned = len(backend._factors)
+        assert pinned == len(factors)
+        for _ in range(3):
+            kron_matmul(x, factors, backend=backend)
+        assert len(backend._factors) == pinned
+
+    def test_in_place_factor_mutation_is_seen(self, backend):
+        """Mutating a factor in place must refresh its pinned shm copy: every
+        other backend reads the live array, so a stale pin would make the
+        process backend silently diverge (regression)."""
+        x, factors = _operands(m=128, n=6)
+        assert np.array_equal(
+            kron_matmul(x, factors, backend=backend),
+            kron_matmul(x, factors, backend="numpy"),
+        )
+        factors[0].values[:] *= 2.0
+        assert np.array_equal(
+            kron_matmul(x, factors, backend=backend),
+            kron_matmul(x, factors, backend="numpy"),
+        )
+
+    def test_factor_store_evicts_collected_arrays(self):
+        table = SegmentTable()
+        store = SharedFactorStore(table, capacity=8)
+        arr = np.random.default_rng(0).standard_normal((4, 4))
+        store.get(arr)
+        assert len(store) == 1 and len(table) == 1
+        del arr
+        import gc
+
+        gc.collect()
+        deadline = time.monotonic() + 5
+        while len(table) and time.monotonic() < deadline:
+            gc.collect()
+            time.sleep(0.01)
+        assert len(table) == 0, "pinned copy must be unlinked when the host array dies"
+        table.close_all()
+
+    def test_segment_table_prefix_specs(self):
+        table = SegmentTable()
+        try:
+            array = table.create((8, 6), np.dtype(np.float64))
+            full = table.spec_for(array)
+            prefix = table.spec_for(array[:3])
+            assert full is not None and full.shape == (8, 6)
+            assert prefix is not None and prefix.shape == (3, 6)
+            assert table.spec_for(array[:, :2]) is None  # non-contiguous view
+            assert table.spec_for(np.empty((2, 2))) is None  # foreign array
+        finally:
+            table.close_all()
+
+
+# --------------------------------------------------------------------------- #
+# row-shard lowering
+# --------------------------------------------------------------------------- #
+class TestRowShardLowering:
+    def test_shard_rows_cover_and_balance(self):
+        for rows in (1, 3, 7, 16, 1001):
+            for shards in (1, 2, 4, 9):
+                bounds = shard_rows(rows, shards)
+                assert bounds[0][0] == 0 and bounds[-1][1] == rows
+                heights = [stop - start for start, stop in bounds]
+                assert all(h >= 1 for h in heights)
+                assert max(heights) - min(heights) <= 1
+                assert len(bounds) <= min(shards, rows)
+
+    def test_lowered_shards_keep_the_schedule(self):
+        problem = KronMatmulProblem.uniform(100, 2, 6, dtype=np.float64)
+        plan = compile_plan(problem, backend="numpy")
+        shards = lower_to_row_shards(plan, 3)
+        assert sum(s.rows for s in shards) == plan.m
+        for shard in shards:
+            assert shard.plan.groups == plan.groups
+            assert shard.plan.group_row_blocks == plan.group_row_blocks
+            assert shard.plan.m == shard.rows
+            assert [s.factor_index for s in shard.plan.steps] == [
+                s.factor_index for s in plan.steps
+            ]
+
+    def test_with_row_capacity_roundtrip(self):
+        problem = KronMatmulProblem.uniform(64, 4, 3, dtype=np.float32)
+        plan = compile_plan(problem, backend="numpy")
+        resized = with_row_capacity(plan, 16)
+        assert resized.m == 16 and all(s.m == 16 for s in resized.steps)
+        assert with_row_capacity(plan, plan.m) is plan
