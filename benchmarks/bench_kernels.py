@@ -6,6 +6,12 @@ FTMMT baselines, the functional fused path, and the distributed execution.
 They demonstrate that avoiding the separate transpose pass also pays off for
 a NumPy implementation, and they give pytest-benchmark something real to
 measure for regression tracking.
+
+The FastKron-path benchmarks route through the backend seam: pass
+``--backend numba`` (or ``threaded``/``process``) to time the same sweep on
+another backend and compare it against the NumPy numbers in one run.  The
+shuffle/FTMMT/distributed baselines intentionally stay on the default path —
+they are the reference points the backends are measured against.
 """
 
 from __future__ import annotations
@@ -28,9 +34,9 @@ def medium_operands(p=16, n=4, m=64, dtype=np.float32, seed=0):
 
 
 @pytest.mark.benchmark(group="numpy-kernels")
-def test_bench_fastkron_numpy(benchmark):
+def test_bench_fastkron_numpy(benchmark, bench_backend):
     x, factors = medium_operands()
-    result = benchmark(lambda: kron_matmul(x, factors))
+    result = benchmark(lambda: kron_matmul(x, factors, backend=bench_backend))
     assert result.shape == (64, 16**4)
 
 
@@ -49,20 +55,20 @@ def test_bench_ftmmt_numpy(benchmark):
 
 
 @pytest.mark.benchmark(group="numpy-kernels")
-def test_bench_fastkron_handle_reuse(benchmark):
+def test_bench_fastkron_handle_reuse(benchmark, bench_backend):
     """The pre-allocated handle avoids per-call workspace allocation."""
     x, factors = medium_operands()
     problem = KronMatmulProblem.from_factors(x.shape[0], [f.values for f in factors])
-    handle = FastKron(problem)
+    handle = FastKron(problem, backend=bench_backend)
     result = benchmark(lambda: handle.multiply(x, factors))
     assert result.shape == (64, 16**4)
 
 
 @pytest.mark.benchmark(group="numpy-kernels")
-def test_bench_small_m_gp_shape(benchmark):
+def test_bench_small_m_gp_shape(benchmark, bench_backend):
     """The GP case-study shape: M=16 probes against a 8^6 kernel."""
     x, factors = medium_operands(p=8, n=6, m=16)
-    result = benchmark(lambda: kron_matmul(x, factors))
+    result = benchmark(lambda: kron_matmul(x, factors, backend=bench_backend))
     assert result.shape == (16, 8**6)
 
 

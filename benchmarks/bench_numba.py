@@ -1,0 +1,254 @@
+"""Numba JIT kernel benchmark: single-pass compiled kernels vs numpy GEMMs.
+
+Each sweep row executes the same deep small-factor Kron-Matmul plan on two
+backends — the ``numpy`` reference (per-slice GEMM dispatch plus the
+interleaved ``write_swapped`` store) and the ``numba`` backend (the sliced
+multiply and the interleaved store JIT-compiled into one tiled,
+``prange``-parallel loop nest) — and checks the outputs agree to float
+tolerance before timing anything.  This is the regime where per-slice GEMM
+dispatch overhead dominates: many cheap factors, thousands of tiny GEMMs per
+step, exactly what the paper's fused kernels eliminate.
+
+The ``numba`` backend reassociates the reduction (tiling, optional unroll),
+so parity is tolerance-based rather than bit-exact — the snapshot's
+``identical`` field records that tolerance check honestly.
+
+The regression gate tracks the *speedup* (numpy time / numba time); CI fails
+when any config drops more than the suite tolerance below the committed
+baseline (``benchmarks/baselines/BENCH_numba_baseline.json``) — reusing
+``check_serving_regression.py``, since the snapshot schema is shared.
+
+Everything here degrades gracefully without numba: the pytest entry points
+skip, and ``run_suite.py`` skips the whole suite before invoking this
+module as a script.
+
+Run as a script to (re)generate the JSON snapshot::
+
+    PYTHONPATH=src python benchmarks/bench_numba.py --json results/BENCH_numba.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro._version import __version__
+from repro.backends.registry import get_backend
+from repro.core.factors import random_factors
+from repro.core.problem import KronMatmulProblem
+from repro.plan import PlanExecutor, compile_plan
+from repro.utils.reporting import ResultTable
+
+NUMBA_AVAILABLE = importlib.util.find_spec("numba") is not None
+
+#: The sweep: (M, P, N, dtype) — deep small-factor chains, the shapes where
+#: the numpy path pays per-slice GEMM dispatch (K/P tiny GEMMs per step) and
+#: the single-pass JIT kernel pays one loop nest per fused group.
+SWEEP = [
+    (8192, 2, 10, np.float32),
+    (8192, 2, 10, np.float64),
+    (8192, 4, 6, np.float64),
+    (16384, 2, 8, np.float64),
+]
+
+#: The acceptance configuration (ISSUE 6): a deep small-factor fusion-group
+#: shape where the JIT kernel must clear 1.5x over the numpy backend.
+GATE_CASE = (8192, 2, 10, np.float32)
+GATE_MIN_SPEEDUP = 1.5
+
+#: Relative-error ceiling for numba-vs-numpy parity.  The JIT kernel tiles
+#: and optionally unrolls the reduction, so bit-exactness is off the table;
+#: deep chains compound rounding, hence per-dtype budgets.
+PARITY_RTOL = {"float32": 1e-4, "float64": 1e-9}
+
+
+@dataclass
+class NumbaComparison:
+    """Result of one numba-vs-numpy plan execution on one sweep shape."""
+
+    m: int
+    p: int
+    n: int
+    dtype: str
+    numba_seconds: float
+    numpy_seconds: float
+    identical: bool
+    max_rel_err: float
+
+    @property
+    def speedup(self) -> float:
+        """Numba throughput normalised by the same-run numpy baseline."""
+        return self.numpy_seconds / self.numba_seconds
+
+    def label(self) -> str:
+        return f"M={self.m} {self.p}^{self.n} {self.dtype}"
+
+
+def config_key(m: int, p: int, n: int, dtype) -> str:
+    return f"numba|m{m}|p{p}n{n}|{np.dtype(dtype)}"
+
+
+def compare_numba(m: int, p: int, n: int, dtype, repeats: int = 3) -> NumbaComparison:
+    """Time the numba plan path against the numpy plan path, best-of-repeats."""
+    dtype = np.dtype(dtype)
+    problem = KronMatmulProblem.uniform(m, p, n, dtype=dtype)
+    factors = random_factors(n, p, dtype=dtype, seed=7)
+    x = np.random.default_rng(11).standard_normal((m, problem.k)).astype(dtype)
+
+    numpy_backend = get_backend("numpy")
+    numba_backend = get_backend("numba")
+    reference = PlanExecutor(
+        compile_plan(problem, backend=numpy_backend), backend=numpy_backend
+    )
+    jitted = PlanExecutor(
+        compile_plan(problem, backend=numba_backend), backend=numba_backend
+    )
+
+    # Warm-up doubles as the parity check — and absorbs the JIT compile, so
+    # the timed repeats measure the cached kernel, not numba's compiler.
+    expected = reference.execute(x, factors)
+    got = jitted.execute(x, factors).copy()
+    scale = max(float(np.max(np.abs(expected))), 1.0)
+    max_rel_err = float(np.max(np.abs(got - expected))) / scale
+    identical = max_rel_err <= PARITY_RTOL[str(dtype)]
+
+    numba_seconds = numpy_seconds = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        jitted.execute(x, factors)
+        numba_seconds = min(numba_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        reference.execute(x, factors)
+        numpy_seconds = min(numpy_seconds, time.perf_counter() - start)
+
+    return NumbaComparison(
+        m=m,
+        p=p,
+        n=n,
+        dtype=str(dtype),
+        numba_seconds=numba_seconds,
+        numpy_seconds=numpy_seconds,
+        identical=identical,
+        max_rel_err=max_rel_err,
+    )
+
+
+def run_sweep(repeats: int = 3) -> List[NumbaComparison]:
+    return [compare_numba(m, p, n, dtype, repeats=repeats) for m, p, n, dtype in SWEEP]
+
+
+def snapshot(results: List[NumbaComparison]) -> Dict:
+    """The ``BENCH_numba.json`` payload; schema shared with the serving gate."""
+    configs = {}
+    for (m, p, n, dtype), result in zip(SWEEP, results):
+        configs[config_key(m, p, n, dtype)] = {
+            "numba_ms": round(result.numba_seconds * 1e3, 2),
+            "numpy_ms": round(result.numpy_seconds * 1e3, 2),
+            "speedup": round(result.speedup, 3),
+            "max_rel_err": result.max_rel_err,
+            "identical": result.identical,
+        }
+    return {
+        "schema": 1,
+        "version": __version__,
+        "cpu_count": os.cpu_count(),
+        "configs": configs,
+    }
+
+
+def results_table(results: List[NumbaComparison]) -> ResultTable:
+    table = ResultTable(
+        name="Numba single-pass JIT kernels vs numpy GEMM dispatch",
+        headers=["workload", "numba ms", "numpy ms", "speedup",
+                 "max rel err", "within tol"],
+    )
+    for r in results:
+        table.add_row(
+            r.label(), round(r.numba_seconds * 1e3, 2),
+            round(r.numpy_seconds * 1e3, 2), round(r.speedup, 2),
+            f"{r.max_rel_err:.2e}", r.identical,
+        )
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# pytest entry points
+# --------------------------------------------------------------------------- #
+@pytest.mark.benchmark(group="numba")
+def test_numba_sweep(benchmark, save_table, results_dir):
+    """Regenerate the numba table + JSON snapshot; every row within tolerance."""
+    if not NUMBA_AVAILABLE:
+        pytest.skip("numba is not installed")
+    results = run_sweep()
+    save_table(results_table(results), "Numba-Comparison.csv")
+    path = Path(results_dir) / "BENCH_numba.json"
+    path.write_text(json.dumps(snapshot(results), indent=2, sort_keys=True))
+    for result in results:
+        assert result.identical, (
+            f"numba diverged from numpy on {result.label()} "
+            f"(max rel err {result.max_rel_err:.2e})"
+        )
+
+    def numba_once():
+        m, p, n, dtype = SWEEP[0]
+        return compare_numba(m, p, n, dtype, repeats=1)
+
+    benchmark(numba_once)
+
+
+def test_numba_speedup_gate():
+    """Acceptance: the JIT single-pass kernel >= 1.5x over the numpy backend
+    on a deep small-factor fusion-group shape."""
+    if not NUMBA_AVAILABLE:
+        pytest.skip("numba is not installed")
+    m, p, n, dtype = GATE_CASE
+    result = compare_numba(m, p, n, dtype, repeats=3)
+    assert result.identical
+    print(f"\nnumba speedup on {result.label()}: {result.speedup:.2f}x")
+    assert result.speedup >= GATE_MIN_SPEEDUP, (
+        f"numba kernel only {result.speedup:.2f}x over the numpy backend"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# script entry point (used by CI to emit the artifact)
+# --------------------------------------------------------------------------- #
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        default=str(Path(__file__).parent / "results" / "BENCH_numba.json"),
+        help="where to write the perf snapshot",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    if not NUMBA_AVAILABLE:
+        print("numba is not installed; nothing to benchmark", file=sys.stderr)
+        return 1
+
+    results = run_sweep(repeats=args.repeats)
+    print(results_table(results).render())
+    payload = snapshot(results)
+    path = Path(args.json)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nwrote {path}")
+    if not all(r.identical for r in results):
+        print("error: numba results diverged beyond tolerance", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,12 @@ relevant models/algorithms, prints the same rows/series the paper reports and
 writes them as CSV under ``benchmarks/results/`` so EXPERIMENTS.md can
 reference them.  The ``benchmark`` fixture (pytest-benchmark) additionally
 times a representative piece of real work for each experiment.
+
+The ``--backend`` option routes the execution-path benchmarks
+(``bench_kernels.py``) through the backend seam, so the simulated-kernel
+numbers and a real JIT backend are comparable in one sweep::
+
+    PYTHONPATH=src pytest benchmarks/bench_kernels.py --backend numba
 """
 
 from __future__ import annotations
@@ -17,6 +23,42 @@ import pytest
 from repro.utils.reporting import ResultTable
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--backend",
+        action="store",
+        default=None,
+        help="execution backend the kernel benchmarks route their multiplies "
+             "through (numpy, threaded, process, numba, ...); default: the "
+             "process default backend",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_backend(request):
+    """The resolved ``--backend`` instance (None = process default).
+
+    Skips the requesting test when the named backend is registered but
+    unavailable in this environment (e.g. ``--backend numba`` without numba
+    installed), mirroring how the parity suite treats optional adapters.
+    """
+    from repro.backends import get_backend, registered_backends
+    from repro.exceptions import BackendError
+
+    name = request.config.getoption("--backend")
+    if name is None:
+        return None
+    try:
+        return get_backend(name)
+    except BackendError as exc:
+        registered_unavailable = {
+            entry[0] for entry in registered_backends() if not entry[1]
+        }
+        if name in registered_unavailable:
+            pytest.skip(f"backend {name!r} unavailable: {exc}")
+        raise
 
 
 @pytest.fixture(scope="session")

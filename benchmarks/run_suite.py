@@ -1,8 +1,8 @@
 """One entrypoint for every CI benchmark suite: gate → snapshot → regression check.
 
-The CI ``bench`` job is a matrix over ``{serving, plan, fused, process}``;
-each leg runs this script with the suite name, which performs the three
-steps the old hand-unrolled workflow blocks duplicated per suite:
+The CI ``bench`` job is a matrix over ``{serving, plan, fused, process,
+numba}``; each leg runs this script with the suite name, which performs the
+three steps the old hand-unrolled workflow blocks duplicated per suite:
 
 1. **acceptance gate** — the suite's pytest ``speedup`` tests (they skip
    themselves on runners without enough cores);
@@ -11,6 +11,11 @@ steps the old hand-unrolled workflow blocks duplicated per suite:
 3. **regression check** — ``check_serving_regression.py`` against the
    committed ``benchmarks/baselines/BENCH_<suite>_baseline.json``, labelled
    with the suite name so a failing matrix leg says what regressed.
+
+Suites that depend on an optional library declare it via ``requires``; when
+the module is not importable the whole suite (gate, snapshot and check) is
+skipped with exit code 0, so the matrix stays green on environments without
+the optional backend installed.
 
 Self-contained: invoked as ``python benchmarks/run_suite.py <suite>`` with
 no ``PYTHONPATH`` — it locates the repo's ``src`` itself and forwards it to
@@ -25,6 +30,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import importlib.util
 import os
 import subprocess
 import sys
@@ -51,6 +57,11 @@ class Suite:
     script: str
     #: pytest -k expression selecting the acceptance-gate tests.
     gate_expr: str = "speedup"
+    #: Optional module the suite needs; the suite skips (exit 0) without it.
+    requires: str = ""
+    #: Regression-check tolerance; JIT suites get extra headroom since their
+    #: speedups also depend on compiler/runtime versions, not just the code.
+    tolerance: float = 0.20
 
     @property
     def script_path(self) -> Path:
@@ -71,6 +82,7 @@ SUITES: Dict[str, Suite] = {
         Suite("plan", "bench_plan.py"),
         Suite("fused", "bench_fused.py"),
         Suite("process", "bench_process.py"),
+        Suite("numba", "bench_numba.py", requires="numba", tolerance=0.35),
     )
 }
 
@@ -91,10 +103,16 @@ def run_suite(
     suite: Suite,
     results_dir: Path,
     repeats: Optional[int] = None,
-    tolerance: float = 0.20,
+    tolerance: Optional[float] = None,
     skip_gate: bool = False,
     skip_check: bool = False,
 ) -> int:
+    if suite.requires and importlib.util.find_spec(suite.requires) is None:
+        print(f"=== suite [{suite.name}]: skipped "
+              f"({suite.requires!r} is not installed)")
+        return 0
+    if tolerance is None:
+        tolerance = suite.tolerance
     if skip_gate:
         print(f"=== gate [{suite.name}]: skipped (--skip-gate)")
     else:
@@ -140,8 +158,9 @@ def main(argv=None) -> int:
                         help="where BENCH_<suite>.json lands (default benchmarks/results)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="forwarded to the benchmark script's --repeats")
-    parser.add_argument("--tolerance", type=float, default=0.20,
-                        help="regression-check tolerance (default 0.20)")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="regression-check tolerance "
+                             "(default: the suite's own, usually 0.20)")
     parser.add_argument("--skip-gate", action="store_true",
                         help="skip the pytest acceptance gate")
     parser.add_argument("--skip-check", action="store_true",

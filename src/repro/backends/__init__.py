@@ -15,6 +15,10 @@ through an :class:`ArrayBackend` resolved by name from the registry:
     over shared memory — one IPC round-trip per execution, no GIL ceiling,
     still bit-identical to ``numpy``.  Unavailable in environments without
     POSIX shared memory.
+``numba``
+    JIT-compiled single-pass sliced-multiply kernels (the sliced multiply
+    and the interleaved store in one tiled, ``prange``-parallel loop nest);
+    resolvable only when numba is installed.
 ``torch`` / ``cupy``
     Optional device adapters, resolvable only when their libraries are
     installed; the registry reports them as unavailable otherwise.
@@ -28,6 +32,7 @@ True
 from repro.backends.arena import ScratchArena
 from repro.backends.base import ArrayBackend
 from repro.backends.cupy_backend import CupyBackend
+from repro.backends.numba_backend import NumbaBackend
 from repro.backends.numpy_backend import NumpyBackend
 from repro.backends.process_backend import ProcessBackend
 from repro.backends.registry import (
@@ -46,6 +51,7 @@ __all__ = [
     "ArrayBackend",
     "CupyBackend",
     "ScratchArena",
+    "NumbaBackend",
     "NumpyBackend",
     "ProcessBackend",
     "ThreadedBackend",

@@ -73,6 +73,13 @@ class ArrayBackend:
     #: backend round-trip per execution instead of one dispatch per group.
     supports_plan_execution: bool = False
 
+    #: Backends whose execution kernels honour the host-JIT tile parameters a
+    #: :class:`~repro.kernels.tile_config.TileConfig` carries (``krows``,
+    #: ``kslices``, ``kunroll``) set this; the autotuner's
+    #: ``tune_kernel_tiles`` plan pass only searches those parameters on such
+    #: backends (they are a no-op everywhere else).
+    supports_kernel_tiles: bool = False
+
     #: Backends whose :meth:`workspace_empty` buffers other processes can see
     #: set this; the serving engine then row-stacks coalesced batches
     #: straight into such a buffer instead of ``np.concatenate``-ing first.

@@ -1,0 +1,444 @@
+"""Optional numba adapter — the first backend where "one specialised kernel" is real.
+
+Every other CPU backend composes a sliced multiply out of library pieces: a
+big reshaped GEMM per slice batch (:func:`~repro.backends.base.sliced_gemm_into`)
+followed by the separate :func:`~repro.backends.base.write_swapped` pass
+through a ``products`` staging buffer.  This backend instead JIT-compiles a
+*single-pass* kernel that performs the sliced multiply **and** the
+interleaved store (the index mapping of :mod:`repro.kernels.store_indexing`)
+in one fused, tiled, ``prange``-parallel loop nest — no ``write_swapped``
+pass, no per-slice GEMM dispatch, no ``products`` temporary.  The fused
+variant chains a whole fusion group inside the loop body, so intra-group
+intermediates live in per-thread row-tile scratch and never reach the
+workspace at all.
+
+Kernel construction is an ``@lru_cache``'d factory
+(:func:`make_sliced_multiply_kernel`): the cache key is
+``(kind, dtype, n_fused, tile params, fastmath, parallel)``.  Tile
+parameters (``TileConfig.krows`` / ``kslices`` / ``kunroll``) are passed to
+the compiled dispatcher as *runtime arguments*, so the autotuner's
+``tune_kernel_tiles`` search never triggers a recompile — numba specialises
+once per dtype/layout signature and every tile candidate reuses it.
+
+Import-gated like the torch/cupy adapters: when numba is not installed
+:meth:`NumbaBackend.is_available` is False and the registry reports the
+backend as unavailable instead of failing at import time.  The kernels are
+plain module-level Python functions, so they also run *uncompiled* — the
+test suite exercises them without numba via ``NumbaBackend(python_fallback=True)``.
+
+Environment knobs (all read at backend construction):
+
+``FASTKRON_NUMBA_PARALLEL``
+    ``0`` disables ``prange`` parallelisation (default on).
+``FASTKRON_NUMBA_FASTMATH``
+    ``1`` compiles with ``fastmath=True`` (default off; enables reassociation,
+    so parity versus the BLAS reference is tolerance-only either way).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backends.arena import ScratchArena
+from repro.backends.base import ArrayBackend, fused_chain_rows, sliced_gemm_into
+
+if TYPE_CHECKING:  # imported lazily: repro.plan depends on repro.backends
+    from repro.kernels.tile_config import TileConfig
+    from repro.plan.ir import KronPlan
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit, prange
+
+    _NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover
+    njit = None  # type: ignore[assignment]
+    prange = range  # the pure-Python kernels fall back to a serial loop
+    _NUMBA_AVAILABLE = False
+
+#: Dtypes the JIT kernels are compiled for; anything else falls back to the
+#: GEMM + swapped-write path.
+_KERNEL_DTYPES = ("float32", "float64")
+
+#: Default row-tile byte budget: one row tile's input slice chunk should sit
+#: comfortably in L2 next to the factor tile.
+_DEFAULT_ROW_TILE_BYTES = 1 << 18
+
+
+def _pick_row_tile(m: int, k: int, itemsize: int) -> int:
+    """Backend-default ``krows``: cache-budgeted, clamped to [8, 128]."""
+    if m <= 8:
+        return max(1, m)
+    per_row = max(1, 2 * k * itemsize)  # the row is read once and written once
+    rows = _DEFAULT_ROW_TILE_BYTES // per_row
+    return int(min(m, max(8, min(128, rows))))
+
+
+# --------------------------------------------------------------------------- #
+# kernels (module-level pure-Python; njit-wrapped by the factory)
+# --------------------------------------------------------------------------- #
+def _sliced_multiply_kernel(x, ft, out, n_slices, p, q, tile_rows, tile_slices, unroll):
+    """One sliced multiply with the interleaved store fused into the write.
+
+    ``ft`` is the *transposed* factor (``(Q, P)``) so the inner reduction
+    walks both operands contiguously.  ``out[i, c * n_slices + s]`` receives
+    ``sum_t x[i, s*p + t] * f[t, c]`` directly — the store-index mapping of
+    ``kernels/store_indexing.py`` applied element-wise, with no ``products``
+    temporary and no separate swap pass.  ``unroll >= 2`` splits the
+    reduction across two accumulators (reassociates: tolerance parity only).
+    """
+    m = x.shape[0]
+    n_row_tiles = (m + tile_rows - 1) // tile_rows
+    for rt in prange(n_row_tiles):
+        r0 = rt * tile_rows
+        r1 = min(r0 + tile_rows, m)
+        for s0 in range(0, n_slices, tile_slices):
+            s1 = min(s0 + tile_slices, n_slices)
+            for i in range(r0, r1):
+                for s in range(s0, s1):
+                    base = s * p
+                    for c in range(q):
+                        if unroll >= 2 and p >= 2:
+                            acc0 = x[i, base] * ft[c, 0]
+                            acc1 = x[i, base + 1] * ft[c, 1]
+                            t = 2
+                            while t + 1 < p:
+                                acc0 += x[i, base + t] * ft[c, t]
+                                acc1 += x[i, base + t + 1] * ft[c, t + 1]
+                                t += 2
+                            if t < p:
+                                acc0 += x[i, base + t] * ft[c, t]
+                            out[i, c * n_slices + s] = acc0 + acc1
+                        else:
+                            acc = x[i, base] * ft[c, 0]
+                            for t in range(1, p):
+                                acc += x[i, base + t] * ft[c, t]
+                            out[i, c * n_slices + s] = acc
+    return out
+
+
+def _fused_chain_kernel(x, fts, out, k, p, tile_rows, unroll):
+    """A whole fusion group in one launch: chain ``fts`` inside the row tile.
+
+    ``fts`` stacks the group's transposed square factors (``(n_steps, P, P)``;
+    fusion groups are uniform square by construction, so the width stays
+    ``k`` throughout).  Each row tile ping-pongs through two per-thread
+    scratch buffers that stay cache-resident; only the final step writes the
+    caller's ``out`` — the group's intermediates never touch the workspace.
+    """
+    m = x.shape[0]
+    n_steps = fts.shape[0]
+    n_slices = k // p
+    n_row_tiles = (m + tile_rows - 1) // tile_rows
+    for rt in prange(n_row_tiles):
+        r0 = rt * tile_rows
+        r1 = min(r0 + tile_rows, m)
+        bm = r1 - r0
+        buf0 = np.empty((bm, k), dtype=x.dtype)
+        buf1 = np.empty((bm, k), dtype=x.dtype)
+        for j in range(n_steps):
+            if j == 0:
+                src = x[r0:r1]
+            elif j % 2 == 1:
+                src = buf0
+            else:
+                src = buf1
+            if j == n_steps - 1:
+                dst = out[r0:r1]
+            elif j % 2 == 0:
+                dst = buf0
+            else:
+                dst = buf1
+            ft = fts[j]
+            for i in range(bm):
+                for s in range(n_slices):
+                    base = s * p
+                    for c in range(p):
+                        if unroll >= 2 and p >= 2:
+                            acc0 = src[i, base] * ft[c, 0]
+                            acc1 = src[i, base + 1] * ft[c, 1]
+                            t = 2
+                            while t + 1 < p:
+                                acc0 += src[i, base + t] * ft[c, t]
+                                acc1 += src[i, base + t + 1] * ft[c, t + 1]
+                                t += 2
+                            if t < p:
+                                acc0 += src[i, base + t] * ft[c, t]
+                            dst[i, c * n_slices + s] = acc0 + acc1
+                        else:
+                            acc = src[i, base] * ft[c, 0]
+                            for t in range(1, p):
+                                acc += src[i, base + t] * ft[c, t]
+                            dst[i, c * n_slices + s] = acc
+    return out
+
+
+_PYFUNCS = {
+    "sliced": _sliced_multiply_kernel,
+    "fused": _fused_chain_kernel,
+}
+
+
+@lru_cache(maxsize=None)
+def _compiled_dispatcher(kind: str, fastmath: bool, parallel: bool) -> Callable:
+    """One numba dispatcher per (kernel kind, compile flags).
+
+    Tile parameters are runtime arguments, so every tile candidate the
+    autotuner tries — and every dtype the dispatcher lazily specialises for —
+    shares this compilation.  ``cache=True`` persists the machine code under
+    ``NUMBA_CACHE_DIR`` across processes (the CI bench job relies on it).
+    """
+    if not _NUMBA_AVAILABLE:  # pragma: no cover - callers gate on availability
+        raise ImportError("numba is not installed")
+    return njit(parallel=parallel, fastmath=fastmath, cache=True)(_PYFUNCS[kind])
+
+
+@lru_cache(maxsize=None)
+def make_sliced_multiply_kernel(
+    kind: str,
+    dtype: str,
+    n_fused: int,
+    tile_params: Tuple[int, int, int],
+    fastmath: bool = False,
+    parallel: bool = True,
+    compile_kernel: bool = True,
+) -> Callable:
+    """The ``@lru_cache``'d kernel factory.
+
+    Keyed by ``(kind, dtype, fusion-group length, tile params, flags)`` — a
+    warm call returns the *identical* callable with zero work.  The returned
+    callable takes the kernel's positional operands with the tile parameters
+    already bound; compilation itself is shared through
+    :func:`_compiled_dispatcher`, so a cold key with previously seen flags
+    costs only the closure construction, not a recompile.
+
+    ``compile_kernel=False`` binds the uncompiled pure-Python function —
+    the testable fallback used when numba is absent.
+    """
+    del dtype, n_fused  # identity only: the dispatcher specialises lazily
+    krows, kslices, kunroll = tile_params
+    func = (
+        _compiled_dispatcher(kind, fastmath, parallel)
+        if compile_kernel
+        else _PYFUNCS[kind]
+    )
+    if kind == "fused":
+
+        def fused_call(x, fts, out, k, p):
+            return func(x, fts, out, k, p, krows, kunroll)
+
+        return fused_call
+
+    def sliced_call(x, ft, out, n_slices, p, q):
+        return func(x, ft, out, n_slices, p, q, krows, kslices, kunroll)
+
+    return sliced_call
+
+
+def _env_flag(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("0", "false", "no", "off", "")
+
+
+class NumbaBackend(ArrayBackend):
+    """JIT-compiled single-pass sliced-multiply kernels (numba, CPU)."""
+
+    name = "numba"
+    description = "numba JIT single-pass kernels (tiled, prange-parallel)"
+    # The JIT kernel accumulates each output element as one sequential dot
+    # product (optionally unrolled across accumulators); BLAS blocks and
+    # vectorises the same reduction, so low-order float bits differ and the
+    # parity suite compares to tolerance.
+    bit_identical = False
+    # The backend interprets whole plans itself so the per-step TileConfig
+    # kernel parameters (krows/kslices/kunroll) reach the kernels — the
+    # executor's primitive seam does not carry tiles.
+    supports_plan_execution = True
+    supports_kernel_tiles = True
+
+    def __init__(
+        self,
+        parallel: Optional[bool] = None,
+        fastmath: Optional[bool] = None,
+        python_fallback: bool = False,
+    ):
+        if not _NUMBA_AVAILABLE and not python_fallback:
+            raise ImportError(
+                "numba is not installed (pip install fastkron-repro[numba])"
+            )
+        self.compile_kernels = _NUMBA_AVAILABLE and not python_fallback
+        self.parallel = (
+            _env_flag("FASTKRON_NUMBA_PARALLEL", True) if parallel is None else bool(parallel)
+        )
+        self.fastmath = (
+            _env_flag("FASTKRON_NUMBA_FASTMATH", False) if fastmath is None else bool(fastmath)
+        )
+        # Scratch for plan executions this backend interprets itself and for
+        # staging strided operands contiguously before a kernel launch.
+        self._arena = ScratchArena()
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return _NUMBA_AVAILABLE
+
+    # ------------------------------------------------------------------ #
+    # operand staging
+    # ------------------------------------------------------------------ #
+    def _contiguous(self, array: np.ndarray, tag: str, arena: ScratchArena) -> np.ndarray:
+        """Stage a strided operand into C-contiguous arena scratch.
+
+        One njit specialisation (C layout) serves every call site; the
+        executor's workspace views are column-trimmed and therefore strided.
+        """
+        if array.flags["C_CONTIGUOUS"]:
+            return array
+        staged = arena.get(tag, array.shape, array.dtype)
+        np.copyto(staged, array)
+        return staged
+
+    def _supported_dtype(self, out: np.ndarray, *operands: np.ndarray) -> bool:
+        return str(out.dtype) in _KERNEL_DTYPES and all(
+            op.dtype == out.dtype for op in operands
+        )
+
+    @staticmethod
+    def _uniform_square(factors: Sequence[np.ndarray]) -> Optional[int]:
+        """The common P when every factor is the same square shape, else None."""
+        p = factors[0].shape[0]
+        for f in factors:
+            if f.shape != (p, p):
+                return None
+        return int(p)
+
+    # ------------------------------------------------------------------ #
+    # the ArrayBackend primitives
+    # ------------------------------------------------------------------ #
+    def sliced_multiply_into(
+        self,
+        x: np.ndarray,
+        f: np.ndarray,
+        out: np.ndarray,
+        m: int,
+        k: int,
+        p: int,
+        q: int,
+        arena: Optional[ScratchArena] = None,
+        tile: Optional["TileConfig"] = None,
+    ) -> np.ndarray:
+        if not self._supported_dtype(out, x, f):
+            return sliced_gemm_into(x, f, out, m, k, p, q, arena=arena)
+        if arena is None:
+            arena = self._arena
+        n_slices = k // p
+        xs = self._contiguous(x, "nb_x", arena)
+        ft = arena.get("nb_ft", (q, p), f.dtype)
+        np.copyto(ft, f.T)
+        # A tile's zeros mean "backend default", resolved here at call time.
+        krows, kslices, kunroll = (
+            tile.kernel_tile_key() if tile is not None else (0, 0, 0)
+        )
+        krows = int(krows) or _pick_row_tile(m, k, out.dtype.itemsize)
+        kslices = int(kslices) or n_slices
+        kunroll = int(kunroll) or 1
+        kernel = make_sliced_multiply_kernel(
+            "sliced", str(out.dtype), 1, (krows, kslices, kunroll),
+            fastmath=self.fastmath, parallel=self.parallel,
+            compile_kernel=self.compile_kernels,
+        )
+        if out.flags["C_CONTIGUOUS"]:
+            kernel(xs, ft, out, n_slices, p, q)
+        else:
+            staged = arena.get("nb_out", (m, n_slices * q), out.dtype)
+            kernel(xs, ft, staged, n_slices, p, q)
+            np.copyto(out, staged)
+        return out
+
+    def fused_sliced_multiply_into(
+        self,
+        x: np.ndarray,
+        factors: Sequence[np.ndarray],
+        out: np.ndarray,
+        m: int,
+        k: int,
+        row_block: int = 0,
+        arena: Optional[ScratchArena] = None,
+        tile: Optional["TileConfig"] = None,
+    ) -> np.ndarray:
+        if arena is None:
+            arena = self._arena
+        p = self._uniform_square(factors)
+        if p is None or not self._supported_dtype(out, x, *factors):
+            # Rectangular / mixed groups (which plan_fusion never emits, but
+            # the seam allows) take the generic row-blocked GEMM chain.
+            return fused_chain_rows(x, factors, out, k, row_block, arena)
+        n_steps = len(factors)
+        xs = self._contiguous(x, "nb_x", arena)
+        fts = arena.get("nb_fts", (n_steps, p, p), out.dtype)
+        for j, f in enumerate(factors):
+            np.copyto(fts[j], f.T)
+        krows = (tile.krows if tile is not None else 0) or row_block
+        krows = krows or _pick_row_tile(m, k, out.dtype.itemsize)
+        kunroll = (tile.kunroll if tile is not None else 0) or 1
+        kernel = make_sliced_multiply_kernel(
+            "fused", str(out.dtype), n_steps, (int(krows), 0, int(kunroll)),
+            fastmath=self.fastmath, parallel=self.parallel,
+            compile_kernel=self.compile_kernels,
+        )
+        if out.flags["C_CONTIGUOUS"]:
+            kernel(xs, fts, out, k, p)
+        else:
+            staged = arena.get("nb_out", (m, k), out.dtype)
+            kernel(xs, fts, staged, k, p)
+            np.copyto(out, staged)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # whole-plan execution (how tuned kernel tiles reach the kernels)
+    # ------------------------------------------------------------------ #
+    def execute_plan(
+        self,
+        plan: "KronPlan",
+        x: np.ndarray,
+        factors: Sequence[np.ndarray],
+        buffers: Dict[str, np.ndarray],
+        rows: int,
+    ) -> Optional[np.ndarray]:
+        """Interpret the whole group walk so per-step tiles reach the kernels.
+
+        The :class:`~repro.plan.executor.PlanExecutor` primitive seam does
+        not carry :class:`TileConfig`; taking over the walk (through the
+        shared :func:`~repro.plan.executor.run_groups`, so semantics cannot
+        drift) lets each group's kernel launch bind its tuned
+        ``krows``/``kslices``/``kunroll``.  Declines (``None``) on dtypes
+        the kernels are not compiled for.
+        """
+        from repro.plan.executor import run_groups  # lazy: avoids an import cycle
+
+        if str(plan.np_dtype) not in _KERNEL_DTYPES:
+            return None
+
+        current_group = {"index": 0}
+
+        def dest_of(gi: int, last) -> np.ndarray:
+            current_group["index"] = gi
+            return buffers[last.target][:rows, : last.out_cols]
+
+        def fused(src, group_factors, dest, k, row_block) -> None:
+            first = plan.steps[plan.groups[current_group["index"]][0]]
+            self.fused_sliced_multiply_into(
+                src, group_factors, dest, rows, k,
+                row_block=row_block, arena=self._arena, tile=first.tile,
+            )
+
+        def single(src, factor, dest, step) -> None:
+            self.sliced_multiply_into(
+                src, factor, dest, rows, step.k, step.p, step.q,
+                arena=self._arena, tile=step.tile,
+            )
+
+        return run_groups(plan, x, factors, dest_of, fused, single)

@@ -25,6 +25,7 @@ from typing import Dict, Iterator, List, Tuple, Type, Union
 
 from repro.backends.base import ArrayBackend
 from repro.backends.cupy_backend import CupyBackend
+from repro.backends.numba_backend import NumbaBackend
 from repro.backends.numpy_backend import NumpyBackend
 from repro.backends.process_backend import ProcessBackend
 from repro.backends.threaded import ThreadedBackend
@@ -139,5 +140,6 @@ def use_backend(backend: BackendLike) -> Iterator[ArrayBackend]:
 register_backend(NumpyBackend)
 register_backend(ThreadedBackend)
 register_backend(ProcessBackend)
+register_backend(NumbaBackend)
 register_backend(TorchBackend)
 register_backend(CupyBackend)

@@ -5,6 +5,7 @@ Installed as the ``fastkron-repro`` console script::
     fastkron-repro estimate --m 1024 --p 8 --n 5
     fastkron-repro tune --m 1024 --p 16 --n 4 --max-candidates 2000
     fastkron-repro plan --m 1024 --p 8 --n 5 --tune
+    fastkron-repro --backend numba plan --m 1024 --p 8 --n 5 --tune-kernel
     fastkron-repro compare --m 1024 --p 8 --n 6
     fastkron-repro realworld --case 23
     fastkron-repro scaling --p 64 --n 4 --gpus 16
@@ -14,11 +15,13 @@ Installed as the ``fastkron-repro`` console script::
     fastkron-repro --backend threaded bench-serve --requests 256 --rows 8
 
 The global ``--backend`` flag selects the execution backend (numpy,
-threaded, process, torch, cupy) for every numerical path of the invoked
-subcommand; ``backends`` lists what is available in this environment.  The
-``process`` backend's pool is configured through the
+threaded, process, numba, torch, cupy) for every numerical path of the
+invoked subcommand; ``backends`` lists what is available in this
+environment.  The ``process`` backend's pool is configured through the
 ``FASTKRON_PROCESS_WORKERS`` / ``FASTKRON_PROCESS_MIN_ROWS`` /
-``FASTKRON_PROCESS_START_METHOD`` environment variables.  ``serve`` drives
+``FASTKRON_PROCESS_START_METHOD`` environment variables; the ``numba``
+backend's JIT flags through ``FASTKRON_NUMBA_PARALLEL`` /
+``FASTKRON_NUMBA_FASTMATH``.  ``serve`` drives
 a :class:`~repro.serving.KronEngine` with a synthetic multi-client workload
 and reports its coalescing/plan-cache statistics; ``bench-serve`` times
 engine-batched serving against sequential per-request calls.
@@ -162,7 +165,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         problem, fuse=not args.no_fuse, row_capacity=args.row_capacity,
         cache_budget_bytes=args.cache_budget,
     )
-    if args.tune or args.tune_row_block:
+    if args.tune or args.tune_row_block or args.tune_kernel:
         from repro.tuner import Autotuner
 
         spec = spec_by_name(args.gpu)
@@ -173,6 +176,8 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             plan = tuner.tune_plan(plan)
         if args.tune_row_block:
             plan = tuner.tune_row_blocks(plan)
+        if args.tune_kernel:
+            plan = tuner.tune_kernel_tiles(plan)
     if args.json:
         print(json.dumps(plan.to_dict(), indent=2, sort_keys=True))
         return 0
@@ -372,7 +377,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         default=None,
         help="execution backend for all numerical paths: numpy, threaded, "
-             "process (multi-process over shared memory), torch, cupy "
+             "process (multi-process over shared memory), numba (JIT "
+             "single-pass kernels), torch, cupy "
              "(see the 'backends' subcommand for availability)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -419,6 +425,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_pl.add_argument("--tune-row-block", action="store_true",
                       help="empirically tune the fused groups' row-block sizes "
                            "(measured executions, not the roofline model)")
+    p_pl.add_argument("--tune-kernel", action="store_true",
+                      help="empirically tune the JIT kernel tile parameters "
+                           "(krows/kunroll; only effective with --backend numba, "
+                           "a no-op on backends without kernel tiles)")
     p_pl.add_argument("--json", action="store_true",
                       help="dump the serialised plan (KronPlan.to_dict) instead of the summary")
     p_pl.set_defaults(func=_cmd_plan)

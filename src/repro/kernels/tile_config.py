@@ -45,6 +45,13 @@ class TileConfig:
     rp: int
     #: Number of consecutive sliced multiplications fused into the kernel.
     nfused: int = 1
+    #: Rows per JIT-kernel row tile (host kernel backends; 0 = backend default).
+    krows: int = 0
+    #: Slices per JIT-kernel slice tile (0 = all slices at once).
+    kslices: int = 0
+    #: Reduction unroll factor of the JIT kernel's inner dot product
+    #: (multi-accumulator splitting; 0/1 = strict left-to-right order).
+    kunroll: int = 0
 
     # ------------------------------------------------------------------ #
     # validation
@@ -74,6 +81,11 @@ class TileConfig:
             raise ConfigurationError(f"T_M={self.tm} must be >= 1")
         if self.nfused < 1:
             raise ConfigurationError(f"N_fused={self.nfused} must be >= 1")
+        if self.krows < 0 or self.kslices < 0 or self.kunroll < 0:
+            raise ConfigurationError(
+                f"kernel tile parameters must be non-negative "
+                f"(krows={self.krows}, kslices={self.kslices}, kunroll={self.kunroll})"
+            )
         if self.nfused > 1:
             if self.tp != p:
                 raise ConfigurationError(
@@ -168,13 +180,31 @@ class TileConfig:
         return replace(self, nfused=nfused)
 
     def key(self) -> tuple:
-        return (self.tm, self.tk, self.tp, self.tq, self.rk, self.rq, self.rp, self.nfused)
+        return (
+            self.tm, self.tk, self.tp, self.tq, self.rk, self.rq, self.rp, self.nfused,
+            self.krows, self.kslices, self.kunroll,
+        )
+
+    def kernel_tile_key(self) -> tuple:
+        """Just the host-JIT kernel parameters (the ``tune_kernel_tiles`` axis)."""
+        return (self.krows, self.kslices, self.kunroll)
+
+    @property
+    def has_kernel_tiles(self) -> bool:
+        """Whether any host-JIT kernel parameter deviates from the backend default."""
+        return bool(self.krows or self.kslices or self.kunroll)
+
+    def with_kernel_tiles(self, krows: int, kslices: int, kunroll: int) -> "TileConfig":
+        return replace(self, krows=int(krows), kslices=int(kslices), kunroll=int(kunroll))
 
     def describe(self) -> str:
-        return (
+        base = (
             f"TM={self.tm} TK={self.tk} TP={self.tp} TQ={self.tq} "
             f"RK={self.rk} RQ={self.rq} RP={self.rp} Nfused={self.nfused}"
         )
+        if self.has_kernel_tiles:
+            base += f" Krows={self.krows} Kslices={self.kslices} Kunroll={self.kunroll}"
+        return base
 
 
 def max_fusable(tile_k: int, p: int) -> int:

@@ -40,10 +40,12 @@ INPUT_BUFFER = "X"
 WORKSPACE_BUFFERS = ("W0", "W1")
 
 #: Schema 2 added ``cache_budget_bytes`` and per-group ``group_row_blocks``
-#: (the row-blocked fused-execution parameters); schema-1 payloads still
-#: load with both defaulted.
-_SCHEMA = 2
-_LEGACY_SCHEMAS = (1,)
+#: (the row-blocked fused-execution parameters); schema 3 added the host-JIT
+#: kernel tile parameters (``krows``/``kslices``/``kunroll``) to each step's
+#: serialised :class:`~repro.kernels.tile_config.TileConfig`.  Legacy payloads
+#: still load with every newer field defaulted.
+_SCHEMA = 3
+_LEGACY_SCHEMAS = (1, 2)
 
 
 @dataclass(frozen=True)

@@ -34,6 +34,17 @@ from repro.perfmodel.roofline import RooflineModel
 from repro.tuner.cache import TuningCache, shape_key
 from repro.tuner.search_space import SearchSpaceStats, enumerate_tile_configs
 
+#: Upper bound on the candidate plans an empirical plan pass will time.
+#: Deep chains multiply the per-group choices, so candidate enumeration is
+#: capped here rather than trusting the caller's scale/grid inputs.
+MAX_EMPIRICAL_CANDIDATES = 32
+
+#: The kernel-tile search grid of ``tune_kernel_tiles``: row-tile sizes and
+#: reduction unrolls (0 = the backend's own default).  Kept deliberately
+#: small — every point costs real warm-up + timed executions.
+KERNEL_TILE_ROWS = (0, 16, 32, 64, 128)
+KERNEL_TILE_UNROLLS = (1, 2)
+
 
 @dataclass
 class TuningResult:
@@ -233,7 +244,6 @@ class Autotuner:
         from repro.backends.registry import get_backend
         from repro.core.factors import random_factors_from_shapes
         from repro.plan.compiler import MIN_FUSED_ROW_BLOCK
-        from repro.plan.executor import PlanExecutor
 
         fused_groups = [gi for gi, g in enumerate(plan.groups) if len(g) > 1]
         if not fused_groups:
@@ -245,30 +255,148 @@ class Autotuner:
         x = rng.standard_normal((rows, plan.k)).astype(plan.np_dtype)
         factors = random_factors_from_shapes(plan.factor_shapes, dtype=plan.np_dtype, seed=seed)
 
-        candidates = []
-        for scale in scales:
-            blocks = {}
-            for gi in fused_groups:
-                base = plan.group_row_blocks[gi] or plan.m
-                blocks[gi] = min(plan.m, max(MIN_FUSED_ROW_BLOCK, int(base * scale)))
-            candidate = plan.with_group_row_blocks(blocks)
-            if all(c.group_row_blocks != candidate.group_row_blocks for c in candidates):
-                candidates.append(candidate)
+        candidates = _row_block_candidates(plan, fused_groups, scales, MIN_FUSED_ROW_BLOCK)
+        return _fastest_plan(plan, candidates, backend, x, factors, repeats)
 
-        best_plan, best_time = plan, float("inf")
-        for candidate in candidates:
-            executor = PlanExecutor(candidate, backend=backend)
-            try:
-                executor.execute(x, factors)  # warm the workspace and arena
-                elapsed = float("inf")
-                for _ in range(max(1, repeats)):
-                    start = time.perf_counter()
-                    executor.execute(x, factors)
-                    elapsed = min(elapsed, time.perf_counter() - start)
-            finally:
-                # Candidate executors are transient; hand the workspace back
-                # (a shared-memory unlink on the process backend).
-                executor.close()
-            if elapsed < best_time:
-                best_plan, best_time = candidate, elapsed
-        return best_plan
+    # ------------------------------------------------------------------ #
+    def tune_kernel_tiles(
+        self,
+        plan: "KronPlan",
+        rows: Optional[int] = None,
+        repeats: int = 3,
+        row_tiles: tuple = KERNEL_TILE_ROWS,
+        unrolls: tuple = KERNEL_TILE_UNROLLS,
+        seed: int = 0,
+        backend=None,
+    ) -> "KronPlan":
+        """Empirically tune the JIT kernel's tile parameters (a plan pass).
+
+        The search axes are the :class:`TileConfig` kernel fields a host-JIT
+        backend (numba) binds per launch: ``krows`` (rows per ``prange``
+        tile) and ``kunroll`` (reduction unroll / accumulator split).  Like
+        :meth:`tune_row_blocks` this measures real plan executions — JIT
+        warm-up runs are excluded by the untimed warm-up execution, which is
+        also what absorbs first-call compilation.  Every step shares the
+        candidate tile parameters (the kernels are launched per group, and
+        uniform parameters keep the search linear); the winning values are
+        persisted per step through the :class:`TuningCache`, so a later
+        ``compile_plan(..., tuning_cache=...)`` picks them up without
+        re-searching.
+
+        Backends that do not honour kernel tiles
+        (``supports_kernel_tiles`` unset) return the plan unchanged —
+        the parameters would be dead weight in the schedule.  ``backend``
+        optionally injects a live backend instance (tests use a
+        pure-Python-fallback numba backend); by default the plan's bound
+        backend name resolves through the registry.
+        """
+        from dataclasses import replace as dc_replace
+
+        from repro.backends.registry import get_backend
+        from repro.core.factors import random_factors_from_shapes
+
+        resolved = get_backend(backend if backend is not None else plan.backend)
+        if not getattr(resolved, "supports_kernel_tiles", False):
+            return plan
+
+        rows = plan.m if rows is None else min(int(rows), plan.m)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((rows, plan.k)).astype(plan.np_dtype)
+        factors = random_factors_from_shapes(plan.factor_shapes, dtype=plan.np_dtype, seed=seed)
+
+        def base_tile(step) -> TileConfig:
+            if step.tile is not None:
+                return step.tile
+            # Minimal valid config for the step's shape: the kernel fields
+            # are what this pass searches, the block fields just have to
+            # satisfy the IR's divisibility validation.
+            return TileConfig(tm=1, tk=step.p, tp=step.p, tq=1, rk=1, rq=1, rp=1)
+
+        candidates = []
+        seen = set()
+        for krows in row_tiles:
+            for kunroll in unrolls:
+                params = (int(krows), 0, int(kunroll))
+                if params in seen:
+                    continue
+                seen.add(params)
+                tiles = {
+                    step.index: dc_replace(
+                        base_tile(step), krows=params[0], kslices=params[1],
+                        kunroll=params[2],
+                    )
+                    for step in plan.steps
+                }
+                candidates.append(plan.with_step_tiles(tiles))
+                if len(candidates) >= MAX_EMPIRICAL_CANDIDATES:
+                    break
+            if len(candidates) >= MAX_EMPIRICAL_CANDIDATES:
+                break
+
+        best = _fastest_plan(plan, candidates, resolved, x, factors, repeats)
+        if best is not plan:
+            for step in best.steps:
+                if step.tile is not None:
+                    self.cache.put(
+                        shape_key(step.m, step.k, step.p, step.q, plan.np_dtype,
+                                  backend=plan.backend),
+                        step.tile,
+                    )
+        return best
+
+
+def _row_block_candidates(
+    plan: "KronPlan", fused_groups, scales, min_block: int
+) -> List["KronPlan"]:
+    """Distinct row-block rewrites of ``plan``, deduplicated and bounded.
+
+    Dedup is by a fingerprint *set* of the resulting ``group_row_blocks``
+    tuples — the old all-pairs scan was O(n²) in the candidate count — and
+    enumeration stops at :data:`MAX_EMPIRICAL_CANDIDATES` so a pathological
+    ``scales`` input cannot make deep chains time dozens of executions.
+    """
+    candidates: List["KronPlan"] = []
+    seen = set()
+    for scale in scales:
+        blocks = {}
+        for gi in fused_groups:
+            base = plan.group_row_blocks[gi] or plan.m
+            blocks[gi] = min(plan.m, max(min_block, int(base * scale)))
+        candidate = plan.with_group_row_blocks(blocks)
+        if candidate.group_row_blocks in seen:
+            continue
+        seen.add(candidate.group_row_blocks)
+        candidates.append(candidate)
+        if len(candidates) >= MAX_EMPIRICAL_CANDIDATES:
+            break
+    return candidates
+
+
+def _fastest_plan(
+    plan: "KronPlan", candidates, backend, x, factors, repeats: int
+) -> "KronPlan":
+    """Time each candidate plan's executions; the fastest rewrite wins.
+
+    The untimed warm-up execution per candidate fills the workspace and the
+    scratch arena — and, on JIT backends, absorbs kernel compilation — so
+    the timed repeats measure steady-state execution only.
+    """
+    from repro.plan.executor import PlanExecutor
+
+    best_plan, best_time = plan, float("inf")
+    for candidate in candidates:
+        executor = PlanExecutor(candidate, backend=backend)
+        try:
+            executor.execute(x, factors)  # warm the workspace and arena
+            elapsed = float("inf")
+            for _ in range(max(1, repeats)):
+                start = time.perf_counter()
+                executor.execute(x, factors)
+                elapsed = min(elapsed, time.perf_counter() - start)
+        finally:
+            # Candidate executors are transient; hand the workspace back
+            # (a shared-memory unlink on the process backend).
+            executor.close()
+        if elapsed < best_time:
+            best_plan, best_time = candidate, elapsed
+    return best_plan

@@ -10,8 +10,13 @@ the single-threaded ``numpy`` path need not be the best for a row-sharded or
 device backend, so ``(M, K, P, Q, dtype, backend)`` is the cache identity.
 The key scheme itself is the plan IR's per-step identity
 (:func:`repro.plan.fingerprint.step_key`, re-exported here as
-:func:`shape_key` for backwards compatibility); legacy five-field JSON keys
-written before backend qualification still load.
+:func:`shape_key` for backwards compatibility).
+
+The JSON serialisation is versioned (``{"schema": N, "entries": {...}}``)
+since kernel tile parameters joined :class:`TileConfig`; both legacy layouts
+still load — flat mappings with five-field keys (written before backend
+qualification) and flat mappings with six-field backend-qualified keys (the
+plan-era layout, written before the schema envelope).
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
+from repro.exceptions import ConfigurationError
 from repro.kernels.tile_config import TileConfig
 from repro.plan.fingerprint import DEFAULT_KEY_BACKEND, StepKey, step_key
 
@@ -28,6 +34,11 @@ ShapeKey = StepKey
 
 #: The per-step tuning identity — one scheme shared with the plan IR.
 shape_key = step_key
+
+#: Schema 2 wrapped the flat key→config mapping in a versioned envelope when
+#: the host-JIT kernel tile parameters (``krows``/``kslices``/``kunroll``)
+#: joined the serialised :class:`TileConfig`.
+_SCHEMA = 2
 
 __all__ = ["DEFAULT_KEY_BACKEND", "ShapeKey", "TuningCache", "shape_key"]
 
@@ -68,9 +79,10 @@ class TuningCache:
     # persistence
     # ------------------------------------------------------------------ #
     def to_json(self) -> str:
-        payload = {
+        entries = {
             ",".join(map(str, key)): asdict(config) for key, config in self._entries.items()
         }
+        payload = {"schema": _SCHEMA, "entries": entries}
         return json.dumps(payload, indent=2, sort_keys=True)
 
     def save(self, path: Union[str, Path]) -> Path:
@@ -81,8 +93,21 @@ class TuningCache:
 
     @classmethod
     def from_json(cls, text: str) -> "TuningCache":
+        payload = json.loads(text)
+        if isinstance(payload, dict) and "entries" in payload and "schema" in payload:
+            schema = payload["schema"]
+            if schema != _SCHEMA:
+                raise ConfigurationError(
+                    f"unsupported TuningCache schema {schema!r} (expected {_SCHEMA})"
+                )
+            entries = payload["entries"]
+        else:
+            # Legacy flat mapping (pre-envelope): keys are either the
+            # plan-era six-field backend-qualified form or the original
+            # five-field unqualified form.
+            entries = payload
         cache = cls()
-        for key_str, config_dict in json.loads(text).items():
+        for key_str, config_dict in entries.items():
             parts = key_str.split(",")
             # Caches written before backend-qualified keys have five fields;
             # adopt the default backend for them on load.

@@ -78,7 +78,7 @@ class TestRegistry:
 
     def test_registered_includes_optional_adapters(self):
         names = [name for name, _, _ in registered_backends()]
-        assert {"numpy", "threaded", "process", "torch", "cupy"} <= set(names)
+        assert {"numpy", "threaded", "process", "numba", "torch", "cupy"} <= set(names)
 
     def test_unknown_backend_raises_with_suggestions(self):
         with pytest.raises(BackendError, match="numpy"):

@@ -17,7 +17,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.backends import NumpyBackend, ScratchArena, ThreadedBackend
+from repro.backends import NumbaBackend, NumpyBackend, ScratchArena, ThreadedBackend
 from repro.backends.base import fused_chain_rows, write_swapped
 from repro.core.factors import random_factors, random_factors_from_shapes
 from repro.core.fastkron import kron_matmul
@@ -135,6 +135,65 @@ class TestFusedParity:
         x = _rand_x(19, problem.k, seed=13)
         a, b = _execute_both(problem, factors, x, FallbackBackend())
         assert np.array_equal(a, b)
+
+
+# --------------------------------------------------------------------------- #
+# numba arm: the JIT single-pass kernel against the same contracts
+# --------------------------------------------------------------------------- #
+def _numba_backend() -> NumbaBackend:
+    """The real JIT backend when numba is installed, else the pure-Python
+    fallback — same kernels, same tiling, interpreted instead of compiled."""
+    return NumbaBackend() if NumbaBackend.is_available() else NumbaBackend(python_fallback=True)
+
+
+class TestNumbaFusedParity:
+    """The numba backend tiles and may reorder the reduction, so its fused
+    contract is tolerance parity (honest ``bit_identical = False``), not the
+    bitwise guarantee the host-BLAS backends give."""
+
+    @pytest.mark.parametrize("p,n,m", [(4, 4, 37), (8, 3, 129), (2, 9, 100)])
+    def test_fused_matches_stepwise(self, p, n, m):
+        backend = _numba_backend()
+        problem = KronMatmulProblem.uniform(m, p, n, dtype=np.float64)
+        factors = random_factors(n, p, dtype=np.float64, seed=1)
+        x = _rand_x(m, problem.k, seed=m)
+        a, b = _execute_both(problem, factors, x, backend)
+        np.testing.assert_allclose(a, b, rtol=1e-10, atol=1e-10)
+        np.testing.assert_allclose(
+            a, kron_matmul(x, factors, backend=NumpyBackend()), rtol=1e-10, atol=1e-10
+        )
+
+    def test_ragged_last_row_block(self):
+        backend = _numba_backend()
+        problem = KronMatmulProblem.uniform(61, 4, 4, dtype=np.float64)
+        factors = random_factors(4, 4, dtype=np.float64, seed=3)
+        x = _rand_x(61, problem.k, seed=4)
+        a, b = _execute_both(problem, factors, x, backend)
+        np.testing.assert_allclose(a, b, rtol=1e-10, atol=1e-10)
+
+    def test_rectangular_steps_fall_back(self):
+        """Non-square factors use the generic chain; results still agree."""
+        shapes = ((4, 4), (4, 4), (3, 5))
+        problem = KronMatmulProblem(m=24, factor_shapes=shapes, dtype=np.float64)
+        factors = random_factors_from_shapes(shapes, dtype=np.float64, seed=9)
+        x = _rand_x(24, problem.k, seed=10)
+        a, b = _execute_both(problem, factors, x, _numba_backend())
+        np.testing.assert_allclose(a, b, rtol=1e-10, atol=1e-10)
+
+    def test_kernel_tiles_do_not_change_results(self):
+        """Per-step kernel tile parameters steer the loop nest, not the math."""
+        from repro.tuner.autotuner import Autotuner
+
+        backend = _numba_backend()
+        problem = KronMatmulProblem.uniform(64, 2, 6, dtype=np.float64)
+        plan = compile_plan(problem, backend=backend)
+        assert plan.is_fused
+        factors = random_factors(6, 2, dtype=np.float64, seed=40)
+        x = _rand_x(64, problem.k, seed=41)
+        baseline = PlanExecutor(plan, backend=backend).execute(x, factors)
+        tuned = Autotuner().tune_kernel_tiles(plan, repeats=1, backend=backend)
+        retimed = PlanExecutor(tuned, backend=backend).execute(x, factors)
+        np.testing.assert_allclose(retimed, baseline, rtol=1e-10, atol=1e-10)
 
 
 # --------------------------------------------------------------------------- #

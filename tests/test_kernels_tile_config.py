@@ -99,8 +99,14 @@ class TestResources:
 
     def test_key_and_describe(self):
         tile = paper_example_tile()
-        assert tile.key() == (1, 512, 4, 2, 2, 2, 2, 1)
+        # 8 paper fields + the 3 host-JIT kernel tile params (0 = default).
+        assert tile.key() == (1, 512, 4, 2, 2, 2, 2, 1, 0, 0, 0)
         assert "TK=512" in tile.describe()
+        assert "Krows" not in tile.describe()  # silent until set
+        tiled = tile.with_kernel_tiles(32, 0, 2)
+        assert tiled.kernel_tile_key() == (32, 0, 2)
+        assert tiled.has_kernel_tiles
+        assert "Krows=32" in tiled.describe()
 
 
 class TestMaxFusable:

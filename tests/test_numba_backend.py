@@ -1,0 +1,285 @@
+"""The numba JIT backend: kernels, factory cache, plan execution, gating.
+
+Everything here runs with or without numba installed: the kernels are plain
+module-level Python functions and ``NumbaBackend(python_fallback=True)``
+binds them uncompiled, so the loop nests, the tiling arithmetic, the
+interleaved-store indexing and the plan-execution path are all exercised in
+pure Python.  When numba *is* installed (the CI optional-backends job), the
+same tests compile for real and the registry exposes the backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import NumbaBackend, ScratchArena
+from repro.backends.numba_backend import (
+    _env_flag,
+    _pick_row_tile,
+    make_sliced_multiply_kernel,
+)
+from repro.backends.registry import get_backend, registered_backends
+from repro.core.factors import random_factors
+from repro.core.problem import KronMatmulProblem
+from repro.core.sliced_multiply import sliced_multiply
+from repro.exceptions import BackendError
+from repro.plan import PlanExecutor, compile_plan
+
+NUMBA_INSTALLED = NumbaBackend.is_available()
+
+
+def _backend() -> NumbaBackend:
+    return NumbaBackend() if NUMBA_INSTALLED else NumbaBackend(python_fallback=True)
+
+
+def _rand(shape, dtype=np.float64, seed=0):
+    return np.random.default_rng(seed).standard_normal(shape).astype(dtype)
+
+
+# --------------------------------------------------------------------------- #
+# availability gating
+# --------------------------------------------------------------------------- #
+class TestGating:
+    def test_registered_and_availability_consistent(self):
+        rows = {name: available for name, available, _ in registered_backends()}
+        assert "numba" in rows
+        assert rows["numba"] == NUMBA_INSTALLED
+
+    def test_get_backend_matches_availability(self):
+        if NUMBA_INSTALLED:
+            assert get_backend("numba").name == "numba"
+        else:
+            with pytest.raises(BackendError, match="unavailable"):
+                get_backend("numba")
+
+    def test_constructor_requires_numba_or_fallback(self):
+        if not NUMBA_INSTALLED:
+            with pytest.raises(ImportError, match="numba"):
+                NumbaBackend()
+        assert NumbaBackend(python_fallback=True).compile_kernels is False
+
+    def test_honest_bit_identical_flag(self):
+        """The JIT kernel reorders the reduction vs BLAS: never claim bitwise."""
+        assert NumbaBackend.bit_identical is False
+        assert NumbaBackend.supports_kernel_tiles is True
+        assert NumbaBackend.supports_plan_execution is True
+
+
+# --------------------------------------------------------------------------- #
+# the kernel factory cache
+# --------------------------------------------------------------------------- #
+class TestKernelFactory:
+    def test_warm_call_returns_identical_callable(self):
+        a = make_sliced_multiply_kernel(
+            "sliced", "float64", 1, (32, 8, 1), compile_kernel=False
+        )
+        b = make_sliced_multiply_kernel(
+            "sliced", "float64", 1, (32, 8, 1), compile_kernel=False
+        )
+        assert a is b
+
+    def test_distinct_tile_params_get_distinct_callables(self):
+        a = make_sliced_multiply_kernel(
+            "sliced", "float64", 1, (32, 8, 1), compile_kernel=False
+        )
+        b = make_sliced_multiply_kernel(
+            "sliced", "float64", 1, (64, 8, 1), compile_kernel=False
+        )
+        assert a is not b
+
+    def test_fused_and_sliced_kinds_are_distinct(self):
+        a = make_sliced_multiply_kernel(
+            "sliced", "float64", 1, (32, 0, 1), compile_kernel=False
+        )
+        b = make_sliced_multiply_kernel(
+            "fused", "float64", 2, (32, 0, 1), compile_kernel=False
+        )
+        assert a is not b
+
+    @pytest.mark.skipif(not NUMBA_INSTALLED, reason="numba is not installed")
+    def test_compiled_warm_call_is_cached(self):
+        a = make_sliced_multiply_kernel("sliced", "float64", 1, (16, 4, 1))
+        b = make_sliced_multiply_kernel("sliced", "float64", 1, (16, 4, 1))
+        assert a is b
+
+
+# --------------------------------------------------------------------------- #
+# single-step kernel parity
+# --------------------------------------------------------------------------- #
+class TestSlicedKernel:
+    @pytest.mark.parametrize("p,q,n_slices,m", [(4, 4, 8, 13), (8, 5, 4, 21), (2, 2, 32, 7)])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_matches_reference(self, p, q, n_slices, m, dtype):
+        backend = _backend()
+        x = _rand((m, n_slices * p), dtype, seed=m)
+        f = _rand((p, q), dtype, seed=p + q)
+        expected = sliced_multiply(x, f, backend="numpy")
+        out = np.empty((m, n_slices * q), dtype=dtype)
+        backend.sliced_multiply_into(x, f, out, m, n_slices * p, p, q)
+        tol = 1e-4 if dtype == np.float32 else 1e-10
+        np.testing.assert_allclose(out, expected, rtol=tol, atol=tol)
+
+    def test_unroll_two_matches(self):
+        from repro.kernels.tile_config import TileConfig
+
+        backend = _backend()
+        x = _rand((17, 8 * 5), seed=1)
+        f = _rand((5, 3), seed=2)
+        expected = sliced_multiply(x, f, backend="numpy")
+        out = np.empty((17, 8 * 3))
+        tile = TileConfig(tm=1, tk=5, tp=5, tq=1, rk=1, rq=1, rp=1,
+                          krows=4, kslices=3, kunroll=2)
+        backend.sliced_multiply_into(x, f, out, 17, 40, 5, 3, tile=tile)
+        np.testing.assert_allclose(out, expected, rtol=1e-10, atol=1e-10)
+
+    def test_strided_out_is_staged(self):
+        backend = _backend()
+        x = _rand((9, 16), seed=3)
+        f = _rand((4, 4), seed=4)
+        backing = np.zeros((9, 20))
+        out = backing[:, :16]  # column-trimmed: not C-contiguous
+        backend.sliced_multiply_into(x, f, out, 9, 16, 4, 4)
+        np.testing.assert_allclose(
+            out, sliced_multiply(x, f, backend="numpy"), rtol=1e-10, atol=1e-10
+        )
+        assert np.all(backing[:, 16:] == 0)
+
+    def test_unsupported_dtype_falls_back_to_gemm(self):
+        backend = _backend()
+        x = _rand((5, 8), np.float64, seed=5).astype(np.longdouble)
+        f = _rand((4, 3), np.float64, seed=6).astype(np.longdouble)
+        out = np.empty((5, 6), dtype=np.longdouble)
+        backend.sliced_multiply_into(x, f, out, 5, 8, 4, 3)
+        expected = sliced_multiply(
+            x.astype(np.float64), f.astype(np.float64), backend="numpy"
+        )
+        np.testing.assert_allclose(out.astype(np.float64), expected, rtol=1e-10, atol=1e-10)
+
+
+# --------------------------------------------------------------------------- #
+# fused-group kernel parity
+# --------------------------------------------------------------------------- #
+class TestFusedKernel:
+    @pytest.mark.parametrize("p,n,m", [(2, 6, 19), (4, 3, 33), (3, 4, 10)])
+    def test_matches_sequential_chain(self, p, n, m):
+        backend = _backend()
+        factors = [f.values for f in random_factors(n, p, dtype=np.float64, seed=n)]
+        k = p**n
+        x = _rand((m, k), seed=m)
+        expected = x
+        for f in factors:
+            expected = sliced_multiply(expected, f, backend="numpy")
+        out = np.empty((m, k))
+        backend.fused_sliced_multiply_into(x, factors, out, m, k)
+        np.testing.assert_allclose(out, expected, rtol=1e-10, atol=1e-10)
+
+    def test_out_aliasing_x_is_safe(self):
+        """Disjoint row tiles: step 0 reads its rows before the last step
+        writes them, so in-place execution is well-defined."""
+        backend = _backend()
+        factors = [f.values for f in random_factors(2, 4, dtype=np.float64, seed=8)]
+        buf = _rand((24, 16), seed=9)
+        expected = sliced_multiply(
+            sliced_multiply(buf.copy(), factors[0], backend="numpy"),
+            factors[1], backend="numpy",
+        )
+        backend.fused_sliced_multiply_into(buf, factors, buf, 24, 16)
+        np.testing.assert_allclose(buf, expected, rtol=1e-10, atol=1e-10)
+
+    def test_rectangular_group_falls_back(self):
+        backend = _backend()
+        f0 = _rand((4, 4), seed=10)
+        f1 = _rand((4, 2), seed=11)  # non-square: generic chain path
+        x = _rand((6, 16), seed=12)
+        expected = sliced_multiply(sliced_multiply(x, f0, backend="numpy"),
+                                   f1, backend="numpy")
+        out = np.empty((6, 8))
+        backend.fused_sliced_multiply_into(x, [f0, f1], out, 6, 16)
+        np.testing.assert_allclose(out, expected, rtol=1e-10, atol=1e-10)
+
+    def test_explicit_row_block_honoured(self):
+        backend = _backend()
+        factors = [f.values for f in random_factors(3, 2, dtype=np.float64, seed=13)]
+        x = _rand((11, 8), seed=14)  # 11 rows, block 4 → ragged last tile
+        expected = x
+        for f in factors:
+            expected = sliced_multiply(expected, f, backend="numpy")
+        out = np.empty((11, 8))
+        backend.fused_sliced_multiply_into(x, factors, out, 11, 8, row_block=4)
+        np.testing.assert_allclose(out, expected, rtol=1e-10, atol=1e-10)
+
+
+# --------------------------------------------------------------------------- #
+# whole-plan execution
+# --------------------------------------------------------------------------- #
+class TestPlanExecution:
+    @pytest.mark.parametrize("p,n,m", [(2, 5, 40), (4, 3, 25)])
+    def test_matches_numpy_plan_path(self, p, n, m):
+        backend = _backend()
+        problem = KronMatmulProblem.uniform(m, p, n, dtype=np.float64)
+        factors = random_factors(n, p, dtype=np.float64, seed=15)
+        x = _rand((m, problem.k), seed=16)
+        got = PlanExecutor(
+            compile_plan(problem, backend=backend), backend=backend
+        ).execute(x, factors)
+        expected = PlanExecutor(compile_plan(problem)).execute(x, factors)
+        np.testing.assert_allclose(got, expected, rtol=1e-10, atol=1e-10)
+
+    def test_tuned_kernel_tiles_flow_through(self):
+        """A tuner-rewritten plan (steps carrying kernel tiles) executes
+        identically — the tiles steer the loop nest, not the math."""
+        from repro.tuner import Autotuner
+
+        backend = _backend()
+        problem = KronMatmulProblem.uniform(32, 2, 4, dtype=np.float64)
+        plan = compile_plan(problem, backend=backend)
+        factors = random_factors(4, 2, dtype=np.float64, seed=17)
+        x = _rand((32, problem.k), seed=18)
+        expected = PlanExecutor(compile_plan(problem)).execute(x, factors)
+        tuned = Autotuner().tune_kernel_tiles(plan, repeats=1, backend=backend)
+        got = PlanExecutor(tuned, backend=backend).execute(x, factors)
+        np.testing.assert_allclose(got, expected, rtol=1e-10, atol=1e-10)
+
+
+# --------------------------------------------------------------------------- #
+# defaults and knobs
+# --------------------------------------------------------------------------- #
+class TestKnobs:
+    def test_pick_row_tile_bounds(self):
+        assert _pick_row_tile(4, 1024, 8) == 4
+        assert 8 <= _pick_row_tile(10**6, 1024, 8) <= 128
+        assert _pick_row_tile(10**6, 4, 4) == 128  # tiny rows: clamped high
+        assert _pick_row_tile(10**6, 10**7, 8) == 8  # huge rows: clamped low
+
+    def test_env_flag_parsing(self, monkeypatch):
+        monkeypatch.setenv("FASTKRON_TEST_FLAG", "0")
+        assert _env_flag("FASTKRON_TEST_FLAG", True) is False
+        for falsy in ("false", "No", "OFF", ""):
+            monkeypatch.setenv("FASTKRON_TEST_FLAG", falsy)
+            assert _env_flag("FASTKRON_TEST_FLAG", True) is False
+        monkeypatch.setenv("FASTKRON_TEST_FLAG", "1")
+        assert _env_flag("FASTKRON_TEST_FLAG", False) is True
+        monkeypatch.delenv("FASTKRON_TEST_FLAG")
+        assert _env_flag("FASTKRON_TEST_FLAG", True) is True
+        assert _env_flag("FASTKRON_TEST_FLAG", False) is False
+
+    def test_env_knobs_reach_constructor(self, monkeypatch):
+        monkeypatch.setenv("FASTKRON_NUMBA_PARALLEL", "0")
+        monkeypatch.setenv("FASTKRON_NUMBA_FASTMATH", "1")
+        backend = NumbaBackend(python_fallback=True)
+        assert backend.parallel is False
+        assert backend.fastmath is True
+        explicit = NumbaBackend(parallel=True, fastmath=False, python_fallback=True)
+        assert explicit.parallel is True and explicit.fastmath is False
+
+    def test_strided_input_staged_contiguous(self):
+        backend = _backend()
+        arena = ScratchArena()
+        wide = _rand((6, 20), seed=19)
+        view = wide[:, :16]
+        staged = backend._contiguous(view, "t", arena)
+        assert staged.flags["C_CONTIGUOUS"]
+        assert np.array_equal(staged, view)
+        already = backend._contiguous(wide, "t2", arena)
+        assert already is wide

@@ -110,6 +110,42 @@ class TestTuningCache:
         loaded = TuningCache.from_json(legacy)
         assert loaded.get(shape_key(16, 64, 8, 8, np.float32, backend="numpy")) is not None
 
+    def test_load_legacy_plan_era_flat_mapping(self):
+        """Flat six-field-key caches (backend-qualified, pre-envelope) load;
+        their TileConfigs get zero kernel-tile params by default."""
+        legacy = (
+            '{"16,64,8,8,float32,threaded": '
+            '{"tm": 1, "tk": 64, "tp": 8, "tq": 8, "rk": 2, "rq": 2, "rp": 2, "nfused": 1}}'
+        )
+        loaded = TuningCache.from_json(legacy)
+        tile = loaded.get(shape_key(16, 64, 8, 8, np.float32, backend="threaded"))
+        assert tile is not None
+        assert tile.kernel_tile_key() == (0, 0, 0)
+        assert not tile.has_kernel_tiles
+
+    def test_versioned_envelope_round_trip(self, tmp_path):
+        """to_json writes the schema envelope; kernel tile params survive."""
+        import json
+
+        cache = TuningCache()
+        key = shape_key(16, 64, 8, 8, np.float32, backend="numba")
+        tile = TileConfig(tm=1, tk=64, tp=8, tq=8, rk=2, rq=2, rp=2,
+                          krows=32, kslices=0, kunroll=2)
+        cache.put(key, tile)
+        payload = json.loads(cache.to_json())
+        assert payload["schema"] == 2
+        assert set(payload) == {"schema", "entries"}
+        loaded = TuningCache.load(cache.save(tmp_path / "tune.json"))
+        restored = loaded.get(key)
+        assert restored == tile
+        assert restored.kernel_tile_key() == (32, 0, 2)
+
+    def test_unknown_schema_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="schema"):
+            TuningCache.from_json('{"schema": 99, "entries": {}}')
+
     def test_clear(self):
         cache = TuningCache()
         cache.put(shape_key(1, 2, 2, 2, np.float32), TileConfig(1, 2, 2, 2, 1, 1, 1))
@@ -181,3 +217,54 @@ class TestAutotuner:
         tuner.tune_shape(16, 8**3, 8, 8)
         assert shape_key(16, 8**3, 8, 8, np.float32, backend="threaded") in tuner.cache
         assert shape_key(16, 8**3, 8, 8, np.float32, backend="numpy") not in tuner.cache
+
+
+class TestKernelTileTuning:
+    """The empirical kernel-tile pass: a no-op off the JIT backend, a plan
+    rewrite plus cache persistence on it."""
+
+    def _plan(self, backend, m=64, p=2, n=6):
+        from repro.plan import compile_plan
+
+        problem = KronMatmulProblem.uniform(m, p, n, dtype=np.float64)
+        return compile_plan(problem, backend=backend), problem
+
+    def test_noop_on_backend_without_kernel_tiles(self):
+        plan, _ = self._plan("numpy")
+        tuner = Autotuner()
+        assert tuner.tune_kernel_tiles(plan, repeats=1) is plan
+
+    def test_tunes_and_persists_on_numba_fallback(self):
+        from repro.backends import NumbaBackend
+        from repro.plan import PlanExecutor
+        from repro.tuner.autotuner import MAX_EMPIRICAL_CANDIDATES
+
+        backend = NumbaBackend(python_fallback=True)
+        plan, problem = self._plan(backend, m=32, p=2, n=4)
+        tuner = Autotuner()
+        tuned = tuner.tune_kernel_tiles(plan, repeats=1, backend=backend)
+        assert tuned.groups == plan.groups
+        # Winning per-step tiles land in the cache under the plan's backend.
+        if tuned is not plan:
+            assert any(key[-1] == plan.backend for key in tuner.cache.keys())
+        # Numerics are untouched either way.
+        from repro.core.factors import random_factors
+
+        factors = random_factors(4, 2, dtype=np.float64, seed=5)
+        x = np.random.default_rng(6).standard_normal((32, problem.k))
+        np.testing.assert_allclose(
+            PlanExecutor(tuned, backend=backend).execute(x, factors),
+            PlanExecutor(plan, backend=backend).execute(x, factors),
+            rtol=1e-10, atol=1e-10,
+        )
+        assert MAX_EMPIRICAL_CANDIDATES >= 1
+
+    def test_candidate_grid_is_deduped_and_bounded(self):
+        from repro.tuner.autotuner import (
+            KERNEL_TILE_ROWS,
+            KERNEL_TILE_UNROLLS,
+            MAX_EMPIRICAL_CANDIDATES,
+        )
+
+        assert len(set(KERNEL_TILE_ROWS)) == len(KERNEL_TILE_ROWS)
+        assert len(KERNEL_TILE_ROWS) * len(KERNEL_TILE_UNROLLS) <= MAX_EMPIRICAL_CANDIDATES
