@@ -29,6 +29,13 @@ provides:
     concurrent small Kron-Matmul requests into large sliced multiplies
     (bit-identically), backed by an LRU plan cache of prepared
     :class:`FastKron` handles and the tuner's persistent cache.
+``repro.server``
+    The network serving front door: an asyncio TCP service
+    (:class:`~repro.server.KronServer`) in front of the engine — length-
+    prefixed binary frames, a multi-tenant factor registry (register once,
+    submit by handle) and SLO-aware scheduling (``latency`` vs ``bulk``
+    classes, bounded queues with typed ``busy`` backpressure, deadline
+    rejection) — plus blocking and asyncio clients.
 ``repro.baselines``
     The algorithms the paper compares against: the naive algorithm, the
     shuffle algorithm (GPyTorch / PyKronecker) and the fused tensor-matrix
@@ -90,14 +97,18 @@ from repro.core.problem import KronMatmulProblem
 from repro.core.sliced_multiply import sliced_multiply
 from repro.core.solve import kron_power, kron_solve
 from repro.plan import KronPlan, PlanExecutor, compile_plan
+from repro.server import KronClient, KronServer, ServerThread
 from repro.serving import KronEngine
 
 __all__ = [
     "__version__",
     "ArrayBackend",
     "FastKron",
+    "KronClient",
     "KronEngine",
     "KronMatmulProblem",
+    "KronServer",
+    "ServerThread",
     "KronPlan",
     "KroneckerFactor",
     "KroneckerOperator",

@@ -13,6 +13,8 @@ Installed as the ``fastkron-repro`` console script::
     fastkron-repro --backend threaded check --m 4096 --p 16 --n 3
     fastkron-repro --backend threaded serve --requests 512 --clients 8
     fastkron-repro --backend threaded bench-serve --requests 256 --rows 8
+    fastkron-repro --backend threaded server --port 7077
+    fastkron-repro client --port 7077 --requests 64 --class latency
 
 The global ``--backend`` flag selects the execution backend (numpy,
 threaded, process, numba, torch, cupy) for every numerical path of the
@@ -26,6 +28,13 @@ a :class:`~repro.serving.KronEngine` with a synthetic multi-client workload
 and reports its coalescing/plan-cache statistics; ``bench-serve`` times
 engine-batched serving against sequential per-request calls.
 
+``server`` runs the network front door (:class:`~repro.server.KronServer`):
+a TCP service with a factor registry and SLO-aware ``latency``/``bulk``
+scheduling, configured via the ``FASTKRON_SERVER_*`` environment knobs
+(listed in ``repro.server.ENV_KNOBS``).  ``client`` connects to a running
+server, registers a synthetic factor set and reports per-request latency
+percentiles for the chosen priority class.
+
 Every subcommand prints a small plain-text table; the heavyweight
 reproduction of whole figures/tables lives in ``benchmarks/`` (pytest).
 """
@@ -34,7 +43,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -342,6 +351,96 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_server(args: argparse.Namespace) -> int:
+    """Run the network serving front door until interrupted (or --duration)."""
+    import asyncio
+
+    from repro.server import KronServer
+
+    async def _serve() -> int:
+        server = KronServer(
+            host=args.host,
+            port=args.port,
+            backend=get_backend(None),
+            no_priority=args.no_priority,
+            registry_capacity=args.registry_capacity,
+            max_delay_ms=args.max_delay_ms,
+        )
+        await server.start()
+        print(f"fastkron-repro server listening on {server.host}:{server.port} "
+              f"(backend {server.engine.backend.name}, "
+              f"classes {sorted(p.name for p in server.policies)})")
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                await server.serve_forever()
+        except asyncio.CancelledError:  # pragma: no cover - signal-driven
+            pass
+        finally:
+            await server.stop()
+            stats = server.describe()
+            print(f"served {stats['engine']['requests']} requests in "
+                  f"{stats['engine']['batches']} batches "
+                  f"(coalesce ratio {stats['engine']['coalesce_ratio']})")
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    """Drive a running server: register synthetic factors, time N requests."""
+    import time
+
+    from repro.core.factors import random_factors
+    from repro.exceptions import RequestRejected
+    from repro.server import KronClient
+
+    dtype = np.dtype(args.dtype)
+    q = args.q or args.p
+    factors = random_factors(args.n, args.p, q, dtype=dtype, seed=1)
+    k = int(np.prod([args.p] * args.n))
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((args.rows, k)).astype(dtype)
+
+    with KronClient(host=args.host, port=args.port) as client:
+        handle = client.register(factors)
+        latencies_ms: List[float] = []
+        rejections: Dict[str, int] = {}
+        start = time.perf_counter()
+        for _ in range(args.requests):
+            t0 = time.perf_counter()
+            try:
+                client.matmul(
+                    handle, x, klass=args.klass, deadline_ms=args.deadline_ms
+                )
+            except RequestRejected as exc:
+                rejections[exc.code] = rejections.get(exc.code, 0) + 1
+            else:
+                latencies_ms.append((time.perf_counter() - t0) * 1e3)
+        elapsed = time.perf_counter() - start
+        client.unregister(handle)
+
+    completed = len(latencies_ms)
+    percentiles = (
+        np.percentile(latencies_ms, [50, 99]) if latencies_ms else (float("nan"),) * 2
+    )
+    rows = [
+        ["server", f"{args.host}:{args.port}"],
+        ["class", args.klass],
+        ["requests", f"{args.requests} ({completed} completed)"],
+        ["rejections", ", ".join(f"{k}={v}" for k, v in sorted(rejections.items())) or "none"],
+        ["p50 latency", f"{percentiles[0]:.2f} ms"],
+        ["p99 latency", f"{percentiles[1]:.2f} ms"],
+        ["throughput", f"{completed / elapsed:,.0f} req/s"],
+    ]
+    print(format_table(["quantity", "value"], rows, title="KronClient run"))
+    return 0 if completed or args.requests == 0 else 1
+
+
 def _cmd_scaling(args: argparse.Namespace) -> int:
     from repro.distributed.models import all_multi_gpu_models
 
@@ -466,6 +565,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_bs.add_argument("--max-delay-ms", type=float, default=2.0)
     p_bs.add_argument("--repeats", type=int, default=3)
     p_bs.set_defaults(func=_cmd_bench_serve)
+
+    p_srv = sub.add_parser(
+        "server", help="run the TCP serving front door (factor registry + SLO scheduling)"
+    )
+    p_srv.add_argument("--host", default=None,
+                       help="bind host (default FASTKRON_SERVER_HOST or 127.0.0.1)")
+    p_srv.add_argument("--port", type=int, default=None,
+                       help="bind port (default FASTKRON_SERVER_PORT or 7077; 0 = ephemeral)")
+    p_srv.add_argument("--registry-capacity", type=int, default=None,
+                       help="registered factor sets kept (LRU; default 64)")
+    p_srv.add_argument("--max-delay-ms", type=float, default=None,
+                       help="engine micro-batching window (default 0: latency-optimal)")
+    p_srv.add_argument("--no-priority", action="store_true",
+                       help="single FIFO instead of SLO classes (benchmark control arm)")
+    p_srv.add_argument("--duration", type=float, default=None,
+                       help="serve for this many seconds then exit (default: forever)")
+    p_srv.set_defaults(func=_cmd_server)
+
+    p_cl = sub.add_parser(
+        "client", help="connect to a running server and time synthetic requests"
+    )
+    p_cl.add_argument("--host", default="127.0.0.1")
+    p_cl.add_argument("--port", type=int, default=7077)
+    p_cl.add_argument("--requests", type=int, default=64)
+    p_cl.add_argument("--rows", type=int, default=8, help="rows per request")
+    p_cl.add_argument("--p", type=int, default=8, help="factor rows P")
+    p_cl.add_argument("--q", type=int, default=None, help="factor columns Q (default: P)")
+    p_cl.add_argument("--n", type=int, default=3, help="number of factors N")
+    p_cl.add_argument("--dtype", choices=["float32", "float64"], default="float32")
+    p_cl.add_argument("--class", dest="klass", choices=["latency", "bulk"],
+                      default="latency", help="priority class of every request")
+    p_cl.add_argument("--deadline-ms", type=float, default=None,
+                      help="per-request deadline; queued past it -> deadline_exceeded")
+    p_cl.set_defaults(func=_cmd_client)
     return parser
 
 

@@ -42,3 +42,38 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class BackendError(ReproError, ValueError):
     """An execution backend is unknown or unavailable in this environment."""
+
+
+class EngineClosedError(ReproError, RuntimeError):
+    """A request was submitted to a :class:`~repro.serving.KronEngine` after
+    :meth:`~repro.serving.KronEngine.close`.
+
+    Subclasses :class:`RuntimeError` so callers catching the historical
+    generic error keep working.
+    """
+
+
+class ServerError(ReproError):
+    """Base class for the network serving layer (:mod:`repro.server`)."""
+
+
+class ProtocolError(ServerError, ValueError):
+    """A wire frame is malformed: bad magic, oversized, or an undecodable
+    header.  Servers answer with a typed ``ERROR`` frame (``bad_request``)
+    and drop the connection; clients raise it to the caller."""
+
+
+class RequestRejected(ServerError, RuntimeError):
+    """The server refused a request with a typed error frame.
+
+    ``code`` carries the machine-readable reason (one of the
+    ``repro.server.protocol.ERR_*`` constants — ``busy``,
+    ``deadline_exceeded``, ``unknown_handle``, ``bad_request``,
+    ``shutting_down``, ``unsupported_version``, ``internal``); ``message``
+    the human-readable detail.
+    """
+
+    def __init__(self, code: str, message: str = ""):
+        super().__init__(f"[{code}] {message}" if message else f"[{code}]")
+        self.code = code
+        self.message = message

@@ -1,0 +1,91 @@
+"""Network serving front door: TCP framing, factor registry, SLO scheduling.
+
+The :mod:`repro.serving` engine coalesces concurrent in-process futures;
+this package puts a socket in front of it, turning Kron-Matmul into a
+service primitive:
+
+:mod:`repro.server.protocol`
+    Length-prefixed binary frames: a fixed struct preamble, a JSON header,
+    a raw ndarray payload; versioned, with typed error frames.
+:mod:`repro.server.registry`
+    The multi-tenant :class:`FactorRegistry`: clients register factor sets
+    once and submit by handle; server-held factors keep the engine's
+    coalescing identity and the process backend's shared-memory pins hot
+    across connections.
+:mod:`repro.server.scheduler`
+    :class:`SloScheduler` — per-class bounded queues (``latency`` vs
+    ``bulk``), weighted-age ordering, per-class in-flight caps, explicit
+    ``busy`` backpressure and ``deadline_exceeded`` rejection.
+:mod:`repro.server.server`
+    :class:`KronServer` (asyncio) plus :class:`ServerThread` for
+    synchronous embedding; configured via ``FASTKRON_SERVER_*`` env knobs
+    (:data:`~repro.server.server.ENV_KNOBS`).
+:mod:`repro.server.client`
+    Blocking :class:`KronClient` and pipelining :class:`AsyncKronClient`.
+
+Quick start
+-----------
+
+>>> import numpy as np
+>>> from repro import random_factors
+>>> from repro.server import KronClient, ServerThread
+>>> factors = random_factors(n=3, p=4, q=4, seed=0)
+>>> x = np.random.default_rng(1).standard_normal((8, 4 ** 3)).astype(np.float32)
+>>> with ServerThread(port=0) as srv:
+...     with KronClient(port=srv.port) as client:
+...         handle = client.register(factors)
+...         y = client.matmul(handle, x.astype(np.float64), klass="latency")
+>>> y.shape
+(8, 64)
+"""
+
+from repro.server.client import AsyncKronClient, KronClient
+from repro.server.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_BUSY,
+    ERR_DEADLINE,
+    ERR_INTERNAL,
+    ERR_SHUTTING_DOWN,
+    ERR_UNKNOWN_HANDLE,
+    ERR_UNSUPPORTED_VERSION,
+    PROTOCOL_VERSION,
+    Frame,
+    MessageKind,
+)
+from repro.server.registry import FactorRegistry, RegisteredFactors, UnknownHandleError
+from repro.server.scheduler import (
+    BULK,
+    DEFAULT_POLICIES,
+    LATENCY,
+    ClassPolicy,
+    ClassStats,
+    SloScheduler,
+)
+from repro.server.server import ENV_KNOBS, KronServer, ServerThread
+
+__all__ = [
+    "BULK",
+    "DEFAULT_POLICIES",
+    "ENV_KNOBS",
+    "ERR_BAD_REQUEST",
+    "ERR_BUSY",
+    "ERR_DEADLINE",
+    "ERR_INTERNAL",
+    "ERR_SHUTTING_DOWN",
+    "ERR_UNKNOWN_HANDLE",
+    "ERR_UNSUPPORTED_VERSION",
+    "AsyncKronClient",
+    "ClassPolicy",
+    "ClassStats",
+    "FactorRegistry",
+    "Frame",
+    "KronClient",
+    "KronServer",
+    "LATENCY",
+    "MessageKind",
+    "PROTOCOL_VERSION",
+    "RegisteredFactors",
+    "ServerThread",
+    "SloScheduler",
+    "UnknownHandleError",
+]

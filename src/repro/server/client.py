@@ -1,0 +1,401 @@
+"""Clients of the serving front door: blocking :class:`KronClient` and
+pipelining :class:`AsyncKronClient`.
+
+Both speak the frame protocol of :mod:`repro.server.protocol` and expose the
+same three-call surface — ``register`` a factor set once, ``matmul`` by
+handle, ``stats`` for introspection.  Typed server rejections surface as
+:class:`~repro.exceptions.RequestRejected` with a machine-readable ``code``
+(``busy`` means back off and retry, ``deadline_exceeded`` means the SLO was
+missed, ``unknown_handle`` means re-register after an eviction).
+
+:class:`KronClient`
+    One blocking request at a time over a plain socket; the right tool for
+    scripts, the CLI and tests.
+:class:`AsyncKronClient`
+    asyncio streams with request pipelining: ``submit`` returns a future
+    immediately and a background reader task resolves responses by request
+    id, in whatever order the server's scheduler finishes them.  The tool
+    for load generators and services embedding the client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.factors import KroneckerFactor, as_factor_list
+from repro.exceptions import ProtocolError, RequestRejected, ServerError
+from repro.server.protocol import (
+    DEFAULT_MAX_PAYLOAD,
+    ERR_INTERNAL,
+    PROTOCOL_VERSION,
+    Frame,
+    MessageKind,
+    array_from_payload,
+    array_payload,
+    encode_frame,
+    read_frame,
+    read_frame_sync,
+)
+
+__all__ = ["AsyncKronClient", "KronClient"]
+
+
+def _prepare_factors(factors: Iterable) -> List[KroneckerFactor]:
+    """Validate and dtype-unify a factor set client-side (same promotion
+    rule as the engine, so the registered set is what executions use)."""
+    factor_list = as_factor_list(factors)
+    common = factor_list[0].dtype
+    for factor in factor_list[1:]:
+        common = np.promote_types(common, factor.dtype)
+    return [
+        f if f.dtype == common else f.astype(common) for f in factor_list
+    ]
+
+
+def _register_frames(factor_list: List[KroneckerFactor], request_id: int) -> bytes:
+    header = {
+        "id": request_id,
+        "shapes": [[f.p, f.q] for f in factor_list],
+        "dtype": factor_list[0].dtype.str,
+    }
+    payload = b"".join(array_payload(f.values) for f in factor_list)
+    return encode_frame(MessageKind.REGISTER, header, payload)
+
+
+def _submit_frame(
+    handle: str, x: np.ndarray, klass: str, deadline_ms: Optional[float],
+    request_id: int,
+) -> bytes:
+    header = {
+        "id": request_id,
+        "handle": handle,
+        "shape": [int(x.shape[0]), int(x.shape[1])],
+        "dtype": x.dtype.str,
+        "class": klass,
+    }
+    if deadline_ms is not None:
+        header["deadline_ms"] = float(deadline_ms)
+    return encode_frame(MessageKind.SUBMIT, header, array_payload(x))
+
+
+def _result_array(frame: Frame) -> np.ndarray:
+    return array_from_payload(
+        frame.payload, tuple(int(d) for d in frame.header["shape"]),
+        str(frame.header["dtype"]), writable=True,
+    )
+
+
+def _raise_for_error(frame: Frame) -> None:
+    if frame.kind == MessageKind.ERROR:
+        raise RequestRejected(
+            str(frame.header.get("code", ERR_INTERNAL)),
+            str(frame.header.get("message", "")),
+        )
+
+
+class KronClient:
+    """Blocking client: connect, register, multiply, close.
+
+    >>> with KronClient(port=srv.port) as client:        # doctest: +SKIP
+    ...     handle = client.register(factors)
+    ...     y = client.matmul(handle, x, klass="latency", deadline_ms=50)
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7077,
+        *,
+        timeout: Optional[float] = 30.0,
+        max_payload: int = DEFAULT_MAX_PAYLOAD,
+    ):
+        self.max_payload = int(max_payload)
+        self._ids = itertools.count(1)
+        self._sock: Optional[socket.socket] = socket.create_connection(
+            (host, port), timeout=timeout
+        )
+        hello = self._read_frame()
+        if hello.version != PROTOCOL_VERSION or hello.kind != MessageKind.HELLO:
+            self.close()
+            raise ProtocolError(
+                f"unexpected greeting (kind {hello.kind}, version {hello.version})"
+            )
+        #: Server-advertised limits and classes from the HELLO frame.
+        self.server_info: Dict = dict(hello.header)
+
+    # ------------------------------------------------------------------ #
+    # wire helpers
+    # ------------------------------------------------------------------ #
+    def _read_exact(self, n: int) -> bytes:
+        assert self._sock is not None
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ConnectionError("server closed the connection mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _read_frame(self) -> Frame:
+        return read_frame_sync(self._read_exact, self.max_payload)
+
+    def _request(self, data: bytes, request_id: int) -> Frame:
+        if self._sock is None:
+            raise ServerError("client is closed")
+        self._sock.sendall(data)
+        while True:
+            frame = self._read_frame()
+            # Correlate by id; an id-less error (protocol violation, version
+            # mismatch) aborts the conversation outright.
+            frame_id = frame.header.get("id")
+            if frame_id == request_id or frame_id is None:
+                _raise_for_error(frame)
+                return frame
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def register(self, factors: Iterable) -> str:
+        """Pin a factor set server-side; returns its submit handle."""
+        request_id = next(self._ids)
+        frame = self._request(
+            _register_frames(_prepare_factors(factors), request_id), request_id
+        )
+        return str(frame.header["handle"])
+
+    def unregister(self, handle: str) -> bool:
+        request_id = next(self._ids)
+        frame = self._request(
+            encode_frame(MessageKind.UNREGISTER, {"id": request_id, "handle": handle}),
+            request_id,
+        )
+        return bool(frame.header.get("removed", False))
+
+    def matmul(
+        self,
+        handle: str,
+        x: np.ndarray,
+        *,
+        klass: str = "latency",
+        deadline_ms: Optional[float] = None,
+    ) -> np.ndarray:
+        """One Kron-Matmul against a registered handle; blocks for the rows.
+
+        Raises :class:`~repro.exceptions.RequestRejected` on typed server
+        rejection (backpressure, deadline, unknown handle).
+        """
+        x_arr = np.asarray(x)
+        squeeze = x_arr.ndim == 1
+        if squeeze:
+            x_arr = x_arr.reshape(1, -1)
+        request_id = next(self._ids)
+        frame = self._request(
+            _submit_frame(handle, x_arr, klass, deadline_ms, request_id), request_id
+        )
+        y = _result_array(frame)
+        return y[0] if squeeze else y
+
+    def stats(self) -> Dict:
+        """The server's engine/scheduler/registry counters."""
+        request_id = next(self._ids)
+        frame = self._request(
+            encode_frame(MessageKind.STATS, {"id": request_id}), request_id
+        )
+        return dict(frame.header.get("stats", {}))
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "KronClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class AsyncKronClient:
+    """Pipelining asyncio client: many requests in flight per connection.
+
+    Construct with :meth:`connect`; ``submit`` returns an awaitable future
+    keyed by request id, resolved by the background reader task as RESULT
+    and ERROR frames arrive — in completion order, not submission order.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        hello: Frame,
+        max_payload: int,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, "asyncio.Future[Frame]"] = {}
+        self._write_lock = asyncio.Lock()
+        self.max_payload = int(max_payload)
+        self.server_info: Dict = dict(hello.header)
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop(), name="kron-client-reader"
+        )
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 7077,
+        *,
+        max_payload: int = DEFAULT_MAX_PAYLOAD,
+    ) -> "AsyncKronClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        hello = await read_frame(reader, max_payload)
+        if hello.version != PROTOCOL_VERSION or hello.kind != MessageKind.HELLO:
+            writer.close()
+            raise ProtocolError(
+                f"unexpected greeting (kind {hello.kind}, version {hello.version})"
+            )
+        return cls(reader, writer, hello, max_payload)
+
+    # ------------------------------------------------------------------ #
+    # reader task
+    # ------------------------------------------------------------------ #
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await read_frame(self._reader, self.max_payload)
+                frame_id = frame.header.get("id")
+                future = self._pending.pop(frame_id, None) if frame_id else None
+                if future is not None and not future.done():
+                    future.set_result(frame)
+                elif frame_id is None and frame.kind == MessageKind.ERROR:
+                    # Connection-scoped error: fail everything outstanding.
+                    self._fail_pending(RequestRejected(
+                        str(frame.header.get("code", ERR_INTERNAL)),
+                        str(frame.header.get("message", "")),
+                    ))
+                    return
+        except asyncio.CancelledError:
+            self._fail_pending(ConnectionError("client closed"))
+            raise
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            self._fail_pending(ConnectionError("server closed the connection"))
+        except ProtocolError as exc:
+            self._fail_pending(exc)
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    # ------------------------------------------------------------------ #
+    # requests
+    # ------------------------------------------------------------------ #
+    async def _send(self, data: bytes) -> None:
+        async with self._write_lock:
+            self._writer.write(data)
+            await self._writer.drain()
+
+    async def _roundtrip(self, data: bytes, request_id: int) -> Frame:
+        future: "asyncio.Future[Frame]" = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        await self._send(data)
+        frame = await future
+        _raise_for_error(frame)
+        return frame
+
+    async def register(self, factors: Iterable) -> str:
+        request_id = next(self._ids)
+        frame = await self._roundtrip(
+            _register_frames(_prepare_factors(factors), request_id), request_id
+        )
+        return str(frame.header["handle"])
+
+    async def unregister(self, handle: str) -> bool:
+        request_id = next(self._ids)
+        frame = await self._roundtrip(
+            encode_frame(MessageKind.UNREGISTER, {"id": request_id, "handle": handle}),
+            request_id,
+        )
+        return bool(frame.header.get("removed", False))
+
+    async def submit(
+        self,
+        handle: str,
+        x: np.ndarray,
+        *,
+        klass: str = "latency",
+        deadline_ms: Optional[float] = None,
+    ) -> "asyncio.Future[Frame]":
+        """Fire one request without waiting; resolve it with :meth:`result`.
+
+        The returned future carries the raw response frame, so an open-loop
+        load generator can keep submitting at its arrival schedule and
+        post-process completions later.
+        """
+        request_id = next(self._ids)
+        x_arr = np.asarray(x)
+        if x_arr.ndim == 1:
+            x_arr = x_arr.reshape(1, -1)
+        future: "asyncio.Future[Frame]" = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        await self._send(_submit_frame(handle, x_arr, klass, deadline_ms, request_id))
+        return future
+
+    @staticmethod
+    def result(frame: Frame) -> np.ndarray:
+        """Decode a resolved submit future's frame into the output rows."""
+        _raise_for_error(frame)
+        return _result_array(frame)
+
+    async def matmul(
+        self,
+        handle: str,
+        x: np.ndarray,
+        *,
+        klass: str = "latency",
+        deadline_ms: Optional[float] = None,
+    ) -> np.ndarray:
+        squeeze = np.asarray(x).ndim == 1
+        frame = await (await self.submit(
+            handle, x, klass=klass, deadline_ms=deadline_ms
+        ))
+        y = self.result(frame)
+        return y[0] if squeeze else y
+
+    async def stats(self) -> Dict:
+        request_id = next(self._ids)
+        frame = await self._roundtrip(
+            encode_frame(MessageKind.STATS, {"id": request_id}), request_id
+        )
+        return dict(frame.header.get("stats", {}))
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncKronClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()

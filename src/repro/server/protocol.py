@@ -1,0 +1,235 @@
+"""Wire protocol of the serving front door: length-prefixed binary frames.
+
+Every message travelling either direction is one *frame*::
+
+    preamble  20 bytes, little-endian struct ``<4sHBBIQ``:
+                magic ``b"FKRN"`` | version u16 | kind u8 | flags u8 |
+                header_len u32 | payload_len u64
+    header    ``header_len`` bytes of UTF-8 JSON (an object) — the typed,
+              versioned metadata: request ids, factor shapes, dtypes,
+              priority class, deadline, error codes.
+    payload   ``payload_len`` bytes of raw C-order ndarray data (operand
+              rows, factor values, result rows); empty for control frames.
+
+The preamble is fixed for *all* protocol versions, so a server can always
+read a foreign-version frame off the wire, answer with a typed
+``unsupported_version`` error and close, instead of desynchronising.  JSON
+(stdlib) plays the header-codec role msgpack would — headers are tens of
+bytes against kilobyte-to-megabyte ndarray payloads, so codec speed is
+irrelevant; the array data itself never round-trips through a codec at all.
+
+Errors are first-class frames (:data:`MessageKind.ERROR`) carrying a
+machine-readable ``code`` (the ``ERR_*`` constants) plus a human-readable
+``message``, so clients can distinguish backpressure (``busy``) from SLO
+rejection (``deadline_exceeded``) from caller bugs (``bad_request``,
+``unknown_handle``) without string matching.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from enum import IntEnum
+from typing import Callable, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ProtocolError
+
+__all__ = [
+    "DEFAULT_MAX_PAYLOAD",
+    "ERR_BAD_REQUEST",
+    "ERR_BUSY",
+    "ERR_DEADLINE",
+    "ERR_INTERNAL",
+    "ERR_SHUTTING_DOWN",
+    "ERR_UNKNOWN_HANDLE",
+    "ERR_UNSUPPORTED_VERSION",
+    "Frame",
+    "MAGIC",
+    "MessageKind",
+    "PREAMBLE",
+    "PROTOCOL_VERSION",
+    "array_from_payload",
+    "array_payload",
+    "encode_frame",
+    "error_frame",
+    "read_frame",
+    "read_frame_sync",
+]
+
+MAGIC = b"FKRN"
+PROTOCOL_VERSION = 1
+
+#: magic | version | kind | flags | header_len | payload_len
+PREAMBLE = struct.Struct("<4sHBBIQ")
+
+#: Headers are metadata, not data; anything bigger is a protocol violation.
+MAX_HEADER_BYTES = 1 << 20
+
+#: Default ceiling on one frame's ndarray payload (overridable per server /
+#: client via ``FASTKRON_SERVER_MAX_PAYLOAD_MB``).
+DEFAULT_MAX_PAYLOAD = 64 * 1024 * 1024
+
+
+class MessageKind(IntEnum):
+    """Frame discriminator (the preamble's ``kind`` byte)."""
+
+    HELLO = 1  # server -> client on connect: version, limits, classes
+    REGISTER = 2  # client -> server: pin a factor set, get a handle
+    REGISTERED = 3  # server -> client: the assigned handle
+    UNREGISTER = 4  # client -> server: drop a handle
+    UNREGISTERED = 5  # server -> client: ack
+    SUBMIT = 6  # client -> server: one Kron-Matmul request
+    RESULT = 7  # server -> client: the output rows
+    ERROR = 8  # server -> client: typed rejection/failure
+    STATS = 9  # client -> server: stats request
+    STATS_REPLY = 10  # server -> client: engine/scheduler/registry counters
+
+
+# Machine-readable error codes carried by ERROR frames.
+ERR_UNSUPPORTED_VERSION = "unsupported_version"
+ERR_BAD_REQUEST = "bad_request"
+ERR_UNKNOWN_HANDLE = "unknown_handle"
+ERR_BUSY = "busy"
+ERR_DEADLINE = "deadline_exceeded"
+ERR_SHUTTING_DOWN = "shutting_down"
+ERR_INTERNAL = "internal"
+
+
+class Frame(NamedTuple):
+    """One decoded frame.
+
+    For frames of a *foreign* protocol version the header is left undecoded
+    (``{}``) and the payload dropped — their layout is unknown beyond the
+    preamble; the caller answers ``unsupported_version``.
+    """
+
+    version: int
+    kind: int
+    header: dict
+    payload: bytes
+
+
+def encode_frame(
+    kind: int, header: Optional[dict] = None, payload: bytes = b"",
+    version: int = PROTOCOL_VERSION,
+) -> bytes:
+    """Serialise one frame (preamble + JSON header + raw payload)."""
+    header_bytes = json.dumps(header or {}, separators=(",", ":")).encode("utf-8")
+    if len(header_bytes) > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header of {len(header_bytes)} bytes exceeds "
+                            f"the {MAX_HEADER_BYTES}-byte limit")
+    preamble = PREAMBLE.pack(MAGIC, version, int(kind), 0,
+                             len(header_bytes), len(payload))
+    return preamble + header_bytes + payload
+
+
+def error_frame(code: str, message: str, request_id: Optional[int] = None) -> bytes:
+    """A typed ERROR frame; ``request_id`` ties it to the failed request."""
+    header = {"code": code, "message": message}
+    if request_id is not None:
+        header["id"] = request_id
+    return encode_frame(MessageKind.ERROR, header)
+
+
+def parse_preamble(raw: bytes, max_payload: int) -> Tuple[int, int, int, int]:
+    """Decode and validate the fixed 20-byte preamble.
+
+    Returns ``(version, kind, header_len, payload_len)``; raises
+    :class:`~repro.exceptions.ProtocolError` on a bad magic or a frame
+    exceeding the size limits (the caller must drop the connection — the
+    stream cannot be resynchronised).
+    """
+    magic, version, kind, _flags, header_len, payload_len = PREAMBLE.unpack(raw)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r} (not a FastKron peer?)")
+    if header_len > MAX_HEADER_BYTES:
+        raise ProtocolError(f"frame header of {header_len} bytes exceeds "
+                            f"the {MAX_HEADER_BYTES}-byte limit")
+    if payload_len > max_payload:
+        raise ProtocolError(f"frame payload of {payload_len} bytes exceeds "
+                            f"the {max_payload}-byte limit")
+    return version, kind, header_len, payload_len
+
+
+def decode_header(raw: bytes) -> dict:
+    """Decode the JSON header; must be an object."""
+    try:
+        header = json.loads(raw.decode("utf-8")) if raw else {}
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError(f"frame header must be a JSON object, "
+                            f"got {type(header).__name__}")
+    return header
+
+
+def _assemble(version: int, kind: int, header_bytes: bytes, payload: bytes) -> Frame:
+    if version != PROTOCOL_VERSION:
+        # Foreign layout: only the preamble is trustworthy.
+        return Frame(version, kind, {}, b"")
+    return Frame(version, kind, decode_header(header_bytes), payload)
+
+
+async def read_frame(reader, max_payload: int = DEFAULT_MAX_PAYLOAD) -> Frame:
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    Raises :class:`asyncio.IncompleteReadError` on EOF (clean or mid-frame)
+    and :class:`~repro.exceptions.ProtocolError` on a malformed preamble or
+    header.
+    """
+    preamble = await reader.readexactly(PREAMBLE.size)
+    version, kind, header_len, payload_len = parse_preamble(preamble, max_payload)
+    header_bytes = await reader.readexactly(header_len) if header_len else b""
+    payload = await reader.readexactly(payload_len) if payload_len else b""
+    return _assemble(version, kind, header_bytes, payload)
+
+
+def read_frame_sync(
+    read_exact: Callable[[int], bytes], max_payload: int = DEFAULT_MAX_PAYLOAD
+) -> Frame:
+    """Read one frame through a blocking ``read_exact(n) -> bytes`` callable.
+
+    ``read_exact`` must return exactly ``n`` bytes or raise (the sync client
+    raises :class:`ConnectionError` on a short read).
+    """
+    preamble = read_exact(PREAMBLE.size)
+    version, kind, header_len, payload_len = parse_preamble(preamble, max_payload)
+    header_bytes = read_exact(header_len) if header_len else b""
+    payload = read_exact(payload_len) if payload_len else b""
+    return _assemble(version, kind, header_bytes, payload)
+
+
+# --------------------------------------------------------------------------- #
+# ndarray <-> payload
+# --------------------------------------------------------------------------- #
+def array_payload(array: np.ndarray) -> bytes:
+    """The raw C-order bytes of ``array`` (contiguified if needed)."""
+    return np.ascontiguousarray(array).tobytes()
+
+
+def array_from_payload(
+    payload: bytes, shape: Tuple[int, ...], dtype: str, writable: bool = False
+) -> np.ndarray:
+    """Reconstruct an ndarray from a frame payload, validating the size.
+
+    The zero-copy view over the payload bytes is read-only; pass
+    ``writable=True`` for an owned copy (results handed to callers).
+    """
+    try:
+        dt = np.dtype(dtype)
+    except TypeError as exc:
+        raise ProtocolError(f"unknown dtype {dtype!r}") from exc
+    count = 1
+    for dim in shape:
+        if not isinstance(dim, int) or dim < 0:
+            raise ProtocolError(f"invalid payload shape {shape!r}")
+        count *= dim
+    if count * dt.itemsize != len(payload):
+        raise ProtocolError(
+            f"payload of {len(payload)} bytes does not match "
+            f"shape {tuple(shape)} of dtype {dt}"
+        )
+    array = np.frombuffer(payload, dtype=dt).reshape(shape)
+    return array.copy() if writable else array

@@ -1,0 +1,186 @@
+"""Multi-tenant factor registry: register a factor set once, submit by handle.
+
+A serving front door must not ship factor matrices per call — they are the
+hot, reused operand.  Clients :meth:`~FactorRegistry.register` a factor set
+once and get back an opaque *handle*; every subsequent submit names the
+handle and carries only the ``X`` rows.  Keeping the registered
+:class:`~repro.core.factors.KroneckerFactor` arrays alive server-side is
+what makes the rest of the stack hot across connections:
+
+* the serving engine coalesces by factor *identity* (``id`` of the arrays),
+  so requests against one handle — from any number of connections — keep
+  row-stacking into shared batches;
+* on the ``process`` backend the
+  :class:`~repro.backends.shm.SharedFactorStore` pins each factor into
+  shared memory keyed by that same identity the first time it executes, so
+  a registered model pays factor traffic exactly once for its lifetime;
+* compiled plans in the engine's :class:`~repro.serving.PlanCache` are keyed
+  by shape/dtype/backend and outlive both handles and connections.
+
+Handles are server-global (deliberately: tenants submitting against the
+same registered model share batches) and survive disconnects — reconnecting
+clients reuse their handle instead of re-uploading factors.  The registry is
+a bounded LRU: registering beyond ``capacity`` evicts the least recently
+*used* entry (submits touch their handle), and submits against an evicted or
+never-registered handle raise :class:`UnknownHandleError`, which the server
+answers with a typed ``unknown_handle`` error frame.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.factors import KroneckerFactor
+from repro.exceptions import ServerError
+
+__all__ = ["FactorRegistry", "RegisteredFactors", "RegistryStats", "UnknownHandleError"]
+
+
+class UnknownHandleError(ServerError, KeyError):
+    """A submit or unregister named a handle the registry does not hold
+    (never registered, explicitly unregistered, or LRU-evicted)."""
+
+
+@dataclass
+class RegisteredFactors:
+    """One pinned factor set and its bookkeeping."""
+
+    handle: str
+    factors: List[KroneckerFactor]
+    owner: str
+    registered_at: float = field(default_factory=time.monotonic)
+    uses: int = 0
+
+    @property
+    def shapes(self) -> Tuple[Tuple[int, int], ...]:
+        return tuple(f.shape for f in self.factors)
+
+    @property
+    def dtype(self) -> str:
+        return str(self.factors[0].dtype)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(f.values.nbytes for f in self.factors)
+
+    def describe(self) -> dict:
+        return {
+            "handle": self.handle,
+            "shapes": [list(s) for s in self.shapes],
+            "dtype": self.dtype,
+            "owner": self.owner,
+            "uses": self.uses,
+            "nbytes": self.nbytes,
+        }
+
+
+@dataclass
+class RegistryStats:
+    """Monotonic counters of one registry."""
+
+    registered: int = 0
+    unregistered: int = 0
+    evictions: int = 0
+    unknown_handles: int = 0
+
+
+class FactorRegistry:
+    """A bounded, thread-safe LRU of registered factor sets keyed by handle.
+
+    Thread-safe because lookups run on the asyncio loop while tests and the
+    stats path may inspect the registry from other threads; the lock only
+    guards the map, never any numerical work.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError(f"registry capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[str, RegisteredFactors]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._stats = RegistryStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, handle: str) -> bool:
+        with self._lock:
+            return handle in self._entries
+
+    def register(self, factors: List[KroneckerFactor], owner: str = "") -> RegisteredFactors:
+        """Pin a factor set; returns the entry carrying its fresh handle.
+
+        Registering past ``capacity`` evicts the least recently used entry —
+        its arrays lose their last strong reference, which also unpins any
+        shared-memory copies (the :class:`SharedFactorStore` eviction is a
+        ``weakref.finalize`` on exactly these arrays).
+        """
+        if not factors:
+            raise ValueError("cannot register an empty factor list")
+        handle = secrets.token_hex(8)
+        entry = RegisteredFactors(handle=handle, factors=list(factors), owner=owner)
+        with self._lock:
+            self._entries[handle] = entry
+            self._stats.registered += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+        return entry
+
+    def get(self, handle: str) -> RegisteredFactors:
+        """The entry for ``handle``, touched for LRU; raises :class:`UnknownHandleError`."""
+        with self._lock:
+            entry = self._entries.get(handle)
+            if entry is None:
+                self._stats.unknown_handles += 1
+                raise UnknownHandleError(handle)
+            self._entries.move_to_end(handle)
+            entry.uses += 1
+            return entry
+
+    def unregister(self, handle: str) -> bool:
+        """Drop ``handle``; returns whether it was present."""
+        with self._lock:
+            removed = self._entries.pop(handle, None) is not None
+            if removed:
+                self._stats.unregistered += 1
+            return removed
+
+    def handles(self) -> Tuple[str, ...]:
+        """Registered handles, least recently used first."""
+        with self._lock:
+            return tuple(self._entries.keys())
+
+    def stats(self) -> RegistryStats:
+        with self._lock:
+            return RegistryStats(
+                registered=self._stats.registered,
+                unregistered=self._stats.unregistered,
+                evictions=self._stats.evictions,
+                unknown_handles=self._stats.unknown_handles,
+            )
+
+    def describe(self) -> dict:
+        """A JSON-serialisable snapshot for STATS replies."""
+        with self._lock:
+            entries = [entry.describe() for entry in self._entries.values()]
+        stats = self.stats()
+        return {
+            "capacity": self.capacity,
+            "size": len(entries),
+            "entries": entries,
+            "registered": stats.registered,
+            "unregistered": stats.unregistered,
+            "evictions": stats.evictions,
+            "unknown_handles": stats.unknown_handles,
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,344 @@
+"""SLO-aware admission and scheduling in front of the serving engine.
+
+The engine maximises throughput by coalescing whatever is concurrently
+pending; left alone, a stream of row-heavy bulk jobs monopolises it and
+small latency-sensitive requests queue behind multi-millisecond batches.
+The :class:`SloScheduler` sits between the connection handlers and the
+engine and makes the *admission and ordering* decisions per request class:
+
+**Bounded per-class queues.**  Each :class:`ClassPolicy` bounds its queue
+depth; admission past the bound raises a typed ``busy`` rejection
+immediately (an explicit backpressure frame on the wire) instead of letting
+the queue — and every queued request's latency — grow without limit.  An
+open-loop overload therefore degrades into a bounded-latency system that
+sheds load, not a collapsing one.
+
+**Weighted-age ordering.**  Whenever an execution slot frees, the scheduler
+dispatches the head of the eligible class with the highest *weighted age*
+``weight * (now - head.enqueued)``.  With the default latency:bulk weight
+ratio of 16:1, a latency request overtakes any bulk request that has waited
+less than 16x longer — strict enough to protect the latency SLO, while the
+age term still guarantees bulk progress (no starvation: a bulk head's score
+grows without bound until it wins).
+
+**Per-class in-flight caps.**  Ordering alone cannot protect latency when
+bulk work is *already* executing: the engine happily stacks every admitted
+bulk job into giant batches.  Each class therefore caps its concurrently
+executing requests (``max_inflight``); bulk's default cap of 1 means a
+latency request arriving at a busy server waits for at most one in-flight
+bulk batch, never a convoy.  Latency requests keep a wider cap so the
+engine can still coalesce them among themselves.
+
+**Deadline rejection.**  Requests carry an optional relative deadline (a
+client- or policy-set SLO); a request whose deadline has expired by the
+time it is dispatched is rejected with ``deadline_exceeded`` rather than
+executed — work the client has already given up on is load shed, not
+served.
+
+``no_priority=True`` turns all of this into a single global FIFO with only
+the global in-flight cap — the control arm the open-loop benchmark uses to
+measure what the SLO machinery buys.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.exceptions import RequestRejected
+from repro.server.protocol import ERR_BUSY, ERR_DEADLINE, ERR_SHUTTING_DOWN
+
+__all__ = [
+    "BULK",
+    "DEFAULT_POLICIES",
+    "LATENCY",
+    "ClassPolicy",
+    "ClassStats",
+    "SloScheduler",
+]
+
+
+@dataclass(frozen=True)
+class ClassPolicy:
+    """Admission and scheduling policy of one request class."""
+
+    name: str
+    #: Weighted-age multiplier; higher wins dispatch earlier.
+    weight: float = 1.0
+    #: Queue-depth bound; admission beyond it is rejected ``busy``.
+    max_queue: int = 256
+    #: Concurrently executing requests of this class.
+    max_inflight: int = 4
+    #: Deadline applied when the request carries none (``None`` = no SLO).
+    default_deadline_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"class weight must be > 0, got {self.weight}")
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
+
+
+#: Small latency-sensitive requests: heavily weighted, wide in-flight cap so
+#: the engine coalesces them among themselves.
+LATENCY = ClassPolicy("latency", weight=16.0, max_queue=512, max_inflight=8)
+
+#: Row-heavy best-effort jobs: tightly bounded queue and one batch in flight
+#: at a time, so they can never form a convoy in front of latency traffic.
+BULK = ClassPolicy("bulk", weight=1.0, max_queue=32, max_inflight=1)
+
+DEFAULT_POLICIES: Tuple[ClassPolicy, ...] = (LATENCY, BULK)
+
+
+@dataclass
+class ClassStats:
+    """Monotonic per-class counters (exposed through STATS frames)."""
+
+    admitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected_busy: int = 0
+    rejected_deadline: int = 0
+    rejected_shutdown: int = 0
+    wait_ms_total: float = 0.0
+    peak_queue_depth: int = 0
+
+    def describe(self) -> dict:
+        mean_wait = self.wait_ms_total / self.completed if self.completed else 0.0
+        return {
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected_busy": self.rejected_busy,
+            "rejected_deadline": self.rejected_deadline,
+            "rejected_shutdown": self.rejected_shutdown,
+            "mean_wait_ms": round(mean_wait, 3),
+            "peak_queue_depth": self.peak_queue_depth,
+        }
+
+
+class _Queued:
+    """One admitted request waiting for dispatch."""
+
+    __slots__ = ("work", "future", "enqueued", "deadline")
+
+    def __init__(self, work: object, future: "asyncio.Future",
+                 deadline: Optional[float]):
+        self.work = work
+        self.future = future
+        self.enqueued = time.monotonic()
+        self.deadline = deadline
+
+
+class SloScheduler:
+    """Weighted-age scheduling over bounded per-class queues.
+
+    ``execute`` is the downstream engine bridge: an async callable taking
+    the opaque ``work`` object and returning its result.  The scheduler
+    never interprets ``work``; it only decides *when* each item reaches the
+    engine.  Everything runs on one event loop — :meth:`admit` and
+    :meth:`start`/:meth:`stop` must be called from it.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[object], Awaitable[object]],
+        policies: Tuple[ClassPolicy, ...] = DEFAULT_POLICIES,
+        *,
+        max_inflight_total: Optional[int] = None,
+        no_priority: bool = False,
+    ):
+        if not policies:
+            raise ValueError("at least one class policy is required")
+        names = [p.name for p in policies]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate class names in policies: {names}")
+        self._execute = execute
+        self.policies: Dict[str, ClassPolicy] = {p.name: p for p in policies}
+        self.no_priority = bool(no_priority)
+        self.max_inflight_total = (
+            int(max_inflight_total)
+            if max_inflight_total is not None
+            else sum(p.max_inflight for p in policies)
+        )
+        self._queues: Dict[str, "List[_Queued]"] = {p.name: [] for p in policies}
+        self._inflight: Dict[str, int] = {p.name: 0 for p in policies}
+        self._inflight_total = 0
+        self._stats: Dict[str, ClassStats] = {p.name: ClassStats() for p in policies}
+        self._wake = asyncio.Event()
+        self._stopping = False
+        self._runner: Optional["asyncio.Task"] = None
+        self._tasks: "Set[asyncio.Task]" = set()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Spawn the dispatch loop on the running event loop."""
+        if self._runner is None:
+            self._runner = asyncio.get_running_loop().create_task(
+                self._run(), name="slo-scheduler"
+            )
+
+    async def stop(self) -> None:
+        """Reject everything queued, wait for in-flight work, stop the loop.
+
+        Every admitted future is guaranteed to resolve: queued items are
+        rejected ``shutting_down``; dispatched items run to completion.
+        """
+        self._stopping = True
+        self._wake.set()
+        for name, queue in self._queues.items():
+            drained, queue[:] = queue[:], []
+            for item in drained:
+                self._stats[name].rejected_shutdown += 1
+                self._reject(item, ERR_SHUTTING_DOWN, "server is shutting down")
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        if self._runner is not None:
+            self._wake.set()
+            await self._runner
+            self._runner = None
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    def admit(self, work: object, klass: str,
+              deadline_ms: Optional[float] = None) -> "asyncio.Future":
+        """Admit one request; returns the future resolving to its result.
+
+        Raises :class:`~repro.exceptions.RequestRejected` synchronously on a
+        full queue (``busy``), during shutdown (``shutting_down``), or for
+        an unknown class name (``bad_request`` is the server's mapping of
+        the :class:`KeyError`).
+        """
+        policy = self.policies.get(klass)
+        if policy is None:
+            raise KeyError(klass)
+        stats = self._stats[klass]
+        if self._stopping:
+            stats.rejected_shutdown += 1
+            raise RequestRejected(ERR_SHUTTING_DOWN, "server is shutting down")
+        queue = self._queues[klass]
+        if len(queue) >= policy.max_queue:
+            stats.rejected_busy += 1
+            raise RequestRejected(
+                ERR_BUSY,
+                f"{klass} queue is full ({policy.max_queue} deep); retry later",
+            )
+        if deadline_ms is None:
+            deadline_ms = policy.default_deadline_ms
+        deadline = (
+            time.monotonic() + deadline_ms / 1e3 if deadline_ms is not None else None
+        )
+        item = _Queued(work, asyncio.get_running_loop().create_future(), deadline)
+        queue.append(item)
+        stats.admitted += 1
+        stats.peak_queue_depth = max(stats.peak_queue_depth, len(queue))
+        self._wake.set()
+        return item.future
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    def _pick(self) -> Optional[str]:
+        """The eligible class with the highest weighted head age, if any."""
+        if self._inflight_total >= self.max_inflight_total:
+            return None
+        now = time.monotonic()
+        best: Optional[str] = None
+        best_score = -1.0
+        for name, queue in self._queues.items():
+            if not queue:
+                continue
+            policy = self.policies[name]
+            if not self.no_priority and self._inflight[name] >= policy.max_inflight:
+                continue
+            weight = 1.0 if self.no_priority else policy.weight
+            score = weight * (now - queue[0].enqueued)
+            if score > best_score:
+                best, best_score = name, score
+        return best
+
+    async def _run(self) -> None:
+        while True:
+            name = None if self._stopping else self._pick()
+            if name is None:
+                if self._stopping:
+                    return
+                self._wake.clear()
+                # Re-check between clear and wait: an admit or completion
+                # racing in would otherwise be missed until the next event.
+                if self._stopping or self._pick() is not None:
+                    continue
+                await self._wake.wait()
+                continue
+            item = self._queues[name].pop(0)
+            stats = self._stats[name]
+            if item.deadline is not None and time.monotonic() > item.deadline:
+                stats.rejected_deadline += 1
+                self._reject(
+                    item, ERR_DEADLINE,
+                    f"deadline expired after {(time.monotonic() - item.enqueued) * 1e3:.1f}"
+                    f" ms in the {name} queue",
+                )
+                continue
+            self._inflight[name] += 1
+            self._inflight_total += 1
+            stats.wait_ms_total += (time.monotonic() - item.enqueued) * 1e3
+            task = asyncio.get_running_loop().create_task(self._run_one(name, item))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    async def _run_one(self, name: str, item: _Queued) -> None:
+        stats = self._stats[name]
+        try:
+            result = await self._execute(item.work)
+        except BaseException as exc:  # noqa: BLE001 - resolved into the future
+            stats.failed += 1
+            if not item.future.done():
+                item.future.set_exception(exc)
+        else:
+            stats.completed += 1
+            if not item.future.done():
+                item.future.set_result(result)
+        finally:
+            self._inflight[name] -= 1
+            self._inflight_total -= 1
+            self._wake.set()
+
+    @staticmethod
+    def _reject(item: _Queued, code: str, message: str) -> None:
+        if not item.future.done():
+            item.future.set_exception(RequestRejected(code, message))
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def queue_depth(self, klass: str) -> int:
+        return len(self._queues[klass])
+
+    def inflight(self, klass: str) -> int:
+        return self._inflight[klass]
+
+    def describe(self) -> dict:
+        """JSON-serialisable per-class stats for STATS replies."""
+        return {
+            "no_priority": self.no_priority,
+            "max_inflight_total": self.max_inflight_total,
+            "classes": {
+                name: dict(
+                    self._stats[name].describe(),
+                    queue_depth=len(self._queues[name]),
+                    inflight=self._inflight[name],
+                    weight=self.policies[name].weight,
+                    max_queue=self.policies[name].max_queue,
+                    max_inflight=self.policies[name].max_inflight,
+                )
+                for name in self.policies
+            },
+        }

@@ -1,0 +1,535 @@
+"""The asyncio TCP front door: frames in, :class:`KronEngine` batches out.
+
+One :class:`KronServer` owns the whole serving stack for its lifetime::
+
+    client ──frames──▶ connection handler ──admit──▶ SloScheduler
+                                                        │ weighted dispatch
+                                                        ▼
+                            FactorRegistry ──factors──▶ KronEngine ──▶ backend
+
+Connection handlers only *parse and validate*; every numerical decision is
+the scheduler's (when) and the engine's (how).  Because the engine runs its
+own dispatcher thread and the heavy kernels release the GIL inside BLAS,
+the event loop stays responsive while batches execute.
+
+Configuration resolves from constructor arguments first, then the
+``FASTKRON_SERVER_*`` environment (see :data:`ENV_KNOBS`), then defaults —
+the same layering the process backend uses for its pool knobs.
+
+:class:`ServerThread` wraps a server plus a private event loop in a daemon
+thread for synchronous callers (the CLI, benchmarks, tests): ``with
+ServerThread(port=0) as srv: KronClient(port=srv.port)``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+from typing import Any, Dict, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.backends.registry import BackendLike
+from repro.core.factors import KroneckerFactor
+from repro.exceptions import ProtocolError, ReproError, RequestRejected
+from repro.serving.engine import KronEngine
+from repro.server.protocol import (
+    DEFAULT_MAX_PAYLOAD,
+    ERR_BAD_REQUEST,
+    ERR_INTERNAL,
+    ERR_SHUTTING_DOWN,
+    ERR_UNKNOWN_HANDLE,
+    ERR_UNSUPPORTED_VERSION,
+    PROTOCOL_VERSION,
+    Frame,
+    MessageKind,
+    array_from_payload,
+    array_payload,
+    encode_frame,
+    error_frame,
+    read_frame,
+)
+from repro.server.registry import FactorRegistry, UnknownHandleError
+from repro.server.scheduler import BULK, LATENCY, ClassPolicy, SloScheduler
+
+__all__ = ["ENV_KNOBS", "KronServer", "ServerThread"]
+
+#: Environment knobs (constructor arguments win over all of them).
+ENV_KNOBS = {
+    "FASTKRON_SERVER_HOST": "bind host (default 127.0.0.1)",
+    "FASTKRON_SERVER_PORT": "bind port (default 7077; 0 = ephemeral)",
+    "FASTKRON_SERVER_MAX_PAYLOAD_MB": "per-frame ndarray payload ceiling (default 64)",
+    "FASTKRON_SERVER_REGISTRY_CAPACITY": "registered factor sets kept, LRU (default 64)",
+    "FASTKRON_SERVER_LATENCY_WEIGHT": "latency-class weighted-age multiplier (default 16)",
+    "FASTKRON_SERVER_BULK_WEIGHT": "bulk-class weighted-age multiplier (default 1)",
+    "FASTKRON_SERVER_LATENCY_QUEUE": "latency-class queue bound (default 512)",
+    "FASTKRON_SERVER_BULK_QUEUE": "bulk-class queue bound (default 32)",
+    "FASTKRON_SERVER_LATENCY_INFLIGHT": "latency-class in-flight cap (default 8)",
+    "FASTKRON_SERVER_BULK_INFLIGHT": "bulk-class in-flight cap (default 1)",
+    "FASTKRON_SERVER_LATENCY_DEADLINE_MS": "latency-class default deadline (default none)",
+    "FASTKRON_SERVER_ENGINE_DELAY_MS": "engine micro-batching window (default 0)",
+    "FASTKRON_SERVER_MAX_BATCH_ROWS": "engine batch-row capacity (default 4096)",
+}
+
+DEFAULT_PORT = 7077
+
+
+def _env_value(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+def _resolve(value: Optional[float], env: str, default: float) -> float:
+    return float(value) if value is not None else _env_value(env, default)
+
+
+def _default_policies() -> Tuple[ClassPolicy, ClassPolicy]:
+    """The latency/bulk pair with environment overrides applied."""
+    deadline = _env_value("FASTKRON_SERVER_LATENCY_DEADLINE_MS", 0.0)
+    return (
+        ClassPolicy(
+            "latency",
+            weight=_env_value("FASTKRON_SERVER_LATENCY_WEIGHT", LATENCY.weight),
+            max_queue=int(_env_value("FASTKRON_SERVER_LATENCY_QUEUE", LATENCY.max_queue)),
+            max_inflight=int(
+                _env_value("FASTKRON_SERVER_LATENCY_INFLIGHT", LATENCY.max_inflight)
+            ),
+            default_deadline_ms=deadline if deadline > 0 else None,
+        ),
+        ClassPolicy(
+            "bulk",
+            weight=_env_value("FASTKRON_SERVER_BULK_WEIGHT", BULK.weight),
+            max_queue=int(_env_value("FASTKRON_SERVER_BULK_QUEUE", BULK.max_queue)),
+            max_inflight=int(
+                _env_value("FASTKRON_SERVER_BULK_INFLIGHT", BULK.max_inflight)
+            ),
+        ),
+    )
+
+
+class _Work:
+    """The unit handed to the scheduler: operands resolved, nothing else."""
+
+    __slots__ = ("x", "factors")
+
+    def __init__(self, x: np.ndarray, factors: "list[KroneckerFactor]"):
+        self.x = x
+        self.factors = factors
+
+
+class KronServer:
+    """Serve Kron-Matmul over TCP with registered factors and SLO classes.
+
+    Parameters mirror the env knobs (see :data:`ENV_KNOBS`); explicit
+    arguments win.  ``no_priority=True`` collapses scheduling into a single
+    FIFO — the benchmark's control arm, never a production setting.
+    """
+
+    def __init__(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        *,
+        backend: BackendLike = None,
+        policies: Optional[Tuple[ClassPolicy, ...]] = None,
+        no_priority: bool = False,
+        registry_capacity: Optional[int] = None,
+        max_payload: Optional[int] = None,
+        max_batch_rows: Optional[int] = None,
+        max_delay_ms: Optional[float] = None,
+        plan_capacity: int = 32,
+        engine: Optional[KronEngine] = None,
+    ):
+        self.host = host if host is not None else os.environ.get(
+            "FASTKRON_SERVER_HOST", "127.0.0.1"
+        )
+        self.port = int(_resolve(port, "FASTKRON_SERVER_PORT", DEFAULT_PORT))
+        # max_payload is in bytes; the env knob in whole MiB.
+        self.max_payload = int(max_payload) if max_payload is not None else int(
+            _env_value("FASTKRON_SERVER_MAX_PAYLOAD_MB",
+                       DEFAULT_MAX_PAYLOAD / (1024 * 1024)) * 1024 * 1024
+        )
+        self.registry = FactorRegistry(capacity=int(_resolve(
+            registry_capacity, "FASTKRON_SERVER_REGISTRY_CAPACITY", 64
+        )))
+        self.policies = tuple(policies) if policies is not None else _default_policies()
+        self.no_priority = bool(no_priority)
+        self._owns_engine = engine is None
+        self.engine = engine if engine is not None else KronEngine(
+            backend=backend,
+            max_batch_rows=int(_resolve(
+                max_batch_rows, "FASTKRON_SERVER_MAX_BATCH_ROWS", 4096
+            )),
+            # A front door defaults to the latency-optimal window: bursts
+            # still coalesce, nobody is held back waiting for companions.
+            max_delay_ms=_resolve(max_delay_ms, "FASTKRON_SERVER_ENGINE_DELAY_MS", 0.0),
+            plan_capacity=plan_capacity,
+        )
+        self.scheduler = SloScheduler(
+            self._execute, self.policies, no_priority=self.no_priority
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_seq = 0
+        self._connections: "Set[asyncio.StreamWriter]" = set()
+        self._submit_tasks: "Set[asyncio.Task]" = set()
+        self._stopping = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind and start accepting; resolves ``port`` when it was 0."""
+        self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, shed the queues, drain in-flight work, release.
+
+        Ordering matters: close the listener first (no new work), then the
+        scheduler (queued requests get ``shutting_down`` frames while the
+        connections are still writable), then the connections, and the
+        engine last (its executors and any shared memory are released once
+        nothing can reach it).
+        """
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.scheduler.stop()
+        if self._submit_tasks:
+            await asyncio.gather(*list(self._submit_tasks), return_exceptions=True)
+        for writer in list(self._connections):
+            writer.close()
+        for writer in list(self._connections):
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._connections.clear()
+        if self._owns_engine:
+            self.engine.close()
+
+    # ------------------------------------------------------------------ #
+    # engine bridge
+    # ------------------------------------------------------------------ #
+    async def _execute(self, work: object) -> np.ndarray:
+        """Scheduler-dispatched execution: submit to the engine, await it.
+
+        ``KronEngine.submit`` returns a :class:`concurrent.futures.Future`
+        resolved on the engine's dispatcher thread; ``wrap_future`` bridges
+        it back onto the event loop without blocking it.
+        """
+        assert isinstance(work, _Work)
+        return await asyncio.wrap_future(self.engine.submit(work.x, work.factors))
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._conn_seq += 1
+        owner = f"conn-{self._conn_seq}"
+        self._connections.add(writer)
+        write_lock = asyncio.Lock()
+        try:
+            await self._send(writer, write_lock, encode_frame(
+                MessageKind.HELLO,
+                {
+                    "version": PROTOCOL_VERSION,
+                    "max_payload": self.max_payload,
+                    "classes": sorted(p.name for p in self.policies),
+                    "backend": self.engine.backend.name,
+                },
+            ))
+            while True:
+                frame = await read_frame(reader, self.max_payload)
+                if frame.version != PROTOCOL_VERSION:
+                    await self._send(writer, write_lock, error_frame(
+                        ERR_UNSUPPORTED_VERSION,
+                        f"server speaks protocol {PROTOCOL_VERSION}, "
+                        f"got {frame.version}",
+                    ))
+                    break
+                if frame.kind == MessageKind.SUBMIT:
+                    # Submits resolve out of order (that is the point of the
+                    # scheduler); handle each in its own task so one queued
+                    # bulk job never blocks this connection's other traffic.
+                    task = asyncio.get_running_loop().create_task(
+                        self._handle_submit(frame, writer, write_lock)
+                    )
+                    self._submit_tasks.add(task)
+                    task.add_done_callback(self._submit_tasks.discard)
+                elif frame.kind == MessageKind.REGISTER:
+                    await self._handle_register(frame, writer, write_lock, owner)
+                elif frame.kind == MessageKind.UNREGISTER:
+                    await self._handle_unregister(frame, writer, write_lock)
+                elif frame.kind == MessageKind.STATS:
+                    await self._send(writer, write_lock, encode_frame(
+                        MessageKind.STATS_REPLY,
+                        {"id": frame.header.get("id"), "stats": self.describe()},
+                    ))
+                else:
+                    await self._send(writer, write_lock, error_frame(
+                        ERR_BAD_REQUEST,
+                        f"unexpected frame kind {frame.kind}",
+                        frame.header.get("id"),
+                    ))
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass  # client went away (cleanly or mid-frame); nothing to answer
+        except ProtocolError as exc:
+            # The stream cannot be resynchronised after a malformed frame:
+            # answer with a typed error (best effort) and drop the peer.
+            try:
+                await self._send(writer, write_lock, error_frame(
+                    ERR_BAD_REQUEST, str(exc)
+                ))
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _send(
+        writer: asyncio.StreamWriter, lock: asyncio.Lock, data: bytes
+    ) -> None:
+        """Serialise concurrent writers: frames must never interleave."""
+        async with lock:
+            writer.write(data)
+            await writer.drain()
+
+    async def _handle_register(
+        self, frame: Frame, writer: asyncio.StreamWriter, lock: asyncio.Lock,
+        owner: str,
+    ) -> None:
+        request_id = frame.header.get("id")
+        try:
+            shapes = frame.header["shapes"]
+            dtype = np.dtype(frame.header["dtype"])
+            factors = []
+            offset = 0
+            for shape in shapes:
+                p, q = int(shape[0]), int(shape[1])
+                nbytes = p * q * dtype.itemsize
+                chunk = frame.payload[offset:offset + nbytes]
+                if len(chunk) != nbytes:
+                    raise ProtocolError(
+                        f"register payload truncated: factor {len(factors)} "
+                        f"needs {nbytes} bytes, {len(chunk)} left"
+                    )
+                # Registered factors are long-lived and server-owned: copy
+                # once out of the receive buffer.
+                factors.append(KroneckerFactor(
+                    array_from_payload(chunk, (p, q), dtype.str, writable=True)
+                ))
+                offset += nbytes
+            if offset != len(frame.payload):
+                raise ProtocolError(
+                    f"register payload has {len(frame.payload) - offset} "
+                    f"trailing bytes beyond the declared shapes"
+                )
+            entry = self.registry.register(factors, owner=owner)
+        except (KeyError, TypeError, ValueError, ProtocolError, ReproError) as exc:
+            await self._send(writer, lock, error_frame(
+                ERR_BAD_REQUEST, f"invalid register request: {exc}", request_id
+            ))
+            return
+        await self._send(writer, lock, encode_frame(
+            MessageKind.REGISTERED,
+            {
+                "id": request_id,
+                "handle": entry.handle,
+                "shapes": [list(s) for s in entry.shapes],
+                "dtype": entry.dtype,
+            },
+        ))
+
+    async def _handle_unregister(
+        self, frame: Frame, writer: asyncio.StreamWriter, lock: asyncio.Lock
+    ) -> None:
+        request_id = frame.header.get("id")
+        handle = str(frame.header.get("handle", ""))
+        removed = self.registry.unregister(handle)
+        await self._send(writer, lock, encode_frame(
+            MessageKind.UNREGISTERED, {"id": request_id, "removed": removed}
+        ))
+
+    async def _handle_submit(
+        self, frame: Frame, writer: asyncio.StreamWriter, lock: asyncio.Lock
+    ) -> None:
+        request_id = frame.header.get("id")
+        try:
+            entry = self.registry.get(str(frame.header.get("handle", "")))
+            shape = frame.header["shape"]
+            if not isinstance(shape, list) or len(shape) != 2:
+                raise ProtocolError(f"submit shape must be [rows, cols], got {shape!r}")
+            x = array_from_payload(
+                frame.payload, (int(shape[0]), int(shape[1])),
+                str(frame.header.get("dtype", entry.dtype)),
+            )
+            klass = str(frame.header.get("class", "latency"))
+            deadline_ms = frame.header.get("deadline_ms")
+            if deadline_ms is not None:
+                deadline_ms = float(deadline_ms)
+            future = self.scheduler.admit(
+                _Work(x, entry.factors), klass, deadline_ms
+            )
+        except UnknownHandleError as exc:
+            await self._send(writer, lock, error_frame(
+                ERR_UNKNOWN_HANDLE,
+                f"handle {exc.args[0]!r} is not registered (evicted or never "
+                f"registered); re-register the factor set", request_id,
+            ))
+            return
+        except RequestRejected as exc:  # busy / shutting down at admission
+            await self._send(writer, lock, error_frame(
+                exc.code, exc.message, request_id
+            ))
+            return
+        except (KeyError, TypeError, ValueError, ProtocolError) as exc:
+            await self._send(writer, lock, error_frame(
+                ERR_BAD_REQUEST, f"invalid submit request: {exc}", request_id
+            ))
+            return
+        try:
+            y = await future
+        except RequestRejected as exc:  # deadline / shutdown while queued
+            await self._send(writer, lock, error_frame(
+                exc.code, exc.message, request_id
+            ))
+            return
+        except ReproError as exc:
+            await self._send(writer, lock, error_frame(
+                ERR_BAD_REQUEST, str(exc), request_id
+            ))
+            return
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - reported to the peer
+            code = ERR_SHUTTING_DOWN if self._stopping else ERR_INTERNAL
+            await self._send(writer, lock, error_frame(code, str(exc), request_id))
+            return
+        await self._send(writer, lock, encode_frame(
+            MessageKind.RESULT,
+            {"id": request_id, "shape": list(y.shape), "dtype": y.dtype.str},
+            array_payload(y),
+        ))
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def describe(self) -> Dict[str, Any]:
+        """JSON-serialisable stats: engine + scheduler + registry."""
+        engine_stats = self.engine.stats()
+        return {
+            "backend": self.engine.backend.name,
+            "engine": {
+                "requests": engine_stats.requests,
+                "batches": engine_stats.batches,
+                "coalesce_ratio": round(engine_stats.coalesce_ratio, 3),
+                "plan_hits": engine_stats.plan_hits,
+                "plan_misses": engine_stats.plan_misses,
+                "plan_evictions": engine_stats.plan_evictions,
+            },
+            "scheduler": self.scheduler.describe(),
+            "registry": self.registry.describe(),
+        }
+
+
+class ServerThread:
+    """A :class:`KronServer` on a private event loop in a daemon thread.
+
+    The synchronous harness for the CLI, benchmarks and tests: enter the
+    context manager, read ``host``/``port``, connect clients; exiting stops
+    the server (scheduler shed, engine closed) and joins the thread.
+    """
+
+    def __init__(self, **server_kwargs: Any):
+        self._kwargs = server_kwargs
+        self.server: Optional[KronServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="kron-server", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            server = KronServer(**self._kwargs)
+            loop.run_until_complete(server.start())
+            self.server = server
+        except BaseException as exc:  # noqa: BLE001 - reported to start()
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    @property
+    def host(self) -> str:
+        assert self.server is not None
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None
+        return self.server.port
+
+    def describe(self) -> Dict[str, Any]:
+        assert self.server is not None
+        return self.server.describe()
+
+    def stop(self) -> None:
+        """Stop the server cleanly and join the thread (idempotent)."""
+        loop, self._loop = self._loop, None
+        if loop is None or self._thread is None:
+            return
+        if self.server is not None:
+            future = asyncio.run_coroutine_threadsafe(self.server.stop(), loop)
+            future.result(timeout=30)
+        loop.call_soon_threadsafe(loop.stop)
+        self._thread.join(timeout=30)
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -37,7 +37,7 @@ from repro.backends.registry import BackendLike, get_backend
 from repro.core.factors import KroneckerFactor, as_factor_list
 from repro.core.fastkron import kron_matmul
 from repro.core.problem import KronMatmulProblem
-from repro.exceptions import ShapeError
+from repro.exceptions import EngineClosedError, ShapeError
 from repro.plan.compiler import compile_plan
 from repro.plan.executor import PlanExecutor
 from repro.plan.fingerprint import plan_cache_key
@@ -246,7 +246,11 @@ class KronEngine:
         request = _Request(x2d, factor_list, signature, plan_key, squeeze)
         with self._lock:
             if self._closed:
-                raise RuntimeError("KronEngine is closed")
+                # The dispatcher is stopped (or stopping): enqueueing here
+                # would strand the future forever.  Refuse loudly instead.
+                raise EngineClosedError(
+                    "KronEngine is closed; create a new engine to submit requests"
+                )
             if solo:
                 # A negative pseudo-id can never collide with real array ids.
                 self._solo_seq += 1

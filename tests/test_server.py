@@ -1,0 +1,371 @@
+"""End-to-end tests of the serving front door over real sockets.
+
+Every test runs a :class:`ServerThread` on an ephemeral port and talks to
+it through the public clients (or a raw socket, for the malformed-frame
+cases).  The lifecycle test doubles as the tier-1 smoke the CI job relies
+on: start, register, one latency + one bulk request, clean shutdown with
+no leaked threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import kron_matmul, random_factors
+from repro.exceptions import RequestRejected
+from repro.server import (
+    ERR_BAD_REQUEST,
+    ERR_BUSY,
+    ERR_DEADLINE,
+    ERR_UNKNOWN_HANDLE,
+    ERR_UNSUPPORTED_VERSION,
+    AsyncKronClient,
+    ClassPolicy,
+    KronClient,
+    MessageKind,
+    ServerThread,
+)
+from repro.server.protocol import encode_frame, read_frame_sync
+
+
+def _expected(x, factors):
+    return kron_matmul(x, factors)
+
+
+def _problem(seed=0, rows=8, n=3, p=4):
+    factors = random_factors(n, p, p, dtype=np.float64, seed=seed)
+    x = np.random.default_rng(seed + 100).standard_normal((rows, p**n))
+    return factors, x
+
+
+def _recv_exact(sock):
+    def read_exact(n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = sock.recv(remaining)
+            if not chunk:
+                raise ConnectionError("closed")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    return read_exact
+
+
+class TestLifecycle:
+    def test_smoke_register_latency_bulk_clean_shutdown(self):
+        """The tier-1 smoke: full lifecycle with no leaked threads."""
+        threads_before = set(threading.enumerate())
+        factors, x = _problem()
+        with ServerThread(port=0) as srv:
+            assert srv.port != 0
+            with KronClient(port=srv.port) as client:
+                assert client.server_info["classes"] == ["bulk", "latency"]
+                handle = client.register(factors)
+                y_lat = client.matmul(handle, x, klass="latency")
+                y_bulk = client.matmul(handle, x, klass="bulk")
+            expected = _expected(x, factors)
+            np.testing.assert_array_equal(y_lat, expected)
+            np.testing.assert_array_equal(y_bulk, expected)
+            stats = srv.describe()
+            assert stats["scheduler"]["classes"]["latency"]["completed"] == 1
+            assert stats["scheduler"]["classes"]["bulk"]["completed"] == 1
+            assert stats["registry"]["size"] == 1
+        # Everything the server started (acceptor loop, scheduler, engine
+        # dispatcher, backend pools) must be gone after stop().
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            leaked = set(threading.enumerate()) - threads_before
+            if not leaked:
+                break
+            time.sleep(0.01)
+        assert not leaked, f"leaked threads: {[t.name for t in leaked]}"
+
+    def test_stop_is_idempotent(self):
+        srv = ServerThread(port=0).start()
+        srv.stop()
+        srv.stop()
+
+    def test_one_dimensional_input_round_trips(self):
+        factors, x = _problem(rows=1)
+        with ServerThread(port=0) as srv, KronClient(port=srv.port) as client:
+            handle = client.register(factors)
+            y = client.matmul(handle, x[0])
+            assert y.ndim == 1
+            np.testing.assert_array_equal(y, _expected(x, factors)[0])
+
+    def test_stats_frame_content(self):
+        factors, x = _problem()
+        with ServerThread(port=0) as srv, KronClient(port=srv.port) as client:
+            handle = client.register(factors)
+            client.matmul(handle, x)
+            stats = client.stats()
+            assert stats["engine"]["requests"] == 1
+            assert stats["scheduler"]["classes"]["latency"]["completed"] == 1
+            assert stats["registry"]["size"] == 1
+            assert stats["backend"]
+
+
+class TestRegistry:
+    def test_unknown_handle_is_typed(self):
+        _, x = _problem()
+        with ServerThread(port=0) as srv, KronClient(port=srv.port) as client:
+            with pytest.raises(RequestRejected) as excinfo:
+                client.matmul("no-such-handle", x)
+            assert excinfo.value.code == ERR_UNKNOWN_HANDLE
+
+    def test_unregister_then_submit_rejected(self):
+        factors, x = _problem()
+        with ServerThread(port=0) as srv, KronClient(port=srv.port) as client:
+            handle = client.register(factors)
+            assert client.unregister(handle)
+            assert not client.unregister(handle)
+            with pytest.raises(RequestRejected) as excinfo:
+                client.matmul(handle, x)
+            assert excinfo.value.code == ERR_UNKNOWN_HANDLE
+
+    def test_handles_are_global_across_connections(self):
+        """Registrations survive the registering connection: a reconnect
+        (or another tenant) submits against the same handle."""
+        factors, x = _problem()
+        with ServerThread(port=0) as srv:
+            with KronClient(port=srv.port) as first:
+                handle = first.register(factors)
+            with KronClient(port=srv.port) as second:
+                y = second.matmul(handle, x)
+            np.testing.assert_array_equal(y, _expected(x, factors))
+
+    def test_concurrent_clients_evict_lru(self):
+        """Registrations racing past capacity evict the oldest handle; the
+        evicted owner gets a typed unknown_handle, survivors keep working."""
+        with ServerThread(port=0, registry_capacity=2) as srv:
+            with KronClient(port=srv.port) as one, KronClient(port=srv.port) as two:
+                f1, x = _problem(seed=1)
+                f2, _ = _problem(seed=2)
+                f3, _ = _problem(seed=3)
+                h1 = one.register(f1)
+                h2 = two.register(f2)
+                h3 = two.register(f3)  # capacity 2: h1 falls off
+                with pytest.raises(RequestRejected) as excinfo:
+                    one.matmul(h1, x)
+                assert excinfo.value.code == ERR_UNKNOWN_HANDLE
+                np.testing.assert_array_equal(
+                    one.matmul(h3, x), _expected(x, f3)
+                )
+                np.testing.assert_array_equal(
+                    two.matmul(h2, x), _expected(x, f2)
+                )
+                assert srv.describe()["registry"]["evictions"] == 1
+
+    def test_plan_cache_shared_across_connections(self):
+        """Same-shape factor sets from different connections compile once."""
+        with ServerThread(port=0) as srv:
+            for seed in (1, 2):
+                factors, x = _problem(seed=seed)
+                with KronClient(port=srv.port) as client:
+                    handle = client.register(factors)
+                    np.testing.assert_array_equal(
+                        client.matmul(handle, x), _expected(x, factors)
+                    )
+            engine = srv.describe()["engine"]
+            assert engine["plan_misses"] == 1
+            assert engine["plan_hits"] >= 1
+
+
+class TestSloScheduling:
+    def _loaded_server(self):
+        return ServerThread(
+            port=0,
+            policies=(
+                ClassPolicy("latency", weight=16.0, max_queue=64, max_inflight=8),
+                ClassPolicy("bulk", weight=1.0, max_queue=4, max_inflight=1),
+            ),
+            # A micro-batching window makes every bulk batch take >= 5 ms, so
+            # a pipelined flood reliably fills the 4-deep bulk queue.
+            max_delay_ms=5.0,
+        )
+
+    def test_backpressure_busy_while_latency_completes(self):
+        """A saturating bulk flood gets typed ``busy`` frames; a latency
+        request submitted mid-flood still completes correctly."""
+        factors, x = _problem(rows=32)
+        flood = 24
+
+        async def scenario(port):
+            async with await AsyncKronClient.connect(port=port) as client:
+                handle = await client.register(factors)
+                futures = [
+                    await client.submit(handle, x, klass="bulk")
+                    for _ in range(flood)
+                ]
+                y_lat = await client.matmul(handle, x, klass="latency")
+                outcomes = {"ok": 0, ERR_BUSY: 0}
+                for future in futures:
+                    frame = await future
+                    if frame.kind == MessageKind.RESULT:
+                        np.testing.assert_array_equal(
+                            AsyncKronClient.result(frame), expected
+                        )
+                        outcomes["ok"] += 1
+                    else:
+                        outcomes[frame.header["code"]] = (
+                            outcomes.get(frame.header["code"], 0) + 1
+                        )
+                return y_lat, outcomes
+
+        expected = _expected(x, factors)
+        with self._loaded_server() as srv:
+            y_lat, outcomes = asyncio.run(scenario(srv.port))
+            stats = srv.describe()["scheduler"]["classes"]
+        np.testing.assert_array_equal(y_lat, expected)
+        assert outcomes[ERR_BUSY] > 0, f"no busy rejections in {outcomes}"
+        assert outcomes["ok"] > 0, f"nothing completed in {outcomes}"
+        assert outcomes["ok"] + outcomes[ERR_BUSY] == flood
+        assert stats["bulk"]["rejected_busy"] == outcomes[ERR_BUSY]
+        assert stats["latency"]["completed"] == 1
+
+    def test_deadline_exceeded_is_typed(self):
+        factors, x = _problem()
+        with ServerThread(port=0) as srv, KronClient(port=srv.port) as client:
+            handle = client.register(factors)
+            with pytest.raises(RequestRejected) as excinfo:
+                client.matmul(handle, x, klass="latency", deadline_ms=0.0)
+            assert excinfo.value.code == ERR_DEADLINE
+            # The connection stays usable after a rejection.
+            np.testing.assert_array_equal(
+                client.matmul(handle, x), _expected(x, factors)
+            )
+
+    def test_unknown_class_is_bad_request(self):
+        factors, x = _problem()
+        with ServerThread(port=0) as srv, KronClient(port=srv.port) as client:
+            handle = client.register(factors)
+            with pytest.raises(RequestRejected) as excinfo:
+                client.matmul(handle, x, klass="premium")
+            assert excinfo.value.code == ERR_BAD_REQUEST
+
+    def test_async_pipelining_out_of_order_completion(self):
+        """Many submits in flight on one connection all come back correct,
+        correlated by request id."""
+        factors, x = _problem(rows=4)
+
+        async def scenario(port):
+            async with await AsyncKronClient.connect(port=port) as client:
+                handle = await client.register(factors)
+                futures = [
+                    await client.submit(
+                        handle, x, klass="bulk" if i % 3 == 0 else "latency"
+                    )
+                    for i in range(12)
+                ]
+                return [
+                    AsyncKronClient.result(frame)
+                    for frame in await asyncio.gather(*futures)
+                ]
+
+        with ServerThread(port=0) as srv:
+            results = asyncio.run(scenario(srv.port))
+        expected = _expected(x, factors)
+        assert len(results) == 12
+        for y in results:
+            np.testing.assert_array_equal(y, expected)
+
+
+class TestProtocolRobustness:
+    def _raw_connection(self, port):
+        sock = socket.create_connection(("127.0.0.1", port), timeout=5)
+        read_exact = _recv_exact(sock)
+        hello = read_frame_sync(read_exact)
+        assert hello.kind == MessageKind.HELLO
+        return sock, read_exact
+
+    def test_malformed_frame_gets_bad_request_then_drop(self):
+        with ServerThread(port=0) as srv:
+            sock, read_exact = self._raw_connection(srv.port)
+            try:
+                sock.sendall(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n".ljust(20, b" "))
+                reply = read_frame_sync(read_exact)
+                assert reply.kind == MessageKind.ERROR
+                assert reply.header["code"] == ERR_BAD_REQUEST
+                # The stream cannot be resynchronised: the server drops us.
+                with pytest.raises(ConnectionError):
+                    while True:
+                        read_exact(1)
+            finally:
+                sock.close()
+            # The server itself survives; a fresh connection works.
+            factors, x = _problem()
+            with KronClient(port=srv.port) as client:
+                handle = client.register(factors)
+                np.testing.assert_array_equal(
+                    client.matmul(handle, x), _expected(x, factors)
+                )
+
+    def test_truncated_frame_mid_payload_does_not_kill_server(self):
+        factors, x = _problem()
+        with ServerThread(port=0) as srv:
+            sock, _ = self._raw_connection(srv.port)
+            full = encode_frame(
+                MessageKind.SUBMIT,
+                {"id": 1, "handle": "h", "shape": [8, 64], "dtype": "<f8"},
+                b"\x00" * (8 * 64 * 8),
+            )
+            sock.sendall(full[: len(full) // 2])
+            sock.close()  # disconnect mid-frame
+            with KronClient(port=srv.port) as client:
+                handle = client.register(factors)
+                np.testing.assert_array_equal(
+                    client.matmul(handle, x), _expected(x, factors)
+                )
+
+    def test_wrong_version_frame_gets_typed_error(self):
+        with ServerThread(port=0) as srv:
+            sock, read_exact = self._raw_connection(srv.port)
+            try:
+                sock.sendall(encode_frame(
+                    MessageKind.SUBMIT, {"id": 7}, b"", version=99
+                ))
+                reply = read_frame_sync(read_exact)
+                assert reply.kind == MessageKind.ERROR
+                assert reply.header["code"] == ERR_UNSUPPORTED_VERSION
+            finally:
+                sock.close()
+
+    def test_bad_submit_shape_is_bad_request(self):
+        factors, x = _problem()
+        with ServerThread(port=0) as srv:
+            sock, read_exact = self._raw_connection(srv.port)
+            try:
+                sock.sendall(encode_frame(
+                    MessageKind.SUBMIT,
+                    {"id": 3, "handle": "nope", "shape": "not-a-shape"},
+                    b"",
+                ))
+                reply = read_frame_sync(read_exact)
+                assert reply.kind == MessageKind.ERROR
+                assert reply.header["code"] == ERR_UNKNOWN_HANDLE
+            finally:
+                sock.close()
+
+    def test_truncated_register_payload_is_bad_request(self):
+        with ServerThread(port=0) as srv:
+            sock, read_exact = self._raw_connection(srv.port)
+            try:
+                sock.sendall(encode_frame(
+                    MessageKind.REGISTER,
+                    {"id": 5, "shapes": [[4, 4], [4, 4]], "dtype": "<f8"},
+                    b"\x00" * (4 * 4 * 8),  # only one factor's bytes
+                ))
+                reply = read_frame_sync(read_exact)
+                assert reply.kind == MessageKind.ERROR
+                assert reply.header["code"] == ERR_BAD_REQUEST
+                assert "truncated" in reply.header["message"]
+            finally:
+                sock.close()

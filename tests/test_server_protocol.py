@@ -1,0 +1,464 @@
+"""Unit tests of the front door's building blocks: frames, registry, scheduler.
+
+The protocol tests include hypothesis round-trip properties (any
+encodable frame decodes to itself; any ndarray survives the payload
+round trip) plus the malformed/truncated/wrong-version cases the server
+must answer with typed errors rather than desynchronise on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.factors import random_factors
+from repro.exceptions import ProtocolError, RequestRejected
+from repro.server.protocol import (
+    DEFAULT_MAX_PAYLOAD,
+    ERR_BUSY,
+    ERR_DEADLINE,
+    ERR_SHUTTING_DOWN,
+    MAGIC,
+    PREAMBLE,
+    PROTOCOL_VERSION,
+    MessageKind,
+    array_from_payload,
+    array_payload,
+    encode_frame,
+    error_frame,
+    parse_preamble,
+    read_frame_sync,
+)
+from repro.server.registry import FactorRegistry, UnknownHandleError
+from repro.server.scheduler import ClassPolicy, SloScheduler
+
+
+def _frame_reader(data: bytes):
+    """A read_exact callable over an in-memory byte string."""
+    view = memoryview(data)
+    offset = 0
+
+    def read_exact(n: int) -> bytes:
+        nonlocal offset
+        if offset + n > len(view):
+            raise ConnectionError("short read")
+        chunk = bytes(view[offset:offset + n])
+        offset += n
+        return chunk
+
+    return read_exact
+
+
+# --------------------------------------------------------------------------- #
+# framing
+# --------------------------------------------------------------------------- #
+class TestFraming:
+    @given(
+        kind=st.sampled_from(list(MessageKind)),
+        request_id=st.integers(min_value=1, max_value=2**31),
+        klass=st.sampled_from(["latency", "bulk"]),
+        deadline=st.one_of(st.none(), st.floats(0.1, 1e6)),
+        payload=st.binary(max_size=512),
+    )
+    @settings(max_examples=50)
+    def test_round_trip_property(self, kind, request_id, klass, deadline, payload):
+        header = {"id": request_id, "class": klass}
+        if deadline is not None:
+            header["deadline_ms"] = deadline
+        frame = read_frame_sync(
+            _frame_reader(encode_frame(kind, header, payload))
+        )
+        assert frame.version == PROTOCOL_VERSION
+        assert frame.kind == kind
+        assert frame.header == header
+        assert frame.payload == payload
+
+    @given(
+        rows=st.integers(1, 8),
+        cols=st.integers(1, 32),
+        dtype=st.sampled_from(["<f4", "<f8", "<i8"]),
+    )
+    @settings(max_examples=50)
+    def test_array_payload_round_trip_property(self, rows, cols, dtype):
+        rng = np.random.default_rng(rows * 100 + cols)
+        array = (rng.standard_normal((rows, cols)) * 8).astype(np.dtype(dtype))
+        restored = array_from_payload(array_payload(array), (rows, cols), dtype)
+        assert restored.dtype == array.dtype
+        assert np.array_equal(restored, array)
+
+    def test_non_contiguous_array_payload(self):
+        base = np.arange(64, dtype=np.float64).reshape(8, 8)
+        view = base[:, ::2]
+        restored = array_from_payload(
+            array_payload(view), view.shape, view.dtype.str
+        )
+        assert np.array_equal(restored, view)
+
+    def test_writable_copy_is_owned(self):
+        array = np.ones((2, 3), dtype=np.float32)
+        restored = array_from_payload(
+            array_payload(array), (2, 3), "<f4", writable=True
+        )
+        restored[0, 0] = 7.0  # must not raise
+        assert restored.flags["WRITEABLE"]
+
+    def test_zero_copy_view_is_read_only(self):
+        array = np.ones((2, 3), dtype=np.float32)
+        restored = array_from_payload(array_payload(array), (2, 3), "<f4")
+        with pytest.raises(ValueError):
+            restored[0, 0] = 7.0
+
+    def test_bad_magic_rejected(self):
+        data = bytearray(encode_frame(MessageKind.STATS, {}))
+        data[:4] = b"HTTP"
+        with pytest.raises(ProtocolError, match="magic"):
+            read_frame_sync(_frame_reader(bytes(data)))
+
+    def test_oversized_payload_rejected(self):
+        preamble = PREAMBLE.pack(MAGIC, PROTOCOL_VERSION, 6, 0, 0, DEFAULT_MAX_PAYLOAD + 1)
+        with pytest.raises(ProtocolError, match="payload"):
+            parse_preamble(preamble, DEFAULT_MAX_PAYLOAD)
+
+    def test_oversized_header_rejected(self):
+        preamble = PREAMBLE.pack(MAGIC, PROTOCOL_VERSION, 6, 0, (1 << 20) + 1, 0)
+        with pytest.raises(ProtocolError, match="header"):
+            parse_preamble(preamble, DEFAULT_MAX_PAYLOAD)
+
+    def test_truncated_frame_raises_short_read(self):
+        data = encode_frame(MessageKind.SUBMIT, {"id": 1}, b"x" * 64)
+        with pytest.raises(ConnectionError):
+            read_frame_sync(_frame_reader(data[:-10]))
+
+    def test_undecodable_header_rejected(self):
+        header_bytes = b"{not json"
+        data = PREAMBLE.pack(
+            MAGIC, PROTOCOL_VERSION, 6, 0, len(header_bytes), 0
+        ) + header_bytes
+        with pytest.raises(ProtocolError, match="header"):
+            read_frame_sync(_frame_reader(data))
+
+    def test_non_object_header_rejected(self):
+        header_bytes = b"[1,2,3]"
+        data = PREAMBLE.pack(
+            MAGIC, PROTOCOL_VERSION, 6, 0, len(header_bytes), 0
+        ) + header_bytes
+        with pytest.raises(ProtocolError, match="object"):
+            read_frame_sync(_frame_reader(data))
+
+    def test_foreign_version_header_left_undecoded(self):
+        # A future protocol may change the header layout; only the preamble
+        # is trusted, and the caller answers unsupported_version.
+        data = encode_frame(MessageKind.SUBMIT, {"id": 9}, b"abc", version=99)
+        frame = read_frame_sync(_frame_reader(data))
+        assert frame.version == 99
+        assert frame.header == {}
+        assert frame.payload == b""
+
+    def test_error_frame_carries_code_and_id(self):
+        frame = read_frame_sync(_frame_reader(error_frame(ERR_BUSY, "try later", 42)))
+        assert frame.kind == MessageKind.ERROR
+        assert frame.header["code"] == ERR_BUSY
+        assert frame.header["id"] == 42
+
+    def test_payload_shape_mismatch_rejected(self):
+        with pytest.raises(ProtocolError, match="does not match"):
+            array_from_payload(b"\x00" * 8, (3, 3), "<f8")
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(ProtocolError, match="dtype"):
+            array_from_payload(b"", (0,), "not-a-dtype")
+
+    def test_preamble_is_twenty_bytes(self):
+        # The fixed preamble is a wire contract; changing it breaks every
+        # deployed client.
+        assert PREAMBLE.size == 20
+        assert PREAMBLE.format == "<4sHBBIQ"
+        assert struct.calcsize("<4sHBBIQ") == 20
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+class TestFactorRegistry:
+    def _factors(self, seed: int = 0):
+        return random_factors(2, 3, 3, dtype=np.float64, seed=seed)
+
+    def test_register_get_round_trip(self):
+        registry = FactorRegistry(capacity=4)
+        entry = registry.register(self._factors(), owner="conn-1")
+        got = registry.get(entry.handle)
+        assert got is entry
+        assert got.uses == 1
+        assert got.shapes == ((3, 3), (3, 3))
+        assert got.dtype == "float64"
+
+    def test_unknown_handle_raises_and_counts(self):
+        registry = FactorRegistry()
+        with pytest.raises(UnknownHandleError):
+            registry.get("never-registered")
+        assert registry.stats().unknown_handles == 1
+
+    def test_lru_eviction_past_capacity(self):
+        registry = FactorRegistry(capacity=2)
+        first = registry.register(self._factors(0))
+        second = registry.register(self._factors(1))
+        registry.get(first.handle)  # refresh: second is now least recent
+        third = registry.register(self._factors(2))
+        assert second.handle not in registry
+        assert first.handle in registry and third.handle in registry
+        assert registry.stats().evictions == 1
+        with pytest.raises(UnknownHandleError):
+            registry.get(second.handle)
+
+    def test_unregister(self):
+        registry = FactorRegistry()
+        entry = registry.register(self._factors())
+        assert registry.unregister(entry.handle)
+        assert not registry.unregister(entry.handle)
+        assert registry.stats().unregistered == 1
+
+    def test_concurrent_registration_evicts_consistently(self):
+        """Racing registrations never exceed capacity or corrupt the LRU."""
+        registry = FactorRegistry(capacity=8)
+        handles: list = []
+        lock = threading.Lock()
+
+        def client(seed: int) -> None:
+            for i in range(8):
+                entry = registry.register(self._factors(seed * 100 + i))
+                with lock:
+                    handles.append(entry.handle)
+
+        threads = [threading.Thread(target=client, args=(s,)) for s in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(registry) == 8
+        stats = registry.stats()
+        assert stats.registered == 32
+        assert stats.evictions == 24
+        # The survivors are exactly the registered handles still resolvable.
+        live = [h for h in handles if h in registry]
+        assert len(live) == 8
+        for handle in live:
+            registry.get(handle)
+
+    def test_rejects_empty_and_bad_capacity(self):
+        with pytest.raises(ValueError):
+            FactorRegistry(capacity=0)
+        with pytest.raises(ValueError):
+            FactorRegistry().register([])
+
+    def test_describe_is_json_serialisable(self):
+        import json
+
+        registry = FactorRegistry()
+        registry.register(self._factors(), owner="conn-9")
+        payload = json.dumps(registry.describe())
+        assert "conn-9" in payload
+
+
+# --------------------------------------------------------------------------- #
+# scheduler
+# --------------------------------------------------------------------------- #
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestSloScheduler:
+    def test_weighted_age_prefers_latency_head(self):
+        """A latency arrival overtakes already-queued bulk requests."""
+        order = []
+
+        async def execute(work):
+            order.append(work)
+            await asyncio.sleep(0)
+            return work
+
+        async def scenario():
+            policies = (
+                ClassPolicy("latency", weight=100.0, max_inflight=1),
+                ClassPolicy("bulk", weight=1.0, max_inflight=1),
+            )
+            scheduler = SloScheduler(execute, policies, max_inflight_total=1)
+            # Hold dispatch back by not starting the runner yet: enqueue
+            # bulk first, then latency, then start.
+            bulk = [scheduler.admit(f"bulk-{i}", "bulk") for i in range(3)]
+            await asyncio.sleep(0.01)  # bulk heads age first
+            lat = [scheduler.admit(f"lat-{i}", "latency") for i in range(2)]
+            # Let the latency head age ~5 ms before dispatch begins: its
+            # weighted score (100 x 5 ms) then dominates the bulk head's
+            # 15 ms head start by >30x, deterministically.
+            await asyncio.sleep(0.005)
+            scheduler.start()
+            await asyncio.gather(*lat, *bulk)
+            await scheduler.stop()
+
+        _run(scenario())
+        # Both latency requests dispatch before any remaining bulk even
+        # though the bulk queue aged first: the 100x weight dominates.
+        assert order.index("lat-0") < order.index("bulk-1")
+        assert order.index("lat-1") < order.index("bulk-2")
+
+    def test_no_priority_is_fifo(self):
+        order = []
+
+        async def execute(work):
+            order.append(work)
+            return work
+
+        async def scenario():
+            policies = (
+                ClassPolicy("latency", weight=100.0, max_inflight=1),
+                ClassPolicy("bulk", weight=1.0, max_inflight=1),
+            )
+            scheduler = SloScheduler(
+                execute, policies, max_inflight_total=1, no_priority=True
+            )
+            futures = [scheduler.admit(f"bulk-{i}", "bulk") for i in range(2)]
+            await asyncio.sleep(0.01)
+            futures.append(scheduler.admit("lat-0", "latency"))
+            scheduler.start()
+            await asyncio.gather(*futures)
+            await scheduler.stop()
+
+        _run(scenario())
+        assert order == ["bulk-0", "bulk-1", "lat-0"]
+
+    def test_busy_rejection_on_full_queue(self):
+        async def execute(work):  # pragma: no cover - never dispatched
+            return work
+
+        async def scenario():
+            policies = (ClassPolicy("bulk", max_queue=2, max_inflight=1),)
+            scheduler = SloScheduler(execute, policies)
+            queued = [scheduler.admit("a", "bulk"), scheduler.admit("b", "bulk")]
+            with pytest.raises(RequestRejected) as excinfo:
+                scheduler.admit("c", "bulk")
+            assert excinfo.value.code == ERR_BUSY
+            assert scheduler.describe()["classes"]["bulk"]["rejected_busy"] == 1
+            await scheduler.stop()
+            for future in queued:  # runner never started: drained at stop
+                with pytest.raises(RequestRejected):
+                    await future
+
+        _run(scenario())
+
+    def test_unknown_class_raises_key_error(self):
+        async def execute(work):  # pragma: no cover
+            return work
+
+        async def scenario():
+            scheduler = SloScheduler(execute)
+            with pytest.raises(KeyError):
+                scheduler.admit("x", "premium")
+            await scheduler.stop()
+
+        _run(scenario())
+
+    def test_deadline_expired_in_queue_rejected(self):
+        executed = []
+
+        async def execute(work):
+            executed.append(work)
+            await asyncio.sleep(0.02)
+            return work
+
+        async def scenario():
+            policies = (ClassPolicy("latency", max_inflight=1),)
+            scheduler = SloScheduler(execute, policies, max_inflight_total=1)
+            scheduler.start()
+            first = scheduler.admit("slow", "latency")
+            # Queued behind `slow` with an already-hopeless deadline.
+            doomed = scheduler.admit("doomed", "latency", deadline_ms=1.0)
+            await first
+            with pytest.raises(RequestRejected) as excinfo:
+                await doomed
+            assert excinfo.value.code == ERR_DEADLINE
+            stats = scheduler.describe()["classes"]["latency"]
+            assert stats["rejected_deadline"] == 1
+            await scheduler.stop()
+
+        _run(scenario())
+        assert executed == ["slow"]
+
+    def test_stop_rejects_queued_work_with_typed_error(self):
+        async def execute(work):
+            await asyncio.sleep(0.05)
+            return work
+
+        async def scenario():
+            policies = (ClassPolicy("bulk", max_inflight=1),)
+            scheduler = SloScheduler(execute, policies, max_inflight_total=1)
+            scheduler.start()
+            running = scheduler.admit("running", "bulk")
+            queued = scheduler.admit("queued", "bulk")
+            await asyncio.sleep(0.01)  # let the first dispatch
+            await scheduler.stop()
+            assert await running == "running"  # in-flight work completes
+            with pytest.raises(RequestRejected) as excinfo:
+                await queued
+            assert excinfo.value.code == ERR_SHUTTING_DOWN
+            with pytest.raises(RequestRejected):
+                scheduler.admit("late", "bulk")
+
+        _run(scenario())
+
+    def test_execution_failure_lands_on_future(self):
+        async def execute(work):
+            raise ValueError("boom")
+
+        async def scenario():
+            scheduler = SloScheduler(execute)
+            scheduler.start()
+            future = scheduler.admit("x", "latency")
+            with pytest.raises(ValueError, match="boom"):
+                await future
+            assert scheduler.describe()["classes"]["latency"]["failed"] == 1
+            await scheduler.stop()
+
+        _run(scenario())
+
+    def test_inflight_cap_bounds_concurrency(self):
+        peak = 0
+        running = 0
+
+        async def execute(work):
+            nonlocal peak, running
+            running += 1
+            peak = max(peak, running)
+            await asyncio.sleep(0.005)
+            running -= 1
+            return work
+
+        async def scenario():
+            policies = (ClassPolicy("bulk", max_inflight=2, max_queue=64),)
+            scheduler = SloScheduler(execute, policies, max_inflight_total=8)
+            scheduler.start()
+            futures = [scheduler.admit(i, "bulk") for i in range(10)]
+            await asyncio.gather(*futures)
+            await scheduler.stop()
+
+        _run(scenario())
+        assert peak <= 2
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            ClassPolicy("x", weight=0)
+        with pytest.raises(ValueError):
+            ClassPolicy("x", max_queue=0)
+        with pytest.raises(ValueError):
+            ClassPolicy("x", max_inflight=0)
+        with pytest.raises(ValueError):
+            SloScheduler(lambda w: w, ())
+        with pytest.raises(ValueError):
+            SloScheduler(
+                lambda w: w, (ClassPolicy("a"), ClassPolicy("a"))
+            )

@@ -18,7 +18,7 @@ from hypothesis import strategies as st
 
 from repro import kron_matmul, random_factors
 from repro.core.problem import KronMatmulProblem
-from repro.exceptions import ShapeError
+from repro.exceptions import EngineClosedError, ShapeError
 from repro.plan import PlanExecutor, compile_plan, plan_cache_key
 from repro.serving import (
     EngineStats,
@@ -257,7 +257,12 @@ class TestEngineBasics:
         factors = random_factors(2, 3, 3, dtype=np.float64, seed=15)
         engine = KronEngine(max_delay_ms=1)
         engine.close()
-        with pytest.raises(RuntimeError, match="closed"):
+        # Regression: must be the typed EngineClosedError (which still
+        # satisfies the historical RuntimeError/"closed" contract), never a
+        # silently-dropped request or an unresolved future.
+        with pytest.raises(EngineClosedError, match="closed"):
+            engine.submit(rng.standard_normal((2, 9)), factors)
+        with pytest.raises(RuntimeError):
             engine.submit(rng.standard_normal((2, 9)), factors)
         engine.close()  # idempotent
 
