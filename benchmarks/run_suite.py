@@ -83,6 +83,10 @@ SUITES: Dict[str, Suite] = {
         Suite("fused", "bench_fused.py"),
         Suite("process", "bench_process.py"),
         Suite("numba", "bench_numba.py", requires="numba", tolerance=0.35),
+        # The quant suite's "identical" flag is the per-scheme accuracy
+        # contract (max/mean rel-err ceilings), not bit parity — the storage
+        # tier is deliberately approximate.
+        Suite("quant", "bench_quant.py"),
         # The server suite's "speedup" is the SLO protection factor (control
         # FIFO p99 / scheduled p99) from an open-loop load test; scheduling
         # outcomes are noisier than kernel throughput, hence the headroom.

@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.backends.arena import ScratchArena
+from repro.quant import QuantizedFactor
 
 if TYPE_CHECKING:  # imported lazily: repro.plan depends on repro.backends
     from repro.plan.ir import KronPlan
@@ -91,6 +92,13 @@ class ArrayBackend:
     #: views, so no caller can ever hold a view into unmapped pages after
     #: ``executor.close()``.
     workspace_requires_copy_out: bool = False
+
+    #: Backends whose primitives consume :class:`~repro.quant.QuantizedFactor`
+    #: operands directly (dequant-on-load into arena tiles, or dequant fused
+    #: into the kernel loop) set this; for other backends the validation
+    #: layer stages a dense tile before dispatch, so device adapters keep
+    #: working without quant awareness.
+    supports_quantized: bool = False
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -231,6 +239,27 @@ def write_swapped(out: np.ndarray, products: np.ndarray, m: int, n_slices: int, 
         np.copyto(out, swapped.reshape(m, n_slices * q))
 
 
+def dequant_factor_tile(
+    f: "QuantizedFactor",
+    dtype,
+    arena: Optional[ScratchArena] = None,
+    tag: str = "deq",
+) -> np.ndarray:
+    """Dequantise a packed factor into a small arena tile (dequant-on-load).
+
+    The tile is ``(P, Q)`` — a few KiB for the small factors the sliced
+    multiply consumes — and lives in the scratch arena, so the full-precision
+    form exists only transiently per call while the *stored* operand (shm
+    segment, registry entry, wire payload) stays packed.
+    """
+    p, q = f.shape
+    if arena is None:
+        tile = np.empty((p, q), dtype=dtype)
+    else:
+        tile = arena.get(tag, (p, q), dtype)
+    return f.dequantize_into(tile) if dtype == f.dtype else f.astype(dtype).dequantize_into(tile)
+
+
 def sliced_gemm_into(
     x: np.ndarray,
     f: np.ndarray,
@@ -247,8 +276,12 @@ def sliced_gemm_into(
     (P, Q)`` — considerably faster in NumPy than a batched 3-D matmul, and it
     matches how the slices are actually independent.  With an ``arena`` the
     GEMM streams into a reused ``products`` staging buffer instead of
-    allocating one per call.
+    allocating one per call.  A :class:`~repro.quant.QuantizedFactor` is
+    dequantised on load into an arena tile so the GEMM runs on a small fp
+    tile while the stored factor stays packed.
     """
+    if isinstance(f, QuantizedFactor):
+        f = dequant_factor_tile(f, out.dtype, arena)
     n_slices = k // p
     x_view = x if x.flags["C_CONTIGUOUS"] else np.ascontiguousarray(x)
     a = x_view.reshape(m * n_slices, p)
@@ -301,6 +334,17 @@ def fused_chain_rows(
     """
     m = x.shape[0]
     shapes = chain_widths(k, factors)
+    if any(isinstance(f, QuantizedFactor) for f in factors):
+        # Dequant-on-load: each packed factor is staged once per call into
+        # its own arena tile (reused across all row blocks), so the chain's
+        # GEMMs run on small fp tiles and the dequant cost is amortised over
+        # every block instead of paid per block.
+        factors = [
+            dequant_factor_tile(f, out.dtype, arena, tag=f"deqf{j}")
+            if isinstance(f, QuantizedFactor)
+            else f
+            for j, f in enumerate(factors)
+        ]
     if row_block <= 0 or row_block > m:
         row_block = m
     last = len(factors) - 1

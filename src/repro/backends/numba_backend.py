@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.backends.arena import ScratchArena
 from repro.backends.base import ArrayBackend, fused_chain_rows, sliced_gemm_into
+from repro.quant import QuantizedFactor
 
 if TYPE_CHECKING:  # imported lazily: repro.plan depends on repro.backends
     from repro.kernels.tile_config import TileConfig
@@ -176,9 +177,77 @@ def _fused_chain_kernel(x, fts, out, k, p, tile_rows, unroll):
     return out
 
 
+def _sliced_int8_kernel(x, ct, srow, out, n_slices, p, q, tile_rows, tile_slices):
+    """Sliced multiply over an int8-packed factor, dequant fused into the load.
+
+    ``ct`` is the *transposed packed codes* (``(Q, P)`` int8 — a byte-level
+    restage, never a dequantised fp tile) and ``srow[t]`` the row-group scale
+    of factor row ``t`` broadcast per row.  Each factor element is
+    reconstructed as ``ct[c, t] * srow[t]`` right inside the reduction — the
+    dequant is the load epilogue, so the packed codes are the only factor
+    bytes the loop streams.
+    """
+    m = x.shape[0]
+    n_row_tiles = (m + tile_rows - 1) // tile_rows
+    for rt in prange(n_row_tiles):
+        r0 = rt * tile_rows
+        r1 = min(r0 + tile_rows, m)
+        for s0 in range(0, n_slices, tile_slices):
+            s1 = min(s0 + tile_slices, n_slices)
+            for i in range(r0, r1):
+                for s in range(s0, s1):
+                    base = s * p
+                    for c in range(q):
+                        acc = x[i, base] * (ct[c, 0] * srow[0])
+                        for t in range(1, p):
+                            acc += x[i, base + t] * (ct[c, t] * srow[t])
+                        out[i, c * n_slices + s] = acc
+    return out
+
+
+def _sliced_q4_kernel(x, packed, scales, out, n_slices, p, q, group_size, tile_rows, tile_slices):
+    """Sliced multiply over a Q4-packed factor: nibble-unpack + scale in-loop.
+
+    ``packed`` is the flat two-nibbles-per-byte buffer (row-major flat index
+    ``t*q + c``; even index → low nibble) and ``scales`` the per-block
+    scales.  No staged tile at all: every factor element is unpacked
+    (``nibble - 8``) and scaled inside the reduction, so the kernel reads
+    exactly the packed bytes.
+    """
+    m = x.shape[0]
+    n_row_tiles = (m + tile_rows - 1) // tile_rows
+    for rt in prange(n_row_tiles):
+        r0 = rt * tile_rows
+        r1 = min(r0 + tile_rows, m)
+        for s0 in range(0, n_slices, tile_slices):
+            s1 = min(s0 + tile_slices, n_slices)
+            for i in range(r0, r1):
+                for s in range(s0, s1):
+                    base = s * p
+                    for c in range(q):
+                        byte = int(packed[c >> 1])
+                        if c & 1:
+                            code = (byte >> 4) - 8
+                        else:
+                            code = (byte & 15) - 8
+                        acc = x[i, base] * (code * scales[c // group_size])
+                        for t in range(1, p):
+                            idx = t * q + c
+                            byte = int(packed[idx >> 1])
+                            if idx & 1:
+                                code = (byte >> 4) - 8
+                            else:
+                                code = (byte & 15) - 8
+                            acc += x[i, base + t] * (code * scales[idx // group_size])
+                        out[i, c * n_slices + s] = acc
+    return out
+
+
 _PYFUNCS = {
     "sliced": _sliced_multiply_kernel,
     "fused": _fused_chain_kernel,
+    "qsliced8": _sliced_int8_kernel,
+    "qsliced4": _sliced_q4_kernel,
 }
 
 
@@ -232,6 +301,20 @@ def make_sliced_multiply_kernel(
 
         return fused_call
 
+    if kind == "qsliced8":
+
+        def q8_call(x, ct, srow, out, n_slices, p, q):
+            return func(x, ct, srow, out, n_slices, p, q, krows, kslices)
+
+        return q8_call
+
+    if kind == "qsliced4":
+
+        def q4_call(x, packed, scales, out, n_slices, p, q, group_size):
+            return func(x, packed, scales, out, n_slices, p, q, group_size, krows, kslices)
+
+        return q4_call
+
     def sliced_call(x, ft, out, n_slices, p, q):
         return func(x, ft, out, n_slices, p, q, krows, kslices, kunroll)
 
@@ -260,6 +343,10 @@ class NumbaBackend(ArrayBackend):
     # executor's primitive seam does not carry tiles.
     supports_plan_execution = True
     supports_kernel_tiles = True
+    # Packed factors reach the kernels as packed bytes: the quant kernel
+    # variants fuse the scale (int8) or nibble-unpack + scale (q4) into the
+    # reduction, so no dequantised factor tile is ever staged on this path.
+    supports_quantized = True
 
     def __init__(
         self,
@@ -330,6 +417,8 @@ class NumbaBackend(ArrayBackend):
         arena: Optional[ScratchArena] = None,
         tile: Optional["TileConfig"] = None,
     ) -> np.ndarray:
+        if isinstance(f, QuantizedFactor):
+            return self._quant_sliced_multiply_into(x, f, out, m, k, p, q, arena, tile)
         if not self._supported_dtype(out, x, f):
             return sliced_gemm_into(x, f, out, m, k, p, q, arena=arena)
         if arena is None:
@@ -358,6 +447,63 @@ class NumbaBackend(ArrayBackend):
             np.copyto(out, staged)
         return out
 
+    def _quant_sliced_multiply_into(
+        self,
+        x: np.ndarray,
+        f: QuantizedFactor,
+        out: np.ndarray,
+        m: int,
+        k: int,
+        p: int,
+        q: int,
+        arena: Optional[ScratchArena],
+        tile: Optional["TileConfig"],
+    ) -> np.ndarray:
+        """Dispatch the packed-factor kernel variants (dequant fused in-loop).
+
+        The int8 variant restages the codes transposed (an int8 copy — still
+        packed bytes, so the reduction walks them contiguously) plus a
+        per-row scale vector; the q4 variant takes the flat nibble buffer
+        untouched and unpacks inside the loop.  Dtypes outside the compiled
+        set fall back to the GEMM path, which dequant-stages a dense tile.
+        """
+        if arena is None:
+            arena = self._arena
+        if (
+            str(out.dtype) not in _KERNEL_DTYPES
+            or x.dtype != out.dtype
+            or f.dtype != out.dtype
+        ):
+            return sliced_gemm_into(x, f, out, m, k, p, q, arena=arena)
+        n_slices = k // p
+        xs = self._contiguous(x, "nb_x", arena)
+        krows, kslices, _ = tile.kernel_tile_key() if tile is not None else (0, 0, 0)
+        krows = int(krows) or _pick_row_tile(m, k, out.dtype.itemsize)
+        kslices = int(kslices) or n_slices
+        staged_out = not out.flags["C_CONTIGUOUS"]
+        dest = arena.get("nb_out", (m, n_slices * q), out.dtype) if staged_out else out
+        if f.scheme == "int8":
+            ct = arena.get("nb_qct", (q, p), np.dtype(np.int8))
+            np.copyto(ct, f.packed.T)
+            srow = arena.get("nb_qsrow", (p,), out.dtype)
+            np.copyto(srow, np.repeat(f.scales, f.group_size)[:p])
+            kernel = make_sliced_multiply_kernel(
+                "qsliced8", str(out.dtype), 1, (krows, kslices, 0),
+                fastmath=self.fastmath, parallel=self.parallel,
+                compile_kernel=self.compile_kernels,
+            )
+            kernel(xs, ct, srow, dest, n_slices, p, q)
+        else:
+            kernel = make_sliced_multiply_kernel(
+                "qsliced4", str(out.dtype), 1, (krows, kslices, 0),
+                fastmath=self.fastmath, parallel=self.parallel,
+                compile_kernel=self.compile_kernels,
+            )
+            kernel(xs, f.packed, f.scales, dest, n_slices, p, q, f.group_size)
+        if staged_out:
+            np.copyto(out, dest)
+        return out
+
     def fused_sliced_multiply_into(
         self,
         x: np.ndarray,
@@ -380,7 +526,15 @@ class NumbaBackend(ArrayBackend):
         xs = self._contiguous(x, "nb_x", arena)
         fts = arena.get("nb_fts", (n_steps, p, p), out.dtype)
         for j, f in enumerate(factors):
-            np.copyto(fts[j], f.T)
+            if isinstance(f, QuantizedFactor):
+                # The fused chain stages the transposed factor stack once per
+                # call (amortised over every row tile); a packed factor joins
+                # it through one tiny dequantised tile here.
+                tmp = arena.get("nb_deqt", (p, p), out.dtype)
+                f.dequantize_into(tmp)
+                np.copyto(fts[j], tmp.T)
+            else:
+                np.copyto(fts[j], f.T)
         krows = (tile.krows if tile is not None else 0) or row_block
         krows = krows or _pick_row_tile(m, k, out.dtype.itemsize)
         kunroll = (tile.kunroll if tile is not None else 0) or 1

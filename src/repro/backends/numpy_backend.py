@@ -24,6 +24,7 @@ class NumpyBackend(ArrayBackend):
 
     name = "numpy"
     description = "single-threaded NumPy GEMM (reference)"
+    supports_quantized = True
 
     def sliced_multiply_into(
         self,

@@ -52,9 +52,11 @@ import numpy as np
 from repro.backends.arena import ScratchArena
 from repro.backends.base import ArrayBackend, fused_chain_rows, sliced_gemm_into
 from repro.backends.shm import (
+    QuantShmSpec,
     SegmentTable,
     SharedFactorStore,
     attach_array,
+    attach_quantized,
     disable_tracker_registration,
     drop_attachments,
     shared_memory_available,
@@ -131,6 +133,10 @@ class ProcessBackend(ArrayBackend):
     description = "row-sharded plan execution across OS processes over shared memory"
     supports_plan_execution = True
     supports_shared_staging = True
+    # Quantized factors pin their packed codes + scales in shared memory
+    # (QuantShmSpec); workers rebind them as zero-copy views and dequantise
+    # per shard into their own arenas.
+    supports_quantized = True
     # Workspace segments are unmapped on release; results must leave the
     # executor as owned copies, never shm-aliasing views.
     workspace_requires_copy_out = True
@@ -546,7 +552,12 @@ def _worker_main(connection) -> None:
                 name: attach_array(segments, spec)
                 for name, spec in message["buffers"].items()
             }
-            factors = [attach_array(segments, spec) for spec in message["factors"]]
+            factors = [
+                attach_quantized(segments, spec)
+                if isinstance(spec, QuantShmSpec)
+                else attach_array(segments, spec)
+                for spec in message["factors"]
+            ]
             _run_shard(plan, x, factors, buffers, message["start"], message["stop"], arena)
             connection.send({"ok": True})
         except BaseException as exc:  # surfaced to the parent as BackendError

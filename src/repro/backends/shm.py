@@ -48,12 +48,16 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.quant import QuantizedFactor
+
 __all__ = [
     "ShmArraySpec",
+    "QuantShmSpec",
     "SharedArray",
     "SegmentTable",
     "SharedFactorStore",
     "attach_array",
+    "attach_quantized",
     "shared_memory_available",
 ]
 
@@ -98,6 +102,28 @@ class ShmArraySpec:
         for dim in self.shape:
             count *= int(dim)
         return count * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class QuantShmSpec:
+    """Serialisable handle of a shm-pinned :class:`~repro.quant.QuantizedFactor`.
+
+    Two segments travel per factor — the packed codes and the per-group
+    scales — plus the metadata needed to rebind them as a quantized factor
+    on the worker side.  What sits in shared memory is the *packed* bytes;
+    no dense copy is ever pinned.
+    """
+
+    scheme: str
+    packed: ShmArraySpec
+    scales: ShmArraySpec
+    shape: Tuple[int, int]
+    group_size: int
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return self.packed.nbytes + self.scales.nbytes
 
 
 class SharedArray:
@@ -251,8 +277,22 @@ class SharedFactorStore:
 
         return zlib.adler32(np.ascontiguousarray(factor).view(np.uint8))
 
-    def get(self, factor: np.ndarray) -> ShmArraySpec:
-        """The shm descriptor of ``factor``, pinning a copy on first sight."""
+    def _release_pinned(self, pinned) -> None:
+        if isinstance(pinned, tuple):
+            for array in pinned:
+                self._table.release(array)
+        else:
+            self._table.release(pinned)
+
+    def get(self, factor) -> "ShmArraySpec | QuantShmSpec":
+        """The shm descriptor of ``factor``, pinning a copy on first sight.
+
+        Quantized factors pin their *packed* representation — the codes and
+        scales segments — and resolve to a :class:`QuantShmSpec`; dense
+        factors pin one full-precision segment as before.
+        """
+        if isinstance(factor, QuantizedFactor):
+            return self._get_quant(factor)
         key = (id(factor), tuple(factor.shape), factor.dtype.str)
         checksum = self._checksum(factor)
         with self._lock:
@@ -282,8 +322,65 @@ class SharedFactorStore:
                 _, (old, _) = self._entries.popitem(last=False)
                 evicted.append(old)
         for old in evicted:
-            self._table.release(old)
+            self._release_pinned(old)
         spec = self._table.spec_for(pinned)
+        assert spec is not None
+        return spec
+
+    def _get_quant(self, factor: QuantizedFactor) -> QuantShmSpec:
+        """Pin a quantized factor's packed codes + scales (two segments).
+
+        Quantized factors are value-immutable (the packed arrays are never
+        mutated in place; re-quantisation builds a new object), so no
+        per-call checksum refresh is needed — the identity key is enough.
+        """
+        key = (
+            id(factor),
+            tuple(factor.shape),
+            f"{factor.scheme}@{factor.group_size}:{factor.dtype.str}",
+        )
+
+        def spec_of(packed: np.ndarray, scales: np.ndarray) -> Optional[QuantShmSpec]:
+            packed_spec = self._table.spec_for(packed)
+            scales_spec = self._table.spec_for(scales)
+            if packed_spec is None or scales_spec is None:
+                return None
+            return QuantShmSpec(
+                scheme=factor.scheme,
+                packed=packed_spec,
+                scales=scales_spec,
+                shape=tuple(factor.shape),
+                group_size=factor.group_size,
+                dtype=factor.dtype.str,
+            )
+
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                pinned, _ = entry
+                self._entries.move_to_end(key)
+                spec = spec_of(*pinned)
+                if spec is not None:
+                    return spec
+                del self._entries[key]  # a segment was released externally
+        packed = self._table.create(tuple(factor.packed.shape), factor.packed.dtype)
+        np.copyto(packed, factor.packed)
+        scales = self._table.create(tuple(factor.scales.shape), factor.scales.dtype)
+        np.copyto(scales, factor.scales)
+        pinned = (packed, scales)
+        try:
+            weakref.finalize(factor, self._evict, key)
+        except TypeError:
+            pass
+        evicted: List = []
+        with self._lock:
+            self._entries[key] = (pinned, 0)
+            while len(self._entries) > self.capacity:
+                _, (old, _) = self._entries.popitem(last=False)
+                evicted.append(old)
+        for old in evicted:
+            self._release_pinned(old)
+        spec = spec_of(packed, scales)
         assert spec is not None
         return spec
 
@@ -291,14 +388,14 @@ class SharedFactorStore:
         with self._lock:
             entry = self._entries.pop(key, None)
         if entry is not None:
-            self._table.release(entry[0])
+            self._release_pinned(entry[0])
 
     def clear(self) -> None:
         with self._lock:
             entries = [pinned for pinned, _ in self._entries.values()]
             self._entries.clear()
         for pinned in entries:
-            self._table.release(pinned)
+            self._release_pinned(pinned)
 
 
 # --------------------------------------------------------------------------- #
@@ -345,6 +442,29 @@ def attach_array(
     else:
         cache.move_to_end(spec.name)
     return np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf)
+
+
+def attach_quantized(
+    cache: "OrderedDict[str, shared_memory.SharedMemory]",
+    spec: QuantShmSpec,
+    max_cached: int = 64,
+) -> QuantizedFactor:
+    """Worker-side rebind of a pinned quantized factor (zero-copy views).
+
+    The codes and scales views map straight onto the parent's segments —
+    the :class:`~repro.quant.QuantizedFactor` constructor keeps contiguous
+    inputs as-is, so no dense (or even packed) copy is made in the worker.
+    """
+    packed = attach_array(cache, spec.packed, max_cached=max_cached)
+    scales = attach_array(cache, spec.scales, max_cached=max_cached)
+    return QuantizedFactor(
+        scheme=spec.scheme,
+        packed=packed,
+        scales=scales,
+        shape=tuple(spec.shape),
+        group_size=spec.group_size,
+        dtype=np.dtype(spec.dtype),
+    )
 
 
 def drop_attachments(

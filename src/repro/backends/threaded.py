@@ -46,6 +46,10 @@ class ThreadedBackend(ArrayBackend):
 
     name = "threaded"
     description = "row-sharded NumPy GEMM on a persistent thread pool"
+    # Quantized factors flow straight into sliced_gemm_into/fused_chain_rows;
+    # the arena is thread-local, so every worker dequantises into its own
+    # cache-resident tile.
+    supports_quantized = True
 
     def __init__(self, num_threads: Optional[int] = None, min_parallel_rows: int = 256):
         if num_threads is None:

@@ -11,6 +11,7 @@ Installed as the ``fastkron-repro`` console script::
     fastkron-repro scaling --p 64 --n 4 --gpus 16
     fastkron-repro backends
     fastkron-repro --backend threaded check --m 4096 --p 16 --n 3
+    fastkron-repro quant --p 8 --n 5 --scheme q4 --report
     fastkron-repro --backend threaded serve --requests 512 --clients 8
     fastkron-repro --backend threaded bench-serve --requests 256 --rows 8
     fastkron-repro --backend threaded server --port 7077
@@ -232,6 +233,43 @@ def _cmd_check(args: argparse.Namespace) -> int:
         ["achieved", f"{gflops:.2f} GFLOPS"],
     ]
     print(format_table(["quantity", "value"], rows, title="Backend check"))
+    return 0
+
+
+def _cmd_quant(args: argparse.Namespace) -> int:
+    """Report the accuracy-vs-speed trade of quantized factor storage."""
+    from repro.quant import SCHEMES
+    from repro.tuner.autotuner import quant_accuracy_report
+
+    schemes = SCHEMES if args.scheme == "all" else (args.scheme,)
+    shapes = [(args.p, args.q or args.p)] * args.n
+    reports = quant_accuracy_report(
+        shapes, m=args.m, dtype=np.dtype(args.dtype), schemes=schemes,
+        group_size=args.group, repeats=args.repeats,
+    )
+    rows = [
+        [
+            r.scheme,
+            f"{r.pack_ratio:.1f}x",
+            f"{r.error_bound:.2e}" if r.error_bound else "-",
+            f"{r.max_rel_err:.2e}",
+            f"{r.mean_rel_err:.2e}",
+            round(r.best_time * 1e3, 3),
+            f"{r.speedup:.2f}x",
+        ]
+        for r in reports
+        if args.report or r.scheme in ("fp",) + tuple(schemes)
+    ]
+    problem = KronMatmulProblem.uniform(
+        args.m, args.p, args.n, q=args.q, dtype=np.dtype(args.dtype)
+    )
+    print(format_table(
+        ["storage", "pack", "elem bound", "max rel-err", "mean rel-err", "ms",
+         "bench delta"],
+        rows,
+        title=f"Quantized factor storage for {problem.label()} "
+              f"on backend {get_backend(None).name}",
+    ))
     return 0
 
 
@@ -538,6 +576,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_ck = sub.add_parser("check", help="run one real multiply on the selected backend")
     _add_problem_arguments(p_ck)
     p_ck.set_defaults(func=_cmd_check)
+
+    p_qt = sub.add_parser(
+        "quant", help="accuracy-vs-speed report for quantized factor storage"
+    )
+    _add_problem_arguments(p_qt)
+    p_qt.add_argument("--scheme", choices=["int8", "q4", "all"], default="all",
+                      help="storage scheme(s) to measure against full precision")
+    p_qt.add_argument("--group", type=int, default=None,
+                      help="quantisation group size (rows for int8, flat "
+                           "elements for q4; default per-scheme)")
+    p_qt.add_argument("--repeats", type=int, default=3,
+                      help="timed executions per arm (best-of)")
+    p_qt.add_argument("--report", action="store_true",
+                      help="include every measured arm in the table, not just "
+                           "the selected scheme(s)")
+    p_qt.set_defaults(func=_cmd_quant)
 
     p_sv = sub.add_parser("serve", help="run a synthetic serving workload through a KronEngine")
     p_sv.add_argument("--requests", type=int, default=512, help="total requests to serve")

@@ -20,6 +20,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import DTypeError, ShapeError
+from repro.quant import QuantizedFactor
 from repro.utils.intmath import prod
 from repro.utils.validation import check_dtype, check_matrix
 
@@ -73,19 +74,27 @@ class KroneckerFactor:
         return f"KroneckerFactor(P={self.p}, Q={self.q}, dtype={self.dtype})"
 
 
-def as_factor(factor: "KroneckerFactor | np.ndarray") -> KroneckerFactor:
-    """Coerce an ndarray (or factor) into a :class:`KroneckerFactor`."""
-    if isinstance(factor, KroneckerFactor):
+def as_factor(factor: "KroneckerFactor | QuantizedFactor | np.ndarray"):
+    """Coerce an ndarray (or factor) into a factor operand.
+
+    :class:`~repro.quant.QuantizedFactor` operands pass through untouched —
+    they are the packed storage tier and must never be coerced into a dense
+    factor (that would materialise the full-precision copy the whole design
+    avoids).  They carry the same ``p``/``q``/``shape``/``dtype``/``astype``
+    surface, so downstream shape/dtype logic is unchanged.
+    """
+    if isinstance(factor, (KroneckerFactor, QuantizedFactor)):
         return factor
     return KroneckerFactor(np.asarray(factor))
 
 
 def as_factor_list(
-    factors: Iterable["KroneckerFactor | np.ndarray"],
-) -> List[KroneckerFactor]:
-    """Coerce an iterable of arrays into a validated list of factors.
+    factors: Iterable["KroneckerFactor | QuantizedFactor | np.ndarray"],
+) -> List:
+    """Coerce an iterable of arrays into a validated list of factor operands.
 
-    All factors must share a dtype; an empty list is rejected.
+    All factors must share a dtype (a quantized factor's dtype is its
+    *compute* dtype); an empty list is rejected.
     """
     out = [as_factor(f) for f in factors]
     if not out:

@@ -28,7 +28,8 @@ from repro.core.problem import KronMatmulProblem
 from repro.exceptions import BackendError, DTypeError, ShapeError
 from repro.plan.compiler import check_out_dtype, compile_plan, default_shared_memory_elements
 from repro.plan.executor import ExecutionStats, PlanExecutor
-from repro.plan.ir import KronPlan
+from repro.plan.ir import FP_STORAGE, KronPlan
+from repro.quant import QuantizedFactor
 from repro.utils.validation import ensure_2d
 
 __all__ = [
@@ -60,6 +61,14 @@ def _prepare_operands(
     return x2d, factor_list, squeeze
 
 
+def _operand_storage(factor_list) -> Tuple[str, ...]:
+    """The per-factor storage schemes of concrete operands (dense → ``"fp"``)."""
+    return tuple(
+        f.scheme if isinstance(f, QuantizedFactor) else FP_STORAGE
+        for f in factor_list
+    )
+
+
 def _resolve_executor(plan: PlanLike, backend: BackendLike) -> PlanExecutor:
     if isinstance(plan, PlanExecutor):
         # A live executor owns its backend; an explicit conflicting backend=
@@ -79,7 +88,11 @@ def _resolve_executor(plan: PlanLike, backend: BackendLike) -> PlanExecutor:
 
 @lru_cache(maxsize=256)
 def _memoized_plan(
-    m: int, factor_shapes: Tuple[Tuple[int, int], ...], dtype_name: str, backend_name: str
+    m: int,
+    factor_shapes: Tuple[Tuple[int, int], ...],
+    dtype_name: str,
+    backend_name: str,
+    factor_storage: Tuple[str, ...] = (),
 ) -> KronPlan:
     """Per-call plan compilation cache for the one-shot ``kron_matmul`` path.
 
@@ -87,12 +100,18 @@ def _memoized_plan(
     threads) is safe; only the executor's workspace is per-call state.  The
     cache deliberately covers just the untuned default-fusion compile the
     one-shot path needs — tuned or custom-configured plans always come in
-    through the ``plan=`` argument.
+    through the ``plan=`` argument.  ``factor_storage`` keys the quantized
+    storage tier: plans for packed factors record the scheme per step and
+    size fused groups by packed bytes.
     """
     problem = KronMatmulProblem(
         m=m, factor_shapes=factor_shapes, dtype=np.dtype(dtype_name)
     )
-    return compile_plan(problem, backend=backend_name)
+    return compile_plan(
+        problem,
+        backend=backend_name,
+        factor_storage=factor_storage or None,
+    )
 
 
 def kron_matmul(
@@ -155,6 +174,7 @@ def kron_matmul(
             tuple(f.shape for f in factor_list),
             str(x2d.dtype),
             get_backend(backend).name,
+            _operand_storage(factor_list),
         )
         # The backend is forwarded to the executor as well: the plan binds
         # only the backend *name*, and a caller-configured instance (custom
@@ -224,6 +244,11 @@ class FastKron:
         Optional pre-compiled :class:`~repro.plan.KronPlan` (e.g. a tuned or
         deserialised one) to adopt instead of compiling; it must match the
         problem's factor shapes and dtype.
+    factor_storage:
+        Per-factor storage scheme (``"fp"``, ``"int8"``, ``"q4"``) forwarded
+        to :func:`~repro.plan.compile_plan`; pass the schemes of the packed
+        factors this handle will be called with so fused-group sizing counts
+        them at their packed size.  Ignored when ``plan`` is supplied.
     """
 
     def __init__(
@@ -234,6 +259,7 @@ class FastKron:
         backend: BackendLike = None,
         row_capacity: Optional[int] = None,
         plan: Optional[KronPlan] = None,
+        factor_storage=None,
     ):
         self.problem = problem
         self.fuse = fuse
@@ -252,6 +278,7 @@ class FastKron:
                 fuse=fuse,
                 shared_memory_elements=self.shared_memory_elements,
                 row_capacity=self.row_capacity,
+                factor_storage=factor_storage,
             )
         else:
             if plan.factor_shapes != problem.factor_shapes or plan.np_dtype != problem.dtype:
@@ -281,7 +308,8 @@ class FastKron:
         """Build a handle matching concrete operands."""
         factor_list = as_factor_list(factors)
         x2d = ensure_2d(np.asarray(x), "X")
-        problem = KronMatmulProblem.from_factors(x2d.shape[0], [f.values for f in factor_list])
+        problem = KronMatmulProblem.from_factors(x2d.shape[0], factor_list)
+        kwargs.setdefault("factor_storage", _operand_storage(factor_list))
         return cls(problem, **kwargs)
 
     # ------------------------------------------------------------------ #

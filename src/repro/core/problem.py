@@ -127,10 +127,23 @@ class KronMatmulProblem:
 
     @classmethod
     def from_factors(cls, m: int, factors: Sequence, dtype: np.dtype | type | None = None) -> "KronMatmulProblem":
-        """Create a problem matching a concrete list of factors."""
-        shapes = tuple((int(np.asarray(f).shape[0]), int(np.asarray(f).shape[1])) for f in factors)
-        dt = np.dtype(dtype) if dtype is not None else np.asarray(factors[0]).dtype
-        return cls(m=m, factor_shapes=shapes, dtype=dt)
+        """Create a problem matching a concrete list of factors.
+
+        Duck-typed over factor operands: ndarrays, KroneckerFactors and
+        packed QuantizedFactors all expose the logical ``shape``/``dtype``
+        (a quantized factor's dtype is its compute dtype).
+        """
+
+        def _shape(f):
+            shape = getattr(f, "shape", None)
+            return shape if shape is not None else np.asarray(f).shape
+
+        shapes = tuple((int(_shape(f)[0]), int(_shape(f)[1])) for f in factors)
+        if dtype is not None:
+            dt = np.dtype(dtype)
+        else:
+            dt = getattr(factors[0], "dtype", None) or np.asarray(factors[0]).dtype
+        return cls(m=m, factor_shapes=shapes, dtype=np.dtype(dt))
 
     def with_rows(self, m: int) -> "KronMatmulProblem":
         """The same factor shapes and dtype with a different row count ``m``.

@@ -37,13 +37,29 @@ from typing import Optional
 import numpy as np
 
 from repro.backends.arena import ScratchArena
+from repro.backends.base import dequant_factor_tile
 from repro.backends.registry import BackendLike, get_backend
-from repro.exceptions import ShapeError
+from repro.exceptions import DTypeError, ShapeError
+from repro.quant import QuantizedFactor
 from repro.utils.validation import check_same_dtype, ensure_2d
 
 
-def _check_operands(x: np.ndarray, f: np.ndarray) -> tuple[np.ndarray, np.ndarray, int, int, int, int]:
+def _check_operands(x: np.ndarray, f) -> tuple:
     x = ensure_2d(x, "X")
+    if isinstance(f, QuantizedFactor):
+        # The packed storage tier: validate against the logical shape and the
+        # compute dtype it dequantises to; the factor stays packed here.
+        m, k = x.shape
+        p, q = f.shape
+        if k % p != 0:
+            raise ShapeError(
+                f"X has {k} columns which is not divisible by the factor's row count {p}"
+            )
+        if x.dtype != f.dtype:
+            raise DTypeError(
+                f"X has dtype {x.dtype} but the quantized factor computes in {f.dtype}"
+            )
+        return x, f, m, k, p, q
     f = ensure_2d(f, "F")
     m, k = x.shape
     p, q = f.shape
@@ -93,6 +109,10 @@ def sliced_multiply(
     """
     x, f, m, k, p, q = _check_operands(x, f)
     resolved = get_backend(backend)
+    if isinstance(f, QuantizedFactor) and not resolved.supports_quantized:
+        # Backends without a quant-aware primitive (device adapters) get a
+        # dense tile staged in scratch; the stored operand stays packed.
+        f = dequant_factor_tile(f, x.dtype, arena)
     n_slices = k // p
     out_cols = n_slices * q
     if out is None:

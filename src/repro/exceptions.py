@@ -44,6 +44,11 @@ class BackendError(ReproError, ValueError):
     """An execution backend is unknown or unavailable in this environment."""
 
 
+class QuantizationError(ReproError, ValueError):
+    """A quantized-factor operation is invalid: unknown scheme, bad group
+    size, or a packed payload inconsistent with its descriptor."""
+
+
 class EngineClosedError(ReproError, RuntimeError):
     """A request was submitted to a :class:`~repro.serving.KronEngine` after
     :meth:`~repro.serving.KronEngine.close`.

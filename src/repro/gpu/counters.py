@@ -19,6 +19,9 @@ class KernelCounters:
     flops: int = 0
     #: Elements loaded from global memory.
     global_load_elements: int = 0
+    #: The subset of :attr:`global_load_elements` that are *factor* elements
+    #: (the operand quantized storage shrinks; X/Y traffic is unaffected).
+    factor_load_elements: int = 0
     #: Elements stored to global memory.
     global_store_elements: int = 0
     #: 32-byte global memory load transactions (after coalescing).

@@ -125,6 +125,7 @@ class FusedKernel:
         x_load_elements = n_blocks * self.tile.tm * self.tile.tk
         f_load_elements = n_blocks * p * self.tile.tq
         counters.global_load_elements = x_load_elements + f_load_elements * nfused
+        counters.factor_load_elements = f_load_elements * nfused
         counters.global_store_elements = single.global_store_elements
         # Transactions scale with the element split: the X part of the single
         # kernel's loads plus nfused times its F part.

@@ -145,6 +145,7 @@ class SlicedMultiplyKernel:
             counters.global_load_elements = grid_m * grid_k * grid_q * (
                 self.tile.tm * self.tile.tk + p * self.tile.tq
             )
+            counters.factor_load_elements = grid_m * grid_k * grid_q * p * self.tile.tq
             counters.global_store_elements = m * ctx.out_cols
             counters.global_load_transactions = self._analytic_global_load_transactions(ctx, x.dtype)
             counters.global_store_transactions = self._analytic_global_store_transactions(ctx, x.dtype)
@@ -288,6 +289,7 @@ class SlicedMultiplyKernel:
         counters.global_load_elements = n_blocks * (
             tile.tm * tile.tk + p * tile.tq
         )
+        counters.factor_load_elements = n_blocks * p * tile.tq
         counters.global_store_elements = m * ctx.out_cols
         counters.global_load_transactions = self._analytic_global_load_transactions(ctx, dtype)
         counters.global_store_transactions = self._analytic_global_store_transactions(ctx, dtype)

@@ -18,11 +18,13 @@ driven by the counted work.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.gpu.counters import KernelCounters
 from repro.gpu.device import GpuSpec, TESLA_V100
+from repro.quant import FP_SCHEME, factor_storage_bytes
 
 
 @dataclass(frozen=True)
@@ -71,8 +73,20 @@ class RooflineModel:
     shared_efficiency: float = 0.9
 
     def breakdown(
-        self, counters: KernelCounters, dtype: np.dtype | type = np.float32
+        self,
+        counters: KernelCounters,
+        dtype: np.dtype | type = np.float32,
+        factor_storage: str = FP_SCHEME,
+        quant_group_size: Optional[int] = None,
     ) -> RooflineBreakdown:
+        """Per-resource times of the counted work.
+
+        ``factor_storage`` re-prices the *factor* share of the global loads
+        (``counters.factor_load_elements``) at the packed byte cost of the
+        given scheme (``"int8"``/``"q4"``; default dense) — the roofline
+        expression of dequant-fused execution, where the memory system moves
+        codes + scales but the FLOPs and X/Y traffic are unchanged.
+        """
         dtype = np.dtype(dtype)
         itemsize = dtype.itemsize
         peak_flops = self.spec.peak_flops(dtype) * self.compute_efficiency
@@ -81,6 +95,11 @@ class RooflineModel:
 
         flop_time = counters.flops / peak_flops if counters.flops else 0.0
         dram_bytes = counters.global_bytes(itemsize)
+        if factor_storage != FP_SCHEME and counters.factor_load_elements:
+            dram_bytes += factor_storage_bytes(
+                counters.factor_load_elements, factor_storage, itemsize,
+                quant_group_size,
+            ) - counters.factor_load_elements * itemsize
         dram_time = dram_bytes / dram_bw if dram_bytes else 0.0
         # Each shared transaction moves one warp-wide row of banks.
         shared_bytes = counters.shared_transactions * (
@@ -96,10 +115,16 @@ class RooflineModel:
         )
 
     def time_seconds(
-        self, counters: KernelCounters, dtype: np.dtype | type = np.float32
+        self,
+        counters: KernelCounters,
+        dtype: np.dtype | type = np.float32,
+        factor_storage: str = FP_SCHEME,
+        quant_group_size: Optional[int] = None,
     ) -> float:
         """Estimated execution time of the counted work, in seconds."""
-        return self.breakdown(counters, dtype).total
+        return self.breakdown(
+            counters, dtype, factor_storage, quant_group_size
+        ).total
 
     def tflops(
         self, counters: KernelCounters, dtype: np.dtype | type = np.float32

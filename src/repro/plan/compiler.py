@@ -19,7 +19,8 @@ from repro.core.fused import plan_fusion
 from repro.core.problem import KronMatmulProblem
 from repro.exceptions import DTypeError, ShapeError
 from repro.plan.fingerprint import step_key
-from repro.plan.ir import INPUT_BUFFER, WORKSPACE_BUFFERS, KronPlan, PlanStep
+from repro.plan.ir import FP_STORAGE, INPUT_BUFFER, WORKSPACE_BUFFERS, KronPlan, PlanStep
+from repro.quant import SCHEMES, packed_factor_bytes
 
 #: Default cache budget for sizing fused row blocks: 1 MiB, a conservative
 #: per-core L2 slice on current x86/ARM server parts.  The budget bounds the
@@ -38,19 +39,27 @@ def default_shared_memory_elements(dtype) -> int:
     return (48 * 1024) // int(np.dtype(dtype).itemsize)
 
 
-def fused_row_block(k_first: int, max_out_cols: int, itemsize: int, cache_budget_bytes: int) -> int:
+def fused_row_block(
+    k_first: int,
+    max_out_cols: int,
+    itemsize: int,
+    cache_budget_bytes: int,
+    factor_bytes: int = 0,
+) -> int:
     """Rows per block so one fused chain's working set fits the cache budget.
 
     Per block row the chain touches the input slab (``k_first`` columns),
     the two ping-pong scratch buffers and the GEMM staging buffer (each at
-    most ``max_out_cols`` columns wide).  The result is rounded down to a
-    power of two; 0 means no admissible block exists (the group should run
-    unfused).
+    most ``max_out_cols`` columns wide); ``factor_bytes`` is the group's
+    resident factor storage (as *stored* — packed bytes for quantized
+    factors — which is what lets packed factor sets leave more budget for
+    rows).  The result is rounded down to a power of two; 0 means no
+    admissible block exists (the group should run unfused).
     """
     bytes_per_row = (k_first + 3 * max_out_cols) * itemsize
     if bytes_per_row <= 0:
         return 0
-    block = cache_budget_bytes // bytes_per_row
+    block = max(0, cache_budget_bytes - int(factor_bytes)) // bytes_per_row
     if block < MIN_FUSED_ROW_BLOCK:
         return 0
     return 1 << (int(block).bit_length() - 1)
@@ -61,13 +70,17 @@ def _apply_cache_budget(
     iterations,
     itemsize: int,
     cache_budget_bytes: int,
+    storage_of=None,
 ) -> Tuple[Tuple[Tuple[int, ...], ...], Tuple[int, ...]]:
     """The group-sizing pass: bound every fused group's working set.
 
     Multi-step groups get the largest power-of-two row block whose working
-    set fits ``cache_budget_bytes``; a group that cannot fit even the
-    minimal block is demoted to singleton groups (unfused streaming through
-    the workspace, exactly the pre-fusion execution).
+    set — row slabs plus the group's resident factors, counted at their
+    *stored* size (packed bytes for quantized schemes) — fits
+    ``cache_budget_bytes``; a group that cannot fit even the minimal block
+    is demoted to singleton groups (unfused streaming through the
+    workspace, exactly the pre-fusion execution).  ``storage_of`` maps an
+    iteration index to its factor storage scheme (defaults to dense).
     """
     sized: List[Tuple[int, ...]] = []
     row_blocks: List[int] = []
@@ -80,7 +93,18 @@ def _apply_cache_budget(
         max_out_cols = max(
             (iterations[i].k // iterations[i].p) * iterations[i].q for i in group
         )
-        block = fused_row_block(k_first, max_out_cols, itemsize, cache_budget_bytes)
+        factor_bytes = sum(
+            packed_factor_bytes(
+                iterations[i].p,
+                iterations[i].q,
+                storage_of(i) if storage_of is not None else FP_STORAGE,
+                itemsize,
+            )
+            for i in group
+        )
+        block = fused_row_block(
+            k_first, max_out_cols, itemsize, cache_budget_bytes, factor_bytes
+        )
         if block == 0:
             for i in group:
                 sized.append((i,))
@@ -108,6 +132,29 @@ def check_out_dtype(out: Optional[np.ndarray], compute_dtype) -> None:
         )
 
 
+def normalize_factor_storage(
+    factor_storage, n_factors: int
+) -> Tuple[str, ...]:
+    """Per-factor storage schemes: ``None``/str/sequence → validated tuple."""
+    if factor_storage is None:
+        return (FP_STORAGE,) * n_factors
+    if isinstance(factor_storage, str):
+        schemes = (factor_storage,) * n_factors
+    else:
+        schemes = tuple(str(s) for s in factor_storage)
+    if len(schemes) != n_factors:
+        raise ShapeError(
+            f"factor_storage has {len(schemes)} entries for {n_factors} factors"
+        )
+    allowed = (FP_STORAGE,) + tuple(SCHEMES)
+    for scheme in schemes:
+        if scheme not in allowed:
+            raise ShapeError(
+                f"unknown factor storage scheme {scheme!r}; expected one of {allowed}"
+            )
+    return schemes
+
+
 def compile_plan(
     problem: KronMatmulProblem,
     backend: BackendLike = None,
@@ -117,6 +164,7 @@ def compile_plan(
     tuning_cache=None,
     max_group_size: Optional[int] = None,
     cache_budget_bytes: Optional[int] = None,
+    factor_storage=None,
 ) -> KronPlan:
     """Compile the full execution schedule for ``problem``.
 
@@ -146,6 +194,12 @@ def compile_plan(
         per-block working set by (defaults to
         :data:`DEFAULT_CACHE_BUDGET_BYTES`); also decides the compiled
         per-group row-block sizes.
+    factor_storage:
+        Per-factor storage scheme (``"fp"``, ``"int8"``, ``"q4"``): a single
+        scheme applied to all factors, a per-factor sequence in
+        Kronecker-product order, or ``None`` for dense.  Recorded on each
+        step and used by the group-sizing pass, which counts factors at
+        their *packed* size.
     """
     resolved = get_backend(backend)
     rows = max(problem.m, int(row_capacity) if row_capacity else 0)
@@ -155,6 +209,8 @@ def compile_plan(
     if cache_budget_bytes is None:
         cache_budget_bytes = DEFAULT_CACHE_BUDGET_BYTES
     cache_budget_bytes = int(cache_budget_bytes)
+
+    storage = normalize_factor_storage(factor_storage, len(problem.factor_shapes))
 
     fusion = plan_fusion(
         problem,
@@ -168,6 +224,7 @@ def compile_plan(
         iterations,
         int(np.dtype(problem.dtype).itemsize),
         cache_budget_bytes,
+        storage_of=lambda i: storage[iterations[i].factor_index],
     )
     group_of = {}
     for gi, group in enumerate(groups):
@@ -193,6 +250,7 @@ def compile_plan(
                 source=_source_buffer(it.index),
                 target=_target_buffer(it.index),
                 tile=tile,
+                storage=storage[it.factor_index],
             )
         )
 

@@ -32,6 +32,7 @@ from repro.core.sliced_multiply import sliced_multiply
 from repro.exceptions import ShapeError
 from repro.plan.compiler import check_out_dtype
 from repro.plan.ir import WORKSPACE_BUFFERS, KronPlan
+from repro.quant import QuantizedFactor
 from repro.utils.validation import ensure_2d
 
 
@@ -213,7 +214,7 @@ class PlanExecutor:
         x2d = ensure_2d(np.asarray(x), "X")
         rows = x2d.shape[0]
         plan = self.plan
-        plan.validate_operands(x2d, [f.values for f in factor_list])
+        plan.validate_operands(x2d, factor_list)
         check_out_dtype(out, plan.np_dtype)
         if out is not None and out.shape != (rows, plan.out_cols):
             raise ShapeError(
@@ -226,6 +227,12 @@ class PlanExecutor:
             cur = cur.astype(dtype)
         prepared = []
         for f in factor_list:
+            if isinstance(f, QuantizedFactor):
+                # The packed storage tier flows through as-is — backends
+                # dequantise on load into scratch tiles; astype only rebinds
+                # the compute dtype (scales cast, codes untouched).
+                prepared.append(f if f.dtype == dtype else f.astype(dtype))
+                continue
             values = f.values
             if values.dtype != dtype:
                 values = values.astype(dtype)
@@ -235,7 +242,11 @@ class PlanExecutor:
             out is not None
             and not np.may_share_memory(out, x2d)
             and not any(np.may_share_memory(out, buf) for buf in self._buffers.values())
-            and not any(np.may_share_memory(out, f) for f in prepared)
+            and not any(
+                np.may_share_memory(out, arr)
+                for f in prepared
+                for arr in ((f.packed, f.scales) if isinstance(f, QuantizedFactor) else (f,))
+            )
         )
         # Backends that execute whole plans (the process backend's worker
         # pool) take over the entire group walk here — one backend round

@@ -42,10 +42,15 @@ WORKSPACE_BUFFERS = ("W0", "W1")
 #: Schema 2 added ``cache_budget_bytes`` and per-group ``group_row_blocks``
 #: (the row-blocked fused-execution parameters); schema 3 added the host-JIT
 #: kernel tile parameters (``krows``/``kslices``/``kunroll``) to each step's
-#: serialised :class:`~repro.kernels.tile_config.TileConfig`.  Legacy payloads
-#: still load with every newer field defaulted.
-_SCHEMA = 3
-_LEGACY_SCHEMAS = (1, 2)
+#: serialised :class:`~repro.kernels.tile_config.TileConfig`; schema 4 added
+#: each step's factor ``storage`` scheme (``"fp"``, ``"int8"``, ``"q4"`` —
+#: the quantized storage tier).  Legacy payloads still load with every newer
+#: field defaulted.
+_SCHEMA = 4
+_LEGACY_SCHEMAS = (1, 2, 3)
+
+#: Dense (full-precision) factor storage, the default of every step.
+FP_STORAGE = "fp"
 
 
 @dataclass(frozen=True)
@@ -56,7 +61,9 @@ class PlanStep:
     *last* factor); ``source``/``target`` name the buffer the step reads
     from and writes to (``"X"`` for the caller's input, ``"W0"``/``"W1"``
     for the ping-pong workspace).  ``tile`` is the tuned kernel
-    configuration, ``None`` while untuned.
+    configuration, ``None`` while untuned.  ``storage`` is the factor's
+    storage scheme: ``"fp"`` (dense) or a :data:`repro.quant.SCHEMES` entry
+    when the step consumes a packed factor and dequantises on load.
     """
 
     index: int
@@ -69,6 +76,7 @@ class PlanStep:
     source: str
     target: str
     tile: Optional[TileConfig] = None
+    storage: str = FP_STORAGE
 
     @property
     def out_cols(self) -> int:
@@ -96,8 +104,9 @@ class PlanStep:
 
     def describe(self) -> str:
         tile = self.tile.describe() if self.tile is not None else "untuned"
+        packed = "" if self.storage == FP_STORAGE else f" [{self.storage} packed]"
         return (
-            f"step {self.index}: F[{self.factor_index}] ({self.p}x{self.q})  "
+            f"step {self.index}: F[{self.factor_index}] ({self.p}x{self.q}){packed}  "
             f"{self.source}({self.m}x{self.k}) -> {self.target}({self.m}x{self.out_cols})  "
             f"[{tile}]"
         )
@@ -114,6 +123,7 @@ class PlanStep:
             "source": self.source,
             "target": self.target,
             "tile": asdict(self.tile) if self.tile is not None else None,
+            "storage": self.storage,
         }
         return payload
 
@@ -131,6 +141,7 @@ class PlanStep:
             source=str(payload["source"]),
             target=str(payload["target"]),
             tile=TileConfig(**tile) if tile is not None else None,
+            storage=str(payload.get("storage", FP_STORAGE)),
         )
 
 
@@ -279,6 +290,19 @@ class KronPlan:
     def is_tuned(self) -> bool:
         return any(s.tile is not None for s in self.steps)
 
+    @property
+    def is_quantized(self) -> bool:
+        """True when any step consumes a packed (non-``"fp"``) factor."""
+        return any(s.storage != FP_STORAGE for s in self.steps)
+
+    def factor_storage(self) -> Tuple[str, ...]:
+        """Per-factor storage schemes, in Kronecker-product order."""
+        storage = [FP_STORAGE] * self.n_factors
+        for s in self.steps:
+            if s.factor_index < self.n_factors:
+                storage[s.factor_index] = s.storage
+        return tuple(storage)
+
     def validate_operands(self, x: np.ndarray, factors) -> None:
         """Check concrete operands against the compiled shapes (rows may be fewer)."""
         rows, cols = x.shape
@@ -291,7 +315,10 @@ class KronPlan:
         if len(factors) != self.n_factors:
             raise ShapeError(f"got {len(factors)} factors, expected {self.n_factors}")
         for i, (factor, (p, q)) in enumerate(zip(factors, self.factor_shapes)):
-            shape = tuple(np.asarray(factor).shape)
+            # Duck-typed: ndarrays, KroneckerFactors and QuantizedFactors all
+            # expose the logical (P, Q) shape (a packed factor's `shape` is
+            # its logical one, not the packed buffer's).
+            shape = tuple(getattr(factor, "shape", None) or np.asarray(factor).shape)
             if shape != (p, q):
                 raise ShapeError(f"factor {i} has shape {shape}, expected {(p, q)}")
 
@@ -311,7 +338,7 @@ class KronPlan:
             PlanStep(
                 index=s.index, factor_index=s.factor_index, m=s.m, k=s.k, p=s.p, q=s.q,
                 group=s.group, source=s.source, target=s.target,
-                tile=tiles.get(s.index, s.tile),
+                tile=tiles.get(s.index, s.tile), storage=s.storage,
             )
             for s in self.steps
         )
@@ -417,6 +444,12 @@ class KronPlan:
         if self.cache_budget_bytes:
             kib = self.cache_budget_bytes / 1024
             lines.append(f"  fused row blocks sized for a {kib:.0f} KiB cache budget")
+        if self.is_quantized:
+            schemes = sorted({s.storage for s in self.steps if s.storage != FP_STORAGE})
+            lines.append(
+                f"  factor storage: {'/'.join(schemes)} packed "
+                f"(dequantised on load; group sizing uses packed bytes)"
+            )
         for gi, group in enumerate(self.groups):
             kind = "fused kernel" if len(group) > 1 else "single kernel"
             span = (

@@ -1,0 +1,38 @@
+"""Quantized factor storage (int8 rows, Q4 nibble blocks).
+
+See :mod:`repro.quant.quantized` for the packing layouts, the accuracy
+contract, and the ``FASTKRON_QUANT_SCHEME`` / ``FASTKRON_QUANT_GROUP`` env
+knobs.  The execution backends dequantise on load (staging a small fp tile
+in the scratch arena) or fuse the dequant into the kernel loop (numba), so
+a full-precision copy of a quantized factor is never materialised.
+"""
+
+from repro.quant.quantized import (
+    DEFAULT_GROUP_SIZES,
+    ERROR_BOUNDS,
+    FP_SCHEME,
+    SCHEMES,
+    QuantizedFactor,
+    default_group_size,
+    default_scheme,
+    dequantize,
+    factor_storage_bytes,
+    is_quantized,
+    packed_factor_bytes,
+    quantize,
+)
+
+__all__ = [
+    "DEFAULT_GROUP_SIZES",
+    "ERROR_BOUNDS",
+    "FP_SCHEME",
+    "QuantizedFactor",
+    "SCHEMES",
+    "default_group_size",
+    "default_scheme",
+    "dequantize",
+    "factor_storage_bytes",
+    "is_quantized",
+    "packed_factor_bytes",
+    "quantize",
+]

@@ -1,0 +1,467 @@
+"""Quantized Kronecker-factor storage: int8 rows and Q4 nibble blocks.
+
+Factors are the hot, *reused* operand of the sliced multiply — pinned in the
+:class:`~repro.backends.shm.SharedFactorStore`, held server-side in the
+:class:`~repro.server.registry.FactorRegistry`, and re-read on every fused
+group walk.  This module packs them into one of two storage schemes so that
+what sits in caches, shared memory and network frames is the *packed* bytes:
+
+``"int8"``
+    Symmetric 8-bit codes, one code per element, stored ``(P, Q)`` int8.
+    Rows are grouped into row groups of ``group_size`` rows; each row group
+    carries one scale ``s_g = max|v|/127`` and dequantises as
+    ``v ≈ code * s_g``.  4× smaller than float32 (8× than float64) with a
+    worst-case per-element error of ``s_g/2``, i.e. ``1/254`` of the row
+    group's max magnitude.
+
+``"q4"``
+    Q4-style blocked nibbles (the ``quantizeQ40`` family of formats): the
+    factor is flattened row-major, split into blocks of ``group_size``
+    consecutive elements, each block carrying one scale ``s_b = max|v|/7``;
+    codes live in ``[-7, 7]``, are biased by ``+8`` and packed two per byte
+    (even flat index in the low nibble).  ~8× smaller than float32 with a
+    worst-case per-element error of ``1/14`` of the block's max magnitude.
+
+Both schemes are *exact* for values already on their quantisation grid (any
+``v = code * scale`` with the group's max code at full range round-trips
+bit-for-bit), which is what the hypothesis round-trip suite pins down.
+
+A :class:`QuantizedFactor` is a drop-in factor operand: it carries the
+logical ``(P, Q)`` shape and a *compute dtype* (the dtype the sliced
+multiply runs in; scales are stored in it), hashes by identity like
+:class:`~repro.core.factors.KroneckerFactor`, fingerprints by content, and
+serialises via ``to_dict``/``from_dict`` following the plan-IR conventions.
+It deliberately has no ``.values`` — nothing downstream may materialise a
+full-precision copy; backends dequantise on load into scratch tiles (or fuse
+the dequant into the kernel loop, numba backend).
+
+Quantized execution defaults its compute dtype to **float32** even for
+float64 sources: the quantisation error (≥ ``1/254`` relative) dwarfs
+float32 rounding (``~1e-7``), so carrying fp64 intermediates would spend 2×
+the bandwidth for no accuracy. Pass ``dtype=np.float64`` to override.
+
+Env knobs (read only where a caller did not choose explicitly):
+
+``FASTKRON_QUANT_SCHEME``
+    Default scheme for ``quantize(..., scheme=None)`` (``int8`` or ``q4``).
+``FASTKRON_QUANT_GROUP``
+    Default group size (rows for int8, flat elements for q4).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import QuantizationError
+
+__all__ = [
+    "DEFAULT_GROUP_SIZES",
+    "ERROR_BOUNDS",
+    "FP_SCHEME",
+    "QuantizedFactor",
+    "SCHEMES",
+    "default_group_size",
+    "default_scheme",
+    "dequantize",
+    "factor_storage_bytes",
+    "is_quantized",
+    "packed_factor_bytes",
+    "quantize",
+]
+
+#: Marker for unquantized (full-precision) storage in plan steps and perf
+#: models; never a valid argument to :func:`quantize`.
+FP_SCHEME = "fp"
+
+#: The storage schemes :func:`quantize` accepts.
+SCHEMES = ("int8", "q4")
+
+#: Default quantisation group: rows per scale group (int8), flat elements
+#: per block (q4, the classic Q4_0 block length).
+DEFAULT_GROUP_SIZES = {"int8": 16, "q4": 32}
+
+#: Documented worst-case per-element absolute error of each scheme, as a
+#: fraction of the element's group/block max magnitude.  int8 codes span
+#: ±127 (error ≤ scale/2 = amax/254); q4 codes span ±7 (error ≤ amax/14).
+ERROR_BOUNDS = {"int8": 1.0 / 254.0, "q4": 1.0 / 14.0}
+
+_INT8_LEVELS = 127
+_Q4_LEVELS = 7
+_Q4_BIAS = 8
+
+_SCHEMA = 1
+
+
+def default_scheme() -> str:
+    """The env-configurable default scheme (``FASTKRON_QUANT_SCHEME``)."""
+    scheme = os.environ.get("FASTKRON_QUANT_SCHEME", "int8").strip().lower()
+    if scheme not in SCHEMES:
+        raise QuantizationError(
+            f"FASTKRON_QUANT_SCHEME={scheme!r} is not one of {SCHEMES}"
+        )
+    return scheme
+
+
+def default_group_size(scheme: str) -> int:
+    """The env-configurable default group size (``FASTKRON_QUANT_GROUP``)."""
+    raw = os.environ.get("FASTKRON_QUANT_GROUP", "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError as exc:
+            raise QuantizationError(
+                f"FASTKRON_QUANT_GROUP={raw!r} is not an integer"
+            ) from exc
+        if value <= 0:
+            raise QuantizationError(f"FASTKRON_QUANT_GROUP must be positive, got {value}")
+        return value
+    return DEFAULT_GROUP_SIZES[scheme]
+
+
+def _check_scheme(scheme: str) -> str:
+    if scheme not in SCHEMES:
+        raise QuantizationError(f"unknown quantization scheme {scheme!r}; expected one of {SCHEMES}")
+    return scheme
+
+
+@dataclass(frozen=True, eq=False)
+class QuantizedFactor:
+    """A packed Kronecker factor: codes + per-group scales + logical shape.
+
+    Behaves as a factor operand everywhere shapes and dtypes are consulted
+    (``p``/``q``/``shape``/``dtype``/``astype``) but never exposes a dense
+    ``.values`` — consumers either dequantise into scratch
+    (:meth:`dequantize_into`) or read the packed representation directly
+    (the numba quant kernels).  Identity hashing matches
+    :class:`~repro.core.factors.KroneckerFactor` so the serving engine's
+    identity coalescing and the shared-factor store's pinning work unchanged.
+    """
+
+    scheme: str
+    packed: np.ndarray
+    scales: np.ndarray
+    shape: Tuple[int, int]
+    group_size: int
+    dtype: np.dtype
+    _fingerprint: Optional[str] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        _check_scheme(self.scheme)
+        p, q = (int(d) for d in self.shape)
+        object.__setattr__(self, "shape", (p, q))
+        object.__setattr__(self, "group_size", int(self.group_size))
+        object.__setattr__(self, "dtype", np.dtype(self.dtype))
+        if self.group_size <= 0:
+            raise QuantizationError(f"group_size must be positive, got {self.group_size}")
+        packed = np.ascontiguousarray(self.packed)
+        scales = np.ascontiguousarray(self.scales, dtype=self.dtype)
+        if self.scheme == "int8":
+            if packed.dtype != np.int8 or packed.shape != (p, q):
+                raise QuantizationError(
+                    f"int8 codes must be int8 of shape {(p, q)}, got "
+                    f"{packed.dtype} {packed.shape}"
+                )
+            n_groups = -(-p // self.group_size)
+        else:  # q4
+            expected = (p * q + 1) // 2
+            if packed.dtype != np.uint8 or packed.shape != (expected,):
+                raise QuantizationError(
+                    f"q4 codes must be uint8 of shape ({expected},), got "
+                    f"{packed.dtype} {packed.shape}"
+                )
+            n_groups = -(-(p * q) // self.group_size)
+        if scales.shape != (n_groups,):
+            raise QuantizationError(
+                f"{self.scheme} scales must have shape ({n_groups},), got {scales.shape}"
+            )
+        object.__setattr__(self, "packed", packed)
+        object.__setattr__(self, "scales", scales)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def p(self) -> int:
+        return self.shape[0]
+
+    @property
+    def q(self) -> int:
+        return self.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the packed representation (codes + scales)."""
+        return int(self.packed.nbytes + self.scales.nbytes)
+
+    @property
+    def dense_nbytes(self) -> int:
+        """Bytes a dense compute-dtype copy would occupy."""
+        return self.p * self.q * int(self.dtype.itemsize)
+
+    @property
+    def pack_ratio(self) -> float:
+        """Dense bytes per packed byte (> 1 means the packing saves memory)."""
+        return self.dense_nbytes / self.nbytes if self.nbytes else 1.0
+
+    @property
+    def error_bound(self) -> float:
+        """Worst-case per-element error as a fraction of the group's amax."""
+        return ERROR_BOUNDS[self.scheme]
+
+    def astype(self, dtype) -> "QuantizedFactor":
+        """The same packed codes bound to a different *compute* dtype."""
+        dt = np.dtype(dtype)
+        if dt == self.dtype:
+            return self
+        if dt.kind != "f":
+            raise QuantizationError(
+                f"quantized factors dequantise to floating dtypes, not {dt}"
+            )
+        return QuantizedFactor(
+            scheme=self.scheme,
+            packed=self.packed,
+            scales=self.scales.astype(dt),
+            shape=self.shape,
+            group_size=self.group_size,
+            dtype=dt,
+        )
+
+    # ------------------------------------------------------------------ #
+    def dequantize_into(self, out: np.ndarray) -> np.ndarray:
+        """Dequantise into ``out`` (shape ``(P, Q)``), returning ``out``.
+
+        This is the dequant-on-load primitive the backends stage factor
+        tiles with; ``out`` is typically a small
+        :class:`~repro.backends.arena.ScratchArena` tile, so no
+        full-precision factor copy outlives the call that consumed it.
+        """
+        p, q = self.shape
+        if out.shape != (p, q):
+            raise QuantizationError(f"out has shape {out.shape}, expected {(p, q)}")
+        if self.scheme == "int8":
+            np.multiply(
+                self.packed,
+                np.repeat(self.scales, self.group_size)[:p, None],
+                out=out,
+                casting="unsafe",
+            )
+            return out
+        # q4: unpack the two nibbles of every byte, un-bias, scale per block.
+        n = p * q
+        low = (self.packed & 0x0F).astype(np.int16) - _Q4_BIAS
+        high = (self.packed >> 4).astype(np.int16) - _Q4_BIAS
+        codes = np.empty(self.packed.size * 2, dtype=np.int16)
+        codes[0::2] = low
+        codes[1::2] = high
+        flat = codes[:n].astype(self.dtype)
+        flat *= np.repeat(self.scales, self.group_size)[:n]
+        np.copyto(out, flat.reshape(p, q))
+        return out
+
+    def dequantize(self, dtype=None) -> np.ndarray:
+        """A freshly allocated dense ``(P, Q)`` array (tests/tooling only)."""
+        dt = np.dtype(dtype) if dtype is not None else self.dtype
+        out = np.empty(self.shape, dtype=self.dtype)
+        self.dequantize_into(out)
+        return out.astype(dt) if dt != self.dtype else out
+
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """Content hash over scheme, layout and packed bytes (cached)."""
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            meta = f"{_SCHEMA}|{self.scheme}|{self.shape}|{self.group_size}|{self.dtype.str}"
+            digest.update(meta.encode("ascii"))
+            digest.update(self.packed.tobytes())
+            digest.update(self.scales.tobytes())
+            object.__setattr__(self, "_fingerprint", digest.hexdigest()[:16])
+        return self._fingerprint
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable payload (packed bytes travel base64-encoded)."""
+        return {
+            "schema": _SCHEMA,
+            "scheme": self.scheme,
+            "shape": [self.p, self.q],
+            "group_size": self.group_size,
+            "dtype": str(self.dtype),
+            "packed": base64.b64encode(self.packed.tobytes()).decode("ascii"),
+            "scales": base64.b64encode(self.scales.tobytes()).decode("ascii"),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "QuantizedFactor":
+        schema = payload.get("schema")
+        if schema != _SCHEMA:
+            raise QuantizationError(
+                f"unsupported QuantizedFactor schema {schema!r} (expected {_SCHEMA})"
+            )
+        scheme = _check_scheme(str(payload["scheme"]))
+        p, q = (int(d) for d in payload["shape"])
+        dtype = np.dtype(str(payload["dtype"]))
+        packed_bytes = base64.b64decode(payload["packed"])
+        scales = np.frombuffer(base64.b64decode(payload["scales"]), dtype=dtype)
+        if scheme == "int8":
+            packed = np.frombuffer(packed_bytes, dtype=np.int8)
+            if packed.size != p * q:
+                raise QuantizationError(
+                    f"int8 payload has {packed.size} codes, expected {p * q}"
+                )
+            packed = packed.reshape(p, q)
+        else:
+            packed = np.frombuffer(packed_bytes, dtype=np.uint8)
+        return cls(
+            scheme=scheme,
+            packed=packed.copy(),
+            scales=scales.copy(),
+            shape=(p, q),
+            group_size=int(payload["group_size"]),
+            dtype=dtype,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuantizedFactor({self.scheme}, P={self.p}, Q={self.q}, "
+            f"group={self.group_size}, {self.dtype}, {self.nbytes}B packed)"
+        )
+
+
+def is_quantized(factor) -> bool:
+    """True for :class:`QuantizedFactor` operands (the storage-tier check)."""
+    return isinstance(factor, QuantizedFactor)
+
+
+def _group_amax(flat: np.ndarray, group_size: int) -> np.ndarray:
+    n_groups = -(-flat.size // group_size)
+    padded = flat
+    if n_groups * group_size != flat.size:
+        padded = np.zeros(n_groups * group_size, dtype=flat.dtype)
+        padded[: flat.size] = flat
+    return np.abs(padded.reshape(n_groups, group_size)).max(axis=1)
+
+
+def quantize(
+    factor,
+    scheme: Optional[str] = None,
+    group_size: Optional[int] = None,
+    dtype=None,
+) -> "QuantizedFactor":
+    """Pack a dense factor into a :class:`QuantizedFactor`.
+
+    ``factor`` may be a :class:`~repro.core.factors.KroneckerFactor`, an
+    ndarray, or an already-quantized factor (returned unchanged when the
+    scheme matches).  ``scheme``/``group_size`` default to the
+    ``FASTKRON_QUANT_*`` env knobs; ``dtype`` is the compute dtype quantized
+    execution runs in and defaults to float32 (see module docstring).
+    """
+    if scheme is None:
+        scheme = default_scheme()
+    _check_scheme(scheme)
+    if isinstance(factor, QuantizedFactor):
+        if factor.scheme != scheme:
+            raise QuantizationError(
+                f"factor is already quantized as {factor.scheme!r}; requantizing "
+                f"as {scheme!r} would compound the error — dequantize explicitly first"
+            )
+        return factor
+    if group_size is None:
+        group_size = default_group_size(scheme)
+    group_size = int(group_size)
+    if group_size <= 0:
+        raise QuantizationError(f"group_size must be positive, got {group_size}")
+    values = np.asarray(getattr(factor, "values", factor))
+    if values.ndim != 2:
+        raise QuantizationError(f"factors are 2-D, got shape {values.shape}")
+    if values.dtype.kind != "f":
+        raise QuantizationError(f"only floating factors quantize, got {values.dtype}")
+    compute = np.dtype(dtype) if dtype is not None else np.dtype(np.float32)
+    if compute.kind != "f":
+        raise QuantizationError(f"compute dtype must be floating, got {compute}")
+    p, q = values.shape
+
+    if scheme == "int8":
+        amax = _group_amax(np.abs(values).max(axis=1), group_size)
+        scales = (amax / _INT8_LEVELS).astype(compute)
+        safe = np.where(scales > 0, scales, 1).astype(values.dtype)
+        codes = np.rint(values / np.repeat(safe, group_size)[:p, None])
+        packed = np.clip(codes, -_INT8_LEVELS, _INT8_LEVELS).astype(np.int8)
+    else:
+        flat = values.reshape(-1)
+        amax = _group_amax(flat, group_size)
+        scales = (amax / _Q4_LEVELS).astype(compute)
+        safe = np.repeat(np.where(scales > 0, scales, 1).astype(flat.dtype), group_size)
+        codes = np.rint(flat / safe[: flat.size])
+        codes = np.clip(codes, -_Q4_LEVELS, _Q4_LEVELS).astype(np.int16) + _Q4_BIAS
+        if codes.size % 2:
+            codes = np.concatenate([codes, np.full(1, _Q4_BIAS, dtype=np.int16)])
+        packed = (codes[0::2] | (codes[1::2] << 4)).astype(np.uint8)
+
+    return QuantizedFactor(
+        scheme=scheme,
+        packed=packed,
+        scales=scales,
+        shape=(p, q),
+        group_size=group_size,
+        dtype=compute,
+    )
+
+
+def dequantize(factor: "QuantizedFactor", dtype=None) -> np.ndarray:
+    """Functional form of :meth:`QuantizedFactor.dequantize`."""
+    if not isinstance(factor, QuantizedFactor):
+        raise QuantizationError(f"expected a QuantizedFactor, got {type(factor).__name__}")
+    return factor.dequantize(dtype=dtype)
+
+
+# ---------------------------------------------------------------------- #
+# storage-size algebra (compiler cache budget, roofline byte traffic)
+# ---------------------------------------------------------------------- #
+def packed_factor_bytes(
+    p: int,
+    q: int,
+    scheme: str,
+    itemsize: int,
+    group_size: Optional[int] = None,
+) -> int:
+    """Exact packed bytes of a ``(p, q)`` factor under ``scheme``.
+
+    ``itemsize`` is the compute dtype's size (scales are stored in it);
+    ``scheme`` may be :data:`FP_SCHEME` for the dense representation.
+    """
+    if scheme == FP_SCHEME:
+        return p * q * itemsize
+    _check_scheme(scheme)
+    if group_size is None:
+        group_size = DEFAULT_GROUP_SIZES[scheme]
+    if scheme == "int8":
+        return p * q + (-(-p // group_size)) * itemsize
+    return (p * q + 1) // 2 + (-(-(p * q) // group_size)) * itemsize
+
+
+def factor_storage_bytes(
+    elements: int,
+    scheme: str,
+    itemsize: int,
+    group_size: Optional[int] = None,
+) -> int:
+    """Approximate packed bytes of ``elements`` factor elements.
+
+    The flat-element form the roofline model uses (it counts elements, not
+    shapes): code bytes plus one compute-dtype scale per ``group_size``
+    elements.  For int8 this slightly overstates the scale traffic (real
+    int8 scales are per *row* group, one per ``group_size * q`` elements) —
+    a conservative estimate is the right direction for a roofline bound.
+    """
+    if scheme == FP_SCHEME:
+        return elements * itemsize
+    _check_scheme(scheme)
+    if group_size is None:
+        group_size = DEFAULT_GROUP_SIZES[scheme]
+    scales = (-(-elements // group_size)) * itemsize
+    if scheme == "int8":
+        return elements + scales
+    return (elements + 1) // 2 + scales

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.factors import KroneckerFactor, as_factor_list
 from repro.exceptions import ProtocolError, RequestRejected, ServerError
+from repro.quant import is_quantized, quantize as quantize_factor
 from repro.server.protocol import (
     DEFAULT_MAX_PAYLOAD,
     ERR_INTERNAL,
@@ -38,6 +39,8 @@ from repro.server.protocol import (
     array_from_payload,
     array_payload,
     encode_frame,
+    quant_descriptor,
+    quant_payload,
     read_frame,
     read_frame_sync,
 )
@@ -45,10 +48,25 @@ from repro.server.protocol import (
 __all__ = ["AsyncKronClient", "KronClient"]
 
 
-def _prepare_factors(factors: Iterable) -> List[KroneckerFactor]:
+def _prepare_factors(
+    factors: Iterable,
+    quantize: Optional[str] = None,
+    group_size: Optional[int] = None,
+) -> List[KroneckerFactor]:
     """Validate and dtype-unify a factor set client-side (same promotion
-    rule as the engine, so the registered set is what executions use)."""
+    rule as the engine, so the registered set is what executions use).
+
+    ``quantize="int8"|"q4"`` packs dense factors *here*, before framing, so
+    the wire carries the packed codes + scales, never a full-precision copy
+    (pre-quantized factors pass through untouched either way).
+    """
     factor_list = as_factor_list(factors)
+    if quantize is not None:
+        factor_list = [
+            f if is_quantized(f)
+            else quantize_factor(f, scheme=quantize, group_size=group_size)
+            for f in factor_list
+        ]
     common = factor_list[0].dtype
     for factor in factor_list[1:]:
         common = np.promote_types(common, factor.dtype)
@@ -63,7 +81,14 @@ def _register_frames(factor_list: List[KroneckerFactor], request_id: int) -> byt
         "shapes": [[f.p, f.q] for f in factor_list],
         "dtype": factor_list[0].dtype.str,
     }
-    payload = b"".join(array_payload(f.values) for f in factor_list)
+    if any(is_quantized(f) for f in factor_list):
+        header["quant"] = [
+            quant_descriptor(f) if is_quantized(f) else None for f in factor_list
+        ]
+    payload = b"".join(
+        quant_payload(f) if is_quantized(f) else array_payload(f.values)
+        for f in factor_list
+    )
     return encode_frame(MessageKind.REGISTER, header, payload)
 
 
@@ -162,11 +187,26 @@ class KronClient:
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
-    def register(self, factors: Iterable) -> str:
-        """Pin a factor set server-side; returns its submit handle."""
+    def register(
+        self,
+        factors: Iterable,
+        *,
+        quantize: Optional[str] = None,
+        group_size: Optional[int] = None,
+    ) -> str:
+        """Pin a factor set server-side; returns its submit handle.
+
+        ``quantize="int8"|"q4"`` packs the factors client-side so only the
+        packed codes + per-group scales travel the wire and sit in the
+        server's registry; submits against the handle then run quantized
+        end-to-end (results within the scheme's documented error bound).
+        """
         request_id = next(self._ids)
         frame = self._request(
-            _register_frames(_prepare_factors(factors), request_id), request_id
+            _register_frames(
+                _prepare_factors(factors, quantize, group_size), request_id
+            ),
+            request_id,
         )
         return str(frame.header["handle"])
 
@@ -316,10 +356,20 @@ class AsyncKronClient:
         _raise_for_error(frame)
         return frame
 
-    async def register(self, factors: Iterable) -> str:
+    async def register(
+        self,
+        factors: Iterable,
+        *,
+        quantize: Optional[str] = None,
+        group_size: Optional[int] = None,
+    ) -> str:
+        """Like :meth:`KronClient.register`, including client-side packing."""
         request_id = next(self._ids)
         frame = await self._roundtrip(
-            _register_frames(_prepare_factors(factors), request_id), request_id
+            _register_frames(
+                _prepare_factors(factors, quantize, group_size), request_id
+            ),
+            request_id,
         )
         return str(frame.header["handle"])
 

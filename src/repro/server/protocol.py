@@ -23,6 +23,17 @@ machine-readable ``code`` (the ``ERR_*`` constants) plus a human-readable
 ``message``, so clients can distinguish backpressure (``busy``) from SLO
 rejection (``deadline_exceeded``) from caller bugs (``bad_request``,
 ``unknown_handle``) without string matching.
+
+Quantized factors travel *packed*: a REGISTER frame may carry a ``"quant"``
+header list (one entry per factor, ``null`` for dense) whose descriptors
+(:func:`quant_descriptor`) name the scheme, group size and the packed/scales
+byte counts, and the payload holds the raw code bytes plus scales
+(:func:`quant_payload`) instead of a full-precision matrix.  The preamble's
+payload-length cap therefore counts *packed* bytes — a Q4 factor set spends
+~8× less of the ``max_payload`` budget than its float32 equivalent.  A
+malformed descriptor raises :class:`~repro.exceptions.ProtocolError` during
+decoding — after the frame is fully off the wire — so the server answers a
+typed ``bad_request`` without desynchronising the stream.
 """
 
 from __future__ import annotations
@@ -35,6 +46,7 @@ from typing import Callable, NamedTuple, Optional, Tuple
 import numpy as np
 
 from repro.exceptions import ProtocolError
+from repro.quant import SCHEMES, QuantizedFactor
 
 __all__ = [
     "DEFAULT_MAX_PAYLOAD",
@@ -54,6 +66,10 @@ __all__ = [
     "array_payload",
     "encode_frame",
     "error_frame",
+    "quant_chunk_bytes",
+    "quant_descriptor",
+    "quant_from_payload",
+    "quant_payload",
     "read_frame",
     "read_frame_sync",
 ]
@@ -233,3 +249,112 @@ def array_from_payload(
         )
     array = np.frombuffer(payload, dtype=dt).reshape(shape)
     return array.copy() if writable else array
+
+
+# --------------------------------------------------------------------------- #
+# quantized factor <-> payload
+# --------------------------------------------------------------------------- #
+def quant_descriptor(factor: QuantizedFactor) -> dict:
+    """The JSON header entry describing one packed factor's wire layout.
+
+    Paired with :func:`quant_payload`; the byte counts let the receiver
+    slice a multi-factor payload without trusting arithmetic on the shape
+    alone, and :func:`quant_from_payload` cross-checks them against the
+    scheme's exact packed size.
+    """
+    return {
+        "scheme": factor.scheme,
+        "group_size": int(factor.group_size),
+        "packed_len": int(factor.packed.nbytes),
+        "scales_len": int(factor.scales.nbytes),
+        "dtype": factor.dtype.str,
+    }
+
+
+def quant_payload(factor: QuantizedFactor) -> bytes:
+    """The packed wire bytes of one quantized factor: codes then scales."""
+    return factor.packed.tobytes() + np.ascontiguousarray(factor.scales).tobytes()
+
+
+def _checked_descriptor(descriptor: object) -> Tuple[str, int, int, int, np.dtype]:
+    """Validate a ``"quant"`` header entry; ProtocolError on anything off."""
+    if not isinstance(descriptor, dict):
+        raise ProtocolError(
+            f"quant descriptor must be a JSON object, got {type(descriptor).__name__}"
+        )
+    scheme = descriptor.get("scheme")
+    if scheme not in SCHEMES:
+        raise ProtocolError(f"unknown quant scheme {scheme!r}; expected one of {SCHEMES}")
+    try:
+        group_size = int(descriptor["group_size"])
+        packed_len = int(descriptor["packed_len"])
+        scales_len = int(descriptor["scales_len"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed quant descriptor {descriptor!r}: {exc}") from exc
+    if group_size <= 0 or packed_len < 0 or scales_len < 0:
+        raise ProtocolError(f"quant descriptor has impossible sizes: {descriptor!r}")
+    try:
+        dt = np.dtype(str(descriptor.get("dtype", "<f4")))
+    except TypeError as exc:
+        raise ProtocolError(f"unknown quant dtype {descriptor.get('dtype')!r}") from exc
+    if dt.kind != "f":
+        raise ProtocolError(f"quant compute dtype must be floating, got {dt}")
+    return str(scheme), group_size, packed_len, scales_len, dt
+
+
+def quant_chunk_bytes(descriptor: object) -> int:
+    """Total payload bytes one descriptor's factor occupies (codes + scales)."""
+    _scheme, _group, packed_len, scales_len, _dt = _checked_descriptor(descriptor)
+    return packed_len + scales_len
+
+
+def quant_from_payload(
+    payload: bytes, descriptor: object, shape: Tuple[int, int]
+) -> QuantizedFactor:
+    """Reconstruct a :class:`~repro.quant.QuantizedFactor` from wire bytes.
+
+    ``payload`` is exactly this factor's chunk (codes then scales, as
+    produced by :func:`quant_payload`); the descriptor's byte counts are
+    validated against the scheme's exact packed size for ``shape`` before
+    any array is built, so a lying header cannot produce a mis-shaped
+    factor.  The returned factor owns its memory (receive buffers are
+    transient; registered factors are long-lived).
+    """
+    scheme, group_size, packed_len, scales_len, dt = _checked_descriptor(descriptor)
+    p, q = int(shape[0]), int(shape[1])
+    if p <= 0 or q <= 0:
+        raise ProtocolError(f"invalid factor shape ({p}, {q})")
+    if scheme == "int8":
+        expected_packed = p * q
+        n_groups = -(-p // group_size)
+    else:  # q4
+        expected_packed = (p * q + 1) // 2
+        n_groups = -(-(p * q) // group_size)
+    if packed_len != expected_packed:
+        raise ProtocolError(
+            f"{scheme} codes for shape ({p}, {q}) are {expected_packed} bytes, "
+            f"descriptor claims {packed_len}"
+        )
+    if scales_len != n_groups * dt.itemsize:
+        raise ProtocolError(
+            f"{scheme} scales for shape ({p}, {q}) at group {group_size} are "
+            f"{n_groups * dt.itemsize} bytes, descriptor claims {scales_len}"
+        )
+    if len(payload) != packed_len + scales_len:
+        raise ProtocolError(
+            f"quant payload chunk of {len(payload)} bytes does not match the "
+            f"descriptor's {packed_len} + {scales_len}"
+        )
+    code_dtype = np.int8 if scheme == "int8" else np.uint8
+    packed = np.frombuffer(payload[:packed_len], dtype=code_dtype).copy()
+    if scheme == "int8":
+        packed = packed.reshape(p, q)
+    scales = np.frombuffer(payload[packed_len:], dtype=dt).copy()
+    return QuantizedFactor(
+        scheme=scheme,
+        packed=packed,
+        scales=scales,
+        shape=(p, q),
+        group_size=group_size,
+        dtype=dt,
+    )

@@ -33,10 +33,11 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.factors import KroneckerFactor
 from repro.exceptions import ServerError
+from repro.quant import FP_SCHEME, is_quantized, quantize as quantize_factor
 
 __all__ = ["FactorRegistry", "RegisteredFactors", "RegistryStats", "UnknownHandleError"]
 
@@ -65,14 +66,25 @@ class RegisteredFactors:
         return str(self.factors[0].dtype)
 
     @property
+    def storage(self) -> Tuple[str, ...]:
+        """Per-factor storage scheme (``fp`` for dense entries)."""
+        return tuple(
+            f.scheme if is_quantized(f) else FP_SCHEME for f in self.factors
+        )
+
+    @property
     def nbytes(self) -> int:
-        return sum(f.values.nbytes for f in self.factors)
+        """Resident bytes of the pinned set — *packed* for quantized factors."""
+        return sum(
+            f.nbytes if is_quantized(f) else f.values.nbytes for f in self.factors
+        )
 
     def describe(self) -> dict:
         return {
             "handle": self.handle,
             "shapes": [list(s) for s in self.shapes],
             "dtype": self.dtype,
+            "storage": list(self.storage),
             "owner": self.owner,
             "uses": self.uses,
             "nbytes": self.nbytes,
@@ -113,8 +125,19 @@ class FactorRegistry:
         with self._lock:
             return handle in self._entries
 
-    def register(self, factors: List[KroneckerFactor], owner: str = "") -> RegisteredFactors:
+    def register(
+        self,
+        factors: List[KroneckerFactor],
+        owner: str = "",
+        quantize: Optional[str] = None,
+    ) -> RegisteredFactors:
         """Pin a factor set; returns the entry carrying its fresh handle.
+
+        ``factors`` may mix dense :class:`~repro.core.factors.KroneckerFactor`
+        entries and pre-packed :class:`~repro.quant.QuantizedFactor` ones;
+        ``quantize="int8"|"q4"`` packs any *dense* entries on the way in, so
+        what the registry (and every downstream cache) holds is the packed
+        bytes.  Already-quantized entries pass through untouched.
 
         Registering past ``capacity`` evicts the least recently used entry —
         its arrays lose their last strong reference, which also unpins any
@@ -123,8 +146,14 @@ class FactorRegistry:
         """
         if not factors:
             raise ValueError("cannot register an empty factor list")
+        factor_list = list(factors)
+        if quantize is not None:
+            factor_list = [
+                f if is_quantized(f) else quantize_factor(f, scheme=quantize)
+                for f in factor_list
+            ]
         handle = secrets.token_hex(8)
-        entry = RegisteredFactors(handle=handle, factors=list(factors), owner=owner)
+        entry = RegisteredFactors(handle=handle, factors=factor_list, owner=owner)
         with self._lock:
             self._entries[handle] = entry
             self._stats.registered += 1

@@ -48,8 +48,11 @@ from repro.server.protocol import (
     array_payload,
     encode_frame,
     error_frame,
+    quant_chunk_bytes,
+    quant_from_payload,
     read_frame,
 )
+from repro.quant import SCHEMES as QUANT_SCHEMES
 from repro.server.registry import FactorRegistry, UnknownHandleError
 from repro.server.scheduler import BULK, LATENCY, ClassPolicy, SloScheduler
 
@@ -255,6 +258,7 @@ class KronServer:
                     "max_payload": self.max_payload,
                     "classes": sorted(p.name for p in self.policies),
                     "backend": self.engine.backend.name,
+                    "quant_schemes": list(QUANT_SCHEMES),
                 },
             ))
             while True:
@@ -326,29 +330,51 @@ class KronServer:
         try:
             shapes = frame.header["shapes"]
             dtype = np.dtype(frame.header["dtype"])
+            quant = frame.header.get("quant")
+            if quant is not None and (
+                not isinstance(quant, list) or len(quant) != len(shapes)
+            ):
+                raise ProtocolError(
+                    f"quant header must list one entry per factor "
+                    f"({len(shapes)}), got {quant!r}"
+                )
+            quantize = frame.header.get("quantize")
+            if quantize is not None and quantize not in QUANT_SCHEMES:
+                raise ProtocolError(
+                    f"unknown quantize scheme {quantize!r}; "
+                    f"expected one of {tuple(QUANT_SCHEMES)}"
+                )
             factors = []
             offset = 0
-            for shape in shapes:
+            for index, shape in enumerate(shapes):
                 p, q = int(shape[0]), int(shape[1])
-                nbytes = p * q * dtype.itemsize
+                descriptor = quant[index] if quant else None
+                nbytes = (
+                    quant_chunk_bytes(descriptor) if descriptor
+                    else p * q * dtype.itemsize
+                )
                 chunk = frame.payload[offset:offset + nbytes]
                 if len(chunk) != nbytes:
                     raise ProtocolError(
-                        f"register payload truncated: factor {len(factors)} "
+                        f"register payload truncated: factor {index} "
                         f"needs {nbytes} bytes, {len(chunk)} left"
                     )
                 # Registered factors are long-lived and server-owned: copy
-                # once out of the receive buffer.
-                factors.append(KroneckerFactor(
-                    array_from_payload(chunk, (p, q), dtype.str, writable=True)
-                ))
+                # once out of the receive buffer.  Quantized factors stay
+                # packed — the codes never inflate to a dense matrix here.
+                if descriptor:
+                    factors.append(quant_from_payload(chunk, descriptor, (p, q)))
+                else:
+                    factors.append(KroneckerFactor(
+                        array_from_payload(chunk, (p, q), dtype.str, writable=True)
+                    ))
                 offset += nbytes
             if offset != len(frame.payload):
                 raise ProtocolError(
                     f"register payload has {len(frame.payload) - offset} "
                     f"trailing bytes beyond the declared shapes"
                 )
-            entry = self.registry.register(factors, owner=owner)
+            entry = self.registry.register(factors, owner=owner, quantize=quantize)
         except (KeyError, TypeError, ValueError, ProtocolError, ReproError) as exc:
             await self._send(writer, lock, error_frame(
                 ERR_BAD_REQUEST, f"invalid register request: {exc}", request_id
@@ -361,6 +387,7 @@ class KronServer:
                 "handle": entry.handle,
                 "shapes": [list(s) for s in entry.shapes],
                 "dtype": entry.dtype,
+                "storage": list(entry.storage),
             },
         ))
 

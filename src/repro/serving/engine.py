@@ -41,6 +41,7 @@ from repro.exceptions import EngineClosedError, ShapeError
 from repro.plan.compiler import compile_plan
 from repro.plan.executor import PlanExecutor
 from repro.plan.fingerprint import plan_cache_key
+from repro.quant import QuantizedFactor
 from repro.serving.plan_cache import PlanCache, PlanEntry, PlanKey
 from repro.tuner.cache import TuningCache
 from repro.utils.validation import ensure_2d
@@ -242,7 +243,22 @@ class KronEngine:
         plan_key: PlanKey = _memoized_plan_key(
             shapes, str(x2d.dtype), self.backend.name, self.fuse
         )
-        signature: GroupKey = (tuple(id(f.values) for f in factor_list), plan_key)
+        # Quantized submissions get their own plan entries: the compiled plan
+        # records the storage scheme per step (and sizes fused groups by
+        # packed bytes), so it must not be shared with dense submissions of
+        # the same shapes.
+        storage = tuple(
+            f.scheme if isinstance(f, QuantizedFactor) else "fp" for f in factor_list
+        )
+        if any(scheme != "fp" for scheme in storage):
+            plan_key = f"{plan_key}|storage={','.join(storage)}"
+        # Identity coalescing: dense factors coalesce by the ndarray the
+        # handle reads (.values); quantized factors have no dense values and
+        # are themselves immutable, so the object identity is the key.
+        signature: GroupKey = (
+            tuple(id(getattr(f, "values", f)) for f in factor_list),
+            plan_key,
+        )
         request = _Request(x2d, factor_list, signature, plan_key, squeeze)
         with self._lock:
             if self._closed:
@@ -484,6 +500,10 @@ class KronEngine:
             fuse=self.fuse,
             row_capacity=self.max_batch_rows,
             tuning_cache=self.tuning_cache,
+            factor_storage=tuple(
+                f.scheme if isinstance(f, QuantizedFactor) else "fp"
+                for f in request.factors
+            ),
         )
         if self.autotune:
             # Imported lazily: the tuner pulls in the simulated-GPU stack,

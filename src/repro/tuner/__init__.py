@@ -1,6 +1,11 @@
 """The FastKron autotuner (Section 4.3): tile-size search per problem shape."""
 
-from repro.tuner.autotuner import Autotuner, TuningResult
+from repro.tuner.autotuner import (
+    Autotuner,
+    QuantSchemeReport,
+    TuningResult,
+    quant_accuracy_report,
+)
 from repro.tuner.cache import TuningCache
 from repro.tuner.search_space import (
     SearchSpaceStats,
@@ -10,9 +15,11 @@ from repro.tuner.search_space import (
 
 __all__ = [
     "Autotuner",
+    "QuantSchemeReport",
     "SearchSpaceStats",
     "TuningCache",
     "TuningResult",
     "enumerate_tile_configs",
+    "quant_accuracy_report",
     "search_space_size",
 ]

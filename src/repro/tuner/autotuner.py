@@ -372,6 +372,93 @@ def _row_block_candidates(
     return candidates
 
 
+@dataclass
+class QuantSchemeReport:
+    """One storage arm of :func:`quant_accuracy_report`."""
+
+    scheme: str
+    group_size: Optional[int]
+    pack_ratio: float
+    error_bound: float
+    max_rel_err: float
+    mean_rel_err: float
+    best_time: float
+    speedup: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.scheme:>5s}: {self.pack_ratio:4.1f}x packed, "
+            f"rel-err max {self.max_rel_err:.2e} / mean {self.mean_rel_err:.2e}, "
+            f"{self.best_time * 1e3:.3f} ms ({self.speedup:.2f}x vs fp)"
+        )
+
+
+def quant_accuracy_report(
+    shapes,
+    m: int = 256,
+    dtype: np.dtype | type = np.float64,
+    schemes: tuple = None,
+    group_size: Optional[int] = None,
+    backend=None,
+    repeats: int = 3,
+    seed: int = 0,
+) -> List[QuantSchemeReport]:
+    """Measure the accuracy-vs-speed trade of each quantized storage scheme.
+
+    Runs the same random Kron-Matmul problem through full-precision and each
+    quantized storage arm on a live backend, reporting per scheme the pack
+    ratio, the *measured* max/mean relative error against the fp result
+    (normalised by the fp output's max magnitude — the end-to-end error the
+    documented per-element bounds compound into), the best-of-``repeats``
+    execution time and the speedup over the fp arm.  The fp arm leads the
+    returned list with zero error, as the baseline rows of the report.
+    """
+    from repro.core.factors import random_factors_from_shapes
+    from repro.core.fastkron import kron_matmul
+    from repro.quant import FP_SCHEME, SCHEMES, quantize
+
+    if schemes is None:
+        schemes = SCHEMES
+    dtype = np.dtype(dtype)
+    shapes = [(int(p), int(q)) for p, q in shapes]
+    rng = np.random.default_rng(seed)
+    k = int(np.prod([p for p, _ in shapes]))
+    x = rng.standard_normal((int(m), k)).astype(dtype)
+    factors = random_factors_from_shapes(shapes, dtype=dtype, seed=seed)
+
+    def timed(operands):
+        y = kron_matmul(x, operands, backend=backend)  # warm plan + arena
+        elapsed = float("inf")
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            y = kron_matmul(x, operands, backend=backend)
+            elapsed = min(elapsed, time.perf_counter() - start)
+        return y, elapsed
+
+    y_fp, fp_time = timed(factors)
+    scale = float(np.abs(y_fp).max()) or 1.0
+    reports = [QuantSchemeReport(
+        scheme=FP_SCHEME, group_size=None, pack_ratio=1.0, error_bound=0.0,
+        max_rel_err=0.0, mean_rel_err=0.0, best_time=fp_time, speedup=1.0,
+    )]
+    for scheme in schemes:
+        packed = [quantize(f, scheme=scheme, group_size=group_size) for f in factors]
+        y, elapsed = timed(packed)
+        err = np.abs(y.astype(np.float64) - y_fp.astype(np.float64)) / scale
+        reports.append(QuantSchemeReport(
+            scheme=scheme,
+            group_size=packed[0].group_size,
+            pack_ratio=sum(f.dense_nbytes for f in packed)
+            / max(1, sum(f.nbytes for f in packed)),
+            error_bound=packed[0].error_bound,
+            max_rel_err=float(err.max()),
+            mean_rel_err=float(err.mean()),
+            best_time=elapsed,
+            speedup=fp_time / elapsed if elapsed > 0 else float("inf"),
+        ))
+    return reports
+
+
 def _fastest_plan(
     plan: "KronPlan", candidates, backend, x, factors, repeats: int
 ) -> "KronPlan":

@@ -221,6 +221,22 @@ class TestBackendParity:
             atol=1e-12,
         )
 
+    @pytest.mark.parametrize("scheme", ["int8", "q4"])
+    def test_quantized_kron_matmul_parity(self, backend, rng, scheme):
+        """Packed factors produce the same result on every backend as on the
+        numpy reference, and match the explicitly dequantized dense run."""
+        from repro.quant import dequantize, quantize
+
+        factors = [rng.standard_normal((8, 8)) for _ in range(3)]
+        packed = [quantize(f, scheme=scheme, dtype=np.float64) for f in factors]
+        x = rng.standard_normal((29, 8**3))
+        expected = kron_matmul(x, packed, backend="numpy")
+        assert_matches_numpy(kron_matmul(x, packed, backend=backend), expected, backend)
+        # The packed run equals the dense run over the dequantized values —
+        # quantization error lives entirely in the stored codes, not the math.
+        dense = kron_matmul(x, [dequantize(p) for p in packed], backend="numpy")
+        np.testing.assert_allclose(expected, dense, rtol=1e-10, atol=1e-10)
+
 
 # --------------------------------------------------------------------------- #
 # threaded backend specifics

@@ -197,6 +197,71 @@ class TestNumbaFusedParity:
 
 
 # --------------------------------------------------------------------------- #
+# quantized factors through the fused path
+# --------------------------------------------------------------------------- #
+class TestQuantizedFused:
+    """Packed factors ride the same fused/stepwise machinery: the group chain
+    dequantizes once into scratch (or fuses dequant into the kernel on the
+    numba arm) and must agree with the dense run over the dequantized values."""
+
+    @pytest.mark.parametrize("scheme", ["int8", "q4"])
+    @pytest.mark.parametrize("backend_factory", [NumpyBackend, _sharded_threaded],
+                             ids=["numpy", "threaded"])
+    def test_fused_matches_stepwise_quantized(self, backend_factory, scheme):
+        from repro.quant import quantize
+
+        backend = backend_factory()
+        problem = KronMatmulProblem.uniform(37, 4, 4, dtype=np.float64)
+        dense = random_factors(4, 4, dtype=np.float64, seed=21)
+        packed = [quantize(f, scheme=scheme, dtype=np.float64) for f in dense]
+        x = _rand_x(37, problem.k, seed=22)
+        a, b = _execute_both(problem, packed, x, backend)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("scheme", ["int8", "q4"])
+    def test_matches_dense_over_dequantized_values(self, scheme):
+        from repro.quant import dequantize, quantize
+
+        problem = KronMatmulProblem.uniform(29, 4, 3, dtype=np.float64)
+        dense = random_factors(3, 4, dtype=np.float64, seed=23)
+        packed = [quantize(f, scheme=scheme, dtype=np.float64) for f in dense]
+        x = _rand_x(29, problem.k, seed=24)
+        result = PlanExecutor(compile_plan(problem)).execute(x, packed)
+        reference = kron_matmul(x, [dequantize(f) for f in packed])
+        np.testing.assert_allclose(result, reference, rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.parametrize("scheme", ["int8", "q4"])
+    def test_numba_fused_dequant(self, scheme):
+        """The numba arm (JIT or python fallback) fuses dequant into the
+        kernel epilogue; tolerance parity against the dense dequantized run."""
+        from repro.quant import dequantize, quantize
+
+        backend = _numba_backend()
+        problem = KronMatmulProblem.uniform(33, 4, 3, dtype=np.float64)
+        dense = random_factors(3, 4, dtype=np.float64, seed=25)
+        packed = [quantize(f, scheme=scheme, dtype=np.float64) for f in dense]
+        x = _rand_x(33, problem.k, seed=26)
+        result = PlanExecutor(
+            compile_plan(problem, backend=backend), backend=backend
+        ).execute(x, packed)
+        reference = kron_matmul(x, [dequantize(f) for f in packed])
+        np.testing.assert_allclose(result, reference, rtol=1e-10, atol=1e-10)
+
+    def test_plan_compiled_with_storage_runs_packed(self):
+        """factor_storage at compile time + packed factors at run time."""
+        from repro.quant import quantize
+
+        problem = KronMatmulProblem.uniform(19, 4, 3, dtype=np.float64)
+        plan = compile_plan(problem, factor_storage="int8")
+        assert all(step.storage == "int8" for step in plan.steps)
+        dense = random_factors(3, 4, dtype=np.float64, seed=27)
+        packed = [quantize(f, scheme="int8", dtype=np.float64) for f in dense]
+        x = _rand_x(19, problem.k, seed=28)
+        result = PlanExecutor(plan).execute(x, packed)
+        assert np.array_equal(result, kron_matmul(x, packed))
+
+
+# --------------------------------------------------------------------------- #
 # the hypothesis property: fused and unfused plans always agree
 # --------------------------------------------------------------------------- #
 class TestFusedProperty:
@@ -338,8 +403,11 @@ class TestCacheBudget:
 
     def test_budget_sizes_row_blocks(self):
         problem = KronMatmulProblem.uniform(1024, 4, 5, dtype=np.float64)
-        small = compile_plan(problem, cache_budget_bytes=1 << 18)
-        large = compile_plan(problem, cache_budget_bytes=1 << 22)
+        # The group's resident factors (5 x 4x4 float64) count against the
+        # budget too, so grant them on top of the row-slab power of two.
+        factor_bytes = 5 * 4 * 4 * 8
+        small = compile_plan(problem, cache_budget_bytes=(1 << 18) + factor_bytes)
+        large = compile_plan(problem, cache_budget_bytes=(1 << 22) + factor_bytes)
         small_blocks = [rb for rb in small.group_row_blocks if rb]
         large_blocks = [rb for rb in large.group_row_blocks if rb]
         assert small_blocks and large_blocks

@@ -1,0 +1,580 @@
+"""Quantized factor storage: round-trip bounds, flow-through, wire format.
+
+The contract under test, in layers:
+
+* the *representation* — :func:`~repro.quant.quantize` /
+  :meth:`~repro.quant.QuantizedFactor.dequantize` round-trip within each
+  scheme's documented worst-case per-element bound (hypothesis, below), and
+  exactly for values already on the quantisation grid;
+* the *plan IR* — per-step ``storage`` survives serialisation (schema 4),
+  legacy schemas load as full-precision, the cache-budget pass sizes fused
+  groups by packed bytes;
+* the *stores* — the :class:`~repro.backends.shm.SharedFactorStore` pins the
+  packed codes + scales as shared-memory segments (never a dense copy) and
+  unlinks them on eviction;
+* the *wire* — quantized REGISTER frames carry packed bytes with validated
+  descriptors; a malformed descriptor is a typed ``bad_request``, not a
+  desync; a client ``register(quantize=...)`` serves quantized end-to-end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends.shm import shared_memory_available
+from repro.exceptions import ProtocolError, QuantizationError, RequestRejected
+from repro.quant import (
+    DEFAULT_GROUP_SIZES,
+    ERROR_BOUNDS,
+    FP_SCHEME,
+    QuantizedFactor,
+    SCHEMES,
+    default_group_size,
+    default_scheme,
+    dequantize,
+    factor_storage_bytes,
+    is_quantized,
+    packed_factor_bytes,
+    quantize,
+)
+
+
+def _rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+# --------------------------------------------------------------------------- #
+# representation: round-trip error bounds
+# --------------------------------------------------------------------------- #
+class TestRoundTrip:
+    @settings(deadline=None)
+    @given(
+        scheme=st.sampled_from(SCHEMES),
+        p=st.integers(min_value=1, max_value=40),
+        q=st.integers(min_value=1, max_value=40),
+        group_size=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_error_within_documented_bound(self, scheme, p, q, group_size, seed):
+        """|dequant - original| <= bound * group amax, per element.
+
+        The documented bound is exact in real arithmetic; a small relative
+        slack absorbs the float32 rounding of scales and products.
+        """
+        values = _rng(seed).standard_normal((p, q))
+        qf = quantize(values, scheme=scheme, group_size=group_size)
+        restored = qf.dequantize(np.float64)
+
+        bound = ERROR_BOUNDS[scheme]
+        if scheme == "int8":
+            amax = np.zeros(p)
+            for g in range(0, p, group_size):
+                amax[g:g + group_size] = np.abs(values[g:g + group_size]).max()
+            limit = bound * amax[:, None]
+        else:
+            flat = np.abs(values).reshape(-1)
+            n_groups = -(-flat.size // group_size)
+            amax = np.zeros(n_groups * group_size)
+            for g in range(n_groups):
+                lo = g * group_size
+                amax[lo:lo + group_size] = flat[lo:lo + group_size].max(initial=0.0)
+            limit = (bound * amax[:flat.size]).reshape(p, q)
+        error = np.abs(restored - values)
+        ceiling = np.broadcast_to(limit * (1 + 1e-5) + 1e-12, error.shape)
+        assert np.all(error <= ceiling), (error - ceiling).max()
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_exact_on_grid(self, scheme):
+        """Values already of the form code * 2^-k round-trip bit-for-bit
+        when each group's max code sits at full range."""
+        levels = 127 if scheme == "int8" else 7
+        group = DEFAULT_GROUP_SIZES[scheme]
+        rng = _rng(3)
+        codes = rng.integers(-levels, levels + 1, size=(group, 8)).astype(np.float64)
+        # Pin the max code to full range so the recovered scale is exact.
+        codes[0, 0] = levels
+        if scheme == "q4":
+            flat = codes.reshape(-1)
+            for g in range(0, flat.size, group):
+                flat[g] = levels
+        values = (codes * 0.25).astype(np.float32)  # power-of-two scale
+        qf = quantize(values, scheme=scheme, group_size=group)
+        np.testing.assert_array_equal(qf.dequantize(), values)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_zero_factor_roundtrips(self, scheme):
+        qf = quantize(np.zeros((6, 6)), scheme=scheme)
+        np.testing.assert_array_equal(qf.dequantize(), np.zeros((6, 6), np.float32))
+
+    def test_odd_element_count_q4(self):
+        """p*q odd: the final byte's high nibble is padding, not data."""
+        values = _rng(5).standard_normal((3, 5))
+        qf = quantize(values, scheme="q4")
+        assert qf.packed.shape == ((15 + 1) // 2,)
+        assert qf.dequantize().shape == (3, 5)
+
+
+# --------------------------------------------------------------------------- #
+# representation: surface, serialisation, errors
+# --------------------------------------------------------------------------- #
+class TestQuantizedFactor:
+    def test_factor_surface(self):
+        qf = quantize(_rng(1).standard_normal((8, 6)), scheme="int8")
+        assert (qf.p, qf.q) == (8, 6) and qf.shape == (8, 6)
+        assert qf.dtype == np.float32 and not hasattr(qf, "values")
+        assert is_quantized(qf) and not is_quantized(np.zeros((2, 2)))
+
+    def test_nbytes_and_pack_ratio(self):
+        qf = quantize(_rng(2).standard_normal((16, 16)), scheme="int8", group_size=16)
+        assert qf.nbytes == 16 * 16 + 1 * 4  # codes + one fp32 scale
+        assert qf.dense_nbytes == 16 * 16 * 4
+        assert qf.pack_ratio == pytest.approx(qf.dense_nbytes / qf.nbytes)
+        assert packed_factor_bytes(16, 16, "int8", 4, 16) == qf.nbytes
+        q4 = quantize(_rng(2).standard_normal((16, 16)), scheme="q4", group_size=32)
+        assert packed_factor_bytes(16, 16, "q4", 4, 32) == q4.nbytes
+        assert packed_factor_bytes(8, 8, FP_SCHEME, 8) == 8 * 8 * 8
+
+    def test_factor_storage_bytes_monotone(self):
+        dense = factor_storage_bytes(4096, FP_SCHEME, 4)
+        int8 = factor_storage_bytes(4096, "int8", 4)
+        q4 = factor_storage_bytes(4096, "q4", 4)
+        assert dense > int8 > q4
+
+    def test_astype_rebinds_compute_dtype(self):
+        qf = quantize(_rng(3).standard_normal((8, 8)), scheme="int8")
+        f64 = qf.astype(np.float64)
+        assert f64.dtype == np.float64 and f64.scales.dtype == np.float64
+        assert f64.packed is qf.packed  # codes shared, never copied
+        assert qf.astype(np.float32) is qf
+        with pytest.raises(QuantizationError):
+            qf.astype(np.int32)
+
+    def test_float64_compute_dtype_keeps_precision(self):
+        values = _rng(4).standard_normal((8, 8))
+        qf = quantize(values, scheme="int8", dtype=np.float64)
+        assert qf.dtype == np.float64
+        np.testing.assert_allclose(
+            qf.dequantize(), quantize(values, scheme="int8").dequantize(np.float64),
+            atol=1e-6,
+        )
+
+    def test_to_from_dict_roundtrip(self):
+        for scheme in SCHEMES:
+            qf = quantize(_rng(6).standard_normal((7, 5)), scheme=scheme)
+            back = QuantizedFactor.from_dict(qf.to_dict())
+            np.testing.assert_array_equal(back.packed, qf.packed)
+            np.testing.assert_array_equal(back.scales, qf.scales)
+            assert back.fingerprint() == qf.fingerprint()
+
+    def test_fingerprint_content_addressed(self):
+        values = _rng(7).standard_normal((6, 6))
+        a = quantize(values, scheme="int8")
+        b = quantize(values.copy(), scheme="int8")
+        c = quantize(values * 2, scheme="int8")
+        assert a.fingerprint() == b.fingerprint() != c.fingerprint()
+        assert hash(a) != hash(b)  # identity hashing, like KroneckerFactor
+
+    def test_requantize_same_scheme_passthrough(self):
+        qf = quantize(_rng(8).standard_normal((4, 4)), scheme="q4")
+        assert quantize(qf, scheme="q4") is qf
+        with pytest.raises(QuantizationError):
+            quantize(qf, scheme="int8")
+
+    def test_dequantize_functional_form(self):
+        qf = quantize(_rng(9).standard_normal((4, 4)), scheme="int8")
+        np.testing.assert_array_equal(dequantize(qf), qf.dequantize())
+        with pytest.raises(QuantizationError):
+            dequantize(np.zeros((2, 2)))
+
+    @pytest.mark.parametrize("bad", [
+        dict(scheme="fp16"), dict(group_size=0), dict(group_size=-4),
+    ])
+    def test_invalid_arguments(self, bad):
+        with pytest.raises(QuantizationError):
+            quantize(np.zeros((4, 4)), **{"scheme": "int8", **bad})
+
+    def test_non_float_and_non_2d_rejected(self):
+        with pytest.raises(QuantizationError):
+            quantize(np.zeros((4, 4), dtype=np.int64))
+        with pytest.raises(QuantizationError):
+            quantize(np.zeros(16))
+
+    def test_mismatched_payload_shapes_rejected(self):
+        with pytest.raises(QuantizationError):
+            QuantizedFactor("int8", np.zeros((4, 4), np.int8),
+                            np.zeros(7, np.float32), (4, 4), 16, np.float32)
+        with pytest.raises(QuantizationError):
+            QuantizedFactor("q4", np.zeros(9, np.uint8),
+                            np.zeros(1, np.float32), (4, 4), 32, np.float32)
+
+    def test_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("FASTKRON_QUANT_SCHEME", "q4")
+        monkeypatch.setenv("FASTKRON_QUANT_GROUP", "8")
+        assert default_scheme() == "q4"
+        assert default_group_size("q4") == 8
+        assert quantize(np.zeros((4, 4))).scheme == "q4"
+        monkeypatch.setenv("FASTKRON_QUANT_SCHEME", "fp16")
+        with pytest.raises(QuantizationError):
+            default_scheme()
+        monkeypatch.setenv("FASTKRON_QUANT_GROUP", "zero")
+        with pytest.raises(QuantizationError):
+            default_group_size("int8")
+
+
+# --------------------------------------------------------------------------- #
+# plan IR: storage schemes in compiled plans
+# --------------------------------------------------------------------------- #
+class TestPlanStorage:
+    def _plan(self, schemes=("int8",) * 3):
+        from repro.core.problem import KronMatmulProblem
+        from repro.plan import compile_plan
+
+        problem = KronMatmulProblem.uniform(32, 4, len(schemes), dtype=np.float32)
+        return compile_plan(problem, factor_storage=schemes)
+
+    def test_steps_carry_storage(self):
+        plan = self._plan(("int8", "q4", "fp"))
+        assert plan.is_quantized
+        # Steps run last factor first: storage stays aligned to factor index.
+        assert plan.factor_storage() == ("int8", "q4", "fp")
+
+    def test_schema_roundtrip(self):
+        plan = self._plan()
+        from repro.plan import KronPlan
+
+        restored = KronPlan.from_dict(plan.to_dict())
+        assert restored.factor_storage() == plan.factor_storage()
+        assert restored.is_quantized
+
+    def test_legacy_schema_loads_as_fp(self):
+        plan = self._plan(("fp", "fp", "fp"))
+        payload = plan.to_dict()
+        payload["schema"] = 3
+        for step in payload["steps"]:
+            step.pop("storage", None)
+        from repro.plan import KronPlan
+
+        restored = KronPlan.from_dict(payload)
+        assert not restored.is_quantized
+        assert restored.factor_storage() == ("fp", "fp", "fp")
+
+    def test_explain_shows_storage(self):
+        text = self._plan(("int8", "int8", "q4")).explain()
+        assert "storage" in text and "int8" in text and "q4" in text
+
+    def test_cache_budget_counts_packed_bytes(self):
+        """A budget that straddles a power-of-two row-block boundary: packed
+        factors leave enough headroom for the next block size up, dense
+        factors don't, so the quantized plan's fused row block is larger."""
+        from repro.core.problem import KronMatmulProblem
+        from repro.plan import compile_plan
+
+        p, n = 32, 2
+        problem = KronMatmulProblem.uniform(256, p, n, dtype=np.float32)
+        itemsize = 4
+        dense_fb = sum(packed_factor_bytes(p, p, "fp", itemsize) for _ in range(n))
+        q4_fb = sum(packed_factor_bytes(p, p, "q4", itemsize) for _ in range(n))
+        assert q4_fb < dense_fb
+        # The group-sizing pass charges (k + 3*k) * itemsize per block row;
+        # pick a budget so the raw block count lands just past 16 with packed
+        # factor bytes subtracted, and just under 16 with dense.
+        bytes_per_row = 4 * p**n * itemsize
+        budget = 16 * bytes_per_row + q4_fb + 100
+        assert budget - dense_fb < 16 * bytes_per_row
+
+        dense = compile_plan(problem, cache_budget_bytes=budget)
+        packed = compile_plan(
+            problem, cache_budget_bytes=budget, factor_storage=("q4",) * n
+        )
+        dense_blocks = [b for b in dense.group_row_blocks if b]
+        packed_blocks = [b for b in packed.group_row_blocks if b]
+        assert packed_blocks and dense_blocks
+        assert all(pb > db for pb, db in zip(packed_blocks, dense_blocks))
+
+
+# --------------------------------------------------------------------------- #
+# shared memory: packed lifecycle
+# --------------------------------------------------------------------------- #
+@pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="no POSIX shared memory in this environment",
+)
+class TestSharedFactorStorePacked:
+    def test_pin_packs_two_segments_and_unlinks(self):
+        from repro.backends.shm import QuantShmSpec, SegmentTable, SharedFactorStore
+
+        table = SegmentTable()
+        store = SharedFactorStore(table, capacity=4)
+        try:
+            qf = quantize(_rng(11).standard_normal((8, 8)), scheme="q4")
+            spec = store.get(qf)
+            assert isinstance(spec, QuantShmSpec)
+            # Two segments pinned — codes and scales, packed sizes only.
+            assert len(table) == 2
+            assert spec.packed.nbytes == qf.packed.nbytes
+            assert spec.scales.nbytes == qf.scales.nbytes
+            assert spec.nbytes == qf.nbytes
+            again = store.get(qf)
+            assert again.packed.name == spec.packed.name  # identity hit, no re-pin
+            assert len(table) == 2
+            store.clear()
+            assert len(store) == 0 and len(table) == 0  # segments unlinked
+        finally:
+            store.clear()
+            table.close_all()
+
+    def test_attach_quantized_rebinds_zero_copy(self):
+        from collections import OrderedDict
+
+        from repro.backends.shm import SegmentTable, SharedFactorStore, attach_quantized
+
+        table = SegmentTable()
+        store = SharedFactorStore(table, capacity=4)
+        cache: "OrderedDict" = OrderedDict()
+        try:
+            qf = quantize(_rng(12).standard_normal((6, 6)), scheme="int8")
+            spec = store.get(qf)
+            rebound = attach_quantized(cache, spec)
+            assert is_quantized(rebound) and rebound.scheme == "int8"
+            np.testing.assert_array_equal(rebound.packed, qf.packed)
+            np.testing.assert_array_equal(rebound.scales, qf.scales)
+            np.testing.assert_array_equal(rebound.dequantize(), qf.dequantize())
+        finally:
+            for segment in cache.values():
+                segment.close()
+            store.clear()
+            table.close_all()
+
+    def test_finalizer_unpins_on_garbage_collection(self):
+        import gc
+
+        from repro.backends.shm import SegmentTable, SharedFactorStore
+
+        table = SegmentTable()
+        store = SharedFactorStore(table, capacity=4)
+        try:
+            qf = quantize(_rng(13).standard_normal((8, 8)), scheme="int8")
+            store.get(qf)
+            assert len(table) == 2
+            del qf
+            gc.collect()
+            assert len(store) == 0 and len(table) == 0
+        finally:
+            store.clear()
+            table.close_all()
+
+
+# --------------------------------------------------------------------------- #
+# wire format: packed payloads and malformed descriptors
+# --------------------------------------------------------------------------- #
+class TestQuantWireFormat:
+    def test_payload_roundtrip(self):
+        from repro.server.protocol import (
+            quant_chunk_bytes, quant_descriptor, quant_from_payload, quant_payload,
+        )
+
+        for scheme in SCHEMES:
+            qf = quantize(_rng(14).standard_normal((9, 7)), scheme=scheme)
+            descriptor = quant_descriptor(qf)
+            payload = quant_payload(qf)
+            assert len(payload) == quant_chunk_bytes(descriptor) == qf.nbytes
+            back = quant_from_payload(payload, descriptor, (9, 7))
+            np.testing.assert_array_equal(back.packed, qf.packed)
+            np.testing.assert_array_equal(back.scales, qf.scales)
+            assert back.group_size == qf.group_size
+
+    @pytest.mark.parametrize("mutation", [
+        {"scheme": "fp"},
+        {"scheme": "q2"},
+        {"group_size": 0},
+        {"packed_len": -1},
+        {"packed_len": 10_000},
+        {"scales_len": 3},
+        {"dtype": "<i4"},
+        {"dtype": "not-a-dtype"},
+        "not-a-dict",
+    ])
+    def test_malformed_descriptor_raises_protocol_error(self, mutation):
+        from repro.server.protocol import quant_descriptor, quant_from_payload, quant_payload
+
+        qf = quantize(_rng(15).standard_normal((8, 8)), scheme="int8")
+        descriptor = quant_descriptor(qf)
+        if isinstance(mutation, dict):
+            descriptor = {**descriptor, **mutation}
+        else:
+            descriptor = mutation
+        with pytest.raises(ProtocolError):
+            quant_from_payload(quant_payload(qf), descriptor, (8, 8))
+
+    def test_truncated_chunk_raises(self):
+        from repro.server.protocol import quant_descriptor, quant_from_payload, quant_payload
+
+        qf = quantize(_rng(16).standard_normal((8, 8)), scheme="q4")
+        with pytest.raises(ProtocolError):
+            quant_from_payload(quant_payload(qf)[:-1], quant_descriptor(qf), (8, 8))
+
+
+# --------------------------------------------------------------------------- #
+# server: quantized registration end to end
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def quant_server():
+    from repro.server.server import ServerThread
+
+    with ServerThread(port=0, max_delay_ms=0.0) as srv:
+        yield srv
+
+
+class TestServerQuantized:
+    def _client(self, srv):
+        from repro.server.client import KronClient
+
+        return KronClient(port=srv.port, timeout=30.0)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_register_quantize_end_to_end(self, quant_server, scheme):
+        """The acceptance path: register(quantize=...) then submit; results
+        inside the accumulated error bound, packed bytes in the registry."""
+        from repro.core.fastkron import kron_matmul
+
+        rng = _rng(17)
+        factors = [rng.standard_normal((8, 8)) for _ in range(4)]
+        x = rng.standard_normal((16, 8**4))
+        reference = kron_matmul(x, factors)
+        scale = np.abs(reference).max()
+        with self._client(quant_server) as client:
+            assert client.server_info["quant_schemes"] == list(SCHEMES)
+            handle = client.register(factors, quantize=scheme)
+            y = client.matmul(handle, x)
+            rel = np.abs(y - reference).max() / scale
+            # Per-element bounds compound multiplicatively over 4 factors.
+            ceiling = (1 + ERROR_BOUNDS[scheme] * 8) ** 4 - 1
+            assert rel < ceiling
+            entry = next(
+                e for e in client.stats()["registry"]["entries"]
+                if e["handle"] == handle
+            )
+            assert entry["storage"] == [scheme] * 4
+            dense_bytes = sum(f.size * 4 for f in factors)
+            assert entry["nbytes"] < dense_bytes / 3  # packed, not fp
+
+    def test_packed_bytes_on_the_wire(self):
+        """The register frame for a q4 set is a fraction of the fp frame."""
+        from repro.server.client import _prepare_factors, _register_frames
+
+        factors = [_rng(18).standard_normal((16, 16)) for _ in range(3)]
+        dense = len(_register_frames(_prepare_factors(factors), 1))
+        packed = len(_register_frames(_prepare_factors(factors, "q4"), 1))
+        assert packed < dense / 4
+
+    def test_pre_quantized_factors_register(self, quant_server):
+        from repro.core.fastkron import kron_matmul
+
+        rng = _rng(19)
+        factors = [quantize(rng.standard_normal((4, 4)), scheme="int8")
+                   for _ in range(3)]
+        x = rng.standard_normal((8, 4**3)).astype(np.float32)
+        with self._client(quant_server) as client:
+            handle = client.register(factors)
+            np.testing.assert_allclose(
+                client.matmul(handle, x), kron_matmul(x, factors),
+                rtol=1e-5, atol=1e-5,
+            )
+
+    def test_malformed_quant_header_is_typed_bad_request(self, quant_server):
+        """A lying descriptor gets a bad_request frame and the connection
+        stays usable — the frame was fully read, nothing desynchronises."""
+        from repro.server.protocol import MessageKind, array_payload, encode_frame
+
+        dense = _rng(20).standard_normal((4, 4)).astype(np.float32)
+        with self._client(quant_server) as client:
+            bad = encode_frame(MessageKind.REGISTER, {
+                "id": 900, "shapes": [[4, 4]], "dtype": "<f4",
+                "quant": [{"scheme": "int8", "group_size": 16,
+                           "packed_len": 5000, "scales_len": 4, "dtype": "<f4"}],
+            }, b"\x00" * 5004)
+            with pytest.raises(RequestRejected) as excinfo:
+                client._request(bad, 900)
+            assert excinfo.value.code == "bad_request"
+            # Mismatched quant list length is also typed, not fatal.
+            bad2 = encode_frame(MessageKind.REGISTER, {
+                "id": 901, "shapes": [[4, 4], [4, 4]], "dtype": "<f4",
+                "quant": [None],
+            }, array_payload(dense) * 2)
+            with pytest.raises(RequestRejected) as excinfo:
+                client._request(bad2, 901)
+            assert excinfo.value.code == "bad_request"
+            # Connection not desynchronised: a normal register still works.
+            handle = client.register([dense, dense])
+            assert handle
+
+    def test_server_side_quantize_header(self, quant_server):
+        """A dense upload with a quantize header is packed by the registry."""
+        from repro.server.protocol import MessageKind, array_payload, encode_frame
+
+        dense = _rng(21).standard_normal((4, 4)).astype(np.float32)
+        with self._client(quant_server) as client:
+            frame = client._request(encode_frame(MessageKind.REGISTER, {
+                "id": 902, "shapes": [[4, 4]], "dtype": "<f4", "quantize": "q4",
+            }, array_payload(dense)), 902)
+            assert frame.header["storage"] == ["q4"]
+            with pytest.raises(RequestRejected) as excinfo:
+                client._request(encode_frame(MessageKind.REGISTER, {
+                    "id": 903, "shapes": [[4, 4]], "dtype": "<f4",
+                    "quantize": "fp16",
+                }, array_payload(dense)), 903)
+            assert excinfo.value.code == "bad_request"
+
+
+# --------------------------------------------------------------------------- #
+# registry + engine
+# --------------------------------------------------------------------------- #
+class TestRegistryQuantized:
+    def test_registry_quantize_and_packed_nbytes(self):
+        from repro.core.factors import KroneckerFactor
+        from repro.server.registry import FactorRegistry
+
+        registry = FactorRegistry(capacity=4)
+        dense = [KroneckerFactor(_rng(22).standard_normal((8, 8)).astype(np.float32))
+                 for _ in range(2)]
+        entry = registry.register(dense, quantize="int8")
+        assert entry.storage == ("int8", "int8")
+        assert entry.nbytes < sum(f.values.nbytes for f in dense)
+        assert entry.describe()["storage"] == ["int8", "int8"]
+        plain = registry.register(dense)
+        assert plain.storage == ("fp", "fp")
+
+    def test_engine_serves_quantized_factors(self):
+        from repro.core.fastkron import kron_matmul
+        from repro.serving.engine import KronEngine
+
+        rng = _rng(23)
+        factors = [quantize(rng.standard_normal((4, 4)), scheme="int8")
+                   for _ in range(3)]
+        x = rng.standard_normal((8, 4**3)).astype(np.float32)
+        engine = KronEngine(max_delay_ms=0.0)
+        try:
+            y = engine.submit(x, factors).result(timeout=30)
+        finally:
+            engine.close()
+        np.testing.assert_allclose(y, kron_matmul(x, factors), rtol=1e-5, atol=1e-5)
+
+
+# --------------------------------------------------------------------------- #
+# tuner report
+# --------------------------------------------------------------------------- #
+class TestQuantReport:
+    def test_accuracy_report_orders_schemes(self):
+        from repro.tuner import quant_accuracy_report
+
+        reports = quant_accuracy_report([(4, 4)] * 3, m=32, repeats=1)
+        assert [r.scheme for r in reports] == ["fp", "int8", "q4"]
+        fp, int8, q4 = reports
+        assert fp.max_rel_err == 0.0
+        assert 0 < int8.max_rel_err < q4.max_rel_err
+        assert int8.pack_ratio > 3 and q4.pack_ratio > 5
+        for r in (int8, q4):
+            assert r.describe()
