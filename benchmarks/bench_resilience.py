@@ -1,0 +1,211 @@
+"""Resilience benchmark: availability and recovery under a crash storm.
+
+A thin wrapper over :func:`repro.resilience.run_chaos` — the same full-stack
+soak the ``fastkron-repro chaos`` subcommand runs: a
+:class:`~repro.backends.ProcessBackend` pool under a
+:class:`~repro.serving.KronEngine` behind a real socket server, queried by a
+retrying :class:`~repro.server.KronClient`, while a seeded killer thread
+SIGKILLs one worker every ``kill_period_s`` seconds.
+
+The CI gate reuses the suite checker's schema with resilience semantics:
+
+``speedup``
+    **Availability** — completed requests over issued requests.  The
+    committed baseline pins it at 1.0 and the suite's 1 % tolerance turns
+    the generic "speedup floor" into the acceptance criterion *availability
+    ≥ 0.99 under a one-kill-per-second storm*.
+``identical``
+    Bit parity on every completed response (retry safety: a re-executed
+    shard must produce identical bytes) **and** zero untyped errors
+    (every failure surfaced as a typed :class:`~repro.exceptions.ServerError`)
+    **and** the pool back at full width after the storm.
+
+``--soak SECONDS`` runs a long storm for the nightly job with the same
+pass/fail rules.  Run as a script to (re)generate the JSON snapshot::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py --json results/BENCH_resilience.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro._version import __version__
+from repro.backends.shm import shared_memory_available
+from repro.resilience import ChaosConfig, ChaosReport, run_chaos
+
+CPU_COUNT = os.cpu_count() or 1
+
+#: The CI storm: 4 workers, one SIGKILL per second for 6 seconds.  Short
+#: enough for a PR-gating matrix leg, long enough for ~5 kills — each one a
+#: full detect → respawn → retry cycle.
+DEFAULT_CONFIG = ChaosConfig(seconds=6.0, workers=4, kill_period_s=1.0,
+                             rows=64, p=4, n=3)
+
+#: The acceptance floor from the issue: ≥ 99 % of requests complete while
+#: workers die every second.
+MIN_AVAILABILITY = 0.99
+
+
+def run_storm(config: ChaosConfig = DEFAULT_CONFIG,
+              repeats: int = 1) -> List[ChaosReport]:
+    return [
+        run_chaos(ChaosConfig(**{**config.__dict__, "seed": config.seed + i}))
+        for i in range(max(1, repeats))
+    ]
+
+
+def median_report(reports: List[ChaosReport]) -> ChaosReport:
+    ordered = sorted(reports, key=lambda r: r.availability)
+    return ordered[len(ordered) // 2]
+
+
+def report_identical(report: ChaosReport) -> bool:
+    """The snapshot's ``identical`` bit: parity + typed-ness + recovery."""
+    return (
+        report.parity_ok
+        and report.untyped_errors == 0
+        and report.pool_restored
+    )
+
+
+def snapshot(report: ChaosReport) -> Dict:
+    """The ``BENCH_resilience.json`` payload (checker schema).
+
+    ``speedup`` carries the availability so the generic floor check
+    (baseline 1.0, tolerance 1 %) gates availability ≥ 0.99.
+    """
+    return {
+        "schema": 1,
+        "version": __version__,
+        "cpu_count": CPU_COUNT,
+        "configs": {
+            report.config.key(): {
+                "speedup": round(report.availability, 4),
+                "identical": report_identical(report),
+                **report.describe(),
+            }
+        },
+    }
+
+
+def render(report: ChaosReport) -> str:
+    summary = report.describe()
+    cfg = report.config
+    lines = [
+        f"config {cfg.key()}: kill one of {cfg.workers} workers every "
+        f"{cfg.kill_period_s:g}s for {cfg.seconds:g}s",
+    ]
+    for name in ("requests", "completed", "availability", "kills",
+                 "typed_errors", "untyped_errors", "parity_failures",
+                 "latency_p99_ms", "recovery_p99_ms", "pool_restored"):
+        lines.append(f"  {name:18} {summary[name]}")
+    lines.append("  supervisor         " + ", ".join(
+        f"{k}={v}" for k, v in sorted(summary["supervisor"].items())))
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# pytest entry points
+# --------------------------------------------------------------------------- #
+requires_shm = pytest.mark.skipif(
+    not shared_memory_available(), reason="no POSIX shared memory in this environment"
+)
+
+
+@requires_shm
+def test_resilience_availability_speedup():
+    """Acceptance: ≥ 99 % availability, bit parity, zero untyped errors and
+    a fully restored pool under a one-kill-per-second crash storm."""
+    report = run_storm(DEFAULT_CONFIG)[0]
+    print("\n" + render(report))
+    assert report.requests > 0, "the storm issued no requests"
+    assert report.kills > 0, (
+        "the killer never fired; the storm is not exercising recovery"
+    )
+    assert report.untyped_errors == 0, (
+        f"{report.untyped_errors} failures escaped the typed ServerError "
+        f"hierarchy"
+    )
+    assert report.parity_ok, (
+        f"{report.parity_failures} completed responses diverged from the "
+        f"fault-free kron_matmul reference"
+    )
+    assert report.pool_restored, "the pool did not return to full width"
+    assert report.availability >= MIN_AVAILABILITY, (
+        f"availability {report.availability:.4f} under the crash storm "
+        f"(floor {MIN_AVAILABILITY})"
+    )
+
+
+@requires_shm
+def test_resilience_quiet_pool_full_availability():
+    """Control arm: with no killer the same stack completes everything."""
+    report = run_chaos(ChaosConfig(seconds=1.5, workers=2,
+                                   kill_period_s=3600.0, rows=16))
+    assert report.kills == 0
+    assert report.availability == 1.0
+    assert report_identical(report)
+
+
+# --------------------------------------------------------------------------- #
+# script entry point (used by CI to emit the artifact)
+# --------------------------------------------------------------------------- #
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        default=str(Path(__file__).parent / "results" / "BENCH_resilience.json"),
+        help="where to write the availability snapshot",
+    )
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="storm repetitions (distinct seeds); the median "
+                             "availability is reported")
+    parser.add_argument("--seconds", type=float, default=None,
+                        help="storm duration per repetition "
+                             f"(default {DEFAULT_CONFIG.seconds:g})")
+    parser.add_argument("--soak", type=float, default=None, metavar="SECONDS",
+                        help="run one long storm instead of the comparison "
+                             "(nightly chaos soak)")
+    args = parser.parse_args(argv)
+
+    if not shared_memory_available():
+        print("error: no POSIX shared memory in this environment", file=sys.stderr)
+        return 1
+
+    if args.soak is not None:
+        config = ChaosConfig(**{**DEFAULT_CONFIG.__dict__,
+                                "seconds": float(args.soak)})
+        report = run_chaos(config)
+        print(render(report))
+        ok = (report.availability >= MIN_AVAILABILITY
+              and report_identical(report) and report.kills > 0)
+        print("soak passed" if ok else "soak FAILED", file=None if ok else sys.stderr)
+        return 0 if ok else 1
+
+    config = DEFAULT_CONFIG
+    if args.seconds is not None:
+        config = ChaosConfig(**{**config.__dict__, "seconds": args.seconds})
+    reports = run_storm(config, repeats=args.repeats)
+    median = median_report(reports)
+    print(render(median))
+    payload = snapshot(median)
+    path = Path(args.json)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nwrote {path}")
+    if not report_identical(median):
+        print("error: parity, typed-ness or pool recovery failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -91,6 +91,11 @@ SUITES: Dict[str, Suite] = {
         # FIFO p99 / scheduled p99) from an open-loop load test; scheduling
         # outcomes are noisier than kernel throughput, hence the headroom.
         Suite("server", "bench_server.py", tolerance=0.50),
+        # The resilience suite's "speedup" is availability under a crash
+        # storm (completed/issued); baseline 1.0 with 1% tolerance makes the
+        # generic floor check gate availability >= 0.99, and "identical"
+        # carries bit parity + zero untyped errors + full pool recovery.
+        Suite("resilience", "bench_resilience.py", tolerance=0.01),
     )
 }
 

@@ -30,10 +30,22 @@ primitive calls (:meth:`sliced_multiply_into` outside a plan) run in-process
 through the same NumPy kernels: the dispatch/copy-in cost is only amortised
 by a whole schedule, never by one step.
 
-Failure modes are surfaced, not hung: a worker dying mid-execute (or a reply
-timing out) raises :class:`~repro.exceptions.BackendError` and tears the
-pool down; the next execution starts a fresh pool against the still-owned
-segments.  :meth:`close` shuts the workers down and unlinks every segment.
+Failure model: the pool is *supervised*, not fail-stop.  A worker dying or
+hanging mid-execute (pipe EOF, dead process, reply timeout) is retired and
+respawned, and its row shard is transparently re-executed under the
+:class:`~repro.resilience.RetryPolicy` — safe because plan executions are
+side-effect-free until copy-out (workers write disjoint row slices of
+parent-owned segments, and a re-run writes the same bytes
+deterministically).  The still-owned segments never move, the respawned
+worker's empty plan LRU forces the parent to re-ship shard payloads, and
+between executions an optional :class:`~repro.resilience.HealthMonitor`
+heartbeat pings idle workers and replaces corpses before the next request
+trips over them.  Only *deterministic* worker errors (a shape mismatch, a
+numerical bug) and an exhausted retry budget surface as
+:class:`~repro.exceptions.BackendError`.  Faults can be injected — never
+triggered from production frames — by arming the pool with a
+:class:`~repro.resilience.FaultPlan`.  :meth:`close` shuts the workers down
+and unlinks every segment.
 """
 
 from __future__ import annotations
@@ -61,7 +73,19 @@ from repro.backends.shm import (
     drop_attachments,
     shared_memory_available,
 )
-from repro.exceptions import BackendError
+from repro.exceptions import BackendError, InjectedFault
+from repro.resilience.faults import (
+    SITE_SHM_ATTACH,
+    SITE_WORKER_EXECUTE,
+    FaultInjector,
+    FaultPlan,
+)
+from repro.resilience.policy import (
+    HealthMonitor,
+    RetryPolicy,
+    SupervisorStats,
+    env_float,
+)
 
 __all__ = ["ProcessBackend"]
 
@@ -105,8 +129,18 @@ class _Worker:
             self.plans.popitem(last=False)
 
 
+class _WorkerFailure(Exception):
+    """Internal: one worker failed transiently; its shard can be retried."""
+
+    def __init__(self, index: int, reason: str, hung: bool = False):
+        super().__init__(reason)
+        self.index = index
+        self.reason = reason
+        self.hung = hung
+
+
 class ProcessBackend(ArrayBackend):
-    """Row-sharded plan execution on a persistent process pool over shared memory.
+    """Row-sharded plan execution on a supervised process pool over shared memory.
 
     Parameters
     ----------
@@ -120,8 +154,25 @@ class ProcessBackend(ArrayBackend):
         ``"forkserver"``); defaults to fork where available, spawn otherwise.
         Results are identical either way — the parity suite runs both.
     op_timeout:
-        Seconds to wait for a worker's reply before declaring the pool dead
-        (guards CI against silent hangs).
+        Seconds to wait for a worker's reply before declaring *that worker*
+        hung: it is killed, respawned, and its shard retried (guards CI
+        against silent hangs).
+    retry:
+        The :class:`~repro.resilience.RetryPolicy` governing transparent
+        shard re-execution after a worker crash/hang; defaults from the
+        ``FASTKRON_RESILIENCE_*`` environment (3 attempts, 50 ms base
+        backoff).
+    heartbeat_s:
+        Idle heartbeat interval: a :class:`~repro.resilience.HealthMonitor`
+        pings workers between executions and respawns the dead/hung.
+        ``0`` (the default, env ``FASTKRON_RESILIENCE_HEARTBEAT_S``)
+        disables the probe thread; mid-execution failures are always
+        detected regardless.
+    fault_plan:
+        A :class:`~repro.resilience.FaultPlan` armed in every worker (tests,
+        chaos runs).  Defaults from ``FASTKRON_RESILIENCE_FAULT_PLAN``;
+        empty means no injection, and nothing a production frame carries can
+        trigger a fault.
 
     The registry instantiates the singleton with defaults; the environment
     variables ``FASTKRON_PROCESS_WORKERS``, ``FASTKRON_PROCESS_MIN_ROWS``
@@ -138,7 +189,9 @@ class ProcessBackend(ArrayBackend):
     # per shard into their own arenas.
     supports_quantized = True
     # Workspace segments are unmapped on release; results must leave the
-    # executor as owned copies, never shm-aliasing views.
+    # executor as owned copies, never shm-aliasing views.  This is also the
+    # supervisor's retry-safety invariant: nothing escapes an execution
+    # until every shard has succeeded, so a failed shard re-runs cleanly.
     workspace_requires_copy_out = True
 
     def __init__(
@@ -147,6 +200,9 @@ class ProcessBackend(ArrayBackend):
         min_parallel_rows: Optional[int] = None,
         start_method: Optional[str] = None,
         op_timeout: float = 120.0,
+        retry: Optional[RetryPolicy] = None,
+        heartbeat_s: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         # Environment variables fill in only *omitted* arguments, never
         # override explicit ones (they exist for registry/CLI instantiation,
@@ -163,8 +219,20 @@ class ProcessBackend(ArrayBackend):
         self.min_parallel_rows = int(min_parallel_rows)
         self.start_method = start_method or _default_start_method()
         self.op_timeout = float(op_timeout)
+        self.retry = retry if retry is not None else RetryPolicy.from_env()
+        self.heartbeat_s = (
+            float(heartbeat_s)
+            if heartbeat_s is not None
+            else env_float("FASTKRON_RESILIENCE_HEARTBEAT_S", 0.0)
+        )
+        self.heartbeat_timeout_s = env_float(
+            "FASTKRON_RESILIENCE_HEARTBEAT_TIMEOUT_S", 1.0
+        )
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+        self.supervisor_stats = SupervisorStats()
         self._ctx = multiprocessing.get_context(self.start_method)
-        self._workers: List[_Worker] = []
+        self._workers: List[Optional[_Worker]] = []
+        self._monitor: Optional[HealthMonitor] = None
         self._segments = SegmentTable()
         self._factors = SharedFactorStore(self._segments)
         #: Flat per-dtype staging segments for inputs that are not already
@@ -181,7 +249,8 @@ class ProcessBackend(ArrayBackend):
         #: are never blocked behind an in-flight execution.
         self._lock = threading.RLock()
         #: Serialises whole executions (dispatch through receive) and owns
-        #: the worker pool; close() takes it to drain in-flight work first.
+        #: the worker pool; close() takes it to drain in-flight work first,
+        #: and the heartbeat probe only runs when it can grab it idle.
         self._exec_lock = threading.Lock()
         self._closed = False
         self._atexit_registered = False
@@ -243,6 +312,22 @@ class ProcessBackend(ArrayBackend):
         """Live shared-memory segments owned by this backend (diagnostics)."""
         return len(self._segments)
 
+    def worker_pids(self) -> List[Optional[int]]:
+        """Current worker pids by slot (``None`` for empty slots); diagnostics
+        and the chaos killer's target list."""
+        return [
+            worker.process.pid if worker is not None else None
+            for worker in list(self._workers)
+        ]
+
+    def alive_workers(self) -> int:
+        """How many worker slots currently hold a live process."""
+        return sum(
+            1
+            for worker in list(self._workers)
+            if worker is not None and worker.process.is_alive()
+        )
+
     # ------------------------------------------------------------------ #
     # whole-plan execution
     # ------------------------------------------------------------------ #
@@ -282,49 +367,110 @@ class ProcessBackend(ArrayBackend):
             retired = self._segments.drain_retired()
             if retired:
                 for worker in self._workers:
-                    worker.pending_retired.extend(retired)
+                    if worker is not None:
+                        worker.pending_retired.extend(retired)
 
             from repro.plan.lowering import shard_rows
 
             bounds = shard_rows(rows, self.num_workers)
-            dispatched: List[_Worker] = []
-            for worker, (start, stop) in zip(self._workers, bounds):
-                message = {
-                    "op": "execute",
-                    "fingerprint": fingerprint,
-                    "start": start,
-                    "stop": stop,
-                    "x": x_spec,
-                    "buffers": buffer_specs,
-                    "factors": factor_specs,
-                    "retired": worker.pending_retired,
-                }
-                if fingerprint not in worker.plans:
-                    message["plan"] = payloads[worker.index]
-                self._send(worker, message)
-                worker.pending_retired = []
-                worker.mark_plan_sent(fingerprint)
-                dispatched.append(worker)
-            errors = []
-            for worker in dispatched:
-                reply = self._receive(worker)
-                if not reply.get("ok"):
-                    # An errored message may or may not have reached the
-                    # worker's LRU bookkeeping, so the mirror's order is no
-                    # longer trustworthy.  Clearing it re-sends payloads
-                    # from scratch; re-sent entries land newest in the
-                    # worker's LRU, so its stale extras are evicted first
-                    # and the two sides reconverge without ever omitting a
-                    # payload the worker lacks.
-                    worker.plans.clear()
-                    errors.append(reply.get("error", "unknown worker error"))
-            if errors:
-                raise BackendError(
-                    f"process backend execution failed in {len(errors)} worker(s): "
-                    f"{errors[0]}"
+            jobs: List[Tuple[int, Tuple[int, int]]] = list(enumerate(bounds))
+            attempt = 0
+            while True:
+                failed, fatal = self._dispatch_round(
+                    jobs, fingerprint, payloads, x_spec, buffer_specs, factor_specs
                 )
+                if fatal:
+                    raise BackendError(
+                        f"process backend execution failed in {len(fatal)} "
+                        f"worker(s): {fatal[0]}"
+                    )
+                if not failed:
+                    break
+                attempt += 1
+                if attempt >= self.retry.max_attempts:
+                    self.supervisor_stats.bump(exhausted=1)
+                    raise BackendError(
+                        f"process backend gave up on {len(failed)} row shard(s) "
+                        f"after {attempt} attempt(s): {failed[0][2]}"
+                    )
+                self.supervisor_stats.bump(retried_shards=len(failed))
+                self.retry.sleep(attempt - 1)
+                self._respawn_missing()
+                jobs = sorted((index, shard) for index, shard, _reason in failed)
         last = plan.steps[plan.groups[-1][-1]]
         return buffers[last.target][:rows, : last.out_cols]
+
+    def _dispatch_round(
+        self,
+        jobs: List[Tuple[int, Tuple[int, int]]],
+        fingerprint: str,
+        payloads: List[dict],
+        x_spec,
+        buffer_specs,
+        factor_specs,
+    ) -> Tuple[List[Tuple[int, Tuple[int, int], str]], List[str]]:
+        """Dispatch ``jobs`` (worker-index, row-bounds pairs) and collect replies.
+
+        Returns ``(failed, fatal)``: *failed* carries retryable shard
+        failures (worker crashed/hung/transient error — the worker slot has
+        already been cleared for respawn); *fatal* carries deterministic
+        worker error strings that must surface as :class:`BackendError`.
+        All dispatched replies are drained before returning, so a pipe
+        never holds a stale reply for the next execution to misread.
+        """
+        dispatched: List[Tuple[int, Tuple[int, int], _Worker]] = []
+        failed: List[Tuple[int, Tuple[int, int], str]] = []
+        fatal: List[str] = []
+        for index, (start, stop) in jobs:
+            worker = self._workers[index]
+            assert worker is not None
+            message = {
+                "op": "execute",
+                "fingerprint": fingerprint,
+                "start": start,
+                "stop": stop,
+                "x": x_spec,
+                "buffers": buffer_specs,
+                "factors": factor_specs,
+                "retired": worker.pending_retired,
+            }
+            if fingerprint not in worker.plans:
+                message["plan"] = payloads[index]
+            try:
+                self._send(worker, message)
+            except _WorkerFailure as exc:
+                self._fail_worker(index, hung=exc.hung)
+                failed.append((index, (start, stop), exc.reason))
+                continue
+            worker.pending_retired = []
+            worker.mark_plan_sent(fingerprint)
+            dispatched.append((index, (start, stop), worker))
+        for index, shard, worker in dispatched:
+            try:
+                reply = self._receive(worker)
+            except _WorkerFailure as exc:
+                self._fail_worker(index, hung=exc.hung)
+                failed.append((index, shard, exc.reason))
+                continue
+            if not reply.get("ok"):
+                # An errored message may or may not have reached the
+                # worker's LRU bookkeeping, so the mirror's order is no
+                # longer trustworthy.  Clearing it re-sends payloads
+                # from scratch; re-sent entries land newest in the
+                # worker's LRU, so its stale extras are evicted first
+                # and the two sides reconverge without ever omitting a
+                # payload the worker lacks.
+                worker.plans.clear()
+                error = reply.get("error", "unknown worker error")
+                if reply.get("retryable"):
+                    # Transient worker-side failure (a failed shm attach,
+                    # an injected error): replace the worker outright so
+                    # the retry starts from a clean attachment cache.
+                    self._fail_worker(index, hung=False)
+                    failed.append((index, shard, error))
+                else:
+                    fatal.append(error)
+        return failed, fatal
 
     def _stage_input(self, x: np.ndarray, rows: int) -> np.ndarray:
         """Copy ``x`` into the per-dtype staging segment; returns the shm view."""
@@ -367,39 +513,85 @@ class ProcessBackend(ArrayBackend):
         return fingerprint, payloads
 
     # ------------------------------------------------------------------ #
-    # pool management
+    # pool management / supervision
     # ------------------------------------------------------------------ #
     def _register_atexit(self) -> None:
         if not self._atexit_registered:
             self._atexit_registered = True
             atexit.register(self.close)
 
+    def _spawn_worker(self, index: int) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, index, self.fault_plan.encode()),
+            name=f"fastkron-shard-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(index, process, parent_conn)
+
     def _ensure_workers(self) -> None:
-        if self._workers:
-            return
+        """Bring the pool to full width, replacing any dead workers.
+
+        Called under ``_exec_lock`` before every dispatched execution; a
+        worker that died since the last execution (and was not yet caught by
+        the heartbeat probe) is replaced here, so the pool self-heals on the
+        next request no matter how it was damaged.
+        """
         self._register_atexit()
-        workers: List[_Worker] = []
-        for index in range(self.num_workers):
-            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-            process = self._ctx.Process(
-                target=_worker_main,
-                args=(child_conn,),
-                name=f"fastkron-shard-{index}",
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
-            workers.append(_Worker(index, process, parent_conn))
-        self._workers = workers
+        self._start_monitor()
+        if not self._workers:
+            self._workers = [self._spawn_worker(index) for index in range(self.num_workers)]
+            return
+        for index, worker in enumerate(self._workers):
+            if worker is not None and worker.process.is_alive():
+                continue
+            if worker is not None:
+                self.supervisor_stats.bump(crashed_workers=1)
+                self._discard_worker(worker)
+            self._workers[index] = self._spawn_worker(index)
+            self.supervisor_stats.bump(respawns=1)
+
+    def _respawn_missing(self) -> None:
+        """Fill every cleared worker slot with a fresh process."""
+        for index, worker in enumerate(self._workers):
+            if worker is None:
+                self._workers[index] = self._spawn_worker(index)
+                self.supervisor_stats.bump(respawns=1)
+
+    def _discard_worker(self, worker: _Worker) -> None:
+        """Close one worker's pipe and make sure its process is gone."""
+        try:
+            worker.connection.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+
+    def _fail_worker(self, index: int, hung: bool) -> None:
+        """Retire the worker in ``index`` after a failure; the slot is left
+        empty for :meth:`_respawn_missing` (or :meth:`_ensure_workers`)."""
+        worker = self._workers[index]
+        if worker is None:
+            return
+        self.supervisor_stats.bump(hung_workers=1 if hung else 0,
+                                   crashed_workers=0 if hung else 1)
+        self._workers[index] = None
+        self._discard_worker(worker)
 
     def _send(self, worker: _Worker, message: dict) -> None:
         try:
             worker.connection.send(message)
         except (BrokenPipeError, OSError) as exc:
-            self._abort_pool()
-            raise BackendError(
-                f"process backend worker {worker.index} is gone "
-                f"(pid {worker.process.pid}): {exc}"
+            raise _WorkerFailure(
+                worker.index,
+                f"worker {worker.index} is gone (pid {worker.process.pid}): {exc}",
             ) from exc
 
     def _receive(self, worker: _Worker) -> dict:
@@ -409,45 +601,88 @@ class ProcessBackend(ArrayBackend):
                 if worker.connection.poll(0.05):
                     return worker.connection.recv()
             except (EOFError, OSError) as exc:
-                self._abort_pool()
-                raise BackendError(
-                    f"process backend worker {worker.index} died mid-execution "
-                    f"(pid {worker.process.pid}, exitcode {worker.process.exitcode})"
+                raise _WorkerFailure(
+                    worker.index,
+                    f"worker {worker.index} died mid-execution "
+                    f"(pid {worker.process.pid}, exitcode {worker.process.exitcode})",
                 ) from exc
             if not worker.process.is_alive():
-                self._abort_pool()
-                raise BackendError(
-                    f"process backend worker {worker.index} died mid-execution "
-                    f"(pid {worker.process.pid}, exitcode {worker.process.exitcode})"
+                raise _WorkerFailure(
+                    worker.index,
+                    f"worker {worker.index} died mid-execution "
+                    f"(pid {worker.process.pid}, exitcode {worker.process.exitcode})",
                 )
             if time.monotonic() > deadline:
-                self._abort_pool()
-                raise BackendError(
-                    f"process backend worker {worker.index} did not reply within "
-                    f"{self.op_timeout:.0f}s"
+                raise _WorkerFailure(
+                    worker.index,
+                    f"worker {worker.index} did not reply within "
+                    f"{self.op_timeout:.0f}s",
+                    hung=True,
                 )
 
-    def _abort_pool(self) -> None:
-        """Tear the pool down after a failure; segments stay owned."""
-        workers, self._workers = self._workers, []
-        for worker in workers:
-            try:
-                worker.connection.close()
-            except OSError:
-                pass
-            if worker.process.is_alive():
-                worker.process.terminate()
-        for worker in workers:
-            worker.process.join(timeout=5.0)
+    # ------------------------------------------------------------------ #
+    # heartbeats
+    # ------------------------------------------------------------------ #
+    def _start_monitor(self) -> None:
+        if self.heartbeat_s <= 0 or self._monitor is not None:
+            return
+        self._monitor = HealthMonitor(
+            self._heartbeat_probe, self.heartbeat_s, name="fastkron-pool-health"
+        ).start()
+
+    def _heartbeat_probe(self) -> None:
+        """Ping idle workers; retire and respawn the dead or unresponsive.
+
+        Skips entirely while an execution holds ``_exec_lock`` — the
+        execution path supervises its own workers, and the probe must never
+        interleave pings with execute traffic on the pipes.
+        """
+        if not self._exec_lock.acquire(blocking=False):
+            return
+        try:
+            with self._lock:
+                if self._closed:
+                    return
+            if not self._workers:
+                return
+            for index, worker in enumerate(self._workers):
+                if worker is None:
+                    pass
+                elif not worker.process.is_alive():
+                    self.supervisor_stats.bump(crashed_workers=1)
+                    self._workers[index] = None
+                    self._discard_worker(worker)
+                elif not self._ping(worker):
+                    self._fail_worker(index, hung=True)
+            self._respawn_missing()
+        finally:
+            self._exec_lock.release()
+
+    def _ping(self, worker: _Worker) -> bool:
+        try:
+            worker.connection.send({"op": "ping"})
+            deadline = time.monotonic() + max(0.05, self.heartbeat_timeout_s)
+            while time.monotonic() < deadline:
+                if worker.connection.poll(0.05):
+                    return bool(worker.connection.recv().get("ok"))
+                if not worker.process.is_alive():
+                    return False
+            return False
+        except (BrokenPipeError, EOFError, OSError):
+            return False
 
     def _shutdown_workers(self) -> None:
         workers, self._workers = self._workers, []
         for worker in workers:
+            if worker is None:
+                continue
             try:
                 worker.connection.send({"op": "close"})
             except (BrokenPipeError, OSError):
                 pass
         for worker in workers:
+            if worker is None:
+                continue
             worker.process.join(timeout=5.0)
             if worker.process.is_alive():  # pragma: no cover - stuck worker
                 worker.process.terminate()
@@ -460,9 +695,13 @@ class ProcessBackend(ArrayBackend):
     def close(self) -> None:
         """Stop the workers and unlink every owned shared-memory segment.
 
-        Takes the execution lock first, so an in-flight execution drains
+        Stops the heartbeat monitor first (so no probe races the teardown),
+        then takes the execution lock, so an in-flight execution drains
         before the pool goes down; idempotent afterwards.
         """
+        monitor, self._monitor = self._monitor, None
+        if monitor is not None:
+            monitor.stop()
         with self._exec_lock:
             with self._lock:
                 if self._closed:
@@ -512,11 +751,19 @@ def _run_shard(plan, x, factors, buffers, start, stop, arena) -> None:
     run_groups(plan, x[start:stop], factors, dest_of, fused, single)
 
 
-def _worker_main(connection) -> None:
-    """Worker loop: attach segments, interpret shard plans, reply per message."""
+def _worker_main(connection, index: int = 0, fault_plan_text: str = "") -> None:
+    """Worker loop: attach segments, interpret shard plans, reply per message.
+
+    ``fault_plan_text`` arms a :class:`~repro.resilience.FaultInjector`
+    scoped to this worker's index; an empty plan (the production default)
+    makes every injection site a no-op.  Injection replaced the old
+    ``op == "crash"`` pipe hook: faults now fire only at counted sites of an
+    explicitly configured plan, never from anything a message carries.
+    """
     from repro.plan.ir import KronPlan
 
     disable_tracker_registration()
+    injector = FaultInjector(FaultPlan.parse(fault_plan_text), worker=index)
     arena = ScratchArena()
     plans: "OrderedDict[str, KronPlan]" = OrderedDict()
     segments: OrderedDict = OrderedDict()
@@ -531,9 +778,13 @@ def _worker_main(connection) -> None:
         if op == "ping":
             connection.send({"ok": True})
             continue
-        if op == "crash":  # test hook: simulate a hard worker death
-            os._exit(17)
+        if op != "execute":
+            # Unknown ops are dropped without a reply: answering would leave
+            # a frame in the pipe that the next execution's receive would
+            # misread as its own.
+            continue
         try:
+            injector.act(SITE_WORKER_EXECUTE)
             drop_attachments(segments, message.get("retired", ()))
             fingerprint = message["fingerprint"]
             payload = message.get("plan")
@@ -547,6 +798,7 @@ def _worker_main(connection) -> None:
             plans.move_to_end(fingerprint)
             while len(plans) > WORKER_PLAN_CACHE:
                 plans.popitem(last=False)
+            injector.act(SITE_SHM_ATTACH)
             x = attach_array(segments, message["x"])
             buffers = {
                 name: attach_array(segments, spec)
@@ -561,10 +813,15 @@ def _worker_main(connection) -> None:
             _run_shard(plan, x, factors, buffers, message["start"], message["stop"], arena)
             connection.send({"ok": True})
         except BaseException as exc:  # surfaced to the parent as BackendError
+            # Transient failures (injected errors, a segment that vanished
+            # under attach) are flagged retryable: the parent respawns this
+            # worker and re-runs the shard instead of failing the execution.
+            retryable = isinstance(exc, (InjectedFault, OSError))
             try:
                 connection.send(
                     {
                         "ok": False,
+                        "retryable": retryable,
                         "error": f"{type(exc).__name__}: {exc}",
                         "traceback": traceback.format_exc(),
                     }

@@ -39,6 +39,7 @@ segments the parent still owns.
 
 from __future__ import annotations
 
+import atexit
 import threading
 import weakref
 from collections import OrderedDict
@@ -172,6 +173,33 @@ class SharedArray:
             pass
 
 
+#: Every SegmentTable ever constructed in this process (weakly held).  The
+#: module-level atexit sweep walks it so that segments still pinned when the
+#: interpreter exits — a crashed test, a SIGTERM'd server that never reached
+#: ProcessBackend.close() — are unlinked instead of leaking into /dev/shm
+#: until reboot.  Worker processes never construct tables (they only attach
+#: by name), so the sweep can never unlink a segment out from under its
+#: owner in a child.
+_LIVE_TABLES: "weakref.WeakSet[SegmentTable]" = weakref.WeakSet()
+
+
+def _sweep_segment_tables() -> None:
+    """Unlink every still-registered segment at interpreter exit.
+
+    Registered at import time, so LIFO atexit ordering runs it *after* any
+    later-registered ProcessBackend.close() — workers are already down and
+    a double close is a guarded no-op (``SharedArray.close`` is idempotent).
+    """
+    for table in list(_LIVE_TABLES):
+        try:
+            table.close_all()
+        except Exception:
+            pass
+
+
+atexit.register(_sweep_segment_tables)
+
+
 class SegmentTable:
     """Parent-side registry of owned segments, keyed by buffer address.
 
@@ -184,6 +212,7 @@ class SegmentTable:
         self._segments: Dict[int, SharedArray] = {}
         self._retired: List[str] = []
         self._lock = threading.Lock()
+        _LIVE_TABLES.add(self)
 
     @staticmethod
     def _address(array: np.ndarray) -> int:

@@ -479,6 +479,58 @@ def _cmd_client(args: argparse.Namespace) -> int:
     return 0 if completed or args.requests == 0 else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the full-stack crash-storm soak and gate on its availability."""
+    import json
+
+    from repro.backends.shm import shared_memory_available
+    from repro.resilience import ChaosConfig, run_chaos
+
+    if not shared_memory_available():
+        print("error: chaos soak needs the process backend "
+              "(multiprocessing.shared_memory unavailable)", file=sys.stderr)
+        return 2
+
+    config = ChaosConfig(
+        seconds=args.seconds,
+        seed=args.seed,
+        workers=args.workers,
+        kill_period_s=args.kill_period,
+        rows=args.rows,
+        p=args.p,
+        n=args.n,
+        client_attempts=args.attempts,
+    )
+    report = run_chaos(config)
+    summary = report.describe()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        rows = [
+            ["storm", f"kill one of {config.workers} workers every "
+                      f"{config.kill_period_s:g}s for {config.seconds:g}s"],
+            ["requests", f"{summary['requests']} ({summary['completed']} completed)"],
+            ["availability", f"{summary['availability']:.4f}"],
+            ["typed errors", str(summary["typed_errors"])],
+            ["untyped errors", str(summary["untyped_errors"])],
+            ["parity failures", str(summary["parity_failures"])],
+            ["kills", str(summary["kills"])],
+            ["p99 latency", f"{summary['latency_p99_ms']:.2f} ms"],
+            ["p99 recovery", f"{summary['recovery_p99_ms']:.2f} ms"],
+            ["pool restored", str(summary["pool_restored"])],
+            ["supervisor", ", ".join(
+                f"{k}={v}" for k, v in sorted(summary["supervisor"].items()))],
+        ]
+        print(format_table(["quantity", "value"], rows, title="Chaos soak"))
+    ok = (
+        report.availability >= args.min_availability
+        and report.untyped_errors == 0
+        and report.parity_ok
+        and report.pool_restored
+    )
+    return 0 if ok else 1
+
+
 def _cmd_scaling(args: argparse.Namespace) -> int:
     from repro.distributed.models import all_multi_gpu_models
 
@@ -653,6 +705,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_cl.add_argument("--deadline-ms", type=float, default=None,
                       help="per-request deadline; queued past it -> deadline_exceeded")
     p_cl.set_defaults(func=_cmd_client)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="crash-storm soak: kill workers under live traffic, gate on "
+             "availability, bit parity and pool recovery",
+    )
+    p_chaos.add_argument("--seconds", type=float, default=10.0,
+                         help="storm duration (default 10)")
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="seed for workload and kill schedule")
+    p_chaos.add_argument("--workers", type=int, default=4,
+                         help="process-pool width (default 4)")
+    p_chaos.add_argument("--kill-period", type=float, default=1.0,
+                         help="seconds between SIGKILLs (default 1)")
+    p_chaos.add_argument("--rows", type=int, default=64, help="rows per request")
+    p_chaos.add_argument("--p", type=int, default=4, help="factor size P (=Q)")
+    p_chaos.add_argument("--n", type=int, default=3, help="number of factors N")
+    p_chaos.add_argument("--attempts", type=int, default=5,
+                         help="client retry attempts per request (default 5)")
+    p_chaos.add_argument("--min-availability", type=float, default=0.99,
+                         help="exit non-zero below this fraction (default 0.99)")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="emit the report as JSON instead of a table")
+    p_chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

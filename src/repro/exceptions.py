@@ -58,8 +58,30 @@ class EngineClosedError(ReproError, RuntimeError):
     """
 
 
+class InjectedFault(ReproError, RuntimeError):
+    """A deterministic fault raised by the resilience layer's
+    :class:`~repro.resilience.FaultInjector`.
+
+    Never raised in production paths: an injector only exists where a test,
+    the ``chaos`` CLI or a benchmark explicitly armed one with a fault plan.
+    """
+
+
+class RetryExhaustedError(ReproError, RuntimeError):
+    """Every attempt allowed by a :class:`~repro.resilience.RetryPolicy`
+    failed; the last underlying error is chained as ``__cause__``."""
+
+
 class ServerError(ReproError):
     """Base class for the network serving layer (:mod:`repro.server`)."""
+
+
+class ConnectionLostError(ServerError, ConnectionError):
+    """The transport to the server failed: a connect/read/write timed out or
+    the connection dropped mid-frame.  Subclasses :class:`ConnectionError`
+    so callers catching the historical socket error keep working, while
+    ``except ServerError`` treats it as a *typed* failure (clients convert
+    raw socket errors into this before surfacing them)."""
 
 
 class ProtocolError(ServerError, ValueError):
@@ -74,11 +96,15 @@ class RequestRejected(ServerError, RuntimeError):
     ``code`` carries the machine-readable reason (one of the
     ``repro.server.protocol.ERR_*`` constants — ``busy``,
     ``deadline_exceeded``, ``unknown_handle``, ``bad_request``,
-    ``shutting_down``, ``unsupported_version``, ``internal``); ``message``
-    the human-readable detail.
+    ``shutting_down``, ``unsupported_version``, ``timeout``, ``internal``);
+    ``message`` the human-readable detail.  ``retryable`` mirrors the ERROR
+    frame's flag: the request failed for a transient reason (backpressure,
+    an execution timeout) and an identical resubmission may succeed —
+    clients with a retry policy act on it automatically.
     """
 
-    def __init__(self, code: str, message: str = ""):
+    def __init__(self, code: str, message: str = "", retryable: bool = False):
         super().__init__(f"[{code}] {message}" if message else f"[{code}]")
         self.code = code
         self.message = message
+        self.retryable = bool(retryable)

@@ -1,0 +1,73 @@
+"""The resilience layer: supervision, retry, fault injection, degradation.
+
+Everything in the serving stack above the kernels is now expected to
+survive its dependencies failing:
+
+* the **process backend** supervises its worker pool — heartbeat probes
+  between executions, reply timeouts during them, per-worker respawn and
+  transparent re-execution of the failed row shard (safe because plan
+  executions are side-effect-free until copy-out);
+* the **engine** degrades — a terminal
+  :class:`~repro.exceptions.BackendError` recompiles the plan on a
+  configured fallback backend, with a :class:`CircuitBreaker` pinning
+  execution there while the primary is known-bad;
+* the **server and clients** bound every wait — per-request execution
+  timeouts, a ``retryable`` flag on typed ERROR frames, graceful drain on
+  shutdown, client socket timeouts and policy-driven reconnect/retry.
+
+This package holds the reusable pieces those layers share:
+
+:class:`RetryPolicy` / :class:`CircuitBreaker` / :class:`HealthMonitor`
+    The generic primitives (:mod:`repro.resilience.policy`).
+:class:`FaultPlan` / :class:`FaultInjector`
+    Deterministic seeded fault injection (:mod:`repro.resilience.faults`):
+    the only way to make a worker crash on purpose.
+:func:`run_chaos`
+    The full-stack crash-storm soak (:mod:`repro.resilience.chaos`) behind
+    the ``chaos`` CLI subcommand and ``benchmarks/bench_resilience.py``.
+
+Environment knobs (constructor arguments always win):
+
+=====================================   =======================================
+``FASTKRON_RESILIENCE_MAX_ATTEMPTS``    supervisor/client retry attempts (3)
+``FASTKRON_RESILIENCE_BACKOFF_BASE_S``  first backoff delay (0.05)
+``FASTKRON_RESILIENCE_BACKOFF_MAX_S``   backoff cap (2.0)
+``FASTKRON_RESILIENCE_HEARTBEAT_S``     idle worker probe interval (0 = off)
+``FASTKRON_RESILIENCE_BREAKER_THRESHOLD``  failures before the circuit opens (5)
+``FASTKRON_RESILIENCE_BREAKER_RESET_S``    seconds until a half-open trial (30)
+``FASTKRON_RESILIENCE_FALLBACK_BACKEND``   engine degradation target (unset)
+``FASTKRON_RESILIENCE_FAULT_PLAN``         encoded fault plan (unset)
+=====================================   =======================================
+"""
+
+from repro.resilience.chaos import ChaosConfig, ChaosReport, run_chaos
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    SITE_SHM_ATTACH,
+    SITE_WORKER_EXECUTE,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.resilience.policy import (
+    CircuitBreaker,
+    HealthMonitor,
+    RetryPolicy,
+    SupervisorStats,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "SITE_SHM_ATTACH",
+    "SITE_WORKER_EXECUTE",
+    "ChaosConfig",
+    "ChaosReport",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "HealthMonitor",
+    "RetryPolicy",
+    "SupervisorStats",
+    "run_chaos",
+]

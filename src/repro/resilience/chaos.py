@@ -1,0 +1,238 @@
+"""The chaos soak: full-stack traffic under a deterministic crash storm.
+
+One function, :func:`run_chaos`, drives the entire serving stack — a
+:class:`~repro.backends.ProcessBackend` pool under a
+:class:`~repro.serving.KronEngine` behind a
+:class:`~repro.server.ServerThread`, queried by a retrying
+:class:`~repro.server.KronClient` — while a seeded killer thread SIGKILLs
+one worker process every ``kill_period_s`` seconds.  It measures what the
+resilience layer promises:
+
+* **availability** — completed requests over issued requests; the
+  supervisor's transparent shard retry should keep this at ~1.0 even while
+  workers die every second;
+* **parity** — every completed response is compared bit-for-bit against the
+  fault-free ``kron_matmul`` result (retry safety: executions are
+  side-effect-free until copy-out, so a re-run shard must produce identical
+  bytes);
+* **typed-ness** — any failure that is *not* a typed
+  :class:`~repro.exceptions.ServerError` counts as an untyped error, and the
+  acceptance gate requires zero;
+* **recovery** — for each kill, the gap until the next completed request;
+  the p99 bounds how long a crash can stall traffic;
+* **pool width** — after the storm the pool must be back to full strength.
+
+Both the ``fastkron-repro chaos`` CLI subcommand and
+``benchmarks/bench_resilience.py`` are thin wrappers over this module, so
+the nightly soak, the CI gate and interactive debugging all run the same
+code path.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import ServerError
+
+__all__ = ["ChaosConfig", "ChaosReport", "run_chaos"]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos run: the workload, the storm and the pool geometry."""
+
+    seconds: float = 10.0
+    seed: int = 0
+    workers: int = 4
+    kill_period_s: float = 1.0
+    rows: int = 64
+    p: int = 4
+    n: int = 3
+    distinct_inputs: int = 4
+    heartbeat_s: float = 0.25
+    op_timeout_s: float = 15.0
+    #: Client-side retry attempts (transport loss, busy, timeout).
+    client_attempts: int = 5
+
+    def key(self) -> str:
+        return (
+            f"storm_w{self.workers}_kill{self.kill_period_s:g}s_"
+            f"m{self.rows}_p{self.p}_n{self.n}"
+        )
+
+
+@dataclass
+class ChaosReport:
+    """The measured outcome of one chaos run."""
+
+    config: ChaosConfig
+    requests: int = 0
+    completed: int = 0
+    typed_errors: int = 0
+    untyped_errors: int = 0
+    parity_failures: int = 0
+    kills: int = 0
+    supervisor: dict = field(default_factory=dict)
+    latencies_s: List[float] = field(default_factory=list)
+    recovery_s: List[float] = field(default_factory=list)
+    pool_restored: bool = False
+
+    @property
+    def availability(self) -> float:
+        return self.completed / self.requests if self.requests else 0.0
+
+    @property
+    def parity_ok(self) -> bool:
+        return self.parity_failures == 0
+
+    @staticmethod
+    def _percentile(values: List[float], fraction: float) -> float:
+        if not values:
+            return 0.0
+        ordered = sorted(values)
+        index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+    @property
+    def latency_p99_s(self) -> float:
+        return self._percentile(self.latencies_s, 0.99)
+
+    @property
+    def recovery_p99_s(self) -> float:
+        return self._percentile(self.recovery_s, 0.99)
+
+    def describe(self) -> dict:
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "typed_errors": self.typed_errors,
+            "untyped_errors": self.untyped_errors,
+            "parity_failures": self.parity_failures,
+            "kills": self.kills,
+            "availability": round(self.availability, 6),
+            "latency_p99_ms": round(self.latency_p99_s * 1e3, 3),
+            "recovery_p99_ms": round(self.recovery_p99_s * 1e3, 3),
+            "pool_restored": self.pool_restored,
+            "supervisor": self.supervisor,
+        }
+
+
+def run_chaos(config: ChaosConfig) -> ChaosReport:
+    """Run one full-stack crash-storm soak; see the module docstring.
+
+    Imports the stack lazily so this module stays importable in
+    environments without shared memory (callers should check
+    :func:`repro.backends.shm.shared_memory_available` first).
+    """
+    from repro import kron_matmul, random_factors
+    from repro.backends.process_backend import ProcessBackend
+    from repro.resilience.policy import RetryPolicy
+    from repro.server import KronClient, ServerThread
+    from repro.serving.engine import KronEngine
+
+    report = ChaosReport(config=config)
+    rng = np.random.default_rng(config.seed)
+    factors = random_factors(n=config.n, p=config.p, q=config.p, seed=config.seed)
+    inputs = [
+        rng.standard_normal((config.rows, config.p ** config.n))
+        for _ in range(max(1, config.distinct_inputs))
+    ]
+    # The fault-free reference: the numpy backend is the parity anchor every
+    # other backend is bit-identical to.
+    expected = [kron_matmul(x, factors, backend="numpy") for x in inputs]
+
+    backend = ProcessBackend(
+        num_workers=config.workers,
+        min_parallel_rows=1,
+        op_timeout=config.op_timeout_s,
+        heartbeat_s=config.heartbeat_s,
+    )
+    engine = KronEngine(backend=backend, max_delay_ms=0.0)
+    kill_times: List[float] = []
+    completion_times: List[float] = []
+    stop_killer = threading.Event()
+
+    def killer() -> None:
+        storm_rng = random.Random(config.seed)
+        while not stop_killer.wait(config.kill_period_s):
+            pids = [pid for pid in backend.worker_pids() if pid]
+            if not pids:
+                continue
+            pid = storm_rng.choice(pids)
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, OSError):
+                continue
+            report.kills += 1
+            kill_times.append(time.monotonic())
+
+    try:
+        with ServerThread(port=0, engine=engine) as server:
+            retry = RetryPolicy(
+                max_attempts=max(1, config.client_attempts), base_delay_s=0.02
+            )
+            with KronClient(port=server.port, retry=retry) as client:
+                handle = client.register(factors)
+                killer_thread = threading.Thread(
+                    target=killer, name="chaos-killer", daemon=True
+                )
+                killer_thread.start()
+                deadline = time.monotonic() + config.seconds
+                index = 0
+                while time.monotonic() < deadline:
+                    x = inputs[index % len(inputs)]
+                    want = expected[index % len(inputs)]
+                    index += 1
+                    report.requests += 1
+                    started = time.monotonic()
+                    try:
+                        y = client.matmul(handle, x)
+                    except ServerError:
+                        report.typed_errors += 1
+                        continue
+                    except Exception:
+                        report.untyped_errors += 1
+                        continue
+                    finished = time.monotonic()
+                    report.completed += 1
+                    report.latencies_s.append(finished - started)
+                    completion_times.append(finished)
+                    if not np.array_equal(y, want):
+                        report.parity_failures += 1
+                stop_killer.set()
+                killer_thread.join(timeout=5.0)
+                # Post-storm: one quiet request plus the heartbeat window,
+                # then the pool must be back at full width.
+                try:
+                    y = client.matmul(handle, inputs[0])
+                    if not np.array_equal(y, expected[0]):
+                        report.parity_failures += 1
+                except Exception:
+                    report.untyped_errors += 1
+                recover_deadline = time.monotonic() + max(
+                    2.0, 4 * config.heartbeat_s
+                )
+                while time.monotonic() < recover_deadline:
+                    if backend.alive_workers() == config.workers:
+                        break
+                    time.sleep(0.05)
+                report.pool_restored = backend.alive_workers() == config.workers
+    finally:
+        stop_killer.set()
+        report.supervisor = backend.supervisor_stats.describe()
+        engine.close()
+        backend.close()
+
+    for killed_at in kill_times:
+        later = [t for t in completion_times if t > killed_at]
+        if later:
+            report.recovery_s.append(min(later) - killed_at)
+    return report

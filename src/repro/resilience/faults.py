@@ -1,0 +1,203 @@
+"""Deterministic fault injection: seeded plans, counted sites, typed faults.
+
+A *fault plan* is a list of :class:`FaultSpec` entries — "at the Nth visit
+of site S (optionally: in worker W), do K" — where K is one of:
+
+``crash``
+    Hard-kill the current process (``os._exit``), modelling a segfaulting
+    or OOM-killed worker.  Only meaningful inside worker processes.
+``hang``
+    Sleep far past any reply timeout, modelling a livelocked worker.
+``error``
+    Raise :class:`~repro.exceptions.InjectedFault`, modelling a transient
+    failure at the site (a torn frame, a failed shm attach).
+
+Sites are plain dotted strings counted per process (each worker counts its
+own visits), so the same encoded plan handed to every worker plus the
+parent yields one deterministic failure schedule for the whole pool.  Plans
+round-trip through a compact string encoding (``site:kind@step[#worker]``,
+``;``-separated) because they must travel to worker processes as spawn
+arguments and through the ``FASTKRON_RESILIENCE_FAULT_PLAN`` environment
+knob for CLI runs.
+
+Production paths never construct an injector: :func:`FaultInjector.act` on
+``None`` plans is a no-op and the process backend only arms workers when a
+plan was explicitly configured — no wire frame or API call can trigger a
+fault (this replaced the old ``op == "crash"`` pipe message, which any code
+holding the connection could have sent).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.exceptions import InjectedFault
+
+__all__ = [
+    "FAULT_KINDS",
+    "SITE_SHM_ATTACH",
+    "SITE_WORKER_EXECUTE",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+]
+
+FAULT_KINDS = ("crash", "hang", "error")
+
+#: A worker beginning one plan-shard execution (crash/hang live here).
+SITE_WORKER_EXECUTE = "worker.execute"
+#: A worker attaching a shared-memory descriptor (error models attach failure).
+SITE_SHM_ATTACH = "shm.attach"
+
+#: Exit code of an injected crash, recognisable in worker exitcodes.
+CRASH_EXIT_CODE = 17
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: at visit ``step`` of ``site`` (1-based), do ``kind``."""
+
+    site: str
+    kind: str
+    step: int
+    worker: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected {FAULT_KINDS}")
+        if self.step < 1:
+            raise ValueError(f"fault step must be >= 1, got {self.step}")
+
+    def encode(self) -> str:
+        token = f"{self.site}:{self.kind}@{self.step}"
+        return f"{token}#{self.worker}" if self.worker is not None else token
+
+    @classmethod
+    def parse(cls, token: str) -> "FaultSpec":
+        try:
+            site, rest = token.split(":", 1)
+            kind, rest = rest.split("@", 1)
+            worker: Optional[int] = None
+            if "#" in rest:
+                step_text, worker_text = rest.split("#", 1)
+                worker = int(worker_text)
+            else:
+                step_text = rest
+            return cls(site=site.strip(), kind=kind.strip(), step=int(step_text), worker=worker)
+        except (ValueError, TypeError) as exc:
+            raise ValueError(
+                f"malformed fault spec {token!r} "
+                f"(expected site:kind@step[#worker]): {exc}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, immutable set of scheduled faults."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def encode(self) -> str:
+        return ";".join(spec.encode() for spec in self.specs)
+
+    @classmethod
+    def parse(cls, text: Optional[str]) -> "FaultPlan":
+        text = (text or "").strip()
+        if not text:
+            return cls()
+        return cls(tuple(FaultSpec.parse(token) for token in text.split(";") if token.strip()))
+
+    @classmethod
+    def from_env(cls, name: str = "FASTKRON_RESILIENCE_FAULT_PLAN") -> "FaultPlan":
+        return cls.parse(os.environ.get(name))
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        count: int = 4,
+        max_step: int = 16,
+        sites: Sequence[str] = (SITE_WORKER_EXECUTE, SITE_SHM_ATTACH),
+        kinds: Sequence[str] = FAULT_KINDS,
+        workers: Optional[int] = None,
+    ) -> "FaultPlan":
+        """A reproducible random plan: same seed, same faults, forever.
+
+        ``workers`` bounds the worker-index annotation (``None`` leaves all
+        specs unrestricted, so they fire in whichever worker reaches the
+        step first — still deterministic per worker, since sites count per
+        process).
+        """
+        rng = random.Random(seed)
+        specs = []
+        for _ in range(max(0, count)):
+            specs.append(FaultSpec(
+                site=rng.choice(list(sites)),
+                kind=rng.choice(list(kinds)),
+                step=rng.randint(1, max(1, max_step)),
+                worker=rng.randrange(workers) if workers else None,
+            ))
+        return cls(tuple(specs))
+
+
+class FaultInjector:
+    """Counts visits to named sites and fires the plan's matching faults.
+
+    One injector per process (the parent and each worker build their own
+    from the same encoded plan); ``worker`` scopes which ``#worker``
+    specs apply here.  Each spec fires at most once — step equality against
+    a monotonically growing counter guarantees it.
+    """
+
+    def __init__(
+        self,
+        plan: Optional[FaultPlan] = None,
+        worker: Optional[int] = None,
+        hang_s: float = 3600.0,
+    ):
+        self.plan = plan if plan is not None else FaultPlan()
+        self.worker = worker
+        self.hang_s = float(hang_s)
+        self.fired: list = []
+        self._counts: Dict[str, int] = {}
+
+    def fire(self, site: str) -> Optional[FaultSpec]:
+        """Advance ``site``'s counter; the due spec, if any (no side effects)."""
+        count = self._counts.get(site, 0) + 1
+        self._counts[site] = count
+        for spec in self.plan.specs:
+            if spec.site != site or spec.step != count:
+                continue
+            if spec.worker is not None and spec.worker != self.worker:
+                continue
+            self.fired.append(spec)
+            return spec
+        return None
+
+    def act(self, site: str) -> None:
+        """Fire and *execute* the due fault, if any.
+
+        ``crash`` never returns (``os._exit``); ``hang`` sleeps ``hang_s``
+        (the supervisor's reply timeout kills the worker long before that);
+        ``error`` raises :class:`~repro.exceptions.InjectedFault`.
+        """
+        spec = self.fire(site)
+        if spec is None:
+            return
+        if spec.kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        if spec.kind == "hang":
+            time.sleep(self.hang_s)
+            return
+        raise InjectedFault(
+            f"injected {spec.kind} at {site} (visit {spec.step}"
+            + (f", worker {spec.worker}" if spec.worker is not None else "")
+            + ")"
+        )

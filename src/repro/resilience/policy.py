@@ -1,0 +1,256 @@
+"""Reusable resilience primitives: retry backoff, circuit breaking, health probes.
+
+Three small, dependency-free building blocks shared by the process-backend
+supervisor, the serving engine's degradation chain and the network clients:
+
+:class:`RetryPolicy`
+    How many times to attempt an idempotent operation and how long to sleep
+    between attempts (capped exponential backoff).  Deterministic — no
+    jitter by default — so fault-injection runs are exactly reproducible.
+:class:`CircuitBreaker`
+    Stops hammering a component that keeps failing: after
+    ``failure_threshold`` consecutive failures the circuit *opens* and
+    callers skip the component outright until ``reset_timeout_s`` has
+    passed, at which point one *half-open* trial decides whether to close
+    again.  The engine uses it to pin execution on the fallback backend
+    while the primary is known-bad instead of paying a failed attempt per
+    batch.
+:class:`HealthMonitor`
+    A daemon thread invoking a probe callable on a fixed interval; the
+    process backend's probe pings idle workers and respawns any that died
+    (or hung) between executions, so the pool returns to full width without
+    waiting for the next request to trip over the corpse.
+
+Every default resolves constructor-argument-first, then the
+``FASTKRON_RESILIENCE_*`` environment, then the hardcoded value — the same
+layering the process backend and server use for their own knobs.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = [
+    "CircuitBreaker",
+    "HealthMonitor",
+    "RetryPolicy",
+    "SupervisorStats",
+    "env_float",
+    "env_int",
+]
+
+
+def env_float(name: str, default: float) -> float:
+    """A float knob from the environment; malformed values fall back."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+def env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff for idempotent operations.
+
+    ``delay_for(attempt)`` is the sleep *after* failed attempt ``attempt``
+    (0-based): ``min(max_delay_s, base_delay_s * multiplier**attempt)``.
+    With the defaults: 50 ms, 100 ms, capped at 2 s.  ``max_attempts`` counts
+    total attempts, so ``max_attempts=1`` means no retry at all.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+
+    def delay_for(self, attempt: int) -> float:
+        return min(self.max_delay_s, self.base_delay_s * self.multiplier ** max(0, attempt))
+
+    def sleep(self, attempt: int) -> None:
+        delay = self.delay_for(attempt)
+        if delay > 0:
+            time.sleep(delay)
+
+    @classmethod
+    def from_env(cls, prefix: str = "FASTKRON_RESILIENCE") -> "RetryPolicy":
+        """The policy configured by ``<prefix>_MAX_ATTEMPTS`` /
+        ``<prefix>_BACKOFF_BASE_S`` / ``<prefix>_BACKOFF_MAX_S``."""
+        return cls(
+            max_attempts=max(1, env_int(f"{prefix}_MAX_ATTEMPTS", cls.max_attempts)),
+            base_delay_s=env_float(f"{prefix}_BACKOFF_BASE_S", cls.base_delay_s),
+            max_delay_s=env_float(f"{prefix}_BACKOFF_MAX_S", cls.max_delay_s),
+        )
+
+
+class CircuitBreaker:
+    """Closed → open on consecutive failures; half-open trial after a timeout.
+
+    Thread-safe; the clock is injectable so state transitions are testable
+    without real sleeps.  ``allow()`` answers "should I attempt the guarded
+    component right now"; callers report the outcome with
+    :meth:`record_success` / :meth:`record_failure`.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: Optional[int] = None,
+        reset_timeout_s: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.failure_threshold = (
+            int(failure_threshold)
+            if failure_threshold is not None
+            else max(1, env_int("FASTKRON_RESILIENCE_BREAKER_THRESHOLD", 5))
+        )
+        self.reset_timeout_s = (
+            float(reset_timeout_s)
+            if reset_timeout_s is not None
+            else env_float("FASTKRON_RESILIENCE_BREAKER_RESET_S", 30.0)
+        )
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._state = self.HALF_OPEN
+
+    def allow(self) -> bool:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state != self.OPEN
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == self.HALF_OPEN:
+                # The trial failed: back to open for a full reset window.
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+
+
+class HealthMonitor:
+    """Run ``probe()`` every ``interval_s`` seconds on a daemon thread.
+
+    The probe owns all domain knowledge (what to ping, what to respawn);
+    the monitor only provides the cadence, swallow-and-count error handling
+    (a throwing probe must never kill the monitor) and a clean stop.
+    """
+
+    def __init__(
+        self,
+        probe: Callable[[], None],
+        interval_s: float,
+        name: str = "health-monitor",
+    ):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self.interval_s = float(interval_s)
+        self.probes = 0
+        self.errors = 0
+        self._probe = probe
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+
+    def start(self) -> "HealthMonitor":
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.probes += 1
+            try:
+                self._probe()
+            except Exception:
+                self.errors += 1
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=self.interval_s + 5.0)
+
+    @property
+    def running(self) -> bool:
+        return self._thread.is_alive()
+
+
+@dataclass
+class SupervisorStats:
+    """Monotonic counters of one supervised worker pool."""
+
+    #: Workers replaced (crash, hang or failed pipe), however detected.
+    respawns: int = 0
+    #: Row shards transparently re-executed after a worker failure.
+    retried_shards: int = 0
+    #: Workers killed for exceeding the reply timeout mid-execution.
+    hung_workers: int = 0
+    #: Worker deaths detected (mid-execution or by the heartbeat probe).
+    crashed_workers: int = 0
+    #: Executions that still failed after the retry policy was exhausted.
+    exhausted: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def bump(self, **deltas: int) -> None:
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def describe(self) -> dict:
+        with self._lock:
+            return {
+                "respawns": self.respawns,
+                "retried_shards": self.retried_shards,
+                "hung_workers": self.hung_workers,
+                "crashed_workers": self.crashed_workers,
+                "exhausted": self.exhausted,
+            }

@@ -46,9 +46,11 @@ from repro.server.protocol import (
     ERR_DEADLINE,
     ERR_INTERNAL,
     ERR_SHUTTING_DOWN,
+    ERR_TIMEOUT,
     ERR_UNKNOWN_HANDLE,
     ERR_UNSUPPORTED_VERSION,
     PROTOCOL_VERSION,
+    RETRYABLE_CODES,
     Frame,
     MessageKind,
 )
@@ -72,8 +74,10 @@ __all__ = [
     "ERR_DEADLINE",
     "ERR_INTERNAL",
     "ERR_SHUTTING_DOWN",
+    "ERR_TIMEOUT",
     "ERR_UNKNOWN_HANDLE",
     "ERR_UNSUPPORTED_VERSION",
+    "RETRYABLE_CODES",
     "AsyncKronClient",
     "ClassPolicy",
     "ClassStats",

@@ -16,24 +16,41 @@ missed, ``unknown_handle`` means re-register after an eviction).
     immediately and a background reader task resolves responses by request
     id, in whatever order the server's scheduler finishes them.  The tool
     for load generators and services embedding the client.
+
+Every wait is bounded: sockets carry a timeout (default from
+``FASTKRON_SERVER_TIMEOUT_S``; 0 disables) and transport failures surface
+as the *typed* :class:`~repro.exceptions.ConnectionLostError` — never a raw
+``socket.timeout``.  Pass a :class:`~repro.resilience.RetryPolicy` and
+``matmul`` rides out transient failures by itself: retryable typed
+rejections (``busy``, ``timeout``) are re-submitted after backoff, and a
+lost connection is re-dialled — safe because matmul is idempotent and
+registry handles are server-global, surviving the reconnect.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import os
 import socket
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
 import numpy as np
 
 from repro.core.factors import KroneckerFactor, as_factor_list
-from repro.exceptions import ProtocolError, RequestRejected, ServerError
+from repro.exceptions import (
+    ConnectionLostError,
+    ProtocolError,
+    RequestRejected,
+    ServerError,
+)
 from repro.quant import is_quantized, quantize as quantize_factor
+from repro.resilience.policy import RetryPolicy
 from repro.server.protocol import (
     DEFAULT_MAX_PAYLOAD,
     ERR_INTERNAL,
     PROTOCOL_VERSION,
+    RETRYABLE_CODES,
     Frame,
     MessageKind,
     array_from_payload,
@@ -45,7 +62,27 @@ from repro.server.protocol import (
     read_frame_sync,
 )
 
-__all__ = ["AsyncKronClient", "KronClient"]
+__all__ = ["AsyncKronClient", "KronClient", "default_timeout"]
+
+#: Sentinel distinguishing "not passed" from an explicit ``None`` (= no
+#: timeout) in client constructors.
+_UNSET = object()
+
+
+def default_timeout() -> Optional[float]:
+    """The client timeout configured by ``FASTKRON_SERVER_TIMEOUT_S``.
+
+    Unset → 30 seconds; ``0`` (or negative) → ``None`` (wait forever —
+    discouraged, but the pre-resilience behaviour some harnesses rely on).
+    """
+    raw = os.environ.get("FASTKRON_SERVER_TIMEOUT_S", "").strip()
+    if not raw:
+        return 30.0
+    try:
+        value = float(raw)
+    except ValueError:
+        return 30.0
+    return value if value > 0 else None
 
 
 def _prepare_factors(
@@ -115,16 +152,32 @@ def _result_array(frame: Frame) -> np.ndarray:
     )
 
 
+def _rejection(frame: Frame) -> RequestRejected:
+    code = str(frame.header.get("code", ERR_INTERNAL))
+    retryable = frame.header.get("retryable")
+    return RequestRejected(
+        code,
+        str(frame.header.get("message", "")),
+        # Pre-flag servers omit the header field; fall back to the code set.
+        retryable=bool(retryable) if retryable is not None
+        else code in RETRYABLE_CODES,
+    )
+
+
 def _raise_for_error(frame: Frame) -> None:
     if frame.kind == MessageKind.ERROR:
-        raise RequestRejected(
-            str(frame.header.get("code", ERR_INTERNAL)),
-            str(frame.header.get("message", "")),
-        )
+        raise _rejection(frame)
 
 
 class KronClient:
     """Blocking client: connect, register, multiply, close.
+
+    ``timeout`` bounds the connect and every read/write (default from
+    ``FASTKRON_SERVER_TIMEOUT_S``, see :func:`default_timeout`); an expired
+    wait surfaces as :class:`~repro.exceptions.ConnectionLostError` and
+    drops the socket (a reply could still arrive later — the stream cannot
+    be resynchronised).  With a ``retry`` policy, :meth:`matmul` reconnects
+    and re-submits on transport loss and on retryable typed rejections.
 
     >>> with KronClient(port=srv.port) as client:        # doctest: +SKIP
     ...     handle = client.register(factors)
@@ -136,22 +189,57 @@ class KronClient:
         host: str = "127.0.0.1",
         port: int = 7077,
         *,
-        timeout: Optional[float] = 30.0,
+        timeout: Union[object, None, float] = _UNSET,
         max_payload: int = DEFAULT_MAX_PAYLOAD,
+        retry: Optional[RetryPolicy] = None,
     ):
+        self.host = host
+        self.port = int(port)
+        self.timeout = default_timeout() if timeout is _UNSET else timeout
+        self.retry = retry
         self.max_payload = int(max_payload)
         self._ids = itertools.count(1)
-        self._sock: Optional[socket.socket] = socket.create_connection(
-            (host, port), timeout=timeout
-        )
+        self._closed = False
+        self._sock: Optional[socket.socket] = None
+        #: Server-advertised limits and classes from the HELLO frame.
+        self.server_info: Dict = {}
+        self._connect()
+
+    # ------------------------------------------------------------------ #
+    # connection management
+    # ------------------------------------------------------------------ #
+    def _connect(self) -> None:
+        if self._closed:
+            raise ServerError("client is closed")
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except socket.timeout as exc:
+            raise ConnectionLostError(
+                f"connect to {self.host}:{self.port} timed out "
+                f"after {self.timeout:g}s"
+            ) from exc
+        except OSError as exc:
+            raise ConnectionLostError(
+                f"connect to {self.host}:{self.port} failed: {exc}"
+            ) from exc
         hello = self._read_frame()
         if hello.version != PROTOCOL_VERSION or hello.kind != MessageKind.HELLO:
             self.close()
             raise ProtocolError(
                 f"unexpected greeting (kind {hello.kind}, version {hello.version})"
             )
-        #: Server-advertised limits and classes from the HELLO frame.
-        self.server_info: Dict = dict(hello.header)
+        self.server_info = dict(hello.header)
+
+    def _drop_socket(self) -> None:
+        """Discard a socket whose stream state is no longer trustworthy."""
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------ #
     # wire helpers
@@ -161,9 +249,17 @@ class KronClient:
         chunks = []
         remaining = n
         while remaining:
-            chunk = self._sock.recv(remaining)
+            try:
+                chunk = self._sock.recv(remaining)
+            except socket.timeout as exc:
+                # A late reply would desynchronise the stream: drop it.
+                self._drop_socket()
+                raise ConnectionLostError(
+                    f"server did not respond within {self.timeout:g}s"
+                ) from exc
             if not chunk:
-                raise ConnectionError("server closed the connection mid-frame")
+                self._drop_socket()
+                raise ConnectionLostError("server closed the connection mid-frame")
             chunks.append(chunk)
             remaining -= len(chunk)
         return b"".join(chunks)
@@ -173,8 +269,20 @@ class KronClient:
 
     def _request(self, data: bytes, request_id: int) -> Frame:
         if self._sock is None:
-            raise ServerError("client is closed")
-        self._sock.sendall(data)
+            if self._closed:
+                raise ServerError("client is closed")
+            self._connect()
+        assert self._sock is not None
+        try:
+            self._sock.sendall(data)
+        except socket.timeout as exc:
+            self._drop_socket()
+            raise ConnectionLostError(
+                f"send did not complete within {self.timeout:g}s"
+            ) from exc
+        except OSError as exc:
+            self._drop_socket()
+            raise ConnectionLostError(f"send failed: {exc}") from exc
         while True:
             frame = self._read_frame()
             # Correlate by id; an id-less error (protocol violation, version
@@ -229,18 +337,37 @@ class KronClient:
         """One Kron-Matmul against a registered handle; blocks for the rows.
 
         Raises :class:`~repro.exceptions.RequestRejected` on typed server
-        rejection (backpressure, deadline, unknown handle).
+        rejection (backpressure, deadline, unknown handle).  With a
+        ``retry`` policy, retryable rejections and transport losses are
+        retried with backoff — each attempt a fresh request id, over a
+        fresh connection if the previous one died (safe: matmul is
+        idempotent and handles are server-global).
         """
         x_arr = np.asarray(x)
         squeeze = x_arr.ndim == 1
         if squeeze:
             x_arr = x_arr.reshape(1, -1)
-        request_id = next(self._ids)
-        frame = self._request(
-            _submit_frame(handle, x_arr, klass, deadline_ms, request_id), request_id
-        )
-        y = _result_array(frame)
-        return y[0] if squeeze else y
+        attempts = self.retry.max_attempts if self.retry is not None else 1
+        for attempt in range(attempts):
+            if attempt and self.retry is not None:
+                self.retry.sleep(attempt - 1)
+            try:
+                request_id = next(self._ids)
+                frame = self._request(
+                    _submit_frame(handle, x_arr, klass, deadline_ms, request_id),
+                    request_id,
+                )
+                y = _result_array(frame)
+                return y[0] if squeeze else y
+            except RequestRejected as exc:
+                if not exc.retryable or attempt + 1 >= attempts:
+                    raise
+            except (ConnectionLostError, ConnectionError, OSError):
+                # The socket is gone either way; the next attempt re-dials.
+                self._drop_socket()
+                if attempt + 1 >= attempts:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def stats(self) -> Dict:
         """The server's engine/scheduler/registry counters."""
@@ -251,12 +378,8 @@ class KronClient:
         return dict(frame.header.get("stats", {}))
 
     def close(self) -> None:
-        sock, self._sock = self._sock, None
-        if sock is not None:
-            try:
-                sock.close()
-            except OSError:
-                pass
+        self._closed = True
+        self._drop_socket()
 
     def __enter__(self) -> "KronClient":
         return self
@@ -279,12 +402,23 @@ class AsyncKronClient:
         writer: asyncio.StreamWriter,
         hello: Frame,
         max_payload: int,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 7077,
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         self._reader = reader
         self._writer = writer
         self._ids = itertools.count(1)
         self._pending: Dict[int, "asyncio.Future[Frame]"] = {}
         self._write_lock = asyncio.Lock()
+        self._conn_lock = asyncio.Lock()
+        self._closed = False
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self.retry = retry
         self.max_payload = int(max_payload)
         self.server_info: Dict = dict(hello.header)
         self._reader_task = asyncio.get_running_loop().create_task(
@@ -298,15 +432,71 @@ class AsyncKronClient:
         port: int = 7077,
         *,
         max_payload: int = DEFAULT_MAX_PAYLOAD,
+        timeout: Union[object, None, float] = _UNSET,
+        retry: Optional[RetryPolicy] = None,
     ) -> "AsyncKronClient":
-        reader, writer = await asyncio.open_connection(host, port)
-        hello = await read_frame(reader, max_payload)
+        resolved = default_timeout() if timeout is _UNSET else timeout
+        reader, writer, hello = await cls._handshake(
+            host, port, resolved, max_payload
+        )
+        return cls(
+            reader, writer, hello, max_payload,
+            host=host, port=port, timeout=resolved, retry=retry,
+        )
+
+    @staticmethod
+    async def _handshake(
+        host: str, port: int, timeout: Optional[float], max_payload: int
+    ):
+        try:
+            if timeout is not None:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, port), timeout
+                )
+                hello = await asyncio.wait_for(
+                    read_frame(reader, max_payload), timeout
+                )
+            else:
+                reader, writer = await asyncio.open_connection(host, port)
+                hello = await read_frame(reader, max_payload)
+        except asyncio.TimeoutError as exc:
+            raise ConnectionLostError(
+                f"connect to {host}:{port} timed out after {timeout:g}s"
+            ) from exc
+        except OSError as exc:
+            raise ConnectionLostError(
+                f"connect to {host}:{port} failed: {exc}"
+            ) from exc
         if hello.version != PROTOCOL_VERSION or hello.kind != MessageKind.HELLO:
             writer.close()
             raise ProtocolError(
                 f"unexpected greeting (kind {hello.kind}, version {hello.version})"
             )
-        return cls(reader, writer, hello, max_payload)
+        return reader, writer, hello
+
+    async def _reconnect(self) -> None:
+        """Replace a dead transport; outstanding pipelined futures fail."""
+        async with self._conn_lock:
+            if self._closed:
+                raise ServerError("client is closed")
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            reader, writer, hello = await self._handshake(
+                self.host, self.port, self.timeout, self.max_payload
+            )
+            self._reader, self._writer = reader, writer
+            self.server_info = dict(hello.header)
+            self._reader_task = asyncio.get_running_loop().create_task(
+                self._read_loop(), name="kron-client-reader"
+            )
 
     # ------------------------------------------------------------------ #
     # reader task
@@ -348,11 +538,26 @@ class AsyncKronClient:
             self._writer.write(data)
             await self._writer.drain()
 
+    async def _await_reply(
+        self, future: "asyncio.Future[Frame]", request_id: int
+    ) -> Frame:
+        if self.timeout is None:
+            return await future
+        try:
+            return await asyncio.wait_for(future, self.timeout)
+        except asyncio.TimeoutError as exc:
+            # Safe to keep the connection: replies correlate by id, so a
+            # late frame for this id is simply dropped by the read loop.
+            self._pending.pop(request_id, None)
+            raise ConnectionLostError(
+                f"server did not respond within {self.timeout:g}s"
+            ) from exc
+
     async def _roundtrip(self, data: bytes, request_id: int) -> Frame:
         future: "asyncio.Future[Frame]" = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         await self._send(data)
-        frame = await future
+        frame = await self._await_reply(future, request_id)
         _raise_for_error(frame)
         return frame
 
@@ -395,14 +600,21 @@ class AsyncKronClient:
         load generator can keep submitting at its arrival schedule and
         post-process completions later.
         """
-        request_id = next(self._ids)
         x_arr = np.asarray(x)
         if x_arr.ndim == 1:
             x_arr = x_arr.reshape(1, -1)
+        _request_id, future = await self._submit(x_arr, handle, klass, deadline_ms)
+        return future
+
+    async def _submit(
+        self, x_arr: np.ndarray, handle: str, klass: str,
+        deadline_ms: Optional[float],
+    ):
+        request_id = next(self._ids)
         future: "asyncio.Future[Frame]" = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         await self._send(_submit_frame(handle, x_arr, klass, deadline_ms, request_id))
-        return future
+        return request_id, future
 
     @staticmethod
     def result(frame: Frame) -> np.ndarray:
@@ -418,12 +630,37 @@ class AsyncKronClient:
         klass: str = "latency",
         deadline_ms: Optional[float] = None,
     ) -> np.ndarray:
-        squeeze = np.asarray(x).ndim == 1
-        frame = await (await self.submit(
-            handle, x, klass=klass, deadline_ms=deadline_ms
-        ))
-        y = self.result(frame)
-        return y[0] if squeeze else y
+        """One awaited Kron-Matmul, with the ``retry`` policy applied.
+
+        Retryable rejections re-submit (fresh id, same connection);
+        transport loss re-dials first — which fails any *other* requests
+        pipelined on the dead connection, as a reconnect must.
+        """
+        x_arr = np.asarray(x)
+        squeeze = x_arr.ndim == 1
+        if squeeze:
+            x_arr = x_arr.reshape(1, -1)
+        attempts = self.retry.max_attempts if self.retry is not None else 1
+        for attempt in range(attempts):
+            if attempt and self.retry is not None:
+                await asyncio.sleep(self.retry.delay_for(attempt - 1))
+            try:
+                if self._reader_task.done() or self._writer.is_closing():
+                    await self._reconnect()
+                request_id, future = await self._submit(
+                    x_arr, handle, klass, deadline_ms
+                )
+                frame = await self._await_reply(future, request_id)
+                _raise_for_error(frame)
+                y = _result_array(frame)
+                return y[0] if squeeze else y
+            except RequestRejected as exc:
+                if not exc.retryable or attempt + 1 >= attempts:
+                    raise
+            except (ConnectionLostError, ConnectionError, OSError):
+                if attempt + 1 >= attempts:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
 
     async def stats(self) -> Dict:
         request_id = next(self._ids)
@@ -433,6 +670,7 @@ class AsyncKronClient:
         return dict(frame.header.get("stats", {}))
 
     async def close(self) -> None:
+        self._closed = True
         self._reader_task.cancel()
         try:
             await self._reader_task

@@ -55,6 +55,7 @@ __all__ = [
     "ERR_DEADLINE",
     "ERR_INTERNAL",
     "ERR_SHUTTING_DOWN",
+    "ERR_TIMEOUT",
     "ERR_UNKNOWN_HANDLE",
     "ERR_UNSUPPORTED_VERSION",
     "Frame",
@@ -62,6 +63,7 @@ __all__ = [
     "MessageKind",
     "PREAMBLE",
     "PROTOCOL_VERSION",
+    "RETRYABLE_CODES",
     "array_from_payload",
     "array_payload",
     "encode_frame",
@@ -109,8 +111,16 @@ ERR_BAD_REQUEST = "bad_request"
 ERR_UNKNOWN_HANDLE = "unknown_handle"
 ERR_BUSY = "busy"
 ERR_DEADLINE = "deadline_exceeded"
+ERR_TIMEOUT = "timeout"
 ERR_SHUTTING_DOWN = "shutting_down"
 ERR_INTERNAL = "internal"
+
+#: Codes whose failures are transient by construction — the request never
+#: produced partial effects (matmuls are idempotent, admission rejections
+#: happen before execution), so a client may safely retry.  ERROR frames
+#: carry an explicit ``retryable`` flag derived from this set unless the
+#: sender overrides it.
+RETRYABLE_CODES = frozenset({ERR_BUSY, ERR_TIMEOUT})
 
 
 class Frame(NamedTuple):
@@ -141,9 +151,23 @@ def encode_frame(
     return preamble + header_bytes + payload
 
 
-def error_frame(code: str, message: str, request_id: Optional[int] = None) -> bytes:
-    """A typed ERROR frame; ``request_id`` ties it to the failed request."""
-    header = {"code": code, "message": message}
+def error_frame(
+    code: str,
+    message: str,
+    request_id: Optional[int] = None,
+    retryable: Optional[bool] = None,
+) -> bytes:
+    """A typed ERROR frame; ``request_id`` ties it to the failed request.
+
+    ``retryable`` defaults from :data:`RETRYABLE_CODES` so every ERROR frame
+    tells the client whether re-submitting the same request can succeed.
+    """
+    header = {
+        "code": code,
+        "message": message,
+        "retryable": bool(retryable) if retryable is not None
+        else code in RETRYABLE_CODES,
+    }
     if request_id is not None:
         header["id"] = request_id
     return encode_frame(MessageKind.ERROR, header)

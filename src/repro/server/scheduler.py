@@ -48,7 +48,7 @@ from dataclasses import dataclass
 from typing import Awaitable, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.exceptions import RequestRejected
-from repro.server.protocol import ERR_BUSY, ERR_DEADLINE, ERR_SHUTTING_DOWN
+from repro.server.protocol import ERR_BUSY, ERR_DEADLINE, ERR_SHUTTING_DOWN, ERR_TIMEOUT
 
 __all__ = [
     "BULK",
@@ -104,6 +104,7 @@ class ClassStats:
     rejected_busy: int = 0
     rejected_deadline: int = 0
     rejected_shutdown: int = 0
+    timed_out: int = 0
     wait_ms_total: float = 0.0
     peak_queue_depth: int = 0
 
@@ -116,6 +117,7 @@ class ClassStats:
             "rejected_busy": self.rejected_busy,
             "rejected_deadline": self.rejected_deadline,
             "rejected_shutdown": self.rejected_shutdown,
+            "timed_out": self.timed_out,
             "mean_wait_ms": round(mean_wait, 3),
             "peak_queue_depth": self.peak_queue_depth,
         }
@@ -151,6 +153,7 @@ class SloScheduler:
         *,
         max_inflight_total: Optional[int] = None,
         no_priority: bool = False,
+        exec_timeout_s: float = 0.0,
     ):
         if not policies:
             raise ValueError("at least one class policy is required")
@@ -160,6 +163,12 @@ class SloScheduler:
         self._execute = execute
         self.policies: Dict[str, ClassPolicy] = {p.name: p for p in policies}
         self.no_priority = bool(no_priority)
+        #: Per-request execution budget in seconds once dispatched; 0
+        #: disables it.  A request exceeding it resolves into a retryable
+        #: typed ``timeout`` rejection — the caller's wait is bounded even
+        #: when the backend stalls (its in-flight slot is released; any
+        #: late engine result is discarded).
+        self.exec_timeout_s = max(0.0, float(exec_timeout_s))
         self.max_inflight_total = (
             int(max_inflight_total)
             if max_inflight_total is not None
@@ -297,7 +306,23 @@ class SloScheduler:
     async def _run_one(self, name: str, item: _Queued) -> None:
         stats = self._stats[name]
         try:
-            result = await self._execute(item.work)
+            if self.exec_timeout_s > 0:
+                result = await asyncio.wait_for(
+                    self._execute(item.work), self.exec_timeout_s
+                )
+            else:
+                result = await self._execute(item.work)
+        except asyncio.TimeoutError:
+            # Execution, not queueing, blew the budget: reject retryable —
+            # the engine's work is side-effect-free from the caller's view
+            # (matmul is idempotent) and the stall is usually transient
+            # (e.g. a worker pool mid-recovery).
+            stats.timed_out += 1
+            self._reject(
+                item, ERR_TIMEOUT,
+                f"execution exceeded the {self.exec_timeout_s:g}s budget",
+                retryable=True,
+            )
         except BaseException as exc:  # noqa: BLE001 - resolved into the future
             stats.failed += 1
             if not item.future.done():
@@ -312,9 +337,11 @@ class SloScheduler:
             self._wake.set()
 
     @staticmethod
-    def _reject(item: _Queued, code: str, message: str) -> None:
+    def _reject(
+        item: _Queued, code: str, message: str, retryable: bool = False
+    ) -> None:
         if not item.future.done():
-            item.future.set_exception(RequestRejected(code, message))
+            item.future.set_exception(RequestRejected(code, message, retryable))
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -324,6 +351,10 @@ class SloScheduler:
 
     def inflight(self, klass: str) -> int:
         return self._inflight[klass]
+
+    def busy(self) -> bool:
+        """True while anything is queued or executing (the drain predicate)."""
+        return self._inflight_total > 0 or any(self._queues.values())
 
     def describe(self) -> dict:
         """JSON-serialisable per-class stats for STATS replies."""

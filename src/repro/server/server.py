@@ -73,6 +73,8 @@ ENV_KNOBS = {
     "FASTKRON_SERVER_LATENCY_DEADLINE_MS": "latency-class default deadline (default none)",
     "FASTKRON_SERVER_ENGINE_DELAY_MS": "engine micro-batching window (default 0)",
     "FASTKRON_SERVER_MAX_BATCH_ROWS": "engine batch-row capacity (default 4096)",
+    "FASTKRON_SERVER_EXEC_TIMEOUT_S": "per-request execution budget, retryable timeout (default 0 = off)",
+    "FASTKRON_SERVER_DRAIN_S": "graceful-shutdown wait for in-flight work (default 5)",
 }
 
 DEFAULT_PORT = 7077
@@ -148,6 +150,8 @@ class KronServer:
         max_delay_ms: Optional[float] = None,
         plan_capacity: int = 32,
         engine: Optional[KronEngine] = None,
+        exec_timeout_s: Optional[float] = None,
+        drain_s: Optional[float] = None,
     ):
         self.host = host if host is not None else os.environ.get(
             "FASTKRON_SERVER_HOST", "127.0.0.1"
@@ -174,8 +178,12 @@ class KronServer:
             max_delay_ms=_resolve(max_delay_ms, "FASTKRON_SERVER_ENGINE_DELAY_MS", 0.0),
             plan_capacity=plan_capacity,
         )
+        self.drain_s = _resolve(drain_s, "FASTKRON_SERVER_DRAIN_S", 5.0)
         self.scheduler = SloScheduler(
-            self._execute, self.policies, no_priority=self.no_priority
+            self._execute, self.policies, no_priority=self.no_priority,
+            exec_timeout_s=_resolve(
+                exec_timeout_s, "FASTKRON_SERVER_EXEC_TIMEOUT_S", 0.0
+            ),
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._conn_seq = 0
@@ -200,19 +208,26 @@ class KronServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
-        """Stop accepting, shed the queues, drain in-flight work, release.
+        """Stop accepting, drain in-flight work, shed the rest, release.
 
-        Ordering matters: close the listener first (no new work), then the
-        scheduler (queued requests get ``shutting_down`` frames while the
-        connections are still writable), then the connections, and the
-        engine last (its executors and any shared memory are released once
-        nothing can reach it).
+        Ordering matters: close the listener first (no new connections) and
+        gate submits (``_stopping`` makes new work bounce with typed
+        ``shutting_down`` frames while the connections are still writable),
+        then give already-admitted work up to ``drain_s`` seconds to finish
+        — the graceful window where clients get their RESULTs instead of
+        losing them to the shutdown — then the scheduler (anything still
+        queued gets ``shutting_down``), then the connections, and the engine
+        last (its executors and any shared memory are released once nothing
+        can reach it).
         """
         self._stopping = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        deadline = asyncio.get_running_loop().time() + max(0.0, self.drain_s)
+        while self.scheduler.busy() and asyncio.get_running_loop().time() < deadline:
+            await asyncio.sleep(0.02)
         await self.scheduler.stop()
         if self._submit_tasks:
             await asyncio.gather(*list(self._submit_tasks), return_exceptions=True)
@@ -405,6 +420,13 @@ class KronServer:
         self, frame: Frame, writer: asyncio.StreamWriter, lock: asyncio.Lock
     ) -> None:
         request_id = frame.header.get("id")
+        if self._stopping:
+            # The drain gate: connections may still be open while stop()
+            # waits for in-flight work, but no new work is admitted.
+            await self._send(writer, lock, error_frame(
+                ERR_SHUTTING_DOWN, "server is draining", request_id
+            ))
+            return
         try:
             entry = self.registry.get(str(frame.header.get("handle", "")))
             shape = frame.header["shape"]
@@ -466,8 +488,21 @@ class KronServer:
     # introspection
     # ------------------------------------------------------------------ #
     def describe(self) -> Dict[str, Any]:
-        """JSON-serialisable stats: engine + scheduler + registry."""
+        """JSON-serialisable stats: engine + scheduler + registry + resilience."""
         engine_stats = self.engine.stats()
+        resilience: Dict[str, Any] = {
+            "backend_failures": engine_stats.backend_failures,
+            "degraded_batches": engine_stats.degraded_batches,
+            "degraded_requests": engine_stats.degraded_requests,
+            "fallback_backend": (
+                self.engine.fallback_backend.name
+                if self.engine.fallback_backend is not None
+                else None
+            ),
+        }
+        supervisor = getattr(self.engine.backend, "supervisor_stats", None)
+        if supervisor is not None:
+            resilience["supervisor"] = supervisor.describe()
         return {
             "backend": self.engine.backend.name,
             "engine": {
@@ -478,6 +513,7 @@ class KronServer:
                 "plan_misses": engine_stats.plan_misses,
                 "plan_evictions": engine_stats.plan_evictions,
             },
+            "resilience": resilience,
             "scheduler": self.scheduler.describe(),
             "registry": self.registry.describe(),
         }

@@ -20,10 +20,18 @@ so coalescing turns per-request serial execution into multi-core execution.
 Requests are grouped by *signature* — the identity of their factor arrays
 plus the plan fingerprint — so only calls against the same model coalesce;
 different models with the same shapes still share a compiled plan.
+
+The engine is also the serving stack's *degradation point*: when the
+primary backend fails terminally (a :class:`~repro.exceptions.BackendError`
+that survived the backend's own supervision and retries), a configured
+``fallback_backend`` recompiles the same plan and serves the batch anyway —
+slower, but correct — while a :class:`~repro.resilience.CircuitBreaker`
+pins execution on the fallback until the primary proves healthy again.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import Future, InvalidStateError
@@ -37,11 +45,12 @@ from repro.backends.registry import BackendLike, get_backend
 from repro.core.factors import KroneckerFactor, as_factor_list
 from repro.core.fastkron import kron_matmul
 from repro.core.problem import KronMatmulProblem
-from repro.exceptions import EngineClosedError, ShapeError
+from repro.exceptions import BackendError, EngineClosedError, ShapeError
 from repro.plan.compiler import compile_plan
 from repro.plan.executor import PlanExecutor
 from repro.plan.fingerprint import plan_cache_key
 from repro.quant import QuantizedFactor
+from repro.resilience.policy import CircuitBreaker
 from repro.serving.plan_cache import PlanCache, PlanEntry, PlanKey
 from repro.tuner.cache import TuningCache
 from repro.utils.validation import ensure_2d
@@ -76,6 +85,11 @@ class EngineStats:
     plan_hits: int = 0
     plan_misses: int = 0
     plan_evictions: int = 0
+    #: Terminal primary-backend failures (BackendError after its own retries).
+    backend_failures: int = 0
+    #: Batches / requests served by the fallback backend instead of the primary.
+    degraded_batches: int = 0
+    degraded_requests: int = 0
 
     @property
     def coalesce_ratio(self) -> float:
@@ -143,6 +157,14 @@ class KronEngine:
         (through ``tuning_cache``, so repeated shapes never re-search).
     tune_candidates:
         Search budget per iteration shape when ``autotune`` is enabled.
+    fallback_backend:
+        Degradation target: when the primary backend raises a terminal
+        :class:`~repro.exceptions.BackendError`, the batch is recompiled and
+        served on this backend instead of failing the requests, and a
+        circuit breaker keeps serving there until the primary recovers.
+        Defaults from ``FASTKRON_RESILIENCE_FALLBACK_BACKEND``; unset (or
+        naming the primary itself) disables degradation, restoring
+        fail-fast behaviour.
     """
 
     def __init__(
@@ -157,6 +179,7 @@ class KronEngine:
         tuning_cache: Optional[TuningCache] = None,
         autotune: bool = False,
         tune_candidates: int = 200,
+        fallback_backend: BackendLike = None,
     ):
         if max_batch_rows < 1:
             raise ValueError(f"max_batch_rows must be >= 1, got {max_batch_rows}")
@@ -165,6 +188,22 @@ class KronEngine:
         if max_delay_ms < 0:
             raise ValueError(f"max_delay_ms must be >= 0, got {max_delay_ms}")
         self.backend = get_backend(backend)
+        if fallback_backend is None:
+            fallback_backend = (
+                os.environ.get("FASTKRON_RESILIENCE_FALLBACK_BACKEND", "").strip()
+                or None
+            )
+        resolved_fallback = (
+            get_backend(fallback_backend) if fallback_backend is not None else None
+        )
+        if resolved_fallback is not None and resolved_fallback.name == self.backend.name:
+            # Degrading to yourself is no degradation: keep fail-fast.
+            resolved_fallback = None
+        self.fallback_backend = resolved_fallback
+        #: Gates the *primary* backend once it starts failing: open means
+        #: batches go straight to the fallback without paying a doomed
+        #: primary attempt first; a half-open trial re-probes the primary.
+        self._breaker = CircuitBreaker()
         self.max_batch_rows = int(max_batch_rows)
         self.max_batch_requests = int(max_batch_requests)
         self.max_delay = float(max_delay_ms) / 1e3
@@ -412,19 +451,36 @@ class KronEngine:
         first = chunk[0]
         rows = sum(r.rows for r in chunk)
         direct = rows > self.max_batch_rows
+        degraded = False
         try:
+            # The degradation chain: primary unless the breaker is open (a
+            # known-bad primary is not worth a doomed attempt per batch),
+            # fallback on terminal BackendError.  Everything else — shape
+            # bugs, closed engine — propagates: degradation is for *backend*
+            # failures, not for masking caller errors.
+            use_fallback = (
+                self.fallback_backend is not None and not self._breaker.allow()
+            )
+            if not use_fallback:
+                try:
+                    y = self._execute_chunk(chunk, rows, direct, fallback=False)
+                    self._breaker.record_success()
+                except BackendError:
+                    self._breaker.record_failure()
+                    with self._lock:
+                        self._stats.backend_failures += 1
+                    if self.fallback_backend is None:
+                        raise
+                    use_fallback = True
+            if use_fallback:
+                y = self._execute_chunk(chunk, rows, direct, fallback=True)
+                degraded = True
             if direct:
-                # A single oversized request: the shared workspace cannot
-                # hold it, run it through the one-shot path instead.  The
+                # A single oversized request through the one-shot path: the
                 # result is a fresh allocation (no workspace aliasing), so
                 # it is handed over without a defensive copy.
-                y = kron_matmul(first.x, first.factors, backend=self.backend)
                 self._resolve(first.future, y[0] if first.squeeze else y, None)
             else:
-                plan = self.plans.get_or_create(first.plan_key, lambda: self._build_plan(first))
-                plan.uses += 1
-                x = first.x if len(chunk) == 1 else self._stack_rows(chunk, rows)
-                y = plan.executor.execute(x, first.factors)
                 start = 0
                 for request in chunk:
                     # Copy out of the batch output: each future must own its
@@ -442,7 +498,37 @@ class KronEngine:
             for request in chunk:
                 if not request.future.done():
                     self._resolve(request.future, None, exc)
-        self._finish_chunk(chunk, rows, direct)
+        self._finish_chunk(chunk, rows, direct, degraded)
+
+    def _execute_chunk(
+        self, chunk: List[_Request], rows: int, direct: bool, fallback: bool
+    ) -> np.ndarray:
+        """Run one chunk on the primary or the fallback backend.
+
+        Fallback plans live in the same cache under a
+        ``|fallback=<name>``-suffixed key, so flapping between backends
+        never recompiles more than once per backend.  Re-running a chunk on
+        the fallback is safe for the same reason shard retry is: nothing
+        escaped the failed attempt (``workspace_requires_copy_out`` backends
+        only publish results on success), and the staging rows are rewritten
+        idempotently.
+        """
+        first = chunk[0]
+        backend = self.fallback_backend if fallback else self.backend
+        assert backend is not None
+        if direct:
+            # A single oversized request: the shared workspace cannot hold
+            # it, run it through the one-shot path instead.
+            return kron_matmul(first.x, first.factors, backend=backend)
+        plan_key = (
+            f"{first.plan_key}|fallback={backend.name}" if fallback else first.plan_key
+        )
+        plan = self.plans.get_or_create(
+            plan_key, lambda: self._build_plan(first, backend=backend)
+        )
+        plan.uses += 1
+        x = first.x if len(chunk) == 1 else self._stack_rows(chunk, rows)
+        return plan.executor.execute(x, first.factors)
 
     def _stack_rows(self, chunk: List[_Request], rows: int) -> np.ndarray:
         """Row-stack a coalesced chunk into one batch input.
@@ -473,7 +559,9 @@ class KronEngine:
             start += request.rows
         return view
 
-    def _finish_chunk(self, chunk: List[_Request], rows: int, direct: bool) -> None:
+    def _finish_chunk(
+        self, chunk: List[_Request], rows: int, direct: bool, degraded: bool = False
+    ) -> None:
         with self._lock:
             self._stats.batches += 1
             self._stats.batched_rows += rows
@@ -481,11 +569,15 @@ class KronEngine:
                 self._stats.coalesced_requests += len(chunk)
             if direct:
                 self._stats.direct_requests += 1
+            if degraded:
+                self._stats.degraded_batches += 1
+                self._stats.degraded_requests += len(chunk)
             self._inflight -= len(chunk)
             if self._inflight == 0:
                 self._idle.notify_all()
 
-    def _build_plan(self, request: _Request) -> PlanEntry:
+    def _build_plan(self, request: _Request, backend=None) -> PlanEntry:
+        backend = backend if backend is not None else self.backend
         problem = KronMatmulProblem(
             m=self.max_batch_rows,
             factor_shapes=tuple(f.shape for f in request.factors),
@@ -496,7 +588,7 @@ class KronEngine:
         # chose, even when this engine runs with autotune=False.
         plan = compile_plan(
             problem,
-            backend=self.backend,
+            backend=backend,
             fuse=self.fuse,
             row_capacity=self.max_batch_rows,
             tuning_cache=self.tuning_cache,
@@ -512,9 +604,9 @@ class KronEngine:
 
             tuner = Autotuner(
                 cache=self.tuning_cache,
-                backend=self.backend.name,
+                backend=backend.name,
                 max_candidates=self.tune_candidates,
                 fuse=self.fuse,
             )
             plan = tuner.tune_plan(plan)
-        return PlanEntry(plan=plan, executor=PlanExecutor(plan, backend=self.backend))
+        return PlanEntry(plan=plan, executor=PlanExecutor(plan, backend=backend))

@@ -1,0 +1,459 @@
+"""Resilience-layer tests: policies, fault plans, supervision, degradation.
+
+Unit coverage for the :mod:`repro.resilience` primitives (retry backoff,
+circuit breaking, health probing, deterministic fault injection), then the
+integration contracts they buy across the stack: a supervised process pool
+that survives injected hangs and attach failures with bit parity, an engine
+that degrades to a fallback backend when the primary turns terminal, plan
+caches and registries that stay consistent across mid-request worker death,
+clients that retry through transport loss, and the atexit sweep that
+unlinks shared-memory segments a crashed path failed to release.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import kron_matmul, random_factors
+from repro.backends import ProcessBackend
+from repro.backends.shm import (
+    SegmentTable,
+    _sweep_segment_tables,
+    shared_memory_available,
+)
+from repro.exceptions import BackendError, ConnectionLostError, InjectedFault, ServerError
+from repro.resilience import (
+    FAULT_KINDS,
+    SITE_SHM_ATTACH,
+    SITE_WORKER_EXECUTE,
+    ChaosConfig,
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    HealthMonitor,
+    RetryPolicy,
+    run_chaos,
+)
+from repro.serving import KronEngine
+
+requires_shm = pytest.mark.skipif(
+    not shared_memory_available(), reason="no POSIX shared memory in this environment"
+)
+
+
+def _operands(m=64, p=2, n=5, dtype=np.float64, seed=5):
+    factors = random_factors(n, p, p, dtype=dtype, seed=seed)
+    x = np.random.default_rng(seed + 1).standard_normal((m, p**n)).astype(dtype)
+    return x, factors
+
+
+# --------------------------------------------------------------------------- #
+# retry policy
+# --------------------------------------------------------------------------- #
+class TestRetryPolicy:
+    def test_capped_exponential_delays(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.05, multiplier=2.0,
+                             max_delay_s=0.15)
+        assert policy.delay_for(0) == pytest.approx(0.05)
+        assert policy.delay_for(1) == pytest.approx(0.10)
+        assert policy.delay_for(2) == pytest.approx(0.15)  # capped
+        assert policy.delay_for(10) == pytest.approx(0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="delays"):
+            RetryPolicy(base_delay_s=-1.0)
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("FASTKRON_RESILIENCE_MAX_ATTEMPTS", "7")
+        monkeypatch.setenv("FASTKRON_RESILIENCE_BACKOFF_BASE_S", "0.25")
+        monkeypatch.setenv("FASTKRON_RESILIENCE_BACKOFF_MAX_S", "1.5")
+        policy = RetryPolicy.from_env()
+        assert policy.max_attempts == 7
+        assert policy.base_delay_s == pytest.approx(0.25)
+        assert policy.max_delay_s == pytest.approx(1.5)
+
+    def test_from_env_malformed_falls_back(self, monkeypatch):
+        monkeypatch.setenv("FASTKRON_RESILIENCE_MAX_ATTEMPTS", "banana")
+        assert RetryPolicy.from_env().max_attempts == RetryPolicy.max_attempts
+
+
+# --------------------------------------------------------------------------- #
+# circuit breaker
+# --------------------------------------------------------------------------- #
+class TestCircuitBreaker:
+    def _breaker(self, threshold=3, reset=10.0):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(failure_threshold=threshold,
+                                 reset_timeout_s=reset,
+                                 clock=lambda: clock["now"])
+        return breaker, clock
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _ = self._breaker(threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.allow() and breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert not breaker.allow() and breaker.state == CircuitBreaker.OPEN
+
+    def test_success_resets_the_count(self):
+        breaker, _ = self._breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.allow()  # non-consecutive failures never open it
+
+    def test_half_open_trial_closes_on_success(self):
+        breaker, clock = self._breaker(threshold=1, reset=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock["now"] = 10.0
+        assert breaker.allow() and breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_trial_failure_reopens(self):
+        breaker, clock = self._breaker(threshold=1, reset=10.0)
+        breaker.record_failure()
+        clock["now"] = 10.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock["now"] = 15.0  # a full reset window is required again
+        assert not breaker.allow()
+        clock["now"] = 20.0
+        assert breaker.allow()
+
+
+# --------------------------------------------------------------------------- #
+# health monitor
+# --------------------------------------------------------------------------- #
+class TestHealthMonitor:
+    def test_probe_runs_on_cadence_and_stops(self):
+        probed = threading.Event()
+        monitor = HealthMonitor(probed.set, interval_s=0.01).start()
+        assert probed.wait(timeout=5.0)
+        monitor.stop()
+        assert not monitor.running
+        assert monitor.probes >= 1
+
+    def test_throwing_probe_counts_but_never_kills_the_monitor(self):
+        calls = []
+
+        def probe():
+            calls.append(1)
+            raise RuntimeError("probe broke")
+
+        monitor = HealthMonitor(probe, interval_s=0.01).start()
+        deadline = time.monotonic() + 5.0
+        while len(calls) < 3 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        monitor.stop()
+        assert len(calls) >= 3
+        assert monitor.errors >= 3
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError, match="interval_s"):
+            HealthMonitor(lambda: None, interval_s=0.0)
+
+
+# --------------------------------------------------------------------------- #
+# fault plans
+# --------------------------------------------------------------------------- #
+class TestFaultPlan:
+    def test_spec_round_trip(self):
+        for spec in (
+            FaultSpec(SITE_WORKER_EXECUTE, "crash", 3, worker=2),
+            FaultSpec(SITE_SHM_ATTACH, "error", 1),
+            FaultSpec("custom.site", "hang", 16, worker=0),
+        ):
+            assert FaultSpec.parse(spec.encode()) == spec
+
+    def test_plan_round_trip_and_bool(self):
+        plan = FaultPlan.parse("worker.execute:crash@2#0;shm.attach:error@1")
+        assert len(plan.specs) == 2 and bool(plan)
+        assert FaultPlan.parse(plan.encode()) == plan
+        assert not FaultPlan.parse("")
+        assert not FaultPlan.parse(None)
+
+    def test_malformed_specs_raise(self):
+        for text in ("nonsense", "site:kind@notanint", "site:crash@0",
+                     "site:unknownkind@1"):
+            with pytest.raises(ValueError):
+                FaultPlan.parse(text)
+
+    def test_seeded_plans_are_reproducible(self):
+        a = FaultPlan.seeded(seed=42, count=6, workers=4)
+        b = FaultPlan.seeded(seed=42, count=6, workers=4)
+        assert a == b
+        assert a != FaultPlan.seeded(seed=43, count=6, workers=4)
+        for spec in a.specs:
+            assert spec.kind in FAULT_KINDS
+            assert 0 <= spec.worker < 4
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("FASTKRON_RESILIENCE_FAULT_PLAN",
+                           "worker.execute:error@2#1")
+        plan = FaultPlan.from_env()
+        assert plan.specs == (FaultSpec(SITE_WORKER_EXECUTE, "error", 2, worker=1),)
+
+
+class TestFaultInjector:
+    def test_counts_sites_independently_and_fires_once(self):
+        plan = FaultPlan.parse("a:error@2;b:error@1")
+        injector = FaultInjector(plan)
+        assert injector.fire("a") is None          # a visit 1
+        assert injector.fire("b") is not None      # b visit 1 -> due
+        assert injector.fire("a").step == 2        # a visit 2 -> due
+        assert injector.fire("a") is None          # monotonic counter: never again
+        assert len(injector.fired) == 2
+
+    def test_worker_scoping(self):
+        plan = FaultPlan.parse("s:error@1#1")
+        assert FaultInjector(plan, worker=0).fire("s") is None
+        assert FaultInjector(plan, worker=1).fire("s") is not None
+
+    def test_act_raises_typed_fault(self):
+        injector = FaultInjector(FaultPlan.parse("s:error@1"))
+        with pytest.raises(InjectedFault, match="injected error at s"):
+            injector.act("s")
+
+    def test_no_plan_is_a_noop(self):
+        injector = FaultInjector()
+        for _ in range(100):
+            injector.act("anything")
+        assert injector.fired == []
+
+
+# --------------------------------------------------------------------------- #
+# supervised process pool
+# --------------------------------------------------------------------------- #
+@requires_shm
+class TestSupervisedPool:
+    def test_hung_worker_detected_and_shard_retried(self):
+        """A worker sleeping past the reply timeout is killed, respawned and
+        its shard re-run — the caller sees the bit-identical result."""
+        instance = ProcessBackend(
+            num_workers=2, min_parallel_rows=8, op_timeout=1.5,
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.01),
+            fault_plan=FaultPlan.parse("worker.execute:hang@2#1"),
+        )
+        try:
+            x, factors = _operands()
+            expected = kron_matmul(x, factors, backend="numpy")
+            assert np.array_equal(kron_matmul(x, factors, backend=instance), expected)
+            assert np.array_equal(kron_matmul(x, factors, backend=instance), expected)
+            stats = instance.supervisor_stats.describe()
+            assert stats["hung_workers"] >= 1
+            assert stats["retried_shards"] >= 1
+            assert instance.alive_workers() == 2
+        finally:
+            instance.close()
+
+    def test_injected_attach_failure_retried(self):
+        """A transient shm-attach failure is a retryable worker error: the
+        worker is replaced and the shard re-dispatched."""
+        instance = ProcessBackend(
+            num_workers=2, min_parallel_rows=8, op_timeout=60.0,
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.01),
+            fault_plan=FaultPlan.parse("shm.attach:error@2#1"),
+        )
+        try:
+            x, factors = _operands()
+            expected = kron_matmul(x, factors, backend="numpy")
+            assert np.array_equal(kron_matmul(x, factors, backend=instance), expected)
+            assert np.array_equal(kron_matmul(x, factors, backend=instance), expected)
+            assert instance.supervisor_stats.describe()["retried_shards"] >= 1
+        finally:
+            instance.close()
+
+    def test_heartbeat_respawns_idle_corpse(self):
+        """The health monitor restores pool width between requests, without
+        waiting for the next execution to trip over the corpse."""
+        instance = ProcessBackend(num_workers=2, min_parallel_rows=8,
+                                  op_timeout=60.0, heartbeat_s=0.05)
+        try:
+            x, factors = _operands()
+            kron_matmul(x, factors, backend=instance)  # spawn pool + monitor
+            victim = instance._workers[0].process
+            victim.kill()
+            victim.join(timeout=30)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if instance.alive_workers() == 2 and all(
+                    w is not None and w.process.is_alive()
+                    for w in instance._workers
+                ):
+                    break
+                time.sleep(0.02)
+            assert instance.alive_workers() == 2
+            assert instance.supervisor_stats.describe()["respawns"] >= 1
+            # The restored pool still serves bit-identical results.
+            assert np.array_equal(
+                kron_matmul(x, factors, backend=instance),
+                kron_matmul(x, factors, backend="numpy"),
+            )
+        finally:
+            instance.close()
+
+
+# --------------------------------------------------------------------------- #
+# engine degradation + cache consistency across worker death
+# --------------------------------------------------------------------------- #
+@requires_shm
+class TestEngineDegradation:
+    def _terminal_backend(self):
+        """A pool whose shard 0 fails on every attempt: each replacement
+        worker's fresh visit counter re-fires the @1 spec, so the retry
+        budget always exhausts into a terminal BackendError."""
+        return ProcessBackend(
+            num_workers=2, min_parallel_rows=8, op_timeout=60.0,
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.01),
+            fault_plan=FaultPlan.parse("worker.execute:error@1#0"),
+        )
+
+    def test_degrades_to_fallback_backend(self):
+        backend = self._terminal_backend()
+        engine = KronEngine(backend=backend, max_delay_ms=0.0,
+                            fallback_backend="numpy")
+        try:
+            x, factors = _operands()
+            expected = kron_matmul(x, factors, backend="numpy")
+            for _ in range(2):  # second request rides the cached fallback plan
+                assert np.array_equal(engine.submit(x, factors).result(timeout=60),
+                                      expected)
+            stats = engine.stats()
+            assert stats.backend_failures >= 1
+            assert stats.degraded_requests >= 2
+            assert stats.degraded_batches >= 2
+        finally:
+            engine.close()
+            backend.close()
+
+    def test_without_fallback_the_error_propagates(self):
+        backend = self._terminal_backend()
+        engine = KronEngine(backend=backend, max_delay_ms=0.0)
+        try:
+            x, factors = _operands()
+            with pytest.raises(BackendError):
+                engine.submit(x, factors).result(timeout=60)
+            assert engine.stats().backend_failures >= 1
+            assert engine.stats().degraded_requests == 0
+        finally:
+            engine.close()
+            backend.close()
+
+    def test_self_fallback_is_disabled(self):
+        engine = KronEngine(backend="numpy", max_delay_ms=0.0,
+                            fallback_backend="numpy")
+        try:
+            assert engine.fallback_backend is None
+        finally:
+            engine.close()
+
+    def test_plan_cache_consistent_after_mid_request_worker_death(self):
+        """A crash consumed by the supervisor must not poison the engine's
+        plan cache: the same cached plan keeps serving afterwards."""
+        backend = ProcessBackend(
+            num_workers=2, min_parallel_rows=8, op_timeout=60.0,
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.01),
+            fault_plan=FaultPlan.parse("worker.execute:crash@2#0"),
+        )
+        engine = KronEngine(backend=backend, max_delay_ms=0.0)
+        try:
+            x, factors = _operands()
+            expected = kron_matmul(x, factors, backend="numpy")
+            for _ in range(3):  # request 2 crashes worker 0 mid-execute
+                assert np.array_equal(engine.submit(x, factors).result(timeout=60),
+                                      expected)
+            stats = engine.stats()
+            assert stats.degraded_requests == 0  # recovery, not degradation
+            assert len(engine.plans) == 1  # one plan, reused across the crash
+            assert backend.supervisor_stats.describe()["retried_shards"] >= 1
+        finally:
+            engine.close()
+            backend.close()
+
+
+# --------------------------------------------------------------------------- #
+# client transport retry
+# --------------------------------------------------------------------------- #
+@requires_shm
+class TestClientTransportRetry:
+    def test_matmul_survives_a_dropped_connection(self):
+        """A mid-session transport loss is retried through a reconnect; the
+        server-global handle stays valid across connections."""
+        from repro.server import KronClient, ServerThread
+
+        factors = random_factors(3, 4, 4, dtype=np.float64, seed=0)
+        x = np.random.default_rng(1).standard_normal((8, 4**3))
+        with ServerThread(port=0) as srv:
+            with KronClient(port=srv.port,
+                            retry=RetryPolicy(max_attempts=3,
+                                              base_delay_s=0.01)) as client:
+                handle = client.register(factors)
+                client._sock.close()  # sever the transport under the client
+                y = client.matmul(handle, x)
+                assert np.array_equal(y, kron_matmul(x, factors))
+
+    def test_without_retry_the_loss_is_typed(self):
+        from repro.server import KronClient, ServerThread
+
+        factors = random_factors(3, 4, 4, dtype=np.float64, seed=0)
+        x = np.random.default_rng(1).standard_normal((8, 4**3))
+        with ServerThread(port=0) as srv:
+            with KronClient(port=srv.port) as client:
+                handle = client.register(factors)
+                client._sock.close()
+                with pytest.raises(ConnectionLostError):
+                    client.matmul(handle, x)
+                assert isinstance(ConnectionLostError("x"), ServerError)
+                assert isinstance(ConnectionLostError("x"), ConnectionError)
+
+
+# --------------------------------------------------------------------------- #
+# shared-memory atexit sweep
+# --------------------------------------------------------------------------- #
+@requires_shm
+class TestAtexitSweep:
+    def test_sweep_unlinks_live_tables(self):
+        table = SegmentTable()
+        table.create((4, 4), np.float64)
+        assert len(table) == 1
+        _sweep_segment_tables()  # what atexit runs for leaked tables
+        assert len(table) == 0
+
+    def test_sweep_tolerates_closed_tables(self):
+        table = SegmentTable()
+        table.create((4, 4), np.float64)
+        table.close_all()
+        _sweep_segment_tables()  # already-closed tables are a no-op
+        assert len(table) == 0
+
+
+# --------------------------------------------------------------------------- #
+# chaos harness (quiet arm; the stormy arm is benchmarks/bench_resilience.py)
+# --------------------------------------------------------------------------- #
+@requires_shm
+class TestChaosHarness:
+    def test_quiet_pool_full_availability_and_parity(self):
+        report = run_chaos(ChaosConfig(seconds=1.0, workers=2,
+                                       kill_period_s=3600.0, rows=16))
+        assert report.kills == 0
+        assert report.requests > 0
+        assert report.availability == 1.0
+        assert report.parity_ok
+        assert report.untyped_errors == 0
+        assert report.pool_restored
+        summary = report.describe()
+        assert summary["availability"] == 1.0
+        assert "respawns" in summary["supervisor"]

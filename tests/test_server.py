@@ -23,6 +23,8 @@ from repro.server import (
     ERR_BAD_REQUEST,
     ERR_BUSY,
     ERR_DEADLINE,
+    ERR_SHUTTING_DOWN,
+    ERR_TIMEOUT,
     ERR_UNKNOWN_HANDLE,
     ERR_UNSUPPORTED_VERSION,
     AsyncKronClient,
@@ -276,6 +278,81 @@ class TestSloScheduling:
         assert len(results) == 12
         for y in results:
             np.testing.assert_array_equal(y, expected)
+
+
+class TestResilienceServing:
+    def test_busy_frames_carry_retryable_flag(self):
+        """Backpressure sheds are transient by construction: every ``busy``
+        ERROR frame advertises ``retryable`` so policy-driven clients know a
+        resubmission may succeed."""
+        factors, x = _problem(rows=32)
+
+        async def scenario(port):
+            async with await AsyncKronClient.connect(port=port) as client:
+                handle = await client.register(factors)
+                futures = [
+                    await client.submit(handle, x, klass="bulk")
+                    for _ in range(24)
+                ]
+                busy = []
+                for frame in await asyncio.gather(*futures):
+                    if frame.kind == MessageKind.ERROR and \
+                            frame.header["code"] == ERR_BUSY:
+                        busy.append(frame.header.get("retryable"))
+                return busy
+
+        with ServerThread(
+            port=0,
+            policies=(
+                ClassPolicy("latency", weight=16.0, max_queue=64, max_inflight=8),
+                ClassPolicy("bulk", weight=1.0, max_queue=4, max_inflight=1),
+            ),
+            max_delay_ms=5.0,
+        ) as srv:
+            busy = asyncio.run(scenario(srv.port))
+        assert busy, "the flood never tripped backpressure"
+        assert all(flag is True for flag in busy)
+
+    def test_exec_timeout_rejection_is_typed_and_retryable(self):
+        """An execution exceeding ``exec_timeout_s`` surfaces as a typed,
+        retryable ``timeout`` frame — never a hung connection."""
+        factors, x = _problem()
+        with ServerThread(port=0, exec_timeout_s=1e-9) as srv, \
+                KronClient(port=srv.port) as client:
+            handle = client.register(factors)
+            with pytest.raises(RequestRejected) as excinfo:
+                client.matmul(handle, x)
+            assert excinfo.value.code == ERR_TIMEOUT
+            assert excinfo.value.retryable is True
+            stats = srv.describe()["scheduler"]["classes"]
+            assert stats["latency"]["timed_out"] >= 1
+
+    def test_stop_drains_inflight_and_gates_new_submits(self):
+        """``stop()`` lets admitted requests finish (the drain window) while
+        new submissions bounce with a typed ``shutting_down`` frame."""
+        factors, x = _problem(rows=16)
+
+        async def scenario(srv):
+            async with await AsyncKronClient.connect(port=srv.port) as client:
+                handle = await client.register(factors)
+                # Held by the micro-batching window: in flight when stop begins.
+                inflight = await client.submit(handle, x, klass="latency")
+                stopper = threading.Thread(target=srv.stop)
+                stopper.start()
+                await asyncio.sleep(0.05)  # let stop() flip the drain gate
+                late = await client.submit(handle, x, klass="latency")
+                frames = await asyncio.gather(inflight, late)
+                stopper.join(timeout=30)
+                return frames
+
+        with ServerThread(port=0, max_delay_ms=250.0, drain_s=10.0) as srv:
+            inflight_frame, late_frame = asyncio.run(scenario(srv))
+        assert inflight_frame.kind == MessageKind.RESULT
+        np.testing.assert_array_equal(
+            AsyncKronClient.result(inflight_frame), _expected(x, factors)
+        )
+        assert late_frame.kind == MessageKind.ERROR
+        assert late_frame.header["code"] == ERR_SHUTTING_DOWN
 
 
 class TestProtocolRobustness:
