@@ -1,0 +1,298 @@
+"""Graph benchmark: one compiled CG pipeline vs the eager per-call loop.
+
+Each sweep row runs the same fixed-iteration conjugate-gradient solve two
+ways — once with an eager matvec closure that re-enters the library on
+every CG iteration (per-call ``kron_matmul`` plus explicit transpose
+copies and a fresh noise-shift temporary each time, exactly what
+:func:`~repro.gp.cg.kron_matvec_operator` did before the op-graph layer)
+and once with the operator as it is now, whose per-iteration body
+(``transpose → kmm → +noise·vᵀ epilogue → transpose``) is compiled into
+one :class:`~repro.graph.GraphExecutor` reusing a single workspace — and
+asserts the two solutions are bit-identical.  Results land in
+``Graph-Comparison.csv`` and, for the CI perf gate, in a
+``BENCH_graph.json`` snapshot.
+
+The regression gate tracks the *speedup* (compiled-pipeline solve
+throughput normalised by the same-run eager throughput): a same-machine
+ratio is comparable across runner generations, unlike absolute
+solves/second.  CI fails when any config's speedup drops more than 20 %
+below the committed baseline
+(``benchmarks/baselines/BENCH_graph_baseline.json``) — reusing
+``check_serving_regression.py``, since the snapshot schema is shared.
+
+Run as a script to (re)generate the JSON snapshot::
+
+    PYTHONPATH=src python benchmarks/bench_graph.py --json results/BENCH_graph.json
+
+or through pytest for the asserting sweep plus the compiled-CG gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+import pytest
+
+from repro._version import __version__
+from repro.core.factors import KroneckerFactor, as_factor_list
+from repro.core.fastkron import kron_matmul
+from repro.gp.cg import conjugate_gradient, kron_matvec_operator
+from repro.utils.reporting import ResultTable
+
+#: The sweep: (backend, P, N, right-hand sides, noise, CG iterations,
+#: solves).  Small operators solved repeatedly — the regime where the
+#: per-iteration overhead the compiled pipeline removes (re-validation,
+#: transpose copies, noise-shift temporaries) dominates the GEMM work.
+SWEEP = [
+    ("numpy", 4, 3, 1, 0.5, 25, 20),
+    ("numpy", 4, 3, 8, 0.5, 25, 20),
+    ("numpy", 8, 3, 4, 0.5, 25, 10),
+    ("threaded", 4, 3, 8, 0.5, 25, 20),
+    ("threaded", 8, 3, 4, 0.5, 25, 10),
+]
+
+#: The acceptance configuration for the compiled-CG gate, on the
+#: multi-core backend (the gate skips itself on runners with < 4 cores).
+GATE_CASE = ("threaded", 4, 3, 8, 0.5, 25, 20)
+
+#: Floor for the in-suite gate (CI additionally checks the committed
+#: per-config baselines with check_serving_regression.py).
+GATE_MIN_SPEEDUP = 1.3
+
+
+@dataclass
+class GraphComparison:
+    """Result of one eager-vs-compiled CG run on one backend."""
+
+    backend: str
+    p: int
+    n: int
+    rhs: int
+    noise: float
+    iterations: int
+    solves: int
+    eager_seconds: float
+    graph_seconds: float
+    identical: bool
+
+    @property
+    def eager_sps(self) -> float:
+        """Eager-loop throughput in solves/second."""
+        return self.solves / self.eager_seconds
+
+    @property
+    def graph_sps(self) -> float:
+        """Compiled-pipeline throughput in solves/second."""
+        return self.solves / self.graph_seconds
+
+    @property
+    def speedup(self) -> float:
+        """Compiled-pipeline throughput normalised by the eager baseline."""
+        return self.eager_seconds / self.graph_seconds
+
+    def label(self) -> str:
+        return (f"{self.solves} solves, {self.p}^{self.n} x{self.rhs} rhs, "
+                f"{self.iterations} it")
+
+
+def config_key(backend: str, p: int, n: int, rhs: int, noise: float,
+               iterations: int, solves: int) -> str:
+    return f"{backend}|p{p}n{n}|rhs{rhs}|it{iterations}|{solves}solves"
+
+
+def _spd_factors(n: int, p: int, seed: int = 7) -> List[KroneckerFactor]:
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n):
+        a = rng.standard_normal((p, p))
+        out.append(KroneckerFactor(a @ a.T + p * np.eye(p)))
+    return out
+
+
+def _eager_matvec(factors, noise: float, backend) -> Callable[[np.ndarray], np.ndarray]:
+    """The pre-graph operator body: per-call kron_matmul + explicit copies."""
+    transposed = [
+        KroneckerFactor(np.ascontiguousarray(f.values.T.astype(np.float64)))
+        for f in as_factor_list(factors)
+    ]
+
+    def matvec(v: np.ndarray) -> np.ndarray:
+        v2 = v[:, None] if v.ndim == 1 else v
+        y = kron_matmul(np.ascontiguousarray(v2.T), transposed, backend=backend)
+        out = np.ascontiguousarray(y.T)
+        if noise:
+            out = out + noise * v2
+        return out[:, 0] if v.ndim == 1 else out
+
+    return matvec
+
+
+def compare_cg_pipelines(
+    backend: str,
+    p: int,
+    n: int,
+    rhs: int,
+    noise: float,
+    iterations: int,
+    solves: int,
+    repeats: int = 3,
+) -> GraphComparison:
+    """Time the eager CG loop against the compiled pipeline, best-of-repeats.
+
+    ``tol=0`` pins both arms to exactly ``iterations`` CG steps, so the
+    two runs do identical numerical work and the timings are comparable.
+    """
+    factors = _spd_factors(n, p)
+    order = p**n
+    rng = np.random.default_rng(13)
+    bs = [rng.standard_normal((order, rhs)) for _ in range(solves)]
+
+    eager = _eager_matvec(factors, noise, backend)
+    compiled = kron_matvec_operator(factors, noise=noise, backend=backend)
+
+    def run(matvec) -> List[np.ndarray]:
+        return [
+            conjugate_gradient(matvec, b, tol=0.0, max_iterations=iterations).solution
+            for b in bs
+        ]
+
+    try:
+        expected = run(eager)  # warm-up; also the parity reference
+        got = run(compiled)
+        identical = all(np.array_equal(a, b) for a, b in zip(expected, got))
+
+        eager_seconds = graph_seconds = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run(eager)
+            eager_seconds = min(eager_seconds, time.perf_counter() - start)
+            start = time.perf_counter()
+            run(compiled)
+            graph_seconds = min(graph_seconds, time.perf_counter() - start)
+    finally:
+        compiled.close()
+
+    return GraphComparison(
+        backend=backend,
+        p=p,
+        n=n,
+        rhs=rhs,
+        noise=noise,
+        iterations=iterations,
+        solves=solves,
+        eager_seconds=eager_seconds,
+        graph_seconds=graph_seconds,
+        identical=identical,
+    )
+
+
+def run_sweep(repeats: int = 3) -> List[GraphComparison]:
+    return [
+        compare_cg_pipelines(*config, repeats=repeats)
+        for config in SWEEP
+    ]
+
+
+def snapshot(results: List[GraphComparison]) -> Dict:
+    """The ``BENCH_graph.json`` payload; schema shared with the serving gate."""
+    configs = {}
+    for config, result in zip(SWEEP, results):
+        configs[config_key(*config)] = {
+            "eager_sps": round(result.eager_sps, 1),
+            "graph_sps": round(result.graph_sps, 1),
+            "speedup": round(result.speedup, 3),
+            "identical": result.identical,
+        }
+    return {
+        "schema": 1,
+        "version": __version__,
+        "cpu_count": os.cpu_count(),
+        "configs": configs,
+    }
+
+
+def results_table(results: List[GraphComparison]) -> ResultTable:
+    table = ResultTable(
+        name="Op graphs: eager CG loop vs compiled pipeline",
+        headers=["backend", "workload", "eager solves/s", "compiled solves/s",
+                 "speedup", "identical"],
+    )
+    for r in results:
+        table.add_row(
+            r.backend, r.label(), round(r.eager_sps, 1), round(r.graph_sps, 1),
+            round(r.speedup, 2), r.identical,
+        )
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# pytest entry points
+# --------------------------------------------------------------------------- #
+@pytest.mark.benchmark(group="graph")
+def test_graph_sweep(benchmark, save_table, results_dir):
+    """Regenerate the graph table + JSON snapshot; every row bit-identical."""
+    results = run_sweep()
+    save_table(results_table(results), "Graph-Comparison.csv")
+    path = Path(results_dir) / "BENCH_graph.json"
+    path.write_text(json.dumps(snapshot(results), indent=2, sort_keys=True))
+    for result in results:
+        assert result.identical, (
+            f"compiled CG diverged from the eager loop on {result.label()}"
+        )
+
+    def compare_once():
+        return compare_cg_pipelines(*GATE_CASE, repeats=1)
+
+    benchmark(compare_once)
+
+
+def test_graph_cg_speedup():
+    """The compiled CG pipeline beats the eager per-call loop multi-core."""
+    if os.cpu_count() < 4:
+        pytest.skip("compiled-CG gate needs >= 4 cores")
+    result = compare_cg_pipelines(*GATE_CASE, repeats=3)
+    assert result.identical
+    print(f"\ncompiled CG speedup on {result.label()} "
+          f"({result.backend}): {result.speedup:.2f}x")
+    assert result.speedup >= GATE_MIN_SPEEDUP, (
+        f"compiled pipeline only {result.speedup:.2f}x over the eager loop"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# script entry point (used by CI to emit the artifact)
+# --------------------------------------------------------------------------- #
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        default=str(Path(__file__).parent / "results" / "BENCH_graph.json"),
+        help="where to write the perf snapshot",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    results = run_sweep(repeats=args.repeats)
+    print(results_table(results).render())
+    payload = snapshot(results)
+    path = Path(args.json)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nwrote {path}")
+    if not all(r.identical for r in results):
+        print("error: compiled-pipeline results diverged from the eager loop",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

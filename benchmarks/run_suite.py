@@ -80,6 +80,10 @@ SUITES: Dict[str, Suite] = {
     for suite in (
         Suite("serving", "bench_serving.py"),
         Suite("plan", "bench_plan.py"),
+        # The graph suite's "speedup" is a whole-CG-solve ratio (compiled
+        # pipeline vs the eager per-iteration loop it replaced); its gate
+        # skips itself on runners with < 4 cores.
+        Suite("graph", "bench_graph.py"),
         Suite("fused", "bench_fused.py"),
         Suite("process", "bench_process.py"),
         Suite("numba", "bench_numba.py", requires="numba", tolerance=0.35),

@@ -24,6 +24,17 @@ provides:
     (:func:`repro.backends.set_default_backend`) or from the command line
     via the global ``--backend`` flag of ``fastkron-repro`` (the
     ``backends`` subcommand lists availability).
+``repro.graph``
+    Plan-level op graphs — the compile-once surface for whole pipelines.
+    A :class:`~repro.graph.KronGraph` is a DAG of ``kmm``, ``transpose``
+    and ``elementwise`` nodes; :func:`~repro.graph.compile_graph` plans
+    every KMM through the same compiler as :func:`kron_matmul` (results are
+    bit-identical), fuses trailing elementwise ops into KMM epilogues, and
+    one :class:`~repro.graph.GraphExecutor` runs the whole pipeline over a
+    single shared workspace.  ``kron_solve``, the gradients and the CG
+    matvec operator are all single-/two-node graphs internally; the legacy
+    ``plan=`` arguments still work but are deprecated in favour of
+    ``graph=``.
 ``repro.serving``
     The batched serving layer: :class:`~repro.serving.KronEngine` coalesces
     concurrent small Kron-Matmul requests into large sliced multiplies
@@ -96,6 +107,16 @@ from repro.core.gradients import kron_matmul_vjp
 from repro.core.problem import KronMatmulProblem
 from repro.core.sliced_multiply import sliced_multiply
 from repro.core.solve import kron_power, kron_solve
+from repro.gp.cg import conjugate_gradient, kron_matvec_operator
+from repro.graph import (
+    CompiledGraph,
+    GraphBuilder,
+    GraphExecutor,
+    KronGraph,
+    compile_graph,
+    graph,
+    graph_from_dict,
+)
 from repro.plan import KronPlan, PlanExecutor, compile_plan
 from repro.server import KronClient, KronServer, ServerThread
 from repro.serving import KronEngine
@@ -103,9 +124,13 @@ from repro.serving import KronEngine
 __all__ = [
     "__version__",
     "ArrayBackend",
+    "CompiledGraph",
     "FastKron",
+    "GraphBuilder",
+    "GraphExecutor",
     "KronClient",
     "KronEngine",
+    "KronGraph",
     "KronMatmulProblem",
     "KronServer",
     "ServerThread",
@@ -113,12 +138,17 @@ __all__ = [
     "KroneckerFactor",
     "KroneckerOperator",
     "PlanExecutor",
+    "compile_graph",
     "compile_plan",
+    "conjugate_gradient",
     "gekmm",
+    "graph",
+    "graph_from_dict",
     "kron_matmul",
     "kron_matmul_batched",
     "kron_matmul_vjp",
     "kron_matvec",
+    "kron_matvec_operator",
     "kron_power",
     "kron_solve",
     "available_backends",

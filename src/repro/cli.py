@@ -196,6 +196,58 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_graph(args: argparse.Namespace) -> int:
+    """Build and compile an op graph; print the compiled pipeline."""
+    import dataclasses
+    import json
+
+    from repro.graph import compile_graph
+    from repro.graph import graph as graph_builder
+
+    problem = _problem_from_args(args)
+    shapes = [(args.p, args.q or args.p) for _ in range(args.n)]
+    builder = graph_builder(dtype=problem.dtype)
+    if args.cg:
+        if any(p != q for p, q in shapes):
+            print("--cg requires square factors (an SPD Kronecker operator)",
+                  file=sys.stderr)
+            return 2
+        order = 1
+        for p, _q in shapes:
+            order *= p
+        v = builder.input("v", shape=(order, args.rhs))
+        vt = builder.transpose(v)
+        y = builder.kmm(shapes, vt)
+        if args.noise:
+            y = builder.axpy(args.noise, vt, y)
+        built = builder.build(builder.transpose(y))
+    else:
+        x = builder.input("x", shape=(problem.m, problem.k))
+        built = builder.build(builder.kmm(shapes, x))
+    compiled = compile_graph(
+        built, fuse=not args.no_fuse, cache_budget_bytes=args.cache_budget
+    )
+    if args.tune:
+        from repro.tuner import Autotuner
+
+        spec = spec_by_name(args.gpu)
+        tuner = Autotuner(
+            spec=spec, max_candidates=args.max_candidates, fuse=not args.no_fuse
+        )
+        compiled = dataclasses.replace(
+            compiled,
+            plans={
+                nid: tuner.tune_plan(plan) for nid, plan in compiled.plans.items()
+            },
+        )
+    if args.json:
+        print(json.dumps(compiled.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(compiled.explain())
+    print(f"  cache key: {compiled.cache_key()}")
+    return 0
+
+
 def _cmd_backends(args: argparse.Namespace) -> int:
     rows = []
     for name, available, description in registered_backends():
@@ -621,6 +673,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_pl.add_argument("--json", action="store_true",
                       help="dump the serialised plan (KronPlan.to_dict) instead of the summary")
     p_pl.set_defaults(func=_cmd_plan)
+
+    p_gr = sub.add_parser(
+        "graph", help="build and compile a plan-level op graph for one problem"
+    )
+    _add_problem_arguments(p_gr)
+    p_gr.add_argument("--cg", action="store_true",
+                      help="compile the CG per-iteration body (transpose -> kmm -> "
+                           "noise shift -> transpose) instead of a single-KMM graph")
+    p_gr.add_argument("--rhs", type=int, default=16,
+                      help="right-hand sides of the CG body (with --cg; default 16)")
+    p_gr.add_argument("--noise", type=float, default=0.0,
+                      help="noise shift fused as the KMM's epilogue (with --cg)")
+    p_gr.add_argument("--no-fuse", action="store_true",
+                      help="disable fusion grouping and epilogue fusion")
+    p_gr.add_argument("--tune", action="store_true",
+                      help="run the autotuner pass over every KMM node's plan")
+    p_gr.add_argument("--max-candidates", type=int, default=2000,
+                      help="tuning search budget per step (with --tune)")
+    p_gr.add_argument("--cache-budget", type=int, default=None, metavar="BYTES",
+                      help="cache budget bounding each fused group's per-row-block "
+                           "working set, per KMM node")
+    p_gr.add_argument("--json", action="store_true",
+                      help="dump the serialised compiled graph "
+                           "(CompiledGraph.to_dict) instead of the summary")
+    p_gr.set_defaults(func=_cmd_graph)
 
     p_be = sub.add_parser("backends", help="list execution backends and availability")
     p_be.set_defaults(func=_cmd_backends)

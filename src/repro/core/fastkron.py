@@ -16,8 +16,9 @@ executor — and its double-buffered workspace — alive across calls.
 
 from __future__ import annotations
 
+import warnings
 from functools import lru_cache
-from typing import Iterable, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -32,9 +33,15 @@ from repro.plan.ir import FP_STORAGE, KronPlan
 from repro.quant import QuantizedFactor
 from repro.utils.validation import ensure_2d
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.compiler import CompiledGraph
+    from repro.graph.executor import GraphExecutor
+    from repro.graph.ir import KronGraph
+
 __all__ = [
     "ExecutionStats",
     "FastKron",
+    "GraphLike",
     "PlanLike",
     "kron_matmul",
 ]
@@ -42,6 +49,26 @@ __all__ = [
 #: A caller-supplied execution plan: either the serialisable IR (a transient
 #: executor is built around it) or a live executor whose workspace is reused.
 PlanLike = Union[KronPlan, PlanExecutor]
+
+#: A caller-supplied op graph: the serialisable IR, a compiled artifact, or a
+#: live executor whose workspace (and bound factors) are reused across calls.
+GraphLike = Union["KronGraph", "CompiledGraph", "GraphExecutor"]
+
+
+def warn_plan_deprecated(api: str) -> None:
+    """The one ``plan=`` deprecation shim every entry point shares.
+
+    ``plan=`` keeps working — a plan is just a single-KMM graph — but the
+    compile-once surface is :mod:`repro.graph` now; point callers there.
+    """
+    warnings.warn(
+        f"{api}(plan=...) is deprecated; a plan is a single-KMM op graph — "
+        f"build one with repro.graph (G = graph(); y = G.kmm(factors, x); "
+        f"exe = G.compile(backend=...)) and pass graph=exe (or graph=G.build()) "
+        f"instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def _prepare_operands(
@@ -114,12 +141,129 @@ def _memoized_plan(
     )
 
 
+def _adopted_plan_graph(plan: KronPlan, backend: BackendLike) -> "GraphExecutor":
+    """Wrap a bare :class:`KronPlan` as a transient single-KMM graph executor.
+
+    The deprecated ``plan=KronPlan`` path is re-expressed through the graph
+    layer: the plan is *adopted* as the graph's one kmm node (tuned tiles and
+    row blocks intact, nothing recompiles), so legacy call sites execute on
+    exactly the machinery the graph API uses.
+    """
+    from repro.graph.compiler import CompiledGraph, ScheduleEntry
+    from repro.graph.executor import GraphExecutor
+    from repro.graph.ir import graph_from_plan
+
+    graph = graph_from_plan(plan)
+    compiled = CompiledGraph(
+        graph=graph,
+        backend=plan.backend,
+        plans={graph.kmm_ids[0]: plan},
+        schedule=(ScheduleEntry(graph.kmm_ids[0]),),
+    )
+    return GraphExecutor(compiled, backend=backend)
+
+
+def _execute_single_kmm_graph(
+    graph_like: GraphLike,
+    x2d: np.ndarray,
+    factor_list: List[KroneckerFactor],
+    out: Optional[np.ndarray],
+    backend: BackendLike,
+) -> np.ndarray:
+    """Run operands through a caller-supplied single-KMM graph."""
+    from repro.graph.compiler import CompiledGraph, compile_graph
+    from repro.graph.executor import GraphExecutor
+    from repro.graph.ir import KronGraph
+
+    transient = True
+    if isinstance(graph_like, GraphExecutor):
+        transient = False
+        executor = graph_like
+        if backend is not None and get_backend(backend).name != executor.backend.name:
+            raise BackendError(
+                f"graph executor is bound to backend {executor.backend.name!r} but "
+                f"backend={get_backend(backend).name!r} was requested; rebuild the "
+                f"executor for that backend or drop the backend argument"
+            )
+    elif isinstance(graph_like, CompiledGraph):
+        executor = GraphExecutor(graph_like, backend=backend)
+    elif isinstance(graph_like, KronGraph):
+        executor = GraphExecutor(compile_graph(graph_like, backend=backend), backend=backend)
+    else:
+        raise TypeError(
+            f"graph must be a KronGraph, CompiledGraph or GraphExecutor, "
+            f"got {type(graph_like).__name__}"
+        )
+    graph = executor.graph
+    try:
+        if len(graph.kmm_ids) != 1 or len(graph.input_ids) != 1:
+            raise ShapeError(
+                f"kron_matmul(graph=...) takes a single-KMM graph (one input, one "
+                f"kmm node); this graph has {len(graph.input_ids)} input(s) and "
+                f"{len(graph.kmm_ids)} kmm node(s) — execute it through its "
+                f"GraphExecutor directly"
+            )
+        if graph.np_dtype != x2d.dtype:
+            raise DTypeError(
+                f"operands promote to {x2d.dtype} but the supplied graph computes "
+                f"in {graph.np_dtype}; build the graph for the promoted dtype "
+                f"(silent casts are never applied on the graph= path)"
+            )
+        check_out_dtype(out, graph.np_dtype)
+        executor.bind_factors({graph.kmm_ids[0]: factor_list})
+        return executor.execute(x2d, out=out)
+    finally:
+        if transient:
+            executor.close()
+
+
+def _single_kmm_execute(
+    x2d: np.ndarray,
+    factor_list: List[KroneckerFactor],
+    backend: BackendLike,
+    op_factors: str = "N",
+) -> np.ndarray:
+    """Run one KMM through the memoized compiled-graph path.
+
+    The default (no ``plan=``/``graph=``) solve and gradient entry points are
+    two-node graphs internally: the compiled artifact is shared across calls
+    (graphs are immutable value objects), only the executor's workspace is
+    per-call.  Dtype promotion mirrors ``kron_matmul`` exactly, and each
+    node's plan compiles with the same arguments the eager path memoizes, so
+    results are bit-identical to a loop of library calls.  With
+    ``op_factors="T"`` the executor transposes the bound factors itself — the
+    backward pass binds the *forward* factors and never materialises a
+    transposed copy at the call site.
+    """
+    from repro.graph.compiler import memoized_kmm_graph
+    from repro.graph.executor import GraphExecutor
+
+    common = np.promote_types(x2d.dtype, factor_list[0].dtype)
+    if x2d.dtype != common:
+        x2d = x2d.astype(common)
+    if factor_list[0].dtype != common:
+        factor_list = [f.astype(common) for f in factor_list]
+    compiled = memoized_kmm_graph(
+        x2d.shape[0],
+        tuple(f.shape for f in factor_list),
+        str(common),
+        get_backend(backend).name,
+        op_factors,
+    )
+    executor = GraphExecutor(compiled, backend=backend, factors=factor_list)
+    try:
+        return executor.execute(x2d)
+    finally:
+        executor.close()
+
+
 def kron_matmul(
     x: np.ndarray,
     factors: Iterable["KroneckerFactor | np.ndarray"],
     out: Optional[np.ndarray] = None,
     backend: BackendLike = None,
     plan: Optional[PlanLike] = None,
+    graph: Optional[GraphLike] = None,
 ) -> np.ndarray:
     """Multiply ``x`` with the Kronecker product of ``factors``.
 
@@ -141,12 +285,20 @@ def kron_matmul(
         :class:`~repro.backends.ArrayBackend` instance, or ``None`` for the
         process default.
     plan:
-        Optional pre-compiled :class:`~repro.plan.KronPlan` (or a live
-        :class:`~repro.plan.PlanExecutor`) to reuse instead of compiling per
-        call.  The plan must match the operands' factor shapes and their
-        promoted compute dtype (no silent casts on this path); passing a
-        :class:`~repro.plan.PlanExecutor` additionally reuses its workspace,
-        which is the compile-once-execute-many fast path.
+        **Deprecated** (emits :class:`DeprecationWarning`): a pre-compiled
+        :class:`~repro.plan.KronPlan` or live :class:`~repro.plan.PlanExecutor`
+        to reuse instead of compiling per call.  A plan is a single-KMM op
+        graph; new code passes ``graph=`` (see :mod:`repro.graph`).  Bare
+        plans execute through the graph layer (adopted as the graph's one
+        kmm node); live executors keep their workspace-reuse semantics.
+    graph:
+        Optional single-KMM op graph to execute through: a
+        :class:`~repro.graph.ir.KronGraph`, a compiled
+        :class:`~repro.graph.compiler.CompiledGraph`, or a live
+        :class:`~repro.graph.executor.GraphExecutor` (the compile-once
+        fast path — its workspace and bound state persist across calls).
+        The graph must match the operands' factor shapes and promoted
+        compute dtype (no silent casts on this path).
 
     Returns
     -------
@@ -162,10 +314,53 @@ def kron_matmul(
     >>> np.array_equal(kron_matmul(x, f), x)
     True
     """
+    if plan is not None:
+        warn_plan_deprecated("kron_matmul")
+    return _kron_matmul(x, factors, out=out, backend=backend, plan=plan, graph=graph)
+
+
+def _kron_matmul(
+    x: np.ndarray,
+    factors: Iterable["KroneckerFactor | np.ndarray"],
+    out: Optional[np.ndarray] = None,
+    backend: BackendLike = None,
+    plan: Optional[PlanLike] = None,
+    graph: Optional[GraphLike] = None,
+) -> np.ndarray:
+    """:func:`kron_matmul` without the ``plan=`` deprecation shim.
+
+    Internal forwarding target: entry points that accept ``plan=`` themselves
+    (``gekmm``, ``kron_solve``, the gradients) warn once at their own surface
+    and route here, so one legacy call never warns twice.
+    """
+    if plan is not None and graph is not None:
+        raise ShapeError("pass either plan= (deprecated) or graph=, not both")
     x2d, factor_list, squeeze = _prepare_operands(x, factors)
-    # With plan=None or a bare KronPlan the executor is transient to this
-    # call and must hand its workspace back (a GC formality for host
-    # backends, a shared-memory unlink for the process backend).
+    if graph is not None:
+        y = _execute_single_kmm_graph(graph, x2d, factor_list, out=out, backend=backend)
+        return y[0] if squeeze else y
+    if isinstance(plan, KronPlan):
+        # Legacy bare plans are re-expressed as single-node graphs: the graph
+        # layer adopts the compiled plan verbatim and executes it on the same
+        # run_groups walk, so numerics cannot move.
+        if plan.np_dtype != x2d.dtype:
+            raise DTypeError(
+                f"operands promote to {x2d.dtype} but the supplied plan computes "
+                f"in {plan.np_dtype}; compile the plan for the promoted "
+                f"dtype (silent casts are never applied on the plan= path)"
+            )
+        check_out_dtype(out, plan.np_dtype)
+        plan.validate_operands(x2d, factor_list)
+        executor = _adopted_plan_graph(plan, backend)
+        try:
+            executor.bind_factors(factor_list)
+            y = executor.execute(x2d, out=out)
+        finally:
+            executor.close()
+        return y[0] if squeeze else y
+    # With plan=None the executor is transient to this call and must hand
+    # its workspace back (a GC formality for host backends, a shared-memory
+    # unlink for the process backend).
     transient = not isinstance(plan, PlanExecutor)
     if plan is None:
         check_out_dtype(out, x2d.dtype)

@@ -22,7 +22,13 @@ import numpy as np
 
 from repro.backends.registry import BackendLike
 from repro.core.factors import KroneckerFactor, as_factor_list
-from repro.core.fastkron import PlanLike, kron_matmul
+from repro.core.fastkron import (
+    GraphLike,
+    PlanLike,
+    _kron_matmul,
+    kron_matmul,
+    warn_plan_deprecated,
+)
 from repro.exceptions import ShapeError
 from repro.utils.validation import ensure_2d
 
@@ -52,6 +58,7 @@ def gekmm(
     out: Optional[np.ndarray] = None,
     backend: BackendLike = None,
     plan: Optional[PlanLike] = None,
+    graph: Optional[GraphLike] = None,
 ) -> np.ndarray:
     """General Kron-Matmul: ``Y = α · op(X) (⊗_i op(F_i)) + β · Z``.
 
@@ -73,17 +80,25 @@ def gekmm(
     backend:
         Execution backend name or instance (``None``: process default).
     plan:
-        Optional pre-compiled :class:`~repro.plan.KronPlan` (or a live
+        **Deprecated** (emits :class:`DeprecationWarning`; pass ``graph=``):
+        a pre-compiled :class:`~repro.plan.KronPlan` (or a live
         :class:`~repro.plan.PlanExecutor`) reused for the inner Kron-Matmul
         instead of compiling per call.  It must match the factors *after*
         ``op_factors`` is applied (with ``op_factors='N'`` that is simply
         the caller's forward plan).
+    graph:
+        Optional single-KMM op graph (IR, compiled, or live
+        :class:`~repro.graph.executor.GraphExecutor`) reused for the inner
+        Kron-Matmul — the :mod:`repro.graph` compile-once surface.  Same
+        matching rule as ``plan``.
 
     Returns
     -------
     numpy.ndarray of shape ``(M, Π Q_i)`` (``Π P_i`` when the factors are
     transposed).
     """
+    if plan is not None:
+        warn_plan_deprecated("gekmm")
     op_x = _validate_op(op_x, "op_x")
     op_factors = _validate_op(op_factors, "op_factors")
     factor_list = _apply_op_to_factors(as_factor_list(factors), op_factors)
@@ -92,7 +107,7 @@ def gekmm(
     if op_x == "T":
         x2d = np.ascontiguousarray(x2d.T)
 
-    product = kron_matmul(x2d, factor_list, backend=backend, plan=plan)
+    product = _kron_matmul(x2d, factor_list, backend=backend, plan=plan, graph=graph)
     z_arr: Optional[np.ndarray] = None
     if beta != 0.0:
         if z is None:
@@ -162,22 +177,26 @@ def kron_matmul_batched(
     alpha: float = 1.0,
     backend: BackendLike = None,
     plan: Optional[PlanLike] = None,
+    graph: Optional[GraphLike] = None,
 ) -> np.ndarray:
     """Apply the same Kronecker product to a batch of matrices.
 
     ``x_batch`` has shape ``(B, M, Π P_i)``; the result has shape
     ``(B, M, Π Q_i)``.  The batch is flattened into one tall Kron-Matmul so
     the per-call overhead is paid once (this mirrors FastKron's strided
-    batched interface).  A caller-supplied ``plan`` (compiled with row
-    capacity ``>= B * M``) is reused for the flattened multiply.
+    batched interface).  A caller-supplied ``graph`` (or a deprecated
+    ``plan``, compiled with row capacity ``>= B * M``) is reused for the
+    flattened multiply.
     """
+    if plan is not None:
+        warn_plan_deprecated("kron_matmul_batched")
     x_arr = np.asarray(x_batch)
     if x_arr.ndim != 3:
         raise ShapeError(f"x_batch must have shape (B, M, K), got ndim={x_arr.ndim}")
     b, m, k = x_arr.shape
     factor_list = as_factor_list(factors)
     flat = np.ascontiguousarray(x_arr).reshape(b * m, k)
-    result = kron_matmul(flat, factor_list, backend=backend, plan=plan)
+    result = _kron_matmul(flat, factor_list, backend=backend, plan=plan, graph=graph)
     if alpha != 1.0:
         np.multiply(result, alpha, out=result)
     return result.reshape(b, m, -1)

@@ -25,7 +25,14 @@ import numpy as np
 
 from repro.backends.registry import BackendLike
 from repro.core.factors import KroneckerFactor, as_factor_list
-from repro.core.fastkron import PlanLike, kron_matmul
+from repro.core.fastkron import (
+    GraphLike,
+    PlanLike,
+    _kron_matmul,
+    _single_kmm_execute,
+    kron_matmul,
+    warn_plan_deprecated,
+)
 from repro.exceptions import ShapeError
 from repro.utils.validation import ensure_2d
 
@@ -35,18 +42,44 @@ def kron_matmul_backward_x(
     factors: Iterable,
     backend: BackendLike = None,
     plan: Optional[PlanLike] = None,
+    graph: Optional[GraphLike] = None,
 ) -> np.ndarray:
     """Gradient of the Kron-Matmul with respect to ``X``.
 
-    ``dX = dY (⊗_i F_i)^T = dY (⊗_i F_i^T)`` — another Kron-Matmul.  A
-    caller-supplied ``plan`` is reused for it; the plan must match the
-    *transposed* factor shapes ``(Q_i, P_i)`` (identical to the forward
-    shapes when the factors are square), which is what a training loop that
-    compiles once per parameter shape hands in.
+    ``dX = dY (⊗_i F_i)^T = dY (⊗_i F_i^T)`` — another Kron-Matmul.  By
+    default it runs as a compiled two-node op graph whose ``kmm`` node is
+    marked ``op_factors="T"``: the *forward* factors are bound and the graph
+    executor transposes them itself, so a training loop never materialises
+    transposed copies at the call site.  A caller-supplied ``graph`` (or the
+    deprecated ``plan``) is reused instead; it must match the *transposed*
+    factor shapes ``(Q_i, P_i)`` (identical to the forward shapes when the
+    factors are square), which is what a training loop that compiles once per
+    parameter shape hands in.
     """
+    if plan is not None:
+        warn_plan_deprecated("kron_matmul_backward_x")
+    return _backward_x_no_warn(dy, factors, backend=backend, plan=plan, graph=graph)
+
+
+def _backward_x_no_warn(
+    dy: np.ndarray,
+    factors: Iterable,
+    backend: BackendLike = None,
+    plan: Optional[PlanLike] = None,
+    graph: Optional[GraphLike] = None,
+) -> np.ndarray:
+    """:func:`kron_matmul_backward_x` without the ``plan=`` deprecation shim."""
     factor_list = as_factor_list(factors)
-    transposed = [KroneckerFactor(np.ascontiguousarray(f.values.T)) for f in factor_list]
-    return kron_matmul(np.asarray(dy), transposed, backend=backend, plan=plan)
+    dy_arr = np.asarray(dy)
+    if plan is not None or graph is not None:
+        transposed = [
+            KroneckerFactor(np.ascontiguousarray(f.values.T)) for f in factor_list
+        ]
+        return _kron_matmul(dy_arr, transposed, backend=backend, plan=plan, graph=graph)
+    squeeze = dy_arr.ndim == 1
+    dy2d = ensure_2d(dy_arr, "dY")
+    result = _single_kmm_execute(dy2d, factor_list, backend, op_factors="T")
+    return result[0] if squeeze else result
 
 
 def _partial_product(
@@ -116,14 +149,20 @@ def kron_matmul_vjp(
     factors: Iterable,
     backend: BackendLike = None,
     plan: Optional[PlanLike] = None,
+    graph: Optional[GraphLike] = None,
 ) -> Tuple[np.ndarray, List[np.ndarray]]:
     """Full vector-Jacobian product: ``(dX, [dF_1, ..., dF_N])``.
 
-    ``plan`` (matching the transposed factor shapes) is reused for the
-    ``dX`` Kron-Matmul; the per-factor contractions compile their own
-    schedules since each isolates a different mode.
+    ``graph`` (or the deprecated ``plan``, both matching the transposed
+    factor shapes) is reused for the ``dX`` Kron-Matmul; the per-factor
+    contractions compile their own schedules since each isolates a different
+    mode.
     """
+    if plan is not None:
+        warn_plan_deprecated("kron_matmul_vjp")
     return (
-        kron_matmul_backward_x(dy, factors, backend=backend, plan=plan),
+        # Forward through the no-warn internals: the vjp warned at its own
+        # surface already, the nested backward_x call must not warn again.
+        _backward_x_no_warn(dy, factors, backend=backend, plan=plan, graph=graph),
         kron_matmul_backward_factors(x, dy, factors, backend=backend),
     )

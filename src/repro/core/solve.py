@@ -19,7 +19,14 @@ import numpy as np
 
 from repro.backends.registry import BackendLike
 from repro.core.factors import KroneckerFactor, as_factor_list
-from repro.core.fastkron import PlanLike, kron_matmul
+from repro.core.fastkron import (
+    GraphLike,
+    PlanLike,
+    _kron_matmul,
+    _single_kmm_execute,
+    kron_matmul,
+    warn_plan_deprecated,
+)
 from repro.exceptions import ShapeError
 from repro.utils.validation import ensure_2d
 
@@ -47,6 +54,7 @@ def kron_solve(
     rcond: float | None = None,
     backend: BackendLike = None,
     plan: Optional[PlanLike] = None,
+    graph: Optional[GraphLike] = None,
 ) -> np.ndarray:
     """Solve ``X (F_1 ⊗ ... ⊗ F_N) = B`` for ``X``.
 
@@ -63,16 +71,25 @@ def kron_solve(
     backend:
         Execution backend for the Kron-Matmul (``None``: process default).
     plan:
-        Optional pre-compiled :class:`~repro.plan.KronPlan` (or live
-        :class:`~repro.plan.PlanExecutor`) reused for the multiply with the
-        *inverted* factors.  With square factors the inverted shapes equal
-        the forward shapes, so a repeated solver can compile one plan for
-        ``(M, (Q_i, P_i))`` and amortise it across right-hand sides.
+        Deprecated — pass ``graph=`` instead.  A pre-compiled
+        :class:`~repro.plan.KronPlan` (or live
+        :class:`~repro.plan.PlanExecutor`) is a single-KMM op graph; it is
+        adopted as one and reused for the multiply with the *inverted*
+        factors.
+    graph:
+        Optional single-KMM op graph (:class:`~repro.graph.KronGraph`,
+        :class:`~repro.graph.CompiledGraph`, or live
+        :class:`~repro.graph.GraphExecutor`) reused for the multiply with
+        the *inverted* factors.  With square factors the inverted shapes
+        equal the forward shapes, so a repeated solver can compile one graph
+        for ``(M, (Q_i, P_i))`` and amortise it across right-hand sides.
 
     Returns
     -------
     numpy.ndarray of shape ``(M, Π P_i)``.
     """
+    if plan is not None:
+        warn_plan_deprecated("kron_solve")
     factor_list = as_factor_list(factors)
     b_arr = np.asarray(b)
     squeeze = b_arr.ndim == 1
@@ -83,7 +100,12 @@ def kron_solve(
     # X = B G^{-1} = B (F_1^{-1} ⊗ ... ⊗ F_N^{-1}) — use pinv(F_i) for the
     # rectangular case, for which B G^+ is the minimum-norm least-squares X.
     inverted = _inverted_factors(factor_list, rcond)
-    result = kron_matmul(b2d, inverted, backend=backend, plan=plan)
+    if plan is not None or graph is not None:
+        result = _kron_matmul(b2d, inverted, backend=backend, plan=plan, graph=graph)
+    else:
+        # The default path is a two-node op graph (input -> kmm over the
+        # inverted factors) compiled once per shape and shared across calls.
+        result = _single_kmm_execute(b2d, inverted, backend)
     return result[0] if squeeze else result
 
 

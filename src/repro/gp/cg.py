@@ -9,12 +9,62 @@ dominated by a Kron-Matmul.
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
 from repro.exceptions import ConvergenceError
+
+#: Content-addressed cache of transposed-float64 factor lists.  GP training
+#: builds a fresh matvec operator per hyperparameter step but the covariance
+#: factors only change when the hyperparameters do, so the transpose+cast —
+#: O(Σ P_i Q_i) work and allocations — is keyed on the factor *values* and
+#: reused across operators.
+_TRANSPOSED_CACHE_SIZE = 32
+_transposed_cache: "OrderedDict[str, Tuple]" = OrderedDict()
+_transposed_cache_lock = threading.Lock()
+
+
+def factors_content_fingerprint(factor_list) -> str:
+    """SHA-256 over the factors' dtypes, shapes and raw values."""
+    digest = hashlib.sha256()
+    for factor in factor_list:
+        values = np.ascontiguousarray(factor.values)
+        digest.update(str(values.dtype).encode())
+        digest.update(repr(values.shape).encode())
+        digest.update(values.tobytes())
+    return digest.hexdigest()
+
+
+def _transposed_float64_factors(factor_list) -> Tuple:
+    """The transposed, float64-cast factor list, cached on content."""
+    from repro.core.factors import KroneckerFactor
+
+    key = factors_content_fingerprint(factor_list)
+    with _transposed_cache_lock:
+        cached = _transposed_cache.get(key)
+        if cached is not None:
+            _transposed_cache.move_to_end(key)
+            return cached
+    transposed = tuple(
+        KroneckerFactor(np.ascontiguousarray(f.values.T, dtype=np.float64))
+        for f in factor_list
+    )
+    with _transposed_cache_lock:
+        _transposed_cache[key] = transposed
+        while len(_transposed_cache) > _TRANSPOSED_CACHE_SIZE:
+            _transposed_cache.popitem(last=False)
+    return transposed
+
+
+def clear_transposed_factor_cache() -> None:
+    """Drop every cached transposed factor list (test/diagnostic hook)."""
+    with _transposed_cache_lock:
+        _transposed_cache.clear()
 
 
 def kron_matvec_operator(
@@ -22,36 +72,72 @@ def kron_matvec_operator(
 ) -> Callable[[np.ndarray], np.ndarray]:
     """Build a CG-compatible matvec ``v -> (⊗F_i) v + noise·v``.
 
-    The returned closure applies the Kronecker operator column-wise through
-    :func:`repro.kron_matmul` on the requested execution backend — the
-    standard way to hand a Kronecker covariance to
-    :func:`conjugate_gradient` without materialising it.
+    The whole per-iteration body — transpose ``v``, Kron-Matmul with the
+    transposed factors, the ``+ noise·v`` shift, transpose back — compiles
+    *once* into a single :class:`~repro.graph.GraphExecutor` per right-hand-
+    side count: one plan per KMM, one shared double-buffered workspace, and
+    the noise shift fused as the KMM node's epilogue.  Iterating CG then
+    re-enters the compiled executor with zero re-planning and zero workspace
+    churn; results are bit-identical to the eager
+    ``kron_matmul(v.T, transposed).T + noise*v`` loop this replaces.
+
+    The transposed-float64 factor list is cached on a content fingerprint of
+    the factor values, so rebuilding the operator for unchanged factors (a
+    fresh operator per CG solve is the common GP-training pattern) skips the
+    transpose+cast entirely.
+
+    The returned closure exposes ``matvec.executors`` (the per-shape
+    compiled executors) and ``matvec.close()`` (release their workspaces).
     """
     from repro.backends.registry import get_backend
-    from repro.core.factors import KroneckerFactor, as_factor_list
-    from repro.core.fastkron import kron_matmul
+    from repro.core.factors import as_factor_list
 
     # (⊗F) v = (v^T (⊗F^T))^T: the column-vector product is a row-major
     # Kron-Matmul with the transposed factors (a no-op for the symmetric
-    # covariance factors CG actually needs).  Cast to float64 here, once —
+    # covariance factors CG actually needs).  Cast to float64 once, here —
     # CG runs in float64, and casting inside the closure would re-convert
     # every factor on every iteration.
-    transposed = [
-        KroneckerFactor(np.ascontiguousarray(f.values.T, dtype=np.float64))
-        for f in as_factor_list(factors)
-    ]
+    transposed = _transposed_float64_factors(as_factor_list(factors))
+    n = int(np.prod([f.q for f in transposed]))
     resolved = get_backend(backend)
+    executors: Dict[int, object] = {}
+    lock = threading.Lock()
+
+    def _compile_body(m_cols: int):
+        from repro.graph.builder import graph as graph_builder
+
+        builder = graph_builder(dtype=np.float64)
+        v_node = builder.input("v", shape=(n, m_cols))
+        vt = builder.transpose(v_node)
+        y = builder.kmm(list(transposed), vt)
+        if noise:
+            # Fuses as the KMM's epilogue: noise·vᵀ + y in place on the
+            # workspace view, before the final transpose materialises.
+            y = builder.axpy(noise, vt, y)
+        out = builder.transpose(y)
+        return builder.compile(backend=resolved, output=out)
 
     def matvec(v: np.ndarray) -> np.ndarray:
         v = np.asarray(v, dtype=np.float64)
         squeeze = v.ndim == 1
         if squeeze:
             v = v[:, None]
-        result = kron_matmul(np.ascontiguousarray(v.T), transposed, backend=resolved).T
-        if noise:
-            result = result + noise * v
-        return result[:, 0] if squeeze else np.ascontiguousarray(result)
+        with lock:
+            executor = executors.get(v.shape[1])
+            if executor is None:
+                executor = _compile_body(v.shape[1])
+                executors[v.shape[1]] = executor
+            result = executor.execute(v)
+        return result[:, 0] if squeeze else result
 
+    def close() -> None:
+        with lock:
+            for executor in executors.values():
+                executor.close()
+            executors.clear()
+
+    matvec.executors = executors  # type: ignore[attr-defined]
+    matvec.close = close  # type: ignore[attr-defined]
     return matvec
 
 

@@ -1,0 +1,63 @@
+"""Plan-level op graphs: compile whole pipelines into one executor.
+
+The compile-once surface for multi-KMM workloads::
+
+    from repro.graph import graph
+
+    G = graph()
+    y = G.kmm(factors, x)          # arrays auto-wrap as captured inputs
+    r = G.axpy(-1.0, y, b)         # fused into the kmm's epilogue
+    exe = G.compile(backend="threaded")
+    residual = exe.execute()       # one workspace, one arena, zero re-planning
+
+See :mod:`repro.graph.ir` for the node kinds, :mod:`repro.graph.compiler`
+for how KMM nodes reuse :func:`~repro.plan.compiler.compile_plan` (graphs
+are bit-identical to the eager calls they replace), and
+:mod:`repro.graph.executor` for the runtime.
+"""
+
+from repro.graph.builder import GraphBuilder, Node, graph
+from repro.graph.compiler import (
+    CompiledGraph,
+    ScheduleEntry,
+    compile_graph,
+    memoized_kmm_graph,
+)
+from repro.graph.executor import GraphExecutor
+from repro.graph.ir import (
+    ELEMENTWISE_OPS,
+    GRAPH_SCHEMA,
+    NODE_KINDS,
+    GraphNode,
+    KronGraph,
+    graph_cache_key,
+    graph_from_plan,
+)
+
+__all__ = [
+    "ELEMENTWISE_OPS",
+    "GRAPH_SCHEMA",
+    "NODE_KINDS",
+    "CompiledGraph",
+    "GraphBuilder",
+    "GraphExecutor",
+    "GraphNode",
+    "KronGraph",
+    "Node",
+    "ScheduleEntry",
+    "compile_graph",
+    "graph",
+    "graph_cache_key",
+    "graph_from_dict",
+    "graph_from_plan",
+    "memoized_kmm_graph",
+]
+
+
+def graph_from_dict(payload) -> KronGraph:
+    """Load a graph from its :meth:`~repro.graph.ir.KronGraph.to_dict` payload.
+
+    Accepts schema 5 (the graph IR) and the :class:`~repro.plan.ir.KronPlan`
+    schemas 1–4, which load as single-node (input → kmm) graphs.
+    """
+    return KronGraph.from_dict(payload)

@@ -1,0 +1,270 @@
+"""The :func:`graph` builder: the one public compile-once surface.
+
+The builder is how pipelines are written down::
+
+    G = graph()
+    y = G.kmm(factors, x)          # x: ndarray or a previous node
+    r = G.axpy(-1.0, y, b)         # fused into the kmm's epilogue
+    exe = G.compile(backend="threaded")
+    residual = exe.execute()
+
+Operands may be node handles or concrete arrays: an array is auto-wrapped
+as an ``input`` node whose value is *captured* as that input's default, so
+the snippet above runs with no further feeding.  ``G.compile()`` builds the
+:class:`~repro.graph.ir.KronGraph`, compiles it for the backend and returns
+a live :class:`~repro.graph.executor.GraphExecutor` with every captured
+operand bound; :meth:`GraphBuilder.build` returns just the serialisable
+graph when only the IR is wanted.
+
+Shape-only pipelines (the server, the CLI) pass ``(P, Q)`` tuples to
+:meth:`GraphBuilder.kmm` and explicit :meth:`GraphBuilder.input` nodes, and
+bind concrete operands on the executor later.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.factors import as_factor_list
+from repro.exceptions import ShapeError
+from repro.graph.ir import GraphNode, KronGraph
+from repro.plan.ir import FP_STORAGE
+from repro.quant import QuantizedFactor
+
+__all__ = ["GraphBuilder", "Node", "graph"]
+
+
+class Node:
+    """A lightweight handle to one node under construction."""
+
+    __slots__ = ("builder", "id")
+
+    def __init__(self, builder: "GraphBuilder", node_id: int):
+        self.builder = builder
+        self.id = node_id
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.builder._nodes[self.id].shape
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        node = self.builder._nodes[self.id]
+        return f"<Node {node.id} {node.kind} {node.shape}>"
+
+
+Operand = Union[Node, np.ndarray]
+
+
+def _is_shape_list(factors) -> bool:
+    """Whether ``factors`` is a list of ``(P, Q)`` pairs rather than operands."""
+    try:
+        items = list(factors)
+    except TypeError:
+        return False
+    if not items:
+        return False
+    return all(
+        isinstance(item, (tuple, list))
+        and len(item) == 2
+        and all(isinstance(v, (int, np.integer)) for v in item)
+        for item in items
+    )
+
+
+class GraphBuilder:
+    """Accumulates nodes; :meth:`build` freezes them into a :class:`KronGraph`."""
+
+    def __init__(self, dtype=None):
+        self._nodes: List[GraphNode] = []
+        self._dtype: Optional[np.dtype] = np.dtype(dtype) if dtype is not None else None
+        #: Captured defaults for auto-wrapped inputs, node id → array.
+        self._captured_inputs: Dict[int, np.ndarray] = {}
+        #: Captured concrete factors, kmm node id → factor list.
+        self._captured_factors: Dict[int, list] = {}
+
+    # ------------------------------------------------------------------ #
+    # node constructors
+    # ------------------------------------------------------------------ #
+    def input(self, name: str = "", shape: Optional[Tuple[int, int]] = None,
+              value: Optional[np.ndarray] = None) -> Node:
+        """Declare a runtime operand; ``value`` captures a default to bind."""
+        if value is not None:
+            arr = np.asarray(value)
+            if arr.ndim != 2:
+                raise ShapeError(
+                    f"graph inputs are 2-D matrices, got ndim={arr.ndim} for {name!r}"
+                )
+            if shape is not None and tuple(shape) != arr.shape:
+                raise ShapeError(
+                    f"input {name!r}: declared shape {tuple(shape)} != value shape "
+                    f"{arr.shape}"
+                )
+            shape = arr.shape
+        if shape is None:
+            raise ShapeError("input nodes need a shape (or a concrete value)")
+        node = self._append(
+            GraphNode(
+                id=len(self._nodes), kind="input", inputs=(),
+                shape=(int(shape[0]), int(shape[1])),
+                name=name or f"in{len(self._nodes)}",
+            )
+        )
+        if value is not None:
+            self._captured_inputs[node.id] = np.asarray(value)
+        return node
+
+    def kmm(self, factors, x: Operand, op_factors: str = "N") -> Node:
+        """One Kron-Matmul node: ``factors`` are concrete or ``(P, Q)`` shapes."""
+        if _is_shape_list(factors):
+            factor_shapes = tuple((int(p), int(q)) for p, q in factors)
+            storage: Tuple[str, ...] = ()
+            captured = None
+        else:
+            factor_list = as_factor_list(factors)
+            factor_shapes = tuple(f.shape for f in factor_list)
+            storage = tuple(
+                f.scheme if isinstance(f, QuantizedFactor) else FP_STORAGE
+                for f in factor_list
+            )
+            if all(s == FP_STORAGE for s in storage):
+                storage = ()
+            captured = factor_list
+        src = self._as_node(x)
+        src_shape = self._nodes[src.id].shape
+        eff = factor_shapes if op_factors != "T" else tuple((q, p) for p, q in factor_shapes)
+        out_cols = 1
+        for _, q in eff:
+            out_cols *= q
+        node = self._append(
+            GraphNode(
+                id=len(self._nodes), kind="kmm", inputs=(src.id,),
+                shape=(src_shape[0], out_cols),
+                factor_shapes=factor_shapes, op_factors=op_factors, storage=storage,
+            )
+        )
+        if captured is not None:
+            self._captured_factors[node.id] = captured
+        return node
+
+    def axpy(self, alpha: float, a: Operand, b: Operand) -> Node:
+        """``alpha * a + b`` — the CG residual/noise update shape."""
+        return self._elementwise("axpy", (a, b), alpha=float(alpha))
+
+    def scale(self, alpha: float, a: Operand) -> Node:
+        return self._elementwise("scale", (a,), alpha=float(alpha))
+
+    def add(self, a: Operand, b: Operand) -> Node:
+        return self._elementwise("add", (a, b))
+
+    def sub(self, a: Operand, b: Operand) -> Node:
+        return self._elementwise("sub", (a, b))
+
+    def mul(self, a: Operand, b: Operand) -> Node:
+        return self._elementwise("mul", (a, b))
+
+    def transpose(self, a: Operand) -> Node:
+        src = self._as_node(a)
+        rows, cols = self._nodes[src.id].shape
+        return self._append(
+            GraphNode(
+                id=len(self._nodes), kind="transpose", inputs=(src.id,),
+                shape=(cols, rows),
+            )
+        )
+
+    def dot(self, a: Operand, b: Operand) -> Node:
+        """Column-wise inner product ``sum(a * b, axis=0)`` as a ``(1, cols)`` node."""
+        na, nb = self._as_node(a), self._as_node(b)
+        shape = self._nodes[na.id].shape
+        return self._append(
+            GraphNode(
+                id=len(self._nodes), kind="dot", inputs=(na.id, nb.id),
+                shape=(1, shape[1]),
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    def build(self, output: Optional[Node] = None) -> KronGraph:
+        """Freeze the accumulated nodes into a :class:`KronGraph`.
+
+        ``output`` defaults to the most recently added node.  Building does
+        not consume the builder, but graphs are immutable value objects —
+        captured operands stay on the builder and travel only through
+        :meth:`compile`.
+        """
+        if not self._nodes:
+            raise ShapeError("cannot build an empty graph")
+        out_id = self._nodes[-1].id if output is None else self._node_id(output)
+        return KronGraph(
+            nodes=tuple(self._nodes), output=out_id, dtype=str(self._resolve_dtype())
+        )
+
+    def compile(self, backend=None, output: Optional[Node] = None, **compile_opts):
+        """Compile the pipeline and return a live executor with captured operands bound."""
+        from repro.graph.compiler import compile_graph
+        from repro.graph.executor import GraphExecutor
+
+        built = self.build(output=output)
+        compiled = compile_graph(built, backend=backend, **compile_opts)
+        return GraphExecutor(
+            compiled,
+            backend=backend,
+            factors=dict(self._captured_factors) or None,
+            inputs=dict(self._captured_inputs) or None,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _append(self, node: GraphNode) -> Node:
+        # Validate eagerly so builder mistakes point at the offending call,
+        # not at build(); _validate_node only looks backwards.
+        from repro.graph.ir import _validate_node
+
+        _validate_node(node, tuple(self._nodes) + (node,))
+        self._nodes.append(node)
+        return Node(self, node.id)
+
+    def _elementwise(self, op: str, operands: Sequence[Operand], alpha: float = 1.0) -> Node:
+        nodes = [self._as_node(o) for o in operands]
+        shape = self._nodes[nodes[0].id].shape
+        return self._append(
+            GraphNode(
+                id=len(self._nodes), kind="elementwise",
+                inputs=tuple(n.id for n in nodes), shape=shape, op=op, alpha=alpha,
+            )
+        )
+
+    def _as_node(self, operand: Operand) -> Node:
+        if isinstance(operand, Node):
+            if operand.builder is not self:
+                raise ShapeError("operand node belongs to a different graph builder")
+            return operand
+        return self.input(value=np.asarray(operand))
+
+    def _node_id(self, node: Node) -> int:
+        if not isinstance(node, Node) or node.builder is not self:
+            raise ShapeError("output must be a node of this builder")
+        return node.id
+
+    def _resolve_dtype(self) -> np.dtype:
+        if self._dtype is not None:
+            return self._dtype
+        # Promote over every captured operand, the way kron_matmul promotes
+        # its x/factors pair; shape-only graphs default to float64.
+        dtype: Optional[np.dtype] = None
+        candidates = [arr.dtype for arr in self._captured_inputs.values()]
+        for factor_list in self._captured_factors.values():
+            candidates.extend(f.dtype for f in factor_list)
+        for candidate in candidates:
+            dtype = candidate if dtype is None else np.promote_types(dtype, candidate)
+        return dtype if dtype is not None else np.dtype(np.float64)
+
+
+def graph(dtype=None) -> GraphBuilder:
+    """Start a new pipeline: ``G = graph(); y = G.kmm(factors, x); ...``.
+
+    ``dtype`` pins the compute dtype; by default it is promoted over the
+    captured operands at build time (float64 for shape-only graphs).
+    """
+    return GraphBuilder(dtype=dtype)

@@ -1,0 +1,280 @@
+"""Deterministic graph compilation: topological schedule + per-KMM plans.
+
+:func:`compile_graph` lowers a :class:`~repro.graph.ir.KronGraph` to a
+:class:`CompiledGraph`:
+
+* every ``kmm`` node compiles through the existing
+  :func:`~repro.plan.compiler.compile_plan` — with the exact arguments the
+  one-shot ``kron_matmul`` path uses, so a graph-compiled KMM and an eager
+  call share the same plan and therefore the same bits;
+* single-consumer ``elementwise`` chains hanging off a ``kmm`` are fused as
+  that node's *epilogue*: they run in place on the workspace view right
+  after the plan's final fusion group, before the result is materialised
+  (the tiled-GEMM epilogue idiom, lifted to whole plans);
+* the schedule is the graph's node order restricted to the nodes the output
+  actually needs, which makes compilation — and the compiled fingerprint —
+  deterministic.
+
+The executor sizes **one** double-buffered workspace and one scratch arena
+over the whole graph (max rows × max workspace columns across every KMM
+plan); :class:`CompiledGraph` exposes that sizing here so it can be
+inspected without allocating anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.backends.registry import BackendLike, get_backend
+from repro.core.problem import KronMatmulProblem
+from repro.graph.ir import GraphNode, KronGraph, graph_cache_key
+from repro.plan.compiler import compile_plan
+from repro.plan.fingerprint import fingerprint_digest
+from repro.plan.ir import KronPlan
+
+__all__ = ["CompiledGraph", "ScheduleEntry", "compile_graph", "memoized_kmm_graph"]
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One executed node plus the elementwise epilogues fused onto it."""
+
+    node_id: int
+    epilogues: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class CompiledGraph:
+    """The deterministic compilation artifact: schedule + per-KMM plans.
+
+    Immutable like :class:`~repro.plan.ir.KronPlan`; passes that rewrite
+    plans (the tuner) produce a new :class:`CompiledGraph` via
+    :func:`dataclasses.replace`.
+    """
+
+    graph: KronGraph
+    backend: str
+    plans: Dict[int, KronPlan] = field(default_factory=dict)
+    schedule: Tuple[ScheduleEntry, ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # the one shared workspace, sized over the whole graph
+    # ------------------------------------------------------------------ #
+    @property
+    def workspace_rows(self) -> int:
+        return max((p.m for p in self.plans.values()), default=0)
+
+    @property
+    def workspace_cols(self) -> int:
+        return max((p.workspace_cols for p in self.plans.values()), default=0)
+
+    @property
+    def workspace_bytes(self) -> int:
+        itemsize = self.graph.np_dtype.itemsize
+        return 2 * self.workspace_rows * self.workspace_cols * itemsize
+
+    @property
+    def n_fused_epilogues(self) -> int:
+        return sum(len(entry.epilogues) for entry in self.schedule)
+
+    def cache_key(self) -> str:
+        """The tuning-independent cache identity (mirrors ``plan_cache_key``)."""
+        return graph_cache_key(self.graph, self.backend)
+
+    def fingerprint(self) -> str:
+        """Content hash of the full compilation (schedule, plans, tiles).
+
+        Deterministic: compiling the same graph on the same backend with the
+        same tuning state always yields the same fingerprint.
+        """
+        return fingerprint_digest(self.to_dict())
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": 5,
+            "graph": self.graph.to_dict(),
+            "backend": self.backend,
+            "plans": {str(nid): plan.to_dict() for nid, plan in sorted(self.plans.items())},
+            "schedule": [
+                {"node": entry.node_id, "epilogues": list(entry.epilogues)}
+                for entry in self.schedule
+            ],
+        }
+
+    # ------------------------------------------------------------------ #
+    def explain(self) -> str:
+        """A human-readable dump of the compiled pipeline."""
+        graph = self.graph
+        lines: List[str] = []
+        lines.append(
+            f"KronGraph {self.fingerprint()} — {graph.label()} on {self.backend}"
+        )
+        for nid in graph.input_ids:
+            node = graph.nodes[nid]
+            lines.append(f"  input  {node.name or nid} : {node.shape} {graph.dtype}")
+        lines.append(f"  output : node {graph.output} {graph.output_shape} {graph.dtype}")
+        if self.plans:
+            mib = self.workspace_bytes / (1024 * 1024)
+            lines.append(
+                f"  workspace: 2 x ({self.workspace_rows}, {self.workspace_cols}) "
+                f"ping-pong buffers shared by {len(self.plans)} kmm node(s), {mib:.2f} MiB"
+            )
+        lines.append(
+            f"  schedule : {len(self.schedule)} node(s), "
+            f"{self.n_fused_epilogues} fused epilogue(s)"
+        )
+        for entry in self.schedule:
+            node = graph.nodes[entry.node_id]
+            if node.kind == "kmm":
+                plan = self.plans[node.id]
+                op = "" if node.op_factors == "N" else " (factors transposed)"
+                lines.append(
+                    f"  node {node.id}: kmm{op} {plan.label()} — {plan.n_steps} steps "
+                    f"in {plan.n_kernel_launches} launches [{plan.fingerprint()}]"
+                )
+                for epi_id in entry.epilogues:
+                    epi = graph.nodes[epi_id]
+                    scalar = (
+                        f"(alpha={epi.alpha:g})" if epi.op in ("axpy", "scale") else ""
+                    )
+                    lines.append(f"    + epilogue node {epi.id}: {epi.op}{scalar}")
+            elif node.kind == "elementwise":
+                scalar = f"(alpha={node.alpha:g})" if node.op in ("axpy", "scale") else ""
+                lines.append(
+                    f"  node {node.id}: {node.op}{scalar} {node.shape}"
+                )
+            else:
+                lines.append(f"  node {node.id}: {node.kind} -> {node.shape}")
+        return "\n".join(lines)
+
+
+def _fusable_epilogues(
+    graph: KronGraph, kmm: GraphNode, needed, consumers
+) -> Tuple[int, ...]:
+    """The elementwise chain to run in place on ``kmm``'s workspace view.
+
+    A node joins the chain when it is the chain head's *sole* (needed)
+    consumer, is elementwise, and every other operand is already available
+    when the KMM runs — an ``input`` node, or a node scheduled before the
+    KMM.  The graph output is never consumed in place: its value must
+    materialise.
+    """
+    epilogues: List[int] = []
+    cur = kmm
+    while True:
+        if cur.id == graph.output:
+            break
+        users = [u for u in consumers[cur.id] if u in needed]
+        if len(users) != 1:
+            break
+        nxt = graph.nodes[users[0]]
+        if nxt.kind != "elementwise":
+            break
+        others_ready = all(
+            graph.nodes[i].kind == "input" or i < kmm.id
+            for i in nxt.inputs
+            if i != cur.id
+        )
+        if not others_ready:
+            break
+        epilogues.append(nxt.id)
+        cur = nxt
+    return tuple(epilogues)
+
+
+def compile_graph(
+    graph: KronGraph,
+    backend: BackendLike = None,
+    fuse: bool = True,
+    tuning_cache=None,
+    cache_budget_bytes: Optional[int] = None,
+) -> CompiledGraph:
+    """Compile ``graph`` for a backend: schedule the DAG, plan every KMM.
+
+    ``fuse``/``tuning_cache``/``cache_budget_bytes`` forward to each KMM's
+    :func:`~repro.plan.compiler.compile_plan` call.  With the defaults the
+    per-node call is *identical* to the one the eager ``kron_matmul`` path
+    memoizes, which is what makes compiled graphs bit-identical to the eager
+    loop of library calls they replace.
+    """
+    backend_name = get_backend(backend).name
+    consumers = graph.consumers()
+    needed = set(graph.ancestors(graph.output))
+    needed.add(graph.output)
+
+    plans: Dict[int, KronPlan] = {}
+    schedule: List[ScheduleEntry] = []
+    fused_away: set = set()
+    for node in graph.nodes:
+        if node.id not in needed or node.id in fused_away or node.kind == "input":
+            continue
+        if node.kind != "kmm":
+            schedule.append(ScheduleEntry(node.id))
+            continue
+        problem = KronMatmulProblem(
+            m=node.shape[0],
+            factor_shapes=node.effective_factor_shapes,
+            dtype=np.dtype(graph.dtype),
+        )
+        extra = {}
+        if tuning_cache is not None:
+            extra["tuning_cache"] = tuning_cache
+        if cache_budget_bytes is not None:
+            extra["cache_budget_bytes"] = cache_budget_bytes
+        plans[node.id] = compile_plan(
+            problem,
+            backend=backend_name,
+            fuse=fuse,
+            factor_storage=node.storage or None,
+            **extra,
+        )
+        epilogues = _fusable_epilogues(graph, node, needed, consumers) if fuse else ()
+        fused_away.update(epilogues)
+        schedule.append(ScheduleEntry(node.id, epilogues))
+    return CompiledGraph(
+        graph=graph, backend=backend_name, plans=plans, schedule=tuple(schedule)
+    )
+
+
+@lru_cache(maxsize=256)
+def memoized_kmm_graph(
+    m: int,
+    factor_shapes: Tuple[Tuple[int, int], ...],
+    dtype_name: str,
+    backend_name: str,
+    op_factors: str = "N",
+    storage: Tuple[str, ...] = (),
+) -> CompiledGraph:
+    """Compile-once cache for the single-KMM graphs the library wraps itself in.
+
+    This is the graph-level sibling of the one-shot plan memoizer: the
+    ``kron_solve`` / gradient entry points re-express themselves as
+    input → kmm graphs and reuse the compiled artifact across calls.  Graphs
+    and compiled graphs are immutable value objects, so sharing across
+    threads is safe; only the executor (workspace) is per-call state.
+    """
+    from repro.utils.intmath import prod
+
+    eff = (
+        tuple((q, p) for p, q in factor_shapes) if op_factors == "T" else factor_shapes
+    )
+    in_cols = prod(p for p, _ in eff)
+    out_cols = prod(q for _, q in eff)
+    nodes = (
+        GraphNode(id=0, kind="input", inputs=(), shape=(m, in_cols), name="x"),
+        GraphNode(
+            id=1,
+            kind="kmm",
+            inputs=(0,),
+            shape=(m, out_cols),
+            factor_shapes=factor_shapes,
+            op_factors=op_factors,
+            storage=storage,
+        ),
+    )
+    built = KronGraph(nodes=nodes, output=1, dtype=dtype_name)
+    return compile_graph(built, backend=backend_name)

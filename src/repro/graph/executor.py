@@ -1,0 +1,453 @@
+"""The :class:`GraphExecutor`: interpret a :class:`~repro.graph.compiler.CompiledGraph`.
+
+One executor holds the runtime state for the *whole pipeline*:
+
+* **one** double-buffered workspace (allocated through the backend's
+  ``workspace_empty`` so the process backend hands out shared-memory
+  segments) sized over every KMM plan in the graph;
+* **one** :class:`~repro.backends.arena.ScratchArena` shared by every fused
+  group of every plan;
+* per-node materialisation buffers, allocated once and reused across calls;
+* the prepared (cast, transposed, or packed) factor arrays, bound once via
+  :meth:`bind_factors` and reused every execution — the CG loop never
+  re-prepares a factor.
+
+Each ``kmm`` node executes exactly like a
+:class:`~repro.plan.executor.PlanExecutor` does: the backend may take over
+the whole plan (``execute_plan``; ``None`` declines), otherwise the shared
+:func:`~repro.plan.executor.run_groups` walk runs in process — so graph
+execution is bit-identical to the eager library calls it replaces.  Fused
+elementwise epilogues then run *in place on the workspace view* before the
+node's value is materialised.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.backends.arena import ScratchArena
+from repro.backends.registry import BackendLike, get_backend
+from repro.core.factors import as_factor_list
+from repro.core.sliced_multiply import sliced_multiply
+from repro.exceptions import ShapeError
+from repro.graph.compiler import CompiledGraph, ScheduleEntry
+from repro.graph.ir import GraphNode
+from repro.plan.compiler import check_out_dtype
+from repro.plan.executor import run_groups
+from repro.plan.ir import WORKSPACE_BUFFERS
+from repro.quant import QuantizedFactor
+
+__all__ = ["GraphExecutor"]
+
+FactorsLike = Union[Iterable, Mapping[int, Iterable]]
+
+
+class GraphExecutor:
+    """Executes one compiled graph many times over reused state.
+
+    Parameters
+    ----------
+    compiled:
+        The :class:`~repro.graph.compiler.CompiledGraph` to interpret.
+    backend:
+        Optional backend override (instance or name); defaults to resolving
+        the compiled backend name.
+    factors:
+        Optional factors to bind immediately: a mapping of kmm node id →
+        factor list, or a bare factor list when the graph has exactly one
+        kmm node (see :meth:`bind_factors`).
+    inputs:
+        Optional default input bindings (node id or name → array), e.g. the
+        operands the builder captured.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledGraph,
+        backend: BackendLike = None,
+        factors: Optional[FactorsLike] = None,
+        inputs: Optional[Mapping] = None,
+    ):
+        self.compiled = compiled
+        self.graph = compiled.graph
+        self.backend = get_backend(backend if backend is not None else compiled.backend)
+        self._dtype = self.graph.np_dtype
+        # The one shared workspace: ping-pong buffers wide and tall enough
+        # for every KMM plan in the schedule, allocated once.
+        self._buffers: Dict[str, np.ndarray] = {}
+        if compiled.plans:
+            shape = (compiled.workspace_rows, compiled.workspace_cols)
+            self._buffers = {
+                name: self.backend.workspace_empty(shape, dtype=self._dtype)
+                for name in WORKSPACE_BUFFERS
+            }
+        self.arena = ScratchArena()
+        self._values: Dict[int, np.ndarray] = {}
+        self._scratch: Dict[int, np.ndarray] = {}
+        self._prepared: Dict[int, List] = {}
+        self._defaults: Dict[int, np.ndarray] = {}
+        self._input_names: Dict[str, int] = {
+            self.graph.nodes[i].name: i for i in self.graph.input_ids
+        }
+        self._closed = False
+        if inputs:
+            self.bind_inputs(inputs)
+        if factors is not None:
+            self.bind_factors(factors)
+
+    # ------------------------------------------------------------------ #
+    # binding
+    # ------------------------------------------------------------------ #
+    def bind_factors(self, factors: FactorsLike) -> "GraphExecutor":
+        """Prepare and retain the factor arrays every execution reuses.
+
+        ``factors`` maps kmm node ids to factor lists; a bare list binds the
+        graph's only kmm node.  Preparation happens here, once: dtype casts,
+        the ``op_factors='T'`` contiguous transposes, and the quantized
+        passthrough — executions then hand the prepared arrays straight to
+        the plan walk.
+        """
+        kmm_ids = self.graph.kmm_ids
+        if isinstance(factors, Mapping):
+            mapping = dict(factors)
+        else:
+            if len(kmm_ids) != 1:
+                raise ShapeError(
+                    f"a bare factor list binds exactly one kmm node; this graph "
+                    f"has {len(kmm_ids)} (pass a mapping of node id -> factors)"
+                )
+            mapping = {kmm_ids[0]: factors}
+        for node_id, factor_value in mapping.items():
+            if node_id not in kmm_ids:
+                raise ShapeError(f"node {node_id} is not a kmm node of this graph")
+            node = self.graph.nodes[node_id]
+            factor_list = as_factor_list(factor_value)
+            if len(factor_list) != len(node.factor_shapes):
+                raise ShapeError(
+                    f"kmm node {node_id}: got {len(factor_list)} factors, "
+                    f"expected {len(node.factor_shapes)}"
+                )
+            for i, (factor, expected) in enumerate(zip(factor_list, node.factor_shapes)):
+                if tuple(factor.shape) != expected:
+                    raise ShapeError(
+                        f"kmm node {node_id}: factor {i} has shape "
+                        f"{tuple(factor.shape)}, expected {expected}"
+                    )
+            self._prepared[node_id] = self._prepare(node, factor_list)
+        return self
+
+    def _prepare(self, node: GraphNode, factor_list) -> List:
+        dtype = self._dtype
+        prepared: List = []
+        for f in factor_list:
+            if isinstance(f, QuantizedFactor):
+                if node.op_factors == "T":
+                    raise ShapeError(
+                        f"kmm node {node.id}: packed factors cannot be bound "
+                        f"with op_factors='T'"
+                    )
+                prepared.append(f if f.dtype == dtype else f.astype(dtype))
+                continue
+            values = f.values
+            if node.op_factors == "T":
+                values = np.ascontiguousarray(values.T, dtype=dtype)
+            elif values.dtype != dtype:
+                values = values.astype(dtype)
+            prepared.append(values)
+        return prepared
+
+    def bind_inputs(self, inputs: Mapping) -> "GraphExecutor":
+        """Set default input values (node id or name → array) for :meth:`execute`."""
+        for key, value in inputs.items():
+            node_id = self._input_id(key)
+            self._defaults[node_id] = np.asarray(value)
+        return self
+
+    def _input_id(self, key) -> int:
+        if isinstance(key, str):
+            if key not in self._input_names:
+                raise ShapeError(
+                    f"unknown input {key!r}; this graph's inputs are "
+                    f"{sorted(self._input_names)}"
+                )
+            return self._input_names[key]
+        node_id = int(key)
+        if node_id not in self.graph.input_ids:
+            raise ShapeError(f"node {node_id} is not an input node of this graph")
+        return node_id
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def fingerprint(self) -> str:
+        return self.compiled.fingerprint()
+
+    def workspace_bytes(self) -> int:
+        """Bytes of the shared double-buffered workspace."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def scratch_bytes(self) -> int:
+        """Approximate bytes retained by the shared scratch arena."""
+        return self.arena.nbytes()
+
+    def close(self) -> None:
+        """Release the workspace back to the backend (idempotent).
+
+        Required for backends whose workspace is explicitly managed memory —
+        the process backend unlinks its shared-memory segments here.  A
+        closed executor no longer executes.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        buffers, self._buffers = self._buffers, {}
+        for buf in buffers.values():
+            self.backend.release_workspace(buf)
+        self._values = {}
+        self._scratch = {}
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        # Safety net for shared-memory workspaces dropped without close();
+        # everything here must survive interpreter teardown.
+        try:
+            if not getattr(self, "_closed", True):
+                self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def execute(self, *args: np.ndarray, out: Optional[np.ndarray] = None,
+                **feeds: np.ndarray) -> np.ndarray:
+        """Run the compiled schedule over concrete operands.
+
+        Positional arguments bind the graph's input nodes in declaration
+        order; keyword arguments bind by input name; inputs captured by the
+        builder (or set via :meth:`bind_inputs`) fill the rest.  Row-flexible
+        graphs (no ``transpose``/``dot`` nodes) accept fewer rows than
+        declared, exactly like plan executors.  The returned array is owned
+        by the caller.
+        """
+        if self._closed:
+            raise ShapeError("this GraphExecutor is closed (its workspace was released)")
+        graph = self.graph
+        values = self._bind_call_inputs(args, feeds)
+        for entry in self.compiled.schedule:
+            node = graph.nodes[entry.node_id]
+            if node.kind == "kmm":
+                self._run_kmm(node, entry, values)
+            elif node.kind == "transpose":
+                self._run_transpose(node, values)
+            elif node.kind == "dot":
+                self._run_dot(node, values)
+            else:
+                self._run_elementwise(node, values)
+        final = values[graph.output]
+        if out is not None:
+            check_out_dtype(out, self._dtype)
+            if out.shape != final.shape:
+                raise ShapeError(f"out has shape {out.shape}, expected {final.shape}")
+            np.copyto(out, final)
+            return out
+        if graph.nodes[graph.output].kind == "input":
+            return final.copy()
+        # The output node materialised into a fresh per-call array (never a
+        # reused buffer), so it leaves owned without another copy.
+        return final
+
+    # ------------------------------------------------------------------ #
+    def _bind_call_inputs(self, args, feeds) -> Dict[int, np.ndarray]:
+        graph = self.graph
+        input_ids = graph.input_ids
+        if len(args) > len(input_ids):
+            raise ShapeError(
+                f"got {len(args)} positional inputs for {len(input_ids)} input node(s)"
+            )
+        bound: Dict[int, np.ndarray] = {}
+        for position, arr in enumerate(args):
+            bound[input_ids[position]] = np.asarray(arr)
+        for name, arr in feeds.items():
+            node_id = self._input_id(name)
+            if node_id in bound:
+                raise ShapeError(f"input {name!r} was bound twice")
+            bound[node_id] = np.asarray(arr)
+        for node_id in input_ids:
+            if node_id not in bound:
+                if node_id not in self._defaults:
+                    node = graph.nodes[node_id]
+                    raise ShapeError(
+                        f"input {node.name!r} (node {node_id}) has no value; pass "
+                        f"it positionally, by name, or via bind_inputs()"
+                    )
+                bound[node_id] = self._defaults[node_id]
+
+        flexible = graph.row_flexible
+        shrink: Optional[int] = None
+        for node_id, arr in bound.items():
+            node = graph.nodes[node_id]
+            if arr.ndim != 2:
+                raise ShapeError(
+                    f"input {node.name!r} must be 2-D, got ndim={arr.ndim}"
+                )
+            if arr.shape[1] != node.shape[1]:
+                raise ShapeError(
+                    f"input {node.name!r} has {arr.shape[1]} columns, "
+                    f"expected {node.shape[1]}"
+                )
+            if arr.shape[0] != node.shape[0]:
+                if not flexible or arr.shape[0] > node.shape[0]:
+                    raise ShapeError(
+                        f"input {node.name!r} has {arr.shape[0]} rows, "
+                        f"expected {node.shape[0]}"
+                    )
+                deficit = node.shape[0] - arr.shape[0]
+                if shrink is not None and shrink != deficit:
+                    raise ShapeError(
+                        "row-flexible execution requires every input to shrink "
+                        "by the same row count"
+                    )
+                shrink = deficit
+            if arr.dtype != self._dtype:
+                bound[node_id] = arr.astype(self._dtype)
+        if shrink is not None and len(bound) > 1:
+            # Mixed full/shrunk inputs cannot line up elementwise.
+            rows = {graph.nodes[i].shape[0] - a.shape[0] for i, a in bound.items()}
+            if rows != {shrink}:
+                raise ShapeError(
+                    "row-flexible execution requires every input to shrink "
+                    "by the same row count"
+                )
+        self._row_shrink = shrink or 0
+        return bound
+
+    def _runtime_shape(self, node: GraphNode) -> Tuple[int, int]:
+        if self._row_shrink and node.kind in ("input", "kmm", "elementwise"):
+            return (node.shape[0] - self._row_shrink, node.shape[1])
+        return node.shape
+
+    def _dest(self, node: GraphNode, shape: Tuple[int, int]) -> np.ndarray:
+        """The node's materialisation target: fresh for the output, reused otherwise."""
+        if node.id == self.graph.output:
+            return np.empty(shape, dtype=self._dtype)
+        buf = self._values.get(node.id)
+        if buf is None:
+            buf = np.empty(node.shape, dtype=self._dtype)
+            self._values[node.id] = buf
+        return buf[: shape[0]] if buf.shape[0] != shape[0] else buf
+
+    # ------------------------------------------------------------------ #
+    def _run_kmm(self, node: GraphNode, entry: ScheduleEntry, values: Dict[int, np.ndarray]) -> None:
+        prepared = self._prepared.get(node.id)
+        if prepared is None:
+            raise ShapeError(
+                f"kmm node {node.id} has no bound factors; pass factors= or call "
+                f"bind_factors() before executing"
+            )
+        plan = self.compiled.plans[node.id]
+        src = values[node.inputs[0]]
+        rows = src.shape[0]
+        # Backends that execute whole plans take over the group walk (one
+        # round trip); a None return declines and the in-process walk runs.
+        # Both paths are bit-identical — same seam as PlanExecutor.execute.
+        offloaded = None
+        if self.backend.supports_plan_execution:
+            offloaded = self.backend.execute_plan(plan, src, prepared, self._buffers, rows)
+        if offloaded is not None:
+            cur = offloaded
+        else:
+            def dest_of(gi: int, last) -> np.ndarray:
+                return self._buffers[last.target][:rows, : last.out_cols]
+
+            def fused(src_, group_factors, dest, k, row_block) -> None:
+                self.backend.fused_sliced_multiply_into(
+                    src_, group_factors, dest, rows, k,
+                    row_block=row_block, arena=self.arena,
+                )
+
+            def single(src_, factor, dest, step) -> None:
+                sliced_multiply(
+                    src_, factor, out=dest, backend=self.backend, arena=self.arena
+                )
+
+            cur = run_groups(plan, src, prepared, dest_of, fused, single)
+        # Fused epilogues: in place on the workspace view, before copy-out.
+        chain_id = node.id
+        for epi_id in entry.epilogues:
+            self._apply_epilogue(self.graph.nodes[epi_id], chain_id, cur, values)
+            chain_id = epi_id
+        final = self.graph.nodes[chain_id]
+        dst = self._dest(final, (rows, final.shape[1]))
+        np.copyto(dst, cur)
+        values[final.id] = dst
+
+    def _epilogue_scratch(self, node_id: int, shape: Tuple[int, int]) -> np.ndarray:
+        buf = self._scratch.get(node_id)
+        if buf is None:
+            buf = np.empty(self.graph.nodes[node_id].shape, dtype=self._dtype)
+            self._scratch[node_id] = buf
+        return buf[: shape[0]] if buf.shape[0] != shape[0] else buf
+
+    def _apply_epilogue(self, node: GraphNode, chain_id: int, view: np.ndarray,
+                        values: Dict[int, np.ndarray]) -> None:
+        if node.op == "scale":
+            np.multiply(view, node.alpha, out=view)
+            return
+        a_id, b_id = node.inputs
+        a = view if a_id == chain_id else values[a_id]
+        b = view if b_id == chain_id else values[b_id]
+        if node.op == "axpy":
+            # alpha*a lands in a per-node scratch first so the add reads the
+            # untouched chain value even when it is `b` — same two ufuncs,
+            # same bits, as the standalone form.
+            scratch = self._epilogue_scratch(node.id, view.shape)
+            np.multiply(a, node.alpha, out=scratch)
+            np.add(scratch, b, out=view)
+        elif node.op == "add":
+            np.add(a, b, out=view)
+        elif node.op == "sub":
+            np.subtract(a, b, out=view)
+        else:
+            np.multiply(a, b, out=view)
+
+    def _run_elementwise(self, node: GraphNode, values: Dict[int, np.ndarray]) -> None:
+        shape = self._runtime_shape(node)
+        dst = self._dest(node, shape)
+        if node.op == "scale":
+            np.multiply(values[node.inputs[0]], node.alpha, out=dst)
+        else:
+            a, b = (values[i] for i in node.inputs)
+            if node.op == "axpy":
+                np.multiply(a, node.alpha, out=dst)
+                np.add(dst, b, out=dst)
+            elif node.op == "add":
+                np.add(a, b, out=dst)
+            elif node.op == "sub":
+                np.subtract(a, b, out=dst)
+            else:
+                np.multiply(a, b, out=dst)
+        values[node.id] = dst
+
+    def _run_transpose(self, node: GraphNode, values: Dict[int, np.ndarray]) -> None:
+        src = values[node.inputs[0]]
+        dst = self._dest(node, node.shape)
+        np.copyto(dst, src.T)
+        values[node.id] = dst
+
+    def _run_dot(self, node: GraphNode, values: Dict[int, np.ndarray]) -> None:
+        a, b = (values[i] for i in node.inputs)
+        dst = self._dest(node, node.shape)
+        np.sum(a * b, axis=0, out=dst[0])
+        values[node.id] = dst
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<GraphExecutor {self.graph.label()} backend={self.backend.name!r} "
+            f"nodes={self.graph.n_nodes}>"
+        )

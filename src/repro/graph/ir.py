@@ -1,0 +1,387 @@
+"""The op-graph IR: a small DAG of plan nodes over the :class:`~repro.plan.ir.KronPlan` layer.
+
+A :class:`KronGraph` describes a whole pipeline — several Kron-Matmuls with
+elementwise ops between them — the way a :class:`~repro.plan.ir.KronPlan`
+describes one KMM: pure shapes and structure, no concrete operands, cheap
+and deterministic to build.  Real workloads are sequences, not single calls:
+a CG iteration is ``transpose → kmm → axpy → transpose``, a backward pass is
+a KMM over transposed factors, ``kron_solve`` is a KMM over inverted
+factors.  Compiling the sequence once (:func:`~repro.graph.compiler.compile_graph`)
+lets one executor hold one workspace and one scratch arena for the whole
+pipeline instead of re-planning and re-allocating per library call.
+
+Node kinds
+----------
+``input``
+    A named placeholder for a runtime operand (the CG vector, the rhs).
+``kmm``
+    One Kron-Matmul over ``factor_shapes``.  ``op_factors='T'`` marks the
+    backward/vjp form: the executor transposes the *bound* factors, so the
+    graph stores the forward shapes and one registry entry serves both
+    directions.  Factors are bound at execute time (or once via
+    :meth:`~repro.graph.executor.GraphExecutor.bind_factors`), never stored
+    in the graph — graphs stay shape-only and serialisable.
+``elementwise``
+    ``axpy`` (``alpha*a + b``), ``scale``, ``add``, ``sub``, ``mul`` — the
+    epilogues CG and GeKMM need.  When such a node is the sole consumer of a
+    ``kmm``, compilation fuses it into that node's epilogue: it runs in
+    place on the workspace view right after the final fusion group.
+``transpose``
+    A contiguous matrix transpose (the CG operator works on ``v.T``).
+``dot``
+    Column-wise inner product ``sum(a*b, axis=0)`` (the CG reductions).
+
+Serialisation follows plan-IR conventions as schema 5; payloads carrying
+the :class:`~repro.plan.ir.KronPlan` schemas 1–4 still load, as single-node
+(input → kmm) graphs, so every persisted plan remains a valid graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.plan.fingerprint import fingerprint_digest
+from repro.plan.ir import _LEGACY_SCHEMAS, _SCHEMA as _PLAN_SCHEMA, FP_STORAGE, KronPlan
+from repro.utils.intmath import prod
+
+#: Schema 5 is the graph IR; schemas 1-4 are the single-KMM plan IR and load
+#: as two-node graphs (see :meth:`KronGraph.from_dict`).
+GRAPH_SCHEMA = 5
+
+NODE_KINDS = ("input", "kmm", "elementwise", "transpose", "dot")
+ELEMENTWISE_OPS = ("axpy", "scale", "add", "sub", "mul")
+
+#: Elementwise arity: ``scale`` takes one operand, the rest take two.
+_UNARY_OPS = ("scale",)
+
+
+@dataclass(frozen=True)
+class GraphNode:
+    """One node of the DAG: kind, operand edges, and the node's output shape.
+
+    ``id`` is the node's position in :attr:`KronGraph.nodes`; ``inputs``
+    reference strictly earlier ids, so node order *is* a topological order.
+    ``alpha`` carries the scalar of ``axpy``/``scale`` nodes; ``op_factors``
+    and ``storage`` only apply to ``kmm`` nodes (``storage`` keys the
+    quantized tier exactly as plan steps do).
+    """
+
+    id: int
+    kind: str
+    inputs: Tuple[int, ...]
+    shape: Tuple[int, int]
+    name: str = ""
+    factor_shapes: Tuple[Tuple[int, int], ...] = ()
+    op_factors: str = "N"
+    storage: Tuple[str, ...] = ()
+    op: str = ""
+    alpha: float = 1.0
+
+    @property
+    def effective_factor_shapes(self) -> Tuple[Tuple[int, int], ...]:
+        """Factor shapes as the KMM consumes them (swapped under ``op_factors='T'``)."""
+        if self.op_factors == "T":
+            return tuple((q, p) for p, q in self.factor_shapes)
+        return self.factor_shapes
+
+    def to_dict(self) -> Dict:
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "inputs": list(self.inputs),
+            "shape": list(self.shape),
+            "name": self.name,
+            "factor_shapes": [[p, q] for p, q in self.factor_shapes],
+            "op_factors": self.op_factors,
+            "storage": list(self.storage),
+            "op": self.op,
+            "alpha": self.alpha,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "GraphNode":
+        return cls(
+            id=int(payload["id"]),
+            kind=str(payload["kind"]),
+            inputs=tuple(int(i) for i in payload["inputs"]),
+            shape=(int(payload["shape"][0]), int(payload["shape"][1])),
+            name=str(payload.get("name", "")),
+            factor_shapes=tuple(
+                (int(p), int(q)) for p, q in payload.get("factor_shapes", ())
+            ),
+            op_factors=str(payload.get("op_factors", "N")),
+            storage=tuple(str(s) for s in payload.get("storage", ())),
+            op=str(payload.get("op", "")),
+            alpha=float(payload.get("alpha", 1.0)),
+        )
+
+
+def _validate_node(node: GraphNode, nodes: Tuple[GraphNode, ...]) -> None:
+    if node.kind not in NODE_KINDS:
+        raise ShapeError(f"node {node.id}: unknown kind {node.kind!r}")
+    if any(i >= node.id or i < 0 for i in node.inputs):
+        raise ShapeError(
+            f"node {node.id}: inputs {node.inputs} must reference earlier nodes"
+        )
+    rows, cols = node.shape
+    if rows <= 0 or cols <= 0:
+        raise ShapeError(f"node {node.id}: shape {node.shape} must be positive")
+    operands = [nodes[i] for i in node.inputs]
+
+    if node.kind == "input":
+        if node.inputs:
+            raise ShapeError(f"input node {node.id} cannot have operands")
+        return
+    if node.kind == "kmm":
+        if len(node.inputs) != 1:
+            raise ShapeError(f"kmm node {node.id} takes exactly one operand")
+        if not node.factor_shapes:
+            raise ShapeError(f"kmm node {node.id} needs factor shapes")
+        if node.op_factors not in ("N", "T"):
+            raise ShapeError(
+                f"kmm node {node.id}: op_factors must be 'N' or 'T', "
+                f"got {node.op_factors!r}"
+            )
+        if node.storage and len(node.storage) != len(node.factor_shapes):
+            raise ShapeError(
+                f"kmm node {node.id}: {len(node.storage)} storage schemes for "
+                f"{len(node.factor_shapes)} factors"
+            )
+        if node.op_factors == "T" and any(s != FP_STORAGE for s in node.storage):
+            raise ShapeError(
+                f"kmm node {node.id}: transposed factors require dense storage "
+                f"(packed factors cannot be transposed in place)"
+            )
+        eff = node.effective_factor_shapes
+        in_cols = prod(p for p, _ in eff)
+        out_cols = prod(q for _, q in eff)
+        src = operands[0]
+        if src.shape[1] != in_cols:
+            raise ShapeError(
+                f"kmm node {node.id}: operand has {src.shape[1]} columns, the "
+                f"factors' footprint is {in_cols}"
+            )
+        if node.shape != (src.shape[0], out_cols):
+            raise ShapeError(
+                f"kmm node {node.id}: shape {node.shape} does not match "
+                f"{(src.shape[0], out_cols)}"
+            )
+        return
+    if node.kind == "elementwise":
+        if node.op not in ELEMENTWISE_OPS:
+            raise ShapeError(f"node {node.id}: unknown elementwise op {node.op!r}")
+        arity = 1 if node.op in _UNARY_OPS else 2
+        if len(node.inputs) != arity:
+            raise ShapeError(
+                f"elementwise node {node.id} ({node.op}) takes {arity} operand(s), "
+                f"got {len(node.inputs)}"
+            )
+        for src in operands:
+            if src.shape != node.shape:
+                raise ShapeError(
+                    f"elementwise node {node.id} ({node.op}): operand shape "
+                    f"{src.shape} != node shape {node.shape}"
+                )
+        return
+    if node.kind == "transpose":
+        if len(node.inputs) != 1:
+            raise ShapeError(f"transpose node {node.id} takes exactly one operand")
+        src = operands[0]
+        if node.shape != (src.shape[1], src.shape[0]):
+            raise ShapeError(
+                f"transpose node {node.id}: shape {node.shape} does not match "
+                f"{(src.shape[1], src.shape[0])}"
+            )
+        return
+    # dot
+    if len(node.inputs) != 2:
+        raise ShapeError(f"dot node {node.id} takes exactly two operands")
+    a, b = operands
+    if a.shape != b.shape:
+        raise ShapeError(
+            f"dot node {node.id}: operand shapes {a.shape} and {b.shape} differ"
+        )
+    if node.shape != (1, a.shape[1]):
+        raise ShapeError(
+            f"dot node {node.id}: shape {node.shape} does not match {(1, a.shape[1])}"
+        )
+
+
+@dataclass(frozen=True)
+class KronGraph:
+    """The complete op graph: nodes in topological order, one output, one dtype.
+
+    Like a plan, a graph is an immutable value object: it carries no
+    operands and no backend binding, serialises (:meth:`to_dict` /
+    :meth:`from_dict`, schema 5) and fingerprints deterministically, so the
+    serving cache can key compiled pipelines by content.  The whole graph
+    computes in one dtype — operands are promoted on the way in, exactly as
+    plans promote.
+    """
+
+    nodes: Tuple[GraphNode, ...]
+    output: int
+    dtype: str
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ShapeError("a KronGraph needs at least one node")
+        for position, node in enumerate(self.nodes):
+            if node.id != position:
+                raise ShapeError(
+                    f"node ids must be consecutive positions; node at {position} "
+                    f"has id {node.id}"
+                )
+            _validate_node(node, self.nodes)
+        if not (0 <= self.output < len(self.nodes)):
+            raise ShapeError(
+                f"output node {self.output} is out of range for {len(self.nodes)} nodes"
+            )
+        np.dtype(self.dtype)  # raises on nonsense early
+
+    # ------------------------------------------------------------------ #
+    # structure queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return np.dtype(self.dtype)
+
+    @property
+    def input_ids(self) -> Tuple[int, ...]:
+        """Input-node ids in declaration order (the positional feed order)."""
+        return tuple(n.id for n in self.nodes if n.kind == "input")
+
+    @property
+    def kmm_ids(self) -> Tuple[int, ...]:
+        return tuple(n.id for n in self.nodes if n.kind == "kmm")
+
+    @property
+    def row_flexible(self) -> bool:
+        """Whether executions may present fewer rows than declared.
+
+        Row counts flow unchanged through ``kmm`` and ``elementwise`` nodes,
+        so a graph built from only those (plus inputs) runs any row count up
+        to capacity — the single-KMM compatibility graphs rely on this.
+        ``transpose`` and ``dot`` pin the row dimension into the column
+        dimension, so graphs containing them require exact shapes.
+        """
+        return all(n.kind in ("input", "kmm", "elementwise") for n in self.nodes)
+
+    @property
+    def output_shape(self) -> Tuple[int, int]:
+        return self.nodes[self.output].shape
+
+    def consumers(self) -> Dict[int, List[int]]:
+        """Node id → ids of the nodes that read it (each edge counted once)."""
+        used: Dict[int, List[int]] = {n.id: [] for n in self.nodes}
+        for node in self.nodes:
+            for src in set(node.inputs):
+                used[src].append(node.id)
+        return used
+
+    def ancestors(self, node_id: int) -> Tuple[int, ...]:
+        """All node ids the given node transitively depends on, ascending."""
+        needed = set()
+        stack = [node_id]
+        while stack:
+            current = stack.pop()
+            for src in self.nodes[current].inputs:
+                if src not in needed:
+                    needed.add(src)
+                    stack.append(src)
+        return tuple(sorted(needed))
+
+    # ------------------------------------------------------------------ #
+    # identity and serialisation
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """Content hash of the graph (structure, shapes, dtype).
+
+        Deterministic: building the same pipeline twice yields the same
+        fingerprint, which is what lets the serving cache key compiled
+        solve pipelines by content.
+        """
+        return fingerprint_digest(self.to_dict())
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": GRAPH_SCHEMA,
+            "dtype": self.dtype,
+            "output": self.output,
+            "nodes": [n.to_dict() for n in self.nodes],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "KronGraph":
+        schema = payload.get("schema")
+        if schema == GRAPH_SCHEMA:
+            return cls(
+                nodes=tuple(GraphNode.from_dict(n) for n in payload["nodes"]),
+                output=int(payload["output"]),
+                dtype=str(payload["dtype"]),
+            )
+        if schema == _PLAN_SCHEMA or schema in _LEGACY_SCHEMAS:
+            # Every persisted KronPlan is a valid single-node graph: the
+            # plan becomes an input → kmm pair, so schema 1-4 payloads keep
+            # loading through the graph API.
+            return graph_from_plan(KronPlan.from_dict(payload))
+        raise ShapeError(
+            f"unsupported graph schema {schema!r} (expected {GRAPH_SCHEMA}, "
+            f"or a KronPlan schema <= {_PLAN_SCHEMA})"
+        )
+
+    # ------------------------------------------------------------------ #
+    def label(self) -> str:
+        kinds: Dict[str, int] = {}
+        for node in self.nodes:
+            kinds[node.kind] = kinds.get(node.kind, 0) + 1
+        parts = [f"{count}x{kind}" for kind, count in sorted(kinds.items())]
+        rows, cols = self.output_shape
+        return f"{'+'.join(parts)} -> ({rows}, {cols}) {self.dtype}"
+
+
+def graph_from_plan(plan: KronPlan) -> KronGraph:
+    """Wrap one compiled :class:`KronPlan` as an input → kmm graph.
+
+    This is the load path for legacy schema 1–4 payloads and the internal
+    re-expression of ``kron_matmul(plan=...)``-era call sites; segment plans
+    (distributed local batches) have no whole-problem form and are rejected.
+    """
+    if plan.is_segment:
+        raise ShapeError(
+            "segment plans span partial factor footprints and cannot load as "
+            "single-node graphs"
+        )
+    out_cols = prod(q for _, q in plan.factor_shapes)
+    storage = plan.factor_storage()
+    nodes = (
+        GraphNode(id=0, kind="input", inputs=(), shape=(plan.m, plan.k), name="x"),
+        GraphNode(
+            id=1,
+            kind="kmm",
+            inputs=(0,),
+            shape=(plan.m, out_cols),
+            factor_shapes=plan.factor_shapes,
+            storage=() if all(s == FP_STORAGE for s in storage) else storage,
+        ),
+    )
+    return KronGraph(nodes=nodes, output=1, dtype=plan.dtype)
+
+
+def graph_cache_key(graph: KronGraph, backend: str) -> str:
+    """The cache identity of a compiled graph on one backend.
+
+    Mirrors :func:`~repro.plan.fingerprint.plan_cache_key`: a short prefixed
+    digest over the content that determines the compiled artifact.
+    """
+    return "kg_" + fingerprint_digest(
+        {"graph": graph.to_dict(), "backend": backend}
+    )

@@ -39,7 +39,7 @@ Quick start
 (8, 64)
 """
 
-from repro.server.client import AsyncKronClient, KronClient
+from repro.server.client import AsyncKronClient, KronClient, ServedSolve
 from repro.server.protocol import (
     ERR_BAD_REQUEST,
     ERR_BUSY,
@@ -89,6 +89,7 @@ __all__ = [
     "MessageKind",
     "PROTOCOL_VERSION",
     "RegisteredFactors",
+    "ServedSolve",
     "ServerThread",
     "SloScheduler",
     "UnknownHandleError",

@@ -33,7 +33,7 @@ import asyncio
 import itertools
 import os
 import socket
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, NamedTuple, Optional, Union
 
 import numpy as np
 
@@ -62,7 +62,16 @@ from repro.server.protocol import (
     read_frame_sync,
 )
 
-__all__ = ["AsyncKronClient", "KronClient", "default_timeout"]
+__all__ = ["AsyncKronClient", "KronClient", "ServedSolve", "default_timeout"]
+
+
+class ServedSolve(NamedTuple):
+    """One served CG solve: the solution plus convergence information."""
+
+    solution: np.ndarray
+    iterations: int
+    converged: bool
+    max_residual: float
 
 #: Sentinel distinguishing "not passed" from an explicit ``None`` (= no
 #: timeout) in client constructors.
@@ -143,6 +152,35 @@ def _submit_frame(
     if deadline_ms is not None:
         header["deadline_ms"] = float(deadline_ms)
     return encode_frame(MessageKind.SUBMIT, header, array_payload(x))
+
+
+def _solve_frame(
+    handle: str, b: np.ndarray, noise: float, tol: float, max_iterations: int,
+    klass: str, deadline_ms: Optional[float], request_id: int,
+) -> bytes:
+    header = {
+        "id": request_id,
+        "handle": handle,
+        "shape": [int(b.shape[0]), int(b.shape[1])],
+        "dtype": b.dtype.str,
+        "noise": float(noise),
+        "tol": float(tol),
+        "max_iterations": int(max_iterations),
+        "class": klass,
+    }
+    if deadline_ms is not None:
+        header["deadline_ms"] = float(deadline_ms)
+    return encode_frame(MessageKind.SOLVE, header, array_payload(b))
+
+
+def _solve_result(frame: Frame, squeeze: bool) -> ServedSolve:
+    solution = _result_array(frame)
+    return ServedSolve(
+        solution=solution[:, 0] if squeeze else solution,
+        iterations=int(frame.header.get("iterations", 0)),
+        converged=bool(frame.header.get("converged", False)),
+        max_residual=float(frame.header.get("max_residual", 0.0)),
+    )
 
 
 def _result_array(frame: Frame) -> np.ndarray:
@@ -364,6 +402,54 @@ class KronClient:
                     raise
             except (ConnectionLostError, ConnectionError, OSError):
                 # The socket is gone either way; the next attempt re-dials.
+                self._drop_socket()
+                if attempt + 1 >= attempts:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def solve(
+        self,
+        handle: str,
+        b: np.ndarray,
+        *,
+        noise: float = 0.0,
+        tol: float = 1e-6,
+        max_iterations: int = 100,
+        klass: str = "bulk",
+        deadline_ms: Optional[float] = None,
+    ) -> ServedSolve:
+        """Solve ``(⊗F_i + noise·I) x = b`` against a registered handle.
+
+        The server runs batched conjugate gradients on a compiled op-graph
+        pipeline cached per handle and right-hand-side shape, so repeat
+        solves skip compilation entirely (they show up as plan-cache hits in
+        :meth:`stats`).  Columns of a 2-D ``b`` are independent right-hand
+        sides; a 1-D ``b`` returns a 1-D solution.  Solves default to the
+        ``bulk`` class — they are iterative, heavier than one matmul — and
+        retry exactly like :meth:`matmul` (CG is idempotent).
+        """
+        b_arr = np.asarray(b, dtype=np.float64)
+        squeeze = b_arr.ndim == 1
+        if squeeze:
+            b_arr = b_arr.reshape(-1, 1)
+        attempts = self.retry.max_attempts if self.retry is not None else 1
+        for attempt in range(attempts):
+            if attempt and self.retry is not None:
+                self.retry.sleep(attempt - 1)
+            try:
+                request_id = next(self._ids)
+                frame = self._request(
+                    _solve_frame(
+                        handle, b_arr, noise, tol, max_iterations, klass,
+                        deadline_ms, request_id,
+                    ),
+                    request_id,
+                )
+                return _solve_result(frame, squeeze)
+            except RequestRejected as exc:
+                if not exc.retryable or attempt + 1 >= attempts:
+                    raise
+            except (ConnectionLostError, ConnectionError, OSError):
                 self._drop_socket()
                 if attempt + 1 >= attempts:
                     raise
@@ -654,6 +740,46 @@ class AsyncKronClient:
                 _raise_for_error(frame)
                 y = _result_array(frame)
                 return y[0] if squeeze else y
+            except RequestRejected as exc:
+                if not exc.retryable or attempt + 1 >= attempts:
+                    raise
+            except (ConnectionLostError, ConnectionError, OSError):
+                if attempt + 1 >= attempts:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def solve(
+        self,
+        handle: str,
+        b: np.ndarray,
+        *,
+        noise: float = 0.0,
+        tol: float = 1e-6,
+        max_iterations: int = 100,
+        klass: str = "bulk",
+        deadline_ms: Optional[float] = None,
+    ) -> ServedSolve:
+        """Like :meth:`KronClient.solve`, pipelined on this connection."""
+        b_arr = np.asarray(b, dtype=np.float64)
+        squeeze = b_arr.ndim == 1
+        if squeeze:
+            b_arr = b_arr.reshape(-1, 1)
+        attempts = self.retry.max_attempts if self.retry is not None else 1
+        for attempt in range(attempts):
+            if attempt and self.retry is not None:
+                await asyncio.sleep(self.retry.delay_for(attempt - 1))
+            try:
+                if self._reader_task.done() or self._writer.is_closing():
+                    await self._reconnect()
+                request_id = next(self._ids)
+                frame = await self._roundtrip(
+                    _solve_frame(
+                        handle, b_arr, noise, tol, max_iterations, klass,
+                        deadline_ms, request_id,
+                    ),
+                    request_id,
+                )
+                return _solve_result(frame, squeeze)
             except RequestRejected as exc:
                 if not exc.retryable or attempt + 1 >= attempts:
                     raise

@@ -59,6 +59,8 @@ __all__ = [
     "ERR_UNKNOWN_HANDLE",
     "ERR_UNSUPPORTED_VERSION",
     "Frame",
+    "KIND_SOLVE",
+    "KIND_SOLVED",
     "MAGIC",
     "MessageKind",
     "PREAMBLE",
@@ -103,6 +105,15 @@ class MessageKind(IntEnum):
     ERROR = 8  # server -> client: typed rejection/failure
     STATS = 9  # client -> server: stats request
     STATS_REPLY = 10  # server -> client: engine/scheduler/registry counters
+    SOLVE = 11  # client -> server: CG-solve against a registered factor set
+    SOLVED = 12  # server -> client: the solution rows + convergence info
+
+
+#: Aliases for the solve frames (the compiled-pipeline endpoint added with
+#: the op-graph API); spelled out so handler tables can name them without
+#: reaching into the enum.
+KIND_SOLVE = MessageKind.SOLVE
+KIND_SOLVED = MessageKind.SOLVED
 
 
 # Machine-readable error codes carried by ERROR frames.

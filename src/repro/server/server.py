@@ -128,6 +128,28 @@ class _Work:
         self.factors = factors
 
 
+class _SolveWork:
+    """One admitted CG solve: operands resolved, pipeline compiled lazily."""
+
+    __slots__ = ("handle", "b", "factors", "noise", "tol", "max_iterations")
+
+    def __init__(
+        self,
+        handle: str,
+        b: np.ndarray,
+        factors: "list[KroneckerFactor]",
+        noise: float,
+        tol: float,
+        max_iterations: int,
+    ):
+        self.handle = handle
+        self.b = b
+        self.factors = factors
+        self.noise = noise
+        self.tol = tol
+        self.max_iterations = max_iterations
+
+
 class KronServer:
     """Serve Kron-Matmul over TCP with registered factors and SLO classes.
 
@@ -245,15 +267,75 @@ class KronServer:
     # ------------------------------------------------------------------ #
     # engine bridge
     # ------------------------------------------------------------------ #
-    async def _execute(self, work: object) -> np.ndarray:
+    async def _execute(self, work: object) -> object:
         """Scheduler-dispatched execution: submit to the engine, await it.
 
         ``KronEngine.submit`` returns a :class:`concurrent.futures.Future`
         resolved on the engine's dispatcher thread; ``wrap_future`` bridges
-        it back onto the event loop without blocking it.
+        it back onto the event loop without blocking it.  Solves run their
+        whole CG loop in a worker thread (the compiled graph executor and
+        BLAS release the GIL for the heavy parts) and resolve to a
+        :class:`~repro.gp.cg.CgResult`.
         """
+        if isinstance(work, _SolveWork):
+            return await asyncio.get_running_loop().run_in_executor(
+                None, self._run_solve, work
+            )
         assert isinstance(work, _Work)
         return await asyncio.wrap_future(self.engine.submit(work.x, work.factors))
+
+    def _solve_entry(self, work: _SolveWork):
+        """The cached compiled solve pipeline for this request's shape.
+
+        The per-iteration CG body — transpose, KMM with the transposed
+        factors, the ``+ noise·v`` shift fused as the KMM's epilogue,
+        transpose back — is one op graph compiled once and cached in the
+        engine's :class:`~repro.serving.plan_cache.PlanCache` as a
+        :class:`~repro.serving.plan_cache.GraphEntry`, keyed by the registry
+        handle plus the graph's content fingerprint (which covers the RHS
+        count, noise and backend).  A repeat solve against the same handle
+        and shape is a plan-cache *hit*: zero compilation, zero allocation.
+        """
+        from repro.gp.cg import _transposed_float64_factors
+        from repro.graph.builder import graph as graph_builder
+        from repro.graph.compiler import compile_graph
+        from repro.graph.executor import GraphExecutor
+        from repro.graph.ir import graph_cache_key
+        from repro.serving.plan_cache import GraphEntry
+
+        transposed = _transposed_float64_factors(work.factors)
+        n, m = work.b.shape
+        builder = graph_builder(dtype=np.float64)
+        v_node = builder.input("v", shape=(n, m))
+        vt = builder.transpose(v_node)
+        y = builder.kmm(list(transposed), vt)
+        if work.noise:
+            y = builder.axpy(work.noise, vt, y)
+        graph = builder.build(builder.transpose(y))
+        key = f"solve|{work.handle}|{graph_cache_key(graph, self.engine.backend.name)}"
+
+        def factory() -> GraphEntry:
+            compiled = compile_graph(graph, backend=self.engine.backend)
+            executor = GraphExecutor(
+                compiled, backend=self.engine.backend, factors=list(transposed)
+            )
+            return GraphEntry(compiled=compiled, executor=executor)
+
+        return self.engine.plans.get_or_create(key, factory)
+
+    def _run_solve(self, work: _SolveWork):
+        """Run one batched CG solve on the cached compiled pipeline."""
+        from repro.gp.cg import conjugate_gradient
+
+        entry = self._solve_entry(work)
+        with entry.lock:
+            entry.uses += 1
+            return conjugate_gradient(
+                entry.executor.execute,
+                work.b,
+                tol=work.tol,
+                max_iterations=work.max_iterations,
+            )
 
     # ------------------------------------------------------------------ #
     # connection handling
@@ -291,6 +373,14 @@ class KronServer:
                     # bulk job never blocks this connection's other traffic.
                     task = asyncio.get_running_loop().create_task(
                         self._handle_submit(frame, writer, write_lock)
+                    )
+                    self._submit_tasks.add(task)
+                    task.add_done_callback(self._submit_tasks.discard)
+                elif frame.kind == MessageKind.SOLVE:
+                    # Solves are scheduled like submits: admitted through the
+                    # SLO scheduler, resolved out of order in their own task.
+                    task = asyncio.get_running_loop().create_task(
+                        self._handle_solve(frame, writer, write_lock)
                     )
                     self._submit_tasks.add(task)
                     task.add_done_callback(self._submit_tasks.discard)
@@ -482,6 +572,110 @@ class KronServer:
             MessageKind.RESULT,
             {"id": request_id, "shape": list(y.shape), "dtype": y.dtype.str},
             array_payload(y),
+        ))
+
+    async def _handle_solve(
+        self, frame: Frame, writer: asyncio.StreamWriter, lock: asyncio.Lock
+    ) -> None:
+        request_id = frame.header.get("id")
+        if self._stopping:
+            await self._send(writer, lock, error_frame(
+                ERR_SHUTTING_DOWN, "server is draining", request_id
+            ))
+            return
+        try:
+            entry = self.registry.get(str(frame.header.get("handle", "")))
+            if any(scheme != "fp" for scheme in entry.storage):
+                raise ProtocolError(
+                    "solve requires dense factors; this handle holds "
+                    f"storage {list(entry.storage)}"
+                )
+            if any(f.p != f.q for f in entry.factors):
+                raise ProtocolError(
+                    "solve requires square factors (a symmetric positive "
+                    "definite Kronecker operator)"
+                )
+            n = 1
+            for factor in entry.factors:
+                n *= factor.p
+            shape = frame.header["shape"]
+            if not isinstance(shape, list) or len(shape) != 2:
+                raise ProtocolError(f"solve shape must be [rows, cols], got {shape!r}")
+            if int(shape[0]) != n:
+                raise ProtocolError(
+                    f"solve rhs has {shape[0]} rows, the registered operator "
+                    f"has order {n}"
+                )
+            b = array_from_payload(
+                frame.payload, (int(shape[0]), int(shape[1])),
+                str(frame.header.get("dtype", "<f8")),
+            )
+            # CG runs in float64; cast once here so the compiled pipeline and
+            # the cache key see the compute dtype.
+            b = np.ascontiguousarray(b, dtype=np.float64)
+            noise = float(frame.header.get("noise", 0.0))
+            tol = float(frame.header.get("tol", 1e-6))
+            max_iterations = int(frame.header.get("max_iterations", 100))
+            if not (noise >= 0.0) or not (tol >= 0.0) or max_iterations < 1:
+                raise ProtocolError(
+                    f"invalid solve parameters: noise={noise}, tol={tol}, "
+                    f"max_iterations={max_iterations}"
+                )
+            klass = str(frame.header.get("class", "bulk"))
+            deadline_ms = frame.header.get("deadline_ms")
+            if deadline_ms is not None:
+                deadline_ms = float(deadline_ms)
+            work = _SolveWork(
+                entry.handle, b, entry.factors, noise, tol, max_iterations
+            )
+            future = self.scheduler.admit(work, klass, deadline_ms)
+        except UnknownHandleError as exc:
+            await self._send(writer, lock, error_frame(
+                ERR_UNKNOWN_HANDLE,
+                f"handle {exc.args[0]!r} is not registered (evicted or never "
+                f"registered); re-register the factor set", request_id,
+            ))
+            return
+        except RequestRejected as exc:
+            await self._send(writer, lock, error_frame(
+                exc.code, exc.message, request_id
+            ))
+            return
+        except (KeyError, TypeError, ValueError, ProtocolError) as exc:
+            await self._send(writer, lock, error_frame(
+                ERR_BAD_REQUEST, f"invalid solve request: {exc}", request_id
+            ))
+            return
+        try:
+            result = await future
+        except RequestRejected as exc:
+            await self._send(writer, lock, error_frame(
+                exc.code, exc.message, request_id
+            ))
+            return
+        except ReproError as exc:
+            await self._send(writer, lock, error_frame(
+                ERR_BAD_REQUEST, str(exc), request_id
+            ))
+            return
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - reported to the peer
+            code = ERR_SHUTTING_DOWN if self._stopping else ERR_INTERNAL
+            await self._send(writer, lock, error_frame(code, str(exc), request_id))
+            return
+        solution = result.solution
+        await self._send(writer, lock, encode_frame(
+            MessageKind.SOLVED,
+            {
+                "id": request_id,
+                "shape": list(solution.shape),
+                "dtype": solution.dtype.str,
+                "iterations": int(result.iterations),
+                "converged": bool(result.converged),
+                "max_residual": float(result.max_residual),
+            },
+            array_payload(solution),
         ))
 
     # ------------------------------------------------------------------ #

@@ -60,11 +60,18 @@ from repro.serving.benchmark import (
     comparison_rows,
 )
 from repro.serving.engine import EngineStats, KronEngine
-from repro.serving.plan_cache import PlanCache, PlanCacheStats, PlanEntry, PlanKey
+from repro.serving.plan_cache import (
+    GraphEntry,
+    PlanCache,
+    PlanCacheStats,
+    PlanEntry,
+    PlanKey,
+)
 
 __all__ = [
     "COMPARISON_HEADERS",
     "EngineStats",
+    "GraphEntry",
     "KronEngine",
     "PlanCache",
     "PlanCacheStats",

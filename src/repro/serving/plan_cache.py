@@ -18,21 +18,33 @@ executor.  The cache is a plain LRU with thread-safe access and
 hit/miss/eviction counters; evicted entries close their executor, which
 releases the workspace back to the backend — a garbage-collection formality
 for host backends, a shared-memory unlink for the process backend.
+
+The cache also holds compiled *op graphs* (:class:`GraphEntry`): a served
+solve pipeline keyed by graph fingerprint lives in the same LRU, shares the
+same counters, and is closed — its shared workspace released — by the same
+eviction path.  Both entry kinds implement ``export()``/``executor.close()``,
+which is all the cache requires.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Tuple, Union
 
 from repro.plan.executor import PlanExecutor
 from repro.plan.ir import KronPlan
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.compiler import CompiledGraph
+    from repro.graph.executor import GraphExecutor
+
 #: Plan identity: the canonical fingerprint string of
 #: :func:`repro.plan.fingerprint.plan_cache_key` (factor shapes, dtype,
-#: backend, fuse — tuning state and row capacity excluded).
+#: backend, fuse — tuning state and row capacity excluded).  Graph entries
+#: use :func:`repro.graph.ir.graph_cache_key` (``kg_…``) instead — the two
+#: namespaces cannot collide.
 PlanKey = str
 
 
@@ -50,6 +62,34 @@ class PlanEntry:
         """Per-step tuned tiles of the plan (empty mapping when untuned)."""
         return self.plan.tile_overrides()
 
+    def export(self) -> dict:
+        """The serialisable payload persisted by :meth:`PlanCache.export_plans`."""
+        return self.plan.to_dict()
+
+
+@dataclass
+class GraphEntry:
+    """One prepared pipeline: a compiled op graph plus its live executor.
+
+    The executor keeps its single double-buffered workspace — sized over the
+    whole graph — and its bound factors alive across requests; eviction
+    closes it exactly like a :class:`PlanEntry`'s.  Unlike plan entries —
+    whose executors the engine drives from its single dispatcher thread — a
+    graph executor may be re-entered from any worker thread, so each entry
+    carries its own ``lock``: hold it around every ``executor`` use (its
+    workspace is shared mutable state).
+    """
+
+    compiled: "CompiledGraph"
+    executor: "GraphExecutor"
+    #: Number of requests served by this pipeline since it was created.
+    uses: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def export(self) -> dict:
+        """The serialisable compiled graph (``CompiledGraph.to_dict()``)."""
+        return self.compiled.to_dict()
+
 
 @dataclass
 class PlanCacheStats:
@@ -65,14 +105,18 @@ class PlanCacheStats:
         return self.hits / total if total else 0.0
 
 
+#: What the cache stores: prepared plans and prepared graph pipelines.
+CacheEntry = Union[PlanEntry, GraphEntry]
+
+
 class PlanCache:
-    """A bounded, thread-safe LRU mapping :data:`PlanKey` to :class:`PlanEntry`."""
+    """A bounded, thread-safe LRU mapping :data:`PlanKey` to :data:`CacheEntry`."""
 
     def __init__(self, capacity: int = 32):
         if capacity < 1:
             raise ValueError(f"plan cache capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
-        self._entries: "OrderedDict[PlanKey, PlanEntry]" = OrderedDict()
+        self._entries: "OrderedDict[PlanKey, CacheEntry]" = OrderedDict()
         self._lock = threading.Lock()
         self._stats = PlanCacheStats()
 
@@ -84,7 +128,7 @@ class PlanCache:
         with self._lock:
             return key in self._entries
 
-    def get_or_create(self, key: PlanKey, factory: Callable[[], PlanEntry]) -> PlanEntry:
+    def get_or_create(self, key: PlanKey, factory: Callable[[], CacheEntry]) -> CacheEntry:
         """Return the cached entry for ``key``, building it on first use.
 
         The factory runs under the cache lock: the engine's dispatcher is the
@@ -121,14 +165,16 @@ class PlanCache:
             return tuple(self._entries.keys())
 
     def export_plans(self) -> Dict[PlanKey, dict]:
-        """Serialise every cached plan (key → ``KronPlan.to_dict()``).
+        """Serialise every cached entry (key → ``entry.export()``).
 
-        The payload round-trips through :meth:`repro.plan.KronPlan.from_dict`,
-        so a deployment can persist its hot plans next to the tuning cache
-        and warm a fresh cache at startup.
+        Plan payloads round-trip through :meth:`repro.plan.KronPlan.from_dict`
+        and graph payloads through ``CompiledGraph``'s schema-5 dict (whose
+        graph loads with :func:`repro.graph.graph_from_dict`), so a deployment
+        can persist its hot pipelines next to the tuning cache and warm a
+        fresh cache at startup.
         """
         with self._lock:
-            return {key: entry.plan.to_dict() for key, entry in self._entries.items()}
+            return {key: entry.export() for key, entry in self._entries.items()}
 
     def clear(self) -> None:
         """Drop every entry, closing the executors (workspace released)."""

@@ -1,0 +1,537 @@
+"""Tests for the plan-level op-graph layer (:mod:`repro.graph`).
+
+The central guarantees under test:
+
+* a compiled graph executes **bit-identically** to the eager loop of
+  library calls it replaces (hypothesis property across shapes and
+  backends, including fused elementwise epilogues);
+* compilation is deterministic — same graph, same backend, same
+  fingerprint — and ``to_dict()``/``from_dict()`` round-trips exactly;
+* plan schemas 1–4 load as single-KMM graphs (``graph_from_dict``), so the
+  op-graph IR supersedes the plan IR without breaking stored payloads;
+* the ``plan=`` arguments of the classic entry points keep working under
+  ``DeprecationWarning`` and the new ``graph=`` arguments match them;
+* the CG matvec operator compiles its per-iteration body once and reuses
+  one executor across the whole solve;
+* the serving front door's SOLVE endpoint runs on a cached compiled
+  pipeline (second call is a plan-cache hit) over a real socket.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kron_matmul
+from repro.core.factors import KroneckerFactor, random_factors
+from repro.core.gekmm import gekmm
+from repro.core.gradients import kron_matmul_backward_x, kron_matmul_vjp
+from repro.core.solve import kron_solve
+from repro.exceptions import BackendError, DTypeError, ShapeError
+from repro.gp.cg import (
+    clear_transposed_factor_cache,
+    conjugate_gradient,
+    factors_content_fingerprint,
+    kron_matvec_operator,
+)
+from repro.graph import (
+    GraphExecutor,
+    KronGraph,
+    compile_graph,
+    graph,
+    graph_from_dict,
+    graph_from_plan,
+    memoized_kmm_graph,
+)
+from repro.plan import compile_plan
+from repro.core.problem import KronMatmulProblem
+
+
+def _rand_x(rows: int, cols: int, dtype=np.float64, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal((rows, cols)).astype(dtype)
+
+
+def _spd_factors(n: int, p: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n):
+        a = rng.standard_normal((p, p))
+        out.append(KroneckerFactor(a @ a.T + p * np.eye(p)))
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# builder + executor parity
+# --------------------------------------------------------------------------- #
+class TestGraphParity:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        m=st.integers(min_value=1, max_value=9),
+        p=st.integers(min_value=2, max_value=4),
+        n=st.integers(min_value=1, max_value=3),
+        backend=st.sampled_from(["numpy", "threaded"]),
+    )
+    def test_kmm_axpy_graph_bit_identical_to_eager(self, m, p, n, backend):
+        factors = random_factors(n, p, p, dtype=np.float64, seed=3)
+        x = _rand_x(m, p**n, seed=m)
+        b = _rand_x(m, p**n, seed=m + 1)
+        builder = graph(dtype=np.float64)
+        y = builder.kmm(factors, x)
+        r = builder.axpy(-1.0, y, b)
+        executor = builder.compile(backend=backend, output=r)
+        try:
+            got = executor.execute()
+        finally:
+            executor.close()
+        want = -1.0 * kron_matmul(x, factors, backend=backend) + b
+        assert np.array_equal(got, want)
+
+    def test_epilogue_fuses_and_matches_unfused(self):
+        factors = random_factors(3, 4, 4, dtype=np.float64, seed=1)
+        x = _rand_x(8, 64)
+        b = _rand_x(8, 64, seed=9)
+        builder = graph(dtype=np.float64)
+        r = builder.axpy(2.5, builder.kmm(factors, x), b)
+        g = builder.build(r)
+        fused = compile_graph(g, backend="numpy")
+        unfused = compile_graph(g, backend="numpy", fuse=False)
+        assert fused.n_fused_epilogues == 1
+        assert unfused.n_fused_epilogues == 0
+        exe_f = GraphExecutor(fused, factors={g.kmm_ids[0]: factors})
+        exe_u = GraphExecutor(unfused, factors={g.kmm_ids[0]: factors})
+        try:
+            assert np.array_equal(exe_f.execute(x, b), exe_u.execute(x, b))
+        finally:
+            exe_f.close()
+            exe_u.close()
+
+    def test_transposed_kmm_binds_forward_factors(self):
+        factors = random_factors(2, 3, 5, dtype=np.float64, seed=2)
+        dy = _rand_x(4, 5 * 5, seed=4)
+        builder = graph(dtype=np.float64)
+        node = builder.kmm(
+            [(3, 5), (3, 5)], builder.input("dy", shape=(4, 25)), op_factors="T"
+        )
+        executor = builder.compile(output=node)
+        try:
+            executor.bind_factors(factors)
+            got = executor.execute(dy)
+        finally:
+            executor.close()
+        transposed = [KroneckerFactor(np.ascontiguousarray(f.values.T)) for f in factors]
+        assert np.array_equal(got, kron_matmul(dy, transposed))
+
+    def test_multi_kmm_pipeline_shares_one_workspace(self):
+        factors_a = random_factors(2, 4, 4, dtype=np.float64, seed=5)
+        factors_b = random_factors(2, 4, 4, dtype=np.float64, seed=6)
+        x = _rand_x(6, 16)
+        builder = graph(dtype=np.float64)
+        y1 = builder.kmm(factors_a, x)
+        y2 = builder.kmm(factors_b, y1)
+        executor = builder.compile(backend="numpy", output=y2)
+        try:
+            assert len(executor.compiled.plans) == 2
+            assert executor.workspace_bytes() == executor.compiled.workspace_bytes
+            got = executor.execute()
+        finally:
+            executor.close()
+        want = kron_matmul(kron_matmul(x, factors_a), factors_b)
+        assert np.array_equal(got, want)
+
+    def test_executor_reuse_across_calls_is_stable(self):
+        factors = random_factors(3, 4, 4, dtype=np.float64, seed=7)
+        builder = graph(dtype=np.float64)
+        node = builder.kmm(factors, builder.input("x", shape=(5, 64)))
+        executor = builder.compile(output=node)
+        try:
+            x1, x2 = _rand_x(5, 64, seed=1), _rand_x(5, 64, seed=2)
+            first = executor.execute(x1)
+            second = executor.execute(x2)
+            assert np.array_equal(second, kron_matmul(x2, factors))
+            # The first result is caller-owned: a later execute must not
+            # have overwritten it.
+            assert np.array_equal(first, kron_matmul(x1, factors))
+        finally:
+            executor.close()
+        assert executor.closed
+
+    @pytest.mark.skipif(
+        __import__("os").cpu_count() < 2, reason="process backend needs >= 2 workers"
+    )
+    def test_process_backend_parity(self):
+        factors = random_factors(3, 4, 4, dtype=np.float64, seed=8)
+        x = _rand_x(64, 64, seed=3)
+        b = _rand_x(64, 64, seed=4)
+        builder = graph(dtype=np.float64)
+        r = builder.axpy(-1.0, builder.kmm(factors, x), b)
+        executor = builder.compile(backend="process", output=r)
+        try:
+            got = executor.execute()
+        finally:
+            executor.close()
+        want = -1.0 * kron_matmul(x, factors, backend="process") + b
+        assert np.array_equal(got, want)
+
+
+# --------------------------------------------------------------------------- #
+# determinism + serialisation
+# --------------------------------------------------------------------------- #
+class TestSerialisation:
+    def _cg_graph(self) -> KronGraph:
+        builder = graph(dtype=np.float64)
+        v = builder.input("v", shape=(64, 8))
+        vt = builder.transpose(v)
+        y = builder.axpy(0.5, vt, builder.kmm([(4, 4)] * 3, vt))
+        return builder.build(builder.transpose(y))
+
+    def test_graph_round_trip_and_fingerprint_determinism(self):
+        g = self._cg_graph()
+        clone = graph_from_dict(g.to_dict())
+        assert clone == g
+        assert clone.fingerprint() == g.fingerprint()
+        assert self._cg_graph().fingerprint() == g.fingerprint()
+
+    def test_compiled_graph_fingerprint_and_dict_are_deterministic(self):
+        g = self._cg_graph()
+        first = compile_graph(g, backend="numpy")
+        second = compile_graph(g, backend="numpy")
+        assert first.fingerprint() == second.fingerprint()
+        assert first.to_dict() == second.to_dict()
+        assert first.cache_key() == second.cache_key()
+        assert first.cache_key().startswith("kg_")
+
+    def test_backend_changes_cache_key(self):
+        g = self._cg_graph()
+        a = compile_graph(g, backend="numpy")
+        b = compile_graph(g, backend="threaded")
+        assert a.cache_key() != b.cache_key()
+
+    @pytest.mark.parametrize("legacy_schema", [1, 2, 3, 4])
+    def test_plan_schemas_load_as_single_kmm_graphs(self, legacy_schema):
+        plan = compile_plan(
+            KronMatmulProblem.uniform(4, 3, 2, dtype=np.float64), backend="numpy"
+        )
+        payload = plan.to_dict()
+        payload["schema"] = legacy_schema
+        for key in () if legacy_schema >= 4 else ("storage",):
+            payload.pop(key, None)
+        g = graph_from_dict(payload)
+        assert [node.kind for node in g.nodes] == ["input", "kmm"]
+        factors = random_factors(2, 3, 3, dtype=np.float64, seed=11)
+        x = _rand_x(4, 9)
+        executor = GraphExecutor(compile_graph(g, backend="numpy"), factors=factors)
+        try:
+            assert np.array_equal(executor.execute(x), kron_matmul(x, factors))
+        finally:
+            executor.close()
+
+    def test_graph_from_plan_rejects_nothing_round_trips(self):
+        plan = compile_plan(
+            KronMatmulProblem.uniform(6, 4, 2, dtype=np.float32), backend="numpy"
+        )
+        g = graph_from_plan(plan)
+        assert g.output_shape == (6, 16)
+        assert graph_from_dict(g.to_dict()) == g
+
+    def test_memoized_kmm_graph_is_shared(self):
+        a = memoized_kmm_graph(8, ((4, 4), (4, 4)), "float64", "numpy")
+        b = memoized_kmm_graph(8, ((4, 4), (4, 4)), "float64", "numpy")
+        assert a is b
+
+
+# --------------------------------------------------------------------------- #
+# entry-point integration: graph= and the plan= deprecation shims
+# --------------------------------------------------------------------------- #
+class TestEntryPoints:
+    def test_plan_kwarg_warns_once_per_entry_point(self):
+        factors = random_factors(2, 4, 4, dtype=np.float64, seed=12)
+        plan = compile_plan(KronMatmulProblem.uniform(3, 4, 2, dtype=np.float64))
+        x = _rand_x(3, 16)
+        for call in (
+            lambda: kron_matmul(x, factors, plan=plan),
+            lambda: gekmm(x, factors, plan=plan),
+            lambda: kron_solve(x, factors, plan=plan),
+            lambda: kron_matmul_backward_x(x, factors, plan=plan),
+            lambda: kron_matmul_vjp(x, x, factors, plan=plan),
+        ):
+            with pytest.warns(DeprecationWarning, match="single-KMM op graph") as rec:
+                call()
+            deprecations = [
+                w for w in rec if issubclass(w.category, DeprecationWarning)
+            ]
+            assert len(deprecations) == 1
+
+    def test_graph_kwarg_matches_default_path(self):
+        factors = random_factors(3, 4, 4, dtype=np.float64, seed=13)
+        x = _rand_x(5, 64, seed=5)
+        builder = graph(dtype=np.float64)
+        node = builder.kmm([(4, 4)] * 3, builder.input("x", shape=(5, 64)))
+        executor = builder.compile(backend="numpy", output=node)
+        try:
+            assert np.array_equal(
+                kron_matmul(x, factors, graph=executor), kron_matmul(x, factors)
+            )
+            assert np.array_equal(
+                gekmm(x, factors, graph=executor), kron_matmul(x, factors)
+            )
+        finally:
+            executor.close()
+
+    def test_graph_kwarg_accepts_ir_and_compiled(self):
+        factors = random_factors(2, 4, 4, dtype=np.float64, seed=14)
+        x = _rand_x(4, 16, seed=6)
+        builder = graph(dtype=np.float64)
+        node = builder.kmm([(4, 4)] * 2, builder.input("x", shape=(4, 16)))
+        g = builder.build(node)
+        want = kron_matmul(x, factors)
+        assert np.array_equal(kron_matmul(x, factors, graph=g), want)
+        compiled = compile_graph(g, backend="numpy")
+        assert np.array_equal(kron_matmul(x, factors, graph=compiled), want)
+
+    def test_plan_and_graph_together_rejected(self):
+        factors = random_factors(2, 4, 4, dtype=np.float64, seed=15)
+        plan = compile_plan(KronMatmulProblem.uniform(4, 4, 2, dtype=np.float64))
+        g = graph_from_plan(plan)
+        x = _rand_x(4, 16)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ShapeError, match="not both"):
+                kron_matmul(x, factors, plan=plan, graph=g)
+
+    def test_graph_dtype_mismatch_is_typed(self):
+        factors = random_factors(2, 4, 4, dtype=np.float64, seed=16)
+        builder = graph(dtype=np.float32)
+        node = builder.kmm([(4, 4)] * 2, builder.input("x", shape=(4, 16)))
+        g = builder.build(node)
+        with pytest.raises(DTypeError, match="promote"):
+            kron_matmul(_rand_x(4, 16), factors, graph=g)
+
+    def test_graph_executor_backend_conflict_is_typed(self):
+        factors = random_factors(2, 4, 4, dtype=np.float64, seed=17)
+        builder = graph(dtype=np.float64)
+        node = builder.kmm(factors, builder.input("x", shape=(4, 16)))
+        executor = builder.compile(backend="numpy", output=node)
+        try:
+            with pytest.raises(BackendError, match="bound to backend"):
+                kron_matmul(_rand_x(4, 16), factors, graph=executor, backend="threaded")
+        finally:
+            executor.close()
+
+    def test_garbage_graph_kwarg_rejected(self):
+        factors = random_factors(2, 4, 4, dtype=np.float64, seed=18)
+        with pytest.raises(TypeError):
+            kron_matmul(_rand_x(4, 16), factors, graph="not a graph")
+
+    def test_bare_plan_path_still_bit_identical(self):
+        factors = random_factors(3, 4, 4, dtype=np.float64, seed=19)
+        x = _rand_x(6, 64, seed=7)
+        plan = compile_plan(KronMatmulProblem.uniform(6, 4, 3, dtype=np.float64))
+        with pytest.warns(DeprecationWarning):
+            got = kron_matmul(x, factors, plan=plan)
+        assert np.array_equal(got, kron_matmul(x, factors))
+
+    def test_solve_and_backward_default_paths_match_reference(self):
+        factors = _spd_factors(2, 4, seed=20)
+        b = _rand_x(5, 16, seed=8)
+        inv = [np.linalg.inv(f.values) for f in factors]
+        assert np.array_equal(kron_solve(b, factors), kron_matmul(b, inv))
+        transposed = [np.ascontiguousarray(f.values.T) for f in factors]
+        assert np.array_equal(
+            kron_matmul_backward_x(b, factors), kron_matmul(b, transposed)
+        )
+
+
+# --------------------------------------------------------------------------- #
+# CG operator: one compiled executor per solve + the content cache
+# --------------------------------------------------------------------------- #
+class TestCgOperator:
+    def test_cg_compiles_one_graph_and_matches_eager(self):
+        factors = _spd_factors(3, 4, seed=21)
+        b = _rand_x(64, 5, seed=9)
+        matvec = kron_matvec_operator(factors, noise=0.3)
+        result = conjugate_gradient(matvec, b, tol=1e-12, max_iterations=60)
+        # One executor for the whole solve (one RHS shape), body fused.
+        assert sorted(matvec.executors) == [5]
+        executor = matvec.executors[5]
+        assert executor.compiled.n_fused_epilogues == 1
+        transposed = [np.ascontiguousarray(f.values.T) for f in factors]
+
+        def eager(v):
+            v2 = v[:, None] if v.ndim == 1 else v
+            out = kron_matmul(np.ascontiguousarray(v2.T), transposed).T + 0.3 * v2
+            return out[:, 0] if v.ndim == 1 else np.ascontiguousarray(out)
+
+        reference = conjugate_gradient(eager, b, tol=1e-12, max_iterations=60)
+        assert np.array_equal(result.solution, reference.solution)
+        assert result.iterations == reference.iterations
+        matvec.close()
+        assert not matvec.executors
+
+    def test_cg_threaded_backend_bit_identical_to_numpy(self):
+        factors = _spd_factors(3, 4, seed=22)
+        b = _rand_x(64, 4, seed=10)
+        results = {}
+        for backend in ("numpy", "threaded"):
+            matvec = kron_matvec_operator(factors, noise=0.1, backend=backend)
+            try:
+                results[backend] = conjugate_gradient(
+                    matvec, b, tol=1e-10, max_iterations=40
+                ).solution
+            finally:
+                matvec.close()
+        assert np.array_equal(results["numpy"], results["threaded"])
+
+    def test_transposed_factor_cache_hits_on_same_content(self):
+        clear_transposed_factor_cache()
+        factors = _spd_factors(2, 3, seed=23)
+        first = kron_matvec_operator(factors)
+        second = kron_matvec_operator([f.values.copy() for f in factors])
+        x = _rand_x(9, 1, seed=11)
+        assert np.array_equal(first(x), second(x))
+        first.close()
+        second.close()
+        fp = factors_content_fingerprint(factors)
+        assert fp == factors_content_fingerprint(
+            [KroneckerFactor(f.values.copy()) for f in factors]
+        )
+        clear_transposed_factor_cache()
+
+
+# --------------------------------------------------------------------------- #
+# serving cache + the served solve endpoint
+# --------------------------------------------------------------------------- #
+class TestServing:
+    def test_plan_cache_holds_graph_entries_and_eviction_closes(self):
+        from repro.serving.plan_cache import GraphEntry, PlanCache
+
+        factors = random_factors(2, 4, 4, dtype=np.float64, seed=24)
+        cache = PlanCache(capacity=1)
+
+        def entry_for(seed: int) -> GraphEntry:
+            builder = graph(dtype=np.float64)
+            node = builder.kmm(factors, builder.input("x", shape=(2 + seed, 16)))
+            compiled = compile_graph(builder.build(node), backend="numpy")
+            return GraphEntry(
+                compiled=compiled, executor=GraphExecutor(compiled, factors=factors)
+            )
+
+        first = cache.get_or_create("kg_one", lambda: entry_for(0))
+        exported = cache.export_plans()
+        assert exported["kg_one"]["schema"] == 5
+        assert exported["kg_one"]["graph"]["nodes"][1]["kind"] == "kmm"
+        second = cache.get_or_create("kg_two", lambda: entry_for(1))
+        assert first.executor.closed  # evicted by capacity 1
+        assert not second.executor.closed
+        stats = cache.stats()
+        assert (stats.misses, stats.evictions) == (2, 1)
+        cache.clear()
+        assert second.executor.closed
+
+    def test_served_solve_round_trip_with_cache_hit(self):
+        from repro.server import KronClient, ServerThread
+
+        factors = _spd_factors(3, 4, seed=25)
+        b = _rand_x(64, 3, seed=12)
+        with ServerThread(port=0, backend="numpy") as srv:
+            with KronClient(port=srv.port) as client:
+                handle = client.register(factors)
+                first = client.solve(
+                    handle, b, noise=0.5, tol=1e-9, max_iterations=100
+                )
+                second = client.solve(
+                    handle, b, noise=0.5, tol=1e-9, max_iterations=100
+                )
+                stats = client.stats()
+        assert first.converged and second.converged
+        assert np.array_equal(first.solution, second.solution)
+        assert stats["engine"]["plan_hits"] >= 1
+        matvec = kron_matvec_operator(factors, noise=0.5)
+        try:
+            local = conjugate_gradient(matvec, b, tol=1e-9, max_iterations=100)
+        finally:
+            matvec.close()
+        assert np.array_equal(first.solution, local.solution)
+        assert first.iterations == local.iterations
+
+    def test_served_solve_validations_are_typed(self):
+        from repro.exceptions import RequestRejected
+        from repro.server import KronClient, ServerThread
+
+        rect = random_factors(2, 3, 5, dtype=np.float64, seed=26)
+        with ServerThread(port=0, backend="numpy") as srv:
+            with KronClient(port=srv.port) as client:
+                with pytest.raises(RequestRejected, match="unknown_handle"):
+                    client.solve("deadbeef", _rand_x(9, 1))
+                handle = client.register(rect)
+                with pytest.raises(RequestRejected, match="square"):
+                    client.solve(handle, _rand_x(9, 1))
+                square = client.register(_spd_factors(2, 3, seed=27))
+                with pytest.raises(RequestRejected, match="rows"):
+                    client.solve(square, _rand_x(4, 1))
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+class TestCli:
+    def test_graph_command_json(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        assert main(["graph", "--m", "8", "--p", "4", "--n", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 5
+        assert payload["graph"]["nodes"][1]["kind"] == "kmm"
+
+    def test_graph_command_cg_explain(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "graph", "--p", "4", "--n", "2", "--cg", "--rhs", "4",
+            "--noise", "0.5",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fused epilogue" in out
+        assert "transpose" in out
+
+    def test_graph_command_tune_replaces_plans(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "graph", "--m", "16", "--p", "4", "--n", "2", "--tune",
+            "--max-candidates", "10",
+        ])
+        assert code == 0
+        assert "cache key: kg_" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------------- #
+# tuner integration on the compiled artifact
+# --------------------------------------------------------------------------- #
+class TestTunedGraph:
+    def test_replaced_plans_execute_bit_identically(self):
+        from repro.tuner import Autotuner
+
+        factors = random_factors(3, 4, 4, dtype=np.float32, seed=28)
+        x = _rand_x(32, 64, dtype=np.float32, seed=13)
+        builder = graph(dtype=np.float32)
+        node = builder.kmm(factors, x)
+        g = builder.build(node)
+        compiled = compile_graph(g, backend="numpy")
+        tuner = Autotuner(max_candidates=20)
+        tuned = dataclasses.replace(
+            compiled,
+            plans={nid: tuner.tune_plan(p) for nid, p in compiled.plans.items()},
+        )
+        assert tuned.cache_key() == compiled.cache_key()
+        exe = GraphExecutor(tuned, factors={g.kmm_ids[0]: factors})
+        try:
+            got = exe.execute(x)
+        finally:
+            exe.close()
+        assert np.array_equal(got, kron_matmul(x, factors))
